@@ -1,0 +1,316 @@
+// Benchmarks regenerating the paper's evaluation, one per figure plus
+// the ablations and the real-concurrency (rt) scaling benches.
+//
+// Simulator benches report the *simulated* metrics the paper reports
+// (sim-us/call, sim-calls/sec) via b.ReportMetric; the wall-clock
+// ns/op of those benches is just simulator execution speed. The rt
+// benches report real ns/op on real goroutines.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package hurricane_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"hurricane"
+	"hurricane/internal/experiments"
+	"hurricane/rt"
+)
+
+// --- Figure 2: round-trip null PPC cost, eight configurations -------
+
+func BenchmarkFigure2(b *testing.B) {
+	for _, cfg := range experiments.StandardFigure2Configs() {
+		cfg := cfg
+		name := "UserToUser"
+		if cfg.KernelTarget {
+			name = "UserToKernel"
+		}
+		cache := "Primed"
+		if cfg.Cache == experiments.CacheFlushed {
+			cache = "Flushed"
+		}
+		cd := "PooledCD"
+		if cfg.HoldCD {
+			cd = "HeldCD"
+		}
+		b.Run(fmt.Sprintf("%s/%s/%s", name, cache, cd), func(b *testing.B) {
+			var last experiments.Fig2Result
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunFigure2One(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.TotalMicros, "sim-us/call")
+		})
+	}
+}
+
+// --- Figure 3: file-server throughput vs processors -----------------
+
+func BenchmarkFigure3(b *testing.B) {
+	for _, mode := range []experiments.Fig3Mode{experiments.DifferentFiles, experiments.SingleFile} {
+		mode := mode
+		for _, procs := range []int{1, 2, 4, 8, 16} {
+			procs := procs
+			b.Run(fmt.Sprintf("%s/procs=%d", sanitize(mode.String()), procs), func(b *testing.B) {
+				var cps float64
+				for i := 0; i < b.N; i++ {
+					res, err := experiments.RunFigure3(procs, mode)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cps = res.Points[len(res.Points)-1].CallsPerSecond
+				}
+				b.ReportMetric(cps, "sim-calls/sec")
+			})
+		}
+	}
+}
+
+// --- E3: the in-text sequential GetLength base (66 us) --------------
+
+func BenchmarkGetLengthSequential(b *testing.B) {
+	sys, err := hurricane.NewSystem(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bob, err := sys.InstallFileServer(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.Kernel().NewClientProgram("client", 0)
+	tok, err := hurricane.OpenFile(c, bob.EP(), "f", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := c.P()
+	for i := 0; i < 4; i++ { // warm
+		if _, err := hurricane.GetLength(c, bob.EP(), tok); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := p.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hurricane.GetLength(c, bob.EP(), tok); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	simUS := sys.Machine().Params().CyclesToMicros(p.Now()-start) / float64(b.N)
+	b.ReportMetric(simUS, "sim-us/call")
+}
+
+// --- E5: locked message-passing baseline vs PPC ---------------------
+
+func BenchmarkBaselineIPC(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		procs := procs
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			var res experiments.BaselineResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = experiments.RunBaselineComparison(procs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.PPCCalls[procs-1], "sim-ppc-calls/sec")
+			b.ReportMetric(res.BaselineCall[procs-1], "sim-locked-calls/sec")
+		})
+	}
+}
+
+// --- E6: serial stack sharing vs held stacks ------------------------
+
+func BenchmarkAblationStackSharing(b *testing.B) {
+	var res experiments.StackSharingResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunStackSharingAblation(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PooledCallMicros, "sim-us/pooled-call")
+	b.ReportMetric(res.HeldCallMicros, "sim-us/held-call")
+}
+
+// --- E7: NUMA placement ---------------------------------------------
+
+func BenchmarkAblationNUMA(b *testing.B) {
+	var res experiments.NUMAResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunNUMAAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LocalMicros[0], "sim-us/local-call")
+	b.ReportMetric(res.MisplacedMicros, "sim-us/misplaced-call")
+}
+
+// --- E11: the hardware-coherence counterfactual ---------------------
+
+func BenchmarkAblationCoherence(b *testing.B) {
+	var cc experiments.CoherenceComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cc, err = experiments.RunCoherenceComparison(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cc.NoCoherenceSingle.Points[7].CallsPerSecond, "sim-hector-single-calls/sec")
+	b.ReportMetric(cc.CoherentSingle.Points[7].CallsPerSecond, "sim-cc-single-calls/sec")
+}
+
+// --- E8: real-concurrency (rt) scaling ------------------------------
+
+// BenchmarkRTCall measures the sequential PPC-style fast path.
+func BenchmarkRTCall(b *testing.B) {
+	sys := rt.NewSystem()
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.NewClient()
+	var args rt.Args
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRTCallParallel measures the shared-nothing path under full
+// parallelism: one client (shard) per worker goroutine.
+func BenchmarkRTCallParallel(b *testing.B) {
+	sys := rt.NewSystem()
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		c := sys.NewClient()
+		var args rt.Args
+		for pb.Next() {
+			if err := c.Call(svc.EP(), &args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRTCentralParallel is the locked baseline under the same
+// load: one mutex and a shared pool on every call.
+func BenchmarkRTCentralParallel(b *testing.B) {
+	cs := rt.NewCentralServer(func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}, 0)
+	b.RunParallel(func(pb *testing.PB) {
+		var args rt.Args
+		for pb.Next() {
+			cs.Call(1, &args)
+		}
+	})
+}
+
+// BenchmarkRTChannelParallel is the message-passing baseline: two
+// channel handoffs per call through a fixed server pool.
+func BenchmarkRTChannelParallel(b *testing.B) {
+	cs := rt.NewChannelServer(func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}, runtime.GOMAXPROCS(0))
+	defer cs.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		reply := make(chan struct{}, 1)
+		var args rt.Args
+		for pb.Next() {
+			cs.Call(1, &args, reply)
+		}
+	})
+}
+
+// BenchmarkRTAsync measures the detached-caller variant.
+func BenchmarkRTAsync(b *testing.B) {
+	sys := rt.NewSystem()
+	var handled atomic.Int64
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "async", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		handled.Add(1)
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.NewClient()
+	done := make(chan struct{}, 1024)
+	drained := make(chan struct{})
+	n := b.N
+	go func() {
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		close(drained)
+	}()
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		var args rt.Args
+		if err := c.AsyncCallNotify(svc.EP(), &args, done); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-drained
+	if handled.Load() != int64(n) {
+		b.Fatalf("handled %d of %d", handled.Load(), n)
+	}
+}
+
+// BenchmarkRTScratchUse measures a handler that actually uses the
+// recycled scratch buffer (the serial stack-page sharing).
+func BenchmarkRTScratchUse(b *testing.B) {
+	sys := rt.NewSystem()
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "scratch", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		s := ctx.Scratch()
+		for i := 0; i < 256; i++ {
+			s[i] = byte(i)
+		}
+		args[0] = uint64(s[17])
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		c := sys.NewClient()
+		var args rt.Args
+		for pb.Next() {
+			if err := c.Call(svc.EP(), &args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

@@ -1,0 +1,164 @@
+// Command ablations runs the design-choice ablations DESIGN.md indexes
+// (E5-E10): the locked message-passing baseline, serial stack sharing,
+// NUMA placement, the single-file lock profile, the LRPC comparison,
+// and the miss-cost sensitivity sweep with the Firefly technology-shift
+// check.
+//
+// Usage:
+//
+//	ablations [-procs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hurricane/internal/experiments"
+	"hurricane/internal/report"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "processor count for throughput ablations")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV for every ablation instead of tables")
+	flag.Parse()
+	var err error
+	if *csv {
+		err = runCSV(*procs)
+	} else {
+		err = run(*procs)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(1)
+	}
+}
+
+// runCSV emits every ablation as CSV blocks separated by blank lines.
+func runCSV(procs int) error {
+	base, err := experiments.RunBaselineComparison(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.BaselineCSV(base))
+	fmt.Println()
+
+	pts, err := experiments.RunMissCostSensitivity([]int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.SensitivityCSV(pts))
+	fmt.Println()
+
+	cc, err := experiments.RunCoherenceComparison(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.CoherenceCSV(cc))
+	fmt.Println()
+
+	cells, err := experiments.RunMultiprogrammingMatrix(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.MultiprogCSV(cells))
+	return nil
+}
+
+func run(procs int) error {
+	fmt.Println("== E5: locks in the IPC path (null-call throughput) ==")
+	base, err := experiments.RunBaselineComparison(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.BaselineTable(base))
+
+	fmt.Println("\n== E6: serial stack sharing vs held stacks (12 servers in rotation) ==")
+	ss, err := experiments.RunStackSharingAblation(12)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  pooled (serially shared) stacks: %6.1f us/call, %5d D-cache misses\n",
+		ss.PooledCallMicros, ss.PooledDCacheMisses)
+	fmt.Printf("  held (per-worker) stacks:        %6.1f us/call, %5d D-cache misses\n",
+		ss.HeldCallMicros, ss.HeldDCacheMisses)
+
+	fmt.Println("\n== E7: NUMA placement (cold-cache null call, 16 processors) ==")
+	numa, err := experiments.RunNUMAAblation()
+	if err != nil {
+		return err
+	}
+	allSame := true
+	for _, us := range numa.LocalMicros {
+		if us != numa.LocalMicros[0] {
+			allSame = false
+		}
+	}
+	fmt.Printf("  locally-placed client, procs 0..15: %.2f us each (identical on all: %v)\n",
+		numa.LocalMicros[0], allSame)
+	fmt.Printf("  deliberately misplaced client:      %.2f us\n", numa.MisplacedMicros)
+
+	fmt.Println("\n== lock profile of the single-file run ==")
+	for _, n := range []int{1, 4, procs} {
+		li, err := experiments.RunLockImpact(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %2d procs: acquisitions=%6d contentions=%6d spin=%4.1f%% of cpu, IPC locks=%d\n",
+			li.Procs, li.Acquisitions, li.Contentions, li.SpinFraction*100, li.IPCLockAcquires)
+	}
+
+	fmt.Println("\n== E9/E10: miss-cost sensitivity (warm sequential null call) ==")
+	pts, err := experiments.RunMissCostSensitivity([]int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.SensitivityTable(pts))
+
+	firefly, hector, err := experiments.RunFireflyComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== the Firefly technology shift (migrated vs local LRPC) ==")
+	fmt.Printf("  Firefly-like memory (caches ~ memory speed): local %.1f us, migrated %.1f us (%.2fx)\n",
+		firefly.LRPCMicros, firefly.LRPCMigratedUS, firefly.LRPCMigratedUS/firefly.LRPCMicros)
+	fmt.Printf("  Hector (modern miss costs):                  local %.1f us, migrated %.1f us (%.2fx)\n",
+		hector.LRPCMicros, hector.LRPCMigratedUS, hector.LRPCMigratedUS/hector.LRPCMicros)
+	fmt.Println("\n  (the paper, §2: idling servers on idle processors and migrating the caller")
+	fmt.Println("   \"would be prohibitive in today's systems with the high cost of cache misses\")")
+
+	fmt.Println("\n== E11: the hardware-coherence counterfactual ==")
+	noCoh, coh, err := experiments.PPCCoherenceInvariance()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  warm null PPC: %.1f us without coherence, %.1f us with (identical: %v)\n",
+		noCoh, coh, noCoh == coh)
+	cc, err := experiments.RunCoherenceComparison(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  single-file saturation: %d procs without coherence, %d with\n",
+		cc.NoCoherenceSingle.SaturationPoint(0.10), cc.CoherentSingle.SaturationPoint(0.10))
+	fmt.Printf("  %6s %16s %16s %16s\n", "procs", "single (Hector)", "single (CC)", "different (CC)")
+	for i := range cc.NoCoherenceSingle.Points {
+		fmt.Printf("  %6d %16.0f %16.0f %16.0f\n",
+			cc.NoCoherenceSingle.Points[i].Procs,
+			cc.NoCoherenceSingle.Points[i].CallsPerSecond,
+			cc.CoherentSingle.Points[i].CallsPerSecond,
+			cc.CoherentDifferent.Points[i].CallsPerSecond)
+	}
+	fmt.Println("\n  (the paper's conclusion: the strategies \"will continue to be appropriate ...")
+	fmt.Println("   regardless of whether the system has hardware support for cache coherence or not\")")
+
+	fmt.Println("\n== E12: client/server population matrix (independent requests) ==")
+	cells, err := experiments.RunMultiprogrammingMatrix(procs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.MultiprogTable(cells))
+	fmt.Println("\n  (the paper's introduction: parallel service \"whether they originate from a large")
+	fmt.Println("   number of different programs or a smaller number of large-scale parallel programs,")
+	fmt.Println("   and whether they are targeted at one or many servers\")")
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command figure2 regenerates Figure 2 of the paper: the breakdown of
+// the round-trip time of a null PPC under eight conditions
+// ({user-to-user, user-to-kernel} x {cache primed, cache flushed} x
+// {no CD, hold CD}).
+//
+// Usage:
+//
+//	figure2 [-csv] [-check] [-dirty]
+//
+// -csv prints machine-readable rows; -check compares totals to the
+// paper's reported numbers; -dirty adds the dirtied-cache +
+// flushed-I-cache conditions the paper describes in the text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"hurricane/internal/experiments"
+	"hurricane/internal/report"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	check := flag.Bool("check", false, "compare against the paper's reported totals")
+	dirty := flag.Bool("dirty", false, "add the dirtied-cache + I-flush conditions")
+	stacked := flag.Bool("stacked", false, "render the stacked-bar form of the figure")
+	flag.Parse()
+
+	results, err := experiments.RunFigure2()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure2:", err)
+		os.Exit(1)
+	}
+	if *dirty {
+		for _, kernel := range []bool{false, true} {
+			for _, hold := range []bool{false, true} {
+				r, err := experiments.RunFigure2One(experiments.Fig2Config{
+					KernelTarget: kernel, HoldCD: hold, Cache: experiments.CacheDirtyFlushed,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "figure2:", err)
+					os.Exit(1)
+				}
+				results = append(results, r)
+			}
+		}
+	}
+
+	if *csv {
+		fmt.Print(report.Figure2CSV(results))
+		return
+	}
+	fmt.Print(report.Figure2Table(results))
+	fmt.Println()
+	if *stacked {
+		fmt.Print(report.Figure2Stacked(results))
+	} else {
+		fmt.Print(report.Figure2Bars(results))
+	}
+
+	if *check {
+		fmt.Println("\nComparison with the paper (warm cache):")
+		fail := false
+		for key, paper := range experiments.PaperFigure2Totals() {
+			got := findTotal(results, key[0], key[1], experiments.CachePrimed)
+			fail = report1(key[0], key[1], "primed", got, paper) || fail
+		}
+		for key, paper := range experiments.PaperFigure2FlushedTotals() {
+			got := findTotal(results, key[0], key[1], experiments.CacheFlushed)
+			fail = report1(key[0], key[1], "flushed", got, paper) || fail
+		}
+		if fail {
+			os.Exit(1)
+		}
+	}
+}
+
+func findTotal(results []experiments.Fig2Result, kernel, hold bool, cache experiments.CacheState) float64 {
+	for _, r := range results {
+		if r.Config.KernelTarget == kernel && r.Config.HoldCD == hold && r.Config.Cache == cache {
+			return r.TotalMicros
+		}
+	}
+	return math.NaN()
+}
+
+func report1(kernel, hold bool, cache string, got, paper float64) (fail bool) {
+	target := "user-to-user  "
+	if kernel {
+		target = "user-to-kernel"
+	}
+	cd := "no CD  "
+	if hold {
+		cd = "hold CD"
+	}
+	dev := (got - paper) / paper * 100
+	status := "ok"
+	if math.Abs(dev) > 25 {
+		status = "DEVIATES"
+		fail = true
+	}
+	fmt.Printf("  %s %-7s %-7s  measured %5.1f us   paper %5.1f us   %+6.1f%%  %s\n",
+		target, cache, cd, got, paper, dev, status)
+	return fail
+}

@@ -1,0 +1,76 @@
+// Command figure3 regenerates Figure 3 of the paper: the throughput of
+// a single file server handling GetLength requests from independent
+// clients, one per processor — the perfect-speedup line, the
+// different-files series (linear), and the single-file series
+// (saturating at about four processors).
+//
+// Usage:
+//
+//	figure3 [-procs N] [-csv] [-baseline]
+//
+// -baseline additionally runs the locked message-passing IPC ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hurricane/internal/experiments"
+	"hurricane/internal/machine"
+	"hurricane/internal/report"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "maximum processor count")
+	csv := flag.Bool("csv", false, "emit CSV instead of the chart")
+	baseline := flag.Bool("baseline", false, "also run the locked-IPC baseline ablation")
+	stats := flag.Bool("stats", false, "print latency distribution and machine counters for the max-procs runs")
+	flag.Parse()
+
+	different, err := experiments.RunFigure3(*procs, experiments.DifferentFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure3:", err)
+		os.Exit(1)
+	}
+	single, err := experiments.RunFigure3(*procs, experiments.SingleFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure3:", err)
+		os.Exit(1)
+	}
+
+	if *csv {
+		fmt.Print(report.Figure3CSV(different, single))
+	} else {
+		fmt.Print(report.Figure3Chart(different, single))
+		fmt.Println()
+		fmt.Print(report.Figure3Table(different, single))
+	}
+
+	if *baseline {
+		res, err := experiments.RunBaselineComparison(*procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figure3:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nAblation: null-call throughput, PPC vs locked message-passing IPC")
+		fmt.Print(report.BaselineTable(res))
+	}
+
+	if *stats {
+		for _, mode := range []experiments.Fig3Mode{experiments.DifferentFiles, experiments.SingleFile} {
+			r, m, err := experiments.RunFigure3Detailed(*procs, mode, machine.DefaultParams())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figure3:", err)
+				os.Exit(1)
+			}
+			l := r.Latency
+			fmt.Printf("\n%s at %d procs — per-call latency: min %.1f / p50 %.1f / p99 %.1f / max %.1f us (%d samples)\n",
+				mode, *procs, l.MinMicros, l.P50Micros, l.P99Micros, l.MaxMicros, l.Samples)
+			if mode == experiments.SingleFile {
+				fmt.Println()
+				fmt.Print(report.SystemStats(m))
+			}
+		}
+	}
+}

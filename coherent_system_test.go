@@ -1,0 +1,111 @@
+package hurricane_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hurricane"
+)
+
+// TestFullSystemOnCoherentMachine boots the complete stack on the E11
+// counterfactual machine (hardware coherence enabled) and checks the
+// whole OS personality still behaves identically — services, naming,
+// files, faults. Only costs may differ, never results.
+func TestFullSystemOnCoherentMachine(t *testing.T) {
+	sys, err := hurricane.NewSystemParams(4, coherentParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.InstallNameServer(0); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := sys.InstallFileServer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := sys.Kernel().NewClientProgram("admin", 0)
+	if err := bob.RegisterName(admin); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		c := sys.Kernel().NewClientProgram(fmt.Sprintf("c%d", i), i)
+		ep, err := hurricane.LookupName(c, "bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tok, err := hurricane.OpenFile(c, ep, "shared", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hurricane.SetLength(c, ep, tok, uint32(10*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		n, err := hurricane.GetLength(c, ep, tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint32(10*(i+1)) {
+			t.Fatalf("client %d read length %d", i, n)
+		}
+	}
+	// The shared file's metadata was cached and ping-ponged: the
+	// coherent machine must show invalidation traffic where Hector
+	// shows none.
+	inv := int64(0)
+	for i := 0; i < 4; i++ {
+		inv += sys.Machine().Proc(i).DCache().Invalidations
+	}
+	if inv == 0 {
+		t.Fatal("no coherence traffic on a coherent machine with a shared file")
+	}
+}
+
+func coherentParams() hurricane.Params {
+	p := hurricane.DefaultParams()
+	p.HardwareCoherence = true
+	return p
+}
+
+// TestResultsIdenticalAcrossMachines runs the same logical workload on
+// both machines and requires identical *functional* results (lengths,
+// tokens) even though the cycle costs differ.
+func TestResultsIdenticalAcrossMachines(t *testing.T) {
+	run := func(params hurricane.Params) []uint32 {
+		sys, err := hurricane.NewSystemParams(2, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bob, err := sys.InstallFileServer(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint32
+		for i := 0; i < 2; i++ {
+			c := sys.Kernel().NewClientProgram(fmt.Sprintf("c%d", i), i)
+			tok, err := hurricane.OpenFile(c, bob.EP(), "f", true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := hurricane.SetLength(c, bob.EP(), tok, uint32(100+i)); err != nil {
+				t.Fatal(err)
+			}
+			n, err := hurricane.GetLength(c, bob.EP(), tok)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, tok, n)
+		}
+		return out
+	}
+	a := run(hurricane.DefaultParams())
+	b := run(coherentParams())
+	if len(a) != len(b) {
+		t.Fatal("result shapes differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("functional divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

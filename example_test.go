@@ -1,0 +1,69 @@
+package hurricane_test
+
+import (
+	"fmt"
+
+	"hurricane"
+)
+
+// Example reproduces the documented quick start: bind a service, call
+// it, and read the simulated round-trip cost.
+func Example() {
+	sys, _ := hurricane.NewSystem(16)
+	srv := sys.Kernel().NewServerProgram("greeter", 0)
+	svc, _ := sys.Kernel().BindService(hurricane.ServiceConfig{
+		Name:   "greeter",
+		Server: srv,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			args[0]++
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	client := sys.Kernel().NewClientProgram("me", 0)
+
+	var args hurricane.Args
+	args[0] = 41
+	if err := client.Call(svc.EP(), &args); err != nil {
+		panic(err)
+	}
+	fmt.Println("result:", args[0], "rc:", args.RC())
+	// Output:
+	// result: 42 rc: 0
+}
+
+// Example_breakdown measures a warm user-to-user null call and prints
+// whether it lands in the paper's neighbourhood (32.4 us).
+func Example_breakdown() {
+	r, _ := hurricane.RunFigure2One(hurricane.Fig2Config{})
+	fmt.Println("within 15% of the paper:", r.TotalMicros > 32.4*0.85 && r.TotalMicros < 32.4*1.15)
+	// Output:
+	// within 15% of the paper: true
+}
+
+// Example_discovery shows the paper's naming flow: obtain an entry
+// point from Frank, register it with the name server, resolve and call
+// it from another program.
+func Example_discovery() {
+	sys, _ := hurricane.NewSystem(2)
+	sys.InstallNameServer(0)
+
+	owner := sys.Kernel().NewClientProgram("owner", 0)
+	prog := sys.Kernel().NewServerProgram("time.prog", 0)
+	svc, _ := owner.CreateService(hurricane.ServiceConfig{
+		Name:   "time",
+		Server: prog,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			args[0] = 19940101
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	hurricane.RegisterName(owner, "time", svc.EP())
+
+	client := sys.Kernel().NewClientProgram("user", 1)
+	ep, _ := hurricane.LookupName(client, "time")
+	var args hurricane.Args
+	client.Call(ep, &args)
+	fmt.Println(args[0])
+	// Output:
+	// 19940101
+}

@@ -1,0 +1,102 @@
+// Exceptions example: worker fault containment plus the paper's §4.4
+// use of upcalls for exception handling and debugging. A flaky server
+// crashes on some requests; each fault aborts only that call, destroys
+// only that worker, and is delivered to a registered exception server
+// as an upcall — while the kernel event trace shows the whole story.
+//
+// Run with:
+//
+//	go run ./examples/exceptions
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hurricane"
+	"hurricane/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "exceptions:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := hurricane.NewSystem(2)
+	if err != nil {
+		return err
+	}
+	k := sys.Kernel()
+
+	var events core.TraceBuffer
+	k.SetTracer(events.Record)
+
+	// The exception server: a debugger-like service that records
+	// fault notifications.
+	type faultReport struct {
+		ep  hurricane.EntryPointID
+		pid int
+	}
+	var reports []faultReport
+	excProg := k.NewServerProgram("debugger", 0)
+	exc, err := k.BindService(hurricane.ServiceConfig{
+		Name:   "debugger",
+		Server: excProg,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			reports = append(reports, faultReport{
+				ep:  hurricane.EntryPointID(args[0]),
+				pid: int(args[1]),
+			})
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	k.SetExceptionServer(exc.EP())
+
+	// A service that dereferences a wild pointer on unlucky input.
+	flakyProg := k.NewServerProgram("parser", 0)
+	flaky, err := k.BindService(hurricane.ServiceConfig{
+		Name:   "parser",
+		Server: flakyProg,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			if args[0]%5 == 3 {
+				panic("parser bug: wild pointer dereference")
+			}
+			args[1] = args[0] * 2
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	client := k.NewClientProgram("client", 0)
+	ok, faults := 0, 0
+	for i := uint32(0); i < 10; i++ {
+		var args hurricane.Args
+		args[0] = i
+		if err := client.Call(flaky.EP(), &args); err != nil {
+			faults++
+			fmt.Printf("request %d: FAULT contained (%v)\n", i, err)
+		} else {
+			ok++
+			fmt.Printf("request %d: ok, result %d\n", i, args[1])
+		}
+	}
+
+	fmt.Printf("\n%d requests served, %d faults — the parser service never went down\n", ok, faults)
+	fmt.Printf("exception server received %d upcall reports:\n", len(reports))
+	for _, r := range reports {
+		fmt.Printf("  worker fault at entry point %d, caller pid %d\n", r.ep, r.pid)
+	}
+	fmt.Printf("\nworkers created over the run: %d (each fault destroyed one; Frank replaced it)\n",
+		flaky.Stats.WorkersCreated)
+	fmt.Printf("kernel trace: %d fault events, %d worker-created events\n",
+		events.Count(core.EvFault), events.Count(core.EvWorkerCreated))
+	return nil
+}

@@ -1,0 +1,86 @@
+// Prefetch example: the paper's own use case for asynchronous PPCs
+// (§4.4) — "Asynchronous PPC requests are used, for example, to
+// initiate a file block prefetch request." A client streams through a
+// file, firing async prefetches for the blocks ahead while it
+// processes the current one; the caller is placed on the ready queue
+// instead of blocking in the worker's call descriptor.
+//
+// Run with:
+//
+//	go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hurricane"
+)
+
+// Prefetcher opcodes.
+const opPrefetch uint16 = 1
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefetch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := hurricane.NewSystem(2)
+	if err != nil {
+		return err
+	}
+	k := sys.Kernel()
+
+	// The prefetch service: a kernel-space block cache warmer.
+	var fetched []uint32
+	cache := map[uint32]bool{}
+	svc, err := k.BindService(hurricane.ServiceConfig{
+		Name:   "prefetcher",
+		Server: k.KernelServer(),
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			blk := args[0]
+			if !cache[blk] {
+				cache[blk] = true
+				fetched = append(fetched, blk)
+				ctx.Exec(200) // the simulated cost of starting the disk op
+			}
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	client := k.NewClientProgram("reader", 0)
+	p := client.P()
+	params := sys.Machine().Params()
+
+	// Sequential scan with lookahead 2.
+	const blocks = 8
+	const lookahead = 2
+	for blk := uint32(0); blk < blocks; blk++ {
+		// Fire prefetches for the window ahead; the async variant
+		// returns as soon as the request is handed to the worker.
+		for la := uint32(1); la <= lookahead && blk+la < blocks; la++ {
+			var args hurricane.Args
+			args[0] = blk + la
+			args.SetOp(opPrefetch, 0)
+			before := p.Now()
+			if err := client.AsyncCall(svc.EP(), &args); err != nil {
+				return err
+			}
+			fmt.Printf("prefetch block %d issued asynchronously (%.1f us, caller requeued, not blocked)\n",
+				blk+la, params.CyclesToMicros(p.Now()-before))
+		}
+		// "Process" the current block (charged as client compute).
+		p.Charge(500)
+	}
+
+	fmt.Printf("\nblocks prefetched in order: %v\n", fetched)
+	fmt.Printf("async requests serviced: %d; the client never blocked in a call descriptor\n",
+		svc.Stats.AsyncCalls)
+	return nil
+}

@@ -1,0 +1,103 @@
+// Replacement example: on-line replacement of an executing server
+// (paper §4.5.2) — the Exchange call swaps the implementation behind an
+// entry point while clients keep calling, and a soft kill later drains
+// and reclaims it without aborting anyone. The entry point ID never
+// changes, so clients that resolved it through the name server are
+// undisturbed.
+//
+// Run with:
+//
+//	go run ./examples/replacement
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hurricane"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replacement:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := hurricane.NewSystem(2)
+	if err != nil {
+		return err
+	}
+	k := sys.Kernel()
+	if _, err := sys.InstallNameServer(0); err != nil {
+		return err
+	}
+
+	// Version 1 of the "quotes" service.
+	admin := k.NewClientProgram("admin", 0)
+	prog := k.NewServerProgram("quotes", 0)
+	svc, err := admin.CreateService(hurricane.ServiceConfig{
+		Name:   "quotes",
+		Server: prog,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			args[0] = 1 // version
+			args[1] = 100 + args[1]%7
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := hurricane.RegisterName(admin, "quotes", svc.EP()); err != nil {
+		return err
+	}
+
+	client := k.NewClientProgram("client", 1)
+	ep, err := hurricane.LookupName(client, "quotes")
+	if err != nil {
+		return err
+	}
+
+	call := func(tag string) error {
+		var args hurricane.Args
+		args[1] = 3
+		if err := client.Call(ep, &args); err != nil {
+			return err
+		}
+		fmt.Printf("%s: served by v%d, quote=%d\n", tag, args[0], args[1])
+		return nil
+	}
+	if err := call("before exchange"); err != nil {
+		return err
+	}
+
+	// Exchange: same entry point, new implementation; pooled workers
+	// pick it up, clients notice nothing but the answers.
+	if err := admin.ExchangeService(ep, hurricane.ServiceConfig{
+		Name:   "quotes",
+		Server: prog,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			args[0] = 2
+			args[1] = 200 + args[1]%7
+			args.SetRC(hurricane.RCOK)
+		},
+	}); err != nil {
+		return err
+	}
+	if err := call("after exchange "); err != nil {
+		return err
+	}
+
+	// Retire the service gently: soft kill lets calls in progress
+	// complete and then reclaims every per-processor resource.
+	if err := admin.DestroyService(ep, false); err != nil {
+		return err
+	}
+	var args hurricane.Args
+	err = client.Call(ep, &args)
+	fmt.Printf("after soft kill: call fails cleanly (%v)\n", err)
+	fmt.Printf("workers created over the service's life: %d; all reclaimed\n",
+		svc.Stats.WorkersCreated)
+	return nil
+}

@@ -1,0 +1,43 @@
+package hurricane_test
+
+import (
+	"testing"
+
+	"hurricane"
+)
+
+// TestFacadeExperimentReexports drives the experiment entry points
+// through the public facade, the way a downstream user would.
+func TestFacadeExperimentReexports(t *testing.T) {
+	r, err := hurricane.RunFigure2One(hurricane.Fig2Config{KernelTarget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalMicros < 15 || r.TotalMicros > 30 {
+		t.Fatalf("facade Fig2 total = %.1f us", r.TotalMicros)
+	}
+
+	f3, err := hurricane.RunFigure3(2, hurricane.SingleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Points) != 2 || f3.Points[1].CallsPerSecond <= f3.Points[0].CallsPerSecond {
+		t.Fatalf("facade Fig3 points wrong: %+v", f3.Points)
+	}
+
+	numa, err := hurricane.RunNUMAAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(numa.LocalMicros) != 16 {
+		t.Fatalf("NUMA ablation points = %d", len(numa.LocalMicros))
+	}
+
+	li, err := hurricane.RunLockImpact(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.IPCLockAcquires != 0 {
+		t.Fatal("facade lock-impact reports IPC locks")
+	}
+}

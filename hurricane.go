@@ -1,0 +1,221 @@
+// Package hurricane is a library-quality reproduction of "Optimizing
+// IPC Performance for Shared-Memory Multiprocessors" (Gamsa, Krieger,
+// Stumm; CSRI-294, University of Toronto, 1994): the Protected
+// Procedure Call (PPC) IPC facility of the Hurricane operating system
+// on the Hector NUMA multiprocessor.
+//
+// The package exposes two tracks:
+//
+//   - The simulator track (this package): a deterministic cycle-cost
+//     model of the 16-processor Hector prototype with the full
+//     Hurricane PPC facility on top — per-processor worker and
+//     call-descriptor pools, service tables, Frank the resource
+//     manager, the name/file/copy/device servers — able to regenerate
+//     the paper's Figure 2 (cost breakdown) and Figure 3 (throughput
+//     scaling) and several ablations.
+//
+//   - The rt track (package hurricane/rt): a practical, real-
+//     concurrency PPC-style service-call library for Go programs,
+//     applying the paper's shared-nothing per-shard design to modern
+//     hardware.
+//
+// Quick start (simulator):
+//
+//	sys, _ := hurricane.NewSystem(16)
+//	srv := sys.Kernel().NewServerProgram("greeter", 0)
+//	svc, _ := sys.Kernel().BindService(hurricane.ServiceConfig{
+//		Name:   "greeter",
+//		Server: srv,
+//		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+//			args[0]++
+//			args.SetRC(hurricane.RCOK)
+//		},
+//	})
+//	client := sys.Kernel().NewClientProgram("me", 0)
+//	var args hurricane.Args
+//	client.Call(svc.EP(), &args)
+package hurricane
+
+import (
+	"hurricane/internal/core"
+	"hurricane/internal/experiments"
+	"hurricane/internal/machine"
+	"hurricane/internal/services/copyserver"
+	"hurricane/internal/services/devserver"
+	"hurricane/internal/services/fileserver"
+	"hurricane/internal/services/nameserver"
+)
+
+// Core PPC types, re-exported for public use.
+type (
+	// Args is the 8-word register argument block of a PPC (in and out).
+	Args = core.Args
+	// EntryPointID names a service entry point.
+	EntryPointID = core.EntryPointID
+	// ServiceConfig describes a service to bind.
+	ServiceConfig = core.ServiceConfig
+	// Service is a bound entry point.
+	Service = core.Service
+	// Server is a server program.
+	Server = core.Server
+	// Client is a client program bound to one processor.
+	Client = core.Client
+	// Ctx is the handler execution context.
+	Ctx = core.Ctx
+	// Handler is a service call-handling routine.
+	Handler = core.Handler
+	// Kernel is the simulated Hurricane kernel.
+	Kernel = core.Kernel
+	// Worker is a server worker process.
+	Worker = core.Worker
+	// CallError describes a failed call.
+	CallError = core.CallError
+
+	// Machine is the simulated Hector multiprocessor.
+	Machine = machine.Machine
+	// Params are the machine cost parameters.
+	Params = machine.Params
+	// Breakdown is a per-category cycle account.
+	Breakdown = machine.Breakdown
+	// Category is a Figure 2 cost category.
+	Category = machine.Category
+)
+
+// Well-known entry points and return codes.
+const (
+	// FrankEP is the kernel resource manager's entry point.
+	FrankEP = core.FrankEP
+	// NameServerEP is the name server's well-known entry point.
+	NameServerEP = core.NameServerEP
+	// NumArgWords is the register argument count (8 each way).
+	NumArgWords = core.NumArgWords
+
+	// RCOK is the success return code.
+	RCOK = core.RCOK
+	// RCBadEntryPoint: call to an unbound entry point.
+	RCBadEntryPoint = core.RCBadEntryPoint
+	// RCEntryKilled: call to a killed entry point.
+	RCEntryKilled = core.RCEntryKilled
+	// RCPermissionDenied: rejected by the server's authorization.
+	RCPermissionDenied = core.RCPermissionDenied
+)
+
+// DefaultParams returns the Hector prototype parameters (16.67 MHz
+// M88100, 16 KB 4-way caches, 16-byte lines, 27-cycle TLB miss,
+// ~1.7 us trap pair).
+func DefaultParams() Params { return machine.DefaultParams() }
+
+// System bundles a simulated machine with a booted Hurricane kernel.
+type System struct {
+	m *machine.Machine
+	k *core.Kernel
+}
+
+// NewSystem boots a system with n processors and default parameters.
+func NewSystem(n int) (*System, error) {
+	return NewSystemParams(n, machine.DefaultParams())
+}
+
+// NewSystemParams boots a system with explicit machine parameters.
+func NewSystemParams(n int, params Params) (*System, error) {
+	m, err := machine.New(n, params)
+	if err != nil {
+		return nil, err
+	}
+	return &System{m: m, k: core.NewKernel(m)}, nil
+}
+
+// Machine returns the simulated machine.
+func (s *System) Machine() *Machine { return s.m }
+
+// Kernel returns the booted kernel.
+func (s *System) Kernel() *Kernel { return s.k }
+
+// InstallNameServer installs the name server (paper §4.5.5) on node.
+func (s *System) InstallNameServer(node int) (*NameServer, error) {
+	return nameserver.Install(s.k, node)
+}
+
+// InstallFileServer installs Bob the file server on node.
+func (s *System) InstallFileServer(node int) (*FileServer, error) {
+	return fileserver.Install(s.k, node)
+}
+
+// InstallCopyServer installs the bulk-transfer CopyServer (paper §4.2).
+func (s *System) InstallCopyServer() (*CopyServer, error) {
+	return copyserver.Install(s.k)
+}
+
+// InstallDisk installs the disk device server (paper §4.3-4.4) with its
+// driver on processor home.
+func (s *System) InstallDisk(home int) (*Disk, error) {
+	return devserver.Install(s.k, home)
+}
+
+// Re-exported server types.
+type (
+	// NameServer maps service names to entry points.
+	NameServer = nameserver.Server
+	// FileServer is Bob, the Figure 3 file server.
+	FileServer = fileserver.Bob
+	// CopyServer performs granted bulk data transfers.
+	CopyServer = copyserver.CopyServer
+	// Disk is the interrupt-driven disk device server.
+	Disk = devserver.Disk
+)
+
+// Name-server client operations.
+var (
+	// RegisterName binds a name to an entry point via a PPC call.
+	RegisterName = nameserver.Register
+	// LookupName resolves a name via a PPC call.
+	LookupName = nameserver.Lookup
+)
+
+// File-server client operations.
+var (
+	// OpenFile opens (optionally creating) a file, returning a token.
+	OpenFile = fileserver.Open
+	// GetLength issues the Figure 3 request.
+	GetLength = fileserver.GetLength
+	// SetLength truncates or extends a file.
+	SetLength = fileserver.SetLength
+)
+
+// Experiment re-exports: the paper's figures and the ablations.
+type (
+	// Fig2Config selects one bar of Figure 2.
+	Fig2Config = experiments.Fig2Config
+	// Fig2Result is a measured Figure 2 breakdown.
+	Fig2Result = experiments.Fig2Result
+	// Fig3Mode selects a Figure 3 series.
+	Fig3Mode = experiments.Fig3Mode
+	// Fig3Result is a measured Figure 3 series.
+	Fig3Result = experiments.Fig3Result
+)
+
+// Figure 3 modes.
+const (
+	// DifferentFiles: every client touches its own file (linear).
+	DifferentFiles = experiments.DifferentFiles
+	// SingleFile: all clients touch one file (saturates at ~4).
+	SingleFile = experiments.SingleFile
+)
+
+// Experiment entry points.
+var (
+	// RunFigure2 measures the paper's eight breakdown configurations.
+	RunFigure2 = experiments.RunFigure2
+	// RunFigure2One measures a single configuration.
+	RunFigure2One = experiments.RunFigure2One
+	// RunFigure3 measures throughput at 1..n processors.
+	RunFigure3 = experiments.RunFigure3
+	// RunBaselineComparison contrasts PPC with the locked baseline.
+	RunBaselineComparison = experiments.RunBaselineComparison
+	// RunStackSharingAblation quantifies serial stack reuse.
+	RunStackSharingAblation = experiments.RunStackSharingAblation
+	// RunNUMAAblation quantifies the locality discipline.
+	RunNUMAAblation = experiments.RunNUMAAblation
+	// RunLockImpact profiles the single-file lock.
+	RunLockImpact = experiments.RunLockImpact
+)

@@ -1,0 +1,93 @@
+package hurricane_test
+
+import (
+	"testing"
+
+	"hurricane"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow
+// through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := hurricane.NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sys.Kernel().NewServerProgram("greeter", 0)
+	svc, err := sys.Kernel().BindService(hurricane.ServiceConfig{
+		Name:   "greeter",
+		Server: srv,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			args[0]++
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := sys.Kernel().NewClientProgram("me", 0)
+	var args hurricane.Args
+	args[0] = 41
+	if err := client.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 42 || args.RC() != hurricane.RCOK {
+		t.Fatalf("args[0]=%d rc=%d", args[0], args.RC())
+	}
+}
+
+// TestPublicAPIServers installs every system server through the facade.
+func TestPublicAPIServers(t *testing.T) {
+	sys, err := hurricane.NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.InstallNameServer(0); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := sys.InstallFileServer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.InstallCopyServer(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.InstallDisk(1); err != nil {
+		t.Fatal(err)
+	}
+
+	c := sys.Kernel().NewClientProgram("c", 2)
+	if err := bob.RegisterName(c); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := hurricane.LookupName(c, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := hurricane.OpenFile(c, ep, "x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hurricane.SetLength(c, ep, tok, 123); err != nil {
+		t.Fatal(err)
+	}
+	n, err := hurricane.GetLength(c, ep, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 123 {
+		t.Fatalf("length = %d", n)
+	}
+}
+
+// TestPublicAPIParamsValidation covers NewSystemParams.
+func TestPublicAPIParamsValidation(t *testing.T) {
+	p := hurricane.DefaultParams()
+	p.CacheLineSize = 13
+	if _, err := hurricane.NewSystemParams(2, p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := hurricane.NewSystem(0); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+}

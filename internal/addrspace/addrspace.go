@@ -1,0 +1,398 @@
+// Package addrspace implements simulated address spaces for the
+// Hurricane kernel model: two-level page tables in simulated kernel
+// memory, map/unmap/protect operations that charge page-table walks and
+// TLB maintenance, and address-space switching with the dual-context TLB
+// semantics of the M88200 (switching between two *user* spaces flushes
+// the user TLB context; entering the kernel does not).
+package addrspace
+
+import (
+	"fmt"
+
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+)
+
+// Prot is a page protection bit set.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// RW is the common read-write protection.
+const RW = ProtRead | ProtWrite
+
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// allows reports whether the protection permits the access kind.
+func (p Prot) allows(kind machine.AccessKind) bool {
+	if kind.IsWrite() {
+		return p&ProtWrite != 0
+	}
+	return p&ProtRead != 0
+}
+
+// PTE is a page-table entry.
+type PTE struct {
+	Frame machine.Addr
+	Prot  Prot
+	Valid bool
+}
+
+const (
+	leafEntries  = 1024
+	pteSizeBytes = 4 // one word per PTE, as on the 88200 tables
+)
+
+type leafTable struct {
+	base    machine.Addr // simulated address of the table
+	entries map[uint32]PTE
+}
+
+// AddressSpace is one protection domain.
+type AddressSpace struct {
+	id     int
+	name   string
+	kernel bool
+	node   int // home node of the page tables
+
+	rootBase machine.Addr
+	leaves   map[uint32]*leafTable
+
+	// OnFault, when non-nil, is invoked on an access to an unmapped or
+	// protection-violating page; returning true means the fault was
+	// repaired (e.g. a stack page was grown, paper §4.5.4) and the
+	// access retries once.
+	OnFault func(p *machine.Processor, as *AddressSpace, va machine.Addr, kind machine.AccessKind) bool
+
+	mappedPages int
+}
+
+// ID returns the space identifier.
+func (as *AddressSpace) ID() int { return as.id }
+
+// Name returns the diagnostic name.
+func (as *AddressSpace) Name() string { return as.name }
+
+// IsKernel reports whether this is the supervisor address space.
+func (as *AddressSpace) IsKernel() bool { return as.kernel }
+
+// MappedPages returns the number of valid mappings.
+func (as *AddressSpace) MappedPages() int { return as.mappedPages }
+
+// Manager owns all address spaces of one machine, the per-processor
+// current-space registers, and the simulated code for the mapping
+// primitives.
+type Manager struct {
+	layout *mem.Layout
+	nextID int
+
+	kernelSpace *AddressSpace
+	current     []*AddressSpace
+	// userOwner tracks, per processor, which user space's translations
+	// occupy the user TLB context. Entering the kernel does not change
+	// it; installing a *different* user space requires a flush.
+	userOwner []*AddressSpace
+
+	segMap    *machine.CodeSeg
+	segUnmap  *machine.CodeSeg
+	segSwitch *machine.CodeSeg
+
+	// Statistics.
+	Maps, Unmaps, Switches, UserTLBFlushes int64
+}
+
+// NewManager creates the manager and the kernel address space; every
+// processor starts in the kernel space.
+func NewManager(layout *mem.Layout) *Manager {
+	m := layout.Machine()
+	mgr := &Manager{
+		layout:    layout,
+		current:   make([]*AddressSpace, m.NumProcs()),
+		userOwner: make([]*AddressSpace, m.NumProcs()),
+		segMap:    m.NewCodeSeg("vm.map", 12),
+		segUnmap:  m.NewCodeSeg("vm.unmap", 10),
+		segSwitch: m.NewCodeSeg("vm.switch", 10),
+	}
+	mgr.kernelSpace = mgr.NewSpace("kernel", 0)
+	mgr.kernelSpace.kernel = true
+	for i := range mgr.current {
+		mgr.current[i] = mgr.kernelSpace
+	}
+	return mgr
+}
+
+// KernelSpace returns the supervisor address space.
+func (mgr *Manager) KernelSpace() *AddressSpace { return mgr.kernelSpace }
+
+// Layout returns the memory layout (for co-located allocations).
+func (mgr *Manager) Layout() *mem.Layout { return mgr.layout }
+
+// NewSpace creates an address space whose page tables live on the given
+// node.
+func (mgr *Manager) NewSpace(name string, node int) *AddressSpace {
+	as := &AddressSpace{
+		id:       mgr.nextID,
+		name:     name,
+		node:     node,
+		rootBase: mgr.layout.AllocAligned(node, leafEntries*pteSizeBytes),
+		leaves:   make(map[uint32]*leafTable),
+	}
+	mgr.nextID++
+	return as
+}
+
+// Current returns the space processor p is executing in.
+func (mgr *Manager) Current(p *machine.Processor) *AddressSpace {
+	return mgr.current[p.ID()]
+}
+
+// pageSize returns the machine page size.
+func (mgr *Manager) pageSize() int { return mgr.layout.PageSize() }
+
+// split returns the two-level indices of a virtual page number.
+func split(vpn uint32) (top, low uint32) { return vpn / leafEntries, vpn % leafEntries }
+
+// pteAddr returns the simulated address of the PTE for vpn, creating
+// the leaf table if asked. New leaf tables are homed on createNode —
+// the node of the processor installing the first mapping — mirroring
+// Hurricane's distribution of kernel data: the leaf covering a
+// processor's worker-stack slots ends up in that processor's local
+// memory.
+func (mgr *Manager) pteAddr(as *AddressSpace, vpn uint32, create bool, createNode int) (machine.Addr, *leafTable, bool) {
+	top, low := split(vpn)
+	leaf, ok := as.leaves[top]
+	if !ok {
+		if !create {
+			return 0, nil, false
+		}
+		leaf = &leafTable{
+			base:    mgr.layout.AllocAligned(createNode, leafEntries*pteSizeBytes),
+			entries: make(map[uint32]PTE),
+		}
+		as.leaves[top] = leaf
+	}
+	return leaf.base + machine.Addr(low*pteSizeBytes), leaf, true
+}
+
+// Map installs a mapping va -> frame with the given protection. It
+// charges the two-level table walk and the PTE store. va and frame must
+// be page-aligned.
+func (mgr *Manager) Map(p *machine.Processor, as *AddressSpace, va, frame machine.Addr, prot Prot) {
+	ps := mgr.pageSize()
+	if uint32(va)%uint32(ps) != 0 || uint32(frame)%uint32(ps) != 0 {
+		panic(fmt.Sprintf("addrspace: unaligned map va=%#x frame=%#x", uint32(va), uint32(frame)))
+	}
+	mgr.Maps++
+	p.Exec(mgr.segMap, mgr.segMap.Instrs)
+	vpn := va.Page(ps)
+	// Root lookup (load) then PTE store.
+	top, low := split(vpn)
+	p.Access(as.rootBase+machine.Addr(top*pteSizeBytes), pteSizeBytes, machine.Load)
+	addr, leaf, _ := mgr.pteAddr(as, vpn, true, p.ID())
+	p.Access(addr, pteSizeBytes, machine.Store)
+	old := leaf.entries[low]
+	if !old.Valid {
+		as.mappedPages++
+	}
+	leaf.entries[low] = PTE{Frame: frame, Prot: prot, Valid: true}
+}
+
+// MapDirect installs a mapping through a cached pointer to the PTE slot
+// (no root walk, shorter path) — the special-cased stack remap of the
+// PPC fast path, where the kernel keeps the worker's stack-slot PTE
+// address in the worker record.
+func (mgr *Manager) MapDirect(p *machine.Processor, as *AddressSpace, va, frame machine.Addr, prot Prot) {
+	ps := mgr.pageSize()
+	if uint32(va)%uint32(ps) != 0 || uint32(frame)%uint32(ps) != 0 {
+		panic(fmt.Sprintf("addrspace: unaligned map va=%#x frame=%#x", uint32(va), uint32(frame)))
+	}
+	mgr.Maps++
+	p.Exec(mgr.segMap, 7)
+	vpn := va.Page(ps)
+	_, low := split(vpn)
+	addr, leaf, _ := mgr.pteAddr(as, vpn, true, p.ID())
+	p.Access(addr, pteSizeBytes, machine.Store)
+	if !leaf.entries[low].Valid {
+		as.mappedPages++
+	}
+	leaf.entries[low] = PTE{Frame: frame, Prot: prot, Valid: true}
+}
+
+// UnmapDirect removes a mapping through the cached PTE slot pointer,
+// with the local TLB shootdown, and returns the frame.
+func (mgr *Manager) UnmapDirect(p *machine.Processor, as *AddressSpace, va machine.Addr) machine.Addr {
+	ps := mgr.pageSize()
+	if uint32(va)%uint32(ps) != 0 {
+		panic(fmt.Sprintf("addrspace: unaligned unmap va=%#x", uint32(va)))
+	}
+	mgr.Unmaps++
+	p.Exec(mgr.segUnmap, 6)
+	vpn := va.Page(ps)
+	_, low := split(vpn)
+	addr, leaf, ok := mgr.pteAddr(as, vpn, false, p.ID())
+	if !ok || !leaf.entries[low].Valid {
+		panic(fmt.Sprintf("addrspace: unmap of unmapped page va=%#x in %s", uint32(va), as.name))
+	}
+	p.Access(addr, pteSizeBytes, machine.Store)
+	pte := leaf.entries[low]
+	leaf.entries[low] = PTE{}
+	as.mappedPages--
+
+	ctx := machine.TLBUser
+	if as.kernel {
+		ctx = machine.TLBSupervisor
+	}
+	p.DTLB().FlushPage(ctx, vpn)
+	p.ITLB().FlushPage(ctx, vpn)
+	p.Charge(4)
+	return pte.Frame
+}
+
+// Unmap removes the mapping for va, charging the PTE store and the TLB
+// shootdown of the page on the executing processor. It returns the frame
+// that was mapped.
+func (mgr *Manager) Unmap(p *machine.Processor, as *AddressSpace, va machine.Addr) machine.Addr {
+	ps := mgr.pageSize()
+	if uint32(va)%uint32(ps) != 0 {
+		panic(fmt.Sprintf("addrspace: unaligned unmap va=%#x", uint32(va)))
+	}
+	mgr.Unmaps++
+	p.Exec(mgr.segUnmap, mgr.segUnmap.Instrs)
+	vpn := va.Page(ps)
+	top, low := split(vpn)
+	p.Access(as.rootBase+machine.Addr(top*pteSizeBytes), pteSizeBytes, machine.Load)
+	addr, leaf, ok := mgr.pteAddr(as, vpn, false, p.ID())
+	if !ok || !leaf.entries[low].Valid {
+		panic(fmt.Sprintf("addrspace: unmap of unmapped page va=%#x in %s", uint32(va), as.name))
+	}
+	p.Access(addr, pteSizeBytes, machine.Store)
+	pte := leaf.entries[low]
+	leaf.entries[low] = PTE{}
+	as.mappedPages--
+
+	// TLB shootdown of the page (local processor; cross-processor
+	// shootdown is done via remote interrupts by the caller when needed).
+	ctx := machine.TLBUser
+	if as.kernel {
+		ctx = machine.TLBSupervisor
+	}
+	p.DTLB().FlushPage(ctx, vpn)
+	p.ITLB().FlushPage(ctx, vpn)
+	p.Charge(4) // the ptc (probe TLB and clear) operation
+
+	return pte.Frame
+}
+
+// Protect changes the protection of an existing mapping (e.g. sealing
+// a grant region read-only), charging the PTE rewrite and the local TLB
+// shootdown so stale access rights cannot linger.
+func (mgr *Manager) Protect(p *machine.Processor, as *AddressSpace, va machine.Addr, prot Prot) {
+	ps := mgr.pageSize()
+	if uint32(va)%uint32(ps) != 0 {
+		panic(fmt.Sprintf("addrspace: unaligned protect va=%#x", uint32(va)))
+	}
+	p.Exec(mgr.segMap, 8)
+	vpn := va.Page(ps)
+	_, low := split(vpn)
+	addr, leaf, ok := mgr.pteAddr(as, vpn, false, p.ID())
+	if !ok || !leaf.entries[low].Valid {
+		panic(fmt.Sprintf("addrspace: protect of unmapped page va=%#x in %s", uint32(va), as.name))
+	}
+	p.Access(addr, pteSizeBytes, machine.Store)
+	pte := leaf.entries[low]
+	pte.Prot = prot
+	leaf.entries[low] = pte
+
+	ctx := machine.TLBUser
+	if as.kernel {
+		ctx = machine.TLBSupervisor
+	}
+	p.DTLB().FlushPage(ctx, vpn)
+	p.ITLB().FlushPage(ctx, vpn)
+	p.Charge(4)
+}
+
+// Translate resolves a virtual address without charging (the hardware
+// walk cost is charged where the access happens, via TLB misses).
+func (mgr *Manager) Translate(as *AddressSpace, va machine.Addr) (machine.Addr, Prot, bool) {
+	ps := mgr.pageSize()
+	vpn := va.Page(ps)
+	top, low := split(vpn)
+	leaf, ok := as.leaves[top]
+	if !ok {
+		return 0, 0, false
+	}
+	pte := leaf.entries[low]
+	if !pte.Valid {
+		return 0, 0, false
+	}
+	return pte.Frame + machine.Addr(uint32(va)%uint32(ps)), pte.Prot, true
+}
+
+// Access performs a simulated access to user virtual memory in the given
+// space: it translates page by page, charges through the processor's
+// cache/TLB model, and invokes the space's fault handler on unmapped or
+// protection-violating pages. It panics on an unrepaired fault — the
+// simulated equivalent of an uncaught exception.
+func (mgr *Manager) Access(p *machine.Processor, as *AddressSpace, va machine.Addr, size int, kind machine.AccessKind) {
+	ps := mgr.pageSize()
+	for size > 0 {
+		inPage := ps - int(uint32(va)%uint32(ps))
+		n := size
+		if n > inPage {
+			n = inPage
+		}
+		pa, prot, ok := mgr.Translate(as, va)
+		if !ok || !prot.allows(kind) {
+			repaired := false
+			if as.OnFault != nil {
+				repaired = as.OnFault(p, as, va, kind)
+			}
+			if repaired {
+				pa, prot, ok = mgr.Translate(as, va)
+			}
+			if !ok || !prot.allows(kind) {
+				panic(fmt.Sprintf("addrspace: fault at va=%#x (%s) in %s", uint32(va), kind, as.name))
+			}
+		}
+		p.AccessAt(va, pa, n, kind)
+		va += machine.Addr(n)
+		size -= n
+	}
+}
+
+// SwitchTo changes the space processor p executes user code in. The
+// dual-context M88200 TLB holds one user space and the supervisor space:
+// entering or leaving the kernel space costs nothing extra, but
+// installing a *different* user space than the one whose translations
+// occupy the user context requires flushing that context — the source of
+// the user-to-user PPC premium in Figure 2.
+func (mgr *Manager) SwitchTo(p *machine.Processor, to *AddressSpace) {
+	mgr.Switches++
+	p.Exec(mgr.segSwitch, mgr.segSwitch.Instrs)
+	if !to.kernel {
+		if owner := mgr.userOwner[p.ID()]; owner != nil && owner != to {
+			p.FlushUserTLB()
+			mgr.UserTLBFlushes++
+		}
+		mgr.userOwner[p.ID()] = to
+	}
+	mgr.current[p.ID()] = to
+}

@@ -1,0 +1,266 @@
+package addrspace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+)
+
+func setup(t *testing.T, procs int) (*machine.Machine, *Manager) {
+	t.Helper()
+	m := machine.MustNew(procs, machine.DefaultParams())
+	return m, NewManager(mem.NewLayout(m))
+}
+
+func TestProtString(t *testing.T) {
+	if RW.String() != "rw-" {
+		t.Fatalf("RW = %q", RW.String())
+	}
+	if (ProtRead | ProtExec).String() != "r-x" {
+		t.Fatalf("r-x = %q", (ProtRead | ProtExec).String())
+	}
+}
+
+func TestMapTranslateUnmap(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	layout := mgr.Layout()
+	frame := layout.GetFrame(0)
+
+	va := machine.Addr(0x00400000)
+	mgr.Map(p, as, va, frame, RW)
+	if as.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d", as.MappedPages())
+	}
+	pa, prot, ok := mgr.Translate(as, va+0x123)
+	if !ok || pa != frame+0x123 || prot != RW {
+		t.Fatalf("Translate = %#x,%v,%v", uint32(pa), prot, ok)
+	}
+
+	got := mgr.Unmap(p, as, va)
+	if got != frame {
+		t.Fatalf("Unmap returned %#x, want %#x", uint32(got), uint32(frame))
+	}
+	if _, _, ok := mgr.Translate(as, va); ok {
+		t.Fatal("translation survived unmap")
+	}
+	layout.PutFrame(0, frame)
+}
+
+func TestUnmapUnmappedPanics(t *testing.T) {
+	m, mgr := setup(t, 1)
+	as := mgr.NewSpace("user", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmap of unmapped page did not panic")
+		}
+	}()
+	mgr.Unmap(m.Proc(0), as, 0x00400000)
+}
+
+func TestUnalignedMapPanics(t *testing.T) {
+	m, mgr := setup(t, 1)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned map did not panic")
+		}
+	}()
+	mgr.Map(m.Proc(0), as, 0x00400004, frame, RW)
+}
+
+func TestAccessThroughMapping(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	va := machine.Addr(0x00400000)
+	mgr.Map(p, as, va, frame, RW)
+
+	mgr.Access(p, as, va+16, 8, machine.Store)
+	// The physically indexed cache now holds the *frame* line.
+	if !p.DCache().Contains(frame + 16) {
+		t.Fatal("access did not reach the mapped frame in the cache")
+	}
+}
+
+func TestAccessCrossesPages(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	ps := mgr.Layout().PageSize()
+	f1 := mgr.Layout().GetFrame(0)
+	f2 := mgr.Layout().GetFrame(0)
+	va := machine.Addr(0x00400000)
+	mgr.Map(p, as, va, f1, RW)
+	mgr.Map(p, as, va+machine.Addr(ps), f2, RW)
+
+	// An access spanning the page boundary touches both frames.
+	mgr.Access(p, as, va+machine.Addr(ps-4), 8, machine.Store)
+	if !p.DCache().Contains(f1+machine.Addr(ps-4)) || !p.DCache().Contains(f2) {
+		t.Fatal("cross-page access did not touch both frames")
+	}
+}
+
+func TestAccessFaultsWithoutMapping(t *testing.T) {
+	m, mgr := setup(t, 1)
+	as := mgr.NewSpace("user", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access to unmapped page did not panic")
+		}
+	}()
+	mgr.Access(m.Proc(0), as, 0x00400000, 4, machine.Load)
+}
+
+func TestProtectionViolationFaults(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	va := machine.Addr(0x00400000)
+	mgr.Map(p, as, va, frame, ProtRead)
+	mgr.Access(p, as, va, 4, machine.Load) // read OK
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to read-only page did not panic")
+		}
+	}()
+	mgr.Access(p, as, va, 4, machine.Store)
+}
+
+func TestFaultHandlerRepairs(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	va := machine.Addr(0x00400000)
+	faults := 0
+	as.OnFault = func(fp *machine.Processor, fas *AddressSpace, fva machine.Addr, kind machine.AccessKind) bool {
+		faults++
+		frame := mgr.Layout().GetFrame(0)
+		page := machine.Addr(uint32(fva) &^ uint32(mgr.Layout().PageSize()-1))
+		mgr.Map(fp, fas, page, frame, RW)
+		return true
+	}
+	mgr.Access(p, as, va+8, 4, machine.Store) // demand-grows the page
+	if faults != 1 {
+		t.Fatalf("faults = %d, want 1", faults)
+	}
+	mgr.Access(p, as, va+8, 4, machine.Load) // no further fault
+	if faults != 1 {
+		t.Fatalf("faults = %d after second access, want 1", faults)
+	}
+}
+
+func TestSwitchBetweenUserSpacesFlushesUserTLB(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	a := mgr.NewSpace("a", 0)
+	b := mgr.NewSpace("b", 0)
+
+	mgr.SwitchTo(p, a)
+	if mgr.UserTLBFlushes != 0 {
+		t.Fatal("first user space installation should not flush")
+	}
+	mgr.SwitchTo(p, b)
+	if mgr.UserTLBFlushes != 1 {
+		t.Fatalf("user->user switch flushes = %d, want 1", mgr.UserTLBFlushes)
+	}
+	// Re-entering the same space: no flush.
+	mgr.SwitchTo(p, b)
+	if mgr.UserTLBFlushes != 1 {
+		t.Fatal("same-space switch should not flush")
+	}
+}
+
+func TestKernelExcursionDoesNotFlush(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	a := mgr.NewSpace("a", 0)
+
+	mgr.SwitchTo(p, a)
+	mgr.SwitchTo(p, mgr.KernelSpace())
+	mgr.SwitchTo(p, a) // back to the same user space
+	if mgr.UserTLBFlushes != 0 {
+		t.Fatalf("user->kernel->same-user flushed %d times, want 0", mgr.UserTLBFlushes)
+	}
+	if mgr.Current(p) != a {
+		t.Fatal("current space wrong after excursion")
+	}
+}
+
+func TestKernelExcursionToOtherUserFlushesOnce(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	a := mgr.NewSpace("a", 0)
+	b := mgr.NewSpace("b", 0)
+	mgr.SwitchTo(p, a)
+	mgr.SwitchTo(p, mgr.KernelSpace())
+	mgr.SwitchTo(p, b)
+	if mgr.UserTLBFlushes != 1 {
+		t.Fatalf("flushes = %d, want 1", mgr.UserTLBFlushes)
+	}
+}
+
+func TestUnmapShootsDownTLBEntry(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	va := machine.Addr(0x00400000)
+	ps := mgr.Layout().PageSize()
+	mgr.Map(p, as, va, frame, RW)
+	mgr.Access(p, as, va, 4, machine.Load)
+	vpn := va.Page(ps)
+	if !p.DTLB().Resident(machine.TLBUser, vpn) {
+		t.Fatal("translation not resident after access")
+	}
+	mgr.Unmap(p, as, va)
+	if p.DTLB().Resident(machine.TLBUser, vpn) {
+		t.Fatal("translation survived unmap shootdown")
+	}
+}
+
+// Property: Translate is consistent with the sequence of Map/Unmap
+// operations for arbitrary page sets.
+func TestTranslateConsistencyProperty(t *testing.T) {
+	m, mgr := setup(t, 1)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	ps := mgr.Layout().PageSize()
+	mapped := make(map[uint32]machine.Addr)
+
+	f := func(pages []uint8) bool { // <=256 distinct pages: bounds frame usage
+		for _, pg := range pages {
+			va := machine.Addr(uint32(pg)) * machine.Addr(ps)
+			if fr, ok := mapped[uint32(pg)]; ok {
+				if got := mgr.Unmap(p, as, va); got != fr {
+					return false
+				}
+				mgr.Layout().PutFrame(0, fr)
+				delete(mapped, uint32(pg))
+			} else {
+				fr := mgr.Layout().GetFrame(0)
+				mgr.Map(p, as, va, fr, RW)
+				mapped[uint32(pg)] = fr
+			}
+			// Every mapped page translates; this page's state is fresh.
+			pa, _, ok := mgr.Translate(as, va)
+			if _, want := mapped[uint32(pg)]; want {
+				if !ok || pa != mapped[uint32(pg)] {
+					return false
+				}
+			} else if ok {
+				return false
+			}
+		}
+		return as.MappedPages() == len(mapped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package addrspace
+
+import (
+	"testing"
+
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+)
+
+func TestProtectDowngradesAccess(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	mgr := NewManager(mem.NewLayout(m))
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	va := machine.Addr(0x00400000)
+	mgr.Map(p, as, va, frame, RW)
+	mgr.Access(p, as, va, 4, machine.Store) // writable
+
+	mgr.Protect(p, as, va, ProtRead)
+	mgr.Access(p, as, va, 4, machine.Load) // still readable
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write after Protect(read-only) did not fault")
+		}
+	}()
+	mgr.Access(p, as, va, 4, machine.Store)
+}
+
+func TestProtectShootsDownTLB(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	mgr := NewManager(mem.NewLayout(m))
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	va := machine.Addr(0x00400000)
+	ps := mgr.Layout().PageSize()
+	mgr.Map(p, as, va, frame, RW)
+	mgr.Access(p, as, va, 4, machine.Load)
+	if !p.DTLB().Resident(machine.TLBUser, va.Page(ps)) {
+		t.Fatal("translation not resident")
+	}
+	mgr.Protect(p, as, va, ProtRead)
+	if p.DTLB().Resident(machine.TLBUser, va.Page(ps)) {
+		t.Fatal("stale translation survived Protect")
+	}
+}
+
+func TestProtectUnmappedPanics(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	mgr := NewManager(mem.NewLayout(m))
+	as := mgr.NewSpace("user", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("protect of unmapped page did not panic")
+		}
+	}()
+	mgr.Protect(m.Proc(0), as, 0x00400000, ProtRead)
+}
+
+func TestMapDirectEquivalence(t *testing.T) {
+	// MapDirect/UnmapDirect must be semantically identical to
+	// Map/Unmap, just cheaper.
+	m := machine.MustNew(1, machine.DefaultParams())
+	mgr := NewManager(mem.NewLayout(m))
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	va := machine.Addr(0x00400000)
+
+	mgr.MapDirect(p, as, va, frame, RW)
+	pa, prot, ok := mgr.Translate(as, va+8)
+	if !ok || pa != frame+8 || prot != RW {
+		t.Fatalf("MapDirect translate = %#x,%v,%v", uint32(pa), prot, ok)
+	}
+	if as.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d", as.MappedPages())
+	}
+
+	// Warm both paths, then compare costs.
+	mgr.UnmapDirect(p, as, va)
+	mgr.Map(p, as, va, frame, RW)
+	mgr.Unmap(p, as, va)
+
+	before := p.Now()
+	mgr.Map(p, as, va, frame, RW)
+	mgr.Unmap(p, as, va)
+	full := p.Now() - before
+
+	before = p.Now()
+	mgr.MapDirect(p, as, va, frame, RW)
+	mgr.UnmapDirect(p, as, va)
+	direct := p.Now() - before
+
+	if direct >= full {
+		t.Fatalf("direct map/unmap (%d cy) should beat the full walk (%d cy)", direct, full)
+	}
+}
+
+func TestUnmapDirectUnmappedPanics(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	mgr := NewManager(mem.NewLayout(m))
+	as := mgr.NewSpace("user", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnmapDirect of unmapped page did not panic")
+		}
+	}()
+	mgr.UnmapDirect(m.Proc(0), as, 0x00400000)
+}
+
+func TestAlignmentPanics(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	mgr := NewManager(mem.NewLayout(m))
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	frame := mgr.Layout().GetFrame(0)
+	for _, f := range []func(){
+		func() { mgr.MapDirect(p, as, 0x00400004, frame, RW) },
+		func() { mgr.UnmapDirect(p, as, 0x00400004) },
+		func() { mgr.Protect(p, as, 0x00400004, ProtRead) },
+		func() { mgr.Unmap(p, as, 0x00400004) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unaligned operation accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,112 @@
+// Package core implements the paper's primary contribution: the
+// Protected Procedure Call (PPC) facility. In the PPC model a client is
+// thought of as crossing directly into the server's address space; the
+// implementation uses per-processor worker processes and call
+// descriptors so that, in the common case, a call touches no shared
+// data and acquires no locks — every resource needed to complete a call
+// is owned and accessed exclusively by the local processor.
+package core
+
+import "fmt"
+
+// NumArgWords is the number of words passed in registers in each
+// direction on a PPC (the paper's "explicit transfer of 8 words in both
+// directions").
+const NumArgWords = 8
+
+// Args is the register argument block of a call: 8 words in, and — the
+// call mutates the same variables, as with the paper's PPC_CALL macro —
+// 8 words out. By convention (paper §4.5.1), the last word carries the
+// packed opcode and flags on entry and the return code on exit.
+type Args [NumArgWords]uint32
+
+// OpFlagsWord is the index of the conventional opcode/flags word.
+const OpFlagsWord = NumArgWords - 1
+
+// OpFlags packs a service-specific opcode and flag bits into the
+// conventional last argument word (the paper's PPC_OP_FLAGS macro).
+func OpFlags(op uint16, flags uint16) uint32 {
+	return uint32(op)<<16 | uint32(flags)
+}
+
+// Op extracts the opcode from a packed opcode/flags word.
+func Op(w uint32) uint16 { return uint16(w >> 16) }
+
+// Flags extracts the flag bits from a packed opcode/flags word.
+func Flags(w uint32) uint16 { return uint16(w) }
+
+// RC extracts the return code placed in the conventional word by the
+// server (the paper's PPC_RC macro).
+func (a *Args) RC() uint32 { return a[OpFlagsWord] }
+
+// SetRC sets the conventional return-code word.
+func (a *Args) SetRC(rc uint32) { a[OpFlagsWord] = rc }
+
+// SetOp sets the conventional opcode/flags word for a request.
+func (a *Args) SetOp(op uint16, flags uint16) { a[OpFlagsWord] = OpFlags(op, flags) }
+
+// EntryPointID names a service entry point. Entry point IDs are small
+// integers used to index the per-processor service table directly; they
+// are safe to use as names because authentication is performed by each
+// server, not by the PPC facility (paper §4.1, §4.5.5).
+type EntryPointID uint16
+
+// MaxEntryPoints bounds the direct-indexed service table (1024 in the
+// paper's implementation, giving fast direct indexing at an acceptable
+// per-processor space overhead).
+const MaxEntryPoints = 1024
+
+// MaxExtendedEntryPoints bounds the total ID space including the
+// hashed overflow table the paper sketches as future work (§4.5.5):
+// "using a fixed sized array ... to directly locate service entry
+// points that require high performance, and using a more complex data
+// structure (e.g. hash table with overflow buckets) to locate service
+// entry points for the rest." IDs in [MaxEntryPoints,
+// MaxExtendedEntryPoints) take the slower hashed lookup.
+const MaxExtendedEntryPoints = 65536
+
+// extHashBuckets sizes the per-processor overflow hash table.
+const extHashBuckets = 256
+
+// Well-known entry points.
+const (
+	// FrankEP is the kernel-level resource manager (paper §4.5.6).
+	FrankEP EntryPointID = 0
+	// NameServerEP is the name server's well-known entry point
+	// (paper §4.5.5).
+	NameServerEP EntryPointID = 1
+	// firstDynamicEP is where Frank starts allocating unused IDs.
+	firstDynamicEP EntryPointID = 2
+)
+
+// Return codes shared by the kernel services.
+const (
+	RCOK uint32 = iota
+	RCBadEntryPoint
+	RCEntryKilled
+	RCPermissionDenied
+	RCNoResources
+	RCBadRequest
+	RCServerFault
+)
+
+// RCString names a return code for diagnostics.
+func RCString(rc uint32) string {
+	switch rc {
+	case RCOK:
+		return "ok"
+	case RCBadEntryPoint:
+		return "bad entry point"
+	case RCEntryKilled:
+		return "entry point killed"
+	case RCPermissionDenied:
+		return "permission denied"
+	case RCNoResources:
+		return "no resources"
+	case RCBadRequest:
+		return "bad request"
+	case RCServerFault:
+		return "server fault"
+	}
+	return fmt.Sprintf("rc(%d)", rc)
+}

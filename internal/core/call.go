@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+// callKind distinguishes the PPC variants of paper §4.4. They share one
+// implementation: the variants differ only in how the caller side is
+// linked (blocked in the CD, placed on the ready queue, or absent).
+type callKind int
+
+const (
+	// callSync blocks the caller until the worker returns.
+	callSync callKind = iota
+	// callAsync puts the caller on the ready queue; caller and worker
+	// proceed independently.
+	callAsync
+	// callInterrupt is an asynchronous request manufactured by an
+	// interrupt handler on behalf of a device; there is no caller.
+	callInterrupt
+	// callUpcall is a software interrupt triggered by an arbitrary
+	// system event; there is no caller.
+	callUpcall
+)
+
+func (k callKind) String() string {
+	switch k {
+	case callSync:
+		return "sync"
+	case callAsync:
+		return "async"
+	case callInterrupt:
+		return "interrupt"
+	case callUpcall:
+		return "upcall"
+	}
+	return "invalid"
+}
+
+// call is the PPC fast path. In the common case it touches only
+// processor-local data: the local service-table replica, the local
+// worker pool, the local CD pool, and the local ready queue. It
+// acquires no locks (interrupts are implicitly disabled inside the
+// trap) and accesses no shared data, so its cost is independent of what
+// every other processor is doing — the property Figures 2 and 3 rest
+// on.
+func (k *Kernel) call(p *machine.Processor, caller *proc.Process, ep EntryPointID, args *Args, kind callKind) error {
+	pp := k.perProc[p.ID()]
+	fromKernel := p.Mode() == machine.ModeSupervisor
+	hasCaller := kind == callSync || kind == callAsync
+	if hasCaller && caller == nil {
+		panic("core: sync/async call without a caller process")
+	}
+
+	// --- User-level stub: save the registers the call may clobber on
+	// the caller's user stack, load opcode/flags, trap (Figure 4).
+	if !fromKernel {
+		p.PushCat(machine.CatUserSaveRestore)
+		p.Exec(k.segs.stubCall, k.segs.stubCall.Instrs)
+		k.vm.Access(p, caller.Space(), caller.UserStackVA-userSaveBytes, userSaveBytes, machine.Store)
+		p.PopCat()
+		p.Trap()
+	}
+
+	// --- PPC kernel entry: direct-index the local service table for
+	// IDs below MaxEntryPoints; higher IDs take the hashed overflow
+	// table, paying the probe and chain walk (the §4.5.5 two-tier
+	// scheme: the fixed array for services that need top performance,
+	// the hash table for the rest).
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(k.segs.entry, k.segs.entry.Instrs)
+	if ep < MaxEntryPoints {
+		p.Access(pp.svcTable+machine.Addr(uint32(ep)*4), 4, machine.Load)
+	} else {
+		p.Exec(k.segs.entry, 8) // hash computation
+		b := int(ep) % extHashBuckets
+		p.Access(pp.extTable+machine.Addr(b*8), 8, machine.Load)
+		// Walk the overflow chain: one record load per hop.
+		for hop := 0; hop < pp.extChain[b]; hop++ {
+			p.Access(pp.extTable+machine.Addr((extHashBuckets+b+hop)*8), 8, machine.Load)
+		}
+	}
+	svc := k.Service(ep)
+	var le *localEntry
+	if svc != nil {
+		le = pp.entry(ep)
+	}
+	if svc == nil || le == nil {
+		p.PopCat()
+		return k.failCall(p, caller, args, fromKernel, ep, RCBadEntryPoint)
+	}
+	k.emit(EvCallStart, p.Now(), p.ID(), ep, kind.String())
+	p.Access(le.addr, 12, machine.Load)
+	if svc.state != SvcActive {
+		p.PopCat()
+		return k.failCall(p, caller, args, fromKernel, ep, RCEntryKilled)
+	}
+
+	// --- Worker allocation from the local pool; an empty pool
+	// redirects to Frank, who creates and initializes a new worker and
+	// forwards the call (paper §4.5.6).
+	p.Exec(k.segs.workerAlloc, k.segs.workerAlloc.Instrs)
+	var w *Worker
+	if n := len(le.workers); n > 0 {
+		w = le.workers[n-1]
+		le.workers = le.workers[:n-1]
+		p.Access(le.addr, 4, machine.Store)
+	} else {
+		svc.Stats.FrankRedirects++
+		k.emit(EvRedirect, p.Now(), p.ID(), ep, "empty worker pool")
+		w = k.frankProvisionWorker(p, svc, le)
+	}
+	p.PopCat()
+
+	// --- Call descriptor: either the worker permanently holds one
+	// (with its stack already mapped), or one is popped from the local
+	// trust-group pool and the caller's return information is stored
+	// into it.
+	p.PushCat(machine.CatCDManipulation)
+	var cd *CallDescriptor
+	held := w.heldCD != nil
+	if held {
+		p.Exec(k.segs.cdAlloc, 4)
+		p.Access(w.addr, 8, machine.Load)
+		cd = w.heldCD
+	} else {
+		p.Exec(k.segs.cdAlloc, k.segs.cdAlloc.Instrs)
+		pool := k.cdPoolFor(p.ID(), svc.trustGroup)
+		p.Access(pool.addr, 8, machine.Load)
+		if n := len(pool.free); n > 0 {
+			cd = pool.free[n-1]
+			pool.free = pool.free[:n-1]
+			p.Access(pool.addr, 4, machine.Store)
+		} else {
+			// Frank manufactures a new CD (and stack page) from local
+			// memory.
+			p.Exec(k.segs.frank, 20)
+			cd = k.newCD(p.ID())
+			pool.created++
+			p.Access(cd.addr, cdStructSize, machine.Store)
+		}
+		// Store the return information for the calling process (one
+		// cache line: PC, SP, PSR, process pointer).
+		p.Access(cd.addr, 16, machine.Store)
+	}
+	cd.caller = caller
+	cd.async = kind != callSync
+	p.PopCat()
+
+	// --- Map the CD's physical page as the worker's stack in the
+	// server's address space (skipped when the worker holds its stack).
+	if !held {
+		p.PushCat(machine.CatTLBSetup)
+		k.vm.MapDirect(p, svc.server.space, w.topStackPageVA(k), cd.frame, addrspace.RW)
+		for i, f := range w.extraFrames {
+			k.vm.MapDirect(p, svc.server.space, w.stackVA+machine.Addr(i*k.layout.PageSize()), f, addrspace.RW)
+		}
+		p.PopCat()
+	}
+
+	// --- Save the minimum caller state for the process switch; link
+	// the caller per variant: blocked in the CD (sync), on the ready
+	// queue (async), or absent (interrupt/upcall).
+	if hasCaller {
+		p.PushCat(machine.CatKernelSaveRestore)
+		k.procs.SaveMinimalState(p, caller)
+		p.PopCat()
+		if kind == callAsync {
+			p.PushCat(machine.CatPPCKernel)
+			p.Exec(k.segs.async, k.segs.async.Instrs)
+			k.sched.Enqueue(p, caller)
+			p.PopCat()
+		} else {
+			caller.SetState(proc.StateBlocked)
+		}
+	} else {
+		p.PushCat(machine.CatPPCKernel)
+		p.Exec(k.segs.async, k.segs.async.Instrs)
+		p.PopCat()
+	}
+
+	// --- Hand off to the worker: switch to the server's space (free
+	// into the kernel; a user-TLB flush only between distinct user
+	// spaces) and upcall directly into the service routine.
+	p.PushCat(machine.CatTLBSetup)
+	k.vm.SwitchTo(p, svc.server.space)
+	p.PopCat()
+	k.sched.SetCurrent(p, w.process)
+
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(k.segs.upcall, k.segs.upcall.Instrs)
+	p.PopCat()
+
+	svc.inProgress++
+	switch kind {
+	case callSync:
+		svc.Stats.Calls++
+		k.Stats.Calls++
+	case callAsync:
+		svc.Stats.AsyncCalls++
+		k.Stats.AsyncCalls++
+	case callInterrupt:
+		svc.Stats.Interrupts++
+		k.Stats.Interrupts++
+	case callUpcall:
+		svc.Stats.Upcalls++
+		k.Stats.Upcalls++
+	}
+
+	// --- The worker executes the server's call-handling code. A
+	// user-space server is entered by returning from the trap into the
+	// upcall; it traps again to return. A kernel server runs inside
+	// the trap.
+	userServer := !svc.server.IsKernel()
+	if userServer {
+		p.ReturnFromTrap()
+	}
+
+	var authErr error
+	faulted := false
+	p.PushCat(machine.CatServerTime)
+	ctx := &Ctx{k: k, p: p, worker: w, svc: svc, kind: kind}
+	if hasCaller {
+		ctx.CallerProgram = caller.ProgramID()
+		ctx.CallerPID = caller.PID()
+		ctx.caller = caller
+	}
+	// Handler prologue: the worker saves a few registers on its (just
+	// mapped) stack — this is where the per-call stack TLB miss and the
+	// recycled page's cache lines show up.
+	p.Exec(svc.handlerSeg, svc.handlerInstrs)
+	ctx.Stack(0, 16, machine.Store)
+	if svc.authorize != nil && !svc.authorize(ctx.CallerProgram) {
+		svc.Stats.AuthFailures++
+		args.SetRC(RCPermissionDenied)
+		authErr = callErr(kind.String(), ep, RCPermissionDenied)
+	} else {
+		// Exceptions raised against the worker while executing in the
+		// server (a Go panic here stands for a memory fault or other
+		// exception in server code) abort this call only: the worker
+		// is discarded, the server and other calls are unaffected —
+		// the failure-mode isolation the paper adopts worker processes
+		// for (§2).
+		faulted = runHandlerIsolated(p, w, ctx, args)
+		if faulted {
+			svc.Stats.Faults++
+			args.SetRC(RCServerFault)
+			authErr = callErr(kind.String(), ep, RCServerFault)
+			k.emit(EvFault, p.Now(), p.ID(), ep, "handler exception contained")
+		}
+	}
+	if !faulted {
+		ctx.Stack(0, 16, machine.Load) // epilogue: restore
+	}
+	w.Calls++
+	p.PopCat()
+
+	if userServer && p.Mode() == machine.ModeUser {
+		p.Trap() // the server's return trap (or the exception trap)
+	}
+	svc.inProgress--
+
+	// --- Return path: unmap the stack, recycle CD and worker into
+	// their pools, and give the processor back.
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(k.segs.ret, k.segs.ret.Instrs)
+	p.PopCat()
+
+	if !held {
+		p.PushCat(machine.CatTLBSetup)
+		k.vm.UnmapDirect(p, svc.server.space, w.topStackPageVA(k))
+		for i := range w.extraFrames {
+			k.vm.UnmapDirect(p, svc.server.space, w.stackVA+machine.Addr(i*k.layout.PageSize()))
+		}
+		p.PopCat()
+	}
+
+	p.PushCat(machine.CatCDManipulation)
+	if !held {
+		p.Exec(k.segs.cdFree, k.segs.cdFree.Instrs)
+		pool := k.cdPoolFor(p.ID(), svc.trustGroup)
+		p.Access(pool.addr, 4, machine.Store)
+		pool.free = append(pool.free, cd)
+	}
+	cd.caller = nil
+	p.Exec(k.segs.workerFree, k.segs.workerFree.Instrs)
+	// A faulted worker is destroyed (its state is suspect); likewise a
+	// hard kill may have torn the entry down while the call was in
+	// progress. Otherwise the worker returns to its pool.
+	if !faulted && svc.state != SvcDead && k.perProc[p.ID()].entry(ep) == le {
+		p.Access(le.addr, 4, machine.Store)
+		le.workers = append(le.workers, w)
+	} else {
+		k.releaseWorker(p, w)
+	}
+	p.PopCat()
+
+	if svc.pendingDestroy && svc.inProgress == 0 {
+		k.reclaimService(p, svc)
+	}
+
+	// --- Resume: the synchronous caller is unblocked and restored; for
+	// the other variants the fact that no caller is waiting is
+	// discovered and another process is selected for execution.
+	switch kind {
+	case callSync:
+		p.PushCat(machine.CatTLBSetup)
+		k.vm.SwitchTo(p, caller.Space())
+		p.PopCat()
+		p.PushCat(machine.CatKernelSaveRestore)
+		k.procs.RestoreMinimalState(p, caller)
+		p.PopCat()
+		k.sched.SetCurrent(p, caller)
+		if !fromKernel {
+			p.ReturnFromTrap()
+			p.PushCat(machine.CatUserSaveRestore)
+			p.Exec(k.segs.stubRet, k.segs.stubRet.Instrs)
+			k.vm.Access(p, caller.Space(), caller.UserStackVA-userSaveBytes, userSaveBytes, machine.Load)
+			p.PopCat()
+		}
+	default:
+		k.resumeNext(p, fromKernel)
+	}
+	k.emit(EvCallEnd, p.Now(), p.ID(), ep, kind.String())
+
+	// Exception reporting (§4.4): a worker fault is delivered to the
+	// registered exception server as an upcall, after the failed call
+	// has fully unwound. Only from user context — a fault inside a
+	// nested kernel-path call surfaces through its outer call instead —
+	// and never recursively for the exception server's own faults.
+	if faulted && k.exceptionEP != 0 && ep != k.exceptionEP && p.Mode() == machine.ModeUser {
+		var eargs Args
+		eargs[0] = uint32(ep)
+		eargs[1] = uint32(ctx.CallerPID)
+		eargs[2] = uint32(kind)
+		eargs.SetOp(ExcOpWorkerFault, 0)
+		// Delivery failures (e.g. the exception server was killed) are
+		// deliberately swallowed: exception reporting is best-effort.
+		_ = k.Upcall(p.ID(), k.exceptionEP, &eargs, k.sched.Current(p))
+	}
+	return authErr
+}
+
+// ExcOpWorkerFault is the opcode of fault-notification upcalls sent to
+// the registered exception server.
+const ExcOpWorkerFault uint16 = 0xE0
+
+// runHandlerIsolated invokes the worker's handler with exception
+// containment: a panic raised by handler code (standing for a memory
+// fault or other exception against the worker) is caught, the
+// cost-attribution stack is unwound, and true is returned. Panics that
+// surface after the privilege mode changed underneath the handler come
+// from the call machinery itself, not server code, and are re-raised:
+// those are simulator bugs, not simulated exceptions.
+func runHandlerIsolated(p *machine.Processor, w *Worker, ctx *Ctx, args *Args) (faulted bool) {
+	depth := p.CatDepth()
+	entryMode := p.Mode()
+	defer func() {
+		if r := recover(); r != nil {
+			if p.Mode() != entryMode {
+				panic(r)
+			}
+			p.RestoreCatDepth(depth)
+			// The exception itself costs a trap-like excursion plus
+			// the kernel's exception triage.
+			p.Charge(40)
+			faulted = true
+		}
+	}()
+	w.handler(ctx, args)
+	return false
+}
+
+// resumeNext selects the next ready process after an async, interrupt,
+// or upcall request completes with no caller waiting.
+func (k *Kernel) resumeNext(p *machine.Processor, fromKernel bool) {
+	p.PushCat(machine.CatPPCKernel)
+	next := k.sched.Dequeue(p)
+	p.PopCat()
+	if next != nil {
+		p.PushCat(machine.CatTLBSetup)
+		k.vm.SwitchTo(p, next.Space())
+		p.PopCat()
+		p.PushCat(machine.CatKernelSaveRestore)
+		k.procs.RestoreMinimalState(p, next)
+		p.PopCat()
+		k.sched.SetCurrent(p, next)
+	} else {
+		k.sched.SetCurrent(p, nil)
+	}
+	if !fromKernel {
+		p.ReturnFromTrap()
+		if next != nil {
+			p.PushCat(machine.CatUserSaveRestore)
+			p.Exec(k.segs.stubRet, k.segs.stubRet.Instrs)
+			k.vm.Access(p, next.Space(), next.UserStackVA-userSaveBytes, userSaveBytes, machine.Load)
+			p.PopCat()
+		}
+	}
+}
+
+// failCall unwinds a call that could not be delivered (unbound or
+// killed entry point), balancing the trap.
+func (k *Kernel) failCall(p *machine.Processor, caller *proc.Process, args *Args, fromKernel bool, ep EntryPointID, rc uint32) error {
+	args.SetRC(rc)
+	if !fromKernel {
+		p.ReturnFromTrap()
+		p.PushCat(machine.CatUserSaveRestore)
+		p.Exec(k.segs.stubRet, k.segs.stubRet.Instrs)
+		if caller != nil {
+			k.vm.Access(p, caller.Space(), caller.UserStackVA-userSaveBytes, userSaveBytes, machine.Load)
+		}
+		p.PopCat()
+	}
+	return callErr("call", ep, rc)
+}
+
+// DispatchInterrupt integrates interrupt dispatching into the PPC
+// facility (paper §4.4): the interrupt handler manufactures an
+// asynchronous request from the kernel to the device server's entry
+// point. From the server's point of view it is a normal PPC request.
+// interrupted, when non-nil, is the process whose execution was
+// interrupted; it is saved and requeued.
+func (k *Kernel) DispatchInterrupt(procID int, ep EntryPointID, args *Args, interrupted *proc.Process) error {
+	p := k.m.Proc(procID)
+	p.Trap() // the interrupt itself
+	if interrupted != nil {
+		p.PushCat(machine.CatKernelSaveRestore)
+		k.procs.SaveMinimalState(p, interrupted)
+		p.PopCat()
+		p.PushCat(machine.CatPPCKernel)
+		k.sched.Enqueue(p, interrupted)
+		p.PopCat()
+	}
+	err := k.call(p, nil, ep, args, callInterrupt)
+	if p.Mode() == machine.ModeSupervisor {
+		p.ReturnFromTrap()
+	}
+	return err
+}
+
+// Upcall delivers a software interrupt: identical machinery to
+// interrupt dispatch but triggered by an arbitrary system event —
+// used for debugging and exception delivery (paper §4.4).
+func (k *Kernel) Upcall(procID int, ep EntryPointID, args *Args, interrupted *proc.Process) error {
+	p := k.m.Proc(procID)
+	p.Trap()
+	if interrupted != nil {
+		p.PushCat(machine.CatKernelSaveRestore)
+		k.procs.SaveMinimalState(p, interrupted)
+		p.PopCat()
+		p.PushCat(machine.CatPPCKernel)
+		k.sched.Enqueue(p, interrupted)
+		p.PopCat()
+	}
+	err := k.call(p, nil, ep, args, callUpcall)
+	if p.Mode() == machine.ModeSupervisor {
+		p.ReturnFromTrap()
+	}
+	return err
+}
+
+// CrossCall issues a PPC whose service must execute on another
+// processor (paper §4.3: rare, used for devices and low-level kernel
+// functions). The requester posts the request into the target's memory
+// (uncached remote stores) and interrupts it; the target dispatches the
+// request as an interrupt-manufactured PPC on its own clock. The
+// requester's clock advances past the posting; the service executes in
+// the target's virtual time.
+func (k *Kernel) CrossCall(requesterProc int, targetProc int, ep EntryPointID, args *Args) error {
+	if targetProc < 0 || targetProc >= k.m.NumProcs() {
+		return fmt.Errorf("core: cross-call target %d out of range", targetProc)
+	}
+	req := k.m.Proc(requesterProc)
+	k.Stats.CrossCalls++
+	if targetProc == requesterProc {
+		return k.call(req, k.sched.Current(req), ep, args, callSync)
+	}
+	// Post request words and raise the remote interrupt: the 8 argument
+	// words plus a request header, written uncached into the target's
+	// local memory.
+	target := k.m.Proc(targetProc)
+	pp := k.perProc[targetProc]
+	req.Access(pp.svcTable, 4+NumArgWords*4, machine.SharedStore)
+
+	// The target services it when its clock reaches the request (the
+	// discrete-event engines order this; standalone use just runs it
+	// now on the target's clock).
+	target.AdvanceTo(req.Now())
+	return k.DispatchInterrupt(targetProc, ep, args, k.sched.Current(target))
+}

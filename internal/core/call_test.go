@@ -1,0 +1,530 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hurricane/internal/machine"
+)
+
+// testEnv bundles a booted kernel with a client and a dummy service.
+type testEnv struct {
+	m *machine.Machine
+	k *Kernel
+}
+
+func newEnv(t *testing.T, procs int) *testEnv {
+	t.Helper()
+	m := machine.MustNew(procs, machine.DefaultParams())
+	return &testEnv{m: m, k: NewKernel(m)}
+}
+
+// nullHandler is the paper's dummy server: the prologue/epilogue charges
+// are made by the facility; the body does nothing extra.
+func nullHandler(ctx *Ctx, args *Args) {
+	args.SetRC(RCOK)
+}
+
+func (e *testEnv) bindNull(t *testing.T, name string, userSpace bool, mutate func(*ServiceConfig)) *Service {
+	t.Helper()
+	server := e.k.KernelServer()
+	if userSpace {
+		server = e.k.NewServerProgram(name+".prog", 0)
+	}
+	cfg := ServiceConfig{Name: name, Server: server, Handler: nullHandler}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := e.k.BindService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestNullCallRoundTrip(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "null", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+
+	var args Args
+	args[0], args[1] = 7, 35
+	args.SetOp(9, 0)
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != RCOK {
+		t.Fatalf("rc = %s", RCString(args.RC()))
+	}
+	if svc.Stats.Calls != 1 {
+		t.Fatalf("Calls = %d", svc.Stats.Calls)
+	}
+	if c.P().Now() == 0 {
+		t.Fatal("call charged no cycles")
+	}
+	// The trap balance must be restored.
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("processor stuck in supervisor mode after call")
+	}
+}
+
+func TestCallPassesEightWordsBothWays(t *testing.T) {
+	e := newEnv(t, 1)
+	echo := func(ctx *Ctx, args *Args) {
+		for i := 0; i < NumArgWords-1; i++ {
+			args[i] = args[i] + 1000
+		}
+		args.SetRC(RCOK)
+	}
+	server := e.k.NewServerProgram("echo.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{Name: "echo", Server: server, Handler: echo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+
+	var args Args
+	for i := 0; i < NumArgWords-1; i++ {
+		args[i] = uint32(i)
+	}
+	args.SetOp(1, 2)
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < NumArgWords-1; i++ {
+		if args[i] != uint32(i)+1000 {
+			t.Fatalf("arg %d = %d, want %d", i, args[i], i+1000)
+		}
+	}
+}
+
+func TestOpFlagsPacking(t *testing.T) {
+	w := OpFlags(0xBEEF, 0x1234)
+	if Op(w) != 0xBEEF || Flags(w) != 0x1234 {
+		t.Fatalf("packing broken: op=%#x flags=%#x", Op(w), Flags(w))
+	}
+	var a Args
+	a.SetOp(7, 3)
+	if Op(a[OpFlagsWord]) != 7 || Flags(a[OpFlagsWord]) != 3 {
+		t.Fatal("SetOp broken")
+	}
+	a.SetRC(RCNoResources)
+	if a.RC() != RCNoResources {
+		t.Fatal("SetRC/RC broken")
+	}
+}
+
+func TestBadEntryPointFails(t *testing.T) {
+	e := newEnv(t, 1)
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	err := c.Call(999, &args)
+	if !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("err = %v, want bad entry point", err)
+	}
+	if args.RC() != RCBadEntryPoint {
+		t.Fatalf("rc = %s", RCString(args.RC()))
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("failed call left processor in supervisor mode")
+	}
+}
+
+func TestFirstCallCreatesWorkerViaFrank(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "null", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+
+	if got := e.k.WorkerPoolSize(0, svc.EP()); got != 0 {
+		t.Fatalf("pool should start empty, got %d", got)
+	}
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats.FrankRedirects != 1 || svc.Stats.WorkersCreated != 1 {
+		t.Fatalf("redirects=%d created=%d, want 1/1", svc.Stats.FrankRedirects, svc.Stats.WorkersCreated)
+	}
+	if got := e.k.WorkerPoolSize(0, svc.EP()); got != 1 {
+		t.Fatalf("pool size after call = %d, want 1", got)
+	}
+	// Second call reuses the pooled worker — no new redirect.
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats.FrankRedirects != 1 {
+		t.Fatalf("redirects = %d after warm call, want 1", svc.Stats.FrankRedirects)
+	}
+}
+
+func TestWarmCallIsCheaperAndSteady(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "null", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+	p := c.P()
+
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil { // cold: worker creation etc.
+		t.Fatal(err)
+	}
+	cold := p.Now()
+
+	measure := func() int64 {
+		before := p.Now()
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now() - before
+	}
+	w1 := measure()
+	w2 := measure()
+	w3 := measure()
+	if w1 >= cold {
+		t.Fatalf("warm call (%d) not cheaper than cold boot sequence (%d)", w1, cold)
+	}
+	if w2 != w3 {
+		t.Fatalf("steady-state calls differ: %d vs %d (nondeterminism?)", w2, w3)
+	}
+}
+
+func TestCallIsDeterministic(t *testing.T) {
+	run := func() int64 {
+		m := machine.MustNew(2, machine.DefaultParams())
+		k := NewKernel(m)
+		server := k.NewServerProgram("s", 0)
+		svc, err := k.BindService(ServiceConfig{Name: "s", Server: server, Handler: nullHandler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := k.NewClientProgram("c", 0)
+		var args Args
+		for i := 0; i < 5; i++ {
+			if err := c.Call(svc.EP(), &args); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.P().Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical runs diverged: %d vs %d cycles", a, b)
+	}
+}
+
+func TestUserToKernelCheaperThanUserToUser(t *testing.T) {
+	e := newEnv(t, 1)
+	user := e.bindNull(t, "usr", true, nil)
+	kern := e.bindNull(t, "krn", false, nil)
+	c := e.k.NewClientProgram("client", 0)
+	p := c.P()
+
+	var args Args
+	// Warm both paths.
+	for i := 0; i < 3; i++ {
+		if err := c.Call(user.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Call(kern.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := func(ep EntryPointID) int64 {
+		before := p.Now()
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now() - before
+	}
+	// Measure each twice in alternation so the user-to-user TLB flush
+	// penalty (which hits the *other* path's entries too) is steady.
+	u2u := cost(user.EP())
+	u2k := cost(kern.EP())
+	if u2k >= u2u {
+		t.Fatalf("user-to-kernel (%d cy) should be cheaper than user-to-user (%d cy)", u2k, u2u)
+	}
+}
+
+func TestHoldCDIsCheaper(t *testing.T) {
+	e := newEnv(t, 1)
+	pooled := e.bindNull(t, "pooled", true, nil)
+	held := e.bindNull(t, "held", true, func(cfg *ServiceConfig) { cfg.HoldCD = true })
+	c := e.k.NewClientProgram("client", 0)
+	p := c.P()
+
+	var args Args
+	for i := 0; i < 3; i++ {
+		if err := c.Call(pooled.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Call(held.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := func(ep EntryPointID) int64 {
+		before := p.Now()
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now() - before
+	}
+	cPooled := cost(pooled.EP())
+	cHeld := cost(held.EP())
+	if cHeld >= cPooled {
+		t.Fatalf("held-CD call (%d cy) should be cheaper than pooled (%d cy)", cHeld, cPooled)
+	}
+	// The paper reports 2-3 us saved; accept a generous 1-5 us band.
+	params := e.m.Params()
+	saved := params.CyclesToMicros(cPooled - cHeld)
+	if saved < 1 || saved > 5 {
+		t.Fatalf("held-CD saving = %.1f us, want within [1,5]", saved)
+	}
+}
+
+func TestCommonCaseTouchesNoRemoteMemory(t *testing.T) {
+	// The locality claim: a warm call on processor 3 must not access
+	// any address homed on another node (besides replicated code).
+	e := newEnv(t, 4)
+	server := e.k.NewServerProgram("s", 3)
+	svc, err := e.k.BindService(ServiceConfig{Name: "s", Server: server, Handler: nullHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 3)
+	p := c.P()
+
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	// In the steady state the call must add zero idle and be entirely
+	// local: we verify by checking the cost equals the same call made
+	// on a single-processor machine (where everything is trivially
+	// local).
+	before := p.Now()
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	multi := p.Now() - before
+
+	e1 := newEnv(t, 1)
+	server1 := e1.k.NewServerProgram("s", 0)
+	svc1, err := e1.k.BindService(ServiceConfig{Name: "s", Server: server1, Handler: nullHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := e1.k.NewClientProgram("client", 0)
+	if err := c1.Call(svc1.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	before = c1.P().Now()
+	if err := c1.Call(svc1.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	single := c1.P().Now() - before
+	if multi != single {
+		t.Fatalf("warm call on proc 3 of 4 costs %d cy, on 1-proc machine %d cy: remote accesses leaked into the fast path", multi, single)
+	}
+}
+
+func TestAuthorizationHook(t *testing.T) {
+	e := newEnv(t, 1)
+	allowed := uint32(0)
+	svc := e.bindNull(t, "secure", true, func(cfg *ServiceConfig) {
+		cfg.Authorize = func(prog uint32) bool { return prog == allowed }
+	})
+	good := e.k.NewClientProgram("good", 0)
+	allowed = good.Process().ProgramID()
+	bad := e.k.NewClientProgram("bad", 0)
+
+	var args Args
+	if err := good.Call(svc.EP(), &args); err != nil {
+		t.Fatalf("authorized caller rejected: %v", err)
+	}
+	err := bad.Call(svc.EP(), &args)
+	if !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("err = %v, want permission denied", err)
+	}
+	if args.RC() != RCPermissionDenied {
+		t.Fatalf("rc = %s", RCString(args.RC()))
+	}
+	if svc.Stats.AuthFailures != 1 {
+		t.Fatalf("AuthFailures = %d", svc.Stats.AuthFailures)
+	}
+	if bad.P().Mode() != machine.ModeUser {
+		t.Fatal("denied call left supervisor mode")
+	}
+}
+
+func TestNestedCallServerAsClient(t *testing.T) {
+	e := newEnv(t, 1)
+	inner := e.bindNull(t, "inner", true, nil)
+	outerServer := e.k.NewServerProgram("outer.prog", 0)
+	var nestedErr error
+	outer, err := e.k.BindService(ServiceConfig{
+		Name:   "outer",
+		Server: outerServer,
+		Handler: func(ctx *Ctx, args *Args) {
+			var in Args
+			in[0] = args[0] * 2
+			nestedErr = ctx.Call(inner.EP(), &in)
+			args[1] = in[0]
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	args[0] = 21
+	if err := c.Call(outer.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if nestedErr != nil {
+		t.Fatalf("nested call failed: %v", nestedErr)
+	}
+	if args[1] != 42 {
+		t.Fatalf("nested result = %d, want 42", args[1])
+	}
+	if inner.Stats.Calls != 1 || outer.Stats.Calls != 1 {
+		t.Fatal("call counts wrong")
+	}
+	if e.k.Stats.NestedCalls != 1 {
+		t.Fatalf("NestedCalls = %d", e.k.Stats.NestedCalls)
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance after nested call")
+	}
+}
+
+func TestCDPoolSharedAcrossServices(t *testing.T) {
+	// Two services in the same trust group on one processor serially
+	// share call descriptors (and hence stack pages).
+	e := newEnv(t, 1)
+	a := e.bindNull(t, "a", true, nil)
+	b := e.bindNull(t, "b", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+
+	var args Args
+	if err := c.Call(a.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(b.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	// Both calls drew from the same default pool: no extra CDs created
+	// beyond the boot preallocation.
+	if got := e.k.CDPoolSize(0, 0); got != initialCDsPerProc {
+		t.Fatalf("CD pool size = %d, want %d", got, initialCDsPerProc)
+	}
+}
+
+func TestTrustGroupsSegregateCDs(t *testing.T) {
+	e := newEnv(t, 1)
+	a := e.bindNull(t, "a", true, func(cfg *ServiceConfig) { cfg.TrustGroup = 1 })
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(a.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	// Group 1 had no preallocated CDs: one was created on demand and
+	// returned to group 1's pool, not group 0's.
+	if got := e.k.CDPoolSize(0, 1); got != 1 {
+		t.Fatalf("group-1 pool = %d, want 1", got)
+	}
+	if got := e.k.CDPoolSize(0, 0); got != initialCDsPerProc {
+		t.Fatalf("group-0 pool disturbed: %d", got)
+	}
+}
+
+func TestMultiPageStacks(t *testing.T) {
+	e := newEnv(t, 1)
+	ps := e.k.Layout().PageSize()
+	touched := false
+	server := e.k.NewServerProgram("big.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:       "big",
+		Server:     server,
+		StackPages: 3,
+		Handler: func(ctx *Ctx, args *Args) {
+			// Touch deep into the second and third stack pages.
+			ctx.Stack(ps+64, 32, machine.Store)
+			ctx.Stack(2*ps+64, 32, machine.Store)
+			touched = true
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if !touched {
+		t.Fatal("handler did not run")
+	}
+	// After return the extra pages are unmapped again.
+	if server.Space().MappedPages() != 0 {
+		t.Fatalf("stack pages leaked: %d still mapped", server.Space().MappedPages())
+	}
+}
+
+func TestWorkerInitHandlerRunsOnce(t *testing.T) {
+	e := newEnv(t, 1)
+	server := e.k.NewServerProgram("init.prog", 0)
+	inits, calls := 0, 0
+	var steady Handler
+	steady = func(ctx *Ctx, args *Args) {
+		calls++
+		args.SetRC(RCOK)
+	}
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "init",
+		Server: server,
+		InitHandler: func(ctx *Ctx, args *Args) {
+			inits++
+			ctx.SetHandler(steady)
+			steady(ctx, args) // handle this first call too
+		},
+		Handler: steady,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	for i := 0; i < 4; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inits != 1 {
+		t.Fatalf("init ran %d times, want 1", inits)
+	}
+	if calls != 4 {
+		t.Fatalf("steady handler ran %d times, want 4", calls)
+	}
+}
+
+func TestPerProcessorPoolsAreIndependent(t *testing.T) {
+	e := newEnv(t, 2)
+	svc := e.bindNull(t, "null", true, nil)
+	c0 := e.k.NewClientProgram("c0", 0)
+	c1 := e.k.NewClientProgram("c1", 1)
+
+	var args Args
+	if err := c0.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	// Each processor created its own worker.
+	if svc.Stats.WorkersCreated != 2 {
+		t.Fatalf("WorkersCreated = %d, want 2 (one per processor)", svc.Stats.WorkersCreated)
+	}
+	if e.k.WorkerPoolSize(0, svc.EP()) != 1 || e.k.WorkerPoolSize(1, svc.EP()) != 1 {
+		t.Fatal("per-processor pools wrong")
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hurricane/internal/machine"
+)
+
+// chaosRun drives a kernel through a script of operations decoded from
+// a byte string: service creation (with random configurations), calls,
+// async calls, interrupts, exchanges, kills, and pool trims. It returns
+// the final virtual clock sum (a determinism fingerprint) and checks
+// structural invariants along the way.
+func chaosRun(t *testing.T, script []byte, procs int) int64 {
+	t.Helper()
+	m := machine.MustNew(procs, machine.DefaultParams())
+	k := NewKernel(m)
+
+	clients := make([]*Client, procs)
+	for i := range clients {
+		clients[i] = k.NewClientProgram(fmt.Sprintf("c%d", i), i)
+	}
+	baselineFrames := make([]int, procs)
+	for i := range baselineFrames {
+		baselineFrames[i] = k.Layout().FramesInUse(i)
+	}
+
+	var services []*Service
+	mkService := func(b byte) {
+		cfg := ServiceConfig{
+			Name:     fmt.Sprintf("svc%d", len(services)),
+			Handler:  func(ctx *Ctx, args *Args) { args.SetRC(RCOK) },
+			HoldCD:   b&1 != 0,
+			Extended: b&8 != 0,
+		}
+		if b&2 != 0 {
+			cfg.Server = k.KernelServer()
+		} else {
+			cfg.Server = k.NewServerProgram(cfg.Name+".prog", int(b)%procs)
+		}
+		if b&4 != 0 {
+			cfg.TrustGroup = 1
+		}
+		if b&16 != 0 {
+			cfg.StackPages = 2
+		}
+		svc, err := k.BindService(cfg)
+		if err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		services = append(services, svc)
+	}
+	mkService(0) // always at least one service
+
+	alive := func() []*Service {
+		var out []*Service
+		for _, s := range services {
+			if s.State() == SvcActive {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	for pc := 0; pc+1 < len(script); pc += 2 {
+		op, arg := script[pc], script[pc+1]
+		c := clients[int(arg)%procs]
+		live := alive()
+		switch op % 8 {
+		case 0, 1, 2, 3: // weighted toward calls
+			if len(live) == 0 {
+				continue
+			}
+			svc := live[int(arg)%len(live)]
+			var args Args
+			if err := c.Call(svc.EP(), &args); err != nil {
+				t.Fatalf("call: %v", err)
+			}
+		case 4:
+			if len(live) == 0 {
+				continue
+			}
+			svc := live[int(arg)%len(live)]
+			var args Args
+			if err := c.AsyncCall(svc.EP(), &args); err != nil {
+				t.Fatalf("async: %v", err)
+			}
+		case 5:
+			if len(services) < 6 {
+				mkService(arg)
+			}
+		case 6:
+			if len(live) > 1 { // keep one alive
+				svc := live[int(arg)%len(live)]
+				if err := k.destroyService(c.P(), svc.EP(), arg&1 == 0); err != nil {
+					t.Fatalf("destroy: %v", err)
+				}
+			}
+		case 7:
+			if len(live) == 0 {
+				continue
+			}
+			svc := live[int(arg)%len(live)]
+			k.TrimWorkerPool(c.P().ID(), svc.EP(), int(arg)%2)
+		}
+
+		// Standing invariants after every operation.
+		for i := 0; i < procs; i++ {
+			p := m.Proc(i)
+			if p.Mode() != machine.ModeUser {
+				t.Fatalf("pc=%d: processor %d stuck in supervisor mode", pc, i)
+			}
+			if p.CatDepth() != 1 {
+				t.Fatalf("pc=%d: processor %d category stack depth %d", pc, i, p.CatDepth())
+			}
+			if p.InterruptsDisabled() {
+				t.Fatalf("pc=%d: processor %d interrupts left disabled", pc, i)
+			}
+		}
+	}
+
+	// Quiesce: destroy everything (hard), then account for every frame.
+	for _, svc := range alive() {
+		if svc.EP() == FrankEP {
+			continue
+		}
+		if err := k.destroyService(m.Proc(0), svc.EP(), true); err != nil {
+			t.Fatalf("final destroy: %v", err)
+		}
+	}
+	for i := 0; i < procs; i++ {
+		// Frames in use on node i = the baseline (client stacks, boot
+		// CDs) plus CDs created into node i's pools during the run.
+		poolCDs := 0
+		for g, pool := range k.perProc[i].cdPools {
+			_ = g
+			poolCDs += pool.created - initialCDsPerProc*boolToInt(g == 0)
+		}
+		want := baselineFrames[i] + poolCDs
+		if got := k.Layout().FramesInUse(i); got != want {
+			t.Fatalf("node %d: %d frames in use after quiesce, want %d (leak or double free)", i, got, want)
+		}
+	}
+
+	var sum int64
+	for _, p := range m.Procs() {
+		sum += p.Now()
+	}
+	return sum
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestChaosInvariants drives random operation scripts and checks that
+// no script can corrupt trap state, leak frames, or wedge the kernel.
+func TestChaosInvariants(t *testing.T) {
+	f := func(script []byte) bool {
+		if len(script) > 160 {
+			script = script[:160]
+		}
+		chaosRun(t, script, 2)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosDeterminism: the same script always produces the same
+// virtual time, bit for bit.
+func TestChaosDeterminism(t *testing.T) {
+	script := []byte{0, 0, 5, 3, 0, 1, 4, 0, 5, 7, 2, 1, 6, 0, 0, 2, 7, 1, 5, 21, 3, 3, 4, 1, 6, 2, 0, 0, 1, 1}
+	a := chaosRun(t, script, 3)
+	b := chaosRun(t, script, 3)
+	if a != b {
+		t.Fatalf("nondeterministic chaos: %d vs %d", a, b)
+	}
+}
+
+// TestChaosWithFaultyHandlers mixes panicking handlers into the chaos
+// and checks the same invariants hold.
+func TestChaosWithFaultyHandlers(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	k := NewKernel(m)
+	c := k.NewClientProgram("c", 0)
+	n := 0
+	server := k.NewServerProgram("faulty.prog", 0)
+	svc, err := k.BindService(ServiceConfig{
+		Name:   "faulty",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			n++
+			if n%3 == 0 {
+				panic("every third call dies")
+			}
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okCount, faultCount := 0, 0
+	for i := 0; i < 30; i++ {
+		var args Args
+		err := c.Call(svc.EP(), &args)
+		if err != nil {
+			faultCount++
+		} else {
+			okCount++
+		}
+		if c.P().Mode() != machine.ModeUser || c.P().CatDepth() != 1 {
+			t.Fatalf("iteration %d: machine state corrupted", i)
+		}
+	}
+	if faultCount != 10 || okCount != 20 {
+		t.Fatalf("ok=%d fault=%d", okCount, faultCount)
+	}
+	if svc.Stats.Faults != 10 {
+		t.Fatalf("Faults = %d", svc.Stats.Faults)
+	}
+}

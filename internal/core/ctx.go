@@ -1,0 +1,96 @@
+package core
+
+import (
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+// Ctx is the context a handler executes in: which worker and processor
+// are servicing the call, who the caller is, and helpers to charge
+// server-side work and to make nested PPC calls. All charges made
+// through the Ctx accrue to the "server time" category.
+type Ctx struct {
+	k      *Kernel
+	p      *machine.Processor
+	worker *Worker
+	svc    *Service
+	kind   callKind
+
+	// CallerProgram is the caller's program ID — the identity servers
+	// use for authentication (paper §4.1). Zero for kernel-originated
+	// requests (interrupts).
+	CallerProgram uint32
+	// CallerPID is the caller's process ID, or 0 for interrupts.
+	CallerPID int
+
+	caller *proc.Process
+}
+
+// CallerProcess returns the calling process (nil for interrupts and
+// upcalls). Kernel services use it to reach the caller's address space,
+// e.g. the CopyServer's granted-region transfers.
+func (c *Ctx) CallerProcess() *proc.Process { return c.caller }
+
+// Kernel returns the kernel (for privileged handlers such as Frank).
+func (c *Ctx) Kernel() *Kernel { return c.k }
+
+// P returns the servicing processor.
+func (c *Ctx) P() *machine.Processor { return c.p }
+
+// Worker returns the servicing worker.
+func (c *Ctx) Worker() *Worker { return c.worker }
+
+// Service returns the service being invoked.
+func (c *Ctx) Service() *Service { return c.svc }
+
+// IsAsync reports whether the request is asynchronous (no caller is
+// blocked waiting).
+func (c *Ctx) IsAsync() bool { return c.kind != callSync }
+
+// Exec charges n instructions of the service's handler code segment.
+func (c *Ctx) Exec(n int) { c.p.Exec(c.svc.handlerSeg, n) }
+
+// Stack performs a simulated access to the worker's stack at the given
+// byte offset below the top of stack. The stack page is the recycled CD
+// page, mapped into the server's space for this call.
+func (c *Ctx) Stack(offsetBelowTop, size int, kind machine.AccessKind) {
+	top := c.worker.stackTopVA(c.k)
+	c.k.vm.Access(c.p, c.svc.server.space, top-machine.Addr(offsetBelowTop+size), size, kind)
+}
+
+// Access performs a simulated access to server data in the server's
+// address space (or directly to kernel memory for kernel servers).
+func (c *Ctx) Access(addr machine.Addr, size int, kind machine.AccessKind) {
+	if c.svc.server.IsKernel() {
+		c.p.Access(addr, size, kind)
+		return
+	}
+	c.k.vm.Access(c.p, c.svc.server.space, addr, size, kind)
+}
+
+// SetHandler changes this worker's call-handling routine — the paper's
+// §4.5.3 mechanism: a fresh worker enters its init routine once, which
+// installs the steady-state routine so later calls bypass
+// initialization. It may be called at any time.
+func (c *Ctx) SetHandler(h Handler) {
+	if h == nil {
+		panic("core: SetHandler(nil)")
+	}
+	// Updating the worker record is one local store.
+	c.p.Access(c.worker.addr, 4, machine.Store)
+	c.worker.handler = h
+}
+
+// Call makes a nested synchronous PPC from inside the handler: the
+// worker acts as the client (servers are clients of other servers, e.g.
+// bulk data transfer through the CopyServer, paper §4.2).
+func (c *Ctx) Call(ep EntryPointID, args *Args) error {
+	c.k.Stats.NestedCalls++
+	return c.k.call(c.p, c.worker.process, ep, args, callSync)
+}
+
+// AsyncCall makes a nested asynchronous PPC from inside the handler.
+func (c *Ctx) AsyncCall(ep EntryPointID, args *Args) error {
+	c.k.Stats.NestedCalls++
+	return c.k.call(c.p, c.worker.process, ep, args, callAsync)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DumpState renders the kernel's resource state — per-processor worker
+// pools, CD pools, bound services — for debugging and the demo tools.
+// Host-side inspection only: it charges nothing.
+func (k *Kernel) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel: %d processors, %d services bound (%d killed), %d workers created, %d CDs created\n",
+		k.m.NumProcs(), k.Stats.ServicesBound, k.Stats.ServicesKilled,
+		k.Stats.WorkersCreated, k.Stats.CDsCreated)
+	fmt.Fprintf(&b, "calls: %d sync, %d async, %d interrupts, %d upcalls, %d cross-processor, %d nested\n",
+		k.Stats.Calls, k.Stats.AsyncCalls, k.Stats.Interrupts, k.Stats.Upcalls,
+		k.Stats.CrossCalls, k.Stats.NestedCalls)
+
+	// Services, in EP order.
+	var eps []int
+	for ep := 0; ep < MaxEntryPoints; ep++ {
+		if k.services[ep] != nil {
+			eps = append(eps, ep)
+		}
+	}
+	for ep := range k.extServices {
+		eps = append(eps, int(ep))
+	}
+	sort.Ints(eps)
+	b.WriteString("\nservices:\n")
+	for _, ep := range eps {
+		svc := k.Service(EntryPointID(ep))
+		if svc == nil {
+			continue
+		}
+		pools := make([]string, 0, k.m.NumProcs())
+		for i := 0; i < k.m.NumProcs(); i++ {
+			pools = append(pools, fmt.Sprintf("%d", k.WorkerPoolSize(i, svc.ep)))
+		}
+		fmt.Fprintf(&b, "  ep=%-5d %-14s %-11s server=%-12s calls=%-6d workers/proc=[%s]\n",
+			svc.ep, svc.name, svc.state, svc.server.Name(), svc.Stats.Calls,
+			strings.Join(pools, " "))
+	}
+
+	b.WriteString("\nper-processor CD pools (group: free):\n")
+	for i := 0; i < k.m.NumProcs(); i++ {
+		pp := k.perProc[i]
+		groups := make([]int, 0, len(pp.cdPools))
+		for g := range pp.cdPools {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+		parts := make([]string, 0, len(groups))
+		for _, g := range groups {
+			parts = append(parts, fmt.Sprintf("%d:%d", g, len(pp.cdPools[g].free)))
+		}
+		fmt.Fprintf(&b, "  proc %-2d  %s   frames-in-use=%d\n", i, strings.Join(parts, " "), k.layout.FramesInUse(i))
+	}
+	return b.String()
+}

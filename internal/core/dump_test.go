@@ -1,0 +1,31 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpState(t *testing.T) {
+	e := newEnv(t, 2)
+	svc := e.bindNull(t, "dumped", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+
+	out := e.k.DumpState()
+	for _, want := range []string{
+		"2 processors", "frank", "dumped", "active",
+		"workers/proc=", "CD pools", "frames-in-use=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	before := e.m.Proc(0).Now()
+	_ = e.k.DumpState()
+	if e.m.Proc(0).Now() != before {
+		t.Fatal("DumpState charged simulated cycles")
+	}
+}

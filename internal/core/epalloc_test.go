@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: under arbitrary bind/destroy interleavings, live entry
+// points are always unique, dead EPs become reusable, and every bound
+// EP resolves to the service that was bound to it.
+func TestEPAllocationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := newEnv(t, 1)
+		server := e.k.NewServerProgram("p", 0)
+		live := map[EntryPointID]*Service{}
+
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1: // bind (fast or extended)
+				cfg := ServiceConfig{Name: "s", Server: server, Handler: nullHandler, Extended: op%2 == 1}
+				svc, err := e.k.BindService(cfg)
+				if err != nil {
+					return false
+				}
+				if _, dup := live[svc.EP()]; dup {
+					t.Logf("duplicate live EP %d", svc.EP())
+					return false
+				}
+				if (svc.EP() >= MaxEntryPoints) != cfg.Extended {
+					t.Logf("EP %d on wrong side for extended=%v", svc.EP(), cfg.Extended)
+					return false
+				}
+				live[svc.EP()] = svc
+			case 2: // destroy one (deterministic pick: smallest live EP)
+				var victim EntryPointID
+				found := false
+				for ep := range live {
+					if !found || ep < victim {
+						victim, found = ep, true
+					}
+				}
+				if !found {
+					continue
+				}
+				if derr := destroyHost(e, victim, op&1 == 0); derr != nil {
+					return false
+				}
+				delete(live, victim)
+			}
+			// Every live EP resolves to its own service.
+			for ep, svc := range live {
+				if e.k.Service(ep) != svc || svc.State() != SvcActive {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func destroyHost(e *testEnv, ep EntryPointID, hard bool) error {
+	return e.k.destroyService(e.m.Proc(0), ep, hard)
+}

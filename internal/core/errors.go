@@ -1,0 +1,44 @@
+package core
+
+import "fmt"
+
+// CallError is returned when a PPC cannot complete; Code is one of the
+// RC* return codes.
+type CallError struct {
+	Code uint32
+	EP   EntryPointID
+	Op   string
+}
+
+func (e *CallError) Error() string {
+	return fmt.Sprintf("ppc: %s ep=%d: %s", e.Op, e.EP, RCString(e.Code))
+}
+
+// Is supports errors.Is against another *CallError with the same code.
+func (e *CallError) Is(target error) bool {
+	t, ok := target.(*CallError)
+	return ok && t.Code == e.Code
+}
+
+// Sentinel errors for errors.Is comparisons.
+var (
+	// ErrBadEntryPoint is returned for calls to unbound entry points.
+	ErrBadEntryPoint = &CallError{Code: RCBadEntryPoint}
+	// ErrEntryKilled is returned for calls to soft- or hard-killed
+	// entry points.
+	ErrEntryKilled = &CallError{Code: RCEntryKilled}
+	// ErrPermissionDenied is returned when a server's authorization
+	// hook rejects the caller's program ID.
+	ErrPermissionDenied = &CallError{Code: RCPermissionDenied}
+	// ErrNoResources is returned when even Frank cannot provide the
+	// resources for a call.
+	ErrNoResources = &CallError{Code: RCNoResources}
+	// ErrServerFault is returned when the server raised an exception
+	// while handling the call; the call is aborted and the faulting
+	// worker destroyed, leaving the server and other calls unaffected.
+	ErrServerFault = &CallError{Code: RCServerFault}
+)
+
+func callErr(op string, ep EntryPointID, code uint32) error {
+	return &CallError{Code: code, EP: ep, Op: op}
+}

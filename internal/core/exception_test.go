@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hurricane/internal/machine"
+)
+
+// excEnv binds an exception server and a flaky service.
+func excEnv(t *testing.T) (*testEnv, *Client, *Service, *[]Args) {
+	t.Helper()
+	e := newEnv(t, 1)
+	var reports []Args
+	excProg := e.k.NewServerProgram("exc.prog", 0)
+	exc, err := e.k.BindService(ServiceConfig{
+		Name:   "exceptions",
+		Server: excProg,
+		Handler: func(ctx *Ctx, args *Args) {
+			reports = append(reports, *args)
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.k.SetExceptionServer(exc.EP())
+
+	flakyProg := e.k.NewServerProgram("flaky.prog", 0)
+	flaky, err := e.k.BindService(ServiceConfig{
+		Name:   "flaky",
+		Server: flakyProg,
+		Handler: func(ctx *Ctx, args *Args) {
+			if args[0] == 13 {
+				panic("boom")
+			}
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	return e, c, flaky, &reports
+}
+
+func TestFaultDeliversExceptionUpcall(t *testing.T) {
+	_, c, flaky, reports := excEnv(t)
+	var args Args
+	args[0] = 13
+	if err := c.Call(flaky.EP(), &args); !errors.Is(err, ErrServerFault) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(*reports) != 1 {
+		t.Fatalf("exception reports = %d, want 1", len(*reports))
+	}
+	rep := (*reports)[0]
+	if EntryPointID(rep[0]) != flaky.EP() {
+		t.Fatalf("report names EP %d, want %d", rep[0], flaky.EP())
+	}
+	if int(rep[1]) != c.Process().PID() {
+		t.Fatalf("report names PID %d, want %d", rep[1], c.Process().PID())
+	}
+	if Op(rep[OpFlagsWord]) != ExcOpWorkerFault {
+		t.Fatalf("report opcode = %#x", Op(rep[OpFlagsWord]))
+	}
+	// Machine consistent; no report for clean calls.
+	args[0] = 1
+	if err := c.Call(flaky.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if len(*reports) != 1 {
+		t.Fatal("clean call produced an exception report")
+	}
+	if c.P().Mode() != machine.ModeUser || c.P().CatDepth() != 1 {
+		t.Fatal("machine state corrupted by exception delivery")
+	}
+}
+
+func TestExceptionServerFaultNotRecursive(t *testing.T) {
+	e := newEnv(t, 1)
+	excProg := e.k.NewServerProgram("exc.prog", 0)
+	exc, err := e.k.BindService(ServiceConfig{
+		Name:   "exceptions",
+		Server: excProg,
+		Handler: func(ctx *Ctx, args *Args) {
+			panic("the exception server itself is broken")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.k.SetExceptionServer(exc.EP())
+	flaky := e.bindNull(t, "flaky", true, func(cfg *ServiceConfig) {
+		cfg.Handler = func(ctx *Ctx, args *Args) { panic("boom") }
+	})
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	// Must terminate (no infinite fault->report->fault loop) and leave
+	// the machine consistent.
+	_ = c.Call(flaky.EP(), &args)
+	if c.P().Mode() != machine.ModeUser || c.P().CatDepth() != 1 {
+		t.Fatal("recursive exception handling corrupted machine state")
+	}
+}
+
+func TestExceptionUpcallCanBeCleared(t *testing.T) {
+	e, c, flaky, reports := excEnv(t)
+	e.k.SetExceptionServer(0)
+	var args Args
+	args[0] = 13
+	_ = c.Call(flaky.EP(), &args)
+	if len(*reports) != 0 {
+		t.Fatal("cleared exception server still received reports")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestExtendedEntryPointAllocation(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "slow", true, func(cfg *ServiceConfig) { cfg.Extended = true })
+	if svc.EP() < MaxEntryPoints {
+		t.Fatalf("extended service got fast EP %d", svc.EP())
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats.Calls != 1 {
+		t.Fatalf("Calls = %d", svc.Stats.Calls)
+	}
+	if e.k.Service(svc.EP()) != svc {
+		t.Fatal("kernel does not resolve the extended EP")
+	}
+}
+
+func TestExtendedExplicitID(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "pinned", true, func(cfg *ServiceConfig) { cfg.EP = 5000 })
+	if svc.EP() != 5000 {
+		t.Fatalf("EP = %d", svc.EP())
+	}
+	// Duplicate rejected.
+	server := e.k.NewServerProgram("dup", 0)
+	if _, err := e.k.BindService(ServiceConfig{Name: "dup", Server: server, Handler: nullHandler, EP: 5000}); err == nil {
+		t.Fatal("duplicate extended EP accepted")
+	}
+}
+
+func TestExtendedLookupCostsMoreThanFast(t *testing.T) {
+	// The point of the two-tier scheme: the hashed path is usable but
+	// slower, so hot services belong in the fast table.
+	e := newEnv(t, 1)
+	fast := e.bindNull(t, "fast", true, nil)
+	slow := e.bindNull(t, "slow", true, func(cfg *ServiceConfig) { cfg.Extended = true })
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	for i := 0; i < 4; i++ {
+		if err := c.Call(fast.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Call(slow.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := c.P()
+	cost := func(ep EntryPointID) int64 {
+		before := p.Now()
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now() - before
+	}
+	cf, cs := cost(fast.EP()), cost(slow.EP())
+	if cs <= cf {
+		t.Fatalf("hashed lookup (%d cy) should cost more than direct index (%d cy)", cs, cf)
+	}
+}
+
+func TestExtendedChainWalkCost(t *testing.T) {
+	// Services whose IDs collide in the hash table pay per-hop chain
+	// costs.
+	e := newEnv(t, 1)
+	// Same bucket: IDs congruent mod extHashBuckets.
+	a := e.bindNull(t, "a", true, func(cfg *ServiceConfig) { cfg.EP = MaxEntryPoints + 7 })
+	b := e.bindNull(t, "b", true, func(cfg *ServiceConfig) { cfg.EP = MaxEntryPoints + 7 + extHashBuckets })
+	cnl := e.bindNull(t, "c", true, func(cfg *ServiceConfig) { cfg.EP = MaxEntryPoints + 7 + 2*extHashBuckets })
+	_ = a
+	_ = b
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	for i := 0; i < 4; i++ {
+		if err := c.Call(cnl.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All three still resolve correctly.
+	for _, svc := range []*Service{a, b, cnl} {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatalf("collision chain broke EP %d: %v", svc.EP(), err)
+		}
+	}
+}
+
+func TestExtendedDestroyAndRebind(t *testing.T) {
+	e := newEnv(t, 2)
+	svc := e.bindNull(t, "victim", true, func(cfg *ServiceConfig) { cfg.Extended = true })
+	ep := svc.EP()
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(ep, &args); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DestroyService(ep, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(ep, &args); err == nil {
+		t.Fatal("killed extended EP still callable")
+	}
+	// The ID is reusable after death.
+	server := e.k.NewServerProgram("re", 0)
+	svc2, err := e.k.BindService(ServiceConfig{Name: "re", Server: server, Handler: nullHandler, EP: ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(svc2.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastTableExhaustionSuggestsExtended(t *testing.T) {
+	// Exhausting 1024 fast slots errors with direction to Extended; we
+	// don't actually bind a thousand services here, just verify both
+	// allocators hand out disjoint spaces.
+	e := newEnv(t, 1)
+	fast := e.bindNull(t, "f", true, nil)
+	ext := e.bindNull(t, "x", true, func(cfg *ServiceConfig) { cfg.Extended = true })
+	if fast.EP() >= MaxEntryPoints || ext.EP() < MaxEntryPoints {
+		t.Fatalf("allocator spaces overlap: fast=%d ext=%d", fast.EP(), ext.EP())
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hurricane/internal/machine"
+)
+
+func TestHandlerPanicIsContained(t *testing.T) {
+	e := newEnv(t, 1)
+	calls := 0
+	server := e.k.NewServerProgram("flaky.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "flaky",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			calls++
+			if args[0] == 13 {
+				panic("simulated wild pointer dereference")
+			}
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+
+	var args Args
+	args[0] = 13
+	err = c.Call(svc.EP(), &args)
+	if !errors.Is(err, ErrServerFault) {
+		t.Fatalf("err = %v, want server fault", err)
+	}
+	if args.RC() != RCServerFault {
+		t.Fatalf("rc = %s", RCString(args.RC()))
+	}
+	// The exception against the worker did not affect the server: the
+	// entry point stays up and subsequent calls succeed (on a freshly
+	// created worker).
+	if svc.State() != SvcActive {
+		t.Fatalf("service state = %v", svc.State())
+	}
+	args[0] = 1
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatalf("service unusable after a contained fault: %v", err)
+	}
+	if svc.Stats.Faults != 1 {
+		t.Fatalf("Faults = %d", svc.Stats.Faults)
+	}
+	if svc.Stats.WorkersCreated != 2 {
+		t.Fatalf("WorkersCreated = %d, want 2 (faulted worker destroyed)", svc.Stats.WorkersCreated)
+	}
+	// The machine is in a consistent state.
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance after fault")
+	}
+	if c.P().CatDepth() != 1 {
+		t.Fatal("category stack leaked after fault")
+	}
+}
+
+func TestSimulatedMemoryFaultIsContained(t *testing.T) {
+	// A wild access through the Ctx (to unmapped server memory) panics
+	// in the address-space layer; it must be contained the same way.
+	e := newEnv(t, 1)
+	server := e.k.NewServerProgram("wild.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "wild",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			ctx.Access(0x0BAD0000, 4, machine.Store) // unmapped
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrServerFault) {
+		t.Fatalf("err = %v, want server fault", err)
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance after memory fault")
+	}
+}
+
+func TestFaultInKernelServiceContained(t *testing.T) {
+	e := newEnv(t, 1)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "kflaky",
+		Server: e.k.KernelServer(),
+		Handler: func(ctx *Ctx, args *Args) {
+			panic("kernel service bug")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrServerFault) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance")
+	}
+	// Frank and the rest of the kernel are unaffected.
+	other := e.bindNull(t, "ok", true, nil)
+	if err := c.Call(other.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultDoesNotAffectOtherWorkersState(t *testing.T) {
+	// Worker-held state (held CDs, other pooled workers) survives a
+	// sibling's fault.
+	e := newEnv(t, 1)
+	bad := false
+	server := e.k.NewServerProgram("mixed.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "mixed",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			if bad {
+				bad = false
+				panic("one bad request")
+			}
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	for i := 0; i < 3; i++ { // build up a pooled worker and steady state
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	framesBefore := e.k.Layout().FramesInUse(0)
+	bad = true
+	if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrServerFault) {
+		t.Fatalf("err = %v", err)
+	}
+	// No stack frames leaked by the abort path.
+	if got := e.k.Layout().FramesInUse(0); got != framesBefore {
+		t.Fatalf("frames leaked across fault: %d -> %d", framesBefore, got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAsyncFaultContained(t *testing.T) {
+	e := newEnv(t, 1)
+	server := e.k.NewServerProgram("aflaky.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "aflaky",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			panic("async bug")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.AsyncCall(svc.EP(), &args); !errors.Is(err, ErrServerFault) {
+		t.Fatalf("err = %v", err)
+	}
+	// The caller was still resumed from the ready queue.
+	if e.k.Sched().Current(c.P()) != c.Process() {
+		t.Fatal("caller lost after async fault")
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance")
+	}
+}

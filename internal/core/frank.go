@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+// Frank is the kernel-level server that manages PPC resources (paper
+// §4.5.6): service entry points are allocated and deallocated with PPC
+// calls to Frank's well-known entry point, and calls that fail for lack
+// of resources (an empty worker pool) are redirected to Frank, who
+// creates the missing resource and forwards the call. Frank's own
+// resources are preallocated on every processor; he may not block and
+// may not be preempted.
+
+// Frank opcodes (carried in the conventional opcode/flags word).
+const (
+	// FrankOpCreateService binds a pending service configuration to an
+	// entry point; the new EP is returned in args[0].
+	FrankOpCreateService uint16 = 1
+	// FrankOpDestroyService deallocates the entry point in args[0];
+	// flag bit 0 selects hard kill (abort) over soft kill (drain).
+	FrankOpDestroyService uint16 = 2
+	// FrankOpExchangeService swaps the handler of the entry point in
+	// args[0] for the pending configuration's handler — on-line server
+	// replacement (paper §4.5.2's Exchange).
+	FrankOpExchangeService uint16 = 3
+)
+
+// FrankFlagHard requests a hard kill on FrankOpDestroyService.
+const FrankFlagHard uint16 = 1
+
+// frankHandler services Frank's entry point.
+func (k *Kernel) frankHandler(ctx *Ctx, args *Args) {
+	ctx.Exec(k.segs.frank.Instrs)
+	switch Op(args[OpFlagsWord]) {
+	case FrankOpCreateService:
+		cfg := k.pendingConfig
+		k.pendingConfig = nil
+		if cfg == nil {
+			args.SetRC(RCBadRequest)
+			return
+		}
+		svc, err := k.bindService(ctx.p, cfg)
+		if err != nil {
+			args.SetRC(RCNoResources)
+			return
+		}
+		k.pendingSvc = svc
+		args[0] = uint32(svc.ep)
+		args.SetRC(RCOK)
+	case FrankOpDestroyService:
+		ep := EntryPointID(args[0])
+		hard := Flags(args[OpFlagsWord])&FrankFlagHard != 0
+		if err := k.destroyService(ctx.p, ep, hard); err != nil {
+			args.SetRC(RCBadEntryPoint)
+			return
+		}
+		args.SetRC(RCOK)
+	case FrankOpExchangeService:
+		cfg := k.pendingConfig
+		k.pendingConfig = nil
+		if cfg == nil {
+			args.SetRC(RCBadRequest)
+			return
+		}
+		if err := k.exchangeService(EntryPointID(args[0]), cfg); err != nil {
+			args.SetRC(RCBadEntryPoint)
+			return
+		}
+		args.SetRC(RCOK)
+	default:
+		args.SetRC(RCBadRequest)
+	}
+}
+
+// frankProvisionWorker handles the empty-worker-pool case of a call:
+// the call is redirected to Frank, who creates a new worker process,
+// initializes it for the target entry point, and forwards the call
+// (here: hands the fresh worker straight back to the call path). The
+// redirect and creation costs are charged to the calling processor.
+func (k *Kernel) frankProvisionWorker(p *machine.Processor, svc *Service, le *localEntry) *Worker {
+	p.Exec(k.segs.frank, 40)
+	w := k.newWorker(p, svc)
+	_ = le
+	return w
+}
+
+// bindService allocates an entry point for cfg and installs the
+// per-processor entry records (charging the creating processor for the
+// table updates; remote replicas are initialized lazily in cost terms —
+// their first use pays the cold-cache cost naturally).
+func (k *Kernel) bindService(p *machine.Processor, cfg *ServiceConfig) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ep := cfg.EP
+	switch {
+	case ep == 0 && !cfg.Extended:
+		var found bool
+		for scanned := 0; scanned < MaxEntryPoints; scanned++ {
+			cand := k.nextEP
+			k.nextEP++
+			if k.nextEP >= MaxEntryPoints {
+				k.nextEP = firstDynamicEP
+			}
+			if old := k.services[cand]; old == nil || old.state == SvcDead {
+				ep, found = cand, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: all %d fast entry points in use (bind with Extended for the hashed table)", MaxEntryPoints)
+		}
+	case ep == 0 && cfg.Extended:
+		var found bool
+		for scanned := 0; scanned < MaxExtendedEntryPoints-MaxEntryPoints; scanned++ {
+			cand := k.nextExtEP
+			k.nextExtEP++
+			if k.nextExtEP < MaxEntryPoints { // uint16 wrap past 65535
+				k.nextExtEP = MaxEntryPoints
+			}
+			if old := k.extServices[cand]; old == nil || old.state == SvcDead {
+				ep, found = cand, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: all extended entry points in use")
+		}
+	default:
+		if int(ep) >= MaxExtendedEntryPoints {
+			return nil, fmt.Errorf("core: entry point %d out of range", ep)
+		}
+		if old := k.Service(ep); old != nil && old.state != SvcDead {
+			return nil, fmt.Errorf("core: entry point %d already bound to %q", ep, old.name)
+		}
+	}
+
+	instrs := cfg.HandlerInstrs
+	if instrs == 0 {
+		instrs = 25
+	}
+	pages := cfg.StackPages
+	if pages == 0 {
+		pages = 1
+	}
+	// Kernel services are part of the packed kernel text; user servers
+	// get their own code pages (distinct programs).
+	newSeg := k.m.NewCodeSegPage
+	if cfg.Server.IsKernel() {
+		newSeg = k.m.NewCodeSeg
+	}
+	svc := &Service{
+		ep:            ep,
+		name:          cfg.Name,
+		server:        cfg.Server,
+		handler:       cfg.Handler,
+		initHandler:   cfg.InitHandler,
+		authorize:     cfg.Authorize,
+		handlerSeg:    newSeg("svc."+cfg.Name, instrs+8),
+		handlerInstrs: instrs,
+		holdCD:        cfg.HoldCD,
+		trustGroup:    cfg.TrustGroup,
+		stackPages:    pages,
+	}
+	if ep < MaxEntryPoints {
+		k.services[ep] = svc
+	} else {
+		k.extServices[ep] = svc
+	}
+	for i := 0; i < k.m.NumProcs(); i++ {
+		le := k.installLocalEntry(i, svc)
+		if p != nil {
+			p.Access(le.addr, localEntrySize, machine.Store)
+			p.Access(k.perProc[i].slotAddr(ep), 4, machine.Store)
+		}
+	}
+	k.Stats.ServicesBound++
+	if p != nil {
+		k.emit(EvServiceBound, p.Now(), p.ID(), ep, cfg.Name)
+	}
+	return svc, nil
+}
+
+// BindService binds a service directly (boot-time host API, charged to
+// processor 0). Runtime binding normally goes through a PPC call to
+// Frank — see Client.CreateService.
+func (k *Kernel) BindService(cfg ServiceConfig) (*Service, error) {
+	return k.bindService(k.m.Proc(0), &cfg)
+}
+
+// CreateService binds a service via a genuine PPC call to Frank from
+// this client, charging the full call path (paper §4.5.5: a program
+// obtains an entry point by calling Frank, then registers it with the
+// name server). The Go-level configuration travels through a host-side
+// side channel; the registers carry the opcode and result.
+func (c *Client) CreateService(cfg ServiceConfig) (*Service, error) {
+	c.k.pendingConfig = &cfg
+	c.k.pendingSvc = nil
+	var args Args
+	args.SetOp(FrankOpCreateService, 0)
+	if err := c.Call(FrankEP, &args); err != nil {
+		return nil, err
+	}
+	if rc := args.RC(); rc != RCOK {
+		return nil, fmt.Errorf("core: create service %q: %s", cfg.Name, RCString(rc))
+	}
+	return c.k.pendingSvc, nil
+}
+
+// DestroyService deallocates an entry point via a PPC call to Frank.
+// Soft kill lets calls in progress complete; hard kill frees all
+// resources immediately (paper §4.5.2).
+func (c *Client) DestroyService(ep EntryPointID, hard bool) error {
+	var flags uint16
+	if hard {
+		flags = FrankFlagHard
+	}
+	var args Args
+	args[0] = uint32(ep)
+	args.SetOp(FrankOpDestroyService, flags)
+	if err := c.Call(FrankEP, &args); err != nil {
+		return err
+	}
+	if rc := args.RC(); rc != RCOK {
+		return fmt.Errorf("core: destroy ep %d: %s", ep, RCString(rc))
+	}
+	return nil
+}
+
+// ExchangeService swaps the implementation behind an entry point via a
+// PPC call to Frank, enabling on-line replacement of executing servers
+// (paper §4.5.2). Calls in progress finish on the old implementation;
+// new calls (and pooled workers) get the new one.
+func (c *Client) ExchangeService(ep EntryPointID, cfg ServiceConfig) error {
+	c.k.pendingConfig = &cfg
+	var args Args
+	args[0] = uint32(ep)
+	args.SetOp(FrankOpExchangeService, 0)
+	if err := c.Call(FrankEP, &args); err != nil {
+		return err
+	}
+	if rc := args.RC(); rc != RCOK {
+		return fmt.Errorf("core: exchange ep %d: %s", ep, RCString(rc))
+	}
+	return nil
+}
+
+// destroyService implements soft and hard kill.
+func (k *Kernel) destroyService(p *machine.Processor, ep EntryPointID, hard bool) error {
+	svc := k.Service(ep)
+	if svc == nil || svc.state == SvcDead {
+		return fmt.Errorf("core: destroy: entry point %d not bound", ep)
+	}
+	if ep == FrankEP {
+		return fmt.Errorf("core: Frank cannot be destroyed")
+	}
+	if hard {
+		// Hard kill: frees all resources and aborts calls in progress
+		// (required when the server may be faulty).
+		k.reclaimService(p, svc)
+		return nil
+	}
+	// Soft kill: the entry point stops accepting calls immediately;
+	// resources are reclaimed once calls in progress drain.
+	svc.state = SvcSoftKilled
+	if svc.inProgress == 0 {
+		k.reclaimService(p, svc)
+	} else {
+		svc.pendingDestroy = true
+	}
+	return nil
+}
+
+// exchangeService swaps handlers for an entry point.
+func (k *Kernel) exchangeService(ep EntryPointID, cfg *ServiceConfig) error {
+	svc := k.Service(ep)
+	if svc == nil || svc.state != SvcActive {
+		return fmt.Errorf("core: exchange: entry point %d not active", ep)
+	}
+	if cfg.Handler == nil {
+		return fmt.Errorf("core: exchange: config needs a handler")
+	}
+	svc.handler = cfg.Handler
+	svc.initHandler = cfg.InitHandler
+	if cfg.Authorize != nil {
+		svc.authorize = cfg.Authorize
+	}
+	if cfg.HandlerInstrs > 0 {
+		svc.handlerInstrs = cfg.HandlerInstrs
+		svc.handlerSeg = k.m.NewCodeSeg("svc."+cfg.Name+".v2", cfg.HandlerInstrs+8)
+	}
+	// Pooled (idle) workers pick up the new implementation; workers
+	// mid-call finish on the old one.
+	entry := svc.handler
+	if svc.initHandler != nil {
+		entry = svc.initHandler
+	}
+	for i := range k.perProc {
+		if le := k.perProc[i].entry(ep); le != nil {
+			for _, w := range le.workers {
+				w.handler = entry
+			}
+		}
+	}
+	return nil
+}
+
+// reclaimService tears down every per-processor record of svc. PPC
+// resources may only be touched from the processor that owns them, so
+// remote processors are interrupted to run their own cleanup (paper
+// §4.5.2) — each remote processor's clock is charged for its share.
+func (k *Kernel) reclaimService(p *machine.Processor, svc *Service) {
+	for node := range k.perProc {
+		le := k.perProc[node].entry(svc.ep)
+		if le == nil {
+			continue
+		}
+		target := k.m.Proc(node)
+		remote := p != nil && node != p.ID()
+		if remote {
+			// Post the cleanup interrupt into the target's memory.
+			p.Access(k.perProc[node].slotAddr(svc.ep), 4, machine.SharedStore)
+			target.AdvanceTo(p.Now())
+		}
+		trapped := false
+		if target.Mode() == machine.ModeUser {
+			target.Trap()
+			trapped = true
+		}
+		target.Exec(k.segs.frank, 24)
+		for _, w := range le.workers {
+			k.releaseWorker(target, w)
+		}
+		target.Access(k.perProc[node].slotAddr(svc.ep), 4, machine.Store)
+		if trapped {
+			target.ReturnFromTrap()
+		}
+		k.perProc[node].setEntry(svc.ep, nil)
+	}
+	svc.state = SvcDead
+	k.Stats.ServicesKilled++
+	if p != nil {
+		k.emit(EvServiceKilled, p.Now(), p.ID(), svc.ep, svc.name)
+	}
+}
+
+// releaseWorker frees one pooled worker's resources on its own
+// processor: held CD stacks are unmapped and their frames returned, the
+// worker's extra stack frames are returned, and the process dies.
+func (k *Kernel) releaseWorker(target *machine.Processor, w *Worker) {
+	ps := machine.Addr(k.layout.PageSize())
+	if w.heldCD != nil {
+		k.vm.Unmap(target, w.svc.server.space, w.topStackPageVA(k))
+		k.layout.PutFrame(w.home, w.heldCD.frame)
+		for i, f := range w.extraFrames {
+			k.vm.Unmap(target, w.svc.server.space, w.stackVA+machine.Addr(i)*ps)
+			k.layout.PutFrame(w.home, f)
+		}
+		w.heldCD = nil
+	} else {
+		for _, f := range w.extraFrames {
+			k.layout.PutFrame(w.home, f)
+		}
+	}
+	w.extraFrames = nil
+	w.process.SetState(proc.StateDead)
+	k.emit(EvWorkerReleased, target.Now(), target.ID(), w.svc.ep, w.process.Name())
+}
+
+// TrimWorkerPool shrinks the worker pool of (procID, ep) down to keep
+// workers, releasing the excess — pools grow and shrink dynamically as
+// needed (paper §2), and extra stacks created during peak call activity
+// are easily reclaimed.
+func (k *Kernel) TrimWorkerPool(procID int, ep EntryPointID, keep int) int {
+	le := k.perProc[procID].entry(ep)
+	if le == nil {
+		return 0
+	}
+	target := k.m.Proc(procID)
+	released := 0
+	for len(le.workers) > keep {
+		w := le.workers[len(le.workers)-1]
+		le.workers = le.workers[:len(le.workers)-1]
+		target.Exec(k.segs.workerFree, k.segs.workerFree.Instrs)
+		k.releaseWorker(target, w)
+		released++
+	}
+	return released
+}
+
+// ReclaimIdleResources trims processor procID's pools back to their
+// steady-state sizes: every service's worker pool down to one worker
+// and each CD pool down to the boot allotment, returning stack frames
+// to the frame pool. Pools "grow and shrink dynamically as needed"
+// (paper §2): growth happens inline via Frank; this is the shrink half,
+// run from the local processor (PPC resources may only be touched by
+// their owner). It returns how many workers and CDs were released.
+func (k *Kernel) ReclaimIdleResources(procID int) (workers, cds int) {
+	target := k.m.Proc(procID)
+	pp := k.perProc[procID]
+	for ep := EntryPointID(0); ep < MaxEntryPoints; ep++ {
+		if pp.entries[ep] != nil && ep != FrankEP {
+			workers += k.TrimWorkerPool(procID, ep, 1)
+		}
+	}
+	// Extended entry points and CD pools, in deterministic sorted
+	// order (map iteration order must not leak into charged work).
+	extIDs := make([]int, 0, len(pp.extEntries))
+	for ep := range pp.extEntries {
+		extIDs = append(extIDs, int(ep))
+	}
+	sort.Ints(extIDs)
+	for _, ep := range extIDs {
+		workers += k.TrimWorkerPool(procID, EntryPointID(ep), 1)
+	}
+	groups := make([]int, 0, len(pp.cdPools))
+	for g := range pp.cdPools {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, group := range groups {
+		pool := pp.cdPools[group]
+		keep := 0
+		if group == 0 {
+			keep = initialCDsPerProc
+		}
+		for len(pool.free) > keep {
+			cd := pool.free[len(pool.free)-1]
+			pool.free = pool.free[:len(pool.free)-1]
+			pool.created--
+			target.Exec(k.segs.cdFree, k.segs.cdFree.Instrs)
+			target.Access(pool.addr, 4, machine.Store)
+			k.layout.PutFrame(procID, cd.frame)
+			cds++
+		}
+	}
+	return workers, cds
+}
+
+// WorkerPoolSize reports the pooled (idle) workers for (procID, ep).
+func (k *Kernel) WorkerPoolSize(procID int, ep EntryPointID) int {
+	le := k.perProc[procID].entry(ep)
+	if le == nil {
+		return 0
+	}
+	return len(le.workers)
+}
+
+// CDPoolSize reports the free call descriptors in (procID, trust group).
+func (k *Kernel) CDPoolSize(procID, group int) int {
+	pool, ok := k.perProc[procID].cdPools[group]
+	if !ok {
+		return 0
+	}
+	return len(pool.free)
+}

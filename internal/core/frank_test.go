@@ -1,0 +1,368 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+func TestCreateServiceViaFrankPPC(t *testing.T) {
+	e := newEnv(t, 2)
+	c := e.k.NewClientProgram("client", 0)
+	server := e.k.NewServerProgram("svc.prog", 0)
+
+	callsBefore := e.k.Service(FrankEP).Stats.Calls
+	svc, err := c.CreateService(ServiceConfig{Name: "mysvc", Server: server, Handler: nullHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.k.Service(FrankEP).Stats.Calls != callsBefore+1 {
+		t.Fatal("CreateService did not go through a PPC call to Frank")
+	}
+	if svc.EP() < firstDynamicEP {
+		t.Fatalf("allocated EP %d collides with well-known IDs", svc.EP())
+	}
+	// The new service is callable from every processor.
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	c1 := e.k.NewClientProgram("client1", 1)
+	if err := c1.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateServiceBadConfig(t *testing.T) {
+	e := newEnv(t, 1)
+	c := e.k.NewClientProgram("client", 0)
+	if _, err := c.CreateService(ServiceConfig{Name: "nohandler", Server: e.k.KernelServer()}); err == nil {
+		t.Fatal("config without handler accepted")
+	}
+}
+
+func TestWellKnownEPRequest(t *testing.T) {
+	e := newEnv(t, 1)
+	server := e.k.NewServerProgram("ns.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{Name: "ns", Server: server, Handler: nullHandler, EP: NameServerEP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.EP() != NameServerEP {
+		t.Fatalf("EP = %d, want %d", svc.EP(), NameServerEP)
+	}
+	// The same well-known EP cannot be bound twice.
+	if _, err := e.k.BindService(ServiceConfig{Name: "ns2", Server: server, Handler: nullHandler, EP: NameServerEP}); err == nil {
+		t.Fatal("duplicate well-known EP accepted")
+	}
+}
+
+func TestEPAllocatorSkipsBoundIDs(t *testing.T) {
+	e := newEnv(t, 1)
+	server := e.k.NewServerProgram("p", 0)
+	seen := map[EntryPointID]bool{}
+	for i := 0; i < 20; i++ {
+		svc, err := e.k.BindService(ServiceConfig{Name: "s", Server: server, Handler: nullHandler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[svc.EP()] {
+			t.Fatalf("EP %d allocated twice", svc.EP())
+		}
+		seen[svc.EP()] = true
+	}
+}
+
+func TestSoftKillRejectsNewCallsAndReclaims(t *testing.T) {
+	e := newEnv(t, 2)
+	svc := e.bindNull(t, "victim", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	framesBefore := e.k.Layout().FramesInUse(0)
+
+	if err := c.DestroyService(svc.EP(), false); err != nil {
+		t.Fatal(err)
+	}
+	if svc.State() != SvcDead {
+		t.Fatalf("quiescent soft kill should reclaim immediately; state=%v", svc.State())
+	}
+	err := c.Call(svc.EP(), &args)
+	if !errors.Is(err, ErrBadEntryPoint) && !errors.Is(err, ErrEntryKilled) {
+		t.Fatalf("call to killed EP: %v", err)
+	}
+	// No frames leaked by the teardown.
+	if e.k.Layout().FramesInUse(0) > framesBefore {
+		t.Fatalf("frames leaked: %d -> %d", framesBefore, e.k.Layout().FramesInUse(0))
+	}
+}
+
+func TestSoftKillDrainsInProgress(t *testing.T) {
+	e := newEnv(t, 1)
+	var svc *Service
+	c := e.k.NewClientProgram("client", 0)
+	server := e.k.NewServerProgram("drain.prog", 0)
+	killed := false
+	var err error
+	svc, err = e.k.BindService(ServiceConfig{
+		Name:   "drain",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			if !killed {
+				killed = true
+				// Soft-kill ourselves from within a call in progress.
+				if e2 := e.k.destroyService(ctx.P(), svc.EP(), false); e2 != nil {
+					t.Error(e2)
+				}
+				if svc.State() != SvcSoftKilled {
+					t.Error("state should be soft-killed while draining")
+				}
+			}
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if svc.State() != SvcDead {
+		t.Fatalf("state after drain = %v, want dead", svc.State())
+	}
+}
+
+func TestHardKillFreesResourcesEverywhere(t *testing.T) {
+	e := newEnv(t, 4)
+	svc := e.bindNull(t, "victim", true, func(cfg *ServiceConfig) { cfg.HoldCD = true })
+	// Warm pools on all four processors.
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		c := e.k.NewClientProgram("c", i)
+		clients = append(clients, c)
+		var args Args
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	targetsBefore := make([]int64, 4)
+	for i := 0; i < 4; i++ {
+		targetsBefore[i] = e.m.Proc(i).Now()
+	}
+	if err := clients[0].DestroyService(svc.EP(), true); err != nil {
+		t.Fatal(err)
+	}
+	if svc.State() != SvcDead {
+		t.Fatalf("state = %v", svc.State())
+	}
+	for i := 0; i < 4; i++ {
+		if e.k.WorkerPoolSize(i, svc.EP()) != 0 {
+			t.Fatalf("processor %d pool not reclaimed", i)
+		}
+		// Remote processors were interrupted to run their own cleanup
+		// (PPC resources may only be touched by their owner).
+		if e.m.Proc(i).Now() == targetsBefore[i] {
+			t.Fatalf("processor %d charged nothing for its cleanup", i)
+		}
+	}
+	// Held stacks were unmapped.
+	if svc.Server().Space().MappedPages() != 0 {
+		t.Fatalf("%d held stack pages leaked", svc.Server().Space().MappedPages())
+	}
+}
+
+func TestFrankCannotBeDestroyed(t *testing.T) {
+	e := newEnv(t, 1)
+	c := e.k.NewClientProgram("client", 0)
+	if err := c.DestroyService(FrankEP, true); err == nil {
+		t.Fatal("Frank destroyed himself")
+	}
+}
+
+func TestExchangeServiceOnlineReplacement(t *testing.T) {
+	e := newEnv(t, 1)
+	server := e.k.NewServerProgram("xc.prog", 0)
+	version := 0
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "xc",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			version = 1
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatal("v1 handler did not run")
+	}
+	if err := c.ExchangeService(svc.EP(), ServiceConfig{
+		Name:   "xc",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			version = 2
+			args.SetRC(RCOK)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 {
+		t.Fatal("exchanged handler did not take effect (pooled worker kept v1)")
+	}
+}
+
+func TestFrankHandlerRejectsGarbage(t *testing.T) {
+	e := newEnv(t, 1)
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	args.SetOp(0x7777, 0)
+	if err := c.Call(FrankEP, &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != RCBadRequest {
+		t.Fatalf("rc = %s", RCString(args.RC()))
+	}
+	// Create with no pending config.
+	args = Args{}
+	args.SetOp(FrankOpCreateService, 0)
+	e.k.pendingConfig = nil
+	if err := c.Call(FrankEP, &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != RCBadRequest {
+		t.Fatalf("rc = %s", RCString(args.RC()))
+	}
+}
+
+func TestTrimWorkerPool(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "pool", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+
+	// Grow the pool to 3 workers via nested concurrent-looking calls:
+	// easiest deterministic way is Frank provisioning during recursion.
+	var depth int
+	server2 := e.k.NewServerProgram("rec.prog", 0)
+	var rec *Service
+	var err error
+	rec, err = e.k.BindService(ServiceConfig{
+		Name:   "rec",
+		Server: server2,
+		Handler: func(ctx *Ctx, args *Args) {
+			if depth < 2 {
+				depth++
+				var in Args
+				if err := ctx.Call(rec.EP(), &in); err != nil {
+					t.Error(err)
+				}
+			}
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args Args
+	if err := c.Call(rec.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.k.WorkerPoolSize(0, rec.EP()); got != 3 {
+		t.Fatalf("pool after recursion = %d, want 3", got)
+	}
+	released := e.k.TrimWorkerPool(0, rec.EP(), 1)
+	if released != 2 || e.k.WorkerPoolSize(0, rec.EP()) != 1 {
+		t.Fatalf("trim released %d, pool now %d", released, e.k.WorkerPoolSize(0, rec.EP()))
+	}
+	// Still works after trimming.
+	depth = 99
+	if err := c.Call(rec.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	_ = svc
+}
+
+func TestRecursiveServiceGrowsPoolDynamically(t *testing.T) {
+	// A service calling itself needs a second worker: pools grow on
+	// demand (paper §2: "most commonly contain only a single worker,
+	// but can grow and shrink dynamically as needed").
+	e := newEnv(t, 1)
+	var svc *Service
+	var err error
+	server := e.k.NewServerProgram("fib.prog", 0)
+	svc, err = e.k.BindService(ServiceConfig{
+		Name:   "fib",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			n := args[0]
+			if n <= 1 {
+				args[1] = n
+				args.SetRC(RCOK)
+				return
+			}
+			var a, b Args
+			a[0] = n - 1
+			if err := ctx.Call(svc.EP(), &a); err != nil {
+				t.Error(err)
+			}
+			b[0] = n - 2
+			if err := ctx.Call(svc.EP(), &b); err != nil {
+				t.Error(err)
+			}
+			args[1] = a[1] + b[1]
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	args[0] = 7
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[1] != 13 {
+		t.Fatalf("fib(7) = %d, want 13", args[1])
+	}
+	if svc.Stats.WorkersCreated < 2 {
+		t.Fatalf("WorkersCreated = %d, want >= 2", svc.Stats.WorkersCreated)
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance after recursion")
+	}
+}
+
+func TestReleasedWorkersAreDead(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "v", true, func(cfg *ServiceConfig) { cfg.HoldCD = true })
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	le := e.k.perProc[0].entries[svc.EP()]
+	w := le.workers[0]
+	if err := c.DestroyService(svc.EP(), true); err != nil {
+		t.Fatal(err)
+	}
+	if w.Process().State() != proc.StateDead {
+		t.Fatalf("worker process state = %v, want dead", w.Process().State())
+	}
+	if w.HeldCD() != nil {
+		t.Fatal("held CD not released")
+	}
+}

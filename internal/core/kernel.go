@@ -1,0 +1,518 @@
+package core
+
+import (
+	"fmt"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+	"hurricane/internal/proc"
+	"hurricane/internal/sched"
+)
+
+// userSaveBytes is the user-level register state a PPC stub saves on the
+// caller's user stack around the trap (registers that might be
+// overwritten during the call). 24 words on the M88100's large register
+// file — this is the "user save/restore" segment of Figure 2, and the
+// reason a flushed data cache costs ~10 extra microseconds at user
+// level.
+const userSaveBytes = 96
+
+// clientStackVA is the fixed top-of-stack virtual address for client
+// programs.
+const clientStackVA machine.Addr = 0x7FFFF000
+
+// initialCDsPerProc is the number of call descriptors preallocated into
+// each processor's default-trust-group pool at boot.
+const initialCDsPerProc = 2
+
+// perProc is the strictly processor-local PPC state of Figure 1: the
+// service table replica, the per-service worker pools, and the CD pools
+// shared among the servers on that processor. These structures are
+// accessed exclusively by the local processor — no locks, no cache
+// coherence traffic.
+type perProc struct {
+	svcTable machine.Addr // simulated 1024-entry replica (4 B/entry)
+	entries  [MaxEntryPoints]*localEntry
+	cdPools  map[int]*cdPool
+
+	// Extended entry points (IDs >= MaxEntryPoints) live in a hashed
+	// overflow table (paper §4.5.5's future-work structure); lookups
+	// pay the hash probe and chain walk.
+	extTable   machine.Addr
+	extEntries map[EntryPointID]*localEntry
+	extChain   [extHashBuckets]int // host-side chain lengths per bucket
+}
+
+// entry returns the local entry for ep on this processor, or nil.
+func (pp *perProc) entry(ep EntryPointID) *localEntry {
+	if ep < MaxEntryPoints {
+		return pp.entries[ep]
+	}
+	return pp.extEntries[ep]
+}
+
+// slotAddr returns the simulated address of ep's table slot (fast
+// array or hashed bucket) on this processor.
+func (pp *perProc) slotAddr(ep EntryPointID) machine.Addr {
+	if ep < MaxEntryPoints {
+		return pp.svcTable + machine.Addr(uint32(ep)*4)
+	}
+	return pp.extTable + machine.Addr(uint32(ep)%extHashBuckets*8)
+}
+
+// setEntry installs or clears the local entry for ep.
+func (pp *perProc) setEntry(ep EntryPointID, le *localEntry) {
+	if ep < MaxEntryPoints {
+		pp.entries[ep] = le
+		return
+	}
+	b := int(ep) % extHashBuckets
+	if le == nil {
+		if pp.extEntries[ep] != nil {
+			pp.extChain[b]--
+			delete(pp.extEntries, ep)
+		}
+		return
+	}
+	pp.extEntries[ep] = le
+	pp.extChain[b]++
+}
+
+// localEntrySize is the simulated footprint of a per-processor entry
+// record (service pointer, worker pool head, state word).
+const localEntrySize = 16
+
+type localEntry struct {
+	addr    machine.Addr
+	svc     *Service
+	workers []*Worker // LIFO pool
+}
+
+// cdPoolHeaderSize is the simulated footprint of a CD pool head.
+const cdPoolHeaderSize = 8
+
+type cdPool struct {
+	addr    machine.Addr
+	free    []*CallDescriptor // LIFO: serial stack reuse for cache locality
+	created int
+}
+
+// KernelStats aggregates machine-wide PPC counters.
+type KernelStats struct {
+	Calls          int64
+	NestedCalls    int64
+	AsyncCalls     int64
+	Interrupts     int64
+	Upcalls        int64
+	CrossCalls     int64
+	WorkersCreated int64
+	CDsCreated     int64
+	ServicesBound  int64
+	ServicesKilled int64
+}
+
+// Kernel aggregates the simulated Hurricane kernel: the machine, memory
+// layout, virtual memory, processes, per-processor scheduling, and the
+// PPC facility itself.
+type Kernel struct {
+	m      *machine.Machine
+	layout *mem.Layout
+	vm     *addrspace.Manager
+	procs  *proc.Table
+	sched  *sched.Scheduler
+
+	perProc     []*perProc
+	services    [MaxEntryPoints]*Service
+	extServices map[EntryPointID]*Service
+	nextEP      EntryPointID
+	nextExtEP   EntryPointID
+
+	kernelServer *Server
+	nextProgram  uint32
+	// threadSlots assigns per-space stack windows to client threads.
+	threadSlots map[*addrspace.AddressSpace]int
+
+	// pendingConfig carries a host-side ServiceConfig across the PPC
+	// call to Frank that binds it (the 8 register words cannot carry a
+	// Go closure; this is the documented simulation seam).
+	pendingConfig *ServiceConfig
+	pendingSvc    *Service
+
+	segs struct {
+		stubCall    *machine.CodeSeg
+		stubRet     *machine.CodeSeg
+		entry       *machine.CodeSeg
+		ret         *machine.CodeSeg
+		workerAlloc *machine.CodeSeg
+		workerFree  *machine.CodeSeg
+		cdAlloc     *machine.CodeSeg
+		cdFree      *machine.CodeSeg
+		upcall      *machine.CodeSeg
+		async       *machine.CodeSeg
+		frank       *machine.CodeSeg
+	}
+
+	tracer Tracer
+
+	// exceptionEP, when non-zero, receives an upcall whenever a worker
+	// faults: args = (faulted EP, caller PID, call kind). This is the
+	// paper's §4.4 use of upcalls for exception handling.
+	exceptionEP EntryPointID
+
+	Stats KernelStats
+}
+
+// SetExceptionServer registers (or with 0 clears) the entry point that
+// receives fault-notification upcalls. The exception server itself must
+// not fault recursively; faults inside it are contained but not
+// re-reported.
+func (k *Kernel) SetExceptionServer(ep EntryPointID) { k.exceptionEP = ep }
+
+// NewKernel boots a simulated Hurricane kernel on machine m: it builds
+// the memory layout, virtual memory, process table, scheduler, the
+// per-processor PPC structures, and binds Frank — the kernel-level PPC
+// resource manager — to its well-known entry point.
+func NewKernel(m *machine.Machine) *Kernel {
+	layout := mem.NewLayout(m)
+	vm := addrspace.NewManager(layout)
+	k := &Kernel{
+		m:           m,
+		layout:      layout,
+		vm:          vm,
+		procs:       proc.NewTable(layout),
+		sched:       sched.New(layout),
+		perProc:     make([]*perProc, m.NumProcs()),
+		extServices: make(map[EntryPointID]*Service),
+		nextEP:      firstDynamicEP,
+		nextExtEP:   MaxEntryPoints,
+		nextProgram: 1,
+		threadSlots: make(map[*addrspace.AddressSpace]int),
+	}
+
+	k.segs.stubCall = m.NewCodeSeg("ppc.stub.call", 22)
+	k.segs.stubRet = m.NewCodeSeg("ppc.stub.ret", 18)
+	k.segs.entry = m.NewCodeSeg("ppc.entry", 62)
+	k.segs.ret = m.NewCodeSeg("ppc.return", 54)
+	k.segs.workerAlloc = m.NewCodeSeg("ppc.worker.alloc", 12)
+	k.segs.workerFree = m.NewCodeSeg("ppc.worker.free", 10)
+	k.segs.cdAlloc = m.NewCodeSeg("ppc.cd.alloc", 8)
+	k.segs.cdFree = m.NewCodeSeg("ppc.cd.free", 8)
+	k.segs.upcall = m.NewCodeSeg("ppc.upcall", 12)
+	k.segs.async = m.NewCodeSeg("ppc.async", 18)
+	k.segs.frank = m.NewCodeSeg("ppc.frank", 64)
+
+	for i := 0; i < m.NumProcs(); i++ {
+		pp := &perProc{
+			svcTable:   layout.AllocAligned(i, MaxEntryPoints*4),
+			cdPools:    make(map[int]*cdPool),
+			extTable:   layout.AllocAligned(i, extHashBuckets*8),
+			extEntries: make(map[EntryPointID]*localEntry),
+		}
+		pool := &cdPool{addr: layout.AllocAligned(i, cdPoolHeaderSize)}
+		for c := 0; c < initialCDsPerProc; c++ {
+			pool.free = append(pool.free, k.newCD(i))
+			pool.created++
+		}
+		pp.cdPools[0] = pool
+		k.perProc[i] = pp
+	}
+
+	k.kernelServer = &Server{
+		name:      "kernel",
+		space:     vm.KernelSpace(),
+		programID: 0,
+	}
+
+	// Bind Frank directly (Frank cannot be created via a call to
+	// himself). His resources are preallocated on every processor: one
+	// worker with a held CD per processor, so Frank never blocks on
+	// resource allocation (paper §4.5.6).
+	frank := &Service{
+		ep:            FrankEP,
+		name:          "frank",
+		server:        k.kernelServer,
+		handler:       k.frankHandler,
+		handlerSeg:    k.segs.frank,
+		handlerInstrs: k.segs.frank.Instrs,
+		holdCD:        true,
+		stackPages:    1,
+	}
+	k.services[FrankEP] = frank
+	for i := 0; i < m.NumProcs(); i++ {
+		le := k.installLocalEntry(i, frank)
+		w := k.newWorker(m.Proc(i), frank)
+		le.workers = append(le.workers, w)
+	}
+	k.Stats.ServicesBound++
+	return k
+}
+
+// Machine returns the underlying machine.
+func (k *Kernel) Machine() *machine.Machine { return k.m }
+
+// Layout returns the memory layout.
+func (k *Kernel) Layout() *mem.Layout { return k.layout }
+
+// VM returns the address-space manager.
+func (k *Kernel) VM() *addrspace.Manager { return k.vm }
+
+// Procs returns the process table.
+func (k *Kernel) Procs() *proc.Table { return k.procs }
+
+// Sched returns the scheduler.
+func (k *Kernel) Sched() *sched.Scheduler { return k.sched }
+
+// KernelServer returns the server descriptor for supervisor-space
+// services.
+func (k *Kernel) KernelServer() *Server { return k.kernelServer }
+
+// Service returns the service bound at ep, or nil. IDs below
+// MaxEntryPoints resolve through the direct-indexed table; the rest
+// through the hashed overflow table.
+func (k *Kernel) Service(ep EntryPointID) *Service {
+	if ep < MaxEntryPoints {
+		return k.services[ep]
+	}
+	return k.extServices[ep]
+}
+
+// NewServerProgram creates a user-level server program whose address
+// space (and page tables) live on the given node.
+func (k *Kernel) NewServerProgram(name string, node int) *Server {
+	s := &Server{
+		name:      name,
+		space:     k.vm.NewSpace(name, node),
+		programID: k.nextProgram,
+		node:      node,
+	}
+	k.nextProgram++
+	return s
+}
+
+// Client is a client program bound to one processor: its own address
+// space, process, and mapped user stack. PPC requests are always
+// handled on the client's processor — the locality the model dictates.
+type Client struct {
+	k       *Kernel
+	process *proc.Process
+	p       *machine.Processor
+	// codeSeg is the client's own instruction stream: the first
+	// instructions executed after a call returns touch it, so a
+	// user-to-user call (which flushed the user TLB context) pays an
+	// extra ITLB miss here, as on the real machine.
+	codeSeg *machine.CodeSeg
+}
+
+// NewClientProgram creates a client program on processor procID. All
+// its kernel structures (page tables, PCB, stack frame) come from the
+// processor's local memory.
+func (k *Kernel) NewClientProgram(name string, procID int) *Client {
+	return k.NewClientProgramAt(name, procID, procID)
+}
+
+// NewClientProgramAt creates a client on processor procID whose memory
+// (page tables, PCB, user-stack frame) is deliberately homed on
+// memNode. Used by the NUMA ablation to quantify the cost of violating
+// the locality discipline; production paths always use the local node.
+func (k *Kernel) NewClientProgramAt(name string, procID, memNode int) *Client {
+	p := k.m.Proc(procID)
+	space := k.vm.NewSpace(name, memNode)
+	frame := k.layout.GetFrame(memNode)
+	k.vm.Map(p, space, clientStackVA-machine.Addr(k.layout.PageSize()), frame, addrspace.RW)
+	pr := k.procs.NewAt(name, k.nextProgram, space, procID, memNode)
+	k.nextProgram++
+	pr.UserStackVA = clientStackVA
+	k.sched.SetCurrent(p, pr)
+	return &Client{k: k, process: pr, p: p, codeSeg: k.m.NewCodeSegPage("client."+name, 24)}
+}
+
+// NewClientThread creates another thread of an existing client program
+// on processor procID: it shares the program's address space, program
+// ID, and code, with its own process and its own stack (mapped from the
+// thread's local node — stacks are the thread-private part of a
+// parallel program). This models the paper's "smaller number of
+// large-scale parallel programs" client population.
+func (k *Kernel) NewClientThread(of *Client, procID int) *Client {
+	p := k.m.Proc(procID)
+	space := of.process.Space()
+	slot := k.threadSlots[space] + 1
+	k.threadSlots[space] = slot
+	// Each thread's stack sits in its own leaf-table window, like
+	// worker stacks, so thread stacks never share PTE leaves across
+	// processors.
+	ps := machine.Addr(k.layout.PageSize())
+	top := clientStackVA - machine.Addr(slot)*stackWindowBytes
+	frame := k.layout.GetFrame(procID)
+	k.vm.Map(p, space, top-ps, frame, addrspace.RW)
+	pr := k.procs.New(fmt.Sprintf("%s.t%d", of.process.Name(), slot), of.process.ProgramID(), space, procID)
+	pr.UserStackVA = top
+	k.sched.SetCurrent(p, pr)
+	return &Client{k: k, process: pr, p: p, codeSeg: of.codeSeg}
+}
+
+// Process returns the client's process.
+func (c *Client) Process() *proc.Process { return c.process }
+
+// P returns the client's processor.
+func (c *Client) P() *machine.Processor { return c.p }
+
+// Kernel returns the owning kernel.
+func (c *Client) Kernel() *Kernel { return c.k }
+
+// Call performs a synchronous PPC: the caller blocks until the 8 result
+// words are back in args.
+func (c *Client) Call(ep EntryPointID, args *Args) error {
+	err := c.k.call(c.p, c.process, ep, args, callSync)
+	c.resumeOwnCode()
+	return err
+}
+
+// resumeOwnCode charges the first instructions the client executes
+// after the call returns. Attributed to "unaccounted", as the paper
+// does for the residual cache and TLB interference of the measurement
+// loop itself.
+func (c *Client) resumeOwnCode() {
+	c.p.PushCat(machine.CatUnaccounted)
+	c.p.Exec(c.codeSeg, c.codeSeg.Instrs)
+	c.p.PopCat()
+}
+
+// AsyncCall performs an asynchronous PPC: the caller is placed on the
+// processor ready queue rather than linked into the worker's CD, so
+// caller and worker proceed independently; no results are returned
+// (paper §4.4).
+func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
+	err := c.k.call(c.p, c.process, ep, args, callAsync)
+	c.resumeOwnCode()
+	return err
+}
+
+// serverDataRegion is the base VA where MapServerData places server
+// heap pages.
+const serverDataRegion machine.Addr = 0x20000000
+
+// MapServerData maps n fresh page frames (from the server's home node)
+// into the server's address space and returns the base virtual address.
+// Servers keep their long-lived state (file tables, name maps) in such
+// regions and charge accesses through Ctx.Access.
+func (k *Kernel) MapServerData(server *Server, pages int) machine.Addr {
+	if pages <= 0 {
+		panic("core: MapServerData needs at least one page")
+	}
+	p := k.m.Proc(server.node)
+	ps := machine.Addr(k.layout.PageSize())
+	base := serverDataRegion + machine.Addr(server.dataPages)*ps
+	for i := 0; i < pages; i++ {
+		frame := k.layout.GetFrame(server.node)
+		k.vm.Map(p, server.space, base+machine.Addr(i)*ps, frame, addrspace.RW)
+		server.dataPages++
+	}
+	return base
+}
+
+// newCD allocates a call descriptor (struct plus stack frame) in
+// processor node's local memory. Host-side bookkeeping; simulated cost
+// is charged by the caller (Frank or boot).
+func (k *Kernel) newCD(node int) *CallDescriptor {
+	k.Stats.CDsCreated++
+	return &CallDescriptor{
+		addr:  k.layout.AllocAligned(node, cdStructSize),
+		frame: k.layout.GetFrame(node),
+		home:  node,
+	}
+}
+
+// newWorker creates a worker process for svc on processor p's pool,
+// charging the creation cost (process creation, worker record, stack
+// slot assignment; extra stack frames for multi-page services) to p.
+func (k *Kernel) newWorker(p *machine.Processor, svc *Service) *Worker {
+	node := p.ID()
+	if svc.server.stackSlots == nil {
+		svc.server.stackSlots = make(map[int]int)
+	}
+	slot := svc.server.stackSlots[node]
+	svc.server.stackSlots[node]++
+
+	pages := svc.stackPages
+	if pages <= 0 {
+		pages = 1
+	}
+	ps := machine.Addr(k.layout.PageSize())
+	window := serverStackRegion + machine.Addr(node)*stackWindowBytes
+	w := &Worker{
+		process: k.procs.New(fmt.Sprintf("%s.w%d.p%d", svc.name, slot, node), svc.server.programID, svc.server.space, node),
+		svc:     svc,
+		home:    node,
+		addr:    k.layout.AllocAligned(node, workerStructSize),
+		stackVA: window + machine.Addr(slot*maxStackPages)*ps,
+	}
+	w.handler = svc.handler
+	if svc.initHandler != nil {
+		w.handler = svc.initHandler
+	}
+	// A worker acting as a client of another service (nested PPC) uses
+	// its own (mapped) stack for the user-level register save.
+	w.process.UserStackVA = w.stackTopVA(k)
+	// Record initialization: the worker record and the process PCB.
+	p.Access(w.addr, workerStructSize, machine.Store)
+
+	if svc.holdCD {
+		// Permanently bind a CD and stack to the worker and keep the
+		// stack mapped in the server's space.
+		w.heldCD = k.newCD(node)
+		k.vm.Map(p, svc.server.space, w.topStackPageVA(k), w.heldCD.frame, addrspace.RW)
+	}
+	// Multi-page stacks: the extra (lower) pages are owned by the
+	// worker and mapped per call below the CD page (paper §4.5.4).
+	for i := 0; i < pages-1; i++ {
+		w.extraFrames = append(w.extraFrames, k.layout.GetFrame(node))
+	}
+	if svc.holdCD {
+		for i, f := range w.extraFrames {
+			k.vm.Map(p, svc.server.space, w.stackVA+machine.Addr(i)*ps, f, addrspace.RW)
+		}
+	}
+	svc.Stats.WorkersCreated++
+	k.Stats.WorkersCreated++
+	k.emit(EvWorkerCreated, p.Now(), p.ID(), svc.ep, w.process.Name())
+	return w
+}
+
+// topStackPageVA returns the VA of the highest stack page (the CD page;
+// the stack grows down from its top).
+func (w *Worker) topStackPageVA(k *Kernel) machine.Addr {
+	pages := w.svc.stackPages
+	if pages <= 0 {
+		pages = 1
+	}
+	return w.stackVA + machine.Addr((pages-1)*k.layout.PageSize())
+}
+
+// stackTopVA returns the worker's initial stack pointer.
+func (w *Worker) stackTopVA(k *Kernel) machine.Addr {
+	return w.topStackPageVA(k) + machine.Addr(k.layout.PageSize())
+}
+
+// installLocalEntry creates the per-processor entry record for svc on
+// processor node (host bookkeeping; callers charge the simulated cost).
+func (k *Kernel) installLocalEntry(node int, svc *Service) *localEntry {
+	le := &localEntry{
+		addr: k.layout.AllocAligned(node, localEntrySize),
+		svc:  svc,
+	}
+	k.perProc[node].setEntry(svc.ep, le)
+	return le
+}
+
+// cdPoolFor returns processor node's CD pool for the trust group,
+// creating it on first use.
+func (k *Kernel) cdPoolFor(node, group int) *cdPool {
+	pp := k.perProc[node]
+	pool, ok := pp.cdPools[group]
+	if !ok {
+		pool = &cdPool{addr: k.layout.AllocAligned(node, cdPoolHeaderSize)}
+		pp.cdPools[group] = pool
+	}
+	return pool
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hurricane/internal/machine"
+)
+
+// TestWarmCallTouchesOnlyLocalMemory verifies the paper's central claim
+// *directly*, by observing every data access of a warm call: on
+// processor 5 of a 16-processor machine, a steady-state user-to-user
+// PPC must touch only addresses homed on node 5. Not "costs the same"
+// — actually local, every single access.
+func TestWarmCallTouchesOnlyLocalMemory(t *testing.T) {
+	const procID = 5
+	e := newEnv(t, 16)
+	server := e.k.NewServerProgram("s", procID)
+	svc, err := e.k.BindService(ServiceConfig{Name: "s", Server: server, Handler: nullHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", procID)
+	p := c.P()
+	var args Args
+	for i := 0; i < 4; i++ { // steady state
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var violations []string
+	p.OnAccess = func(vaddr, paddr machine.Addr, size int, kind machine.AccessKind) {
+		if paddr.Home() != procID {
+			violations = append(violations,
+				fmt.Sprintf("%s of %d bytes at pa=%#x (node %d)", kind, size, uint32(paddr), paddr.Home()))
+		}
+	}
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	p.OnAccess = nil
+
+	if len(violations) != 0 {
+		t.Fatalf("warm call touched %d non-local addresses:\n%v", len(violations), violations)
+	}
+}
+
+// TestColdPathsMayGoRemote sanity-checks the instrument itself: a
+// deliberately misplaced client does produce remote accesses.
+func TestColdPathsMayGoRemote(t *testing.T) {
+	e := newEnv(t, 4)
+	server := e.k.NewServerProgram("s", 3)
+	svc, err := e.k.BindService(ServiceConfig{Name: "s", Server: server, Handler: nullHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgramAt("misplaced", 3, 0) // memory on node 0, runs on 3
+	p := c.P()
+	remote := 0
+	p.OnAccess = func(vaddr, paddr machine.Addr, size int, kind machine.AccessKind) {
+		if paddr.Home() != 3 {
+			remote++
+		}
+	}
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	p.OnAccess = nil
+	if remote == 0 {
+		t.Fatal("misplaced client produced no remote accesses; the probe is broken")
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+// TestMultiServiceServer covers the paper's footnote 3: "If a server
+// supports multiple services, there is one pool per service." One
+// server program exports two services; each gets its own per-processor
+// worker pool, while both draw CDs from the shared per-processor pool.
+func TestMultiServiceServer(t *testing.T) {
+	e := newEnv(t, 1)
+	prog := e.k.NewServerProgram("multi", 0)
+
+	read, err := e.k.BindService(ServiceConfig{
+		Name:   "multi.read",
+		Server: prog,
+		Handler: func(ctx *Ctx, args *Args) {
+			args[0] = 1
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, err := e.k.BindService(ServiceConfig{
+		Name:   "multi.write",
+		Server: prog,
+		Handler: func(ctx *Ctx, args *Args) {
+			args[0] = 2
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.Server() != write.Server() {
+		t.Fatal("services should share the server program")
+	}
+
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(read.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 1 {
+		t.Fatal("read handler wrong")
+	}
+	if err := c.Call(write.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 2 {
+		t.Fatal("write handler wrong")
+	}
+
+	// One pool per service: each service created its own worker even
+	// though they share the address space.
+	if e.k.WorkerPoolSize(0, read.EP()) != 1 || e.k.WorkerPoolSize(0, write.EP()) != 1 {
+		t.Fatalf("pools: read=%d write=%d, want 1 each",
+			e.k.WorkerPoolSize(0, read.EP()), e.k.WorkerPoolSize(0, write.EP()))
+	}
+	if read.Stats.WorkersCreated != 1 || write.Stats.WorkersCreated != 1 {
+		t.Fatal("each service should have provisioned its own worker")
+	}
+	// Their workers have distinct stack slots in the shared space.
+	wr := e.k.perProc[0].entry(read.EP()).workers[0]
+	ww := e.k.perProc[0].entry(write.EP()).workers[0]
+	if wr.StackVA() == ww.StackVA() {
+		t.Fatal("workers of different services share a stack VA")
+	}
+	// But both calls recycled the same CD (shared per-processor pool).
+	if got := e.k.CDPoolSize(0, 0); got != initialCDsPerProc {
+		t.Fatalf("CD pool = %d, want %d", got, initialCDsPerProc)
+	}
+	// Killing one service leaves the other running.
+	if err := c.DestroyService(read.EP(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(write.EP(), &args); err != nil {
+		t.Fatalf("sibling service died with its peer: %v", err)
+	}
+}

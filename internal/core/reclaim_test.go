@@ -1,0 +1,115 @@
+package core
+
+import "testing"
+
+// growPools drives a recursive service to depth d, forcing d+1 workers
+// (and CDs) to exist simultaneously on processor 0.
+func growPools(t *testing.T, e *testEnv, depth int) *Service {
+	t.Helper()
+	var svc *Service
+	var err error
+	server := e.k.NewServerProgram("grow.prog", 0)
+	svc, err = e.k.BindService(ServiceConfig{
+		Name:   "grow",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			if args[0] > 0 {
+				var in Args
+				in[0] = args[0] - 1
+				if err := ctx.Call(svc.EP(), &in); err != nil {
+					t.Error(err)
+				}
+			}
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("grower", 0)
+	var args Args
+	args[0] = uint32(depth)
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestReclaimIdleResources(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := growPools(t, e, 3) // 4 workers, extra CDs created
+
+	if got := e.k.WorkerPoolSize(0, svc.EP()); got != 4 {
+		t.Fatalf("pool grew to %d, want 4", got)
+	}
+	if got := e.k.CDPoolSize(0, 0); got <= initialCDsPerProc {
+		t.Fatalf("CD pool did not grow: %d", got)
+	}
+	framesBefore := e.k.Layout().FramesInUse(0)
+
+	workers, cds := e.k.ReclaimIdleResources(0)
+	if workers != 3 {
+		t.Fatalf("reclaimed %d workers, want 3", workers)
+	}
+	if cds < 1 {
+		t.Fatalf("reclaimed %d CDs, want at least 1", cds)
+	}
+	if got := e.k.WorkerPoolSize(0, svc.EP()); got != 1 {
+		t.Fatalf("pool after reclaim = %d, want 1", got)
+	}
+	if got := e.k.CDPoolSize(0, 0); got != initialCDsPerProc {
+		t.Fatalf("CD pool after reclaim = %d, want %d", got, initialCDsPerProc)
+	}
+	// Frames came back.
+	if got := e.k.Layout().FramesInUse(0); got >= framesBefore {
+		t.Fatalf("no frames reclaimed: %d -> %d", framesBefore, got)
+	}
+	// Everything still works (pools regrow on demand).
+	svc2 := growPools(t, e, 2)
+	_ = svc2
+	if e.k.WorkerPoolSize(0, svc.EP()) != 1 {
+		t.Fatal("untouched service pool changed")
+	}
+}
+
+func TestReclaimIsDeterministicAcrossTrustGroups(t *testing.T) {
+	run := func() int64 {
+		e := newEnv(t, 1)
+		// Two trust groups, each forced to create CDs.
+		for g := 0; g < 2; g++ {
+			g := g
+			var svc *Service
+			var err error
+			server := e.k.NewServerProgram("s", 0)
+			svc, err = e.k.BindService(ServiceConfig{
+				Name:       "s",
+				Server:     server,
+				TrustGroup: g,
+				Handler: func(ctx *Ctx, args *Args) {
+					if args[0] > 0 {
+						var in Args
+						in[0] = args[0] - 1
+						if err := ctx.Call(svc.EP(), &in); err != nil {
+							t.Error(err)
+						}
+					}
+					args.SetRC(RCOK)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := e.k.NewClientProgram("c", 0)
+			var args Args
+			args[0] = 2
+			if err := c.Call(svc.EP(), &args); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.k.ReclaimIdleResources(0)
+		return e.m.Proc(0).Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic reclaim: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+)
+
+// Handler is a service's call-handling routine. The simulated execution
+// cost of the handler body (instruction footprint and stack prologue)
+// is charged by the PPC facility from the service configuration; the
+// handler adds any data-touching costs itself through the Ctx.
+type Handler func(ctx *Ctx, args *Args)
+
+// Server is a server program: an address space plus an authentication
+// identity. A server may export multiple services; each service has its
+// own per-processor worker pools (paper §2, footnote: one pool per
+// service).
+type Server struct {
+	name      string
+	space     *addrspace.AddressSpace
+	programID uint32
+	node      int
+
+	// stackSlots allocates fixed per-worker stack virtual addresses,
+	// per processor: each processor's workers live in their own
+	// leaf-table-sized VA window, so the page-table leaf that backs
+	// them is created — and stays — in that processor's local memory.
+	stackSlots map[int]int
+	// dataPages counts pages handed out by MapServerData.
+	dataPages int
+}
+
+// Name returns the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Space returns the server's address space.
+func (s *Server) Space() *addrspace.AddressSpace { return s.space }
+
+// ProgramID returns the server's own authentication identity.
+func (s *Server) ProgramID() uint32 { return s.programID }
+
+// IsKernel reports whether the server runs in the supervisor space.
+func (s *Server) IsKernel() bool { return s.space.IsKernel() }
+
+// serverStackRegion is the base virtual address of worker stacks within
+// a server's address space. Each processor gets its own
+// stackWindowBytes-sized window so its stack PTEs never share a
+// page-table leaf with another processor's.
+const serverStackRegion machine.Addr = 0x70000000
+
+// stackWindowBytes is one page-table leaf's coverage (1024 pages).
+const stackWindowBytes = 1024 * 4096
+
+// maxStackPages bounds the per-service stack size multiple (paper
+// §4.5.4 keeps larger stacks an exceptional, fixed-multiple case).
+const maxStackPages = 8
+
+// ServiceState tracks entry-point lifecycle (paper §4.5.2).
+type ServiceState int
+
+const (
+	// SvcActive accepts calls.
+	SvcActive ServiceState = iota
+	// SvcSoftKilled rejects new calls; calls in progress complete, then
+	// resources are reclaimed.
+	SvcSoftKilled
+	// SvcDead has been torn down (hard kill, or soft kill drained).
+	SvcDead
+)
+
+func (s ServiceState) String() string {
+	switch s {
+	case SvcActive:
+		return "active"
+	case SvcSoftKilled:
+		return "soft-killed"
+	case SvcDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// ServiceConfig describes a service to be bound to an entry point via
+// Frank.
+type ServiceConfig struct {
+	// Name is the diagnostic name of the service.
+	Name string
+	// Server is the program that implements the service.
+	Server *Server
+	// Handler is the steady-state call-handling routine.
+	Handler Handler
+	// InitHandler, when non-nil, is the routine fresh workers enter on
+	// their first call; it typically performs one-time setup and then
+	// calls Ctx.SetHandler to install the steady-state handler
+	// (paper §4.5.3). If it does not, it keeps handling calls itself.
+	InitHandler Handler
+	// Authorize, when non-nil, is consulted with the caller's program
+	// ID before the handler runs; rejection fails the call with
+	// ErrPermissionDenied. Authentication is the server's business, not
+	// the PPC facility's (paper §4.1).
+	Authorize func(callerProgram uint32) bool
+
+	// HandlerInstrs is the simulated instruction footprint of the
+	// handler body (defaults to 25 — the paper's dummy server saves and
+	// restores a few registers).
+	HandlerInstrs int
+	// HoldCD locks a call descriptor and stack to each worker so that
+	// sensitive state may stay on the stack between calls; it also
+	// saves the per-call CD/stack management (Figure 2's "hold CD"
+	// bars) at the price of more cache footprint across servers.
+	HoldCD bool
+	// TrustGroup selects which per-processor CD pool the service draws
+	// from. Servers in the same group serially share stacks; group 0 is
+	// the default shared pool (paper §2's trust-group compromise).
+	TrustGroup int
+	// StackPages is the worker stack size in pages (1..8, default 1).
+	// Multi-page stacks take the exceptional path: extra frames are
+	// kept per worker and mapped on each call (paper §4.5.4).
+	StackPages int
+	// EP, when non-zero, requests a specific well-known entry point.
+	// IDs at or above MaxEntryPoints land in the hashed overflow table.
+	EP EntryPointID
+	// Extended allocates the entry point from the hashed overflow
+	// table instead of the fast direct-indexed array (paper §4.5.5's
+	// two-tier scheme): lookups pay a hash probe and chain walk, so
+	// reserve the fast table for services that need top performance.
+	Extended bool
+}
+
+func (cfg *ServiceConfig) validate() error {
+	if cfg.Name == "" {
+		return fmt.Errorf("core: service config needs a name")
+	}
+	if cfg.Server == nil {
+		return fmt.Errorf("core: service %q needs a server", cfg.Name)
+	}
+	if cfg.Handler == nil {
+		return fmt.Errorf("core: service %q needs a handler", cfg.Name)
+	}
+	if cfg.HandlerInstrs < 0 {
+		return fmt.Errorf("core: service %q has negative handler footprint", cfg.Name)
+	}
+	if cfg.StackPages < 0 || cfg.StackPages > maxStackPages {
+		return fmt.Errorf("core: service %q stack pages %d out of range [0,%d]", cfg.Name, cfg.StackPages, maxStackPages)
+	}
+	if cfg.TrustGroup < 0 {
+		return fmt.Errorf("core: service %q negative trust group", cfg.Name)
+	}
+	return nil
+}
+
+// ServiceStats counts per-service events.
+type ServiceStats struct {
+	Calls          int64
+	AsyncCalls     int64
+	Interrupts     int64
+	Upcalls        int64
+	WorkersCreated int64
+	FrankRedirects int64
+	AuthFailures   int64
+	Faults         int64
+}
+
+// Service is a bound entry point.
+type Service struct {
+	ep     EntryPointID
+	name   string
+	server *Server
+	state  ServiceState
+
+	handler       Handler
+	initHandler   Handler
+	authorize     func(uint32) bool
+	handlerSeg    *machine.CodeSeg
+	handlerInstrs int
+	holdCD        bool
+	trustGroup    int
+	stackPages    int
+
+	inProgress     int64
+	pendingDestroy bool // soft kill waiting for drain
+
+	Stats ServiceStats
+}
+
+// EP returns the service's entry point ID.
+func (s *Service) EP() EntryPointID { return s.ep }
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Server returns the implementing server program.
+func (s *Service) Server() *Server { return s.server }
+
+// State returns the lifecycle state.
+func (s *Service) State() ServiceState { return s.state }
+
+// HoldCD reports whether workers hold their CD and stack permanently.
+func (s *Service) HoldCD() bool { return s.holdCD }
+
+// TrustGroup returns the CD-pool trust group.
+func (s *Service) TrustGroup() int { return s.trustGroup }
+
+// StackPages returns the per-call stack size in pages.
+func (s *Service) StackPages() int { return s.stackPages }
+
+// InProgress returns the number of calls currently executing (used by
+// soft kill to decide when to reclaim, paper §4.5.2).
+func (s *Service) InProgress() int64 { return s.inProgress }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"hurricane/internal/machine"
+)
+
+func TestClientThreadsShareProgramIdentity(t *testing.T) {
+	e := newEnv(t, 4)
+	main := e.k.NewClientProgram("par", 0)
+	t1 := e.k.NewClientThread(main, 1)
+	t2 := e.k.NewClientThread(main, 2)
+
+	if t1.Process().Space() != main.Process().Space() {
+		t.Fatal("thread does not share the program's address space")
+	}
+	if t1.Process().ProgramID() != main.Process().ProgramID() {
+		t.Fatal("thread does not share the program ID")
+	}
+	if t1.Process().PID() == main.Process().PID() {
+		t.Fatal("thread should have its own process")
+	}
+	if t1.Process().UserStackVA == main.Process().UserStackVA ||
+		t1.Process().UserStackVA == t2.Process().UserStackVA {
+		t.Fatal("threads must have distinct stacks")
+	}
+}
+
+func TestClientThreadsCallIndependently(t *testing.T) {
+	e := newEnv(t, 4)
+	var callers []uint32
+	server := e.k.NewServerProgram("svc.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "svc",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			callers = append(callers, ctx.CallerProgram)
+			args[0] = uint32(ctx.P().ID())
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := e.k.NewClientProgram("par", 0)
+	threads := []*Client{main}
+	for i := 1; i < 4; i++ {
+		threads = append(threads, e.k.NewClientThread(main, i))
+	}
+	for i, th := range threads {
+		var args Args
+		if err := th.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+		if int(args[0]) != i {
+			t.Fatalf("thread %d serviced on processor %d", i, args[0])
+		}
+		if th.P().Mode() != machine.ModeUser {
+			t.Fatalf("thread %d trap imbalance", i)
+		}
+	}
+	// All calls presented the same program identity (one program).
+	for _, prog := range callers {
+		if prog != main.Process().ProgramID() {
+			t.Fatalf("caller identities differ: %v", callers)
+		}
+	}
+	// And each processor built its own worker — the concurrency of the
+	// parallel program is preserved in the server.
+	if svc.Stats.WorkersCreated != 4 {
+		t.Fatalf("WorkersCreated = %d, want 4", svc.Stats.WorkersCreated)
+	}
+}
+
+func TestThreadsOnSameProcessorTimeShare(t *testing.T) {
+	e := newEnv(t, 1)
+	main := e.k.NewClientProgram("par", 0)
+	sib := e.k.NewClientThread(main, 0)
+	svc := e.bindNull(t, "s", true, nil)
+	var args Args
+	if err := main.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if err := sib.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats.Calls != 2 {
+		t.Fatalf("calls = %d", svc.Stats.Calls)
+	}
+	// Same address space: no user-TLB flush between the siblings'
+	// calls beyond the server switches.
+	if main.Process().Space() != sib.Process().Space() {
+		t.Fatal("space sharing broken")
+	}
+}

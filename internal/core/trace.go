@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies kernel trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	// EvCallStart fires when a PPC enters the kernel.
+	EvCallStart EventKind = iota
+	// EvCallEnd fires when the caller is resumed (or the variant
+	// completes).
+	EvCallEnd
+	// EvWorkerCreated fires when Frank provisions a worker.
+	EvWorkerCreated
+	// EvWorkerReleased fires when a worker is destroyed.
+	EvWorkerReleased
+	// EvServiceBound fires when an entry point is bound.
+	EvServiceBound
+	// EvServiceKilled fires when an entry point is reclaimed.
+	EvServiceKilled
+	// EvFault fires when a handler exception is contained.
+	EvFault
+	// EvRedirect fires when an empty pool redirects to Frank.
+	EvRedirect
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCallStart:
+		return "call-start"
+	case EvCallEnd:
+		return "call-end"
+	case EvWorkerCreated:
+		return "worker-created"
+	case EvWorkerReleased:
+		return "worker-released"
+	case EvServiceBound:
+		return "service-bound"
+	case EvServiceKilled:
+		return "service-killed"
+	case EvFault:
+		return "fault"
+	case EvRedirect:
+		return "frank-redirect"
+	}
+	return "invalid"
+}
+
+// Event is one kernel trace record.
+type Event struct {
+	Kind   EventKind
+	Cycles int64 // the emitting processor's virtual time
+	Proc   int
+	EP     EntryPointID
+	Kindof string // call variant or detail
+}
+
+// Tracer receives kernel events when installed via SetTracer. Tracing
+// is free when disabled (a nil check on the hot path) and must not be
+// used to influence simulation state.
+type Tracer func(Event)
+
+// SetTracer installs (or with nil removes) the kernel event tracer.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
+
+// emit sends an event to the tracer if one is installed.
+func (k *Kernel) emit(kind EventKind, cycles int64, procID int, ep EntryPointID, detail string) {
+	if k.tracer == nil {
+		return
+	}
+	k.tracer(Event{Kind: kind, Cycles: cycles, Proc: procID, EP: ep, Kindof: detail})
+}
+
+// TraceBuffer is a convenience Tracer that records events in order.
+type TraceBuffer struct {
+	Events []Event
+}
+
+// Record appends an event (use as kernel.SetTracer(buf.Record)).
+func (b *TraceBuffer) Record(e Event) { b.Events = append(b.Events, e) }
+
+// Count returns how many events of the kind were recorded.
+func (b *TraceBuffer) Count(kind EventKind) int {
+	n := 0
+	for _, e := range b.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Timeline renders the buffer as a per-processor timeline, one line per
+// event, in microseconds under the given cycle rate.
+func (b *TraceBuffer) Timeline(cyclesToMicros func(int64) float64) string {
+	var sb strings.Builder
+	for _, e := range b.Events {
+		fmt.Fprintf(&sb, "%10.2f us  p%-2d %-16s ep=%-4d %s\n",
+			cyclesToMicros(e.Cycles), e.Proc, e.Kind, e.EP, e.Kindof)
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsCallLifecycle(t *testing.T) {
+	e := newEnv(t, 1)
+	var buf TraceBuffer
+	e.k.SetTracer(buf.Record)
+
+	svc := e.bindNull(t, "traced", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	for i := 0; i < 3; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := buf.Count(EvCallStart); got < 3 {
+		t.Fatalf("call-start events = %d, want >= 3", got)
+	}
+	if buf.Count(EvCallStart) != buf.Count(EvCallEnd) {
+		t.Fatalf("unbalanced call events: %d starts, %d ends",
+			buf.Count(EvCallStart), buf.Count(EvCallEnd))
+	}
+	// The first call provisioned a worker via Frank.
+	if buf.Count(EvRedirect) != 1 || buf.Count(EvWorkerCreated) != 1 {
+		t.Fatalf("redirects=%d created=%d", buf.Count(EvRedirect), buf.Count(EvWorkerCreated))
+	}
+	// Events are time-ordered per processor.
+	var last int64 = -1
+	for _, ev := range buf.Events {
+		if ev.Cycles < last {
+			t.Fatalf("trace time went backwards: %d after %d", ev.Cycles, last)
+		}
+		last = ev.Cycles
+	}
+}
+
+func TestTraceRecordsFaultsAndKills(t *testing.T) {
+	e := newEnv(t, 2)
+	var buf TraceBuffer
+	e.k.SetTracer(buf.Record)
+
+	server := e.k.NewServerProgram("flaky.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "flaky",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			panic("bug")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	_ = c.Call(svc.EP(), &args) // faults
+	if err := c.DestroyService(svc.EP(), true); err != nil {
+		t.Fatal(err)
+	}
+
+	if buf.Count(EvServiceBound) < 1 {
+		t.Fatal("no service-bound event")
+	}
+	if buf.Count(EvFault) != 1 {
+		t.Fatalf("fault events = %d", buf.Count(EvFault))
+	}
+	if buf.Count(EvServiceKilled) != 1 {
+		t.Fatalf("kill events = %d", buf.Count(EvServiceKilled))
+	}
+	if buf.Count(EvWorkerReleased) < 1 {
+		t.Fatal("no worker-released event")
+	}
+}
+
+func TestTraceTimelineRenders(t *testing.T) {
+	e := newEnv(t, 1)
+	var buf TraceBuffer
+	e.k.SetTracer(buf.Record)
+	svc := e.bindNull(t, "x", true, nil)
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Timeline(e.m.Params().CyclesToMicros)
+	for _, want := range []string{"call-start", "call-end", "worker-created", "us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracingDisabledIsFree(t *testing.T) {
+	// Tracing must not change simulated time at all.
+	run := func(trace bool) int64 {
+		e := newEnv(t, 1)
+		if trace {
+			var buf TraceBuffer
+			e.k.SetTracer(buf.Record)
+		}
+		svc := e.bindNull(t, "x", true, nil)
+		c := e.k.NewClientProgram("client", 0)
+		var args Args
+		for i := 0; i < 5; i++ {
+			if err := c.Call(svc.EP(), &args); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.P().Now()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("tracing perturbed virtual time: %d vs %d", a, b)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EvCallStart, EvCallEnd, EvWorkerCreated, EvWorkerReleased, EvServiceBound, EvServiceKilled, EvFault, EvRedirect} {
+		if k.String() == "invalid" || k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if EventKind(99).String() != "invalid" {
+		t.Fatal("out-of-range kind should be invalid")
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"testing"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+func TestAsyncCallCallerResumes(t *testing.T) {
+	e := newEnv(t, 1)
+	ran := false
+	server := e.k.NewServerProgram("async.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "async",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			if !ctx.IsAsync() {
+				t.Error("handler should see an async request")
+			}
+			ran = true
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+
+	var args Args
+	if err := c.AsyncCall(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("async handler did not run")
+	}
+	if svc.Stats.AsyncCalls != 1 || svc.Stats.Calls != 0 {
+		t.Fatalf("stats: async=%d sync=%d", svc.Stats.AsyncCalls, svc.Stats.Calls)
+	}
+	// The caller went through the ready queue and is running again.
+	if e.k.Sched().Current(c.P()) != c.Process() {
+		t.Fatal("caller not resumed after async completion")
+	}
+	if c.Process().State() != proc.StateRunning {
+		t.Fatalf("caller state = %v", c.Process().State())
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance after async call")
+	}
+	if e.k.Sched().Len(0) != 0 {
+		t.Fatal("ready queue not drained")
+	}
+}
+
+func TestAsyncCallUsedForPrefetch(t *testing.T) {
+	// The paper's example: a file block prefetch issued asynchronously;
+	// the caller keeps going without waiting for results.
+	e := newEnv(t, 1)
+	var prefetched []uint32
+	server := e.k.NewServerProgram("fs.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "prefetch",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			prefetched = append(prefetched, args[0])
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	for blk := uint32(10); blk < 13; blk++ {
+		var args Args
+		args[0] = blk
+		if err := c.AsyncCall(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(prefetched) != 3 || prefetched[0] != 10 || prefetched[2] != 12 {
+		t.Fatalf("prefetched = %v", prefetched)
+	}
+}
+
+func TestInterruptDispatch(t *testing.T) {
+	e := newEnv(t, 1)
+	var gotVector uint32
+	var gotProgram uint32 = 99
+	server := e.k.NewServerProgram("dev.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "devsvc",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			gotVector = args[0]
+			gotProgram = ctx.CallerProgram
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var args Args
+	args[0] = 0x42
+	if err := e.k.DispatchInterrupt(0, svc.EP(), &args, nil); err != nil {
+		t.Fatal(err)
+	}
+	if gotVector != 0x42 {
+		t.Fatalf("vector = %#x", gotVector)
+	}
+	// From the device server's point of view it is a normal PPC
+	// request, with a kernel (program 0) caller identity.
+	if gotProgram != 0 {
+		t.Fatalf("caller program = %d, want 0 (kernel)", gotProgram)
+	}
+	if svc.Stats.Interrupts != 1 {
+		t.Fatalf("Interrupts = %d", svc.Stats.Interrupts)
+	}
+	if e.m.Proc(0).Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance after interrupt dispatch")
+	}
+}
+
+func TestInterruptResumesInterruptedProcess(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "devsvc", false, nil)
+	victim := e.k.NewClientProgram("victim", 0)
+
+	var args Args
+	if err := e.k.DispatchInterrupt(0, svc.EP(), &args, victim.Process()); err != nil {
+		t.Fatal(err)
+	}
+	if e.k.Sched().Current(e.m.Proc(0)) != victim.Process() {
+		t.Fatal("interrupted process not resumed")
+	}
+	if victim.Process().State() != proc.StateRunning {
+		t.Fatalf("victim state = %v", victim.Process().State())
+	}
+}
+
+func TestUpcallVariant(t *testing.T) {
+	e := newEnv(t, 1)
+	delivered := false
+	server := e.k.NewServerProgram("dbg.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "debugger",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			delivered = true
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args Args
+	args[0] = 7 // exception number
+	if err := e.k.Upcall(0, svc.EP(), &args, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("upcall not delivered")
+	}
+	if svc.Stats.Upcalls != 1 {
+		t.Fatalf("Upcalls = %d", svc.Stats.Upcalls)
+	}
+}
+
+func TestCrossProcessorCall(t *testing.T) {
+	e := newEnv(t, 4)
+	var servicedOn = -1
+	server := e.k.NewServerProgram("disk.prog", 2)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "disk",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			servicedOn = ctx.P().ID()
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	requester := e.m.Proc(0)
+	before := requester.Now()
+	var args Args
+	if err := e.k.CrossCall(0, 2, svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if servicedOn != 2 {
+		t.Fatalf("serviced on processor %d, want 2", servicedOn)
+	}
+	if requester.Now() == before {
+		t.Fatal("requester paid nothing for the remote post")
+	}
+	// The target's clock advanced to service the request.
+	if e.m.Proc(2).Now() < before {
+		t.Fatal("target clock did not advance")
+	}
+	if e.k.Stats.CrossCalls != 1 {
+		t.Fatalf("CrossCalls = %d", e.k.Stats.CrossCalls)
+	}
+}
+
+func TestCrossCallToSelfIsLocal(t *testing.T) {
+	e := newEnv(t, 2)
+	svc := e.bindNull(t, "local", false, nil)
+	c := e.k.NewClientProgram("client", 0)
+	_ = c
+	var args Args
+	if err := e.k.CrossCall(0, 0, svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats.Calls != 1 {
+		t.Fatal("self cross-call should be an ordinary local call")
+	}
+}
+
+func TestCrossCallBounds(t *testing.T) {
+	e := newEnv(t, 2)
+	var args Args
+	if err := e.k.CrossCall(0, 5, 1, &args); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+func TestKernelServiceRunsInSupervisorMode(t *testing.T) {
+	e := newEnv(t, 1)
+	var mode machine.Mode
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "ksvc",
+		Server: e.k.KernelServer(),
+		Handler: func(ctx *Ctx, args *Args) {
+			mode = ctx.P().Mode()
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if mode != machine.ModeSupervisor {
+		t.Fatal("kernel service should run in supervisor mode")
+	}
+}
+
+func TestUserServiceRunsInUserMode(t *testing.T) {
+	e := newEnv(t, 1)
+	var mode machine.Mode
+	server := e.k.NewServerProgram("usvc.prog", 0)
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "usvc",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			mode = ctx.P().Mode()
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if mode != machine.ModeUser {
+		t.Fatal("user service should run in user mode (entered by return-from-trap)")
+	}
+}
+
+func TestStackRecyclingSharesFramesAcrossServers(t *testing.T) {
+	// Successive calls to different servers reuse the same CD and hence
+	// the same physical stack page — the cache-footprint win of §2.
+	e := newEnv(t, 1)
+	var frames []machine.Addr
+	record := func(ctx *Ctx, args *Args) {
+		frames = append(frames, ctx.Worker().HeldCD().Frame())
+		args.SetRC(RCOK)
+	}
+	_ = record
+	var framesSeen []machine.Addr
+	mk := func(name string) *Service {
+		server := e.k.NewServerProgram(name+".prog", 0)
+		svc, err := e.k.BindService(ServiceConfig{
+			Name:   name,
+			Server: server,
+			Handler: func(ctx *Ctx, args *Args) {
+				// The worker has no held CD; find the frame through the
+				// mapped stack translation.
+				pa, _, ok := e.k.VM().Translate(server.Space(), ctx.Worker().StackVA())
+				if !ok {
+					t.Error("stack not mapped during call")
+				}
+				framesSeen = append(framesSeen, pa)
+				args.SetRC(RCOK)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	a, b := mk("a"), mk("b")
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	for i := 0; i < 2; i++ {
+		if err := c.Call(a.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Call(b.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(framesSeen) != 4 {
+		t.Fatalf("frames seen = %d", len(framesSeen))
+	}
+	for i := 1; i < len(framesSeen); i++ {
+		if framesSeen[i] != framesSeen[0] {
+			t.Fatalf("stack frame not serially shared: %v", framesSeen)
+		}
+	}
+}
+
+func TestLazyStackGrowthViaFaultHandler(t *testing.T) {
+	// Paper §4.5.4's alternative: keep one-page stacks, assign a larger
+	// virtual range, and let accesses beyond the first page fault and
+	// be repaired by the normal page-fault mechanism; cleanup on return
+	// gives the extra pages back.
+	e := newEnv(t, 1)
+	ps := e.k.Layout().PageSize()
+	server := e.k.NewServerProgram("lazy.prog", 0)
+	faults := 0
+	var grown []machine.Addr
+	server.Space().OnFault = func(p *machine.Processor, as *addrspace.AddressSpace, va machine.Addr, kind machine.AccessKind) bool {
+		faults++
+		p.Trap() // the page fault traps to the kernel
+		frame := e.k.Layout().GetFrame(p.ID())
+		page := machine.Addr(uint32(va) &^ uint32(ps-1))
+		e.k.VM().Map(p, as, page, frame, addrspace.RW)
+		grown = append(grown, page)
+		p.ReturnFromTrap()
+		return true
+	}
+	svc, err := e.k.BindService(ServiceConfig{
+		Name:   "lazy",
+		Server: server,
+		Handler: func(ctx *Ctx, args *Args) {
+			// Reach one page below the mapped stack page.
+			ctx.Stack(ps+128, 64, machine.Store)
+			args.SetRC(RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.k.NewClientProgram("client", 0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d, want 1", faults)
+	}
+	// Cleanup on return: give the demand-grown pages back.
+	p := c.P()
+	for _, page := range grown {
+		frame := e.k.VM().Unmap(p, server.Space(), page)
+		e.k.Layout().PutFrame(p.ID(), frame)
+	}
+	// The second call re-faults (common case stays fast; only servers
+	// needing the space pay).
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 2 {
+		t.Fatalf("faults = %d, want 2", faults)
+	}
+}

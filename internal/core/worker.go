@@ -1,0 +1,91 @@
+package core
+
+import (
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+// workerStructSize is the simulated footprint of a worker record.
+const workerStructSize = 48
+
+// cdStructSize is the simulated footprint of a call descriptor: return
+// information (caller PC/SP/PSR, caller process, flags) plus the stack
+// pointer fields. The paper keeps a whole call within 6 cache lines;
+// the CD accounts for two of them.
+const cdStructSize = 32
+
+// CallDescriptor stores return information during a call and points to
+// the physical memory used for the worker's stack (paper §2). CDs live
+// in per-processor pools shared among all the servers on that processor
+// (optionally segregated by trust group), so successive calls to
+// different servers serially share the same physical stack page — the
+// cache-footprint optimization discussed in the paper.
+type CallDescriptor struct {
+	addr  machine.Addr // simulated CD struct, in local kernel memory
+	frame machine.Addr // physical page used as the worker stack
+	home  int          // owning processor
+
+	// Host-side return linkage for the call in progress.
+	caller *proc.Process
+	async  bool
+}
+
+// Addr returns the simulated address of the CD (tests, reports).
+func (cd *CallDescriptor) Addr() machine.Addr { return cd.addr }
+
+// Frame returns the physical stack page the CD owns.
+func (cd *CallDescriptor) Frame() machine.Addr { return cd.frame }
+
+// Home returns the owning processor.
+func (cd *CallDescriptor) Home() int { return cd.home }
+
+// Worker is a server process used to service client calls. Workers are
+// created dynamically as needed and (re)initialized to the server's
+// call-handling code on each call, effecting an upcall directly into
+// the service routine. A worker belongs to exactly one processor's pool
+// for one service.
+type Worker struct {
+	process *proc.Process
+	svc     *Service
+	home    int
+	addr    machine.Addr // simulated worker record
+
+	// stackVA is the fixed virtual address (in the server's space) at
+	// which this worker's stack page is mapped during a call.
+	stackVA machine.Addr
+
+	// heldCD, when non-nil, is a CD-and-stack permanently held by the
+	// worker (the paper's compromise for servers that keep sensitive
+	// state on their stacks; also the "hold CD" configurations of
+	// Figure 2). The stack stays mapped between calls.
+	heldCD *CallDescriptor
+
+	// extraFrames are the additional (lower) stack pages of a
+	// multi-page-stack service, owned by the worker and mapped on each
+	// call (paper §4.5.4's exceptional case).
+	extraFrames []machine.Addr
+
+	// handler is the worker's current call-handling routine. It starts
+	// as the service's init handler (if any), which is expected to swap
+	// in the steady-state handler on first call (paper §4.5.3).
+	handler Handler
+
+	// Calls counts the calls serviced by this worker.
+	Calls int64
+}
+
+// Process returns the underlying Hurricane process.
+func (w *Worker) Process() *proc.Process { return w.process }
+
+// Service returns the service the worker belongs to.
+func (w *Worker) Service() *Service { return w.svc }
+
+// Home returns the processor whose pool owns the worker.
+func (w *Worker) Home() int { return w.home }
+
+// StackVA returns the worker's fixed stack virtual address in the
+// server's address space.
+func (w *Worker) StackVA() machine.Addr { return w.stackVA }
+
+// HeldCD returns the permanently-held CD, or nil.
+func (w *Worker) HeldCD() *CallDescriptor { return w.heldCD }

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/msgipc"
+	"hurricane/internal/proc"
+	"hurricane/internal/services/fileserver"
+	"hurricane/internal/workload"
+)
+
+// BaselineResult compares null-call throughput of the PPC facility
+// against the locked message-passing baseline (ablation E5): even with
+// an empty server, the baseline's shared pools and locks cap its
+// aggregate rate, while PPC scales with the processor count.
+type BaselineResult struct {
+	Procs        []int
+	PPCCalls     []float64 // calls/sec
+	BaselineCall []float64 // calls/sec
+}
+
+// RunBaselineComparison measures both facilities at 1..maxProcs.
+func RunBaselineComparison(maxProcs int) (BaselineResult, error) {
+	res := BaselineResult{}
+	for n := 1; n <= maxProcs; n++ {
+		ppc, err := runNullThroughput(n, false)
+		if err != nil {
+			return res, err
+		}
+		base, err := runNullThroughput(n, true)
+		if err != nil {
+			return res, err
+		}
+		res.Procs = append(res.Procs, n)
+		res.PPCCalls = append(res.PPCCalls, ppc)
+		res.BaselineCall = append(res.BaselineCall, base)
+	}
+	return res, nil
+}
+
+func runNullThroughput(n int, baseline bool) (float64, error) {
+	m := machine.MustNew(n, machine.DefaultParams())
+	k := core.NewKernel(m)
+
+	var drivers []workload.Driver
+	if baseline {
+		f := msgipc.New(k)
+		pt := f.CreatePort("null", func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+			p.Charge(25) // the dummy server body
+			args.SetRC(core.RCOK)
+		})
+		for i := 0; i < n; i++ {
+			c := k.NewClientProgram(fmt.Sprintf("c%d", i), i)
+			client := c
+			drivers = append(drivers, &workload.DriverFunc{Proc: c.P(), Fn: func(iter int) error {
+				var args core.Args
+				return f.Call(client, pt.ID(), &args)
+			}})
+		}
+	} else {
+		server := k.NewServerProgram("null.prog", 0)
+		svc, err := k.BindService(core.ServiceConfig{Name: "null", Server: server,
+			Handler: func(ctx *core.Ctx, args *core.Args) { args.SetRC(core.RCOK) }})
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < n; i++ {
+			c := k.NewClientProgram(fmt.Sprintf("c%d", i), i)
+			client := c
+			drivers = append(drivers, &workload.DriverFunc{Proc: c.P(), Fn: func(iter int) error {
+				var args core.Args
+				return client.Call(svc.EP(), &args)
+			}})
+		}
+	}
+	r, err := workload.Run(m, drivers, fig3HorizonCycles, fig3Warmup)
+	if err != nil {
+		return 0, err
+	}
+	return r.CallsPerSecond, nil
+}
+
+// StackSharingResult quantifies the serial stack-reuse optimization
+// (ablation E6): with many servers called in rotation, pooled CDs give
+// every server the same recycled stack page (small cache footprint),
+// while held CDs give each server its own resident stack (large
+// footprint, more misses when the working set exceeds the cache).
+type StackSharingResult struct {
+	Servers            int
+	PooledCallMicros   float64
+	HeldCallMicros     float64
+	PooledDCacheMisses int64
+	HeldDCacheMisses   int64
+}
+
+// RunStackSharingAblation calls `servers` distinct user servers in
+// rotation and measures the average warm call cost for pooled versus
+// held CDs.
+func RunStackSharingAblation(servers int) (StackSharingResult, error) {
+	run := func(hold bool) (float64, int64, error) {
+		m := machine.MustNew(1, machine.DefaultParams())
+		k := core.NewKernel(m)
+		eps := make([]core.EntryPointID, 0, servers)
+		for s := 0; s < servers; s++ {
+			prog := k.NewServerProgram(fmt.Sprintf("s%d", s), 0)
+			svc, err := k.BindService(core.ServiceConfig{
+				Name:   fmt.Sprintf("s%d", s),
+				Server: prog,
+				Handler: func(ctx *core.Ctx, args *core.Args) {
+					// Touch a good chunk of the stack so the stack
+					// page's residency matters.
+					ctx.Stack(0, 512, machine.Store)
+					ctx.Stack(0, 512, machine.Load)
+					args.SetRC(core.RCOK)
+				},
+				HoldCD: hold,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			eps = append(eps, svc.EP())
+		}
+		c := k.NewClientProgram("client", 0)
+		p := c.P()
+		var args core.Args
+		// Warm: two full rotations.
+		for r := 0; r < 2; r++ {
+			for _, ep := range eps {
+				if err := c.Call(ep, &args); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		missesBefore := p.DCache().Misses
+		before := p.Now()
+		const rotations = 4
+		for r := 0; r < rotations; r++ {
+			for _, ep := range eps {
+				if err := c.Call(ep, &args); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		calls := int64(rotations * len(eps))
+		avg := m.Params().CyclesToMicros(p.Now()-before) / float64(calls)
+		return avg, p.DCache().Misses - missesBefore, nil
+	}
+
+	pooled, pooledMiss, err := run(false)
+	if err != nil {
+		return StackSharingResult{}, err
+	}
+	held, heldMiss, err := run(true)
+	if err != nil {
+		return StackSharingResult{}, err
+	}
+	return StackSharingResult{
+		Servers:            servers,
+		PooledCallMicros:   pooled,
+		HeldCallMicros:     held,
+		PooledDCacheMisses: pooledMiss,
+		HeldDCacheMisses:   heldMiss,
+	}, nil
+}
+
+// NUMAResult is the placement ablation (E7).
+type NUMAResult struct {
+	// LocalMicros[i] is the warm null-call time for a properly-local
+	// client on processor i of a 16-processor machine. The paper's
+	// claim is that these are all identical: locality makes the
+	// facility NUMA-immune.
+	LocalMicros []float64
+	// MisplacedMicros is the warm call time for a client on processor
+	// 15 whose own structures (PCB, page tables, stack frame) were
+	// deliberately allocated on node 0 — what happens when the
+	// locality discipline is broken.
+	MisplacedMicros float64
+}
+
+// RunNUMAAblation measures local placements on every processor and one
+// deliberately-misplaced client.
+func RunNUMAAblation() (NUMAResult, error) {
+	const procs = 16
+	m := machine.MustNew(procs, machine.DefaultParams())
+	k := core.NewKernel(m)
+	server := k.NewServerProgram("null.prog", 0)
+	svc, err := k.BindService(core.ServiceConfig{Name: "null", Server: server,
+		Handler: func(ctx *core.Ctx, args *core.Args) { args.SetRC(core.RCOK) }})
+	if err != nil {
+		return NUMAResult{}, err
+	}
+
+	// Measured with the data cache flushed before each call: without
+	// hardware coherence, even remote *private* data may be cached, so
+	// placement only shows up in miss traffic. The claim under test is
+	// that local placement keeps the miss traffic local.
+	measure := func(c *core.Client) (float64, error) {
+		var args core.Args
+		for i := 0; i < fig2Warmup; i++ {
+			if err := c.Call(svc.EP(), &args); err != nil {
+				return 0, err
+			}
+		}
+		p := c.P()
+		var total int64
+		for i := 0; i < fig2Samples; i++ {
+			p.FlushDataCache()
+			before := p.Now()
+			if err := c.Call(svc.EP(), &args); err != nil {
+				return 0, err
+			}
+			total += p.Now() - before
+		}
+		return m.Params().CyclesToMicros(total) / fig2Samples, nil
+	}
+
+	var res NUMAResult
+	for i := 0; i < procs; i++ {
+		us, err := measure(k.NewClientProgram(fmt.Sprintf("c%d", i), i))
+		if err != nil {
+			return res, err
+		}
+		res.LocalMicros = append(res.LocalMicros, us)
+	}
+	mis, err := measure(k.NewClientProgramAt("misplaced", 15, 0))
+	if err != nil {
+		return res, err
+	}
+	res.MisplacedMicros = mis
+	return res, nil
+}
+
+// LockImpactResult supports the paper's closing observation on Figure
+// 3: it reports the file lock's contention profile in the single-file
+// run, connecting the saturation to the lock rather than to the IPC
+// facility.
+type LockImpactResult struct {
+	Procs           int
+	Contentions     int64
+	Acquisitions    int64
+	SpinFraction    float64 // share of total virtual time spent spinning
+	IPCLockAcquires int64   // locks taken by the PPC facility itself (always 0)
+}
+
+// RunLockImpact runs the single-file workload at n processors and
+// reports the lock profile.
+func RunLockImpact(n int) (LockImpactResult, error) {
+	m := machine.MustNew(n, machine.DefaultParams())
+	k := core.NewKernel(m)
+	bob, err := fileserver.Install(k, 0)
+	if err != nil {
+		return LockImpactResult{}, err
+	}
+	var drivers []workload.Driver
+	for i := 0; i < n; i++ {
+		c := k.NewClientProgram(fmt.Sprintf("c%d", i), i)
+		tok, err := fileserver.Open(c, bob.EP(), "shared", true)
+		if err != nil {
+			return LockImpactResult{}, err
+		}
+		client := c
+		drivers = append(drivers, &workload.DriverFunc{Proc: c.P(), Fn: func(iter int) error {
+			_, err := fileserver.GetLength(client, bob.EP(), tok)
+			return err
+		}})
+	}
+	if _, err := workload.Run(m, drivers, fig3HorizonCycles, fig3Warmup); err != nil {
+		return LockImpactResult{}, err
+	}
+	lk := bob.FileLock("shared")
+	if lk == nil {
+		return LockImpactResult{}, fmt.Errorf("experiments: shared file lock missing")
+	}
+	var totalCycles int64
+	for _, p := range m.Procs() {
+		totalCycles += p.Now()
+	}
+	return LockImpactResult{
+		Procs:        n,
+		Contentions:  lk.Contentions,
+		Acquisitions: lk.Acquisitions,
+		SpinFraction: float64(lk.SpinCycles) / float64(totalCycles),
+	}, nil
+}

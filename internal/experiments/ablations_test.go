@@ -1,0 +1,92 @@
+package experiments
+
+import "testing"
+
+func TestBaselineSaturatesWherePPCScales(t *testing.T) {
+	res, err := RunBaselineComparison(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PPC null calls keep scaling.
+	ppcSpeedup := res.PPCCalls[7] / res.PPCCalls[0]
+	if ppcSpeedup < 7 {
+		t.Fatalf("PPC null-call speedup at 8 procs = %.1f, want ~8", ppcSpeedup)
+	}
+	// The locked baseline does not.
+	baseSpeedup := res.BaselineCall[7] / res.BaselineCall[0]
+	if baseSpeedup > 5 {
+		t.Fatalf("locked baseline scaled too well: %.1f", baseSpeedup)
+	}
+	if baseSpeedup >= ppcSpeedup {
+		t.Fatalf("baseline (%.1fx) should scale worse than PPC (%.1fx)", baseSpeedup, ppcSpeedup)
+	}
+	// Even sequentially the baseline is slower.
+	if res.BaselineCall[0] >= res.PPCCalls[0] {
+		t.Fatalf("baseline sequential rate (%.0f) should be below PPC (%.0f)",
+			res.BaselineCall[0], res.PPCCalls[0])
+	}
+}
+
+func TestStackSharingReducesFootprint(t *testing.T) {
+	// With more servers than the cache can hold stacks for, the pooled
+	// (serially shared) stack wins on misses; the paper's §2 argument.
+	res, err := RunStackSharingAblation(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PooledDCacheMisses >= res.HeldDCacheMisses {
+		t.Fatalf("pooled stacks should miss less: pooled=%d held=%d",
+			res.PooledDCacheMisses, res.HeldDCacheMisses)
+	}
+	if res.PooledCallMicros >= res.HeldCallMicros {
+		t.Fatalf("with a rotation over many servers, pooled calls (%.1f us) should beat held (%.1f us)",
+			res.PooledCallMicros, res.HeldCallMicros)
+	}
+}
+
+func TestNUMAPlacementImmunity(t *testing.T) {
+	res, err := RunNUMAAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "the non-uniform memory access times had no measurable
+	// impact on performance" — every locally-placed client sees the
+	// same warm call cost regardless of which of the 16 processors it
+	// runs on.
+	first := res.LocalMicros[0]
+	for i, us := range res.LocalMicros {
+		if us != first {
+			t.Fatalf("local call cost differs on proc %d: %.2f vs %.2f us", i, us, first)
+		}
+	}
+	// Breaking the locality discipline costs real money.
+	if res.MisplacedMicros <= first {
+		t.Fatalf("misplaced client (%.2f us) should pay more than local (%.2f us)",
+			res.MisplacedMicros, first)
+	}
+}
+
+func TestLockImpactProfile(t *testing.T) {
+	quiet, err := RunLockImpact(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Contentions != 0 {
+		t.Fatalf("single client contended %d times", quiet.Contentions)
+	}
+	busy, err := RunLockImpact(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy.Contentions == 0 {
+		t.Fatal("eight clients on one file never contended")
+	}
+	if busy.SpinFraction <= 0 {
+		t.Fatal("no spin time recorded under contention")
+	}
+	// The PPC facility itself acquired no locks in either run; the
+	// contention is entirely the server's.
+	if quiet.IPCLockAcquires != 0 || busy.IPCLockAcquires != 0 {
+		t.Fatal("the IPC fast path must be lock-free")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "hurricane/internal/machine"
+
+// E11 — the hardware-coherence counterfactual. The paper's concluding
+// remarks claim its strategies "will continue to be appropriate ...
+// regardless of whether the system has hardware support for cache
+// coherence or not". We test that by rerunning the Figure 3 workloads
+// on a machine identical to Hector except for an invalidation-based
+// coherence protocol over shared data:
+//
+//   - the PPC facility itself is unaffected (its fast path touches no
+//     shared data, so there is nothing for the protocol to speed up);
+//   - the file server's shared metadata becomes cacheable, so the
+//     sequential call gets cheaper — but the single-file curve still
+//     saturates: the lock serializes, and the line ping-pongs.
+
+// CoherenceComparison holds the four Figure 3 series of E11.
+type CoherenceComparison struct {
+	// NoCoherence* are the standard Hector runs.
+	NoCoherenceDifferent Fig3Result
+	NoCoherenceSingle    Fig3Result
+	// Coherent* rerun the same workloads with hardware coherence.
+	CoherentDifferent Fig3Result
+	CoherentSingle    Fig3Result
+}
+
+// RunCoherenceComparison runs all four series to maxProcs processors.
+func RunCoherenceComparison(maxProcs int) (CoherenceComparison, error) {
+	var out CoherenceComparison
+	var err error
+	if out.NoCoherenceDifferent, err = RunFigure3Params(maxProcs, DifferentFiles, machine.DefaultParams()); err != nil {
+		return out, err
+	}
+	if out.NoCoherenceSingle, err = RunFigure3Params(maxProcs, SingleFile, machine.DefaultParams()); err != nil {
+		return out, err
+	}
+	if out.CoherentDifferent, err = RunFigure3Params(maxProcs, DifferentFiles, machine.CoherentParams()); err != nil {
+		return out, err
+	}
+	if out.CoherentSingle, err = RunFigure3Params(maxProcs, SingleFile, machine.CoherentParams()); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// PPCCoherenceInvariance measures the warm null-PPC cost on both
+// machines; the fast path touches no shared data, so hardware
+// coherence must not change it at all.
+func PPCCoherenceInvariance() (noCoherenceUS, coherentUS float64, err error) {
+	measure := func(params machine.Params) (float64, error) {
+		r, err := runFig2Custom(Fig2Config{KernelTarget: false, Cache: CachePrimed}, params)
+		if err != nil {
+			return 0, err
+		}
+		return r.TotalMicros, nil
+	}
+	if noCoherenceUS, err = measure(machine.DefaultParams()); err != nil {
+		return
+	}
+	coherentUS, err = measure(machine.CoherentParams())
+	return
+}

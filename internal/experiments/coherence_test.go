@@ -1,0 +1,79 @@
+package experiments
+
+import "testing"
+
+func TestPPCFastPathImmuneToCoherence(t *testing.T) {
+	// The null PPC touches no shared data, so hardware coherence
+	// changes nothing — to the cycle.
+	noCoh, coh, err := PPCCoherenceInvariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCoh != coh {
+		t.Fatalf("null PPC differs under coherence: %.2f vs %.2f us", noCoh, coh)
+	}
+}
+
+func TestCoherenceComparisonShapes(t *testing.T) {
+	cc, err := RunCoherenceComparison(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different-files scales (near-)perfectly on both machines.
+	for name, r := range map[string]Fig3Result{
+		"no-coherence": cc.NoCoherenceDifferent,
+		"coherent":     cc.CoherentDifferent,
+	} {
+		if sp := r.SpeedupAt(8); sp < 7.2 {
+			t.Errorf("%s different-files speedup at 8 procs = %.2f", name, sp)
+		}
+	}
+
+	// Hardware coherence makes the *server* cheaper sequentially (its
+	// shared metadata becomes cacheable)...
+	seqNoCoh := cc.NoCoherenceSingle.Points[0].CallsPerSecond
+	seqCoh := cc.CoherentSingle.Points[0].CallsPerSecond
+	if seqCoh <= seqNoCoh {
+		t.Errorf("coherent sequential rate (%.0f) should beat uncached (%.0f)", seqCoh, seqNoCoh)
+	}
+
+	// ...but the single-file curve still saturates: the lock
+	// serializes and the metadata line ping-pongs. Coherence roughly
+	// halves the critical section (cached vs uncached metadata), so
+	// the knee moves out — from 4 processors to around 7 — but it does
+	// not go away. This is the paper's concluding claim — the design
+	// stays right with or without hardware coherence.
+	satNoCoh := cc.NoCoherenceSingle.SaturationPoint(0.10)
+	satCoh := cc.CoherentSingle.SaturationPoint(0.10)
+	if satNoCoh < 3 || satNoCoh > 5 {
+		t.Errorf("uncoherent single-file saturation at %d, want ~4", satNoCoh)
+	}
+	if satCoh == 0 {
+		t.Error("coherent single-file never saturated")
+	}
+	if satCoh <= satNoCoh {
+		t.Errorf("coherence should delay the knee: %d vs %d", satCoh, satNoCoh)
+	}
+	// Still far from linear where different-files is perfect.
+	last := len(cc.CoherentSingle.Points)
+	if sp := cc.CoherentSingle.SpeedupAt(last); sp > 0.8*float64(last) {
+		t.Errorf("coherent single-file speedup at %d procs = %.2f, should stay well below linear", last, sp)
+	}
+}
+
+func TestCoherenceComparisonDeterministic(t *testing.T) {
+	a, err := RunCoherenceComparison(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCoherenceComparison(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.CoherentSingle.Points {
+		if a.CoherentSingle.Points[i] != b.CoherentSingle.Points[i] {
+			t.Fatal("nondeterministic coherent run")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStandardFigure2ConfigsComplete(t *testing.T) {
+	cfgs := StandardFigure2Configs()
+	if len(cfgs) != 8 {
+		t.Fatalf("configs = %d, want 8", len(cfgs))
+	}
+	seen := map[Fig2Config]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate config %+v", c)
+		}
+		seen[c] = true
+		if c.Cache == CacheDirtyFlushed {
+			t.Fatal("dirty condition is not part of the standard eight")
+		}
+	}
+}
+
+func TestFig2ConfigLabels(t *testing.T) {
+	l := Fig2Config{KernelTarget: true, HoldCD: true, Cache: CacheFlushed}.Label()
+	for _, want := range []string{"User to Kernel", "cache flushed", "hold CD"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("label %q missing %q", l, want)
+		}
+	}
+	l = Fig2Config{}.Label()
+	for _, want := range []string{"User to User", "cache primed", "no CD"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("label %q missing %q", l, want)
+		}
+	}
+}
+
+func TestCacheStateStrings(t *testing.T) {
+	for s, want := range map[CacheState]string{
+		CachePrimed:       "cache primed",
+		CacheFlushed:      "cache flushed",
+		CacheDirtyFlushed: "cache dirtied + I-flushed",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d -> %q, want %q", s, s.String(), want)
+		}
+	}
+	if CacheState(9).String() != "invalid" {
+		t.Fatal("invalid state should say so")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if DifferentFiles.String() != "different files" || SingleFile.String() != "single file" {
+		t.Fatal("Fig3Mode strings wrong")
+	}
+	if Fig3Mode(9).String() != "invalid" {
+		t.Fatal("invalid mode should say so")
+	}
+	if ManyPrograms.String() == "invalid" || OneParallelProgram.String() == "invalid" {
+		t.Fatal("Population strings wrong")
+	}
+	if OneServer.String() == "invalid" || ServerPerProcessor.String() == "invalid" {
+		t.Fatal("ServerPlacement strings wrong")
+	}
+	if Population(9).String() != "invalid" || ServerPlacement(9).String() != "invalid" {
+		t.Fatal("invalid enums should say so")
+	}
+}
+
+func TestPaperTotalsConsistent(t *testing.T) {
+	warm := PaperFigure2Totals()
+	flushed := PaperFigure2FlushedTotals()
+	if len(warm) != 4 || len(flushed) != 4 {
+		t.Fatal("paper totals tables incomplete")
+	}
+	for key, w := range warm {
+		f := flushed[key]
+		if f <= w {
+			t.Fatalf("paper flushed total %v not above warm %v for %v", f, w, key)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package experiments reproduces the paper's evaluation: Figure 2 (the
+// PPC cost breakdown under eight conditions), Figure 3 (file-server
+// throughput versus processors), and the ablations DESIGN.md calls out
+// (locked-baseline IPC, stack sharing, NUMA placement). Every
+// experiment is deterministic: identical runs produce identical
+// numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+// CacheState is the cache conditioning applied before each measured
+// call in Figure 2.
+type CacheState int
+
+const (
+	// CachePrimed leaves the caches warm (the steady-state common case).
+	CachePrimed CacheState = iota
+	// CacheFlushed invalidates the data cache before each call — the
+	// paper's "+~20 us" condition.
+	CacheFlushed
+	// CacheDirtyFlushed dirties the data cache (so misses pay victim
+	// writebacks) and flushes the instruction cache — the paper's
+	// "another 20-30 us" condition.
+	CacheDirtyFlushed
+)
+
+func (s CacheState) String() string {
+	switch s {
+	case CachePrimed:
+		return "cache primed"
+	case CacheFlushed:
+		return "cache flushed"
+	case CacheDirtyFlushed:
+		return "cache dirtied + I-flushed"
+	}
+	return "invalid"
+}
+
+// Fig2Config is one bar of Figure 2.
+type Fig2Config struct {
+	// KernelTarget selects user-to-kernel (true) or user-to-user.
+	KernelTarget bool
+	// HoldCD locks the CD and stack to the worker.
+	HoldCD bool
+	// Cache is the conditioning before each measured call.
+	Cache CacheState
+}
+
+// Label renders the configuration the way the paper's figure does.
+func (c Fig2Config) Label() string {
+	target := "User to User"
+	if c.KernelTarget {
+		target = "User to Kernel"
+	}
+	cd := "no CD"
+	if c.HoldCD {
+		cd = "hold CD"
+	}
+	return fmt.Sprintf("%s / %s / %s", target, c.Cache, cd)
+}
+
+// Fig2Result is the measured breakdown for one configuration.
+type Fig2Result struct {
+	Config Fig2Config
+	// Micros is the per-category cost in microseconds, averaged over
+	// the measured calls.
+	Micros [machine.NumCategories]float64
+	// TotalMicros is the end-to-end round-trip time.
+	TotalMicros float64
+	// Cycles is the raw average cycle count.
+	Cycles int64
+}
+
+// fig2Warmup and fig2Samples control the measurement: warm calls to
+// reach steady state, then averaged samples.
+const (
+	fig2Warmup  = 6
+	fig2Samples = 8
+)
+
+// StandardFigure2Configs returns the eight bars of the paper's figure,
+// in its left-to-right order: user-to-user then user-to-kernel, primed
+// then flushed, no-CD then hold-CD.
+func StandardFigure2Configs() []Fig2Config {
+	var out []Fig2Config
+	for _, kernel := range []bool{false, true} {
+		for _, cache := range []CacheState{CachePrimed, CacheFlushed} {
+			for _, hold := range []bool{false, true} {
+				out = append(out, Fig2Config{KernelTarget: kernel, HoldCD: hold, Cache: cache})
+			}
+		}
+	}
+	return out
+}
+
+// RunFigure2 measures all the standard configurations.
+func RunFigure2() ([]Fig2Result, error) {
+	configs := StandardFigure2Configs()
+	results := make([]Fig2Result, 0, len(configs))
+	for _, cfg := range configs {
+		r, err := RunFigure2One(cfg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// RunFigure2One measures a single configuration: a quiet
+// single-processor machine, one client repeatedly making a null PPC
+// (8 words each way) to a dummy server that saves and restores a few
+// registers.
+func RunFigure2One(cfg Fig2Config) (Fig2Result, error) {
+	return runFig2Custom(cfg, machine.DefaultParams())
+}
+
+// runFig2Custom is RunFigure2One with explicit machine parameters.
+func runFig2Custom(cfg Fig2Config, params machine.Params) (Fig2Result, error) {
+	m, err := machine.New(1, params)
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	k := core.NewKernel(m)
+
+	server := k.KernelServer()
+	if !cfg.KernelTarget {
+		server = k.NewServerProgram("nullsrv", 0)
+	}
+	svc, err := k.BindService(core.ServiceConfig{
+		Name:   "null",
+		Server: server,
+		Handler: func(ctx *core.Ctx, args *core.Args) {
+			args.SetRC(core.RCOK)
+		},
+		HoldCD: cfg.HoldCD,
+	})
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	c := k.NewClientProgram("client", 0)
+	p := c.P()
+
+	var args core.Args
+	args.SetOp(1, 0)
+	for i := 0; i < fig2Warmup; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			return Fig2Result{}, err
+		}
+	}
+
+	var sum machine.Breakdown
+	var cycles int64
+	for i := 0; i < fig2Samples; i++ {
+		switch cfg.Cache {
+		case CacheFlushed:
+			p.FlushDataCache()
+		case CacheDirtyFlushed:
+			p.FlushDataCache()
+			p.DirtyDataCache()
+			p.FlushInstructionCache()
+		}
+		p.ResetAccount()
+		before := p.Now()
+		if err := c.Call(svc.EP(), &args); err != nil {
+			return Fig2Result{}, err
+		}
+		acct := p.Account()
+		sum.Add(&acct)
+		cycles += p.Now() - before
+	}
+
+	res := Fig2Result{Config: cfg, Cycles: cycles / fig2Samples}
+	for cat := 0; cat < machine.NumCategories; cat++ {
+		res.Micros[cat] = params.CyclesToMicros(sum[cat]) / fig2Samples
+	}
+	res.TotalMicros = params.CyclesToMicros(cycles) / fig2Samples
+	return res, nil
+}
+
+// PaperFigure2Totals returns the paper's reported end-to-end times (in
+// microseconds) for the warm-cache configurations, keyed by
+// (KernelTarget, HoldCD). Used by EXPERIMENTS.md generation and by
+// tests that check we land in the right neighbourhood.
+func PaperFigure2Totals() map[[2]bool]float64 {
+	return map[[2]bool]float64{
+		{false, false}: 32.4,
+		{false, true}:  30.0,
+		{true, false}:  22.2,
+		{true, true}:   19.2,
+	}
+}
+
+// PaperFigure2FlushedTotals returns the paper's flushed-cache totals.
+func PaperFigure2FlushedTotals() map[[2]bool]float64 {
+	return map[[2]bool]float64{
+		{false, false}: 52.2,
+		{false, true}:  48.9,
+		{true, false}:  42.0,
+		{true, true}:   39.6,
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"hurricane/internal/machine"
+)
+
+func runAll(t *testing.T) map[Fig2Config]Fig2Result {
+	t.Helper()
+	rs, err := RunFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[Fig2Config]Fig2Result, len(rs))
+	for _, r := range rs {
+		out[r.Config] = r
+	}
+	return out
+}
+
+func get(t *testing.T, m map[Fig2Config]Fig2Result, kernel, hold bool, cache CacheState) Fig2Result {
+	t.Helper()
+	r, ok := m[Fig2Config{KernelTarget: kernel, HoldCD: hold, Cache: cache}]
+	if !ok {
+		t.Fatalf("missing config kernel=%v hold=%v cache=%v", kernel, hold, cache)
+	}
+	return r
+}
+
+// TestFigure2WarmTotalsNearPaper checks the headline numbers: each
+// warm-cache total must land within 15% of the paper's report.
+func TestFigure2WarmTotalsNearPaper(t *testing.T) {
+	rs := runAll(t)
+	for key, paper := range PaperFigure2Totals() {
+		kernel, hold := key[0], key[1]
+		got := get(t, rs, kernel, hold, CachePrimed).TotalMicros
+		if math.Abs(got-paper)/paper > 0.15 {
+			t.Errorf("kernel=%v hold=%v: %.1f us, paper %.1f us (>15%% off)", kernel, hold, got, paper)
+		}
+	}
+}
+
+// TestFigure2FlushedTotalsNearPaper allows a wider band (25%): the
+// flushed condition depends on exactly which structures the flush
+// reaches.
+func TestFigure2FlushedTotalsNearPaper(t *testing.T) {
+	rs := runAll(t)
+	for key, paper := range PaperFigure2FlushedTotals() {
+		kernel, hold := key[0], key[1]
+		got := get(t, rs, kernel, hold, CacheFlushed).TotalMicros
+		if math.Abs(got-paper)/paper > 0.25 {
+			t.Errorf("flushed kernel=%v hold=%v: %.1f us, paper %.1f us (>25%% off)", kernel, hold, got, paper)
+		}
+	}
+}
+
+// TestFigure2Orderings checks the qualitative structure of the figure:
+// every relation the paper's bars exhibit.
+func TestFigure2Orderings(t *testing.T) {
+	rs := runAll(t)
+	for _, cache := range []CacheState{CachePrimed, CacheFlushed} {
+		for _, hold := range []bool{false, true} {
+			u2u := get(t, rs, false, hold, cache).TotalMicros
+			u2k := get(t, rs, true, hold, cache).TotalMicros
+			if u2k >= u2u {
+				t.Errorf("%v hold=%v: user-to-kernel (%.1f) should beat user-to-user (%.1f)", cache, hold, u2k, u2u)
+			}
+		}
+		for _, kernel := range []bool{false, true} {
+			noCD := get(t, rs, kernel, false, cache).TotalMicros
+			hold := get(t, rs, kernel, true, cache).TotalMicros
+			if hold >= noCD {
+				t.Errorf("%v kernel=%v: hold-CD (%.1f) should beat no-CD (%.1f)", cache, kernel, hold, noCD)
+			}
+		}
+	}
+	for _, kernel := range []bool{false, true} {
+		for _, hold := range []bool{false, true} {
+			primed := get(t, rs, kernel, hold, CachePrimed).TotalMicros
+			flushed := get(t, rs, kernel, hold, CacheFlushed).TotalMicros
+			delta := flushed - primed
+			// The paper: flushing the data cache adds about 20 us.
+			if delta < 14 || delta > 30 {
+				t.Errorf("kernel=%v hold=%v: flush delta %.1f us, want ~20", kernel, hold, delta)
+			}
+		}
+	}
+}
+
+// TestFigure2HoldCDSaving checks the paper's "reduced by 2-3 us" claim
+// for locking the CD and stack to the worker (warm cache).
+func TestFigure2HoldCDSaving(t *testing.T) {
+	rs := runAll(t)
+	for _, kernel := range []bool{false, true} {
+		saving := get(t, rs, kernel, false, CachePrimed).TotalMicros - get(t, rs, kernel, true, CachePrimed).TotalMicros
+		if saving < 1.5 || saving > 5 {
+			t.Errorf("kernel=%v: hold-CD saving %.1f us, paper reports 2-3", kernel, saving)
+		}
+	}
+}
+
+// TestFigure2UserKernelGapIsTLB checks that the user-to-user premium is
+// dominated by TLB work (flush + misses) plus the extra trap pair, as
+// the paper explains.
+func TestFigure2UserKernelGapIsTLB(t *testing.T) {
+	u2u, err := RunFigure2One(Fig2Config{KernelTarget: false, Cache: CachePrimed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2k, err := RunFigure2One(Fig2Config{KernelTarget: true, Cache: CachePrimed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2u.Micros[machine.CatTLBMiss] <= u2k.Micros[machine.CatTLBMiss] {
+		t.Errorf("user-to-user should pay more TLB misses: %.1f vs %.1f",
+			u2u.Micros[machine.CatTLBMiss], u2k.Micros[machine.CatTLBMiss])
+	}
+	if u2u.Micros[machine.CatTrapOverhead] <= u2k.Micros[machine.CatTrapOverhead] {
+		t.Errorf("user-to-user should pay an extra trap pair")
+	}
+}
+
+// TestFigure2FlushDeltaSplit checks the paper's claim that roughly half
+// the flushed-cache penalty is user-level register save/restore and
+// half is kernel-side data structure misses.
+func TestFigure2FlushDeltaSplit(t *testing.T) {
+	primed, err := RunFigure2One(Fig2Config{KernelTarget: true, Cache: CachePrimed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed, err := RunFigure2One(Fig2Config{KernelTarget: true, Cache: CacheFlushed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	userDelta := flushed.Micros[machine.CatUserSaveRestore] - primed.Micros[machine.CatUserSaveRestore]
+	totalDelta := flushed.TotalMicros - primed.TotalMicros
+	frac := userDelta / totalDelta
+	if frac < 0.25 || frac > 0.70 {
+		t.Errorf("user save/restore share of flush delta = %.0f%%, want roughly half", frac*100)
+	}
+}
+
+// TestFigure2DirtyCacheCostsMore checks the paper's "dirtying the cache
+// and flushing the instruction cache can increase times by another
+// 20-30 us" condition.
+func TestFigure2DirtyCacheCostsMore(t *testing.T) {
+	flushed, err := RunFigure2One(Fig2Config{Cache: CacheFlushed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := RunFigure2One(Fig2Config{Cache: CacheDirtyFlushed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := dirty.TotalMicros - flushed.TotalMicros
+	if extra < 5 {
+		t.Errorf("dirty+I-flush adds only %.1f us over flushed; expected a substantial penalty", extra)
+	}
+}
+
+// TestFigure2TrapOverheadMatchesHardware sanity-checks that the trap
+// category equals the configured trap cost times the trap count.
+func TestFigure2TrapOverheadMatchesHardware(t *testing.T) {
+	r, err := RunFigure2One(Fig2Config{KernelTarget: true, Cache: CachePrimed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := machine.DefaultParams()
+	onePair := params.CyclesToMicros(params.TrapCycles)
+	got := r.Micros[machine.CatTrapOverhead]
+	if math.Abs(got-onePair) > 0.2 {
+		t.Errorf("user-to-kernel trap overhead %.2f us, want one pair %.2f us", got, onePair)
+	}
+	r2, err := RunFigure2One(Fig2Config{KernelTarget: false, Cache: CachePrimed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Micros[machine.CatTrapOverhead]-2*onePair) > 0.2 {
+		t.Errorf("user-to-user trap overhead %.2f us, want two pairs %.2f us",
+			r2.Micros[machine.CatTrapOverhead], 2*onePair)
+	}
+}
+
+// TestFigure2Deterministic: same config, same numbers.
+func TestFigure2Deterministic(t *testing.T) {
+	a, err := RunFigure2One(Fig2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure2One(Fig2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Micros != b.Micros {
+		t.Fatalf("nondeterministic figure 2: %v vs %v", a.Cycles, b.Cycles)
+	}
+}
+
+// TestFigure2BreakdownSumsToTotal: the stacked bar's segments must add
+// up to the end-to-end time.
+func TestFigure2BreakdownSumsToTotal(t *testing.T) {
+	r, err := RunFigure2One(Fig2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, us := range r.Micros {
+		sum += us
+	}
+	if math.Abs(sum-r.TotalMicros) > 0.1 {
+		t.Fatalf("segments sum to %.2f, total %.2f", sum, r.TotalMicros)
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/services/fileserver"
+	"hurricane/internal/workload"
+)
+
+// Fig3Mode selects the Figure 3 series.
+type Fig3Mode int
+
+const (
+	// DifferentFiles has each client request the length of its own
+	// file: the solid, linearly-scaling curve.
+	DifferentFiles Fig3Mode = iota
+	// SingleFile has all clients request the length of one common
+	// file: the dashed curve that saturates around four processors.
+	SingleFile
+)
+
+func (m Fig3Mode) String() string {
+	switch m {
+	case DifferentFiles:
+		return "different files"
+	case SingleFile:
+		return "single file"
+	}
+	return "invalid"
+}
+
+// Fig3Point is one (processors, throughput) sample.
+type Fig3Point struct {
+	Procs          int
+	CallsPerSecond float64
+}
+
+// Fig3Result is one series of Figure 3.
+type Fig3Result struct {
+	Mode   Fig3Mode
+	Points []Fig3Point
+	// Perfect is the ideal-speedup reference line: the one-processor
+	// throughput of this mode times the processor count.
+	Perfect []Fig3Point
+	// BaseLatencyMicros is the sequential per-call time (the paper's
+	// 66 us base).
+	BaseLatencyMicros float64
+}
+
+// fig3Horizon is the measurement window: 60 virtual milliseconds, about
+// 900 calls per processor at the 66 us base.
+const fig3HorizonCycles = 1_000_000
+
+// fig3Warmup is the per-driver warmup iterations.
+const fig3Warmup = 3
+
+// RunFigure3 measures throughput for 1..maxProcs processors on the
+// paper's Hector parameters.
+func RunFigure3(maxProcs int, mode Fig3Mode) (Fig3Result, error) {
+	return RunFigure3Params(maxProcs, mode, machine.DefaultParams())
+}
+
+// RunFigure3Params is RunFigure3 with explicit machine parameters (used
+// by the hardware-coherence counterfactual, experiment E11).
+func RunFigure3Params(maxProcs int, mode Fig3Mode, params machine.Params) (Fig3Result, error) {
+	if maxProcs < 1 {
+		return Fig3Result{}, fmt.Errorf("experiments: maxProcs must be positive")
+	}
+	res := Fig3Result{Mode: mode}
+	for n := 1; n <= maxProcs; n++ {
+		cps, base, err := runFig3Point(n, mode, params)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		res.Points = append(res.Points, Fig3Point{Procs: n, CallsPerSecond: cps})
+		if n == 1 {
+			res.BaseLatencyMicros = base
+		}
+	}
+	one := res.Points[0].CallsPerSecond
+	for n := 1; n <= maxProcs; n++ {
+		res.Perfect = append(res.Perfect, Fig3Point{Procs: n, CallsPerSecond: one * float64(n)})
+	}
+	return res, nil
+}
+
+// runFig3Point builds a fresh n-processor machine with Bob on node 0
+// and one client per processor looping GetLength.
+func runFig3Point(n int, mode Fig3Mode, params machine.Params) (cps float64, baseLatency float64, err error) {
+	r, m, err := RunFigure3Detailed(n, mode, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	base := 0.0
+	if r.Total > 0 {
+		base = float64(fig3HorizonCycles) * m.Params().CycleNS() / 1000 * float64(n) / float64(r.Total)
+	}
+	return r.CallsPerSecond, base, nil
+}
+
+// RunFigure3Detailed runs a single Figure 3 point and returns the full
+// workload result — including the per-operation latency distribution —
+// together with the machine, so callers can inspect lock waits and
+// per-processor counters (cmd/figure3 -stats).
+func RunFigure3Detailed(n int, mode Fig3Mode, params machine.Params) (workload.Result, *machine.Machine, error) {
+	m, err := machine.New(n, params)
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+	k := core.NewKernel(m)
+	bob, err := fileserver.Install(k, 0)
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+
+	drivers := make([]workload.Driver, 0, n)
+	for i := 0; i < n; i++ {
+		c := k.NewClientProgram(fmt.Sprintf("client%d", i), i)
+		name := "shared"
+		if mode == DifferentFiles {
+			name = fmt.Sprintf("file%d", i)
+		}
+		tok, err := fileserver.Open(c, bob.EP(), name, true)
+		if err != nil {
+			return workload.Result{}, nil, err
+		}
+		client := c
+		drivers = append(drivers, &workload.DriverFunc{
+			Proc: c.P(),
+			Fn: func(iter int) error {
+				_, err := fileserver.GetLength(client, bob.EP(), tok)
+				return err
+			},
+		})
+	}
+
+	r, err := workload.Run(m, drivers, fig3HorizonCycles, fig3Warmup)
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+	return r, m, nil
+}
+
+// SaturationPoint returns the processor count after which adding a
+// processor contributes less than threshold (e.g. 0.1 for 10%) of the
+// single-processor rate, or 0 if the series never saturates. Measuring
+// the increment against the base rate keeps a perfectly linear series
+// from being flagged at high processor counts.
+func (r Fig3Result) SaturationPoint(threshold float64) int {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	base := r.Points[0].CallsPerSecond
+	for i := 1; i < len(r.Points); i++ {
+		gain := r.Points[i].CallsPerSecond - r.Points[i-1].CallsPerSecond
+		if gain < threshold*base {
+			return r.Points[i-1].Procs
+		}
+	}
+	return 0
+}
+
+// SpeedupAt returns throughput(n)/throughput(1).
+func (r Fig3Result) SpeedupAt(n int) float64 {
+	if len(r.Points) == 0 || n < 1 || n > len(r.Points) {
+		return 0
+	}
+	return r.Points[n-1].CallsPerSecond / r.Points[0].CallsPerSecond
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure3DifferentFilesScalesLinearly(t *testing.T) {
+	res, err := RunFigure3(16, DifferentFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "clearly shows linear increase in throughput with each processor
+	// contributing a constant increase": 16 processors within 10% of
+	// 16x the single-processor rate.
+	speedup := res.SpeedupAt(16)
+	if speedup < 14.5 {
+		t.Fatalf("different-files speedup at 16 procs = %.1f, want near-perfect", speedup)
+	}
+	// Monotone: every processor adds throughput.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].CallsPerSecond <= res.Points[i-1].CallsPerSecond {
+			t.Fatalf("throughput dropped at %d procs", res.Points[i].Procs)
+		}
+	}
+	// Never saturates under a 10% threshold.
+	if sat := res.SaturationPoint(0.10); sat != 0 {
+		t.Fatalf("different-files saturated at %d procs", sat)
+	}
+}
+
+func TestFigure3SingleFileSaturatesAtFour(t *testing.T) {
+	res, err := RunFigure3(16, SingleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := res.SaturationPoint(0.10)
+	if sat < 3 || sat > 5 {
+		t.Fatalf("single-file saturation at %d procs, paper says four", sat)
+	}
+	// Beyond saturation the curve stays roughly flat (within 2x of the
+	// peak, no collapse).
+	peak := 0.0
+	for _, p := range res.Points {
+		if p.CallsPerSecond > peak {
+			peak = p.CallsPerSecond
+		}
+	}
+	last := res.Points[len(res.Points)-1].CallsPerSecond
+	if last < peak*0.5 {
+		t.Fatalf("single-file throughput collapsed: peak %.0f, 16p %.0f", peak, last)
+	}
+}
+
+func TestFigure3BaseLatencyNearPaper(t *testing.T) {
+	res, err := RunFigure3(1, DifferentFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's sequential base is 66 us.
+	if math.Abs(res.BaseLatencyMicros-66) > 10 {
+		t.Fatalf("base latency %.1f us, paper 66", res.BaseLatencyMicros)
+	}
+}
+
+func TestFigure3PerfectLineIsLinear(t *testing.T) {
+	res, err := RunFigure3(4, DifferentFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := res.Perfect[0].CallsPerSecond
+	for i, p := range res.Perfect {
+		want := one * float64(i+1)
+		if math.Abs(p.CallsPerSecond-want) > 1 {
+			t.Fatalf("perfect line wrong at %d procs", p.Procs)
+		}
+	}
+}
+
+func TestFigure3SingleAndDifferentAgreeAtOneProc(t *testing.T) {
+	d, err := RunFigure3(1, DifferentFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunFigure3(1, SingleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Points[0].CallsPerSecond, s.Points[0].CallsPerSecond
+	if math.Abs(a-b)/a > 0.02 {
+		t.Fatalf("one-processor rates differ: %.0f vs %.0f", a, b)
+	}
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	a, err := RunFigure3(3, SingleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure3(3, SingleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("nondeterministic at %d procs", a.Points[i].Procs)
+		}
+	}
+}
+
+func TestFigure3Validation(t *testing.T) {
+	if _, err := RunFigure3(0, SingleFile); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/services/fileserver"
+	"hurricane/internal/workload"
+)
+
+// E12 — the introduction's client-population claim: the facility
+// "should efficiently enable independent requests to be serviced in
+// parallel, whether they originate from a large number of different
+// programs or a smaller number of large-scale parallel programs, and
+// whether they are targeted at one or many servers." We run the full
+// 2x2 matrix (independent requests throughout — each touches its own
+// file):
+//
+//	population x servers     | one server | one server per processor
+//	-------------------------+------------+-------------------------
+//	many programs (2/proc)   |    M1      |    MM
+//	one parallel program     |    P1      |    PM
+//
+// All four must scale linearly with the processor count.
+
+// Population selects the client mix.
+type Population int
+
+const (
+	// ManyPrograms runs two independent client programs per processor.
+	ManyPrograms Population = iota
+	// OneParallelProgram runs one program with a thread per processor.
+	OneParallelProgram
+)
+
+func (p Population) String() string {
+	switch p {
+	case ManyPrograms:
+		return "many programs"
+	case OneParallelProgram:
+		return "one parallel program"
+	}
+	return "invalid"
+}
+
+// ServerPlacement selects the server population.
+type ServerPlacement int
+
+const (
+	// OneServer places a single file server on node 0.
+	OneServer ServerPlacement = iota
+	// ServerPerProcessor places one file server on every node; each
+	// client uses its local one.
+	ServerPerProcessor
+)
+
+func (s ServerPlacement) String() string {
+	switch s {
+	case OneServer:
+		return "one server"
+	case ServerPerProcessor:
+		return "server per processor"
+	}
+	return "invalid"
+}
+
+// MultiprogCell is one cell of the matrix.
+type MultiprogCell struct {
+	Population Population
+	Servers    ServerPlacement
+	// Speedup16 is throughput(maxProcs)/throughput(1).
+	Speedup float64
+	// CallsPerSecond at maxProcs.
+	CallsPerSecond float64
+	Procs          int
+}
+
+// RunMultiprogrammingMatrix measures all four cells at maxProcs.
+func RunMultiprogrammingMatrix(maxProcs int) ([]MultiprogCell, error) {
+	var out []MultiprogCell
+	for _, pop := range []Population{ManyPrograms, OneParallelProgram} {
+		for _, srv := range []ServerPlacement{OneServer, ServerPerProcessor} {
+			one, err := runMultiprogPoint(1, pop, srv)
+			if err != nil {
+				return nil, err
+			}
+			full, err := runMultiprogPoint(maxProcs, pop, srv)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, MultiprogCell{
+				Population:     pop,
+				Servers:        srv,
+				Speedup:        full / one,
+				CallsPerSecond: full,
+				Procs:          maxProcs,
+			})
+		}
+	}
+	return out, nil
+}
+
+// runMultiprogPoint measures one cell at n processors.
+func runMultiprogPoint(n int, pop Population, srv ServerPlacement) (float64, error) {
+	m := machine.MustNew(n, machine.DefaultParams())
+	k := core.NewKernel(m)
+
+	// Servers.
+	bobs := make([]*fileserver.Bob, 0, n)
+	if srv == OneServer {
+		b, err := fileserver.Install(k, 0)
+		if err != nil {
+			return 0, err
+		}
+		bobs = append(bobs, b)
+	} else {
+		for i := 0; i < n; i++ {
+			b, err := fileserver.Install(k, i)
+			if err != nil {
+				return 0, err
+			}
+			bobs = append(bobs, b)
+		}
+	}
+	bobFor := func(procID int) *fileserver.Bob {
+		if srv == OneServer {
+			return bobs[0]
+		}
+		return bobs[procID]
+	}
+
+	// Clients.
+	var clients []*core.Client
+	switch pop {
+	case ManyPrograms:
+		for i := 0; i < n; i++ {
+			clients = append(clients,
+				k.NewClientProgram(fmt.Sprintf("prog%da", i), i),
+				k.NewClientProgram(fmt.Sprintf("prog%db", i), i))
+		}
+	case OneParallelProgram:
+		main := k.NewClientProgram("parallel", 0)
+		clients = append(clients, main)
+		for i := 1; i < n; i++ {
+			clients = append(clients, k.NewClientThread(main, i))
+		}
+	}
+
+	// Drivers: each client loops GetLength on its own file at its
+	// (local, for per-processor placement) server.
+	var drivers []workload.Driver
+	for idx, c := range clients {
+		bob := bobFor(c.P().ID())
+		tok, err := fileserver.Open(c, bob.EP(), fmt.Sprintf("f%d", idx), true)
+		if err != nil {
+			return 0, err
+		}
+		client := c
+		ep := bob.EP()
+		drivers = append(drivers, &workload.DriverFunc{Proc: c.P(), Fn: func(iter int) error {
+			_, err := fileserver.GetLength(client, ep, tok)
+			return err
+		}})
+	}
+
+	r, err := workload.RunTimeShared(m, drivers, fig3HorizonCycles, fig3Warmup)
+	if err != nil {
+		return 0, err
+	}
+	return r.CallsPerSecond, nil
+}
+
+// MultiprogTable renders the matrix.
+func MultiprogTable(cells []MultiprogCell) string {
+	s := fmt.Sprintf("%-22s %-22s %14s %10s\n", "population", "servers", "calls/sec", "speedup")
+	for _, c := range cells {
+		s += fmt.Sprintf("%-22s %-22s %14.0f %9.2fx\n", c.Population, c.Servers, c.CallsPerSecond, c.Speedup)
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiprogrammingMatrixScalesEverywhere(t *testing.T) {
+	const procs = 8
+	cells, err := RunMultiprogrammingMatrix(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// The intro's claim: independent requests scale regardless of the
+	// client population and the server population.
+	for _, c := range cells {
+		if c.Speedup < float64(procs)*0.9 {
+			t.Errorf("%s / %s: speedup %.2fx at %d procs, want near-linear",
+				c.Population, c.Servers, c.Speedup, procs)
+		}
+	}
+}
+
+func TestMultiprogTimeSharingIsFair(t *testing.T) {
+	// Two programs per processor: each gets about half the processor;
+	// aggregate equals what one program per processor achieves.
+	one, err := runMultiprogPoint(2, OneParallelProgram, OneServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := runMultiprogPoint(2, ManyPrograms, OneServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := many / one
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("multiprogrammed aggregate deviates: %.0f vs %.0f (%.2fx)", many, one, ratio)
+	}
+}
+
+func TestMultiprogTable(t *testing.T) {
+	cells, err := RunMultiprogrammingMatrix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := MultiprogTable(cells)
+	for _, want := range []string{"many programs", "one parallel program", "server per processor", "speedup"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/lrpc"
+	"hurricane/internal/machine"
+	"hurricane/internal/msgipc"
+	"hurricane/internal/proc"
+)
+
+// The paper's technology argument (§1-2): "accesses to shared data can
+// result in cache misses or increased cache invalidation traffic which
+// can add hundreds of cycles ... The relative cost of cache misses and
+// invalidations is still increasing as processor cycle times are
+// further reduced", and §2's observation that on the Firefly — where
+// caches were no faster than memory — Bershad's design choices (shared
+// pools, migrating calls to idle processors) were sound, while "this
+// approach would be prohibitive in today's systems".
+//
+// The sensitivity experiment quantifies both: sweep the memory-system
+// cost multiplier and watch the warm-call cost of the PPC facility
+// (which touches only local, cached, unshared data) stay nearly flat
+// while the shared-data designs (LRPC, locked message passing) grow
+// linearly.
+
+// SensitivityPoint is one sweep sample.
+type SensitivityPoint struct {
+	// Multiplier scales the default memory costs (line fill, uncached
+	// access, first-store, NUMA penalties).
+	Multiplier int
+	// Warm sequential null-call cost, microseconds.
+	PPCMicros      float64
+	LRPCMicros     float64
+	MsgIPCMicros   float64
+	LRPCMigratedUS float64
+}
+
+// scaledParams returns Hector parameters with memory costs scaled.
+func scaledParams(mult int) machine.Params {
+	p := machine.DefaultParams()
+	p.CacheFillCycles *= int64(mult)
+	p.UncachedAccessCycles *= int64(mult)
+	p.FirstStoreCleanCycles *= int64(mult)
+	p.StationAccessPenaltyCycles *= int64(mult)
+	p.RingHopPenaltyCycles *= int64(mult)
+	return p
+}
+
+// FireflyLikeParams approximates the Firefly's memory system as the
+// paper characterizes it: caches no faster than main memory, so misses
+// and uncached traffic cost little more than hits.
+func FireflyLikeParams() machine.Params {
+	p := machine.DefaultParams()
+	p.CacheFillCycles = 3
+	p.UncachedAccessCycles = 3
+	p.FirstStoreCleanCycles = 0
+	p.StationAccessPenaltyCycles = 1
+	p.RingHopPenaltyCycles = 1
+	return p
+}
+
+// RunMissCostSensitivity measures warm null-call costs for each
+// facility at every multiplier.
+func RunMissCostSensitivity(multipliers []int) ([]SensitivityPoint, error) {
+	var out []SensitivityPoint
+	for _, mult := range multipliers {
+		pt, err := runSensitivityPoint(scaledParams(mult))
+		if err != nil {
+			return nil, err
+		}
+		pt.Multiplier = mult
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RunFireflyComparison measures local versus migrated LRPC under both
+// the Firefly-like and the Hector cost models, reproducing the paper's
+// §2 technology-shift argument: migration is cheapish on the former,
+// prohibitive on the latter.
+func RunFireflyComparison() (firefly, hector SensitivityPoint, err error) {
+	firefly, err = runSensitivityPoint(FireflyLikeParams())
+	if err != nil {
+		return
+	}
+	hector, err = runSensitivityPoint(machine.DefaultParams())
+	return
+}
+
+// runSensitivityPoint measures one machine configuration.
+func runSensitivityPoint(params machine.Params) (SensitivityPoint, error) {
+	var pt SensitivityPoint
+	m, err := machine.New(2, params)
+	if err != nil {
+		return pt, err
+	}
+	k := core.NewKernel(m)
+
+	// PPC null service.
+	server := k.NewServerProgram("null.prog", 0)
+	svc, err := k.BindService(core.ServiceConfig{Name: "null", Server: server,
+		Handler: func(ctx *core.Ctx, args *core.Args) { args.SetRC(core.RCOK) }})
+	if err != nil {
+		return pt, err
+	}
+
+	// LRPC binding and msgipc port with equivalent null bodies.
+	lf := lrpc.New(k)
+	binding := lf.NewBinding("null", 0, 2, func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		p.Charge(25)
+		args.SetRC(core.RCOK)
+	})
+	lf.SetIdle(1, true)
+	mf := msgipc.New(k)
+	port := mf.CreatePort("null", func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		p.Charge(25)
+		args.SetRC(core.RCOK)
+	})
+
+	c := k.NewClientProgram("client", 0)
+	p := c.P()
+	var args core.Args
+
+	measure := func(call func() error) (float64, error) {
+		for i := 0; i < fig2Warmup; i++ {
+			if err := call(); err != nil {
+				return 0, err
+			}
+		}
+		before := p.Now()
+		for i := 0; i < fig2Samples; i++ {
+			if err := call(); err != nil {
+				return 0, err
+			}
+		}
+		return params.CyclesToMicros(p.Now()-before) / fig2Samples, nil
+	}
+
+	if pt.PPCMicros, err = measure(func() error { return c.Call(svc.EP(), &args) }); err != nil {
+		return pt, err
+	}
+	if pt.LRPCMicros, err = measure(func() error { return lf.Call(c, binding, &args) }); err != nil {
+		return pt, err
+	}
+	if pt.MsgIPCMicros, err = measure(func() error { return mf.Call(c, port.ID(), &args) }); err != nil {
+		return pt, err
+	}
+	// Migration drags the call to processor 1 and back; keep the idle
+	// processor's clock from lagging into virtual-time artifacts.
+	if pt.LRPCMigratedUS, err = measure(func() error {
+		m.Proc(1).AdvanceTo(p.Now())
+		return lf.CallMigrating(c, binding, &args)
+	}); err != nil {
+		return pt, err
+	}
+	return pt, nil
+}
+
+// SensitivityTable renders the sweep.
+func SensitivityTable(points []SensitivityPoint) string {
+	s := fmt.Sprintf("%12s %12s %12s %12s %14s\n", "miss-cost x", "PPC (us)", "LRPC (us)", "msg IPC (us)", "LRPC-migr (us)")
+	for _, pt := range points {
+		s += fmt.Sprintf("%12d %12.1f %12.1f %12.1f %14.1f\n",
+			pt.Multiplier, pt.PPCMicros, pt.LRPCMicros, pt.MsgIPCMicros, pt.LRPCMigratedUS)
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+func TestSensitivityPPCStaysFlatWhileSharedDesignsGrow(t *testing.T) {
+	pts, err := RunMissCostSensitivity([]int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+
+	// The PPC warm path grows only mildly (its few compulsory effects
+	// — the per-call stack TLB refill misses nothing cached).
+	ppcGrowth := last.PPCMicros / first.PPCMicros
+	lrpcGrowth := last.LRPCMicros / first.LRPCMicros
+	msgGrowth := last.MsgIPCMicros / first.MsgIPCMicros
+	if ppcGrowth > 2.0 {
+		t.Fatalf("PPC warm cost grew %.1fx across the sweep; should be nearly flat", ppcGrowth)
+	}
+	if lrpcGrowth <= ppcGrowth {
+		t.Fatalf("LRPC growth (%.2fx) should exceed PPC growth (%.2fx)", lrpcGrowth, ppcGrowth)
+	}
+	if msgGrowth <= ppcGrowth {
+		t.Fatalf("msg IPC growth (%.2fx) should exceed PPC growth (%.2fx)", msgGrowth, ppcGrowth)
+	}
+	// And the absolute gap widens: the paper's "will continue to be
+	// appropriate as long as the difference between the cost of a
+	// cache hit and a cache miss is large".
+	gapFirst := first.LRPCMicros - first.PPCMicros
+	gapLast := last.LRPCMicros - last.PPCMicros
+	if gapLast <= gapFirst {
+		t.Fatalf("PPC advantage should widen with miss cost: %.1f -> %.1f us", gapFirst, gapLast)
+	}
+}
+
+func TestFireflyTechnologyShift(t *testing.T) {
+	firefly, hector, err := RunFireflyComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migration overhead relative to a local call, on each machine.
+	fireflyPenalty := firefly.LRPCMigratedUS / firefly.LRPCMicros
+	hectorPenalty := hector.LRPCMigratedUS / hector.LRPCMicros
+	if hectorPenalty <= fireflyPenalty {
+		t.Fatalf("migration should hurt more on Hector (%.2fx) than on the Firefly-like machine (%.2fx)",
+			hectorPenalty, fireflyPenalty)
+	}
+	// On modern costs it is clearly prohibitive.
+	if hectorPenalty < 1.2 {
+		t.Fatalf("migration on Hector only %.2fx a local call; expected clearly worse", hectorPenalty)
+	}
+}
+
+func TestSensitivityTableRenders(t *testing.T) {
+	pts, err := RunMissCostSensitivity([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SensitivityTable(pts)
+	if len(s) == 0 || s[0] != ' ' {
+		t.Fatalf("table malformed: %q", s[:20])
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+// TestMicrosecondTimerMeasurement reproduces the paper's measurement
+// method: "To measure the cost of individual PPC operations, we used a
+// microsecond timer (with 10 cycle access overhead)". Bracketing a
+// call with timer reads must agree with the perfect virtual clock up
+// to exactly the two timer accesses.
+func TestMicrosecondTimerMeasurement(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	k := core.NewKernel(m)
+	server := k.NewServerProgram("null.prog", 0)
+	svc, err := k.BindService(core.ServiceConfig{Name: "null", Server: server,
+		Handler: func(ctx *core.Ctx, args *core.Args) { args.SetRC(core.RCOK) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.NewClientProgram("client", 0)
+	p := c.P()
+	var args core.Args
+	for i := 0; i < fig2Warmup; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Perfect-clock measurement.
+	before := p.Now()
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	perfect := m.Params().CyclesToMicros(p.Now() - before)
+
+	// Timer-bracketed measurement, as the authors did it.
+	t0 := p.ReadTimer()
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	t1 := p.ReadTimer()
+	timed := t1 - t0
+
+	overhead := m.Params().CyclesToMicros(m.Params().TimerAccessCycles)
+	if math.Abs(timed-(perfect+overhead)) > 0.01 {
+		t.Fatalf("timer measurement %.3f us, want perfect %.3f + one timer access %.3f",
+			timed, perfect, overhead)
+	}
+}

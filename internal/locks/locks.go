@@ -1,0 +1,123 @@
+// Package locks implements simulated synchronization primitives for the
+// coherence-free Hector machine. Because Hector has no hardware cache
+// coherence, a lock word (and any data it protects that is written by
+// multiple processors) must live in uncached memory: every operation on
+// it pays the uncached access cost, plus NUMA penalties when the word is
+// homed on a remote node. This is precisely why the paper's PPC facility
+// avoids locks and shared data on the common path.
+//
+// Contention is modelled in virtual time: the discrete-event engine in
+// internal/workload executes calls in nondecreasing start order, and a
+// lock serializes its holders by tracking the virtual time at which it
+// next becomes free.
+package locks
+
+import (
+	"fmt"
+
+	"hurricane/internal/machine"
+)
+
+// SpinLock is a test-and-set lock on an uncached word.
+type SpinLock struct {
+	name string
+	addr machine.Addr
+
+	held     bool
+	holder   int
+	nextFree int64 // virtual time at which the lock becomes free
+
+	// Statistics.
+	Acquisitions int64
+	Contentions  int64
+	SpinCycles   int64 // total cycles spent waiting
+}
+
+// NewSpinLock creates a lock whose word lives at the given (uncached)
+// address. The address's home node determines the NUMA penalty paid by
+// each operation.
+func NewSpinLock(name string, addr machine.Addr) *SpinLock {
+	return &SpinLock{name: name, addr: addr}
+}
+
+// Name returns the lock's diagnostic name.
+func (l *SpinLock) Name() string { return l.name }
+
+// Addr returns the lock word's address.
+func (l *SpinLock) Addr() machine.Addr { return l.addr }
+
+// Acquire takes the lock on behalf of processor p, charging the
+// test-and-set (an xmem-style atomic: an uncached read plus an uncached
+// write) and advancing p's clock past any virtual-time contention.
+func (l *SpinLock) Acquire(p *machine.Processor) {
+	// The atomic exchange: read and write phases, both uncached.
+	p.Access(l.addr, 4, machine.SharedLoad)
+	p.Access(l.addr, 4, machine.SharedStore)
+	l.Acquisitions++
+
+	if l.nextFree > p.Now() {
+		// The lock is (in virtual time) still held: spin until free,
+		// then pay one more exchange to actually take it.
+		l.Contentions++
+		l.SpinCycles += l.nextFree - p.Now()
+		p.AdvanceTo(l.nextFree)
+		p.Access(l.addr, 4, machine.SharedLoad)
+		p.Access(l.addr, 4, machine.SharedStore)
+	}
+	l.held = true
+	l.holder = p.ID()
+}
+
+// Release frees the lock, charging the uncached store of the unlock and
+// recording the release time for virtual-time contention.
+func (l *SpinLock) Release(p *machine.Processor) {
+	if !l.held || l.holder != p.ID() {
+		panic(fmt.Sprintf("locks: %s released by %d but held=%v holder=%d", l.name, p.ID(), l.held, l.holder))
+	}
+	p.Access(l.addr, 4, machine.SharedStore)
+	l.held = false
+	if now := p.Now(); now > l.nextFree {
+		l.nextFree = now
+	}
+}
+
+// Held reports whether the lock is currently held (tests).
+func (l *SpinLock) Held() bool { return l.held }
+
+// Holder returns the current holder's processor ID (valid when Held).
+func (l *SpinLock) Holder() int { return l.holder }
+
+// NextFree returns the virtual time at which the lock becomes free.
+func (l *SpinLock) NextFree() int64 { return l.nextFree }
+
+// SharedCounter is an uncached word incremented by multiple processors —
+// the classic shared-data hotspot. Each operation pays uncached and NUMA
+// costs; it exists to let experiments quantify shared-data traffic
+// against the PPC facility's shared-nothing design.
+type SharedCounter struct {
+	addr  machine.Addr
+	value int64
+}
+
+// NewSharedCounter creates a counter at the given uncached address.
+func NewSharedCounter(addr machine.Addr) *SharedCounter {
+	return &SharedCounter{addr: addr}
+}
+
+// Inc adds one to the counter from processor p, charging an uncached
+// read-modify-write.
+func (c *SharedCounter) Inc(p *machine.Processor) int64 {
+	p.Access(c.addr, 4, machine.SharedLoad)
+	p.Access(c.addr, 4, machine.SharedStore)
+	c.value++
+	return c.value
+}
+
+// Read returns the counter from processor p, charging an uncached read.
+func (c *SharedCounter) Read(p *machine.Processor) int64 {
+	p.Access(c.addr, 4, machine.SharedLoad)
+	return c.value
+}
+
+// Value returns the counter without charging (host-side inspection).
+func (c *SharedCounter) Value() int64 { return c.value }

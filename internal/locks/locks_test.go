@@ -1,0 +1,156 @@
+package locks
+
+import (
+	"testing"
+
+	"hurricane/internal/machine"
+)
+
+func TestSpinLockUncontended(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	p := m.Proc(0)
+	l := NewSpinLock("test", machine.NodeBase(0)+0x100)
+
+	// Warm the TLB page so the cost below is purely the lock protocol.
+	p.Access(l.Addr(), 4, machine.UncachedLoad)
+	before := p.Now()
+	l.Acquire(p)
+	if !l.Held() || l.Holder() != 0 {
+		t.Fatal("lock not held after acquire")
+	}
+	acquireCost := p.Now() - before
+	want := 2 * m.Params().UncachedAccessCycles
+	if acquireCost != want {
+		t.Fatalf("uncontended acquire cost = %d, want %d", acquireCost, want)
+	}
+	l.Release(p)
+	if l.Held() {
+		t.Fatal("lock held after release")
+	}
+	if l.Contentions != 0 {
+		t.Fatal("uncontended acquire counted as contention")
+	}
+}
+
+func TestSpinLockContentionAdvancesClock(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	p0, p1 := m.Proc(0), m.Proc(1)
+	l := NewSpinLock("test", machine.NodeBase(0)+0x100)
+
+	l.Acquire(p0)
+	p0.Charge(1000) // hold for 1000 cycles
+	l.Release(p0)
+
+	// p1 tries at virtual time 0; it must wait until p0's release time.
+	l.Acquire(p1)
+	if p1.Now() < 1000 {
+		t.Fatalf("contended acquire finished at %d, before release time 1000", p1.Now())
+	}
+	if l.Contentions != 1 {
+		t.Fatalf("contentions = %d, want 1", l.Contentions)
+	}
+	if l.SpinCycles == 0 {
+		t.Fatal("no spin cycles recorded")
+	}
+	l.Release(p1)
+}
+
+func TestSpinLockNoContentionWhenLaterInTime(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	p0, p1 := m.Proc(0), m.Proc(1)
+	l := NewSpinLock("test", machine.NodeBase(0)+0x100)
+
+	l.Acquire(p0)
+	l.Release(p0)
+
+	p1.Charge(5000) // p1 arrives well after the release
+	before := p1.Now()
+	l.Acquire(p1)
+	if l.Contentions != 0 {
+		t.Fatal("late arrival should not contend")
+	}
+	if p1.Account()[machine.CatIdle] != 0 {
+		t.Fatal("late arrival should not idle")
+	}
+	_ = before
+	l.Release(p1)
+}
+
+func TestSpinLockWrongReleaserPanics(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	l := NewSpinLock("test", machine.NodeBase(0)+0x100)
+	l.Acquire(m.Proc(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release by non-holder did not panic")
+		}
+	}()
+	l.Release(m.Proc(1))
+}
+
+func TestSpinLockRemoteCostsMore(t *testing.T) {
+	m := machine.MustNew(8, machine.DefaultParams())
+	// Lock homed on node 0; acquirer on node 7 pays NUMA penalties.
+	l := NewSpinLock("remote", machine.NodeBase(0)+0x100)
+	pLocal, pRemote := m.Proc(0), m.Proc(7)
+
+	pLocal.Access(l.Addr(), 4, machine.UncachedLoad)
+	before := pLocal.Now()
+	l.Acquire(pLocal)
+	l.Release(pLocal)
+	localCost := pLocal.Now() - before
+
+	pRemote.Access(l.Addr(), 4, machine.UncachedLoad)
+	// Catch pRemote up so it does not contend in virtual time.
+	pRemote.AdvanceTo(pLocal.Now() + 1)
+	before = pRemote.Now()
+	l.Acquire(pRemote)
+	l.Release(pRemote)
+	remoteCost := pRemote.Now() - before
+
+	if remoteCost <= localCost {
+		t.Fatalf("remote lock ops (%d) should cost more than local (%d)", remoteCost, localCost)
+	}
+}
+
+func TestSerializationRate(t *testing.T) {
+	// N processors each acquire/hold/release in turn; total virtual span
+	// must be at least N * holdTime: the lock really serializes.
+	m := machine.MustNew(4, machine.DefaultParams())
+	l := NewSpinLock("serial", machine.NodeBase(0)+0x100)
+	const hold = 500
+	for i := 0; i < 4; i++ {
+		p := m.Proc(i)
+		l.Acquire(p)
+		p.Charge(hold)
+		l.Release(p)
+	}
+	if l.NextFree() < 4*hold {
+		t.Fatalf("lock free at %d, want >= %d: serialization violated", l.NextFree(), 4*hold)
+	}
+}
+
+func TestSharedCounter(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	p0, p1 := m.Proc(0), m.Proc(1)
+	c := NewSharedCounter(machine.NodeBase(0) + 0x200)
+
+	if c.Inc(p0) != 1 || c.Inc(p1) != 2 {
+		t.Fatal("counter increments wrong")
+	}
+	if c.Read(p0) != 2 || c.Value() != 2 {
+		t.Fatal("counter reads wrong")
+	}
+	// Remote increment costs more than local.
+	p0.Access(c.addr, 4, machine.UncachedLoad)
+	p1.Access(c.addr, 4, machine.UncachedLoad)
+	b0 := p0.Now()
+	c.Inc(p0)
+	local := p0.Now() - b0
+	b1 := p1.Now()
+	c.Inc(p1)
+	remote := p1.Now() - b1
+	if remote <= local {
+		t.Fatalf("remote counter inc (%d) should cost more than local (%d)", remote, local)
+	}
+}

@@ -1,0 +1,338 @@
+// Package lrpc implements Bershad's Lightweight RPC as the paper
+// characterizes it (§2), as a comparator for the PPC facility. LRPC
+// shares the PPC model — the client thread crosses into the server —
+// and avoids per-call mapping by pre-mapping argument stacks (A-stacks)
+// in both domains. The key difference the paper identifies: "not all
+// resources required by an LRPC operation are exclusively accessed by a
+// single processor". A-stacks live in per-*binding* pools guarded by a
+// lock, so on a NUMA machine without hardware coherence:
+//
+//   - the pool lock and list are uncached shared data (every call pays
+//     uncached and, off-node, remote costs);
+//   - an A-stack may have been used last by another processor, so
+//     software coherence must write back its dirty lines on release and
+//     the next user pulls them cold, possibly from remote memory.
+//
+// The package also implements the Firefly-era optimization the paper
+// calls out: idling server threads on idle processors and migrating the
+// caller there. On the Firefly's cost model (caches no faster than
+// memory, update-based coherence) that won; with modern miss costs it
+// is prohibitive — the sensitivity experiment quantifies the crossover.
+package lrpc
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+// Handler services an LRPC on the (possibly migrated-to) processor.
+type Handler func(p *machine.Processor, caller *proc.Process, args *core.Args)
+
+// astackSize is the pre-mapped argument stack footprint per call.
+const astackSize = 1024
+
+// astack is one pooled argument stack.
+type astack struct {
+	addr machine.Addr
+	// lastUser is the processor that last dirtied the stack; software
+	// coherence costs depend on it.
+	lastUser  int
+	dirtySpan int // bytes dirtied during the last call
+}
+
+// Binding connects clients to one server interface, with its own
+// A-stack list — shared by all processors, guarded by one lock.
+type Binding struct {
+	name    string
+	handler Handler
+	node    int // home node of the A-stacks and lock
+
+	lock    *locks.SpinLock
+	stacks  []*astack
+	inUse   map[*astack]bool
+	binding machine.Addr // the binding object (read-mostly, cacheable)
+
+	// perProc/poolAddr, when non-nil, replace the shared list with
+	// per-processor exclusive pools (NewBindingPerProc).
+	perProc  [][]*astack
+	poolAddr []machine.Addr
+
+	Calls      int64
+	Migrations int64
+}
+
+// Name returns the binding's diagnostic name.
+func (b *Binding) Name() string { return b.name }
+
+// Facility is the LRPC subsystem built on the kernel's substrates.
+type Facility struct {
+	k *core.Kernel
+
+	segStub   *machine.CodeSeg
+	segCall   *machine.CodeSeg
+	segReturn *machine.CodeSeg
+
+	// idle tracks, per processor, whether an idling server thread is
+	// parked there (the Firefly optimization's precondition).
+	idle []bool
+}
+
+// New builds the facility.
+func New(k *core.Kernel) *Facility {
+	m := k.Machine()
+	return &Facility{
+		k:         k,
+		segStub:   m.NewCodeSeg("lrpc.stub", 26),
+		segCall:   m.NewCodeSeg("lrpc.call", 70),
+		segReturn: m.NewCodeSeg("lrpc.return", 48),
+		idle:      make([]bool, m.NumProcs()),
+	}
+}
+
+// SetIdle marks a processor as hosting an idling server thread.
+func (f *Facility) SetIdle(proc int, idle bool) { f.idle[proc] = idle }
+
+// NewBinding creates a binding whose A-stack list lives on node.
+func (f *Facility) NewBinding(name string, node int, nStacks int, h Handler) *Binding {
+	if h == nil {
+		panic("lrpc: nil handler")
+	}
+	if nStacks <= 0 {
+		nStacks = 2
+	}
+	layout := f.k.Layout()
+	b := &Binding{
+		name:    name,
+		handler: h,
+		node:    node,
+		binding: layout.AllocAligned(node, 64),
+		inUse:   make(map[*astack]bool),
+	}
+	b.lock = locks.NewSpinLock("lrpc."+name, layout.AllocAligned(node, 8))
+	for i := 0; i < nStacks; i++ {
+		b.stacks = append(b.stacks, &astack{
+			addr:     layout.AllocKernel(node, astackSize, astackSize),
+			lastUser: -1,
+		})
+	}
+	return b
+}
+
+// NewBindingPerProc creates the counterfactual the paper implies: LRPC
+// with its one design flaw fixed — A-stack pools reserved per
+// processor, exclusively accessed, no lock, no software-coherence flush
+// (a stack never leaves its processor). Everything else (pre-mapped
+// stacks, binding objects, the call sequence) is standard LRPC. The
+// difference between this and NewBinding measures exactly what
+// "resources exclusively accessed by a single processor" is worth.
+func (f *Facility) NewBindingPerProc(name string, stacksPerProc int, h Handler) *Binding {
+	if h == nil {
+		panic("lrpc: nil handler")
+	}
+	if stacksPerProc <= 0 {
+		stacksPerProc = 2
+	}
+	layout := f.k.Layout()
+	n := f.k.Machine().NumProcs()
+	b := &Binding{
+		name:     name,
+		handler:  h,
+		node:     0,
+		binding:  layout.AllocAligned(0, 64),
+		inUse:    make(map[*astack]bool),
+		perProc:  make([][]*astack, n),
+		poolAddr: make([]machine.Addr, n),
+	}
+	for proc := 0; proc < n; proc++ {
+		b.poolAddr[proc] = layout.AllocAligned(proc, 8)
+		for i := 0; i < stacksPerProc; i++ {
+			b.perProc[proc] = append(b.perProc[proc], &astack{
+				addr:     layout.AllocKernel(proc, astackSize, astackSize),
+				lastUser: proc,
+			})
+		}
+	}
+	return b
+}
+
+// Call performs a synchronous LRPC on the caller's processor.
+func (f *Facility) Call(c *core.Client, b *Binding, args *core.Args) error {
+	return f.call(c, b, args, c.P())
+}
+
+// CallMigrating performs the Firefly optimization: if an idling server
+// thread exists on another processor, the call migrates there — the
+// handler executes on the idle processor, dragging the caller's working
+// set across the machine, and the reply migrates back.
+func (f *Facility) CallMigrating(c *core.Client, b *Binding, args *core.Args) error {
+	target := -1
+	for i, idle := range f.idle {
+		if idle && i != c.P().ID() {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return f.call(c, b, args, c.P())
+	}
+	b.Migrations++
+	req := c.P()
+	tp := f.k.Machine().Proc(target)
+
+	// Post the call to the idle processor: context transfer (PC, SP,
+	// registers, arguments) through shared memory, uncached.
+	req.PushCat(machine.CatPPCKernel)
+	req.Exec(f.segCall, 20)
+	req.Access(b.binding, 4+core.NumArgWords*4+64, machine.SharedStore)
+	req.PopCat()
+
+	// The idle processor picks it up in virtual time and services it;
+	// its caches are cold for this caller's state.
+	tp.AdvanceTo(req.Now())
+	tp.PushCat(machine.CatPPCKernel)
+	tp.Access(b.binding, 4+core.NumArgWords*4+64, machine.SharedLoad)
+	tp.PopCat()
+	if err := f.callOn(tp, c.Process(), b, args); err != nil {
+		return err
+	}
+	// Reply migrates back; the caller stalls until it lands.
+	tp.Access(b.binding, core.NumArgWords*4+16, machine.SharedStore)
+	req.AdvanceTo(tp.Now())
+	req.Access(b.binding, core.NumArgWords*4+16, machine.SharedLoad)
+	return nil
+}
+
+// call runs the whole exchange on processor p.
+func (f *Facility) call(c *core.Client, b *Binding, args *core.Args, p *machine.Processor) error {
+	// User stub + trap, as for PPC.
+	caller := c.Process()
+	p.PushCat(machine.CatUserSaveRestore)
+	p.Exec(f.segStub, f.segStub.Instrs)
+	f.k.VM().Access(p, caller.Space(), caller.UserStackVA-96, 96, machine.Store)
+	p.PopCat()
+	p.Trap()
+	err := f.callOn(p, caller, b, args)
+	p.ReturnFromTrap()
+	p.PushCat(machine.CatUserSaveRestore)
+	p.Exec(f.segStub, 18)
+	f.k.VM().Access(p, caller.Space(), caller.UserStackVA-96, 96, machine.Load)
+	p.PopCat()
+	return err
+}
+
+// callOn is the kernel part, already in supervisor context on p.
+func (f *Facility) callOn(p *machine.Processor, caller *proc.Process, b *Binding, args *core.Args) error {
+	if b.perProc != nil {
+		return f.callOnPerProc(p, caller, b, args)
+	}
+	b.Calls++
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(f.segCall, f.segCall.Instrs)
+	// Binding validation: read-mostly, cacheable.
+	p.Access(b.binding, 16, machine.Load)
+
+	// A-stack allocation from the shared list, under the lock.
+	b.lock.Acquire(p)
+	p.Access(b.lock.Addr()+4, 8, machine.SharedLoad) // list head
+	var st *astack
+	for _, cand := range b.stacks {
+		if !b.inUse[cand] {
+			st = cand
+			break
+		}
+	}
+	if st == nil {
+		b.lock.Release(p)
+		p.PopCat()
+		return fmt.Errorf("lrpc: binding %q out of A-stacks", b.name)
+	}
+	b.inUse[st] = true
+	p.Access(b.lock.Addr()+4, 4, machine.SharedStore)
+	b.lock.Release(p)
+
+	// Copy the arguments onto the A-stack. If another processor used
+	// this stack last, the lines are not ours: cold (possibly remote)
+	// fills. The write-back flush on release (below) is what makes
+	// this safe on a coherence-free machine.
+	p.Access(st.addr, core.NumArgWords*4, machine.Store)
+	p.PopCat()
+
+	// The server body runs on this processor, working on the A-stack.
+	p.PushCat(machine.CatServerTime)
+	p.Access(st.addr, 128, machine.Store)
+	b.handler(p, caller, args)
+	p.Access(st.addr, 128, machine.Load)
+	p.PopCat()
+	st.dirtySpan = 160
+	st.lastUser = p.ID()
+
+	// Return: copy results, write back the A-stack's dirty lines
+	// (software coherence), release it to the shared list.
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(f.segReturn, f.segReturn.Instrs)
+	p.Access(st.addr, core.NumArgWords*4, machine.Load)
+	f.flushStack(p, st)
+	b.lock.Acquire(p)
+	p.Access(b.lock.Addr()+4, 4, machine.SharedStore)
+	delete(b.inUse, st)
+	b.lock.Release(p)
+	p.PopCat()
+	return nil
+}
+
+// callOnPerProc is the exclusive-pools variant: local pool, no lock,
+// no coherence flush, otherwise the identical LRPC sequence.
+func (f *Facility) callOnPerProc(p *machine.Processor, caller *proc.Process, b *Binding, args *core.Args) error {
+	b.Calls++
+	id := p.ID()
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(f.segCall, f.segCall.Instrs)
+	p.Access(b.binding, 16, machine.Load)
+
+	// Pool pop: processor-private, cached, lock-free.
+	p.Access(b.poolAddr[id], 8, machine.Load)
+	var st *astack
+	for _, cand := range b.perProc[id] {
+		if !b.inUse[cand] {
+			st = cand
+			break
+		}
+	}
+	if st == nil {
+		p.PopCat()
+		return fmt.Errorf("lrpc: binding %q out of A-stacks on processor %d", b.name, id)
+	}
+	b.inUse[st] = true
+	p.Access(b.poolAddr[id], 4, machine.Store)
+	p.Access(st.addr, core.NumArgWords*4, machine.Store)
+	p.PopCat()
+
+	p.PushCat(machine.CatServerTime)
+	p.Access(st.addr, 128, machine.Store)
+	b.handler(p, caller, args)
+	p.Access(st.addr, 128, machine.Load)
+	p.PopCat()
+
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(f.segReturn, f.segReturn.Instrs)
+	p.Access(st.addr, core.NumArgWords*4, machine.Load)
+	// No flush: the stack never leaves this processor.
+	p.Access(b.poolAddr[id], 4, machine.Store)
+	delete(b.inUse, st)
+	p.PopCat()
+	return nil
+}
+
+// flushStack writes back the A-stack lines this call dirtied, charging
+// one writeback per line — the software-coherence tax of sharing stacks
+// across processors.
+func (f *Facility) flushStack(p *machine.Processor, st *astack) {
+	line := p.Params().CacheLineSize
+	lines := (st.dirtySpan + line - 1) / line
+	p.Charge(int64(lines) * p.Params().CacheFillCycles)
+	p.DCache().FlushRange(st.addr, st.dirtySpan)
+}

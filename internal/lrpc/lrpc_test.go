@@ -1,0 +1,225 @@
+package lrpc
+
+import (
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+func setup(t *testing.T, procs int) (*core.Kernel, *Facility) {
+	t.Helper()
+	k := core.NewKernel(machine.MustNew(procs, machine.DefaultParams()))
+	return k, New(k)
+}
+
+func nullHandler(p *machine.Processor, caller *proc.Process, args *core.Args) {
+	p.Charge(25)
+	args.SetRC(core.RCOK)
+}
+
+func TestLRPCRoundTrip(t *testing.T) {
+	k, f := setup(t, 1)
+	b := f.NewBinding("echo", 0, 2, func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args[0] += 7
+		args.SetRC(core.RCOK)
+	})
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	args[0] = 35
+	if err := f.Call(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 42 || args.RC() != core.RCOK {
+		t.Fatalf("args[0]=%d rc=%s", args[0], core.RCString(args.RC()))
+	}
+	if b.Calls != 1 {
+		t.Fatalf("Calls = %d", b.Calls)
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance")
+	}
+}
+
+func TestAStackExhaustion(t *testing.T) {
+	k, f := setup(t, 1)
+	var errs []error
+	var b *Binding
+	depth := 0
+	b = f.NewBinding("rec", 0, 2, func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		if depth < 2 {
+			depth++
+			// Re-entering while holding A-stacks exhausts the fixed
+			// pool — unlike PPC, where Frank grows worker pools on
+			// demand.
+			errs = append(errs, f.callOn(p, caller, b, args))
+		}
+		args.SetRC(core.RCOK)
+	})
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	if err := f.Call(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 2 || errs[1] != nil || errs[0] == nil {
+		t.Fatalf("expected the deepest nested call to exhaust the fixed pool: %v", errs)
+	}
+}
+
+func TestSharedPoolContends(t *testing.T) {
+	k, f := setup(t, 4)
+	b := f.NewBinding("null", 0, 4, nullHandler)
+	for i := 0; i < 4; i++ {
+		c := k.NewClientProgram("c", i)
+		var args core.Args
+		if err := f.Call(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.lock.Acquisitions < 8 { // two per call
+		t.Fatalf("acquisitions = %d", b.lock.Acquisitions)
+	}
+	if b.lock.Contentions == 0 {
+		t.Fatal("simultaneous LRPCs did not contend on the A-stack list")
+	}
+}
+
+func TestRemoteProcessorPaysForSharedStacks(t *testing.T) {
+	// The A-stacks are not reserved per processor: they live on the
+	// binding's node, so a server handling a call on another processor
+	// "may implicitly access remote data" (paper §2). The software-
+	// coherence flush also makes every reuse cold, even locally — both
+	// costs the per-processor PPC stacks avoid.
+	k, f := setup(t, 8)
+	b := f.NewBinding("null", 0, 1, nullHandler)
+	c0 := k.NewClientProgram("c0", 0) // same node as the A-stacks
+	c7 := k.NewClientProgram("c7", 7) // far station
+	var args core.Args
+
+	measure := func(c *core.Client) int64 {
+		// Keep clocks apart so the lock never contends in virtual time.
+		c.P().AdvanceTo(maxNow(k) + 10_000)
+		for i := 0; i < 3; i++ { // warm this client's own path
+			if err := f.Call(c, b, &args); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := c.P().Now()
+		if err := f.Call(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+		return c.P().Now() - before
+	}
+	local := measure(c0)
+	remote := measure(c7)
+	if remote <= local {
+		t.Fatalf("remote caller (%d cy) should pay more than the A-stacks' home processor (%d cy)", remote, local)
+	}
+}
+
+func maxNow(k *core.Kernel) int64 {
+	return k.Machine().MaxClock()
+}
+
+func TestLRPCCostsMoreThanPPC(t *testing.T) {
+	// Sequential comparison on one processor, both warm: the PPC
+	// per-processor design beats the shared-pool design even with no
+	// contention, because of the uncached pool traffic and the
+	// software-coherence flush.
+	k, f := setup(t, 1)
+	b := f.NewBinding("null", 0, 2, nullHandler)
+	server := k.NewServerProgram("null.prog", 0)
+	svc, err := k.BindService(core.ServiceConfig{Name: "null", Server: server,
+		Handler: func(ctx *core.Ctx, args *core.Args) { args.SetRC(core.RCOK) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	for i := 0; i < 4; i++ {
+		if err := f.Call(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := c.P()
+	before := p.Now()
+	if err := f.Call(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	lrpcCost := p.Now() - before
+	before = p.Now()
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	ppcCost := p.Now() - before
+	if lrpcCost <= ppcCost {
+		t.Fatalf("LRPC (%d cy) should cost more than PPC (%d cy) on this machine", lrpcCost, ppcCost)
+	}
+}
+
+func TestMigrationIsProhibitiveOnModernCosts(t *testing.T) {
+	// The Firefly optimization: with high miss costs, migrating the
+	// call to an idle processor loses to servicing it locally.
+	k, f := setup(t, 2)
+	b := f.NewBinding("null", 0, 2, nullHandler)
+	f.SetIdle(1, true)
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	// Warm both variants.
+	for i := 0; i < 3; i++ {
+		if err := f.Call(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CallMigrating(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := c.P()
+	before := p.Now()
+	if err := f.Call(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	local := p.Now() - before
+	before = p.Now()
+	if err := f.CallMigrating(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	migrated := p.Now() - before
+	if migrated <= local {
+		t.Fatalf("migrated call (%d cy) should be slower than local (%d cy) with modern miss costs", migrated, local)
+	}
+	if b.Migrations == 0 {
+		t.Fatal("no migration recorded")
+	}
+}
+
+func TestMigrationFallsBackWhenNoIdle(t *testing.T) {
+	k, f := setup(t, 2)
+	b := f.NewBinding("null", 0, 2, nullHandler)
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	if err := f.CallMigrating(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	if b.Migrations != 0 {
+		t.Fatal("migrated with no idle processor")
+	}
+	if b.Calls != 1 {
+		t.Fatal("fallback call missing")
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	k, f := setup(t, 1)
+	_ = k
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler accepted")
+		}
+	}()
+	f.NewBinding("bad", 0, 1, nil)
+}

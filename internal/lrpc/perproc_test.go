@@ -1,0 +1,103 @@
+package lrpc
+
+import (
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+func TestPerProcBindingRoundTrip(t *testing.T) {
+	k, f := setup(t, 2)
+	b := f.NewBindingPerProc("fixed", 2, func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args[0] += 5
+		args.SetRC(core.RCOK)
+	})
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	args[0] = 37
+	if err := f.Call(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 42 {
+		t.Fatalf("args[0] = %d", args[0])
+	}
+	if b.Calls != 1 {
+		t.Fatalf("Calls = %d", b.Calls)
+	}
+	// Both processors have their own pools.
+	c1 := k.NewClientProgram("client1", 1)
+	if err := f.Call(c1, b, &args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerProcPoolsCloseTheGapToPPC(t *testing.T) {
+	// The crossover experiment: standard LRPC pays for its shared
+	// A-stack list (uncached lock + list + coherence flush). Giving
+	// LRPC per-processor exclusive pools — the paper's principle —
+	// recovers most of that cost. This isolates *what* makes PPC fast:
+	// not the upcall shape (LRPC has it too) but resource exclusivity.
+	k, f := setup(t, 1)
+	shared := f.NewBinding("shared", 0, 2, nullHandler)
+	exclusive := f.NewBindingPerProc("exclusive", 2, nullHandler)
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	for i := 0; i < 4; i++ { // warm both
+		if err := f.Call(c, shared, &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Call(c, exclusive, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := c.P()
+	cost := func(b *Binding) int64 {
+		before := p.Now()
+		if err := f.Call(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now() - before
+	}
+	sharedCost := cost(shared)
+	exclusiveCost := cost(exclusive)
+	if exclusiveCost >= sharedCost {
+		t.Fatalf("exclusive pools (%d cy) should beat the shared list (%d cy)", exclusiveCost, sharedCost)
+	}
+	// The saving should be substantial — the shared list's uncached
+	// traffic and coherence flush are a meaningful slice of the call.
+	saved := sharedCost - exclusiveCost
+	if float64(saved) < 0.1*float64(sharedCost) {
+		t.Fatalf("exclusivity saved only %d of %d cycles; expected the shared-data tax to be substantial",
+			saved, sharedCost)
+	}
+	t.Logf("shared %d cy, exclusive %d cy: exclusivity is worth %d cy/call", sharedCost, exclusiveCost, saved)
+}
+
+func TestPerProcPoolExhaustionIsPerProcessor(t *testing.T) {
+	k, f := setup(t, 2)
+	var b *Binding
+	depth := 0
+	var deepErr error
+	b = f.NewBindingPerProc("small", 1, func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		if depth == 0 {
+			depth++
+			deepErr = f.callOn(p, caller, b, args) // second stack on proc 0: none
+		}
+		args.SetRC(core.RCOK)
+	})
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	if err := f.Call(c, b, &args); err != nil {
+		t.Fatal(err)
+	}
+	if deepErr == nil {
+		t.Fatal("per-processor pool of 1 should exhaust at depth 2")
+	}
+	// Processor 1's pool is untouched and usable.
+	c1 := k.NewClientProgram("client1", 1)
+	if err := f.Call(c1, b, &args); err != nil {
+		t.Fatal(err)
+	}
+}

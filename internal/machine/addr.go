@@ -1,0 +1,79 @@
+package machine
+
+// Addr is a simulated 32-bit physical/virtual address. The simulated
+// kernel runs with a one-to-one mapping for kernel data, so kernel object
+// addresses double as physical addresses; user mappings are translated by
+// the addrspace package before reaching the processor.
+type Addr uint32
+
+// NodeShift positions the home-memory-node number in the top byte of an
+// address: processor i's local memory is the region [i<<NodeShift,
+// (i+1)<<NodeShift). This mirrors Hector's per-processor memory modules.
+const NodeShift = 24
+
+// NodeMask extracts the home node from an address.
+const NodeMask = 0xff
+
+// Home returns the memory node (processor number) whose local memory
+// holds the address.
+func (a Addr) Home() int { return int(a>>NodeShift) & NodeMask }
+
+// NodeBase returns the first address of processor n's local memory.
+func NodeBase(n int) Addr { return Addr(n) << NodeShift }
+
+// Page returns the virtual page number of the address for the given page
+// size (which must be a power of two).
+func (a Addr) Page(pageSize int) uint32 { return uint32(a) / uint32(pageSize) }
+
+// AccessKind distinguishes the ways a simulated access can be performed.
+type AccessKind int
+
+const (
+	// Load is a cached read of processor-private data.
+	Load AccessKind = iota
+	// Store is a cached write of processor-private data (write-back,
+	// write-allocate).
+	Store
+	// UncachedLoad bypasses the cache (device registers, or data the
+	// software explicitly keeps uncached).
+	UncachedLoad
+	// UncachedStore bypasses the cache.
+	UncachedStore
+	// SharedLoad reads data that other processors may write. On a
+	// machine without hardware coherence (Hector) it degrades to an
+	// uncached access — the only safe option; with HardwareCoherence
+	// it is a cached access under the invalidation protocol.
+	SharedLoad
+	// SharedStore writes shared data; without hardware coherence it is
+	// uncached, with it it invalidates remote copies.
+	SharedStore
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case UncachedLoad:
+		return "uncached-load"
+	case UncachedStore:
+		return "uncached-store"
+	case SharedLoad:
+		return "shared-load"
+	case SharedStore:
+		return "shared-store"
+	}
+	return "invalid"
+}
+
+// IsWrite reports whether the access modifies memory.
+func (k AccessKind) IsWrite() bool {
+	return k == Store || k == UncachedStore || k == SharedStore
+}
+
+// IsUncached reports whether the access bypasses the cache.
+func (k AccessKind) IsUncached() bool { return k == UncachedLoad || k == UncachedStore }
+
+// IsShared reports whether the access targets shared mutable data.
+func (k AccessKind) IsShared() bool { return k == SharedLoad || k == SharedStore }

@@ -1,0 +1,188 @@
+package machine
+
+// Cache models one of the M88200 caches: physically indexed,
+// set-associative, write-back, write-allocate, LRU replacement, with no
+// hardware coherence (software must flush or use uncached accesses for
+// shared data, as on Hector).
+type Cache struct {
+	lineSize int
+	ways     int
+	sets     int
+	lineMask uint32
+	setMask  uint32
+	shift    uint
+
+	// lines[set*ways+way]
+	lines []cacheLine
+
+	// Statistics.
+	Hits          int64
+	Misses        int64
+	Writebacks    int64
+	Invalidations int64
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	// age is a per-set LRU stamp; larger is more recent.
+	age uint64
+}
+
+// NewCache builds a cache with the given geometry.
+func NewCache(size, lineSize, ways int) *Cache {
+	sets := size / (lineSize * ways)
+	c := &Cache{
+		lineSize: lineSize,
+		ways:     ways,
+		sets:     sets,
+		lineMask: uint32(lineSize - 1),
+		setMask:  uint32(sets - 1),
+		lines:    make([]cacheLine, sets*ways),
+	}
+	for s := lineSize; s > 1; s >>= 1 {
+		c.shift++
+	}
+	return c
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// clock provides LRU stamps; monotonically increased on every touch.
+var _ = 0 // (placeholder to keep section grouping clear)
+
+type cacheResult struct {
+	miss      bool
+	writeback bool
+	// firstStoreClean is true when a store touched a line that was
+	// valid-clean (including a line just filled by this access), which
+	// costs extra on Hector.
+	firstStoreClean bool
+}
+
+// access touches the single line containing addr and updates state.
+// It does not charge cycles; the Processor does, using the result.
+func (c *Cache) access(addr Addr, write bool, stamp uint64) cacheResult {
+	var res cacheResult
+	lineAddr := uint32(addr) >> c.shift
+	set := lineAddr & c.setMask
+	tag := lineAddr >> 0 // full line address as tag (set bits redundant but harmless)
+	base := int(set) * c.ways
+
+	// Hit?
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			c.Hits++
+			l.age = stamp
+			if write {
+				if !l.dirty {
+					res.firstStoreClean = true
+					l.dirty = true
+				}
+			}
+			return res
+		}
+	}
+
+	// Miss: choose LRU victim.
+	c.Misses++
+	res.miss = true
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if !c.lines[base+w].valid {
+			victim = base + w
+			break
+		}
+		if c.lines[base+w].age < c.lines[victim].age {
+			victim = base + w
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		c.Writebacks++
+		res.writeback = true
+	}
+	v.tag = tag
+	v.valid = true
+	v.dirty = false
+	v.age = stamp
+	if write {
+		res.firstStoreClean = true
+		v.dirty = true
+	}
+	return res
+}
+
+// Flush invalidates the whole cache, discarding dirty data (the paper's
+// "cache flushed" measurement condition). It does not charge writeback
+// cycles: the experiment flushes between timed calls.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}
+
+// FlushRange invalidates all lines overlapping [addr, addr+size). Used by
+// software coherence when handing memory between processors.
+func (c *Cache) FlushRange(addr Addr, size int) {
+	if size <= 0 {
+		return
+	}
+	first := uint32(addr) >> c.shift
+	last := (uint32(addr) + uint32(size) - 1) >> c.shift
+	for la := first; ; la++ {
+		set := la & c.setMask
+		base := int(set) * c.ways
+		for w := 0; w < c.ways; w++ {
+			l := &c.lines[base+w]
+			if l.valid && l.tag == la {
+				*l = cacheLine{}
+			}
+		}
+		if la == last {
+			break
+		}
+	}
+}
+
+// Contains reports whether the line holding addr is resident (for tests).
+func (c *Cache) Contains(addr Addr) bool {
+	lineAddr := uint32(addr) >> c.shift
+	set := lineAddr & c.setMask
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Dirty reports whether the line holding addr is resident and dirty.
+func (c *Cache) Dirty(addr Addr) bool {
+	lineAddr := uint32(addr) >> c.shift
+	set := lineAddr & c.setMask
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == lineAddr {
+			return l.dirty
+		}
+	}
+	return false
+}
+
+// ResidentLines returns the number of valid lines (for tests and reports).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	if c.sets != 256 {
+		t.Fatalf("sets = %d, want 256", c.sets)
+	}
+	if got := c.LineSize(); got != 16 {
+		t.Fatalf("line size = %d, want 16", got)
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	r := c.access(0x1000, false, 1)
+	if !r.miss {
+		t.Fatal("first access should miss")
+	}
+	r = c.access(0x1008, false, 2)
+	if r.miss {
+		t.Fatal("same-line access should hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheFirstStoreToCleanLine(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	// Load brings the line in clean.
+	c.access(0x2000, false, 1)
+	// First store to the clean line pays the extra charge.
+	r := c.access(0x2000, true, 2)
+	if r.miss || !r.firstStoreClean {
+		t.Fatalf("store to resident clean line: miss=%v firstStoreClean=%v", r.miss, r.firstStoreClean)
+	}
+	// Second store to the now-dirty line does not.
+	r = c.access(0x2004, true, 3)
+	if r.firstStoreClean {
+		t.Fatal("store to dirty line should not pay first-store charge")
+	}
+}
+
+func TestCacheStoreMissIsAllocatingAndDirty(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	r := c.access(0x3000, true, 1)
+	if !r.miss || !r.firstStoreClean {
+		t.Fatalf("store miss: miss=%v firstStoreClean=%v", r.miss, r.firstStoreClean)
+	}
+	if !c.Dirty(0x3000) {
+		t.Fatal("line should be dirty after store")
+	}
+}
+
+func TestCacheLRUVictimAndWriteback(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	// Five distinct lines mapping to the same set (stride = sets*lineSize).
+	stride := Addr(256 * 16)
+	// Make the first line dirty so its eviction forces a writeback.
+	c.access(0x0, true, 1)
+	for i := 1; i < 4; i++ {
+		c.access(Addr(i)*stride, false, uint64(1+i))
+	}
+	r := c.access(4*stride, false, 10)
+	if !r.miss || !r.writeback {
+		t.Fatalf("conflict miss should evict dirty LRU line: miss=%v writeback=%v", r.miss, r.writeback)
+	}
+	if c.Contains(0x0) {
+		t.Fatal("dirty LRU line should have been evicted")
+	}
+}
+
+func TestCacheFlushRange(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	c.access(0x4000, true, 1)
+	c.access(0x4010, true, 2)
+	c.access(0x8000, true, 3)
+	c.FlushRange(0x4000, 32)
+	if c.Contains(0x4000) || c.Contains(0x4010) {
+		t.Fatal("flushed lines still resident")
+	}
+	if !c.Contains(0x8000) {
+		t.Fatal("unrelated line lost by FlushRange")
+	}
+}
+
+func TestCacheFlushAll(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	for i := 0; i < 64; i++ {
+		c.access(Addr(i*64), true, uint64(i))
+	}
+	if c.ResidentLines() == 0 {
+		t.Fatal("expected resident lines before flush")
+	}
+	c.Flush()
+	if c.ResidentLines() != 0 {
+		t.Fatal("flush left resident lines")
+	}
+}
+
+// Property: immediately re-accessing any address after an access always
+// hits (temporal locality invariant of any sane cache).
+func TestCacheRereferenceAlwaysHits(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	var stamp uint64
+	f := func(addr uint32, write bool) bool {
+		stamp++
+		c.access(Addr(addr), write, stamp)
+		stamp++
+		r := c.access(Addr(addr), false, stamp)
+		return !r.miss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of resident lines never exceeds capacity.
+func TestCacheCapacityInvariant(t *testing.T) {
+	c := NewCache(1024, 16, 2) // tiny cache to force replacement
+	capacity := 1024 / 16
+	var stamp uint64
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			stamp++
+			c.access(Addr(a), a%3 == 0, stamp)
+			if c.ResidentLines() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a line loaded (never stored to) is never reported dirty.
+func TestCacheCleanLoadsStayClean(t *testing.T) {
+	c := NewCache(16*1024, 16, 4)
+	var stamp uint64
+	f := func(addr uint32) bool {
+		stamp++
+		c.access(Addr(addr), false, stamp)
+		return !c.Dirty(Addr(addr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

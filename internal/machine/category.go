@@ -1,0 +1,108 @@
+package machine
+
+// Category identifies a cost-attribution bucket. The set mirrors the
+// legend of Figure 2 of the paper, which decomposes the round-trip time
+// of a PPC into the work performed along the call path.
+type Category int
+
+const (
+	// CatUnaccounted collects charges made while no explicit category is
+	// active (the paper's "unaccounted": pipeline stalls, incidental
+	// cache interference).
+	CatUnaccounted Category = iota
+	// CatTrapOverhead is the cost of traps to supervisor mode and the
+	// corresponding returns from interrupt.
+	CatTrapOverhead
+	// CatTLBMiss is the cost of hardware TLB reloads. TLB-miss charges
+	// are always attributed here regardless of the active category,
+	// matching the paper's separate "TLB miss" bar segment.
+	CatTLBMiss
+	// CatPPCKernel covers PPC kernel operations not covered elsewhere
+	// (entry-point lookup, argument transfer, linkage).
+	CatPPCKernel
+	// CatCDManipulation covers call-descriptor work: free-list and stack
+	// management.
+	CatCDManipulation
+	// CatUserSaveRestore covers saving and restoring user-level registers
+	// that might be overwritten during the call (done on the user stack).
+	CatUserSaveRestore
+	// CatKernelSaveRestore covers saving and restoring the minimum
+	// processor state required for a process switch.
+	CatKernelSaveRestore
+	// CatServerTime is the time spent in the worker executing server
+	// code.
+	CatServerTime
+	// CatTLBSetup covers operations that modify the current
+	// virtual-to-physical mappings (stack map/unmap, context switch).
+	CatTLBSetup
+	// CatIdle accrues while a processor waits in virtual time (spinning
+	// on a contended lock, idling for work). Not part of Figure 2, used
+	// by the throughput experiments.
+	CatIdle
+
+	numCategories
+)
+
+// NumCategories is the number of attribution buckets.
+const NumCategories = int(numCategories)
+
+var categoryNames = [...]string{
+	CatUnaccounted:       "unaccounted",
+	CatTrapOverhead:      "trap overhead",
+	CatTLBMiss:           "TLB miss",
+	CatPPCKernel:         "PPC kernel",
+	CatCDManipulation:    "CD manipulation",
+	CatUserSaveRestore:   "user save/restore",
+	CatKernelSaveRestore: "kernel save/restore",
+	CatServerTime:        "server time",
+	CatTLBSetup:          "TLB setup",
+	CatIdle:              "idle",
+}
+
+// String returns the Figure 2 legend name of the category.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return "invalid"
+	}
+	return categoryNames[c]
+}
+
+// Breakdown is a per-category cycle account.
+type Breakdown [NumCategories]int64
+
+// Total returns the sum over all categories.
+func (b *Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o *Breakdown) {
+	for i, v := range o {
+		b[i] += v
+	}
+}
+
+// Sub returns b minus o, category-wise.
+func (b *Breakdown) Sub(o *Breakdown) Breakdown {
+	var r Breakdown
+	for i := range b {
+		r[i] = b[i] - o[i]
+	}
+	return r
+}
+
+// Scale divides every bucket by n (for per-iteration averages).
+func (b *Breakdown) Scale(n int64) Breakdown {
+	var r Breakdown
+	if n == 0 {
+		return r
+	}
+	for i := range b {
+		r[i] = b[i] / n
+	}
+	return r
+}

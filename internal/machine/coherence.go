@@ -1,0 +1,84 @@
+package machine
+
+// directory is the machine-wide coherence directory used when
+// HardwareCoherence is enabled: for every shared cache line it tracks
+// which processors hold a copy (a bitmask — coherent machines are
+// limited to 64 processors) and whether one of them holds it dirty.
+// The discrete-event engines execute processors in nondecreasing
+// virtual-time order, so directory updates are causally consistent the
+// same way the virtual-time locks are.
+type directory struct {
+	holders map[uint32]uint64 // line address -> holder bitmask
+	dirty   map[uint32]int    // line address -> dirty owner, or absent
+}
+
+func newDirectory() *directory {
+	return &directory{
+		holders: make(map[uint32]uint64),
+		dirty:   make(map[uint32]int),
+	}
+}
+
+// coherentAccess performs one shared-line access under the invalidation
+// protocol on behalf of processor p, returning the cycles to charge.
+func (m *Machine) coherentAccess(p *Processor, lineAddr uint32, write bool, penalty int64) int64 {
+	d := m.dir
+	params := m.params
+	var cost int64
+
+	p.stamp++
+	res := p.dcache.access(Addr(lineAddr<<p.dcache.shift), write, p.stamp)
+	self := uint64(1) << uint(p.id)
+
+	if res.miss {
+		// Fill: from a remote dirty copy if one exists, else memory.
+		if owner, dirtyElsewhere := d.dirty[lineAddr]; dirtyElsewhere && owner != p.id {
+			cost += params.CacheToCacheCycles + penalty
+			// The owner's copy is downgraded (written back).
+			delete(d.dirty, lineAddr)
+		} else {
+			cost += params.CacheFillCycles + penalty
+		}
+		if res.writeback {
+			cost += params.CacheFillCycles
+		}
+	}
+	if res.firstStoreClean {
+		cost += params.FirstStoreCleanCycles
+	}
+
+	if write {
+		// Invalidate every other holder; the writer pays per copy, the
+		// holders lose the line (their next access misses).
+		mask := d.holders[lineAddr] &^ self
+		for bit := 0; mask != 0; bit++ {
+			if mask&(1<<uint(bit)) != 0 {
+				mask &^= 1 << uint(bit)
+				cost += params.CoherenceInvalidateCycles
+				other := m.procs[bit]
+				other.dcache.invalidateLine(lineAddr)
+			}
+		}
+		d.holders[lineAddr] = self
+		d.dirty[lineAddr] = p.id
+	} else {
+		d.holders[lineAddr] |= self
+	}
+	return cost
+}
+
+// invalidateLine drops a single line without a writeback charge (the
+// protocol's invalidation message carries ownership; the dirty data
+// lives with the new owner).
+func (c *Cache) invalidateLine(lineAddr uint32) {
+	set := lineAddr & c.setMask
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == lineAddr {
+			*l = cacheLine{}
+			c.Invalidations++
+			return
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package machine
+
+import "testing"
+
+func coherentMachine(t *testing.T, procs int) *Machine {
+	t.Helper()
+	return MustNew(procs, CoherentParams())
+}
+
+func TestSharedDegradesToUncachedWithoutCoherence(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	addr := NodeBase(0) + 0x100
+	p.Access(addr, 4, SharedLoad) // warm TLB page
+	before := p.Now()
+	p.Access(addr, 8, SharedLoad)
+	if got := p.Now() - before; got != 2*m.Params().UncachedAccessCycles {
+		t.Fatalf("shared load without coherence charged %d, want uncached %d",
+			got, 2*m.Params().UncachedAccessCycles)
+	}
+	// And it never enters the cache.
+	if p.DCache().Contains(addr) {
+		t.Fatal("shared data cached on a coherence-free machine")
+	}
+}
+
+func TestCoherentSharedLoadCaches(t *testing.T) {
+	m := coherentMachine(t, 2)
+	p := m.Proc(0)
+	addr := NodeBase(0) + 0x100
+	p.Access(addr, 4, SharedLoad)
+	if !p.DCache().Contains(addr) {
+		t.Fatal("coherent shared load should cache the line")
+	}
+	// Repeat access is a hit: free in this model.
+	before := p.Now()
+	p.Access(addr, 4, SharedLoad)
+	if p.Now() != before {
+		t.Fatal("warm coherent shared load should be free")
+	}
+}
+
+func TestCoherentStoreInvalidatesRemoteCopies(t *testing.T) {
+	m := coherentMachine(t, 3)
+	p0, p1, p2 := m.Proc(0), m.Proc(1), m.Proc(2)
+	addr := NodeBase(0) + 0x200
+
+	p0.Access(addr, 4, SharedLoad)
+	p1.Access(addr, 4, SharedLoad)
+	p2.Access(addr, 4, SharedLoad)
+	// Warm p2's TLB entry for the next measurement.
+	if !p1.DCache().Contains(addr) {
+		t.Fatal("p1 copy missing")
+	}
+
+	invBefore := p1.DCache().Invalidations + p0.DCache().Invalidations
+	before := p2.Now()
+	p2.Access(addr, 4, SharedStore)
+	cost := p2.Now() - before
+
+	if p0.DCache().Contains(addr) || p1.DCache().Contains(addr) {
+		t.Fatal("store did not invalidate remote copies")
+	}
+	inv := p0.DCache().Invalidations + p1.DCache().Invalidations - invBefore
+	if inv != 2 {
+		t.Fatalf("invalidations = %d, want 2", inv)
+	}
+	// The writer paid per remote copy.
+	if cost < 2*m.Params().CoherenceInvalidateCycles {
+		t.Fatalf("writer charged %d, want at least %d", cost, 2*m.Params().CoherenceInvalidateCycles)
+	}
+}
+
+func TestCoherentDirtyRemoteHitUsesCacheToCache(t *testing.T) {
+	m := coherentMachine(t, 2)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	addr := NodeBase(0) + 0x300
+
+	p0.Access(addr, 4, SharedStore) // p0 holds it dirty
+	// Warm p1's TLB page with an unrelated same-page access.
+	p1.Access(addr+64, 4, SharedLoad)
+
+	before := p1.Now()
+	p1.Access(addr, 4, SharedLoad)
+	cost := p1.Now() - before
+	// Must include the cache-to-cache transfer, not a plain fill.
+	if cost < m.Params().CacheToCacheCycles {
+		t.Fatalf("dirty remote hit charged %d, want >= cache-to-cache %d",
+			cost, m.Params().CacheToCacheCycles)
+	}
+}
+
+func TestCoherentPingPongCostsMoreThanPrivate(t *testing.T) {
+	// Two processors alternately writing one shared line (lock-style
+	// ping-pong) must cost more per op than a private cached write —
+	// the invalidation traffic of the paper's motivation.
+	m := coherentMachine(t, 2)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	shared := NodeBase(0) + 0x400
+	private := NodeBase(0) + 0x800
+
+	// Warm everything.
+	p0.Access(shared, 4, SharedStore)
+	p1.Access(shared, 4, SharedStore)
+	p0.Access(private, 4, Store)
+
+	before := p0.Now()
+	p0.Access(private, 4, Store)
+	privateCost := p0.Now() - before
+
+	before = p0.Now()
+	p0.Access(shared, 4, SharedStore) // must pull back + invalidate p1
+	pingPong := p0.Now() - before
+	if pingPong <= privateCost {
+		t.Fatalf("ping-pong store (%d cy) should exceed private store (%d cy)", pingPong, privateCost)
+	}
+}
+
+func TestCoherentMachineProcessorLimit(t *testing.T) {
+	if _, err := New(65, CoherentParams()); err == nil {
+		t.Fatal("coherent machine with 65 processors accepted")
+	}
+	if _, err := New(64, CoherentParams()); err != nil {
+		t.Fatalf("64-processor coherent machine rejected: %v", err)
+	}
+}
+
+func TestCoherenceDeterministic(t *testing.T) {
+	run := func() int64 {
+		m := coherentMachine(t, 4)
+		addr := NodeBase(0) + 0x500
+		for i := 0; i < 20; i++ {
+			p := m.Proc(i % 4)
+			if i%3 == 0 {
+				p.Access(addr, 4, SharedStore)
+			} else {
+				p.Access(addr, 4, SharedLoad)
+			}
+		}
+		return m.MaxClock()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic coherence: %d vs %d", a, b)
+	}
+}

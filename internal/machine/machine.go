@@ -1,0 +1,169 @@
+package machine
+
+import "fmt"
+
+// Machine is a simulated Hector multiprocessor: up to 255 processors,
+// each with local memory, grouped into stations connected by a ring.
+// Memory is globally addressable; the cost of an access grows with the
+// distance between the requesting processor and the home memory module
+// (Hector is a NUMA machine with no hardware cache coherence).
+type Machine struct {
+	params Params
+	procs  []*Processor
+
+	// codeCursor allocates simulated code-segment addresses from a
+	// dedicated region. Kernel code is replicated per processor on
+	// Hurricane, so instruction fetches never pay NUMA penalties.
+	codeCursor Addr
+	segs       []*CodeSeg
+
+	// dir is the coherence directory, present only when
+	// HardwareCoherence is enabled.
+	dir *directory
+}
+
+// CodeSeg describes the simulated code footprint of one routine. Exec
+// charges touch its address range through the instruction cache, so
+// frequently-run routines stay resident and the "I-cache flushed"
+// experiments naturally re-pay the fills.
+type CodeSeg struct {
+	Name   string
+	Base   Addr
+	Instrs int // segment size in instructions (4 bytes each)
+}
+
+// codeRegion is the base of the (replicated) kernel code region; it is
+// outside any processor's data region so code never aliases data lines.
+const codeRegion Addr = 0xF0 << NodeShift
+
+// New builds a machine with n processors using the given parameters.
+func New(n int, params Params) (*Machine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > 128 {
+		return nil, fmt.Errorf("machine: processor count %d out of range [1,128]", n)
+	}
+	if params.HardwareCoherence && n > 64 {
+		return nil, fmt.Errorf("machine: coherent machines are limited to 64 processors, got %d", n)
+	}
+	m := &Machine{params: params, codeCursor: codeRegion}
+	if params.HardwareCoherence {
+		m.dir = newDirectory()
+	}
+	for i := 0; i < n; i++ {
+		m.procs = append(m.procs, newProcessor(i, params, m))
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on error (for tests and examples with known
+// valid configurations).
+func MustNew(n int, params Params) *Machine {
+	m, err := New(n, params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the machine parameters.
+func (m *Machine) Params() Params { return m.params }
+
+// NumProcs returns the number of processors.
+func (m *Machine) NumProcs() int { return len(m.procs) }
+
+// Proc returns processor i.
+func (m *Machine) Proc(i int) *Processor { return m.procs[i] }
+
+// Procs returns all processors.
+func (m *Machine) Procs() []*Processor { return m.procs }
+
+// NewCodeSeg allocates a simulated code segment of the given size.
+// Segments are packed contiguously (cache-line aligned), like routines
+// in a real kernel text section: page-aligning every routine would make
+// all of them alias to the same cache sets and fabricate conflict
+// misses the real system does not have.
+func (m *Machine) NewCodeSeg(name string, instrs int) *CodeSeg {
+	if instrs <= 0 {
+		panic("machine: code segment must have at least one instruction")
+	}
+	line := uint32(m.params.CacheLineSize)
+	base := (uint32(m.codeCursor) + line - 1) &^ (line - 1)
+	seg := &CodeSeg{Name: name, Base: Addr(base), Instrs: instrs}
+	m.codeCursor = Addr(base + uint32(instrs*4))
+	m.segs = append(m.segs, seg)
+	return seg
+}
+
+// NewCodeSegPage allocates a code segment on its own page(s). Kernel
+// routines share pages (packed text section), but code belonging to
+// distinct user programs lives on distinct pages — which is what makes
+// a user-to-user call pay fresh ITLB misses after the user-context
+// flush. The page offset is staggered per segment so separate programs
+// do not artificially alias to the same cache sets.
+func (m *Machine) NewCodeSegPage(name string, instrs int) *CodeSeg {
+	if instrs <= 0 {
+		panic("machine: code segment must have at least one instruction")
+	}
+	ps := uint32(m.params.PageSize)
+	base := (uint32(m.codeCursor) + ps - 1) &^ (ps - 1)
+	// Stagger within the page by a different cache-set offset per
+	// segment (programs load at arbitrary offsets in reality).
+	stagger := uint32(len(m.segs)%16) * 256
+	seg := &CodeSeg{Name: name, Base: Addr(base + stagger), Instrs: instrs}
+	end := base + stagger + uint32(instrs*4)
+	m.codeCursor = Addr((end + ps - 1) &^ (ps - 1))
+	m.segs = append(m.segs, seg)
+	return seg
+}
+
+// station returns the station number hosting processor p.
+func (m *Machine) station(p int) int { return p / m.params.ProcsPerStation }
+
+// numStations returns the number of stations on the ring.
+func (m *Machine) numStations() int {
+	return (len(m.procs) + m.params.ProcsPerStation - 1) / m.params.ProcsPerStation
+}
+
+// numaPenalty returns the extra cycles a memory transaction pays when
+// processor proc accesses memory homed at node home. Local accesses pay
+// nothing; on-station remote memory pays the station penalty; off-station
+// memory additionally pays per-hop ring costs (shortest way around).
+func (m *Machine) numaPenalty(proc, home int) int64 {
+	if proc == home {
+		return 0
+	}
+	if home >= len(m.procs) {
+		// Addresses homed beyond the installed processors (e.g. boot
+		// ROM/scratch) are treated as local for cost purposes.
+		return 0
+	}
+	sp, sh := m.station(proc), m.station(home)
+	if sp == sh {
+		return m.params.StationAccessPenaltyCycles
+	}
+	n := m.numStations()
+	d := sp - sh
+	if d < 0 {
+		d = -d
+	}
+	if wrap := n - d; wrap < d {
+		d = wrap
+	}
+	return m.params.StationAccessPenaltyCycles + int64(d)*m.params.RingHopPenaltyCycles
+}
+
+// NUMAPenalty exposes the penalty computation (reports, tests).
+func (m *Machine) NUMAPenalty(proc, home int) int64 { return m.numaPenalty(proc, home) }
+
+// MaxClock returns the largest processor clock (virtual makespan).
+func (m *Machine) MaxClock() int64 {
+	var max int64
+	for _, p := range m.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	return max
+}

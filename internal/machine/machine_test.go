@@ -1,0 +1,361 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.CPUMHz = 0 },
+		func(p *Params) { p.CacheLineSize = 12 },
+		func(p *Params) { p.CacheWays = 0 },
+		func(p *Params) { p.CacheSize = 1000 },
+		func(p *Params) { p.TLBEntries = 0 },
+		func(p *Params) { p.PageSize = 1000 },
+		func(p *Params) { p.ProcsPerStation = 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestCycleConversion(t *testing.T) {
+	p := DefaultParams()
+	// 16.67 MHz -> ~60 ns/cycle; 1000 cycles ~ 60 us.
+	us := p.CyclesToMicros(1000)
+	if us < 59 || us > 61 {
+		t.Fatalf("1000 cycles = %.2f us, want ~60", us)
+	}
+	if back := p.MicrosToCycles(us); back != 1000 {
+		t.Fatalf("round trip = %d cycles, want 1000", back)
+	}
+}
+
+func TestMachineBounds(t *testing.T) {
+	if _, err := New(0, DefaultParams()); err == nil {
+		t.Fatal("accepted 0 processors")
+	}
+	if _, err := New(129, DefaultParams()); err == nil {
+		t.Fatal("accepted 129 processors")
+	}
+	m := MustNew(16, DefaultParams())
+	if m.NumProcs() != 16 {
+		t.Fatalf("NumProcs = %d", m.NumProcs())
+	}
+}
+
+func TestNUMAPenaltyStructure(t *testing.T) {
+	m := MustNew(16, DefaultParams()) // 4 stations of 4
+	if m.NUMAPenalty(0, 0) != 0 {
+		t.Fatal("local access must be free of penalty")
+	}
+	sameStation := m.NUMAPenalty(0, 1)
+	offStation := m.NUMAPenalty(0, 4)
+	farStation := m.NUMAPenalty(0, 8)
+	if sameStation <= 0 {
+		t.Fatal("same-station remote access should pay a penalty")
+	}
+	if offStation <= sameStation {
+		t.Fatal("off-station access should cost more than on-station")
+	}
+	if farStation <= offStation {
+		t.Fatal("two-hop access should cost more than one-hop")
+	}
+	// Ring wraps: station 0 -> station 3 is one hop the short way.
+	if m.NUMAPenalty(0, 12) != offStation {
+		t.Fatalf("ring wrap distance wrong: %d vs %d", m.NUMAPenalty(0, 12), offStation)
+	}
+}
+
+func TestHomeNodeAddressing(t *testing.T) {
+	f := func(node uint8, off uint32) bool {
+		n := int(node) % 128
+		a := NodeBase(n) + Addr(off%(1<<NodeShift))
+		return a.Home() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorChargeAttribution(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	p.PushCat(CatPPCKernel)
+	p.Charge(100)
+	p.PopCat()
+	p.Charge(5) // unaccounted
+	acct := p.Account()
+	if acct[CatPPCKernel] != 100 || acct[CatUnaccounted] != 5 {
+		t.Fatalf("account = %v", acct)
+	}
+	if p.Now() != 105 {
+		t.Fatalf("clock = %d, want 105", p.Now())
+	}
+	if acct.Total() != 105 {
+		t.Fatalf("total = %d, want 105", acct.Total())
+	}
+}
+
+func TestProcessorCategoryStackUnderflowPanics(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopCat on empty stack did not panic")
+		}
+	}()
+	p.PopCat()
+}
+
+func TestAccessChargesTLBAndCache(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	params := m.Params()
+
+	addr := NodeBase(0) + 0x1000
+	p.Access(addr, 4, Load)
+	// First touch: 1 TLB miss + 1 cache fill.
+	acct := p.Account()
+	if acct[CatTLBMiss] != params.TLBMissCycles {
+		t.Fatalf("TLB miss charge = %d, want %d", acct[CatTLBMiss], params.TLBMissCycles)
+	}
+	if acct[CatUnaccounted] != params.CacheFillCycles {
+		t.Fatalf("fill charge = %d, want %d", acct[CatUnaccounted], params.CacheFillCycles)
+	}
+
+	before := p.Now()
+	p.Access(addr, 4, Load)
+	if p.Now() != before {
+		t.Fatal("warm repeat access should be free in this model")
+	}
+}
+
+func TestAccessFirstStoreCleanCharge(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	params := m.Params()
+	addr := NodeBase(0) + 0x2000
+	p.Access(addr, 4, Load) // fill clean
+	before := p.Now()
+	p.Access(addr, 4, Store)
+	if got := p.Now() - before; got != params.FirstStoreCleanCycles {
+		t.Fatalf("first store to clean line charged %d, want %d", got, params.FirstStoreCleanCycles)
+	}
+}
+
+func TestUncachedAccessCost(t *testing.T) {
+	m := MustNew(2, DefaultParams())
+	p := m.Proc(0)
+	params := m.Params()
+
+	local := NodeBase(0) + 0x100
+	p.Access(local, 4, UncachedLoad) // warm the TLB page
+	before := p.Now()
+	p.Access(local, 8, UncachedLoad) // two words
+	if got := p.Now() - before; got != 2*params.UncachedAccessCycles {
+		t.Fatalf("local uncached cost = %d, want %d", got, 2*params.UncachedAccessCycles)
+	}
+
+	remote := NodeBase(1) + 0x100
+	before = p.Now()
+	// Page already? different page: TLB miss extra. Account separately.
+	missBefore := p.Account()[CatTLBMiss]
+	p.Access(remote, 4, UncachedLoad)
+	elapsed := p.Now() - before
+	tlbPart := p.Account()[CatTLBMiss] - missBefore
+	want := params.UncachedAccessCycles + m.NUMAPenalty(0, 1)
+	if elapsed-tlbPart != want {
+		t.Fatalf("remote uncached cost = %d, want %d", elapsed-tlbPart, want)
+	}
+}
+
+func TestExecChargesBaseAndICache(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	seg := m.NewCodeSeg("fn", 100)
+
+	p.Exec(seg, 100)
+	cold := p.Now()
+	if cold <= 100 {
+		t.Fatalf("cold exec charged only %d cycles; expected base + fills", cold)
+	}
+	before := p.Now()
+	p.Exec(seg, 100)
+	warm := p.Now() - before
+	if warm != 100 {
+		t.Fatalf("warm exec charged %d cycles, want exactly base 100", warm)
+	}
+	// After an I-cache flush the fills are re-paid; the ITLB entry is
+	// still resident, so the cost is the cold cost minus one TLB miss.
+	p.FlushInstructionCache()
+	before = p.Now()
+	p.Exec(seg, 100)
+	params := m.Params()
+	if again := p.Now() - before; again != cold-params.TLBMissCycles {
+		t.Fatalf("post-flush exec %d != cold-minus-TLB %d", again, cold-params.TLBMissCycles)
+	}
+}
+
+func TestTrapTogglesModeAndCharges(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	params := m.Params()
+	p.Trap()
+	if p.Mode() != ModeSupervisor || !p.InterruptsDisabled() {
+		t.Fatal("trap should enter supervisor mode with interrupts disabled")
+	}
+	p.ReturnFromTrap()
+	if p.Mode() != ModeUser || p.InterruptsDisabled() {
+		t.Fatal("return from trap should restore user mode and interrupts")
+	}
+	if got := p.Account()[CatTrapOverhead]; got != params.TrapCycles {
+		t.Fatalf("trap pair charged %d, want %d", got, params.TrapCycles)
+	}
+}
+
+func TestNestedTrapPanics(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	p.Trap()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested trap did not panic")
+		}
+	}()
+	p.Trap()
+}
+
+func TestDualContextTLBIsolation(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	addr := NodeBase(0) + 0x5000
+
+	p.Access(addr, 4, Load) // user context
+	missUser := p.DTLB().Misses
+
+	p.Trap()
+	p.Access(addr, 4, Load) // supervisor context: separate context, new miss
+	if p.DTLB().Misses != missUser+1 {
+		t.Fatal("supervisor access should miss in its own TLB context")
+	}
+	p.ReturnFromTrap()
+
+	// The user translation survived the kernel excursion (dual-context
+	// benefit the paper exploits for user-to-kernel calls).
+	before := p.DTLB().Misses
+	p.Access(addr, 4, Load)
+	if p.DTLB().Misses != before {
+		t.Fatal("user translation should have survived the trap")
+	}
+}
+
+func TestFlushUserTLBPreservesSupervisor(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	addr := NodeBase(0) + 0x6000
+	p.Trap()
+	p.Access(addr, 4, Load)
+	supMisses := p.DTLB().Misses
+	p.FlushUserTLB()
+	p.Access(addr, 4, Load)
+	if p.DTLB().Misses != supMisses {
+		t.Fatal("FlushUserTLB must not evict supervisor translations")
+	}
+	p.ReturnFromTrap()
+}
+
+func TestAdvanceToChargesIdle(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	p.Charge(10)
+	p.AdvanceTo(100)
+	if p.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", p.Now())
+	}
+	if p.Account()[CatIdle] != 90 {
+		t.Fatalf("idle charge = %d, want 90", p.Account()[CatIdle])
+	}
+	p.AdvanceTo(50) // no-op backwards
+	if p.Now() != 100 {
+		t.Fatal("AdvanceTo must not move the clock backwards")
+	}
+}
+
+func TestDirtyDataCacheForcesWritebacks(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	addr := NodeBase(0) + 0x7000
+
+	// Clean-cache miss cost.
+	p.Access(addr, 4, Load)
+	p.FlushDataCache()
+	before := p.Now()
+	p.Access(addr, 4, Load)
+	cleanMiss := p.Now() - before
+
+	// Dirty-cache miss cost includes a victim writeback.
+	p.FlushDataCache()
+	p.DirtyDataCache()
+	before = p.Now()
+	p.Access(addr, 4, Load)
+	dirtyMiss := p.Now() - before
+	if dirtyMiss <= cleanMiss {
+		t.Fatalf("dirty-cache miss (%d) should exceed clean miss (%d)", dirtyMiss, cleanMiss)
+	}
+}
+
+func TestCodeSegsDoNotOverlap(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	a := m.NewCodeSeg("a", 1024)
+	b := m.NewCodeSeg("b", 10)
+	if b.Base < a.Base+Addr(a.Instrs*4) {
+		t.Fatalf("segments overlap: a=[%x,+%d) b=%x", a.Base, a.Instrs*4, b.Base)
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	var a, b Breakdown
+	a[CatPPCKernel] = 100
+	a[CatTLBMiss] = 54
+	b[CatPPCKernel] = 40
+	diff := a.Sub(&b)
+	if diff[CatPPCKernel] != 60 || diff[CatTLBMiss] != 54 {
+		t.Fatalf("Sub = %v", diff)
+	}
+	avg := a.Scale(2)
+	if avg[CatPPCKernel] != 50 || avg[CatTLBMiss] != 27 {
+		t.Fatalf("Scale = %v", avg)
+	}
+	var sum Breakdown
+	sum.Add(&a)
+	sum.Add(&b)
+	if sum[CatPPCKernel] != 140 {
+		t.Fatalf("Add = %v", sum)
+	}
+	if sum.Total() != 194 {
+		t.Fatalf("Total = %d", sum.Total())
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for c := Category(0); int(c) < NumCategories; c++ {
+		if c.String() == "" || c.String() == "invalid" {
+			t.Fatalf("category %d has no name", c)
+		}
+	}
+	if Category(-1).String() != "invalid" || Category(NumCategories).String() != "invalid" {
+		t.Fatal("out-of-range categories should stringify as invalid")
+	}
+}

@@ -1,0 +1,163 @@
+// Package machine implements a deterministic cost model of the Hector
+// shared-memory NUMA multiprocessor used in the paper "Optimizing IPC
+// Performance for Shared-Memory Multiprocessors" (Gamsa, Krieger, Stumm,
+// CSRI-294, 1994).
+//
+// The model is not an ISA emulator. Simulated kernel code manipulates real
+// Go data structures, but every logical memory access is charged against a
+// per-processor cache/TLB model and every executed routine is charged a
+// per-instruction base cost plus instruction-cache effects. Costs are
+// attributed to the breakdown categories of the paper's Figure 2, so the
+// same run yields both end-to-end times and the stacked-bar decomposition.
+//
+// All state is deterministic: there is no wall-clock input and no
+// map-iteration dependence on any charged path.
+package machine
+
+// Params holds the cost parameters of the simulated machine. The defaults
+// are the figures the paper reports for the Hector prototype: Motorola
+// 88100/88200 processors at 16.67 MHz, 16 KB data and instruction caches
+// with a 16-byte line size, no hardware cache coherence.
+type Params struct {
+	// CPUMHz is the processor clock rate. The paper's prototype runs at
+	// 16.67 MHz, i.e. a 60 ns cycle.
+	CPUMHz float64
+
+	// CacheSize is the capacity of each of the data and instruction
+	// caches, in bytes (16 KB on the M88200 CMMUs).
+	CacheSize int
+	// CacheLineSize is the cache line size in bytes (16 on Hector).
+	CacheLineSize int
+	// CacheWays is the set associativity (the M88200 is 4-way).
+	CacheWays int
+
+	// UncachedAccessCycles is the cost of an uncached access to local
+	// memory (10 cycles on Hector). Shared mutable data must be accessed
+	// uncached because Hector has no hardware cache coherence.
+	UncachedAccessCycles int64
+	// CacheFillCycles is the cost of loading a line from local memory
+	// (20 cycles), and equally the cost of writing back a dirty line.
+	CacheFillCycles int64
+	// FirstStoreCleanCycles is the extra cost of the first store to a
+	// clean cache line (10 cycles).
+	FirstStoreCleanCycles int64
+
+	// TLBEntries is the capacity of each context of the dual-context
+	// (user/supervisor) address-translation cache (56 on the M88200).
+	TLBEntries int
+	// TLBMissCycles is the cost of a hardware-walked TLB miss
+	// (27 cycles on the prototype).
+	TLBMissCycles int64
+	// PageSize is the virtual-memory page size (4 KB).
+	PageSize int
+
+	// TrapCycles is the cost of one trap to supervisor mode together with
+	// the corresponding return from interrupt. The paper reports
+	// approximately 1.7 us for the pair, i.e. ~28 cycles at 16.67 MHz.
+	TrapCycles int64
+
+	// TimerAccessCycles is the access overhead of the free-running
+	// microsecond timer used for measurements (10 cycles).
+	TimerAccessCycles int64
+
+	// HardwareCoherence enables an invalidation-based hardware cache
+	// coherence protocol for shared data (accessed with SharedLoad /
+	// SharedStore). Hector has none — shared data must go uncached —
+	// but the paper argues its design remains right "regardless of
+	// whether the system has hardware support for cache coherence or
+	// not"; this switch lets the experiments test that claim. Coherent
+	// machines are limited to 64 processors (directory bitmask).
+	HardwareCoherence bool
+	// CoherenceInvalidateCycles is the cost charged to a writer per
+	// remote cached copy its store invalidates.
+	CoherenceInvalidateCycles int64
+	// CacheToCacheCycles is the cost of sourcing a line from another
+	// processor's dirty copy instead of memory.
+	CacheToCacheCycles int64
+
+	// ProcsPerStation is the number of processors sharing a Hector
+	// station bus. Accesses that leave the station pay ring-hop costs.
+	ProcsPerStation int
+	// StationAccessPenaltyCycles is the extra cost of an uncached access
+	// or line fill served by another processor's memory on the same
+	// station.
+	StationAccessPenaltyCycles int64
+	// RingHopPenaltyCycles is the extra cost per ring hop between
+	// stations.
+	RingHopPenaltyCycles int64
+}
+
+// DefaultParams returns the Hector prototype parameters reported in
+// Section 3 of the paper.
+func DefaultParams() Params {
+	return Params{
+		CPUMHz:                     16.67,
+		CacheSize:                  16 * 1024,
+		CacheLineSize:              16,
+		CacheWays:                  4,
+		UncachedAccessCycles:       10,
+		CacheFillCycles:            20,
+		FirstStoreCleanCycles:      10,
+		TLBEntries:                 56,
+		TLBMissCycles:              27,
+		PageSize:                   4096,
+		TrapCycles:                 28, // ~1.7 us at 16.67 MHz
+		TimerAccessCycles:          10,
+		HardwareCoherence:          false, // Hector has none
+		CoherenceInvalidateCycles:  12,
+		CacheToCacheCycles:         24,
+		ProcsPerStation:            4,
+		StationAccessPenaltyCycles: 4,
+		RingHopPenaltyCycles:       6,
+	}
+}
+
+// CoherentParams returns a machine like the Hector prototype but with
+// invalidation-based hardware cache coherence for shared data — the
+// counterfactual machine of the paper's concluding remarks.
+func CoherentParams() Params {
+	p := DefaultParams()
+	p.HardwareCoherence = true
+	return p
+}
+
+// CycleNS returns the duration of one processor cycle in nanoseconds.
+func (p Params) CycleNS() float64 { return 1000.0 / p.CPUMHz }
+
+// CyclesToMicros converts a cycle count to microseconds under these
+// parameters.
+func (p Params) CyclesToMicros(c int64) float64 {
+	return float64(c) * p.CycleNS() / 1000.0
+}
+
+// MicrosToCycles converts microseconds to (rounded) cycles.
+func (p Params) MicrosToCycles(us float64) int64 {
+	return int64(us*p.CPUMHz + 0.5)
+}
+
+// Validate reports whether the parameters describe a realizable machine.
+func (p Params) Validate() error {
+	switch {
+	case p.CPUMHz <= 0:
+		return errParam("CPUMHz must be positive")
+	case p.CacheLineSize <= 0 || p.CacheLineSize&(p.CacheLineSize-1) != 0:
+		return errParam("CacheLineSize must be a positive power of two")
+	case p.CacheWays <= 0:
+		return errParam("CacheWays must be positive")
+	case p.CacheSize <= 0 || p.CacheSize%(p.CacheLineSize*p.CacheWays) != 0:
+		return errParam("CacheSize must be a positive multiple of line size times ways")
+	case p.TLBEntries <= 0:
+		return errParam("TLBEntries must be positive")
+	case p.PageSize <= 0 || p.PageSize&(p.PageSize-1) != 0:
+		return errParam("PageSize must be a positive power of two")
+	case p.ProcsPerStation <= 0:
+		return errParam("ProcsPerStation must be positive")
+	case p.HardwareCoherence && (p.CoherenceInvalidateCycles < 0 || p.CacheToCacheCycles < 0):
+		return errParam("coherence costs must be non-negative")
+	}
+	return nil
+}
+
+type errParam string
+
+func (e errParam) Error() string { return "machine: invalid params: " + string(e) }

@@ -1,0 +1,373 @@
+package machine
+
+import "fmt"
+
+// Mode is the processor privilege level.
+type Mode int
+
+const (
+	// ModeUser is unprivileged execution.
+	ModeUser Mode = iota
+	// ModeSupervisor is kernel execution entered through a trap.
+	ModeSupervisor
+)
+
+// Processor models one Hector CPU: a cycle clock, split I/D caches, a
+// dual-context TLB per cache, a privilege mode, and a category-attributed
+// cycle account. All simulated kernel code runs *on* a processor: every
+// logical memory access and instruction batch is charged here.
+type Processor struct {
+	id      int
+	params  Params
+	machine *Machine
+
+	clock int64  // cycles since boot
+	stamp uint64 // LRU stamp source, monotonically increasing
+
+	dcache *Cache
+	icache *Cache
+	dtlb   *TLB
+	itlb   *TLB
+
+	mode Mode
+
+	catStack []Category
+	account  Breakdown
+
+	// Interrupts
+	intrDisabled int // nesting depth of interrupt disabling
+
+	// Statistics
+	Instructions int64
+	Accesses     int64
+
+	// OnAccess, when non-nil, observes every data access (after cost
+	// charging). Instrumentation only: it must not mutate simulation
+	// state. Used by tests to verify locality claims directly.
+	OnAccess func(vaddr, paddr Addr, size int, kind AccessKind)
+}
+
+func newProcessor(id int, params Params, m *Machine) *Processor {
+	return &Processor{
+		id:       id,
+		params:   params,
+		machine:  m,
+		dcache:   NewCache(params.CacheSize, params.CacheLineSize, params.CacheWays),
+		icache:   NewCache(params.CacheSize, params.CacheLineSize, params.CacheWays),
+		dtlb:     NewTLB(params.TLBEntries),
+		itlb:     NewTLB(params.TLBEntries),
+		catStack: []Category{CatUnaccounted},
+	}
+}
+
+// ID returns the processor number.
+func (p *Processor) ID() int { return p.id }
+
+// Params returns the machine parameters.
+func (p *Processor) Params() Params { return p.params }
+
+// Machine returns the owning machine.
+func (p *Processor) Machine() *Machine { return p.machine }
+
+// Now returns the processor's cycle clock.
+func (p *Processor) Now() int64 { return p.clock }
+
+// NowMicros returns the clock in microseconds.
+func (p *Processor) NowMicros() float64 { return p.params.CyclesToMicros(p.clock) }
+
+// Mode returns the current privilege level.
+func (p *Processor) Mode() Mode { return p.mode }
+
+// DCache exposes the data cache (tests, experiments).
+func (p *Processor) DCache() *Cache { return p.dcache }
+
+// ICache exposes the instruction cache.
+func (p *Processor) ICache() *Cache { return p.icache }
+
+// DTLB exposes the data TLB.
+func (p *Processor) DTLB() *TLB { return p.dtlb }
+
+// ITLB exposes the instruction TLB.
+func (p *Processor) ITLB() *TLB { return p.itlb }
+
+// Account returns a copy of the per-category cycle account.
+func (p *Processor) Account() Breakdown { return p.account }
+
+// ResetAccount zeroes the per-category account without touching the
+// clock or microarchitectural state (used to scope a measurement).
+func (p *Processor) ResetAccount() { p.account = Breakdown{} }
+
+// PushCat enters a cost-attribution category; charges made until the
+// matching PopCat are attributed to it (except TLB-miss charges, which
+// always go to CatTLBMiss).
+func (p *Processor) PushCat(c Category) { p.catStack = append(p.catStack, c) }
+
+// PopCat leaves the innermost category.
+func (p *Processor) PopCat() {
+	if len(p.catStack) <= 1 {
+		panic("machine: category stack underflow")
+	}
+	p.catStack = p.catStack[:len(p.catStack)-1]
+}
+
+// Cat returns the active category.
+func (p *Processor) Cat() Category { return p.catStack[len(p.catStack)-1] }
+
+// CatDepth returns the category-stack depth; paired with
+// RestoreCatDepth it lets exception paths unwind attribution state.
+func (p *Processor) CatDepth() int { return len(p.catStack) }
+
+// RestoreCatDepth truncates the category stack back to a depth captured
+// with CatDepth (exception unwind).
+func (p *Processor) RestoreCatDepth(d int) {
+	if d < 1 || d > len(p.catStack) {
+		panic("machine: bad category depth restore")
+	}
+	p.catStack = p.catStack[:d]
+}
+
+// Charge adds cycles to the clock, attributed to the active category.
+func (p *Processor) Charge(cycles int64) { p.ChargeCat(p.Cat(), cycles) }
+
+// ChargeCat adds cycles to the clock, attributed to the given category.
+func (p *Processor) ChargeCat(c Category, cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("machine: negative charge %d", cycles))
+	}
+	p.clock += cycles
+	p.account[c] += cycles
+}
+
+// AdvanceTo moves the clock forward to the given cycle (attributed to
+// CatIdle); it is a no-op if the clock is already past it. Used by the
+// discrete-event engine to model waiting in virtual time.
+func (p *Processor) AdvanceTo(cycle int64) {
+	if cycle > p.clock {
+		p.ChargeCat(CatIdle, cycle-p.clock)
+	}
+}
+
+// tlbContext returns the TLB context for the current mode.
+func (p *Processor) tlbContext() TLBContext {
+	if p.mode == ModeSupervisor {
+		return TLBSupervisor
+	}
+	return TLBUser
+}
+
+// Access performs a simulated data access of size bytes at addr, where
+// the virtual and physical addresses coincide (the common case for
+// kernel data on Hurricane's one-to-one kernel mapping).
+func (p *Processor) Access(addr Addr, size int, kind AccessKind) {
+	p.AccessAt(addr, addr, size, kind)
+}
+
+// AccessAt performs a simulated data access where the TLB sees the
+// virtual address and the (physically indexed) cache sees the physical
+// address. Costs: TLB misses are charged to CatTLBMiss; cache fills,
+// writebacks, first-store-to-clean-line and uncached word costs are
+// charged to the active category, plus NUMA penalties based on the home
+// node of the physical address.
+func (p *Processor) AccessAt(vaddr, paddr Addr, size int, kind AccessKind) {
+	if size <= 0 {
+		return
+	}
+	p.Accesses++
+	if p.OnAccess != nil {
+		defer p.OnAccess(vaddr, paddr, size, kind)
+	}
+	ctx := p.tlbContext()
+	pageSize := p.params.PageSize
+
+	// Touch the TLB once per virtual page covered.
+	firstPage := vaddr.Page(pageSize)
+	lastPage := (vaddr + Addr(size-1)).Page(pageSize)
+	for pg := firstPage; ; pg++ {
+		p.stamp++
+		if p.dtlb.Touch(ctx, pg, p.stamp) {
+			p.ChargeCat(CatTLBMiss, p.params.TLBMissCycles)
+		}
+		if pg == lastPage {
+			break
+		}
+	}
+
+	penalty := p.machine.numaPenalty(p.id, paddr.Home())
+
+	// Shared data: without hardware coherence the only safe treatment
+	// is uncached (Hector's reality); with it, the access goes through
+	// the invalidation protocol below.
+	if kind.IsShared() && !p.params.HardwareCoherence {
+		if kind.IsWrite() {
+			kind = UncachedStore
+		} else {
+			kind = UncachedLoad
+		}
+	}
+
+	if kind.IsUncached() {
+		// One bus transaction per 4-byte word.
+		words := int64((size + 3) / 4)
+		p.Charge(words * (p.params.UncachedAccessCycles + penalty))
+		return
+	}
+
+	if kind.IsShared() {
+		first := uint32(paddr) >> p.dcache.shift
+		last := (uint32(paddr) + uint32(size) - 1) >> p.dcache.shift
+		for la := first; ; la++ {
+			if cost := p.machine.coherentAccess(p, la, kind.IsWrite(), penalty); cost > 0 {
+				p.Charge(cost)
+			}
+			if la == last {
+				break
+			}
+		}
+		return
+	}
+
+	line := p.params.CacheLineSize
+	first := uint32(paddr) &^ uint32(line-1)
+	last := (uint32(paddr) + uint32(size) - 1) &^ uint32(line-1)
+	for la := first; ; la += uint32(line) {
+		p.stamp++
+		res := p.dcache.access(Addr(la), kind.IsWrite(), p.stamp)
+		var cost int64
+		if res.miss {
+			cost += p.params.CacheFillCycles + penalty
+		}
+		if res.writeback {
+			cost += p.params.CacheFillCycles
+		}
+		if res.firstStoreClean {
+			cost += p.params.FirstStoreCleanCycles
+		}
+		if cost > 0 {
+			p.Charge(cost)
+		}
+		if la == last {
+			break
+		}
+	}
+}
+
+// Exec charges the execution of n instructions belonging to the given
+// code segment: one base cycle per instruction plus instruction-cache
+// and instruction-TLB effects over the segment's footprint. The segment
+// footprint is touched from its start, so a routine executed repeatedly
+// stays I-cache resident, while a flushed I-cache re-pays fills — the
+// paper's "instruction cache flushed" effect.
+func (p *Processor) Exec(seg *CodeSeg, n int) {
+	if n <= 0 {
+		return
+	}
+	if n > seg.Instrs {
+		n = seg.Instrs
+	}
+	p.Instructions += int64(n)
+	p.Charge(int64(n)) // base CPI of 1 on the 88100 for reg-reg work
+
+	ctx := p.tlbContext()
+	bytes := n * 4
+	pageSize := p.params.PageSize
+	firstPage := seg.Base.Page(pageSize)
+	lastPage := (seg.Base + Addr(bytes-1)).Page(pageSize)
+	for pg := firstPage; ; pg++ {
+		p.stamp++
+		if p.itlb.Touch(ctx, pg, p.stamp) {
+			p.ChargeCat(CatTLBMiss, p.params.TLBMissCycles)
+		}
+		if pg == lastPage {
+			break
+		}
+	}
+
+	line := p.params.CacheLineSize
+	first := uint32(seg.Base) &^ uint32(line-1)
+	last := (uint32(seg.Base) + uint32(bytes) - 1) &^ uint32(line-1)
+	for la := first; ; la += uint32(line) {
+		p.stamp++
+		res := p.icache.access(Addr(la), false, p.stamp)
+		if res.miss {
+			p.Charge(p.params.CacheFillCycles) // code is locally replicated
+		}
+		if la == last {
+			break
+		}
+	}
+}
+
+// Trap enters supervisor mode, charging half the trap round-trip cost to
+// CatTrapOverhead. Interrupts are implicitly disabled while in the trap
+// (a natural part of system traps, which is why the per-processor PPC
+// pools need no locks).
+func (p *Processor) Trap() {
+	if p.mode == ModeSupervisor {
+		panic("machine: nested trap")
+	}
+	p.ChargeCat(CatTrapOverhead, p.params.TrapCycles/2)
+	p.mode = ModeSupervisor
+	p.intrDisabled++
+}
+
+// ReturnFromTrap leaves supervisor mode, charging the other half of the
+// trap round-trip cost.
+func (p *Processor) ReturnFromTrap() {
+	if p.mode != ModeSupervisor {
+		panic("machine: return from trap in user mode")
+	}
+	p.ChargeCat(CatTrapOverhead, p.params.TrapCycles-p.params.TrapCycles/2)
+	p.mode = ModeUser
+	p.intrDisabled--
+}
+
+// DisableInterrupts increments the interrupt-disable nesting depth.
+func (p *Processor) DisableInterrupts() { p.intrDisabled++ }
+
+// EnableInterrupts decrements the nesting depth.
+func (p *Processor) EnableInterrupts() {
+	if p.intrDisabled == 0 {
+		panic("machine: interrupt enable underflow")
+	}
+	p.intrDisabled--
+}
+
+// InterruptsDisabled reports whether interrupts are masked.
+func (p *Processor) InterruptsDisabled() bool { return p.intrDisabled > 0 }
+
+// FlushUserTLB empties the user context of both TLBs (required when
+// switching between two user address spaces on the dual-context M88200).
+// The flush operation itself costs a few cycles, charged to the active
+// category.
+func (p *Processor) FlushUserTLB() {
+	p.dtlb.FlushContext(TLBUser)
+	p.itlb.FlushContext(TLBUser)
+	p.Charge(6)
+}
+
+// FlushDataCache invalidates the data cache without charging cycles
+// (an experiment control, matching the paper's between-call flushes).
+func (p *Processor) FlushDataCache() { p.dcache.Flush() }
+
+// FlushInstructionCache invalidates the instruction cache without
+// charging cycles.
+func (p *Processor) FlushInstructionCache() { p.icache.Flush() }
+
+// DirtyDataCache fills the data cache with dirty lines from a scratch
+// region so that subsequent misses must perform writebacks (the paper's
+// "dirtying the cache" condition). No cycles are charged.
+func (p *Processor) DirtyDataCache() {
+	scratch := NodeBase(p.id) + 0x00800000
+	line := p.params.CacheLineSize
+	for off := 0; off < p.params.CacheSize*p.params.CacheWays; off += line {
+		p.stamp++
+		p.dcache.access(scratch+Addr(off), true, p.stamp)
+	}
+}
+
+// ReadTimer returns the free-running microsecond timer, charging its
+// access overhead (10 cycles on the prototype).
+func (p *Processor) ReadTimer() float64 {
+	p.Charge(p.params.TimerAccessCycles)
+	return p.NowMicros()
+}

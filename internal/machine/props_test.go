@@ -1,0 +1,150 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the clock never moves backwards and every access sequence
+// leaves the account summing to the clock.
+func TestClockMonotoneProperty(t *testing.T) {
+	m := MustNew(2, DefaultParams())
+	p := m.Proc(0)
+	f := func(ops []uint32) bool {
+		last := p.Now()
+		for _, op := range ops {
+			addr := NodeBase(int(op)%2) + Addr(op%(1<<22))
+			switch op % 5 {
+			case 0:
+				p.Access(addr, 4, Load)
+			case 1:
+				p.Access(addr, 8, Store)
+			case 2:
+				p.Access(addr, 4, UncachedLoad)
+			case 3:
+				p.Access(addr, 4, SharedLoad)
+			case 4:
+				p.Access(addr, 16, SharedStore)
+			}
+			if p.Now() < last {
+				return false
+			}
+			last = p.Now()
+		}
+		acct := p.Account()
+		return acct.Total() == p.Now()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical access sequences on fresh machines produce
+// identical clocks, for any kind mix (whole-model determinism).
+func TestAccessDeterminismProperty(t *testing.T) {
+	run := func(ops []uint16) int64 {
+		m := MustNew(2, DefaultParams())
+		p := m.Proc(0)
+		for _, op := range ops {
+			addr := NodeBase(int(op)%2) + Addr(uint32(op)*64)
+			kind := AccessKind(op % 6)
+			p.Access(addr, 4+int(op%32), kind)
+		}
+		return p.Now()
+	}
+	f := func(ops []uint16) bool {
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		return run(ops) == run(ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	for k, want := range map[AccessKind]string{
+		Load: "load", Store: "store",
+		UncachedLoad: "uncached-load", UncachedStore: "uncached-store",
+		SharedLoad: "shared-load", SharedStore: "shared-store",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v != %s", k, want)
+		}
+	}
+	if AccessKind(99).String() != "invalid" {
+		t.Fatal("invalid kind should stringify as invalid")
+	}
+}
+
+func TestNewCodeSegPagePlacement(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	ps := uint32(m.Params().PageSize)
+	packed := m.NewCodeSeg("packed", 10)
+	paged1 := m.NewCodeSegPage("p1", 10)
+	paged2 := m.NewCodeSegPage("p2", 10)
+	// Page-aligned segments live on distinct pages from each other and
+	// from the packed text.
+	if uint32(paged1.Base)/ps == uint32(packed.Base)/ps {
+		t.Fatal("paged segment shares the packed text page")
+	}
+	if uint32(paged1.Base)/ps == uint32(paged2.Base)/ps {
+		t.Fatal("two paged segments share a page")
+	}
+	// Stagger: consecutive paged segments land on different cache-set
+	// offsets within their pages.
+	off1 := uint32(paged1.Base) % ps
+	off2 := uint32(paged2.Base) % ps
+	if off1 == off2 {
+		t.Fatal("paged segments not staggered across cache sets")
+	}
+}
+
+func TestCodeSegSizePanics(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	for _, f := range []func(){
+		func() { m.NewCodeSeg("bad", 0) },
+		func() { m.NewCodeSegPage("bad", -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("zero-size code segment accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCoherenceParamsValidation(t *testing.T) {
+	p := CoherentParams()
+	p.CoherenceInvalidateCycles = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative coherence cost accepted")
+	}
+}
+
+func TestExecZeroAndOverflow(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	seg := m.NewCodeSeg("s", 10)
+	p.Exec(seg, 0) // no-op
+	if p.Now() != 0 {
+		t.Fatal("Exec(0) charged cycles")
+	}
+	p.Exec(seg, 1000) // clamped to segment size
+	if p.Instructions != 10 {
+		t.Fatalf("instructions = %d, want clamped 10", p.Instructions)
+	}
+}
+
+func TestAccessZeroSizeIsFree(t *testing.T) {
+	m := MustNew(1, DefaultParams())
+	p := m.Proc(0)
+	p.Access(NodeBase(0), 0, Store)
+	if p.Now() != 0 {
+		t.Fatal("zero-size access charged cycles")
+	}
+}

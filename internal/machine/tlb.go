@@ -1,0 +1,84 @@
+package machine
+
+// TLBContext selects one of the two contexts of the M88200's dual-context
+// address-translation cache. The user/supervisor bit means a trap into
+// the kernel does not disturb user translations, but switching between
+// two *user* address spaces requires flushing the user context — the
+// source of the user-to-user PPC premium in Figure 2.
+type TLBContext int
+
+const (
+	// TLBUser is the user-mode context.
+	TLBUser TLBContext = iota
+	// TLBSupervisor is the supervisor-mode context.
+	TLBSupervisor
+)
+
+// TLB models a dual-context, fully-associative, LRU translation cache.
+type TLB struct {
+	entries int
+	ctx     [2]map[uint32]uint64 // page -> LRU stamp
+	Misses  int64
+	Hits    int64
+	Flushes int64
+}
+
+// NewTLB builds a TLB with the given per-context capacity.
+func NewTLB(entries int) *TLB {
+	return &TLB{
+		entries: entries,
+		ctx: [2]map[uint32]uint64{
+			make(map[uint32]uint64, entries),
+			make(map[uint32]uint64, entries),
+		},
+	}
+}
+
+// Touch looks up the page in the context, inserting it with LRU
+// replacement on a miss, and reports whether the access missed.
+func (t *TLB) Touch(ctx TLBContext, page uint32, stamp uint64) (missed bool) {
+	m := t.ctx[ctx]
+	if _, ok := m[page]; ok {
+		t.Hits++
+		m[page] = stamp
+		return false
+	}
+	t.Misses++
+	if len(m) >= t.entries {
+		// Evict the least recently used entry. Map iteration order is
+		// nondeterministic, but the choice is made deterministic by
+		// selecting the minimum (stamp, page) pair.
+		var victim uint32
+		var vstamp uint64 = ^uint64(0)
+		for p, s := range m {
+			if s < vstamp || (s == vstamp && p < victim) {
+				victim, vstamp = p, s
+			}
+		}
+		delete(m, victim)
+	}
+	m[page] = stamp
+	return true
+}
+
+// FlushContext empties one context (e.g. the user context on a switch
+// between user address spaces).
+func (t *TLB) FlushContext(ctx TLBContext) {
+	t.Flushes++
+	t.ctx[ctx] = make(map[uint32]uint64, t.entries)
+}
+
+// FlushPage removes a single translation from a context (TLB shootdown
+// of an unmapped page).
+func (t *TLB) FlushPage(ctx TLBContext, page uint32) {
+	delete(t.ctx[ctx], page)
+}
+
+// Len returns the number of resident translations in the context.
+func (t *TLB) Len(ctx TLBContext) int { return len(t.ctx[ctx]) }
+
+// Resident reports whether the page is mapped in the context.
+func (t *TLB) Resident(ctx TLBContext, page uint32) bool {
+	_, ok := t.ctx[ctx][page]
+	return ok
+}

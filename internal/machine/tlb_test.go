@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBMissThenHit(t *testing.T) {
+	tlb := NewTLB(56)
+	if !tlb.Touch(TLBUser, 7, 1) {
+		t.Fatal("first touch should miss")
+	}
+	if tlb.Touch(TLBUser, 7, 2) {
+		t.Fatal("second touch should hit")
+	}
+}
+
+func TestTLBContextsAreIndependent(t *testing.T) {
+	tlb := NewTLB(56)
+	tlb.Touch(TLBUser, 7, 1)
+	if !tlb.Touch(TLBSupervisor, 7, 2) {
+		t.Fatal("supervisor context should not see user entry")
+	}
+	tlb.FlushContext(TLBUser)
+	if !tlb.Resident(TLBSupervisor, 7) {
+		t.Fatal("flushing user context must not disturb supervisor context")
+	}
+	if tlb.Resident(TLBUser, 7) {
+		t.Fatal("user entry survived flush")
+	}
+}
+
+func TestTLBLRUReplacement(t *testing.T) {
+	tlb := NewTLB(4)
+	for pg := uint32(0); pg < 4; pg++ {
+		tlb.Touch(TLBUser, pg, uint64(pg+1))
+	}
+	// Refresh page 0 so page 1 becomes LRU.
+	tlb.Touch(TLBUser, 0, 10)
+	tlb.Touch(TLBUser, 99, 11) // evicts page 1
+	if tlb.Resident(TLBUser, 1) {
+		t.Fatal("LRU page 1 should have been evicted")
+	}
+	for _, pg := range []uint32{0, 2, 3, 99} {
+		if !tlb.Resident(TLBUser, pg) {
+			t.Fatalf("page %d unexpectedly evicted", pg)
+		}
+	}
+}
+
+func TestTLBFlushPage(t *testing.T) {
+	tlb := NewTLB(8)
+	tlb.Touch(TLBUser, 3, 1)
+	tlb.FlushPage(TLBUser, 3)
+	if tlb.Resident(TLBUser, 3) {
+		t.Fatal("page survived FlushPage")
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a just-touched page is
+// always resident.
+func TestTLBInvariants(t *testing.T) {
+	tlb := NewTLB(8)
+	var stamp uint64
+	f := func(pages []uint32) bool {
+		for _, pg := range pages {
+			stamp++
+			tlb.Touch(TLBUser, pg, stamp)
+			if tlb.Len(TLBUser) > 8 {
+				return false
+			}
+			if !tlb.Resident(TLBUser, pg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: the same touch sequence yields the same miss pattern,
+// even though eviction scans a map.
+func TestTLBDeterministicEviction(t *testing.T) {
+	run := func() []bool {
+		tlb := NewTLB(4)
+		seq := []uint32{1, 2, 3, 4, 5, 1, 2, 6, 3, 7, 1}
+		var misses []bool
+		for i, pg := range seq {
+			misses = append(misses, tlb.Touch(TLBUser, pg, uint64(i+1)))
+		}
+		return misses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic miss pattern at %d: %v vs %v", i, a, b)
+		}
+	}
+}

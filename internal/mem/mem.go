@@ -1,0 +1,136 @@
+// Package mem manages the simulated physical memory of the Hector
+// machine: each processor owns a 16 MB local region of the global
+// physical address space, from which kernel objects and page frames are
+// allocated. Locality is the point — the PPC facility allocates every
+// resource for a call from the local processor's region, so the machine
+// model never charges NUMA penalties on the common path.
+//
+// This package does host-side bookkeeping only; the *simulated* cost of
+// manipulating allocator state (free-list heads and links) is charged by
+// the kernel code that uses it, via the exported cost-anchor addresses.
+package mem
+
+import (
+	"fmt"
+
+	"hurricane/internal/machine"
+)
+
+// Node-region layout (offsets within one processor's 16 MB region).
+const (
+	// kernelBase..kernelLimit: bump-allocated kernel objects (PCBs, CDs,
+	// worker structs, page tables, service tables).
+	kernelBase  = 0x00010000
+	kernelLimit = 0x00800000
+	// scratchBase..scratchLimit: reserved for the cache-dirtying scratch
+	// region used by experiments (see machine.DirtyDataCache).
+	scratchBase  = 0x00800000
+	scratchLimit = 0x00C00000
+	// frameBase..frameLimit: page frames (worker stacks, user pages).
+	frameBase  = 0x00C00000
+	frameLimit = 0x01000000
+)
+
+// Layout is the per-machine memory allocator state.
+type Layout struct {
+	m     *machine.Machine
+	nodes []nodeState
+}
+
+type nodeState struct {
+	kernelCursor machine.Addr
+	frameCursor  machine.Addr
+	freeFrames   []machine.Addr // LIFO: most recently freed first, for cache reuse
+	frameCount   int            // frames handed out and not returned
+}
+
+// NewLayout builds allocator state for every node of the machine.
+func NewLayout(m *machine.Machine) *Layout {
+	l := &Layout{m: m, nodes: make([]nodeState, m.NumProcs())}
+	for i := range l.nodes {
+		base := machine.NodeBase(i)
+		l.nodes[i].kernelCursor = base + kernelBase
+		l.nodes[i].frameCursor = base + frameBase
+	}
+	return l
+}
+
+// Machine returns the machine this layout serves.
+func (l *Layout) Machine() *machine.Machine { return l.m }
+
+// AllocKernel bump-allocates size bytes of kernel memory on the given
+// node with the given alignment (a power of two). It panics on
+// exhaustion: the simulated kernel heap is statically sized and running
+// out indicates a misconfigured experiment, not a recoverable condition.
+func (l *Layout) AllocKernel(node, size, align int) machine.Addr {
+	if node < 0 || node >= len(l.nodes) {
+		panic(fmt.Sprintf("mem: node %d out of range", node))
+	}
+	if size <= 0 {
+		panic("mem: non-positive allocation")
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic("mem: alignment must be a positive power of two")
+	}
+	n := &l.nodes[node]
+	a := (uint32(n.kernelCursor) + uint32(align-1)) &^ uint32(align-1)
+	end := a + uint32(size)
+	if end > uint32(machine.NodeBase(node))+kernelLimit {
+		panic(fmt.Sprintf("mem: node %d kernel heap exhausted", node))
+	}
+	n.kernelCursor = machine.Addr(end)
+	return machine.Addr(a)
+}
+
+// AllocAligned is AllocKernel with cache-line alignment, the default for
+// kernel objects so that distinct objects never share (and therefore
+// never falsely contend for) a cache line.
+func (l *Layout) AllocAligned(node, size int) machine.Addr {
+	return l.AllocKernel(node, size, l.m.Params().CacheLineSize)
+}
+
+// PageSize returns the frame size.
+func (l *Layout) PageSize() int { return l.m.Params().PageSize }
+
+// GetFrame returns a page frame from the node's pool, preferring the
+// most recently freed frame: serially reusing the same physical page for
+// successive calls is the paper's stack-recycling optimization (smaller
+// cache footprint when multiple servers are called in succession).
+func (l *Layout) GetFrame(node int) machine.Addr {
+	n := &l.nodes[node]
+	if k := len(n.freeFrames); k > 0 {
+		f := n.freeFrames[k-1]
+		n.freeFrames = n.freeFrames[:k-1]
+		n.frameCount++
+		return f
+	}
+	if uint32(n.frameCursor)+uint32(l.PageSize()) > uint32(machine.NodeBase(node))+frameLimit {
+		panic(fmt.Sprintf("mem: node %d frame pool exhausted", node))
+	}
+	f := n.frameCursor
+	n.frameCursor += machine.Addr(l.PageSize())
+	n.frameCount++
+	return f
+}
+
+// PutFrame returns a frame to its node's pool.
+func (l *Layout) PutFrame(node int, f machine.Addr) {
+	if f.Home() != node {
+		panic(fmt.Sprintf("mem: frame %#x returned to wrong node %d", uint32(f), node))
+	}
+	n := &l.nodes[node]
+	n.freeFrames = append(n.freeFrames, f)
+	n.frameCount--
+}
+
+// FramesInUse reports outstanding frames on a node (leak detection in
+// tests).
+func (l *Layout) FramesInUse(node int) int { return l.nodes[node].frameCount }
+
+// FreeFrames reports pooled free frames on a node.
+func (l *Layout) FreeFrames(node int) int { return len(l.nodes[node].freeFrames) }
+
+// KernelBytesUsed reports bump-allocator consumption on a node.
+func (l *Layout) KernelBytesUsed(node int) int {
+	return int(uint32(l.nodes[node].kernelCursor) - (uint32(machine.NodeBase(node)) + kernelBase))
+}

@@ -1,0 +1,154 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hurricane/internal/machine"
+)
+
+func newLayout(t *testing.T, procs int) *Layout {
+	t.Helper()
+	return NewLayout(machine.MustNew(procs, machine.DefaultParams()))
+}
+
+func TestAllocKernelLocality(t *testing.T) {
+	l := newLayout(t, 4)
+	for node := 0; node < 4; node++ {
+		a := l.AllocAligned(node, 64)
+		if a.Home() != node {
+			t.Fatalf("allocation for node %d landed on node %d", node, a.Home())
+		}
+	}
+}
+
+func TestAllocKernelAlignment(t *testing.T) {
+	l := newLayout(t, 1)
+	l.AllocKernel(0, 3, 1) // misalign the cursor
+	a := l.AllocKernel(0, 8, 16)
+	if uint32(a)%16 != 0 {
+		t.Fatalf("allocation %#x not 16-aligned", uint32(a))
+	}
+	b := l.AllocAligned(0, 10)
+	if uint32(b)%uint32(machine.DefaultParams().CacheLineSize) != 0 {
+		t.Fatalf("AllocAligned %#x not line-aligned", uint32(b))
+	}
+}
+
+func TestAllocKernelDistinct(t *testing.T) {
+	l := newLayout(t, 1)
+	a := l.AllocAligned(0, 64)
+	b := l.AllocAligned(0, 64)
+	if b < a+64 {
+		t.Fatalf("allocations overlap: %#x then %#x", uint32(a), uint32(b))
+	}
+}
+
+func TestAllocKernelPanics(t *testing.T) {
+	l := newLayout(t, 1)
+	for _, f := range []func(){
+		func() { l.AllocKernel(5, 8, 8) },
+		func() { l.AllocKernel(0, 0, 8) },
+		func() { l.AllocKernel(0, 8, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFrameLIFORecycling(t *testing.T) {
+	l := newLayout(t, 1)
+	f1 := l.GetFrame(0)
+	l.PutFrame(0, f1)
+	f2 := l.GetFrame(0)
+	if f1 != f2 {
+		t.Fatalf("most recently freed frame not reused: got %#x want %#x", uint32(f2), uint32(f1))
+	}
+	l.PutFrame(0, f2)
+}
+
+func TestFramePageAlignmentAndLocality(t *testing.T) {
+	l := newLayout(t, 2)
+	ps := uint32(l.PageSize())
+	for node := 0; node < 2; node++ {
+		f := l.GetFrame(node)
+		if uint32(f)%ps != 0 {
+			t.Fatalf("frame %#x not page aligned", uint32(f))
+		}
+		if f.Home() != node {
+			t.Fatalf("frame for node %d homed at %d", node, f.Home())
+		}
+		l.PutFrame(node, f)
+	}
+}
+
+func TestPutFrameWrongNodePanics(t *testing.T) {
+	l := newLayout(t, 2)
+	f := l.GetFrame(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-node PutFrame did not panic")
+		}
+	}()
+	l.PutFrame(1, f)
+}
+
+func TestFrameAccounting(t *testing.T) {
+	l := newLayout(t, 1)
+	if l.FramesInUse(0) != 0 {
+		t.Fatal("fresh layout has frames in use")
+	}
+	f := l.GetFrame(0)
+	g := l.GetFrame(0)
+	if l.FramesInUse(0) != 2 {
+		t.Fatalf("FramesInUse = %d, want 2", l.FramesInUse(0))
+	}
+	l.PutFrame(0, f)
+	if l.FramesInUse(0) != 1 || l.FreeFrames(0) != 1 {
+		t.Fatalf("accounting wrong: inuse=%d free=%d", l.FramesInUse(0), l.FreeFrames(0))
+	}
+	l.PutFrame(0, g)
+}
+
+func TestKernelBytesUsedGrows(t *testing.T) {
+	l := newLayout(t, 1)
+	before := l.KernelBytesUsed(0)
+	l.AllocAligned(0, 256)
+	if l.KernelBytesUsed(0) < before+256 {
+		t.Fatal("KernelBytesUsed did not grow")
+	}
+}
+
+// Property: get/put sequences never hand out overlapping frames.
+func TestFrameUniquenessProperty(t *testing.T) {
+	l := newLayout(t, 1)
+	held := make(map[machine.Addr]bool)
+	var order []machine.Addr
+	f := func(ops []bool) bool {
+		for _, get := range ops {
+			if get || len(order) == 0 {
+				fr := l.GetFrame(0)
+				if held[fr] {
+					return false // double allocation
+				}
+				held[fr] = true
+				order = append(order, fr)
+			} else {
+				fr := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(held, fr)
+				l.PutFrame(0, fr)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package msgipc implements the baseline the paper argues against: a
+// message-passing IPC facility translated directly from a uniprocessor
+// design. It is functionally equivalent to a synchronous PPC — the
+// client's request is serviced on its own processor and 8 words travel
+// each way — but its implementation allocates message buffers and
+// server stacks from machine-wide shared pools guarded by locks (the
+// LRPC-style shared A-stack list), and its port queues are shared
+// structures.
+//
+// On a coherence-free NUMA machine the shared pools must be accessed
+// uncached, every operation pays remote-memory penalties, and the pool
+// and port locks serialize all processors. The PPC facility exists to
+// eliminate exactly these costs; this package quantifies them.
+package msgipc
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+// PortID names a message port.
+type PortID uint32
+
+// Handler services a message on the caller's processor (hand-off, as in
+// LRPC). It receives the caller for authentication symmetry with PPC.
+type Handler func(p *machine.Processor, caller *proc.Process, args *core.Args)
+
+// msgBufSize is the simulated message buffer footprint: 8 words of
+// arguments each way plus header.
+const msgBufSize = 96
+
+// Facility is the locked message-passing IPC subsystem.
+type Facility struct {
+	k *core.Kernel
+
+	segStub  *machine.CodeSeg
+	segSend  *machine.CodeSeg
+	segRecv  *machine.CodeSeg
+	segReply *machine.CodeSeg
+
+	// The machine-wide shared pool of message buffers / server stacks,
+	// homed on node 0 and guarded by one lock — the uniprocessor
+	// design's central free list.
+	poolLock *locks.SpinLock
+	poolAddr machine.Addr
+	bufs     []machine.Addr
+
+	// portTable is the shared port table.
+	portTable machine.Addr
+	ports     map[PortID]*Port
+	nextPort  PortID
+
+	Calls int64
+}
+
+// Port is one message port.
+type Port struct {
+	id      PortID
+	name    string
+	handler Handler
+
+	// Each port's message queue is shared by all senders.
+	lock  *locks.SpinLock
+	qAddr machine.Addr
+
+	Messages int64
+}
+
+// ID returns the port identifier.
+func (pt *Port) ID() PortID { return pt.id }
+
+// Name returns the port's diagnostic name.
+func (pt *Port) Name() string { return pt.name }
+
+// New builds the facility on top of an existing kernel's substrates.
+func New(k *core.Kernel) *Facility {
+	m := k.Machine()
+	f := &Facility{
+		k:         k,
+		segStub:   m.NewCodeSeg("msg.stub", 24),
+		segSend:   m.NewCodeSeg("msg.send", 60),
+		segRecv:   m.NewCodeSeg("msg.recv", 50),
+		segReply:  m.NewCodeSeg("msg.reply", 44),
+		poolAddr:  k.Layout().AllocAligned(0, 16),
+		portTable: k.Layout().AllocAligned(0, 1024),
+		ports:     make(map[PortID]*Port),
+		nextPort:  1,
+	}
+	f.poolLock = locks.NewSpinLock("msg.pool", f.poolAddr)
+	// Preallocate a few shared buffers.
+	for i := 0; i < 4; i++ {
+		f.bufs = append(f.bufs, k.Layout().AllocAligned(0, msgBufSize))
+	}
+	return f
+}
+
+// CreatePort registers a service behind a message port.
+func (f *Facility) CreatePort(name string, h Handler) *Port {
+	if h == nil {
+		panic("msgipc: nil handler")
+	}
+	pt := &Port{
+		id:      f.nextPort,
+		name:    name,
+		handler: h,
+		qAddr:   f.k.Layout().AllocAligned(0, 32),
+	}
+	pt.lock = locks.NewSpinLock("msg.port."+name, pt.qAddr)
+	f.nextPort++
+	f.ports[pt.id] = pt
+	return pt
+}
+
+// Call performs a synchronous message exchange from client c: send,
+// service on the caller's processor, reply. The structure parallels the
+// PPC path — stub, trap, state save, hand-off, return — but the buffer
+// allocation, the argument transfer, and the port queue all go through
+// shared, locked, uncached structures.
+func (f *Facility) Call(c *core.Client, port PortID, args *core.Args) error {
+	p := c.P()
+	caller := c.Process()
+	pt, ok := f.ports[port]
+	if !ok {
+		return fmt.Errorf("msgipc: no port %d", port)
+	}
+	f.Calls++
+	pt.Messages++
+
+	// User stub and trap, as for a PPC.
+	p.PushCat(machine.CatUserSaveRestore)
+	p.Exec(f.segStub, f.segStub.Instrs)
+	f.k.VM().Access(p, caller.Space(), caller.UserStackVA-96, 96, machine.Store)
+	p.PopCat()
+	p.Trap()
+
+	// Send: look up the port in the shared table, allocate a message
+	// buffer from the shared pool (lock held across the allocation and
+	// the argument copy-in, as the uniprocessor code did), enqueue on
+	// the port.
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(f.segSend, f.segSend.Instrs)
+	p.Access(f.portTable+machine.Addr(uint32(port)%64*8), 8, machine.SharedLoad)
+
+	f.poolLock.Acquire(p)
+	p.Access(f.poolAddr, 8, machine.SharedLoad) // pool head
+	buf := f.bufs[int(f.Calls)%len(f.bufs)]
+	p.Access(f.poolAddr, 4, machine.SharedStore)
+	// Copy the 8 argument words into the shared buffer.
+	p.Access(buf, core.NumArgWords*4, machine.SharedStore)
+	f.poolLock.Release(p)
+
+	pt.lock.Acquire(p)
+	p.Access(pt.qAddr, 12, machine.SharedStore) // enqueue
+	pt.lock.Release(p)
+	p.PopCat()
+
+	// Hand-off: save caller state, run the server body on this
+	// processor (receive copies the arguments back out of the shared
+	// buffer).
+	p.PushCat(machine.CatKernelSaveRestore)
+	f.k.Procs().SaveMinimalState(p, caller)
+	p.PopCat()
+
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(f.segRecv, f.segRecv.Instrs)
+	p.Access(buf, core.NumArgWords*4, machine.SharedLoad)
+	p.PopCat()
+
+	p.PushCat(machine.CatServerTime)
+	pt.handler(p, caller, args)
+	p.PopCat()
+
+	// Reply: copy results into the buffer and back, free the buffer
+	// under the pool lock, restore the caller.
+	p.PushCat(machine.CatPPCKernel)
+	p.Exec(f.segReply, f.segReply.Instrs)
+	p.Access(buf, core.NumArgWords*4, machine.SharedStore)
+	p.Access(buf, core.NumArgWords*4, machine.SharedLoad)
+
+	f.poolLock.Acquire(p)
+	p.Access(f.poolAddr, 8, machine.SharedStore) // free-list push
+	f.poolLock.Release(p)
+	p.PopCat()
+
+	p.PushCat(machine.CatKernelSaveRestore)
+	f.k.Procs().RestoreMinimalState(p, caller)
+	p.PopCat()
+
+	p.ReturnFromTrap()
+	p.PushCat(machine.CatUserSaveRestore)
+	p.Exec(f.segStub, 18)
+	f.k.VM().Access(p, caller.Space(), caller.UserStackVA-96, 96, machine.Load)
+	p.PopCat()
+	return nil
+}
+
+// PoolLock exposes the central lock for contention inspection.
+func (f *Facility) PoolLock() *locks.SpinLock { return f.poolLock }
+
+// DestroyPort removes a port; subsequent calls to it fail. (The
+// baseline needs teardown symmetry with the PPC facility's kill for
+// fair lifecycle comparisons.)
+func (f *Facility) DestroyPort(id PortID) error {
+	if _, ok := f.ports[id]; !ok {
+		return fmt.Errorf("msgipc: no port %d", id)
+	}
+	delete(f.ports, id)
+	return nil
+}

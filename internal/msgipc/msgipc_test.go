@@ -1,0 +1,166 @@
+package msgipc
+
+import (
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+func setup(t *testing.T, procs int) (*core.Kernel, *Facility) {
+	t.Helper()
+	k := core.NewKernel(machine.MustNew(procs, machine.DefaultParams()))
+	return k, New(k)
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	k, f := setup(t, 1)
+	pt := f.CreatePort("echo", func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args[0] += 100
+		args.SetRC(core.RCOK)
+	})
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	args[0] = 1
+	if err := f.Call(c, pt.ID(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 101 || args.RC() != core.RCOK {
+		t.Fatalf("args[0]=%d rc=%s", args[0], core.RCString(args.RC()))
+	}
+	if c.P().Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance")
+	}
+	if pt.Messages != 1 {
+		t.Fatalf("Messages = %d", pt.Messages)
+	}
+}
+
+func TestUnknownPortFails(t *testing.T) {
+	k, f := setup(t, 1)
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	if err := f.Call(c, 99, &args); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+}
+
+func TestBaselineCostsMoreThanPPC(t *testing.T) {
+	// The point of the paper: the locked/shared baseline is more
+	// expensive than the PPC fast path even with one client.
+	k, f := setup(t, 1)
+	pt := f.CreatePort("null", func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args.SetRC(core.RCOK)
+	})
+	server := k.NewServerProgram("null.prog", 0)
+	svc, err := k.BindService(core.ServiceConfig{Name: "null", Server: server,
+		Handler: func(ctx *core.Ctx, args *core.Args) { args.SetRC(core.RCOK) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	// Warm both paths.
+	for i := 0; i < 3; i++ {
+		if err := f.Call(c, pt.ID(), &args); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := c.P()
+	before := p.Now()
+	if err := f.Call(c, pt.ID(), &args); err != nil {
+		t.Fatal(err)
+	}
+	msgCost := p.Now() - before
+	before = p.Now()
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	ppcCost := p.Now() - before
+	if msgCost <= ppcCost {
+		t.Fatalf("baseline (%d cy) should cost more than PPC (%d cy)", msgCost, ppcCost)
+	}
+}
+
+func TestSharedPoolSerializesProcessors(t *testing.T) {
+	k, f := setup(t, 4)
+	pt := f.CreatePort("null", func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args.SetRC(core.RCOK)
+	})
+	// All four processors call "simultaneously" (same virtual start);
+	// the pool lock must record contention.
+	for i := 0; i < 4; i++ {
+		c := k.NewClientProgram("c", i)
+		var args core.Args
+		if err := f.Call(c, pt.ID(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.PoolLock().Contentions == 0 {
+		t.Fatal("concurrent baseline calls did not contend on the shared pool")
+	}
+}
+
+func TestRemoteProcessorPaysNUMAPenalty(t *testing.T) {
+	k, f := setup(t, 8)
+	pt := f.CreatePort("null", func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args.SetRC(core.RCOK)
+	})
+	cost := func(procID int) int64 {
+		c := k.NewClientProgram("c", procID)
+		var args core.Args
+		// Warm.
+		if err := f.Call(c, pt.ID(), &args); err != nil {
+			t.Fatal(err)
+		}
+		p := c.P()
+		// Push this processor's clock past everyone to avoid virtual
+		// contention.
+		p.AdvanceTo(1_000_000 + int64(procID)*100_000)
+		before := p.Now()
+		if err := f.Call(c, pt.ID(), &args); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now() - before
+	}
+	local := cost(0)  // pools homed on node 0
+	remote := cost(7) // far station
+	if remote <= local {
+		t.Fatalf("remote caller (%d cy) should pay more than local (%d cy)", remote, local)
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	_, f := setup(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler accepted")
+		}
+	}()
+	f.CreatePort("bad", nil)
+}
+
+func TestDestroyPort(t *testing.T) {
+	k, f := setup(t, 1)
+	pt := f.CreatePort("temp", func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args.SetRC(core.RCOK)
+	})
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+	if err := f.Call(c, pt.ID(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DestroyPort(pt.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Call(c, pt.ID(), &args); err == nil {
+		t.Fatal("destroyed port still callable")
+	}
+	if err := f.DestroyPort(pt.ID()); err == nil {
+		t.Fatal("double destroy accepted")
+	}
+}

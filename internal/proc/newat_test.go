@@ -1,0 +1,77 @@
+package proc
+
+import (
+	"testing"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+)
+
+func TestNewAtPlacesPCBOnMemNode(t *testing.T) {
+	m := machine.MustNew(4, machine.DefaultParams())
+	layout := mem.NewLayout(m)
+	mgr := addrspace.NewManager(layout)
+	tbl := NewTable(layout)
+	as := mgr.NewSpace("user", 0)
+
+	pr := tbl.NewAt("misplaced", 7, as, 3, 0)
+	if pr.Home() != 3 {
+		t.Fatalf("home = %d", pr.Home())
+	}
+	if pr.PCB().Home() != 0 {
+		t.Fatalf("PCB homed at %d, want deliberately-misplaced 0", pr.PCB().Home())
+	}
+}
+
+func TestNewAtBounds(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	layout := mem.NewLayout(m)
+	mgr := addrspace.NewManager(layout)
+	tbl := NewTable(layout)
+	as := mgr.NewSpace("user", 0)
+	for _, f := range []func(){
+		func() { tbl.NewAt("p", 1, as, 5, 0) },
+		func() { tbl.NewAt("p", 1, as, 0, 5) },
+		func() { tbl.NewAt("p", 1, as, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range NewAt accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMisplacedPCBCostsMoreOnColdSaves(t *testing.T) {
+	m := machine.MustNew(8, machine.DefaultParams())
+	layout := mem.NewLayout(m)
+	mgr := addrspace.NewManager(layout)
+	tbl := NewTable(layout)
+	as := mgr.NewSpace("user", 0)
+
+	p := m.Proc(7)
+	local := tbl.NewAt("local", 1, as, 7, 7)
+	remote := tbl.NewAt("remote", 1, as, 7, 0)
+
+	// Warm code paths, then measure cold-cache saves.
+	tbl.SaveMinimalState(p, local)
+	tbl.SaveMinimalState(p, remote)
+
+	p.FlushDataCache()
+	before := p.Now()
+	tbl.SaveMinimalState(p, local)
+	localCost := p.Now() - before
+
+	p.FlushDataCache()
+	before = p.Now()
+	tbl.SaveMinimalState(p, remote)
+	remoteCost := p.Now() - before
+
+	if remoteCost <= localCost {
+		t.Fatalf("remote PCB save (%d cy) should exceed local (%d cy) cold", remoteCost, localCost)
+	}
+}

@@ -1,0 +1,159 @@
+// Package proc implements the Hurricane process model used by the PPC
+// facility: processes with simulated process-control blocks (PCBs) in
+// local kernel memory, program IDs for server-side authentication
+// (paper §4.1), and the minimal kernel state save/restore whose cost
+// appears as the "kernel save/restore" segment of Figure 2.
+package proc
+
+import (
+	"fmt"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+)
+
+// State is a process scheduling state.
+type State int
+
+// Process states.
+const (
+	StateReady State = iota
+	StateRunning
+	StateBlocked
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// pcbSize is the simulated PCB footprint. The save area for the minimum
+// processor state of a switch (PC, PSR, stack pointer, and the handful
+// of kernel-visible registers) occupies the first saveAreaSize bytes.
+const (
+	pcbSize      = 192
+	saveAreaSize = 32 // 8 words: the paper's minimal switch state
+)
+
+// Process is a simulated Hurricane process.
+type Process struct {
+	pid       int
+	name      string
+	programID uint32
+	space     *addrspace.AddressSpace
+	home      int // processor the process is bound to
+	state     State
+
+	pcb machine.Addr
+
+	// UserStackVA is the top of the user-mode stack (where user-level
+	// register save/restore happens for PPC calls).
+	UserStackVA machine.Addr
+}
+
+// PID returns the process identifier.
+func (pr *Process) PID() int { return pr.pid }
+
+// Name returns the diagnostic name.
+func (pr *Process) Name() string { return pr.name }
+
+// ProgramID returns the authentication identity presented to servers.
+func (pr *Process) ProgramID() uint32 { return pr.programID }
+
+// Space returns the process's address space.
+func (pr *Process) Space() *addrspace.AddressSpace { return pr.space }
+
+// Home returns the processor the process is bound to.
+func (pr *Process) Home() int { return pr.home }
+
+// State returns the scheduling state.
+func (pr *Process) State() State { return pr.state }
+
+// SetState transitions the scheduling state.
+func (pr *Process) SetState(s State) { pr.state = s }
+
+// PCB returns the simulated PCB address (tests, cost anchoring).
+func (pr *Process) PCB() machine.Addr { return pr.pcb }
+
+// Table creates processes and owns the simulated code for state
+// save/restore.
+type Table struct {
+	layout  *mem.Layout
+	nextPID int
+
+	segSave    *machine.CodeSeg
+	segRestore *machine.CodeSeg
+
+	Created int64
+}
+
+// NewTable builds a process table for the machine behind layout.
+func NewTable(layout *mem.Layout) *Table {
+	m := layout.Machine()
+	return &Table{
+		layout:     layout,
+		nextPID:    1,
+		segSave:    m.NewCodeSeg("proc.save", 16),
+		segRestore: m.NewCodeSeg("proc.restore", 16),
+	}
+}
+
+// New creates a process bound to processor home, with its PCB allocated
+// from home's local memory — the locality invariant the PPC facility
+// depends on.
+func (t *Table) New(name string, programID uint32, space *addrspace.AddressSpace, home int) *Process {
+	return t.NewAt(name, programID, space, home, home)
+}
+
+// NewAt creates a process bound to processor home whose PCB lives on
+// memNode. Placing the PCB away from the home processor violates the
+// locality design on purpose — it exists for the NUMA-misplacement
+// ablation, which quantifies what the locality discipline is worth.
+func (t *Table) NewAt(name string, programID uint32, space *addrspace.AddressSpace, home, memNode int) *Process {
+	if home < 0 || home >= t.layout.Machine().NumProcs() {
+		panic(fmt.Sprintf("proc: home %d out of range", home))
+	}
+	if memNode < 0 || memNode >= t.layout.Machine().NumProcs() {
+		panic(fmt.Sprintf("proc: memNode %d out of range", memNode))
+	}
+	pr := &Process{
+		pid:       t.nextPID,
+		name:      name,
+		programID: programID,
+		space:     space,
+		home:      home,
+		state:     StateReady,
+		pcb:       t.layout.AllocAligned(memNode, pcbSize),
+	}
+	t.nextPID++
+	t.Created++
+	return pr
+}
+
+// SaveMinimalState charges saving the minimum processor state required
+// for a process switch into the process's PCB (kernel save/restore in
+// Figure 2). The caller selects the attribution category.
+func (t *Table) SaveMinimalState(p *machine.Processor, pr *Process) {
+	p.Exec(t.segSave, t.segSave.Instrs)
+	p.Access(pr.pcb, saveAreaSize, machine.Store)
+}
+
+// RestoreMinimalState charges restoring the switch state from the PCB.
+func (t *Table) RestoreMinimalState(p *machine.Processor, pr *Process) {
+	p.Exec(t.segRestore, t.segRestore.Instrs)
+	p.Access(pr.pcb, saveAreaSize, machine.Load)
+}
+
+// Layout returns the memory layout used by the table.
+func (t *Table) Layout() *mem.Layout { return t.layout }

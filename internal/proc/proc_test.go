@@ -1,0 +1,98 @@
+package proc
+
+import (
+	"testing"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+)
+
+func setup(t *testing.T, procs int) (*machine.Machine, *addrspace.Manager, *Table) {
+	t.Helper()
+	m := machine.MustNew(procs, machine.DefaultParams())
+	layout := mem.NewLayout(m)
+	return m, addrspace.NewManager(layout), NewTable(layout)
+}
+
+func TestNewProcessLocality(t *testing.T) {
+	_, mgr, tbl := setup(t, 4)
+	as := mgr.NewSpace("user", 2)
+	pr := tbl.New("client", 42, as, 2)
+	if pr.PCB().Home() != 2 {
+		t.Fatalf("PCB homed at %d, want 2", pr.PCB().Home())
+	}
+	if pr.Home() != 2 || pr.ProgramID() != 42 || pr.Space() != as {
+		t.Fatal("process fields wrong")
+	}
+	if pr.State() != StateReady {
+		t.Fatalf("initial state = %v", pr.State())
+	}
+}
+
+func TestPIDsUnique(t *testing.T) {
+	_, mgr, tbl := setup(t, 1)
+	as := mgr.NewSpace("user", 0)
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		pr := tbl.New("p", 1, as, 0)
+		if seen[pr.PID()] {
+			t.Fatalf("duplicate PID %d", pr.PID())
+		}
+		seen[pr.PID()] = true
+	}
+	if tbl.Created != 10 {
+		t.Fatalf("Created = %d", tbl.Created)
+	}
+}
+
+func TestBadHomePanics(t *testing.T) {
+	_, mgr, tbl := setup(t, 2)
+	as := mgr.NewSpace("user", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range home did not panic")
+		}
+	}()
+	tbl.New("p", 1, as, 7)
+}
+
+func TestSaveRestoreChargesAndIsLocal(t *testing.T) {
+	m, mgr, tbl := setup(t, 2)
+	p := m.Proc(0)
+	as := mgr.NewSpace("user", 0)
+	pr := tbl.New("client", 1, as, 0)
+
+	before := p.Now()
+	tbl.SaveMinimalState(p, pr)
+	saveCost := p.Now() - before
+	if saveCost <= 0 {
+		t.Fatal("save charged nothing")
+	}
+	// The PCB lines are now resident and dirty.
+	if !p.DCache().Dirty(pr.PCB()) {
+		t.Fatal("save did not dirty the PCB line")
+	}
+
+	before = p.Now()
+	tbl.RestoreMinimalState(p, pr)
+	restoreCost := p.Now() - before
+	// Warm restore: code resident, PCB resident — only base instructions.
+	if restoreCost >= saveCost {
+		t.Fatalf("warm restore (%d) should be cheaper than cold save (%d)", restoreCost, saveCost)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateReady: "ready", StateRunning: "running",
+		StateBlocked: "blocked", StateDead: "dead",
+	} {
+		if s.String() != want {
+			t.Fatalf("%v != %s", s, want)
+		}
+	}
+	if State(99).String() != "invalid" {
+		t.Fatal("invalid state should stringify as invalid")
+	}
+}

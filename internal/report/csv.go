@@ -1,0 +1,64 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"hurricane/internal/experiments"
+)
+
+// SensitivityCSV emits multiplier,facility,micros rows for the E10
+// miss-cost sweep.
+func SensitivityCSV(points []experiments.SensitivityPoint) string {
+	var b strings.Builder
+	b.WriteString("multiplier,facility,micros\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%d,ppc,%.2f\n", pt.Multiplier, pt.PPCMicros)
+		fmt.Fprintf(&b, "%d,lrpc,%.2f\n", pt.Multiplier, pt.LRPCMicros)
+		fmt.Fprintf(&b, "%d,msgipc,%.2f\n", pt.Multiplier, pt.MsgIPCMicros)
+		fmt.Fprintf(&b, "%d,lrpc_migrated,%.2f\n", pt.Multiplier, pt.LRPCMigratedUS)
+	}
+	return b.String()
+}
+
+// MultiprogCSV emits population,servers,procs,calls_per_second,speedup
+// rows for the E12 matrix.
+func MultiprogCSV(cells []experiments.MultiprogCell) string {
+	var b strings.Builder
+	b.WriteString("population,servers,procs,calls_per_second,speedup\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s,%s,%d,%.0f,%.2f\n",
+			strings.ReplaceAll(c.Population.String(), " ", "_"),
+			strings.ReplaceAll(c.Servers.String(), " ", "_"),
+			c.Procs, c.CallsPerSecond, c.Speedup)
+	}
+	return b.String()
+}
+
+// CoherenceCSV emits machine,series,procs,calls_per_second rows for the
+// E11 counterfactual.
+func CoherenceCSV(cc experiments.CoherenceComparison) string {
+	var b strings.Builder
+	b.WriteString("machine,series,procs,calls_per_second\n")
+	emit := func(machineName, series string, r experiments.Fig3Result) {
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%s,%s,%d,%.0f\n", machineName, series, p.Procs, p.CallsPerSecond)
+		}
+	}
+	emit("hector", "different_files", cc.NoCoherenceDifferent)
+	emit("hector", "single_file", cc.NoCoherenceSingle)
+	emit("coherent", "different_files", cc.CoherentDifferent)
+	emit("coherent", "single_file", cc.CoherentSingle)
+	return b.String()
+}
+
+// BaselineCSV emits procs,facility,calls_per_second rows for E5.
+func BaselineCSV(res experiments.BaselineResult) string {
+	var b strings.Builder
+	b.WriteString("procs,facility,calls_per_second\n")
+	for i, n := range res.Procs {
+		fmt.Fprintf(&b, "%d,ppc,%.0f\n", n, res.PPCCalls[i])
+		fmt.Fprintf(&b, "%d,locked_ipc,%.0f\n", n, res.BaselineCall[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hurricane/internal/experiments"
+)
+
+func rows(s string) []string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[1:]
+}
+
+func TestSensitivityCSV(t *testing.T) {
+	pts, err := experiments.RunMissCostSensitivity([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := SensitivityCSV(pts)
+	if got := len(rows(csv)); got != 2*4 {
+		t.Fatalf("rows = %d, want 8", got)
+	}
+	if !strings.Contains(csv, "lrpc_migrated") {
+		t.Fatal("missing migrated series")
+	}
+}
+
+func TestMultiprogCSV(t *testing.T) {
+	cells, err := experiments.RunMultiprogrammingMatrix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := MultiprogCSV(cells)
+	if got := len(rows(csv)); got != 4 {
+		t.Fatalf("rows = %d, want 4", got)
+	}
+	if strings.Contains(csv, " ") && strings.Contains(strings.SplitN(csv, "\n", 2)[1], " ") {
+		t.Fatal("spaces leaked into CSV fields")
+	}
+}
+
+func TestCoherenceCSV(t *testing.T) {
+	cc, err := experiments.RunCoherenceComparison(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := CoherenceCSV(cc)
+	if got := len(rows(csv)); got != 4*2 {
+		t.Fatalf("rows = %d, want 8", got)
+	}
+	for _, want := range []string{"hector,", "coherent,"} {
+		if !strings.Contains(csv, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestBaselineCSV(t *testing.T) {
+	res, err := experiments.RunBaselineComparison(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := BaselineCSV(res)
+	if got := len(rows(csv)); got != 4 {
+		t.Fatalf("rows = %d, want 4", got)
+	}
+}

@@ -1,0 +1,282 @@
+// Package report renders the experiment results as the paper presents
+// them: Figure 2 as a per-category breakdown table (the stacked bars'
+// contents) and Figure 3 as an ASCII throughput chart with the three
+// series of the original. CSV emitters support external plotting.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"hurricane/internal/experiments"
+	"hurricane/internal/machine"
+)
+
+// fig2Categories is the rendering order: bottom-to-top of the paper's
+// stacked bars.
+var fig2Categories = []machine.Category{
+	machine.CatUnaccounted,
+	machine.CatTrapOverhead,
+	machine.CatTLBMiss,
+	machine.CatPPCKernel,
+	machine.CatCDManipulation,
+	machine.CatUserSaveRestore,
+	machine.CatKernelSaveRestore,
+	machine.CatServerTime,
+	machine.CatTLBSetup,
+}
+
+// Figure2Table renders the eight configurations as a category x config
+// table in microseconds.
+func Figure2Table(results []experiments.Fig2Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — round-trip null PPC cost breakdown (microseconds)\n\n")
+
+	// Header: two rows, target and condition.
+	fmt.Fprintf(&b, "%-20s", "")
+	for _, r := range results {
+		target := "U-to-U"
+		if r.Config.KernelTarget {
+			target = "U-to-K"
+		}
+		fmt.Fprintf(&b, "%10s", target)
+	}
+	fmt.Fprintf(&b, "\n%-20s", "")
+	for _, r := range results {
+		cache := "primed"
+		switch r.Config.Cache {
+		case experiments.CacheFlushed:
+			cache = "flushed"
+		case experiments.CacheDirtyFlushed:
+			cache = "dirty+I"
+		}
+		fmt.Fprintf(&b, "%10s", cache)
+	}
+	fmt.Fprintf(&b, "\n%-20s", "")
+	for _, r := range results {
+		cd := "no CD"
+		if r.Config.HoldCD {
+			cd = "hold CD"
+		}
+		fmt.Fprintf(&b, "%10s", cd)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 20+10*len(results)))
+	b.WriteString("\n")
+
+	for _, cat := range fig2Categories {
+		fmt.Fprintf(&b, "%-20s", cat.String())
+		for _, r := range results {
+			fmt.Fprintf(&b, "%10.1f", r.Micros[cat])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat("-", 20+10*len(results)))
+	fmt.Fprintf(&b, "\n%-20s", "total")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%10.1f", r.TotalMicros)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure2Bars renders the totals as horizontal bars, mirroring the
+// visual ordering of the paper's figure.
+func Figure2Bars(results []experiments.Fig2Result) string {
+	var b strings.Builder
+	maxUS := 0.0
+	for _, r := range results {
+		if r.TotalMicros > maxUS {
+			maxUS = r.TotalMicros
+		}
+	}
+	const width = 50
+	for _, r := range results {
+		n := int(r.TotalMicros / maxUS * width)
+		fmt.Fprintf(&b, "%-52s %6.1f us |%s\n", r.Config.Label(), r.TotalMicros, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// Figure2Stacked renders the eight configurations as vertical stacked
+// bars, the visual form of the paper's Figure 2: each column is one
+// configuration, each glyph run one cost category.
+func Figure2Stacked(results []experiments.Fig2Result) string {
+	glyphs := map[machine.Category]byte{
+		machine.CatUnaccounted:       '?',
+		machine.CatTrapOverhead:      'T',
+		machine.CatTLBMiss:           'm',
+		machine.CatPPCKernel:         'K',
+		machine.CatCDManipulation:    'C',
+		machine.CatUserSaveRestore:   'u',
+		machine.CatKernelSaveRestore: 'k',
+		machine.CatServerTime:        'S',
+		machine.CatTLBSetup:          't',
+	}
+	const usPerRow = 2.0
+	maxUS := 0.0
+	for _, r := range results {
+		if r.TotalMicros > maxUS {
+			maxUS = r.TotalMicros
+		}
+	}
+	rows := int(maxUS/usPerRow) + 1
+
+	// Build each column bottom-up: category glyph repeated per 2 us.
+	cols := make([][]byte, len(results))
+	for i, r := range results {
+		var col []byte
+		for _, cat := range fig2Categories {
+			n := int(r.Micros[cat]/usPerRow + 0.5)
+			for j := 0; j < n; j++ {
+				col = append(col, glyphs[cat])
+			}
+		}
+		cols[i] = col
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — stacked bars (one glyph ~ %.0f us)\n", usPerRow)
+	b.WriteString("  T=trap m=TLB-miss K=PPC-kernel C=CD u=user-s/r k=kernel-s/r S=server t=TLB-setup ?=unaccounted\n\n")
+	for row := rows - 1; row >= 0; row-- {
+		fmt.Fprintf(&b, "%5.0f |", float64(row+1)*usPerRow)
+		for _, col := range cols {
+			ch := byte(' ')
+			if row < len(col) {
+				ch = col[row]
+			}
+			fmt.Fprintf(&b, "   %c   ", ch)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("      +")
+	b.WriteString(strings.Repeat("-------", len(results)))
+	b.WriteString("\n       ")
+	for _, r := range results {
+		label := "U2U"
+		if r.Config.KernelTarget {
+			label = "U2K"
+		}
+		if r.Config.Cache == experiments.CacheFlushed {
+			label += "f"
+		}
+		if r.Config.HoldCD {
+			label += "+h"
+		}
+		fmt.Fprintf(&b, "%-7s", label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure2CSV emits config,category,micros rows.
+func Figure2CSV(results []experiments.Fig2Result) string {
+	var b strings.Builder
+	b.WriteString("target,cache,cd,category,micros\n")
+	for _, r := range results {
+		target := "user-to-user"
+		if r.Config.KernelTarget {
+			target = "user-to-kernel"
+		}
+		cd := "pooled"
+		if r.Config.HoldCD {
+			cd = "held"
+		}
+		for _, cat := range fig2Categories {
+			fmt.Fprintf(&b, "%s,%s,%s,%s,%.2f\n", target, r.Config.Cache, cd, cat, r.Micros[cat])
+		}
+		fmt.Fprintf(&b, "%s,%s,%s,total,%.2f\n", target, r.Config.Cache, cd, r.TotalMicros)
+	}
+	return b.String()
+}
+
+// Figure3Chart renders the throughput series as the paper's Figure 3:
+// X processors, Y calls per second; '.' the perfect-speedup line, 'o'
+// the different-files series, 'x' the single-file series. Overlapping
+// points render as the most specific marker.
+func Figure3Chart(different, single experiments.Fig3Result) string {
+	maxProcs := len(different.Points)
+	maxY := 0.0
+	for _, p := range different.Perfect {
+		if p.CallsPerSecond > maxY {
+			maxY = p.CallsPerSecond
+		}
+	}
+	const rows = 20
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", maxProcs*4))
+	}
+	plot := func(pts []experiments.Fig3Point, mark byte) {
+		for _, pt := range pts {
+			row := rows - 1 - int(pt.CallsPerSecond/maxY*float64(rows-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			col := (pt.Procs-1)*4 + 1
+			grid[row][col] = mark
+		}
+	}
+	plot(different.Perfect, '.')
+	plot(different.Points, 'o')
+	plot(single.Points, 'x')
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — GetLength throughput (calls/second) vs processors\n")
+	fmt.Fprintf(&b, "  '.' perfect speedup   'o' different files   'x' single file\n\n")
+	for i, row := range grid {
+		y := maxY * float64(rows-1-i) / float64(rows-1)
+		fmt.Fprintf(&b, "%8.0f |%s\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n%10s", "", strings.Repeat("-", maxProcs*4), "")
+	for p := 1; p <= maxProcs; p++ {
+		fmt.Fprintf(&b, "%-4d", p)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure3Table renders the series numerically.
+func Figure3Table(different, single experiments.Fig3Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %16s %16s %16s %10s\n", "procs", "perfect", "different files", "single file", "speedup")
+	for i := range different.Points {
+		sp := different.Points[i].CallsPerSecond / different.Points[0].CallsPerSecond
+		var singleCPS float64
+		if i < len(single.Points) {
+			singleCPS = single.Points[i].CallsPerSecond
+		}
+		fmt.Fprintf(&b, "%6d %16.0f %16.0f %16.0f %9.2fx\n",
+			different.Points[i].Procs,
+			different.Perfect[i].CallsPerSecond,
+			different.Points[i].CallsPerSecond,
+			singleCPS, sp)
+	}
+	fmt.Fprintf(&b, "\nsequential GetLength: %.1f us (paper: 66 us); single-file saturation at %d processors (paper: 4)\n",
+		different.BaseLatencyMicros, single.SaturationPoint(0.10))
+	return b.String()
+}
+
+// Figure3CSV emits series,procs,calls_per_second rows.
+func Figure3CSV(different, single experiments.Fig3Result) string {
+	var b strings.Builder
+	b.WriteString("series,procs,calls_per_second\n")
+	for i := range different.Points {
+		fmt.Fprintf(&b, "perfect,%d,%.0f\n", different.Perfect[i].Procs, different.Perfect[i].CallsPerSecond)
+		fmt.Fprintf(&b, "different_files,%d,%.0f\n", different.Points[i].Procs, different.Points[i].CallsPerSecond)
+	}
+	for _, p := range single.Points {
+		fmt.Fprintf(&b, "single_file,%d,%.0f\n", p.Procs, p.CallsPerSecond)
+	}
+	return b.String()
+}
+
+// BaselineTable renders the E5 ablation.
+func BaselineTable(res experiments.BaselineResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %18s %22s\n", "procs", "PPC (calls/s)", "locked IPC (calls/s)")
+	for i, n := range res.Procs {
+		fmt.Fprintf(&b, "%6d %18.0f %22.0f\n", n, res.PPCCalls[i], res.BaselineCall[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hurricane/internal/experiments"
+)
+
+func fig2Fixtures(t *testing.T) []experiments.Fig2Result {
+	t.Helper()
+	var out []experiments.Fig2Result
+	for _, cfg := range []experiments.Fig2Config{
+		{KernelTarget: false, HoldCD: false, Cache: experiments.CachePrimed},
+		{KernelTarget: true, HoldCD: true, Cache: experiments.CacheFlushed},
+	} {
+		r, err := experiments.RunFigure2One(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestFigure2TableContainsCategoriesAndTotals(t *testing.T) {
+	s := Figure2Table(fig2Fixtures(t))
+	for _, want := range []string{"trap overhead", "TLB miss", "CD manipulation", "user save/restore", "total", "U-to-U", "U-to-K", "hold CD"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFigure2BarsScale(t *testing.T) {
+	s := Figure2Bars(fig2Fixtures(t))
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bars lines = %d", len(lines))
+	}
+	// The larger total must have the longer bar.
+	if strings.Count(lines[0], "#") == strings.Count(lines[1], "#") {
+		t.Error("distinct totals rendered identical bars")
+	}
+	if !strings.Contains(s, "us") {
+		t.Error("bars missing unit")
+	}
+}
+
+func TestFigure2CSVShape(t *testing.T) {
+	s := Figure2CSV(fig2Fixtures(t))
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if lines[0] != "target,cache,cd,category,micros" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 2 configs x (9 categories + total).
+	if len(lines) != 1+2*10 {
+		t.Fatalf("rows = %d", len(lines)-1)
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 4 {
+			t.Fatalf("malformed row %q", l)
+		}
+	}
+}
+
+func fig3Fixtures(t *testing.T) (experiments.Fig3Result, experiments.Fig3Result) {
+	t.Helper()
+	d, err := experiments.RunFigure3(4, experiments.DifferentFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := experiments.RunFigure3(4, experiments.SingleFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, s
+}
+
+func TestFigure3ChartHasAllSeries(t *testing.T) {
+	d, s := fig3Fixtures(t)
+	chart := Figure3Chart(d, s)
+	for _, mark := range []string{"o", "x", "."} {
+		if !strings.Contains(chart, mark) {
+			t.Errorf("chart missing series %q", mark)
+		}
+	}
+	if !strings.Contains(chart, "perfect speedup") {
+		t.Error("chart missing legend")
+	}
+}
+
+func TestFigure3TableMentionsSaturation(t *testing.T) {
+	d, s := fig3Fixtures(t)
+	tbl := Figure3Table(d, s)
+	if !strings.Contains(tbl, "saturation") || !strings.Contains(tbl, "paper") {
+		t.Error("table missing paper comparison line")
+	}
+	if !strings.Contains(tbl, "4.00x") {
+		t.Errorf("table missing linear speedup row:\n%s", tbl)
+	}
+}
+
+func TestFigure3CSVShape(t *testing.T) {
+	d, s := fig3Fixtures(t)
+	csv := Figure3CSV(d, s)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "series,procs,calls_per_second" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// perfect + different per proc, plus single per proc.
+	if len(lines)-1 != 4*2+4 {
+		t.Fatalf("rows = %d", len(lines)-1)
+	}
+}
+
+func TestBaselineTable(t *testing.T) {
+	res, err := experiments.RunBaselineComparison(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := BaselineTable(res)
+	if !strings.Contains(tbl, "PPC") || !strings.Contains(tbl, "locked") {
+		t.Error("baseline table missing columns")
+	}
+	if len(strings.Split(strings.TrimSpace(tbl), "\n")) != 3 {
+		t.Error("baseline table row count wrong")
+	}
+}

@@ -1,0 +1,29 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure2StackedRenders(t *testing.T) {
+	s := Figure2Stacked(fig2Fixtures(t))
+	if !strings.Contains(s, "stacked bars") {
+		t.Fatal("missing title")
+	}
+	// The legend names every glyph.
+	for _, g := range []string{"T=trap", "m=TLB-miss", "K=PPC-kernel", "S=server"} {
+		if !strings.Contains(s, g) {
+			t.Errorf("legend missing %q", g)
+		}
+	}
+	// Both configuration labels appear on the axis.
+	if !strings.Contains(s, "U2U") || !strings.Contains(s, "U2K") {
+		t.Error("column labels missing")
+	}
+	// The columns contain category glyphs.
+	for _, g := range []string{"T", "K", "u"} {
+		if strings.Count(s, g) < 2 {
+			t.Errorf("glyph %q missing from bars", g)
+		}
+	}
+}

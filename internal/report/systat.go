@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"hurricane/internal/machine"
+)
+
+// SystemStats renders per-processor machine counters — instructions,
+// cache and TLB behaviour, and the per-category cycle account — the
+// simulator's equivalent of the paper's low-level measurements.
+func SystemStats(m *machine.Machine) string {
+	var b strings.Builder
+	params := m.Params()
+	fmt.Fprintf(&b, "machine: %d processors @ %.2f MHz, %d KB caches (%d-way, %d B lines)",
+		m.NumProcs(), params.CPUMHz, params.CacheSize/1024, params.CacheWays, params.CacheLineSize)
+	if params.HardwareCoherence {
+		b.WriteString(", hardware coherence")
+	} else {
+		b.WriteString(", no hardware coherence")
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(&b, "%4s %12s %12s %10s %10s %10s %10s %10s\n",
+		"proc", "cycles", "instrs", "d-hits", "d-misses", "wbacks", "i-misses", "tlb-miss")
+	for _, p := range m.Procs() {
+		fmt.Fprintf(&b, "%4d %12d %12d %10d %10d %10d %10d %10d\n",
+			p.ID(), p.Now(), p.Instructions,
+			p.DCache().Hits, p.DCache().Misses, p.DCache().Writebacks,
+			p.ICache().Misses, p.DTLB().Misses+p.ITLB().Misses)
+	}
+
+	// Aggregate category account.
+	var total machine.Breakdown
+	for _, p := range m.Procs() {
+		acct := p.Account()
+		total.Add(&acct)
+	}
+	b.WriteString("\ncycle attribution (all processors):\n")
+	sum := total.Total()
+	for cat := machine.Category(0); int(cat) < machine.NumCategories; cat++ {
+		if total[cat] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-20s %14d cy %7.2f ms %5.1f%%\n",
+			cat, total[cat], params.CyclesToMicros(total[cat])/1000,
+			float64(total[cat])/float64(sum)*100)
+	}
+	return b.String()
+}

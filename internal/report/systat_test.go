@@ -1,0 +1,44 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+func TestSystemStatsRenders(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	k := core.NewKernel(m)
+	server := k.NewServerProgram("s", 0)
+	svc, err := k.BindService(core.ServiceConfig{Name: "s", Server: server,
+		Handler: func(ctx *core.Ctx, args *core.Args) { args.SetRC(core.RCOK) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.NewClientProgram("c", 0)
+	var args core.Args
+	for i := 0; i < 3; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := SystemStats(m)
+	for _, want := range []string{
+		"2 processors", "no hardware coherence", "d-misses", "tlb-miss",
+		"cycle attribution", "trap overhead", "PPC kernel",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("systat missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSystemStatsCoherentLabel(t *testing.T) {
+	m := machine.MustNew(2, machine.CoherentParams())
+	out := SystemStats(m)
+	if !strings.Contains(out, ", hardware coherence") {
+		t.Error("coherent machine not labelled")
+	}
+}

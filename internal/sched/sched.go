@@ -1,0 +1,123 @@
+// Package sched implements Hurricane's per-processor scheduling: each
+// processor has its own ready queue in its own local memory, accessed
+// without locks by the local processor (cross-processor enqueues go
+// through remote interrupts, handled by the caller). Synchronous PPC
+// calls bypass the scheduler entirely — hand-off scheduling is implicit
+// in the call — so the queue appears on the fast path only for
+// asynchronous calls and returns to interrupted work.
+package sched
+
+import (
+	"fmt"
+
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+	"hurricane/internal/proc"
+)
+
+// queueHeaderSize is the simulated footprint of a ready-queue header
+// (head, tail, count).
+const queueHeaderSize = 12
+
+// Scheduler is the per-machine scheduling state.
+type Scheduler struct {
+	layout *mem.Layout
+
+	segEnq *machine.CodeSeg
+	segDeq *machine.CodeSeg
+
+	queues  []readyQueue
+	current []*proc.Process
+
+	Enqueues, Dequeues, IdleDequeues int64
+}
+
+type readyQueue struct {
+	header machine.Addr
+	items  []*proc.Process
+}
+
+// New builds a scheduler with one ready queue per processor, each homed
+// in that processor's local memory.
+func New(layout *mem.Layout) *Scheduler {
+	m := layout.Machine()
+	s := &Scheduler{
+		layout:  layout,
+		segEnq:  m.NewCodeSeg("sched.enqueue", 10),
+		segDeq:  m.NewCodeSeg("sched.dequeue", 10),
+		queues:  make([]readyQueue, m.NumProcs()),
+		current: make([]*proc.Process, m.NumProcs()),
+	}
+	for i := range s.queues {
+		s.queues[i].header = layout.AllocAligned(i, queueHeaderSize)
+	}
+	return s
+}
+
+// Current returns the process running on processor p.
+func (s *Scheduler) Current(p *machine.Processor) *proc.Process {
+	return s.current[p.ID()]
+}
+
+// SetCurrent installs pr as the running process on p (hand-off
+// scheduling: the PPC path switches directly between caller and worker
+// without a queue transit).
+func (s *Scheduler) SetCurrent(p *machine.Processor, pr *proc.Process) {
+	if pr != nil {
+		pr.SetState(proc.StateRunning)
+	}
+	s.current[p.ID()] = pr
+}
+
+// Enqueue puts pr on processor p's own ready queue, charging the local
+// queue manipulation. Only the local processor may touch its queue.
+func (s *Scheduler) Enqueue(p *machine.Processor, pr *proc.Process) {
+	s.Enqueues++
+	p.Exec(s.segEnq, s.segEnq.Instrs)
+	q := &s.queues[p.ID()]
+	p.Access(q.header, 8, machine.Store)
+	pr.SetState(proc.StateReady)
+	q.items = append(q.items, pr)
+}
+
+// Dequeue removes the next ready process from p's queue, or returns nil
+// if the queue is empty (the idle case).
+func (s *Scheduler) Dequeue(p *machine.Processor) *proc.Process {
+	s.Dequeues++
+	p.Exec(s.segDeq, s.segDeq.Instrs)
+	q := &s.queues[p.ID()]
+	p.Access(q.header, 8, machine.Load)
+	if len(q.items) == 0 {
+		s.IdleDequeues++
+		return nil
+	}
+	pr := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	p.Access(q.header, 4, machine.Store)
+	return pr
+}
+
+// Len returns the queue depth of processor i without charging.
+func (s *Scheduler) Len(i int) int { return len(s.queues[i].items) }
+
+// RemoteEnqueue places pr on another processor's queue on behalf of a
+// remote requester. On Hector this is done by interrupting the target
+// processor; the requester pays an uncached remote write to post the
+// request, and the target pays its normal local enqueue when it services
+// the interrupt (the caller models that half). Used for cross-processor
+// PPC variants and device handling (paper §4.3).
+func (s *Scheduler) RemoteEnqueue(requester *machine.Processor, target int, pr *proc.Process) {
+	if target < 0 || target >= len(s.queues) {
+		panic(fmt.Sprintf("sched: target %d out of range", target))
+	}
+	if target == requester.ID() {
+		s.Enqueue(requester, pr)
+		return
+	}
+	s.Enqueues++
+	// Post the interrupt request word into the target's memory.
+	requester.Access(s.queues[target].header, 4, machine.SharedStore)
+	pr.SetState(proc.StateReady)
+	s.queues[target].items = append(s.queues[target].items, pr)
+}

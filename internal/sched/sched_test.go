@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/machine"
+	"hurricane/internal/mem"
+	"hurricane/internal/proc"
+)
+
+func setup(t *testing.T, procs int) (*machine.Machine, *Scheduler, *proc.Table, *addrspace.AddressSpace) {
+	t.Helper()
+	m := machine.MustNew(procs, machine.DefaultParams())
+	layout := mem.NewLayout(m)
+	mgr := addrspace.NewManager(layout)
+	return m, New(layout), proc.NewTable(layout), mgr.NewSpace("user", 0)
+}
+
+func TestFIFOOrder(t *testing.T) {
+	m, s, tbl, as := setup(t, 1)
+	p := m.Proc(0)
+	a := tbl.New("a", 1, as, 0)
+	b := tbl.New("b", 1, as, 0)
+	s.Enqueue(p, a)
+	s.Enqueue(p, b)
+	if s.Len(0) != 2 {
+		t.Fatalf("Len = %d", s.Len(0))
+	}
+	if got := s.Dequeue(p); got != a {
+		t.Fatalf("dequeued %v, want a", got.Name())
+	}
+	if got := s.Dequeue(p); got != b {
+		t.Fatalf("dequeued %v, want b", got.Name())
+	}
+	if s.Dequeue(p) != nil {
+		t.Fatal("empty queue should dequeue nil")
+	}
+	if s.IdleDequeues != 1 {
+		t.Fatalf("IdleDequeues = %d", s.IdleDequeues)
+	}
+}
+
+func TestEnqueueSetsReady(t *testing.T) {
+	m, s, tbl, as := setup(t, 1)
+	p := m.Proc(0)
+	pr := tbl.New("a", 1, as, 0)
+	pr.SetState(proc.StateRunning)
+	s.Enqueue(p, pr)
+	if pr.State() != proc.StateReady {
+		t.Fatalf("state = %v, want ready", pr.State())
+	}
+}
+
+func TestCurrentHandoff(t *testing.T) {
+	m, s, tbl, as := setup(t, 1)
+	p := m.Proc(0)
+	pr := tbl.New("a", 1, as, 0)
+	s.SetCurrent(p, pr)
+	if s.Current(p) != pr || pr.State() != proc.StateRunning {
+		t.Fatal("SetCurrent did not install/mark running")
+	}
+	s.SetCurrent(p, nil)
+	if s.Current(p) != nil {
+		t.Fatal("SetCurrent(nil) did not clear")
+	}
+}
+
+func TestQueuesAreIndependentAndLocal(t *testing.T) {
+	m, s, tbl, as := setup(t, 2)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	a := tbl.New("a", 1, as, 0)
+	s.Enqueue(p0, a)
+	if s.Len(1) != 0 {
+		t.Fatal("enqueue leaked to another queue")
+	}
+	if got := s.Dequeue(p1); got != nil {
+		t.Fatal("processor 1 dequeued processor 0's work")
+	}
+	if got := s.Dequeue(p0); got != a {
+		t.Fatal("processor 0 lost its work")
+	}
+}
+
+func TestRemoteEnqueueChargesRequesterUncached(t *testing.T) {
+	m, s, tbl, as := setup(t, 2)
+	p0 := m.Proc(0)
+	pr := tbl.New("a", 1, as, 1)
+
+	before := p0.Now()
+	s.RemoteEnqueue(p0, 1, pr)
+	if p0.Now() == before {
+		t.Fatal("remote enqueue charged nothing to the requester")
+	}
+	if s.Len(1) != 1 {
+		t.Fatal("process not on target queue")
+	}
+	// Target dequeues it locally.
+	if got := s.Dequeue(m.Proc(1)); got != pr {
+		t.Fatal("target did not receive the process")
+	}
+}
+
+func TestRemoteEnqueueToSelfIsLocal(t *testing.T) {
+	m, s, tbl, as := setup(t, 2)
+	p0 := m.Proc(0)
+	pr := tbl.New("a", 1, as, 0)
+	s.RemoteEnqueue(p0, 0, pr)
+	if s.Len(0) != 1 {
+		t.Fatal("self remote-enqueue missed own queue")
+	}
+}
+
+func TestRemoteEnqueueBoundsPanics(t *testing.T) {
+	m, s, tbl, as := setup(t, 2)
+	pr := tbl.New("a", 1, as, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range target did not panic")
+		}
+	}()
+	s.RemoteEnqueue(m.Proc(0), 5, pr)
+}

@@ -1,0 +1,253 @@
+// Package copyserver implements the paper's bulk-data mechanism (§4.2),
+// borrowed from the V system: the 8-word register transfer of a PPC
+// does not address large data, so a caller grants a server permission
+// to read or write selected portions of its address space, and the
+// actual transfer is a separate CopyTo or CopyFrom request — a normal
+// PPC — to the CopyServer, which runs in the kernel and can reach both
+// address spaces.
+package copyserver
+
+import (
+	"fmt"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+	"hurricane/internal/services/nameserver"
+)
+
+// CopyServer opcodes.
+const (
+	// OpGrant lets the caller grant the program in args[0] access to
+	// [args[1], args[1]+args[2]) of its space; args[3] carries the
+	// protection bits (1=read, 2=write). The grant ID returns in
+	// args[0].
+	OpGrant uint16 = 1
+	// OpRevoke revokes grant args[0] (caller must be the grantor).
+	OpRevoke uint16 = 2
+	// OpCopyFrom copies args[2] bytes from the grantor's va args[1]
+	// (under grant args[0]) to the caller's va args[3].
+	OpCopyFrom uint16 = 3
+	// OpCopyTo copies args[2] bytes from the caller's va args[3] to
+	// the grantor's va args[1] (under grant args[0]).
+	OpCopyTo uint16 = 4
+)
+
+// ServiceName is the name registered with the name server.
+const ServiceName = "copyserver"
+
+// copyChunk is the simulated copy loop granularity: one cache line per
+// iteration, a load and a store plus loop overhead.
+const copyChunkInstrs = 6
+
+// grant is one region permission.
+type grant struct {
+	id      uint32
+	grantor *proc.Process
+	grantee uint32 // program ID allowed to use the grant
+	va      machine.Addr
+	size    uint32
+	prot    addrspace.Prot
+}
+
+// CopyServer is the kernel-level bulk copy service.
+type CopyServer struct {
+	k   *core.Kernel
+	svc *core.Service
+
+	grants map[uint32]*grant
+	nextID uint32
+
+	// table is the simulated grant table (kernel memory).
+	table machine.Addr
+
+	Grants, Copies int64
+	BytesCopied    int64
+}
+
+// Install binds the CopyServer as a kernel service.
+func Install(k *core.Kernel) (*CopyServer, error) {
+	cs := &CopyServer{
+		k:      k,
+		grants: make(map[uint32]*grant),
+		nextID: 1,
+		table:  k.Layout().AllocAligned(0, 1024),
+	}
+	svc, err := k.BindService(core.ServiceConfig{
+		Name:          ServiceName,
+		Server:        k.KernelServer(),
+		Handler:       cs.handle,
+		HandlerInstrs: 40,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cs.svc = svc
+	return cs, nil
+}
+
+// Service returns the bound service.
+func (cs *CopyServer) Service() *core.Service { return cs.svc }
+
+// EP returns the CopyServer's entry point.
+func (cs *CopyServer) EP() core.EntryPointID { return cs.svc.EP() }
+
+// RegisterName registers the CopyServer with the name server.
+func (cs *CopyServer) RegisterName(c *core.Client) error {
+	return nameserver.Register(c, ServiceName, cs.svc.EP())
+}
+
+func (cs *CopyServer) handle(ctx *core.Ctx, args *core.Args) {
+	ctx.Exec(20)
+	ctx.Access(cs.table+machine.Addr((args[0]%64)*16), 16, machine.Load)
+	switch core.Op(args[core.OpFlagsWord]) {
+	case OpGrant:
+		cs.doGrant(ctx, args)
+	case OpRevoke:
+		cs.doRevoke(ctx, args)
+	case OpCopyFrom:
+		cs.doCopy(ctx, args, false)
+	case OpCopyTo:
+		cs.doCopy(ctx, args, true)
+	default:
+		args.SetRC(core.RCBadRequest)
+	}
+}
+
+// callerProcess finds the calling process; grants are keyed to the
+// grantor's process so its address space can be reached later.
+func (cs *CopyServer) callerProcess(ctx *core.Ctx) *proc.Process {
+	return ctx.CallerProcess()
+}
+
+func (cs *CopyServer) doGrant(ctx *core.Ctx, args *core.Args) {
+	grantor := cs.callerProcess(ctx)
+	if grantor == nil {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	prot := addrspace.Prot(0)
+	if args[3]&1 != 0 {
+		prot |= addrspace.ProtRead
+	}
+	if args[3]&2 != 0 {
+		prot |= addrspace.ProtWrite
+	}
+	if prot == 0 || args[2] == 0 {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	g := &grant{
+		id:      cs.nextID,
+		grantor: grantor,
+		grantee: args[0],
+		va:      machine.Addr(args[1]),
+		size:    args[2],
+		prot:    prot,
+	}
+	cs.nextID++
+	cs.grants[g.id] = g
+	cs.Grants++
+	ctx.Access(cs.table+machine.Addr((g.id%64)*16), 16, machine.Store)
+	args[0] = g.id
+	args.SetRC(core.RCOK)
+}
+
+func (cs *CopyServer) doRevoke(ctx *core.Ctx, args *core.Args) {
+	g, ok := cs.grants[args[0]]
+	if !ok || g.grantor != cs.callerProcess(ctx) {
+		args.SetRC(core.RCPermissionDenied)
+		return
+	}
+	ctx.Access(cs.table+machine.Addr((g.id%64)*16), 16, machine.Store)
+	delete(cs.grants, args[0])
+	args.SetRC(core.RCOK)
+}
+
+// doCopy moves bytes between the grantor's space and the caller's
+// space, charging the copy loop in both spaces.
+func (cs *CopyServer) doCopy(ctx *core.Ctx, args *core.Args, toGrantor bool) {
+	caller := cs.callerProcess(ctx)
+	if caller == nil {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	g, ok := cs.grants[args[0]]
+	if !ok {
+		args.SetRC(core.RCPermissionDenied)
+		return
+	}
+	if g.grantee != caller.ProgramID() {
+		args.SetRC(core.RCPermissionDenied)
+		return
+	}
+	need := addrspace.ProtRead
+	if toGrantor {
+		need = addrspace.ProtWrite
+	}
+	if g.prot&need == 0 {
+		args.SetRC(core.RCPermissionDenied)
+		return
+	}
+	gva := machine.Addr(args[1])
+	size := args[2]
+	cva := machine.Addr(args[3])
+	if gva < g.va || uint32(gva-g.va)+size > g.size {
+		args.SetRC(core.RCPermissionDenied)
+		return
+	}
+
+	p := ctx.P()
+	vm := cs.k.VM()
+	line := p.Params().CacheLineSize
+	for off := uint32(0); off < size; off += uint32(line) {
+		n := int(size - off)
+		if n > line {
+			n = line
+		}
+		ctx.Exec(copyChunkInstrs)
+		if toGrantor {
+			vm.Access(p, caller.Space(), cva+machine.Addr(off), n, machine.Load)
+			vm.Access(p, g.grantor.Space(), gva+machine.Addr(off), n, machine.Store)
+		} else {
+			vm.Access(p, g.grantor.Space(), gva+machine.Addr(off), n, machine.Load)
+			vm.Access(p, caller.Space(), cva+machine.Addr(off), n, machine.Store)
+		}
+	}
+	cs.Copies++
+	cs.BytesCopied += int64(size)
+	args[0] = size
+	args.SetRC(core.RCOK)
+}
+
+// RevokeAllOf removes every grant made by the given grantor process —
+// the cleanup a process-teardown path runs so that dead programs'
+// address-space permissions cannot linger (the §4.5.2 death-and-
+// destruction discipline applied to grants). Returns how many grants
+// were dropped. Host-side administrative operation.
+func (cs *CopyServer) RevokeAllOf(grantorPID int) int {
+	n := 0
+	for id, g := range cs.grants {
+		if g.grantor.PID() == grantorPID {
+			delete(cs.grants, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Grant issues an OpGrant from client c: grantee may access
+// [va, va+size) of c's space with prot bits (1=read, 2=write).
+func Grant(c *core.Client, ep core.EntryPointID, grantee uint32, va machine.Addr, size uint32, prot uint32) (uint32, error) {
+	var args core.Args
+	args[0], args[1], args[2], args[3] = grantee, uint32(va), size, prot
+	args.SetOp(OpGrant, 0)
+	if err := c.Call(ep, &args); err != nil {
+		return 0, err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return 0, fmt.Errorf("copyserver: grant: %s", core.RCString(rc))
+	}
+	return args[0], nil
+}

@@ -1,0 +1,284 @@
+package copyserver
+
+import (
+	"testing"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+// env: a kernel with a CopyServer, a client (grantor) with a mapped
+// data buffer, and a user server that consumes the grant.
+type env struct {
+	k      *core.Kernel
+	cs     *CopyServer
+	client *core.Client
+	bufVA  machine.Addr
+}
+
+func setup(t *testing.T) *env {
+	t.Helper()
+	k := core.NewKernel(machine.MustNew(2, machine.DefaultParams()))
+	cs, err := Install(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := k.NewClientProgram("client", 0)
+	// Map a 2-page data buffer into the client's space.
+	bufVA := machine.Addr(0x00400000)
+	ps := k.Layout().PageSize()
+	for i := 0; i < 2; i++ {
+		frame := k.Layout().GetFrame(0)
+		k.VM().Map(client.P(), client.Process().Space(), bufVA+machine.Addr(i*ps), frame, addrspace.RW)
+	}
+	return &env{k: k, cs: cs, client: client, bufVA: bufVA}
+}
+
+func TestGrantAndCopyFromByServer(t *testing.T) {
+	e := setup(t)
+	// A user server that, when called, pulls 256 bytes from the
+	// client's granted buffer into its own stack region via CopyFrom.
+	prog := e.k.NewServerProgram("consumer", 0)
+	var copyErr error
+	var copied uint32
+	svc, err := e.k.BindService(core.ServiceConfig{
+		Name:   "consumer",
+		Server: prog,
+		Handler: func(ctx *core.Ctx, args *core.Args) {
+			var req core.Args
+			req[0] = args[0]                        // grant ID
+			req[1] = args[1]                        // grantor VA
+			req[2] = 256                            // size
+			req[3] = uint32(ctx.Worker().StackVA()) // local destination
+			req.SetOp(OpCopyFrom, 0)
+			copyErr = ctx.Call(e.cs.EP(), &req)
+			copied = req[0]
+			args.SetRC(req.RC())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gid, err := Grant(e.client, e.cs.EP(), prog.ProgramID(), e.bufVA, 4096, 1 /*read*/)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var args core.Args
+	args[0], args[1] = gid, uint32(e.bufVA)
+	if err := e.client.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if copyErr != nil {
+		t.Fatalf("nested CopyFrom failed: %v", copyErr)
+	}
+	if args.RC() != core.RCOK || copied != 256 {
+		t.Fatalf("rc=%s copied=%d", core.RCString(args.RC()), copied)
+	}
+	if e.cs.BytesCopied != 256 || e.cs.Copies != 1 {
+		t.Fatalf("stats: bytes=%d copies=%d", e.cs.BytesCopied, e.cs.Copies)
+	}
+}
+
+func TestCopyRequiresGrant(t *testing.T) {
+	e := setup(t)
+	var args core.Args
+	args[0], args[1], args[2], args[3] = 999, uint32(e.bufVA), 64, uint32(e.bufVA)
+	args.SetOp(OpCopyFrom, 0)
+	if err := e.client.Call(e.cs.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCPermissionDenied {
+		t.Fatalf("rc = %s, want permission denied", core.RCString(args.RC()))
+	}
+}
+
+func TestCopyHonorsGranteeIdentity(t *testing.T) {
+	e := setup(t)
+	other := e.k.NewClientProgram("other", 1)
+	gid, err := Grant(e.client, e.cs.EP(), 0xDEAD, e.bufVA, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args core.Args
+	args[0], args[1], args[2], args[3] = gid, uint32(e.bufVA), 64, uint32(e.bufVA)
+	args.SetOp(OpCopyFrom, 0)
+	if err := other.Call(e.cs.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCPermissionDenied {
+		t.Fatalf("wrong grantee passed auth: rc = %s", core.RCString(args.RC()))
+	}
+}
+
+func TestCopyHonorsProtection(t *testing.T) {
+	e := setup(t)
+	prog := e.k.NewServerProgram("writer", 0)
+	gid, err := Grant(e.client, e.cs.EP(), prog.ProgramID(), e.bufVA, 4096, 1 /*read only*/)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rc uint32
+	svc, err := e.k.BindService(core.ServiceConfig{
+		Name:   "writer",
+		Server: prog,
+		Handler: func(ctx *core.Ctx, args *core.Args) {
+			var req core.Args
+			req[0], req[1], req[2] = args[0], args[1], 64
+			req[3] = uint32(ctx.Worker().StackVA())
+			req.SetOp(OpCopyTo, 0) // write into a read-only grant
+			if err := ctx.Call(e.cs.EP(), &req); err != nil {
+				t.Errorf("call itself should deliver: %v", err)
+			}
+			rc = req.RC()
+			args.SetRC(core.RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args core.Args
+	args[0], args[1] = gid, uint32(e.bufVA)
+	if err := e.client.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if rc != core.RCPermissionDenied {
+		t.Fatalf("rc = %s, want permission denied", core.RCString(rc))
+	}
+}
+
+func TestCopyHonorsRegionBounds(t *testing.T) {
+	e := setup(t)
+	gid, err := Grant(e.client, e.cs.EP(), e.client.Process().ProgramID(), e.bufVA, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args core.Args
+	args[0], args[1], args[2], args[3] = gid, uint32(e.bufVA)+64, 128, uint32(e.bufVA)
+	args.SetOp(OpCopyFrom, 0)
+	if err := e.client.Call(e.cs.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCPermissionDenied {
+		t.Fatalf("out-of-bounds copy passed: rc = %s", core.RCString(args.RC()))
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	e := setup(t)
+	self := e.client.Process().ProgramID()
+	gid, err := Grant(e.client, e.cs.EP(), self, e.bufVA, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args core.Args
+	args[0] = gid
+	args.SetOp(OpRevoke, 0)
+	if err := e.client.Call(e.cs.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCOK {
+		t.Fatalf("revoke rc = %s", core.RCString(args.RC()))
+	}
+	// The grant is gone.
+	args = core.Args{}
+	args[0], args[1], args[2], args[3] = gid, uint32(e.bufVA), 64, uint32(e.bufVA)
+	args.SetOp(OpCopyFrom, 0)
+	if err := e.client.Call(e.cs.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCPermissionDenied {
+		t.Fatal("copy against revoked grant succeeded")
+	}
+}
+
+func TestRevokeOnlyByGrantor(t *testing.T) {
+	e := setup(t)
+	other := e.k.NewClientProgram("other", 1)
+	gid, err := Grant(e.client, e.cs.EP(), 7, e.bufVA, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args core.Args
+	args[0] = gid
+	args.SetOp(OpRevoke, 0)
+	if err := other.Call(e.cs.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCPermissionDenied {
+		t.Fatal("non-grantor revoked a grant")
+	}
+}
+
+func TestGrantValidation(t *testing.T) {
+	e := setup(t)
+	if _, err := Grant(e.client, e.cs.EP(), 1, e.bufVA, 0, 1); err == nil {
+		t.Fatal("zero-size grant accepted")
+	}
+	if _, err := Grant(e.client, e.cs.EP(), 1, e.bufVA, 64, 0); err == nil {
+		t.Fatal("no-protection grant accepted")
+	}
+}
+
+func TestBulkCopyCostScalesWithSize(t *testing.T) {
+	e := setup(t)
+	self := e.client.Process().ProgramID()
+	gid, err := Grant(e.client, e.cs.EP(), self, e.bufVA, 8192, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(size uint32) int64 {
+		p := e.client.P()
+		before := p.Now()
+		var args core.Args
+		args[0], args[1], args[2], args[3] = gid, uint32(e.bufVA), size, uint32(e.bufVA)+4096
+		args.SetOp(OpCopyFrom, 0)
+		if err := e.client.Call(e.cs.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+		if args.RC() != core.RCOK {
+			t.Fatalf("rc = %s", core.RCString(args.RC()))
+		}
+		return p.Now() - before
+	}
+	small := cost(64)
+	large := cost(2048)
+	if large <= small {
+		t.Fatalf("2 KB copy (%d cy) should cost more than 64 B (%d cy)", large, small)
+	}
+}
+
+func TestRevokeAllOf(t *testing.T) {
+	e := setup(t)
+	self := e.client.Process().ProgramID()
+	if _, err := Grant(e.client, e.cs.EP(), self, e.bufVA, 128, 1); err != nil {
+		t.Fatal(err)
+	}
+	gid, err := Grant(e.client, e.cs.EP(), self, e.bufVA+256, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := e.k.NewClientProgram("other", 1)
+	otherGrant, err := Grant(other, e.cs.EP(), self, 0, 0x1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.cs.RevokeAllOf(e.client.Process().PID()); n != 2 {
+		t.Fatalf("revoked %d grants, want 2", n)
+	}
+	// The dead program's grants are gone; the other program's survive.
+	var args core.Args
+	args[0], args[1], args[2], args[3] = gid, uint32(e.bufVA)+256, 64, uint32(e.bufVA)
+	args.SetOp(OpCopyFrom, 0)
+	if err := e.client.Call(e.cs.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCPermissionDenied {
+		t.Fatal("revoked grant still usable")
+	}
+	if _, ok := e.cs.grants[otherGrant]; !ok {
+		t.Fatal("unrelated grant was dropped")
+	}
+}

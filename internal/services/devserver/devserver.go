@@ -1,0 +1,265 @@
+// Package devserver implements a disk device server demonstrating the
+// paper's cross-processor interactions (§4.3) and interrupt dispatching
+// (§4.4). The disk has a shared request queue: in the busy case a
+// request is appended to the queue (uncached shared accesses guarded by
+// a lock — exactly the "solutions tailored to the specific situations"
+// the paper describes); in the idle case the disk starts the request
+// immediately. Completion interrupts are manufactured into asynchronous
+// PPC requests to the device service, which looks, from the server's
+// point of view, like any other caller.
+package devserver
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+	"hurricane/internal/services/nameserver"
+)
+
+// Device server opcodes.
+const (
+	// OpSubmit submits an I/O request: args[0]=block, args[1]=isWrite.
+	// The request ID comes back in args[0].
+	OpSubmit uint16 = 1
+	// OpCompletion is the interrupt-manufactured completion request:
+	// args[0]=request ID (kernel-internal).
+	OpCompletion uint16 = 2
+	// OpStatus queries a request: args[0]=request ID; args[1] returns
+	// 1 when complete.
+	OpStatus uint16 = 3
+)
+
+// ServiceName is the registered name.
+const ServiceName = "disk"
+
+// diskServiceInstrs is the handler footprint.
+const diskServiceInstrs = 50
+
+// BlockTimeCycles is the simulated disk service time per request
+// (~2 ms at 16.67 MHz — a fast 1994 disk).
+const BlockTimeCycles = 33340
+
+// Request is one disk I/O.
+type Request struct {
+	ID      uint32
+	Block   uint32
+	Write   bool
+	Issuer  uint32 // program ID
+	Done    bool
+	DoneAt  int64 // virtual completion time on the disk's clock
+	started bool
+}
+
+// Disk is the device server instance.
+type Disk struct {
+	k    *core.Kernel
+	svc  *core.Service
+	home int // processor hosting the device driver
+
+	// driver is the device driver process: normally blocked, added to
+	// the home processor's ready queue when an idle disk is started
+	// (paper §4.3: "in the case of an idle disk, additionally adding
+	// the disk device driver process to the ready queue").
+	driver *proc.Process
+
+	// queue is the shared request queue: uncached memory guarded by a
+	// lock, because any processor may submit.
+	queueAddr machine.Addr
+	queueLock *locks.SpinLock
+	queue     []*Request
+
+	requests map[uint32]*Request
+	nextID   uint32
+
+	// busyUntil is the disk head's virtual time.
+	busyUntil int64
+
+	Submitted, Completed int64
+	IdleStarts           int64
+}
+
+// Install creates the disk server. home is the processor that owns the
+// device (interrupts arrive there).
+func Install(k *core.Kernel, home int) (*Disk, error) {
+	d := &Disk{
+		k:        k,
+		home:     home,
+		requests: make(map[uint32]*Request),
+		nextID:   1,
+	}
+	d.queueAddr = k.Layout().AllocAligned(home, 64)
+	d.queueLock = locks.NewSpinLock("diskq", d.queueAddr)
+	d.driver = k.Procs().New("disk.driver", 0, k.VM().KernelSpace(), home)
+	d.driver.SetState(proc.StateBlocked)
+	svc, err := k.BindService(core.ServiceConfig{
+		Name:          ServiceName,
+		Server:        k.KernelServer(),
+		Handler:       d.handle,
+		HandlerInstrs: diskServiceInstrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.svc = svc
+	return d, nil
+}
+
+// Service returns the bound service.
+func (d *Disk) Service() *core.Service { return d.svc }
+
+// EP returns the disk service entry point.
+func (d *Disk) EP() core.EntryPointID { return d.svc.EP() }
+
+// Home returns the device-owning processor.
+func (d *Disk) Home() int { return d.home }
+
+// RegisterName registers the disk with the name server.
+func (d *Disk) RegisterName(c *core.Client) error {
+	return nameserver.Register(c, ServiceName, d.svc.EP())
+}
+
+func (d *Disk) handle(ctx *core.Ctx, args *core.Args) {
+	ctx.Exec(diskServiceInstrs)
+	switch core.Op(args[core.OpFlagsWord]) {
+	case OpSubmit:
+		d.submit(ctx, args)
+	case OpCompletion:
+		d.complete(ctx, args)
+	case OpStatus:
+		d.status(ctx, args)
+	default:
+		args.SetRC(core.RCBadRequest)
+	}
+}
+
+// submit appends the request to the shared disk queue (the §4.3 shared
+// queue: uncached, locked) and starts the disk if idle.
+func (d *Disk) submit(ctx *core.Ctx, args *core.Args) {
+	p := ctx.P()
+	req := &Request{
+		ID:     d.nextID,
+		Block:  args[0],
+		Write:  args[1] != 0,
+		Issuer: ctx.CallerProgram,
+	}
+	d.nextID++
+
+	d.queueLock.Acquire(p)
+	p.Access(d.queueAddr+16, 16, machine.SharedStore) // queue append
+	d.queue = append(d.queue, req)
+	d.requests[req.ID] = req
+	idle := p.Now() >= d.busyUntil
+	if idle {
+		// Idle disk: additionally the device driver process is put on
+		// the ready queue of the device's home processor (paper §4.3).
+		d.IdleStarts++
+		d.busyUntil = p.Now()
+		if d.driver.State() == proc.StateBlocked {
+			d.k.Sched().RemoteEnqueue(p, d.home, d.driver)
+		}
+	}
+	d.queueLock.Release(p)
+
+	// The head works through the queue in order, one block time each.
+	d.busyUntil += BlockTimeCycles
+	req.DoneAt = d.busyUntil
+	req.started = true
+	d.Submitted++
+
+	args[0] = req.ID
+	args.SetRC(core.RCOK)
+}
+
+// complete marks a request finished; invoked via interrupt dispatch.
+func (d *Disk) complete(ctx *core.Ctx, args *core.Args) {
+	req, ok := d.requests[args[0]]
+	if !ok || !req.started {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	p := ctx.P()
+	d.queueLock.Acquire(p)
+	p.Access(d.queueAddr+16, 8, machine.SharedStore) // dequeue
+	for i, q := range d.queue {
+		if q == req {
+			copy(d.queue[i:], d.queue[i+1:])
+			d.queue = d.queue[:len(d.queue)-1]
+			break
+		}
+	}
+	d.queueLock.Release(p)
+	req.Done = true
+	d.Completed++
+	// An empty queue puts the driver back to sleep until the next
+	// idle start.
+	if len(d.queue) == 0 {
+		d.driver.SetState(proc.StateBlocked)
+	}
+	args.SetRC(core.RCOK)
+}
+
+// Driver exposes the device driver process (tests).
+func (d *Disk) Driver() *proc.Process { return d.driver }
+
+func (d *Disk) status(ctx *core.Ctx, args *core.Args) {
+	req, ok := d.requests[args[0]]
+	if !ok {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	args[1] = 0
+	if req.Done {
+		args[1] = 1
+	}
+	args.SetRC(core.RCOK)
+}
+
+// Submit issues a disk request. Submissions from processors other than
+// the device's home go through the cross-processor PPC path.
+func Submit(k *core.Kernel, d *Disk, c *core.Client, block uint32, write bool) (uint32, error) {
+	var args core.Args
+	args[0] = block
+	if write {
+		args[1] = 1
+	}
+	args.SetOp(OpSubmit, 0)
+	var err error
+	if c.P().ID() == d.home {
+		err = c.Call(d.EP(), &args)
+	} else {
+		err = k.CrossCall(c.P().ID(), d.home, d.EP(), &args)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return 0, fmt.Errorf("devserver: submit: %s", core.RCString(rc))
+	}
+	return args[0], nil
+}
+
+// RaiseCompletion simulates the device raising its completion interrupt
+// for request id: the home processor's clock is advanced to the
+// request's completion time and the interrupt is dispatched as an
+// asynchronous PPC to the device service (paper §4.4).
+func (d *Disk) RaiseCompletion(id uint32) error {
+	req, ok := d.requests[id]
+	if !ok {
+		return fmt.Errorf("devserver: unknown request %d", id)
+	}
+	p := d.k.Machine().Proc(d.home)
+	p.AdvanceTo(req.DoneAt)
+	var args core.Args
+	args[0] = id
+	args.SetOp(OpCompletion, 0)
+	if err := d.k.DispatchInterrupt(d.home, d.EP(), &args, d.k.Sched().Current(p)); err != nil {
+		return err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return fmt.Errorf("devserver: completion: %s", core.RCString(rc))
+	}
+	return nil
+}

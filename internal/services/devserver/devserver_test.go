@@ -1,0 +1,139 @@
+package devserver
+
+import (
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+func setup(t *testing.T, procs, home int) (*core.Kernel, *Disk) {
+	t.Helper()
+	k := core.NewKernel(machine.MustNew(procs, machine.DefaultParams()))
+	d, err := Install(k, home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, d
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	k, d := setup(t, 1, 0)
+	c := k.NewClientProgram("client", 0)
+
+	id, err := Submit(k, d, c, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Submitted != 1 || d.IdleStarts != 1 {
+		t.Fatalf("submitted=%d idleStarts=%d", d.Submitted, d.IdleStarts)
+	}
+
+	// The device raises its interrupt at the request's completion time.
+	if err := d.RaiseCompletion(id); err != nil {
+		t.Fatal(err)
+	}
+	if d.Completed != 1 {
+		t.Fatalf("completed = %d", d.Completed)
+	}
+	// Status via a normal PPC.
+	var args core.Args
+	args[0] = id
+	args.SetOp(OpStatus, 0)
+	if err := c.Call(d.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[1] != 1 {
+		t.Fatal("request not reported complete")
+	}
+	// The home processor's clock advanced past the disk service time.
+	if k.Machine().Proc(0).Now() < BlockTimeCycles {
+		t.Fatal("completion did not advance virtual time past the block service time")
+	}
+}
+
+func TestBusyDiskQueuesRequests(t *testing.T) {
+	k, d := setup(t, 1, 0)
+	c := k.NewClientProgram("client", 0)
+
+	id1, err := Submit(k, d, c, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := Submit(k, d, c, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := d.requests[id1], d.requests[id2]
+	if r2.DoneAt <= r1.DoneAt {
+		t.Fatalf("queued request must finish after its predecessor: %d vs %d", r2.DoneAt, r1.DoneAt)
+	}
+	if r2.DoneAt-r1.DoneAt != BlockTimeCycles {
+		t.Fatalf("head serialization wrong: gap %d", r2.DoneAt-r1.DoneAt)
+	}
+	if d.IdleStarts != 1 {
+		t.Fatalf("idle starts = %d, want 1 (second submit found disk busy)", d.IdleStarts)
+	}
+}
+
+func TestCrossProcessorSubmit(t *testing.T) {
+	// A client on processor 3 submits to the device on processor 0:
+	// the §4.3 cross-processor case via shared queue + remote interrupt.
+	k, d := setup(t, 4, 0)
+	c := k.NewClientProgram("client", 3)
+
+	crossBefore := k.Stats.CrossCalls
+	id, err := Submit(k, d, c, 55, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats.CrossCalls != crossBefore+1 {
+		t.Fatal("remote submit did not use the cross-processor path")
+	}
+	if err := d.RaiseCompletion(id); err != nil {
+		t.Fatal(err)
+	}
+	if !d.requests[id].Done {
+		t.Fatal("request not completed")
+	}
+}
+
+func TestInterruptLooksLikeNormalPPC(t *testing.T) {
+	k, d := setup(t, 1, 0)
+	c := k.NewClientProgram("client", 0)
+	id, err := Submit(k, d, c, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Service().Stats.Interrupts
+	if err := d.RaiseCompletion(id); err != nil {
+		t.Fatal(err)
+	}
+	if d.Service().Stats.Interrupts != before+1 {
+		t.Fatal("completion was not dispatched through the interrupt PPC variant")
+	}
+}
+
+func TestCompletionOfUnknownRequestFails(t *testing.T) {
+	_, d := setup(t, 1, 0)
+	if err := d.RaiseCompletion(424242); err == nil {
+		t.Fatal("unknown completion accepted")
+	}
+}
+
+func TestQueueLockSerializesSubmitters(t *testing.T) {
+	k, d := setup(t, 2, 0)
+	c0 := k.NewClientProgram("c0", 0)
+	// Two submitters; the second's lock acquisition is charged against
+	// the shared queue word.
+	if _, err := Submit(k, d, c0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	c1 := k.NewClientProgram("c1", 1)
+	if _, err := Submit(k, d, c1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if d.queueLock.Acquisitions < 2 {
+		t.Fatalf("lock acquisitions = %d", d.queueLock.Acquisitions)
+	}
+}

@@ -1,0 +1,60 @@
+package devserver
+
+import (
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+func TestIdleStartWakesDriver(t *testing.T) {
+	k, d := setup(t, 1, 0)
+	c := k.NewClientProgram("client", 0)
+	if d.Driver().State() != proc.StateBlocked {
+		t.Fatal("driver should start blocked")
+	}
+	if _, err := Submit(k, d, c, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	// Idle start put the driver on the home processor's ready queue.
+	if d.Driver().State() != proc.StateReady {
+		t.Fatalf("driver state = %v after idle start", d.Driver().State())
+	}
+	// A second submission to the now-busy disk does not requeue it.
+	enqueues := k.Sched().Enqueues
+	if _, err := Submit(k, d, c, 6, false); err != nil {
+		t.Fatal(err)
+	}
+	if k.Sched().Enqueues != enqueues {
+		t.Fatal("busy-disk submission should not requeue the driver")
+	}
+}
+
+func TestDriverReblocksWhenQueueDrains(t *testing.T) {
+	k, d := setup(t, 1, 0)
+	c := k.NewClientProgram("client", 0)
+	id, err := Submit(k, d, c, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseCompletion(id); err != nil {
+		t.Fatal(err)
+	}
+	// After the drain the driver is either parked (blocked) or was
+	// handed the CPU by the completion's resume path (running); it must
+	// not be left queued as ready work.
+	if st := d.Driver().State(); st == proc.StateReady {
+		t.Fatalf("driver left on the ready queue after drain (state %v)", st)
+	}
+	// The machine is consistent for further work.
+	var args core.Args
+	args[0] = id
+	args.SetOp(OpStatus, 0)
+	if err := c.Call(d.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if k.Machine().Proc(0).Mode() != machine.ModeUser {
+		t.Fatal("trap imbalance")
+	}
+}

@@ -1,0 +1,187 @@
+package fileserver
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+// Bulk data transfer (paper §4.2): the 8-word register interface cannot
+// carry file contents, so a client grants Bob access to a region of its
+// address space (through the CopyServer) and issues ReadBulk/WriteBulk
+// requests; Bob, acting as a client of the CopyServer, moves the bytes
+// with CopyTo/CopyFrom — "the actual transfer of data is done by a
+// separate CopyTo or CopyFrom request".
+
+// Bulk opcodes.
+const (
+	// OpReadBulk reads args[2] bytes at offset args[1] of file args[0]
+	// into the caller's granted buffer: args[3] = grant ID, args[4] =
+	// destination VA inside the grant.
+	OpReadBulk uint16 = 7
+	// OpWriteBulk writes args[2] bytes at offset args[1] of file
+	// args[0] from the caller's granted buffer (args[3] = grant,
+	// args[4] = source VA).
+	OpWriteBulk uint16 = 8
+)
+
+// CopyServer opcodes Bob uses as a client (mirrors the copyserver
+// package; duplicated to avoid an import cycle: copyserver does not
+// know about Bob, and Bob only needs the wire protocol).
+const (
+	copyOpFrom uint16 = 3
+	copyOpTo   uint16 = 4
+)
+
+// copyServerEP is discovered lazily through the name server-visible
+// kernel table; Bob caches it after SetCopyServer.
+func (b *Bob) SetCopyServer(ep core.EntryPointID) { b.copyEP = ep }
+
+// bulkStaging is the offset within the worker stack used to stage bulk
+// chunks (the top of the stack page serves as the transfer buffer —
+// another use of the recycled stack).
+const bulkChunk = 1024
+
+func (b *Bob) readBulk(ctx *core.Ctx, args *core.Args) {
+	f := b.lookup(ctx, args[0])
+	if f == nil || b.copyEP == 0 {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	off, size := int(args[1]), int(args[2])
+	grant, dstVA := args[3], args[4]
+	if size < 0 || off < 0 {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+
+	p := ctx.P()
+	f.lock.Acquire(p)
+	ctx.Exec(criticalInstrs)
+	p.Access(f.record, recordReadWords*4, machine.SharedLoad)
+	if off > len(f.data) {
+		off = len(f.data)
+	}
+	if off+size > len(f.data) {
+		size = len(f.data) - off
+	}
+	// Stage through the worker stack in chunks and push each chunk to
+	// the caller's granted region via CopyTo.
+	moved := 0
+	var copyErr error
+	for moved < size {
+		n := size - moved
+		if n > bulkChunk {
+			n = bulkChunk
+		}
+		// Read file bytes into the stack staging area.
+		ctx.Stack(0, n, machine.Store)
+		var req core.Args
+		req[0] = grant
+		req[1] = dstVA + uint32(moved)
+		req[2] = uint32(n)
+		req[3] = uint32(ctx.Worker().StackVA())
+		req.SetOp(copyOpTo, 0)
+		if copyErr = ctx.Call(b.copyEP, &req); copyErr != nil || req.RC() != core.RCOK {
+			break
+		}
+		moved += n
+	}
+	f.lock.Release(p)
+	b.Reads++
+	if copyErr != nil || moved != size {
+		args.SetRC(core.RCPermissionDenied)
+		return
+	}
+	args[1] = uint32(moved)
+	args.SetRC(core.RCOK)
+	// Host-side data motion mirrors the simulated one.
+	_ = f.data[off : off+size]
+}
+
+func (b *Bob) writeBulk(ctx *core.Ctx, args *core.Args) {
+	f := b.lookup(ctx, args[0])
+	if f == nil || b.copyEP == 0 {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	off, size := int(args[1]), int(args[2])
+	grant, srcVA := args[3], args[4]
+	if size < 0 || off < 0 {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+
+	p := ctx.P()
+	f.lock.Acquire(p)
+	ctx.Exec(criticalInstrs)
+	p.Access(f.record, recordReadWords*4, machine.SharedLoad)
+	p.Access(f.record, (recordWriteWords+1)*4, machine.SharedStore)
+	moved := 0
+	var copyErr error
+	for moved < size {
+		n := size - moved
+		if n > bulkChunk {
+			n = bulkChunk
+		}
+		var req core.Args
+		req[0] = grant
+		req[1] = srcVA + uint32(moved)
+		req[2] = uint32(n)
+		req[3] = uint32(ctx.Worker().StackVA())
+		req.SetOp(copyOpFrom, 0)
+		if copyErr = ctx.Call(b.copyEP, &req); copyErr != nil || req.RC() != core.RCOK {
+			break
+		}
+		// Write staged bytes into the file body.
+		ctx.Stack(0, n, machine.Load)
+		moved += n
+	}
+	if copyErr == nil && moved == size {
+		if need := off + size; need > len(f.data) {
+			f.data = append(f.data, make([]byte, need-len(f.data))...)
+		}
+		if uint32(off+size) > f.length {
+			f.length = uint32(off + size)
+		}
+	}
+	f.lock.Release(p)
+	b.Writes++
+	if copyErr != nil || moved != size {
+		args.SetRC(core.RCPermissionDenied)
+		return
+	}
+	args[1] = uint32(moved)
+	args.SetRC(core.RCOK)
+}
+
+// ReadBulk issues an OpReadBulk from client c: size bytes at offset of
+// the file behind token, delivered into [dstVA, dstVA+size) of the
+// region previously granted to Bob under grantID.
+func ReadBulk(c *core.Client, ep core.EntryPointID, token uint32, offset, size uint32, grantID uint32, dstVA machine.Addr) (uint32, error) {
+	var args core.Args
+	args[0], args[1], args[2], args[3], args[4] = token, offset, size, grantID, uint32(dstVA)
+	args.SetOp(OpReadBulk, 0)
+	if err := c.Call(ep, &args); err != nil {
+		return 0, err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return 0, fmt.Errorf("fileserver: readbulk: %s", core.RCString(rc))
+	}
+	return args[1], nil
+}
+
+// WriteBulk issues an OpWriteBulk from client c.
+func WriteBulk(c *core.Client, ep core.EntryPointID, token uint32, offset, size uint32, grantID uint32, srcVA machine.Addr) (uint32, error) {
+	var args core.Args
+	args[0], args[1], args[2], args[3], args[4] = token, offset, size, grantID, uint32(srcVA)
+	args.SetOp(OpWriteBulk, 0)
+	if err := c.Call(ep, &args); err != nil {
+		return 0, err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return 0, fmt.Errorf("fileserver: writebulk: %s", core.RCString(rc))
+	}
+	return args[1], nil
+}

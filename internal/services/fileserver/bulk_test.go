@@ -1,0 +1,154 @@
+package fileserver
+
+import (
+	"testing"
+
+	"hurricane/internal/addrspace"
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/services/copyserver"
+)
+
+// bulkEnv wires Bob to a CopyServer and gives the client a granted
+// buffer.
+type bulkEnv struct {
+	k      *core.Kernel
+	bob    *Bob
+	cs     *copyserver.CopyServer
+	client *core.Client
+	bufVA  machine.Addr
+	grant  uint32
+	tok    uint32
+}
+
+func setupBulk(t *testing.T) *bulkEnv {
+	t.Helper()
+	k := core.NewKernel(machine.MustNew(2, machine.DefaultParams()))
+	cs, err := copyserver.Install(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := Install(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.SetCopyServer(cs.EP())
+
+	client := k.NewClientProgram("client", 0)
+	bufVA := machine.Addr(0x00400000)
+	ps := k.Layout().PageSize()
+	for i := 0; i < 2; i++ {
+		frame := k.Layout().GetFrame(0)
+		k.VM().Map(client.P(), client.Process().Space(), bufVA+machine.Addr(i*ps), frame, addrspace.RW)
+	}
+	// Grant Bob (the server program) read+write on the buffer.
+	grant, err := copyserver.Grant(client, cs.EP(), bob.Service().Server().ProgramID(), bufVA, uint32(2*ps), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := Open(client, bob.EP(), "blob", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bulkEnv{k: k, bob: bob, cs: cs, client: client, bufVA: bufVA, grant: grant, tok: tok}
+}
+
+func TestWriteBulkThenReadBulk(t *testing.T) {
+	e := setupBulk(t)
+	// Write 3000 bytes from the granted buffer into the file.
+	n, err := WriteBulk(e.client, e.bob.EP(), e.tok, 0, 3000, e.grant, e.bufVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3000 {
+		t.Fatalf("wrote %d", n)
+	}
+	length, err := GetLength(e.client, e.bob.EP(), e.tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 3000 {
+		t.Fatalf("length = %d", length)
+	}
+	// Read 2048 back into the second half of the buffer.
+	n, err = ReadBulk(e.client, e.bob.EP(), e.tok, 0, 2048, e.grant, e.bufVA+4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2048 {
+		t.Fatalf("read %d", n)
+	}
+	// The transfers went through the CopyServer in 1 KB chunks.
+	if e.cs.Copies != 3+2 {
+		t.Fatalf("CopyServer.Copies = %d, want 5", e.cs.Copies)
+	}
+	if e.cs.BytesCopied != 3000+2048 {
+		t.Fatalf("BytesCopied = %d", e.cs.BytesCopied)
+	}
+}
+
+func TestReadBulkTruncatesAtEOF(t *testing.T) {
+	e := setupBulk(t)
+	if _, err := WriteBulk(e.client, e.bob.EP(), e.tok, 0, 100, e.grant, e.bufVA); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReadBulk(e.client, e.bob.EP(), e.tok, 40, 500, e.grant, e.bufVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("read %d past EOF, want 60", n)
+	}
+}
+
+func TestBulkWithoutCopyServerRejected(t *testing.T) {
+	k := core.NewKernel(machine.MustNew(1, machine.DefaultParams()))
+	bob, err := Install(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := k.NewClientProgram("client", 0)
+	tok, err := Open(c, bob.EP(), "f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBulk(c, bob.EP(), tok, 0, 64, 1, 0x00400000); err == nil {
+		t.Fatal("bulk op accepted without a CopyServer")
+	}
+}
+
+func TestBulkHonorsGrant(t *testing.T) {
+	e := setupBulk(t)
+	if _, err := WriteBulk(e.client, e.bob.EP(), e.tok, 0, 128, e.grant, e.bufVA); err != nil {
+		t.Fatal(err)
+	}
+	// A bogus grant ID fails cleanly (Bob's CopyTo is rejected by the
+	// CopyServer's permission check).
+	if _, err := ReadBulk(e.client, e.bob.EP(), e.tok, 0, 64, 9999, e.bufVA); err == nil {
+		t.Fatal("bulk read with bogus grant succeeded")
+	}
+	// Writes with a bogus grant fail too (CopyFrom rejected).
+	if _, err := WriteBulk(e.client, e.bob.EP(), e.tok, 0, 64, 9999, e.bufVA); err == nil {
+		t.Fatal("bulk write with bogus grant succeeded")
+	}
+}
+
+func TestBulkCostScalesWithSize(t *testing.T) {
+	e := setupBulk(t)
+	if _, err := WriteBulk(e.client, e.bob.EP(), e.tok, 0, 8000, e.grant, e.bufVA); err != nil {
+		t.Fatal(err)
+	}
+	cost := func(size uint32) int64 {
+		p := e.client.P()
+		before := p.Now()
+		if _, err := ReadBulk(e.client, e.bob.EP(), e.tok, 0, size, e.grant, e.bufVA); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now() - before
+	}
+	small := cost(256)
+	large := cost(4096)
+	if large <= small {
+		t.Fatalf("4 KB bulk read (%d cy) should cost more than 256 B (%d cy)", large, small)
+	}
+}

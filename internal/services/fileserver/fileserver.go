@@ -1,0 +1,365 @@
+// Package fileserver implements "Bob", the Hurricane file server used
+// in the paper's throughput experiment (Figure 3). Clients obtain a
+// token for an open file and issue GetLength requests against it; the
+// base sequential cost is about 66 us, roughly half attributable to the
+// IPC facility and half to the file server itself.
+//
+// File metadata is mutable (length, access time) and may be updated by
+// workers running on any processor; on the coherence-free Hector it
+// therefore lives in uncached memory guarded by a per-file spin lock.
+// Each file's record is homed on the node that opened it (first touch),
+// so independent clients working on different files stay local and
+// uncontended — the linear curve of Figure 3 — while all clients
+// hammering one file serialize on its lock and saturate — the dashed
+// curve.
+package fileserver
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+	"hurricane/internal/services/nameserver"
+)
+
+// File server opcodes.
+const (
+	// OpOpen opens (or with FlagCreate creates) the file named in
+	// args[0..2]; the token comes back in args[0].
+	OpOpen uint16 = 1
+	// OpGetLength returns the length of the file in args[0] into
+	// args[1] — the operation of Figure 3.
+	OpGetLength uint16 = 2
+	// OpSetLength truncates/extends the file in args[0] to args[1].
+	OpSetLength uint16 = 3
+	// OpRead reads up to 16 bytes at offset args[1] of file args[0]
+	// into args[2..5] (register-only transfer; bulk data goes through
+	// the CopyServer).
+	OpRead uint16 = 4
+	// OpWrite writes up to 16 bytes from args[2..5] at offset args[1].
+	OpWrite uint16 = 5
+	// OpClose closes the token in args[0].
+	OpClose uint16 = 6
+)
+
+// FlagCreate makes OpOpen create the file if it does not exist.
+const FlagCreate uint16 = 1
+
+// ServiceName is the name Bob registers with the name server.
+const ServiceName = "bob"
+
+// Calibration of the simulated server work, chosen so that the
+// sequential GetLength costs ~33 us of server time (half the paper's
+// 66 us base) and the locked critical section is ~16 us — which is what
+// makes the single-file curve saturate at four processors, as in the
+// paper.
+const (
+	// handlerInstrs is the instruction footprint charged by the PPC
+	// facility for every request (dispatch, token validation).
+	handlerInstrs = 135
+	// lookupInstrs is charged for the open-file table probe.
+	lookupInstrs = 80
+	// criticalInstrs is executed while holding the file lock.
+	criticalInstrs = 100
+	// recordReadWords / recordWriteWords are the uncached metadata
+	// accesses inside the critical section (inode fields, access-time
+	// update).
+	recordReadWords  = 12
+	recordWriteWords = 3
+	// recordSize is the simulated size of a file metadata record.
+	recordSize = 64
+)
+
+// file is one open file.
+type file struct {
+	token  uint32
+	name   string
+	length uint32
+	data   []byte
+
+	record machine.Addr
+	lock   *locks.SpinLock
+	opens  int
+}
+
+// Bob is the file server instance.
+type Bob struct {
+	k    *core.Kernel
+	prog *core.Server
+	svc  *core.Service
+
+	// table is the open-file directory in the server's data region:
+	// read-mostly, cacheable.
+	table machine.Addr
+
+	files     map[uint32]*file
+	byName    map[string]*file
+	nextToken uint32
+
+	// copyEP is the CopyServer entry point for bulk transfers (§4.2);
+	// set via SetCopyServer.
+	copyEP core.EntryPointID
+
+	// Stats.
+	Opens, GetLengths, Reads, Writes int64
+}
+
+// Install creates Bob on the given node, binds his service, and
+// registers it with the name server if one is installed.
+func Install(k *core.Kernel, node int) (*Bob, error) {
+	prog := k.NewServerProgram("bob", node)
+	b := &Bob{
+		k:         k,
+		prog:      prog,
+		files:     make(map[uint32]*file),
+		byName:    make(map[string]*file),
+		nextToken: 1,
+	}
+	b.table = k.MapServerData(prog, 2)
+	svc, err := k.BindService(core.ServiceConfig{
+		Name:          ServiceName,
+		Server:        prog,
+		Handler:       b.handle,
+		HandlerInstrs: handlerInstrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.svc = svc
+	return b, nil
+}
+
+// Service returns Bob's bound service.
+func (b *Bob) Service() *core.Service { return b.svc }
+
+// FileLock returns the metadata lock of the named file, or nil if the
+// file does not exist. Exposed for contention diagnostics — the
+// single-file saturation of Figure 3 is this lock's doing.
+func (b *Bob) FileLock(name string) *locks.SpinLock {
+	f, ok := b.byName[name]
+	if !ok {
+		return nil
+	}
+	return f.lock
+}
+
+// EP returns Bob's entry point.
+func (b *Bob) EP() core.EntryPointID { return b.svc.EP() }
+
+// RegisterName registers Bob with the name server via a PPC call from
+// client c.
+func (b *Bob) RegisterName(c *core.Client) error {
+	return nameserver.Register(c, ServiceName, b.svc.EP())
+}
+
+// lookup charges the open-file table probe and returns the file.
+func (b *Bob) lookup(ctx *core.Ctx, token uint32) *file {
+	ctx.Exec(lookupInstrs)
+	ctx.Access(b.table+machine.Addr((token%512)*8), 8, machine.Load)
+	return b.files[token]
+}
+
+// handle services Bob's requests.
+func (b *Bob) handle(ctx *core.Ctx, args *core.Args) {
+	switch core.Op(args[core.OpFlagsWord]) {
+	case OpOpen:
+		b.open(ctx, args)
+	case OpGetLength:
+		b.getLength(ctx, args)
+	case OpSetLength:
+		b.setLength(ctx, args)
+	case OpRead:
+		b.read(ctx, args)
+	case OpWrite:
+		b.write(ctx, args)
+	case OpClose:
+		b.close(ctx, args)
+	case OpReadBulk:
+		b.readBulk(ctx, args)
+	case OpWriteBulk:
+		b.writeBulk(ctx, args)
+	default:
+		args.SetRC(core.RCBadRequest)
+	}
+}
+
+func (b *Bob) open(ctx *core.Ctx, args *core.Args) {
+	name := nameserver.UnpackName(args)
+	flags := core.Flags(args[core.OpFlagsWord])
+	ctx.Exec(lookupInstrs)
+	f, ok := b.byName[name]
+	if !ok {
+		if flags&FlagCreate == 0 {
+			args.SetRC(core.RCBadRequest)
+			return
+		}
+		// First touch: the metadata record is homed on the opening
+		// processor's node, so the common client stays local.
+		node := ctx.P().ID()
+		record := b.k.Layout().AllocKernel(node, recordSize, recordSize)
+		f = &file{
+			token:  b.nextToken,
+			name:   name,
+			record: record,
+			lock:   locks.NewSpinLock("file."+name, record),
+		}
+		b.nextToken++
+		b.files[f.token] = f
+		b.byName[name] = f
+		ctx.Access(b.table+machine.Addr((f.token%512)*8), 8, machine.Store)
+	}
+	f.opens++
+	b.Opens++
+	args[0] = f.token
+	args.SetRC(core.RCOK)
+}
+
+func (b *Bob) getLength(ctx *core.Ctx, args *core.Args) {
+	f := b.lookup(ctx, args[0])
+	if f == nil {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	p := ctx.P()
+	f.lock.Acquire(p)
+	ctx.Exec(criticalInstrs)
+	p.Access(f.record, recordReadWords*4, machine.SharedLoad)
+	p.Access(f.record+recordSize-recordWriteWords*4, recordWriteWords*4, machine.SharedStore) // atime update
+	length := f.length
+	f.lock.Release(p)
+	b.GetLengths++
+	args[1] = length
+	args.SetRC(core.RCOK)
+}
+
+func (b *Bob) setLength(ctx *core.Ctx, args *core.Args) {
+	f := b.lookup(ctx, args[0])
+	if f == nil {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	p := ctx.P()
+	f.lock.Acquire(p)
+	ctx.Exec(criticalInstrs)
+	p.Access(f.record, recordReadWords*4, machine.SharedLoad)
+	p.Access(f.record, (recordWriteWords+1)*4, machine.SharedStore)
+	f.length = args[1]
+	if int(f.length) < len(f.data) {
+		f.data = f.data[:f.length]
+	}
+	f.lock.Release(p)
+	args.SetRC(core.RCOK)
+}
+
+func (b *Bob) read(ctx *core.Ctx, args *core.Args) {
+	f := b.lookup(ctx, args[0])
+	if f == nil {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	off := int(args[1])
+	p := ctx.P()
+	f.lock.Acquire(p)
+	ctx.Exec(criticalInstrs)
+	p.Access(f.record, recordReadWords*4, machine.SharedLoad)
+	var out [16]byte
+	n := 0
+	if off < len(f.data) {
+		n = copy(out[:], f.data[off:])
+	}
+	f.lock.Release(p)
+	b.Reads++
+	for i := 0; i < 4; i++ {
+		args[2+i] = uint32(out[4*i]) | uint32(out[4*i+1])<<8 | uint32(out[4*i+2])<<16 | uint32(out[4*i+3])<<24
+	}
+	args[1] = uint32(n)
+	args.SetRC(core.RCOK)
+}
+
+func (b *Bob) write(ctx *core.Ctx, args *core.Args) {
+	f := b.lookup(ctx, args[0])
+	if f == nil {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	off := int(args[1])
+	var in [16]byte
+	for i := 0; i < 4; i++ {
+		w := args[2+i]
+		in[4*i], in[4*i+1], in[4*i+2], in[4*i+3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+	}
+	p := ctx.P()
+	f.lock.Acquire(p)
+	ctx.Exec(criticalInstrs)
+	p.Access(f.record, recordReadWords*4, machine.SharedLoad)
+	p.Access(f.record, (recordWriteWords+1)*4, machine.SharedStore)
+	if need := off + 16; need > len(f.data) {
+		f.data = append(f.data, make([]byte, need-len(f.data))...)
+	}
+	copy(f.data[off:], in[:])
+	if uint32(off+16) > f.length {
+		f.length = uint32(off + 16)
+	}
+	f.lock.Release(p)
+	b.Writes++
+	args.SetRC(core.RCOK)
+}
+
+func (b *Bob) close(ctx *core.Ctx, args *core.Args) {
+	f := b.lookup(ctx, args[0])
+	if f == nil {
+		args.SetRC(core.RCBadRequest)
+		return
+	}
+	f.opens--
+	args.SetRC(core.RCOK)
+}
+
+// Open opens (creating if asked) a file via a PPC call from client c.
+func Open(c *core.Client, ep core.EntryPointID, name string, create bool) (uint32, error) {
+	var args core.Args
+	if err := nameserver.PackName(&args, name); err != nil {
+		return 0, err
+	}
+	var flags uint16
+	if create {
+		flags = FlagCreate
+	}
+	args.SetOp(OpOpen, flags)
+	if err := c.Call(ep, &args); err != nil {
+		return 0, err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return 0, fmt.Errorf("fileserver: open %q: %s", name, core.RCString(rc))
+	}
+	return args[0], nil
+}
+
+// GetLength issues the Figure 3 request via a PPC call from client c.
+func GetLength(c *core.Client, ep core.EntryPointID, token uint32) (uint32, error) {
+	var args core.Args
+	args[0] = token
+	args.SetOp(OpGetLength, 0)
+	if err := c.Call(ep, &args); err != nil {
+		return 0, err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return 0, fmt.Errorf("fileserver: getlength: %s", core.RCString(rc))
+	}
+	return args[1], nil
+}
+
+// SetLength sets a file's length via a PPC call from client c.
+func SetLength(c *core.Client, ep core.EntryPointID, token, length uint32) error {
+	var args core.Args
+	args[0], args[1] = token, length
+	args.SetOp(OpSetLength, 0)
+	if err := c.Call(ep, &args); err != nil {
+		return err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return fmt.Errorf("fileserver: setlength: %s", core.RCString(rc))
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package fileserver
+
+import (
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/services/nameserver"
+)
+
+func setup(t *testing.T, procs int) (*core.Kernel, *Bob, *core.Client) {
+	t.Helper()
+	k := core.NewKernel(machine.MustNew(procs, machine.DefaultParams()))
+	if _, err := nameserver.Install(k, 0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Install(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, b, k.NewClientProgram("client", 0)
+}
+
+func TestOpenCreateAndGetLength(t *testing.T) {
+	_, b, c := setup(t, 1)
+	tok, err := Open(c, b.EP(), "readme", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := GetLength(c, b.EP(), tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("fresh file length = %d", n)
+	}
+	if err := SetLength(c, b.EP(), tok, 4096); err != nil {
+		t.Fatal(err)
+	}
+	n, err = GetLength(c, b.EP(), tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4096 {
+		t.Fatalf("length = %d, want 4096", n)
+	}
+}
+
+func TestOpenWithoutCreateFails(t *testing.T) {
+	_, b, c := setup(t, 1)
+	if _, err := Open(c, b.EP(), "ghost", false); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}
+
+func TestOpenExistingSharesToken(t *testing.T) {
+	k, b, c := setup(t, 2)
+	tok1, err := Open(c, b.EP(), "shared", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := k.NewClientProgram("client2", 1)
+	tok2, err := Open(c2, b.EP(), "shared", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1 != tok2 {
+		t.Fatalf("same file, different tokens: %d vs %d", tok1, tok2)
+	}
+}
+
+func TestGetLengthBadToken(t *testing.T) {
+	_, b, c := setup(t, 1)
+	if _, err := GetLength(c, b.EP(), 999); err == nil {
+		t.Fatal("bad token accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	_, b, c := setup(t, 1)
+	tok, err := Open(c, b.EP(), "data", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var args core.Args
+	args[0], args[1] = tok, 0
+	copy16 := func(s string) {
+		var buf [16]byte
+		copy(buf[:], s)
+		for i := 0; i < 4; i++ {
+			args[2+i] = uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 | uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24
+		}
+	}
+	copy16("hello, hurricane")
+	args.SetOp(OpWrite, 0)
+	if err := c.Call(b.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCOK {
+		t.Fatalf("write rc = %s", core.RCString(args.RC()))
+	}
+
+	args = core.Args{}
+	args[0], args[1] = tok, 0
+	args.SetOp(OpRead, 0)
+	if err := c.Call(b.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args.RC() != core.RCOK || args[1] != 16 {
+		t.Fatalf("read rc=%s n=%d", core.RCString(args.RC()), args[1])
+	}
+	var got [16]byte
+	for i := 0; i < 4; i++ {
+		w := args[2+i]
+		got[4*i], got[4*i+1], got[4*i+2], got[4*i+3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+	}
+	if string(got[:]) != "hello, hurricane" {
+		t.Fatalf("read back %q", got)
+	}
+
+	n, err := GetLength(c, b.EP(), tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("length after write = %d", n)
+	}
+}
+
+func TestNameServerDiscovery(t *testing.T) {
+	_, b, c := setup(t, 1)
+	if err := b.RegisterName(c); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := nameserver.Lookup(c, ServiceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != b.EP() {
+		t.Fatalf("lookup = %d, want %d", ep, b.EP())
+	}
+}
+
+func TestFileRecordHomedOnOpeningNode(t *testing.T) {
+	k, b, _ := setup(t, 4)
+	c2 := k.NewClientProgram("c2", 2)
+	if _, err := Open(c2, b.EP(), "mine", true); err != nil {
+		t.Fatal(err)
+	}
+	f := b.byName["mine"]
+	if f.record.Home() != 2 {
+		t.Fatalf("record homed on node %d, want 2 (first touch)", f.record.Home())
+	}
+}
+
+func TestGetLengthSequentialCostNearPaper(t *testing.T) {
+	// The paper's base: a sequential GetLength costs ~66 us, with half
+	// in the IPC facility and half in the file server.
+	_, b, c := setup(t, 1)
+	tok, err := Open(c, b.EP(), "f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up.
+	for i := 0; i < 4; i++ {
+		if _, err := GetLength(c, b.EP(), tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := c.P()
+	before := p.Now()
+	if _, err := GetLength(c, b.EP(), tok); err != nil {
+		t.Fatal(err)
+	}
+	us := p.Params().CyclesToMicros(p.Now() - before)
+	if us < 50 || us > 85 {
+		t.Fatalf("sequential GetLength = %.1f us, want ~66 (band [50,85])", us)
+	}
+}
+
+func TestGetLengthServerShareOfCost(t *testing.T) {
+	_, b, c := setup(t, 1)
+	tok, err := Open(c, b.EP(), "f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := GetLength(c, b.EP(), tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := c.P()
+	p.ResetAccount()
+	before := p.Now()
+	if _, err := GetLength(c, b.EP(), tok); err != nil {
+		t.Fatal(err)
+	}
+	total := p.Now() - before
+	server := p.Account()[machine.CatServerTime]
+	frac := float64(server) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("server share = %.0f%%, want ~half", frac*100)
+	}
+}
+
+func TestConcurrentGetLengthDifferentFilesStaysUncontended(t *testing.T) {
+	k, b, _ := setup(t, 4)
+	for i := 0; i < 4; i++ {
+		c := k.NewClientProgram("c", i)
+		tok, err := Open(c, b.EP(), "file"+string(rune('0'+i)), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := GetLength(c, b.EP(), tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range b.files {
+		if f.lock.Contentions != 0 {
+			t.Fatalf("file %s lock contended %d times", f.name, f.lock.Contentions)
+		}
+	}
+}

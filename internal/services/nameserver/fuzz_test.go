@@ -1,0 +1,31 @@
+package nameserver
+
+import (
+	"strings"
+	"testing"
+
+	"hurricane/internal/core"
+)
+
+// FuzzPackName checks that any NUL-free name that PackName accepts
+// round-trips exactly through the register encoding.
+func FuzzPackName(f *testing.F) {
+	for _, seed := range []string{"bob", "disk", "a", "twelve-chars", "x y z", "ñame"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		var args core.Args
+		err := PackName(&args, name)
+		if err != nil {
+			// Must only reject on length or NUL grounds.
+			okLen := len(name) >= 1 && len(name) <= MaxNameLen
+			if okLen && !strings.ContainsRune(name, 0) {
+				t.Fatalf("valid name %q rejected: %v", name, err)
+			}
+			return
+		}
+		if got := UnpackName(&args); got != name {
+			t.Fatalf("round trip %q -> %q", name, got)
+		}
+	})
+}

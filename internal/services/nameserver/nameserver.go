@@ -1,0 +1,222 @@
+// Package nameserver implements the Hurricane name server (paper
+// §4.5.5): a user-level server at a well-known entry point that maps
+// service names to entry-point IDs. A program that becomes a PPC server
+// first obtains an entry point from Frank, then registers the ID here;
+// clients look the ID up once and use it directly on subsequent calls
+// (requests are directed to the server, which locates the object from
+// its arguments — the V/L3 style, not the Mach/Spring object-capability
+// style).
+package nameserver
+
+import (
+	"fmt"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+// Name server opcodes.
+const (
+	// OpRegister binds the packed name in args[0..2] to the entry
+	// point in args[3].
+	OpRegister uint16 = 1
+	// OpLookup resolves the packed name in args[0..2]; the entry point
+	// comes back in args[0].
+	OpLookup uint16 = 2
+	// OpUnregister removes the binding for the packed name.
+	OpUnregister uint16 = 3
+)
+
+// MaxNameLen is the longest service name: three argument words.
+const MaxNameLen = 12
+
+// nameWords is how many argument words carry the name.
+const nameWords = 3
+
+// PackName encodes a service name into argument words 0..2. Names are
+// NUL-terminated on the wire, so NUL bytes are rejected.
+func PackName(args *core.Args, name string) error {
+	if len(name) == 0 || len(name) > MaxNameLen {
+		return fmt.Errorf("nameserver: name %q length out of range [1,%d]", name, MaxNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == 0 {
+			return fmt.Errorf("nameserver: name contains NUL")
+		}
+	}
+	var buf [MaxNameLen]byte
+	copy(buf[:], name)
+	for i := 0; i < nameWords; i++ {
+		args[i] = uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 | uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24
+	}
+	return nil
+}
+
+// UnpackName decodes a packed service name from argument words 0..2.
+func UnpackName(args *core.Args) string {
+	var buf [MaxNameLen]byte
+	for i := 0; i < nameWords; i++ {
+		w := args[i]
+		buf[4*i] = byte(w)
+		buf[4*i+1] = byte(w >> 8)
+		buf[4*i+2] = byte(w >> 16)
+		buf[4*i+3] = byte(w >> 24)
+	}
+	n := 0
+	for n < MaxNameLen && buf[n] != 0 {
+		n++
+	}
+	return string(buf[:n])
+}
+
+// Server is the name server instance.
+type Server struct {
+	k   *core.Kernel
+	svc *core.Service
+
+	// Host-side directory; the simulated cost of the hash-table probe
+	// is charged against the data region below.
+	names map[string]core.EntryPointID
+
+	// table is the simulated hash table in the server's data region.
+	table   machine.Addr
+	buckets uint32
+
+	Registrations int64
+	Lookups       int64
+	Misses        int64
+}
+
+// tableBuckets is the simulated hash-table size.
+const tableBuckets = 256
+
+// Install creates the name server program, binds it to its well-known
+// entry point, and returns it. node selects where the server's data
+// (and page tables) live.
+func Install(k *core.Kernel, node int) (*Server, error) {
+	prog := k.NewServerProgram("nameserver", node)
+	ns := &Server{
+		k:       k,
+		names:   make(map[string]core.EntryPointID),
+		buckets: tableBuckets,
+	}
+	ns.table = k.MapServerData(prog, 1)
+	svc, err := k.BindService(core.ServiceConfig{
+		Name:          "nameserver",
+		Server:        prog,
+		Handler:       ns.handle,
+		HandlerInstrs: 30,
+		EP:            core.NameServerEP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns.svc = svc
+	return ns, nil
+}
+
+// Service returns the bound service.
+func (ns *Server) Service() *core.Service { return ns.svc }
+
+// hash is a deterministic string hash for bucket selection.
+func hash(name string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return h
+}
+
+// handle services Register/Lookup/Unregister requests.
+func (ns *Server) handle(ctx *core.Ctx, args *core.Args) {
+	name := UnpackName(args)
+	// Probe the simulated hash bucket (read-mostly data: cacheable).
+	bucket := hash(name) % ns.buckets
+	ctx.Access(ns.table+machine.Addr(bucket*8), 8, machine.Load)
+	ctx.Exec(12)
+
+	switch core.Op(args[core.OpFlagsWord]) {
+	case OpRegister:
+		if name == "" {
+			args.SetRC(core.RCBadRequest)
+			return
+		}
+		if _, dup := ns.names[name]; dup {
+			args.SetRC(core.RCBadRequest)
+			return
+		}
+		ctx.Access(ns.table+machine.Addr(bucket*8), 8, machine.Store)
+		ns.names[name] = core.EntryPointID(args[nameWords])
+		ns.Registrations++
+		args.SetRC(core.RCOK)
+	case OpLookup:
+		ep, ok := ns.names[name]
+		ns.Lookups++
+		if !ok {
+			ns.Misses++
+			args.SetRC(core.RCBadEntryPoint)
+			return
+		}
+		args[0] = uint32(ep)
+		args.SetRC(core.RCOK)
+	case OpUnregister:
+		if _, ok := ns.names[name]; !ok {
+			args.SetRC(core.RCBadEntryPoint)
+			return
+		}
+		ctx.Access(ns.table+machine.Addr(bucket*8), 8, machine.Store)
+		delete(ns.names, name)
+		args.SetRC(core.RCOK)
+	default:
+		args.SetRC(core.RCBadRequest)
+	}
+}
+
+// Register binds name to ep through a genuine PPC call from client c.
+func Register(c *core.Client, name string, ep core.EntryPointID) error {
+	var args core.Args
+	if err := PackName(&args, name); err != nil {
+		return err
+	}
+	args[nameWords] = uint32(ep)
+	args.SetOp(OpRegister, 0)
+	if err := c.Call(core.NameServerEP, &args); err != nil {
+		return err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return fmt.Errorf("nameserver: register %q: %s", name, core.RCString(rc))
+	}
+	return nil
+}
+
+// Lookup resolves name through a genuine PPC call from client c.
+func Lookup(c *core.Client, name string) (core.EntryPointID, error) {
+	var args core.Args
+	if err := PackName(&args, name); err != nil {
+		return 0, err
+	}
+	args.SetOp(OpLookup, 0)
+	if err := c.Call(core.NameServerEP, &args); err != nil {
+		return 0, err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return 0, fmt.Errorf("nameserver: lookup %q: %s", name, core.RCString(rc))
+	}
+	return core.EntryPointID(args[0]), nil
+}
+
+// Unregister removes name through a genuine PPC call from client c.
+func Unregister(c *core.Client, name string) error {
+	var args core.Args
+	if err := PackName(&args, name); err != nil {
+		return err
+	}
+	args.SetOp(OpUnregister, 0)
+	if err := c.Call(core.NameServerEP, &args); err != nil {
+		return err
+	}
+	if rc := args.RC(); rc != core.RCOK {
+		return fmt.Errorf("nameserver: unregister %q: %s", name, core.RCString(rc))
+	}
+	return nil
+}

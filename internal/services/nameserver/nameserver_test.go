@@ -1,0 +1,155 @@
+package nameserver
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+)
+
+func setup(t *testing.T, procs int) (*core.Kernel, *Server, *core.Client) {
+	t.Helper()
+	k := core.NewKernel(machine.MustNew(procs, machine.DefaultParams()))
+	ns, err := Install(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, ns, k.NewClientProgram("client", 0)
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > MaxNameLen {
+			return true
+		}
+		// Names must be NUL-free for the packed encoding.
+		name := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			if b == 0 {
+				b = 'x'
+			}
+			name = append(name, b)
+		}
+		var args core.Args
+		if err := PackName(&args, string(name)); err != nil {
+			return false
+		}
+		return UnpackName(&args) == string(name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackNameBounds(t *testing.T) {
+	var args core.Args
+	if err := PackName(&args, ""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := PackName(&args, "12345678901234"); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+	if err := PackName(&args, "123456789012"); err != nil {
+		t.Fatalf("12-byte name rejected: %v", err)
+	}
+}
+
+func TestRegisterLookupUnregister(t *testing.T) {
+	_, ns, c := setup(t, 1)
+	if err := Register(c, "bob", 42); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Lookup(c, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != 42 {
+		t.Fatalf("ep = %d, want 42", ep)
+	}
+	if err := Unregister(c, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup(c, "bob"); err == nil {
+		t.Fatal("lookup of unregistered name succeeded")
+	}
+	if ns.Registrations != 1 || ns.Lookups != 2 || ns.Misses != 1 {
+		t.Fatalf("stats: reg=%d lookups=%d misses=%d", ns.Registrations, ns.Lookups, ns.Misses)
+	}
+}
+
+func TestDuplicateRegisterRejected(t *testing.T) {
+	_, _, c := setup(t, 1)
+	if err := Register(c, "svc", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(c, "svc", 11); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestUnregisterUnknownFails(t *testing.T) {
+	_, _, c := setup(t, 1)
+	if err := Unregister(c, "ghost"); err == nil {
+		t.Fatal("unregister of unknown name succeeded")
+	}
+}
+
+func TestWellKnownEntryPoint(t *testing.T) {
+	k, ns, _ := setup(t, 1)
+	if ns.Service().EP() != core.NameServerEP {
+		t.Fatalf("name server at EP %d, want %d", ns.Service().EP(), core.NameServerEP)
+	}
+	if k.Service(core.NameServerEP) != ns.Service() {
+		t.Fatal("kernel does not resolve the well-known EP to the name server")
+	}
+}
+
+func TestLookupFromOtherProcessor(t *testing.T) {
+	k, _, c0 := setup(t, 2)
+	if err := Register(c0, "disk", 77); err != nil {
+		t.Fatal(err)
+	}
+	c1 := k.NewClientProgram("client1", 1)
+	ep, err := Lookup(c1, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != 77 {
+		t.Fatalf("cross-processor lookup = %d, want 77", ep)
+	}
+}
+
+func TestEndToEndDiscoveryFlow(t *testing.T) {
+	// The paper's full flow: obtain an EP from Frank, register it with
+	// the name server, have a client look it up and call the service.
+	k, _, owner := setup(t, 1)
+	prog := k.NewServerProgram("greeter.prog", 0)
+	svc, err := owner.CreateService(core.ServiceConfig{
+		Name:   "greeter",
+		Server: prog,
+		Handler: func(ctx *core.Ctx, args *core.Args) {
+			args[0] = 0x9e110
+			args.SetRC(core.RCOK)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(owner, "greeter", svc.EP()); err != nil {
+		t.Fatal(err)
+	}
+
+	client := k.NewClientProgram("user", 0)
+	ep, err := Lookup(client, "greeter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args core.Args
+	if err := client.Call(ep, &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 0x9e110 {
+		t.Fatalf("service reply = %#x", args[0])
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+)
+
+func TestLatencyStatsFixedCost(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	d := fixedCostDriver(m.Proc(0), 100)
+	res, err := Run(m, []Driver{d}, 10_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := 100 * m.Params().CycleNS() / 1000
+	l := res.Latency
+	if l.Samples != int(res.Total) {
+		t.Fatalf("samples = %d, total = %d", l.Samples, res.Total)
+	}
+	for name, got := range map[string]float64{
+		"min": l.MinMicros, "p50": l.P50Micros, "p99": l.P99Micros,
+		"max": l.MaxMicros, "mean": l.MeanMicros,
+	} {
+		if got < us*0.99 || got > us*1.01 {
+			t.Fatalf("%s = %.3f us, want %.3f (fixed-cost ops)", name, got, us)
+		}
+	}
+}
+
+func TestLatencyTailUnderContention(t *testing.T) {
+	// With a contended lock, the tail (p99/max) should stretch well
+	// past the median: some ops wait, most don't have to wait as long.
+	m := machine.MustNew(8, machine.DefaultParams())
+	lock := locks.NewSpinLock("g", machine.NodeBase(0)+0x100)
+	var drivers []Driver
+	for i := 0; i < 8; i++ {
+		p := m.Proc(i)
+		drivers = append(drivers, &DriverFunc{Proc: p, Fn: func(iter int) error {
+			p.Charge(50)
+			lock.Acquire(p)
+			p.Charge(200)
+			lock.Release(p)
+			return nil
+		}})
+	}
+	res, err := Run(m, drivers, 200_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Latency
+	if l.MaxMicros <= l.MinMicros {
+		t.Fatal("no latency spread under contention")
+	}
+	if l.P99Micros < l.P50Micros {
+		t.Fatal("p99 below p50")
+	}
+	// Ordering sanity.
+	if !(l.MinMicros <= l.P50Micros && l.P50Micros <= l.P99Micros && l.P99Micros <= l.MaxMicros) {
+		t.Fatalf("quantiles out of order: %+v", l)
+	}
+}
+
+func TestLatencyEmptyWindow(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	d := fixedCostDriver(m.Proc(0), 50_000) // op longer than window
+	res, err := Run(m, []Driver{d}, 1_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || res.Latency.Samples != 0 {
+		t.Fatalf("expected empty window, got total=%d samples=%d", res.Total, res.Latency.Samples)
+	}
+}

@@ -1,0 +1,210 @@
+// Package workload implements the deterministic discrete-event engine
+// behind the throughput experiments (Figure 3): independent client
+// drivers, one per processor, each looping a request. Cross-processor
+// interactions (spin locks, uncached shared words) are resolved in
+// virtual time by the locks package; the engine's only job is to
+// execute drivers in nondecreasing virtual-time order so that those
+// resolutions are causally consistent, and to count completed
+// operations inside a common measurement window.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"hurricane/internal/machine"
+)
+
+// Driver is one client of the throughput experiment.
+type Driver interface {
+	// P returns the processor this driver runs on.
+	P() *machine.Processor
+	// Step executes one operation, advancing P's clock.
+	Step(iter int) error
+}
+
+// DriverFunc adapts a function to the Driver interface.
+type DriverFunc struct {
+	Proc *machine.Processor
+	Fn   func(iter int) error
+}
+
+// P returns the driver's processor.
+func (d *DriverFunc) P() *machine.Processor { return d.Proc }
+
+// Step runs one operation.
+func (d *DriverFunc) Step(iter int) error { return d.Fn(iter) }
+
+// Result is the outcome of a run.
+type Result struct {
+	// HorizonCycles is the measurement window length.
+	HorizonCycles int64
+	// Completed[i] is how many operations driver i finished inside the
+	// window.
+	Completed []int64
+	// Total is the sum of Completed.
+	Total int64
+	// CallsPerSecond is the aggregate throughput.
+	CallsPerSecond float64
+	// MeanLatencyMicros is the average per-operation latency observed
+	// during the window (window time with idle included, divided by
+	// completions, per driver, averaged).
+	MeanLatencyMicros float64
+	// Latency summarizes the distribution of individual operation
+	// latencies (including lock waits) inside the window.
+	Latency LatencyStats
+}
+
+// LatencyStats summarizes per-operation latency in microseconds.
+type LatencyStats struct {
+	MinMicros  float64
+	P50Micros  float64
+	P99Micros  float64
+	MaxMicros  float64
+	MeanMicros float64
+	Samples    int
+}
+
+// computeLatency builds the summary from raw per-op cycle durations.
+func computeLatency(durations []int64, cycleNS float64) LatencyStats {
+	if len(durations) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	toUS := func(c int64) float64 { return float64(c) * cycleNS / 1000 }
+	var sum int64
+	for _, d := range durations {
+		sum += d
+	}
+	pick := func(q float64) int64 {
+		idx := int(q * float64(len(durations)-1))
+		return durations[idx]
+	}
+	return LatencyStats{
+		MinMicros:  toUS(durations[0]),
+		P50Micros:  toUS(pick(0.50)),
+		P99Micros:  toUS(pick(0.99)),
+		MaxMicros:  toUS(durations[len(durations)-1]),
+		MeanMicros: toUS(sum) / float64(len(durations)),
+		Samples:    len(durations),
+	}
+}
+
+// Run executes the drivers for a measurement window of horizonCycles,
+// after warmup un-counted iterations each. Drivers are stepped in
+// nondecreasing virtual-time order (ties broken by index) — a
+// conservative discrete-event schedule under which the virtual-time
+// lock model is causally consistent. Each driver must own its
+// processor; use RunTimeShared for multiprogrammed processors.
+func Run(m *machine.Machine, drivers []Driver, horizonCycles int64, warmup int) (Result, error) {
+	seen := make(map[int]bool, len(drivers))
+	for _, d := range drivers {
+		id := d.P().ID()
+		if seen[id] {
+			return Result{}, fmt.Errorf("workload: two drivers on processor %d (use RunTimeShared)", id)
+		}
+		seen[id] = true
+	}
+	return RunTimeShared(m, drivers, horizonCycles, warmup)
+}
+
+// RunTimeShared is Run without the one-driver-per-processor
+// restriction: drivers sharing a processor share its clock, so the
+// min-time schedule naturally interleaves them call by call — the
+// "large number of different programs" population of the paper's
+// introduction, time-sharing the machine.
+func RunTimeShared(m *machine.Machine, drivers []Driver, horizonCycles int64, warmup int) (Result, error) {
+	if len(drivers) == 0 {
+		return Result{}, fmt.Errorf("workload: no drivers")
+	}
+	if horizonCycles <= 0 {
+		return Result{}, fmt.Errorf("workload: non-positive horizon")
+	}
+
+	// Warmup: round-robin in time order so virtual clocks stay close.
+	iters := make([]int, len(drivers))
+	for w := 0; w < warmup; w++ {
+		for _, i := range timeOrder(drivers) {
+			if err := drivers[i].Step(iters[i]); err != nil {
+				return Result{}, fmt.Errorf("workload: warmup driver %d: %w", i, err)
+			}
+			iters[i]++
+		}
+	}
+
+	// Align all clocks to a common start.
+	var start int64
+	for _, d := range drivers {
+		if now := d.P().Now(); now > start {
+			start = now
+		}
+	}
+	for _, d := range drivers {
+		d.P().AdvanceTo(start)
+	}
+	end := start + horizonCycles
+
+	completed := make([]int64, len(drivers))
+	var durations []int64
+	for {
+		// Pick the earliest driver still inside the window.
+		best := -1
+		var bestTime int64
+		for i, d := range drivers {
+			now := d.P().Now()
+			if now >= end {
+				continue
+			}
+			if best == -1 || now < bestTime {
+				best, bestTime = i, now
+			}
+		}
+		if best == -1 {
+			break
+		}
+		d := drivers[best]
+		opStart := d.P().Now()
+		if err := d.Step(iters[best]); err != nil {
+			return Result{}, fmt.Errorf("workload: driver %d: %w", best, err)
+		}
+		iters[best]++
+		if d.P().Now() <= end {
+			completed[best]++
+			durations = append(durations, d.P().Now()-opStart)
+		}
+	}
+
+	res := Result{HorizonCycles: horizonCycles, Completed: completed}
+	for _, c := range completed {
+		res.Total += c
+	}
+	windowSec := float64(horizonCycles) * m.Params().CycleNS() / 1e9
+	res.CallsPerSecond = float64(res.Total) / windowSec
+	if res.Total > 0 {
+		res.MeanLatencyMicros = float64(horizonCycles) * m.Params().CycleNS() / 1000 * float64(len(drivers)) / float64(res.Total)
+	}
+	res.Latency = computeLatency(durations, m.Params().CycleNS())
+	return res, nil
+}
+
+// timeOrder returns driver indices sorted by current virtual time
+// (stable on ties by index).
+func timeOrder(drivers []Driver) []int {
+	idx := make([]int, len(drivers))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort: n <= 16.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			ta, tb := drivers[a].P().Now(), drivers[b].P().Now()
+			if ta > tb || (ta == tb && a > b) {
+				idx[j-1], idx[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"hurricane/internal/locks"
+	"hurricane/internal/machine"
+)
+
+func fixedCostDriver(p *machine.Processor, cost int64) Driver {
+	return &DriverFunc{Proc: p, Fn: func(iter int) error {
+		p.Charge(cost)
+		return nil
+	}}
+}
+
+func TestSingleDriverThroughput(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	d := fixedCostDriver(m.Proc(0), 100)
+	res, err := Run(m, []Driver{d}, 10_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 100 {
+		t.Fatalf("Total = %d, want 100 (10000/100)", res.Total)
+	}
+	// 100 ops in 10k cycles at 60 ns/cycle = 100 / 600 us.
+	wantCPS := 100.0 / (10_000 * m.Params().CycleNS() / 1e9) / 1 // exact
+	if res.CallsPerSecond < wantCPS*0.99 || res.CallsPerSecond > wantCPS*1.01 {
+		t.Fatalf("CPS = %.0f, want %.0f", res.CallsPerSecond, wantCPS)
+	}
+}
+
+func TestIndependentDriversScaleLinearly(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		m := machine.MustNew(n, machine.DefaultParams())
+		var drivers []Driver
+		for i := 0; i < n; i++ {
+			drivers = append(drivers, fixedCostDriver(m.Proc(i), 100))
+		}
+		res, err := Run(m, drivers, 10_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != int64(n)*100 {
+			t.Fatalf("n=%d Total=%d, want %d", n, res.Total, n*100)
+		}
+	}
+}
+
+func TestLockBoundThroughputSaturates(t *testing.T) {
+	// Each op: 100 cycles unlocked + 100 cycles under one global lock.
+	// Aggregate throughput is capped near 1 op / ~105 cycles no matter
+	// how many processors run.
+	mkRes := func(n int) Result {
+		m := machine.MustNew(n, machine.DefaultParams())
+		lock := locks.NewSpinLock("g", machine.NodeBase(0)+0x100)
+		var drivers []Driver
+		for i := 0; i < n; i++ {
+			p := m.Proc(i)
+			drivers = append(drivers, &DriverFunc{Proc: p, Fn: func(iter int) error {
+				p.Charge(100)
+				lock.Acquire(p)
+				p.Charge(100)
+				lock.Release(p)
+				return nil
+			}})
+		}
+		res, err := Run(m, drivers, 100_000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := mkRes(1)
+	r8 := mkRes(8)
+	r16 := mkRes(16)
+	if r8.Total < r1.Total {
+		t.Fatalf("8 procs (%d) below 1 proc (%d)", r8.Total, r1.Total)
+	}
+	// Saturation: 16 procs buys almost nothing over 8.
+	if float64(r16.Total) > float64(r8.Total)*1.15 {
+		t.Fatalf("lock-bound workload kept scaling: 8p=%d 16p=%d", r8.Total, r16.Total)
+	}
+	// And 8 procs is nowhere near 8x of 1.
+	if float64(r8.Total) > float64(r1.Total)*4 {
+		t.Fatalf("lock-bound workload scaled too well: 1p=%d 8p=%d", r1.Total, r8.Total)
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	run := func() int64 {
+		m := machine.MustNew(4, machine.DefaultParams())
+		lock := locks.NewSpinLock("g", machine.NodeBase(0)+0x100)
+		var drivers []Driver
+		for i := 0; i < 4; i++ {
+			p := m.Proc(i)
+			cost := int64(90 + 10*i)
+			drivers = append(drivers, &DriverFunc{Proc: p, Fn: func(iter int) error {
+				p.Charge(cost)
+				lock.Acquire(p)
+				p.Charge(50)
+				lock.Release(p)
+				return nil
+			}})
+		}
+		res, err := Run(m, drivers, 50_000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := machine.MustNew(2, machine.DefaultParams())
+	if _, err := Run(m, nil, 1000, 0); err == nil {
+		t.Fatal("no drivers accepted")
+	}
+	d := fixedCostDriver(m.Proc(0), 10)
+	if _, err := Run(m, []Driver{d}, 0, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	d2 := fixedCostDriver(m.Proc(0), 10)
+	if _, err := Run(m, []Driver{d, d2}, 1000, 0); err == nil {
+		t.Fatal("two drivers on one processor accepted")
+	}
+}
+
+func TestDriverErrorPropagates(t *testing.T) {
+	m := machine.MustNew(1, machine.DefaultParams())
+	boom := errors.New("boom")
+	p := m.Proc(0)
+	d := &DriverFunc{Proc: p, Fn: func(iter int) error {
+		p.Charge(10)
+		if iter == 3 {
+			return boom
+		}
+		return nil
+	}}
+	if _, err := Run(m, []Driver{d}, 1000, 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompletionCountingAtWindowEdge(t *testing.T) {
+	// An op that straddles the window end must not be counted.
+	m := machine.MustNew(1, machine.DefaultParams())
+	d := fixedCostDriver(m.Proc(0), 300)
+	res, err := Run(m, []Driver{d}, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 3 { // 3 full ops fit in 1000 cycles; the 4th ends at 1200
+		t.Fatalf("Total = %d, want 3", res.Total)
+	}
+}

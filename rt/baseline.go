@@ -1,0 +1,124 @@
+package rt
+
+import "sync"
+
+// This file implements the designs the paper argues against, as
+// baselines for the benchmarks: a central locked server (every call
+// takes one mutex and touches shared state — the direct uniprocessor
+// translation) and a channel server (every call is a message exchange
+// with a fixed pool of server goroutines — a message-passing facility).
+// Both are functionally equivalent to System.Call.
+
+// CentralServer is the locked baseline: one mutex, one shared
+// descriptor pool, shared counters. Its sequential cost is close to
+// the PPC-style path; its scaling is not.
+type CentralServer struct {
+	mu       sync.Mutex
+	handler  Handler
+	free     []*callDesc
+	calls    int64
+	scratchN int
+}
+
+// NewCentralServer creates the locked baseline around a handler.
+func NewCentralServer(h Handler, scratchBytes int) *CentralServer {
+	if h == nil {
+		panic("rt: nil handler")
+	}
+	if scratchBytes <= 0 {
+		scratchBytes = defaultScratchBytes
+	}
+	return &CentralServer{handler: h, scratchN: scratchBytes}
+}
+
+// Call services one request under the central lock.
+func (cs *CentralServer) Call(program uint32, args *Args) {
+	cs.mu.Lock()
+	var cd *callDesc
+	if n := len(cs.free); n > 0 {
+		cd = cs.free[n-1]
+		cs.free = cs.free[:n-1]
+	} else {
+		cd = &callDesc{scratch: make([]byte, cs.scratchN)}
+	}
+	cs.calls++
+	cs.mu.Unlock()
+
+	ctx := &cd.ctx
+	ctx.cd = cd
+	ctx.CallerProgram = program
+	cs.handler(ctx, args)
+
+	cs.mu.Lock()
+	cs.free = append(cs.free, cd)
+	cs.mu.Unlock()
+}
+
+// Calls returns the shared call counter.
+func (cs *CentralServer) Calls() int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.calls
+}
+
+// ChannelServer is the message-passing baseline: requests flow through
+// a channel to a fixed pool of server goroutines and replies flow back
+// through per-call channels. Concurrency is capped by the pool size,
+// and every call pays two channel handoffs (two scheduler round
+// trips).
+type ChannelServer struct {
+	reqs    chan chanReq
+	handler Handler
+	done    chan struct{}
+}
+
+type chanReq struct {
+	args    *Args
+	program uint32
+	reply   chan struct{}
+}
+
+// NewChannelServer starts workers goroutines servicing the channel.
+func NewChannelServer(h Handler, workers int) *ChannelServer {
+	if h == nil {
+		panic("rt: nil handler")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	cs := &ChannelServer{
+		reqs:    make(chan chanReq, workers*2),
+		handler: h,
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go cs.worker()
+	}
+	return cs
+}
+
+func (cs *ChannelServer) worker() {
+	scratch := make([]byte, defaultScratchBytes)
+	cd := &callDesc{scratch: scratch}
+	for {
+		select {
+		case req := <-cs.reqs:
+			ctx := &cd.ctx
+			ctx.cd = cd
+			ctx.CallerProgram = req.program
+			cs.handler(ctx, req.args)
+			req.reply <- struct{}{}
+		case <-cs.done:
+			return
+		}
+	}
+}
+
+// Call sends the request and waits for the reply.
+func (cs *ChannelServer) Call(program uint32, args *Args, reply chan struct{}) {
+	cs.reqs <- chanReq{args: args, program: program, reply: reply}
+	<-reply
+}
+
+// Close stops the worker pool.
+func (cs *ChannelServer) Close() { close(cs.done) }

@@ -1,0 +1,188 @@
+package rt
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ctx is the handler execution context — the worker's view of a call.
+type Ctx struct {
+	sys *System
+	svc *Service
+	cd  *callDesc
+
+	// CallerProgram is the caller's identity for server-side
+	// authorization (§4.1).
+	CallerProgram uint32
+
+	async bool
+}
+
+// System returns the owning system.
+func (c *Ctx) System() *System { return c.sys }
+
+// Service returns the service being invoked.
+func (c *Ctx) Service() *Service { return c.svc }
+
+// IsAsync reports whether no caller is waiting.
+func (c *Ctx) IsAsync() bool { return c.async }
+
+// Scratch returns the per-call scratch buffer — the recycled "stack
+// page" this call borrowed from the shard pool. Contents do not survive
+// the call (the next caller of any service on this shard may get the
+// same buffer), exactly like the serially-shared physical stacks of the
+// paper; services that need private persistent state keep it elsewhere.
+func (c *Ctx) Scratch() []byte { return c.cd.scratch }
+
+// Shard returns the servicing shard index.
+func (c *Ctx) Shard() int { return c.cd.shard.id }
+
+// Call makes a nested synchronous call (the server acting as a client)
+// on the same shard.
+func (c *Ctx) Call(ep EntryPointID, args *Args) error {
+	return c.sys.callOn(c.cd.shard, ep, args, c.svc.epProgram(), false, nil)
+}
+
+// Client is a caller bound to one shard. Like a process bound to a
+// processor in the paper, a Client is intended for use by a single
+// goroutine; create one per calling goroutine (they are cheap).
+type Client struct {
+	sys     *System
+	shard   *shard
+	program uint32
+}
+
+var bindCounter atomic.Uint64
+
+// NewClient creates a caller identity bound to a shard (round-robin).
+func (s *System) NewClient() *Client {
+	return s.NewClientOnShard(int(bindCounter.Add(1)) % len(s.shards))
+}
+
+// NewClientOnShard creates a caller bound to an explicit shard.
+func (s *System) NewClientOnShard(shardID int) *Client {
+	if shardID < 0 || shardID >= len(s.shards) {
+		panic("rt: shard out of range")
+	}
+	return &Client{
+		sys:     s,
+		shard:   &s.shards[shardID],
+		program: s.programs.Add(1),
+	}
+}
+
+// Program returns the client's program ID.
+func (c *Client) Program() uint32 { return c.program }
+
+// Shard returns the client's shard index.
+func (c *Client) Shard() int { return c.shard.id }
+
+// Call performs a synchronous PPC-style call: the calling goroutine
+// crosses directly into the server's handler, using only shard-local
+// resources. No locks, no shared mutable data on this path.
+func (c *Client) Call(ep EntryPointID, args *Args) error {
+	return c.sys.callOn(c.shard, ep, args, c.program, false, nil)
+}
+
+// AsyncCall detaches the caller: the request is handed to the shard's
+// worker pool and the caller continues immediately (§4.4). No results
+// are returned.
+func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
+	return c.sys.callOn(c.shard, ep, args, c.program, true, nil)
+}
+
+// AsyncCallNotify is AsyncCall with a completion notification sent on
+// done (the file-prefetch pattern: fire many, collect later).
+func (c *Client) AsyncCallNotify(ep EntryPointID, args *Args, done chan<- struct{}) error {
+	return c.sys.callOn(c.shard, ep, args, c.program, true, done)
+}
+
+// Upcall delivers a software-interrupt-style request (§4.4) from an
+// arbitrary event source: no client identity, serviced synchronously on
+// the named shard.
+func (s *System) Upcall(shardID int, ep EntryPointID, args *Args) error {
+	if shardID < 0 || shardID >= len(s.shards) {
+		panic("rt: shard out of range")
+	}
+	return s.callOn(&s.shards[shardID], ep, args, 0, false, nil)
+}
+
+// runIsolated invokes a handler, converting a panic into a returned
+// fault value.
+func runIsolated(h Handler, ctx *Ctx, args *Args) (fault any) {
+	defer func() { fault = recover() }()
+	h(ctx, args)
+	return nil
+}
+
+// epProgram is the identity nested calls present (the server itself).
+func (s *Service) epProgram() uint32 { return uint32(s.ep) | 1<<31 }
+
+// callOn is the fast path.
+func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}) error {
+	if int(ep) >= MaxEntryPoints {
+		return ErrBadEntryPoint
+	}
+	svc := s.services[ep].Load()
+	if svc == nil {
+		return ErrBadEntryPoint
+	}
+	if svc.state.Load() != svcActive {
+		return ErrKilled
+	}
+	if async {
+		if !sh.submitAsync(asyncReq{sys: s, svc: svc, args: *args, prog: program, done: done}) {
+			return ErrClosed
+		}
+		svc.perShard[sh.id].async.Add(1)
+		return nil
+	}
+	return s.serviceOne(sh, svc, args, program, false)
+}
+
+// serviceOne runs one request to completion on sh.
+func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32, async bool) error {
+	counters := &svc.perShard[sh.id]
+	counters.inFlight.Add(1)
+	defer counters.inFlight.Add(-1)
+
+	cd := sh.popCD(svc.scratchBytes)
+	ctx := &cd.ctx
+	ctx.sys = s
+	ctx.svc = svc
+	ctx.cd = cd
+	ctx.CallerProgram = program
+	ctx.async = async
+
+	var err error
+	if svc.authorize != nil && !svc.authorize(program) {
+		counters.authFail.Add(1)
+		args.SetRC(uint64(^uint32(0))) // conventional failure RC
+		err = ErrPermissionDenied
+	} else {
+		// First call serviced on this shard runs the init handler
+		// instead (one-time shard-local setup, §4.5.3); it is expected
+		// to handle the request too, typically by ending with the
+		// steady-state handler.
+		var h Handler
+		if svc.initHandler != nil && counters.inited.CompareAndSwap(false, true) {
+			h = svc.initHandler
+		} else {
+			h = *svc.handler.Load()
+		}
+		// A panicking handler aborts this call only — the worker
+		// isolation of the paper's §2: the exception is delivered to
+		// the caller as an error, and the service stays up.
+		if fault := runIsolated(h, ctx, args); fault != nil {
+			err = fmt.Errorf("%w: %v", ErrServerFault, fault)
+		} else if !async {
+			counters.calls.Add(1)
+		}
+	}
+
+	// The scratch buffer is deliberately NOT zeroed before reuse —
+	// serial sharing of "stacks" is the point (§2); trust domains that
+	// must not share scratch use separate Systems.
+	sh.pushCD(cd)
+	return err
+}

@@ -1,0 +1,45 @@
+package rt
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestCloseStopsAsyncWorkers(t *testing.T) {
+	sys := NewSystemShards(1)
+	done := make(chan struct{}, 8)
+	svc, err := sys.Bind(ServiceConfig{Name: "a", Handler: func(ctx *Ctx, args *Args) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClient()
+	var args Args
+	for i := 0; i < 4; i++ {
+		if err := c.AsyncCallNotify(svc.EP(), &args, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	before := runtime.NumGoroutine()
+	sys.Close()
+	sys.Close() // idempotent
+	// The worker goroutine exits once the (closed) queue drains.
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() >= before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if runtime.NumGoroutine() >= before {
+		t.Fatalf("async workers leaked: %d goroutines, was %d", runtime.NumGoroutine(), before)
+	}
+	// Async submissions are rejected; synchronous calls still work.
+	if err := c.AsyncCall(svc.EP(), &args); !errors.Is(err, ErrClosed) {
+		t.Fatalf("async after close: %v", err)
+	}
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatalf("sync call after close failed: %v", err)
+	}
+}

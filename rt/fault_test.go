@@ -1,0 +1,64 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHandlerPanicContained(t *testing.T) {
+	sys := NewSystem()
+	svc, err := sys.Bind(ServiceConfig{Name: "flaky", Handler: func(ctx *Ctx, args *Args) {
+		if args[0] == 13 {
+			panic("boom")
+		}
+		args[0]++
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClient()
+	var args Args
+	args[0] = 13
+	if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrServerFault) {
+		t.Fatalf("err = %v, want server fault", err)
+	}
+	// Service stays up; descriptor was repooled, not leaked.
+	args[0] = 1
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatalf("service unusable after fault: %v", err)
+	}
+	if args[0] != 2 {
+		t.Fatalf("args[0] = %d", args[0])
+	}
+	if svc.Calls() != 1 {
+		t.Fatalf("Calls = %d (faulted call must not count)", svc.Calls())
+	}
+}
+
+func TestAsyncPanicDoesNotKillWorker(t *testing.T) {
+	sys := NewSystemShards(1)
+	done := make(chan struct{}, 4)
+	svc, err := sys.Bind(ServiceConfig{Name: "aflaky", Handler: func(ctx *Ctx, args *Args) {
+		if args[0] == 1 {
+			panic("async boom")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClient()
+	var bad, good Args
+	bad[0] = 1
+	if err := c.AsyncCallNotify(svc.EP(), &bad, done); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// The same async worker goroutine services the next request.
+	if err := c.AsyncCallNotify(svc.EP(), &good, done); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if svc.AsyncCalls() != 2 {
+		t.Fatalf("AsyncCalls = %d", svc.AsyncCalls())
+	}
+}

@@ -1,0 +1,389 @@
+// Package rt is the real-concurrency track of the reproduction: a
+// PPC-style intra-process service-call facility for Go programs, built
+// on the paper's design rules — in the common case a call must access
+// no shared data and acquire no locks, and the resources used to
+// service a call must be local to the caller.
+//
+// The mapping from the paper's machine to the Go runtime:
+//
+//   - processor        -> shard (callers bind to one; typically one
+//     shard per GOMAXPROCS slot)
+//   - worker process   -> the caller's goroutine crossing directly into
+//     the server's handler (the pure PPC model)
+//   - call descriptor  -> a per-shard recycled call context with a
+//     scratch buffer (the "stack" serially shared by services)
+//   - program ID       -> caller identity checked by the server's
+//     authorization hook (naming and protection separated, §4.1)
+//
+// The Go scheduler hides true core pinning, so a shard is an
+// approximation of a processor: when each calling goroutine sticks to
+// its own shard, the facility touches only shard-local state and scales
+// with GOMAXPROCS, while the locked/central baselines in this package
+// saturate — the same shape as the paper's Figure 3.
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// NumArgWords is the register-argument count, as in the paper: 8 words
+// in and the same 8 variables out.
+const NumArgWords = 8
+
+// Args is the argument block of a call: the handler mutates it in
+// place, like the PPC_CALL macro's eight variables.
+type Args [NumArgWords]uint64
+
+// OpFlagsWord is the conventional opcode/flags word index.
+const OpFlagsWord = NumArgWords - 1
+
+// OpFlags packs an opcode and flags into the conventional word.
+func OpFlags(op uint32, flags uint32) uint64 { return uint64(op)<<32 | uint64(flags) }
+
+// Op extracts the opcode.
+func Op(w uint64) uint32 { return uint32(w >> 32) }
+
+// Flags extracts the flag bits.
+func Flags(w uint64) uint32 { return uint32(w) }
+
+// SetOp sets the conventional opcode/flags word.
+func (a *Args) SetOp(op, flags uint32) { a[OpFlagsWord] = OpFlags(op, flags) }
+
+// RC returns the conventional return-code word.
+func (a *Args) RC() uint64 { return a[OpFlagsWord] }
+
+// SetRC sets the conventional return-code word.
+func (a *Args) SetRC(rc uint64) { a[OpFlagsWord] = rc }
+
+// EntryPointID names a service entry point: a small integer indexing a
+// fixed table, exactly as in the paper (§4.5.5). Authentication is the
+// server's business, so IDs are safe to pass around.
+type EntryPointID uint16
+
+// MaxEntryPoints bounds the service table (1024, as in the paper).
+const MaxEntryPoints = 1024
+
+// Handler services a call. The handler runs on the *caller's*
+// goroutine (hand-off scheduling is implicit, concurrency equals the
+// number of callers); ctx carries identity and the recycled scratch
+// buffer.
+type Handler func(ctx *Ctx, args *Args)
+
+// Common errors.
+var (
+	// ErrBadEntryPoint: call to an unbound entry point.
+	ErrBadEntryPoint = fmt.Errorf("rt: bad entry point")
+	// ErrKilled: call to a killed entry point.
+	ErrKilled = fmt.Errorf("rt: entry point killed")
+	// ErrPermissionDenied: rejected by the service's authorization.
+	ErrPermissionDenied = fmt.Errorf("rt: permission denied")
+	// ErrNameTaken: duplicate name registration.
+	ErrNameTaken = fmt.Errorf("rt: name already registered")
+	// ErrUnknownName: lookup of an unregistered name.
+	ErrUnknownName = fmt.Errorf("rt: unknown name")
+	// ErrServerFault: the handler panicked; the call was aborted and
+	// contained, the service remains available.
+	ErrServerFault = fmt.Errorf("rt: server fault")
+	// ErrClosed: asynchronous submission after System.Close.
+	ErrClosed = fmt.Errorf("rt: system closed")
+)
+
+// serviceState values.
+const (
+	svcActive int32 = iota
+	svcSoftKilled
+	svcDead
+)
+
+// ServiceConfig describes a service to bind.
+type ServiceConfig struct {
+	// Name is the diagnostic (and registrable) service name.
+	Name string
+	// Handler is the steady-state call handler.
+	Handler Handler
+	// InitHandler, when non-nil, runs on the first call serviced
+	// through each shard's context, then is replaced by Handler —
+	// the worker-initialization pattern of §4.5.3.
+	InitHandler Handler
+	// Authorize, when non-nil, vets the caller's program ID.
+	Authorize func(callerProgram uint32) bool
+	// ScratchBytes sizes the per-call scratch buffer (default 4096,
+	// one "stack page").
+	ScratchBytes int
+	// EP requests a specific well-known entry point (0 = allocate).
+	EP EntryPointID
+}
+
+// Service is a bound entry point.
+type Service struct {
+	ep   EntryPointID
+	name string
+
+	state   atomic.Int32
+	handler atomic.Pointer[Handler]
+
+	authorize    func(uint32) bool
+	initHandler  Handler
+	scratchBytes int
+
+	// Per-shard counters, padded: no call ever writes a cache line
+	// another shard's calls write.
+	perShard []shardCounters
+}
+
+type shardCounters struct {
+	calls    atomic.Int64
+	async    atomic.Int64
+	inFlight atomic.Int64
+	authFail atomic.Int64
+	inited   atomic.Bool
+	_        [23]byte // pad to a cache line with the fields above
+}
+
+// EP returns the entry point ID.
+func (s *Service) EP() EntryPointID { return s.ep }
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Calls sums the per-shard synchronous call counters.
+func (s *Service) Calls() int64 {
+	var n int64
+	for i := range s.perShard {
+		n += s.perShard[i].calls.Load()
+	}
+	return n
+}
+
+// AsyncCalls sums the per-shard asynchronous call counters.
+func (s *Service) AsyncCalls() int64 {
+	var n int64
+	for i := range s.perShard {
+		n += s.perShard[i].async.Load()
+	}
+	return n
+}
+
+// AuthFailures sums the per-shard authorization failures.
+func (s *Service) AuthFailures() int64 {
+	var n int64
+	for i := range s.perShard {
+		n += s.perShard[i].authFail.Load()
+	}
+	return n
+}
+
+// inFlightTotal sums outstanding calls (used by soft kill).
+func (s *Service) inFlightTotal() int64 {
+	var n int64
+	for i := range s.perShard {
+		n += s.perShard[i].inFlight.Load()
+	}
+	return n
+}
+
+// System is the PPC facility instance.
+type System struct {
+	shards []shard
+
+	services [MaxEntryPoints]atomic.Pointer[Service]
+
+	// Control plane (binding, naming): mutex-protected — never on the
+	// call fast path.
+	mu       sync.Mutex
+	nextEP   EntryPointID
+	names    map[string]EntryPointID
+	bindSeq  atomic.Uint64
+	programs atomic.Uint32
+	closed   atomic.Bool
+}
+
+// Close shuts the system down: asynchronous submissions are rejected,
+// the per-shard async workers drain their queues and exit. Synchronous
+// calls still work (they use no goroutines); Close exists so embedding
+// programs do not leak workers.
+func (s *System) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for i := range s.shards {
+		s.shards[i].close()
+	}
+}
+
+// firstDynamicEP matches the simulator's reserved IDs.
+const firstDynamicEP EntryPointID = 2
+
+// NewSystem creates a facility with one shard per GOMAXPROCS slot.
+func NewSystem() *System { return NewSystemShards(runtime.GOMAXPROCS(0)) }
+
+// NewSystemShards creates a facility with an explicit shard count.
+func NewSystemShards(n int) *System {
+	if n < 1 {
+		n = 1
+	}
+	s := &System{
+		shards: make([]shard, n),
+		nextEP: firstDynamicEP,
+		names:  make(map[string]EntryPointID),
+	}
+	for i := range s.shards {
+		s.shards[i].init(i)
+	}
+	s.programs.Store(1)
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *System) NumShards() int { return len(s.shards) }
+
+// Bind creates a service via the control plane and installs it in the
+// lock-free service table.
+func (s *System) Bind(cfg ServiceConfig) (*Service, error) {
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("rt: service %q needs a handler", cfg.Name)
+	}
+	if cfg.ScratchBytes < 0 {
+		return nil, fmt.Errorf("rt: service %q negative scratch", cfg.Name)
+	}
+	scratch := cfg.ScratchBytes
+	if scratch == 0 {
+		scratch = defaultScratchBytes
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep := cfg.EP
+	if ep == 0 {
+		found := false
+		for scanned := 0; scanned < MaxEntryPoints; scanned++ {
+			cand := s.nextEP
+			s.nextEP++
+			if s.nextEP >= MaxEntryPoints {
+				s.nextEP = firstDynamicEP
+			}
+			if s.services[cand].Load() == nil {
+				ep, found = cand, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("rt: all %d entry points in use", MaxEntryPoints)
+		}
+	} else {
+		if int(ep) >= MaxEntryPoints {
+			return nil, fmt.Errorf("rt: entry point %d out of range", ep)
+		}
+		if s.services[ep].Load() != nil {
+			return nil, fmt.Errorf("rt: entry point %d already bound", ep)
+		}
+	}
+
+	svc := &Service{
+		ep:           ep,
+		name:         cfg.Name,
+		authorize:    cfg.Authorize,
+		initHandler:  cfg.InitHandler,
+		scratchBytes: scratch,
+		perShard:     make([]shardCounters, len(s.shards)),
+	}
+	h := cfg.Handler
+	svc.handler.Store(&h)
+	svc.state.Store(svcActive)
+	s.services[ep].Store(svc)
+	return svc, nil
+}
+
+// Service returns the service at ep, or nil.
+func (s *System) Service(ep EntryPointID) *Service {
+	if int(ep) >= MaxEntryPoints {
+		return nil
+	}
+	return s.services[ep].Load()
+}
+
+// Exchange atomically replaces the handler behind an entry point —
+// on-line server replacement (§4.5.2): calls in progress finish on the
+// old handler; new calls get the new one.
+func (s *System) Exchange(ep EntryPointID, h Handler) error {
+	svc := s.Service(ep)
+	if svc == nil || svc.state.Load() != svcActive {
+		return ErrBadEntryPoint
+	}
+	if h == nil {
+		return fmt.Errorf("rt: nil handler")
+	}
+	svc.handler.Store(&h)
+	return nil
+}
+
+// Kill deallocates an entry point. Soft kill (hard=false) stops new
+// calls immediately and waits for calls in progress to drain; hard
+// kill marks the entry dead at once (§4.5.2).
+func (s *System) Kill(ep EntryPointID, hard bool) error {
+	svc := s.Service(ep)
+	if svc == nil || svc.state.Load() == svcDead {
+		return ErrBadEntryPoint
+	}
+	if hard {
+		svc.state.Store(svcDead)
+		s.services[ep].Store(nil)
+		return nil
+	}
+	svc.state.Store(svcSoftKilled)
+	for svc.inFlightTotal() != 0 {
+		runtime.Gosched()
+	}
+	svc.state.Store(svcDead)
+	s.services[ep].Store(nil)
+	return nil
+}
+
+// Register binds a name to an entry point (the name-server role).
+func (s *System) Register(name string, ep EntryPointID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.names[name]; dup {
+		return ErrNameTaken
+	}
+	s.names[name] = ep
+	return nil
+}
+
+// Lookup resolves a registered name.
+func (s *System) Lookup(name string) (EntryPointID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep, ok := s.names[name]
+	if !ok {
+		return 0, ErrUnknownName
+	}
+	return ep, nil
+}
+
+// ShardStats reports one shard's pool state.
+type ShardStats struct {
+	Shard        int
+	CDsCreated   int64
+	PooledCDs    int
+	AsyncWorkers int64
+}
+
+// Stats returns per-shard pool statistics (diagnostics; walks the
+// pools, not for the hot path).
+func (s *System) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out[i] = ShardStats{
+			Shard:        i,
+			CDsCreated:   sh.cdsCreated.Load(),
+			PooledCDs:    sh.poolSize(),
+			AsyncWorkers: sh.workers.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// measureThroughput runs goroutine-parallel null calls for a fixed wall
+// duration and returns total calls.
+func measureThroughput(t *testing.T, call func(g int, c *Client, args *Args) error, sys *System, goroutines int, d time.Duration) int64 {
+	t.Helper()
+	var wg sync.WaitGroup
+	results := make([]int64, goroutines)
+	stop := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var c *Client
+			if sys != nil {
+				c = sys.NewClient()
+			}
+			var args Args
+			var n int64
+			for {
+				select {
+				case <-stop:
+					results[g] = n
+					return
+				default:
+				}
+				if err := call(g, c, &args); err != nil {
+					t.Error(err)
+					results[g] = n
+					return
+				}
+				n++
+			}
+		}(g)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	var total int64
+	for _, n := range results {
+		total += n
+	}
+	return total
+}
+
+// TestShardedBeatsChannelServer compares the PPC-style path against the
+// message-passing baseline under parallel load. The channel server pays
+// two scheduler handoffs per call, so the sharded path should win by a
+// wide margin on any machine; this is the robust shape check (the
+// mutex-baseline gap needs more cores than CI may have, so it is
+// exercised by the benchmarks instead).
+func TestShardedBeatsChannelServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput comparison")
+	}
+	handler := func(ctx *Ctx, args *Args) { args[0]++ }
+
+	sys := NewSystem()
+	svc, err := sys.Bind(ServiceConfig{Name: "null", Handler: handler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := runtime.GOMAXPROCS(0)
+	const window = 150 * time.Millisecond
+
+	sharded := measureThroughput(t, func(_ int, c *Client, args *Args) error {
+		return c.Call(svc.EP(), args)
+	}, sys, g, window)
+
+	cs := NewChannelServer(handler, g)
+	defer cs.Close()
+	replies := make([]chan struct{}, g)
+	for i := range replies {
+		replies[i] = make(chan struct{}, 1)
+	}
+	channel := measureThroughput(t, func(gi int, _ *Client, args *Args) error {
+		cs.Call(1, args, replies[gi])
+		return nil
+	}, nil, g, window)
+
+	// Margin kept modest so the check holds under -race, which slows
+	// the atomic-heavy sharded path far more than the channel server;
+	// without the race detector the observed gap is ~20x.
+	if float64(sharded) < float64(channel)*1.3 {
+		t.Fatalf("sharded path (%d calls) should outrun the channel server (%d calls)", sharded, channel)
+	}
+	t.Logf("sharded=%d channel=%d (%.1fx) at GOMAXPROCS=%d", sharded, channel, float64(sharded)/float64(channel), g)
+}

@@ -1,0 +1,155 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultScratchBytes is the default per-call scratch ("stack page").
+const defaultScratchBytes = 4096
+
+// callDesc is the real-concurrency analogue of the paper's call
+// descriptor: a recycled per-call context carrying a scratch buffer
+// that successive calls to *different* services serially share —
+// the cache-footprint optimization of §2. Descriptors live in
+// per-shard lock-free pools.
+type callDesc struct {
+	next    atomic.Pointer[callDesc]
+	ctx     Ctx
+	scratch []byte
+	// initialized tracks which services' init handlers have run
+	// through this descriptor's shard (see Ctx.SetHandler).
+	shard *shard
+}
+
+// shard is the per-"processor" state: a lock-free free list of call
+// descriptors and the async worker machinery. Padding keeps shards on
+// distinct cache lines.
+type shard struct {
+	id int
+
+	// free is a Treiber stack of call descriptors. With callers bound
+	// to their own shards the CAS never contends; it exists so that
+	// *correctness* does not depend on the binding discipline, only
+	// performance — and Go's GC makes the ABA problem moot (nodes are
+	// never unsafely reused).
+	free atomic.Pointer[callDesc]
+
+	// cdsCreated counts descriptor allocations (pool growth).
+	cdsCreated atomic.Int64
+
+	// asyncQ feeds the shard's dynamically-created async workers
+	// (§4.4: asynchronous requests detach the caller; §2: workers are
+	// created as needed).
+	asyncQ     chan asyncReq
+	workers    atomic.Int64
+	maxWorkers int64
+	qMu        sync.Mutex // guards close vs submit
+	qClosed    bool
+
+	_ [64]byte // pad shards apart
+}
+
+// close stops the shard's async workers after the queue drains.
+func (sh *shard) close() {
+	sh.qMu.Lock()
+	defer sh.qMu.Unlock()
+	if !sh.qClosed {
+		sh.qClosed = true
+		close(sh.asyncQ)
+	}
+}
+
+type asyncReq struct {
+	sys  *System
+	svc  *Service
+	args Args
+	prog uint32
+	done chan<- struct{} // optional completion notification
+}
+
+func (sh *shard) init(id int) {
+	sh.id = id
+	sh.asyncQ = make(chan asyncReq, 64)
+	sh.maxWorkers = 8
+}
+
+// popCD takes a descriptor from the shard pool, or allocates one.
+func (sh *shard) popCD(scratchBytes int) *callDesc {
+	for {
+		top := sh.free.Load()
+		if top == nil {
+			sh.cdsCreated.Add(1)
+			cd := &callDesc{shard: sh, scratch: make([]byte, scratchBytes)}
+			return cd
+		}
+		next := top.next.Load()
+		if sh.free.CompareAndSwap(top, next) {
+			top.next.Store(nil)
+			if cap(top.scratch) < scratchBytes {
+				top.scratch = make([]byte, scratchBytes)
+			}
+			top.scratch = top.scratch[:scratchBytes]
+			return top
+		}
+	}
+}
+
+// pushCD returns a descriptor to the pool.
+func (sh *shard) pushCD(cd *callDesc) {
+	for {
+		top := sh.free.Load()
+		cd.next.Store(top)
+		if sh.free.CompareAndSwap(top, cd) {
+			return
+		}
+	}
+}
+
+// PoolSize counts pooled descriptors (diagnostics; O(n)).
+func (sh *shard) poolSize() int {
+	n := 0
+	for cd := sh.free.Load(); cd != nil; cd = cd.next.Load() {
+		n++
+	}
+	return n
+}
+
+// submitAsync hands a request to the shard's async workers, spawning a
+// new worker when the queue is full (dynamic pool growth, as the paper
+// grows worker pools on demand). Reports false when the system is
+// closed.
+func (sh *shard) submitAsync(req asyncReq) bool {
+	sh.qMu.Lock()
+	defer sh.qMu.Unlock()
+	if sh.qClosed {
+		return false
+	}
+	if sh.workers.Load() == 0 {
+		sh.spawnWorker(req.sys)
+	}
+	select {
+	case sh.asyncQ <- req:
+	default:
+		if sh.workers.Load() < sh.maxWorkers {
+			sh.spawnWorker(req.sys)
+		}
+		sh.asyncQ <- req
+	}
+	return true
+}
+
+func (sh *shard) spawnWorker(sys *System) {
+	if sh.workers.Add(1) > sh.maxWorkers {
+		sh.workers.Add(-1)
+		return
+	}
+	go func() {
+		for req := range sh.asyncQ {
+			sys.serviceOne(sh, req.svc, &req.args, req.prog, true)
+			if req.done != nil {
+				req.done <- struct{}{}
+			}
+		}
+	}()
+}

@@ -1,0 +1,36 @@
+package rt
+
+import "testing"
+
+func TestShardStats(t *testing.T) {
+	sys := NewSystemShards(2)
+	svc, err := sys.Bind(ServiceConfig{Name: "s", Handler: func(ctx *Ctx, args *Args) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := sys.NewClientOnShard(0)
+	var args Args
+	for i := 0; i < 5; i++ {
+		if err := c0.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := sys.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d shards", len(stats))
+	}
+	if stats[0].CDsCreated != 1 || stats[0].PooledCDs != 1 {
+		t.Fatalf("shard 0 stats = %+v, want one recycled CD", stats[0])
+	}
+	if stats[1].CDsCreated != 0 {
+		t.Fatalf("shard 1 created CDs without traffic: %+v", stats[1])
+	}
+	done := make(chan struct{}, 1)
+	if err := c0.AsyncCallNotify(svc.EP(), &args, done); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if sys.Stats()[0].AsyncWorkers == 0 {
+		t.Fatal("async worker not accounted")
+	}
+}
