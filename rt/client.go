@@ -2,7 +2,6 @@ package rt
 
 import (
 	"fmt"
-	"sync/atomic"
 )
 
 // Ctx is the handler execution context — the worker's view of a call.
@@ -52,11 +51,10 @@ type Client struct {
 	program uint32
 }
 
-var bindCounter atomic.Uint64
-
-// NewClient creates a caller identity bound to a shard (round-robin).
+// NewClient creates a caller identity bound to a shard (round-robin
+// within this System).
 func (s *System) NewClient() *Client {
-	return s.NewClientOnShard(int(bindCounter.Add(1)) % len(s.shards))
+	return s.NewClientOnShard(int(s.bindSeq.Add(1)) % len(s.shards))
 }
 
 // NewClientOnShard creates a caller bound to an explicit shard.
@@ -131,20 +129,51 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 		return ErrKilled
 	}
 	if async {
-		if !sh.submitAsync(asyncReq{sys: s, svc: svc, args: *args, prog: program, done: done}) {
-			return ErrClosed
+		// Admit the request before handing it to the shard queue:
+		// increment-then-check, so a soft kill either sees this request
+		// in flight and waits for it, or flips the state first and the
+		// request backs out here. The in-flight count covers the request
+		// from acceptance until the worker finishes it.
+		counters := &svc.perShard[sh.id]
+		counters.inFlight.Add(1)
+		if svc.state.Load() != svcActive {
+			svc.backOut(counters)
+			return ErrKilled
 		}
-		svc.perShard[sh.id].async.Add(1)
+		if err := sh.submitAsync(asyncReq{sys: s, svc: svc, args: *args, prog: program, done: done}); err != nil {
+			counters.inFlight.Add(-1)
+			svc.notifyQuiesce()
+			return err
+		}
+		counters.async.Add(1)
 		return nil
 	}
-	return s.serviceOne(sh, svc, args, program, false)
+	return s.serviceOne(sh, svc, args, program, false, false)
 }
 
-// serviceOne runs one request to completion on sh.
-func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32, async bool) error {
+// serviceOne runs one request to completion on sh. accounted marks
+// requests already admitted into the in-flight count (queued async
+// requests, admitted at submission); everything else is admitted here
+// with the same increment-then-check protocol, backing out if a kill
+// slipped in between the caller's state check and the admission.
+func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32, async, accounted bool) error {
 	counters := &svc.perShard[sh.id]
-	counters.inFlight.Add(1)
-	defer counters.inFlight.Add(-1)
+	if !accounted {
+		counters.inFlight.Add(1)
+		if svc.state.Load() != svcActive {
+			svc.backOut(counters)
+			return ErrKilled
+		}
+	} else if svc.state.Load() == svcDead {
+		// Hard-killed while queued: discard without executing. (A soft
+		// kill waits for queued requests, so svcSoftKilled still runs.)
+		svc.backOut(counters)
+		return ErrKilled
+	}
+	defer func() {
+		counters.inFlight.Add(-1)
+		svc.notifyQuiesce()
+	}()
 
 	cd := sh.popCD(svc.scratchBytes)
 	ctx := &cd.ctx

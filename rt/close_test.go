@@ -24,16 +24,28 @@ func TestCloseStopsAsyncWorkers(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		<-done
 	}
+	if w := sys.Stats()[0].AsyncWorkers; w == 0 {
+		t.Fatal("no async worker accounted while the pool is live")
+	}
 	before := runtime.NumGoroutine()
 	sys.Close()
 	sys.Close() // idempotent
-	// The worker goroutine exits once the (closed) queue drains.
+	// Close joins the workers, so the goroutines are gone on return.
 	deadline := time.Now().Add(time.Second)
 	for runtime.NumGoroutine() >= before && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	if runtime.NumGoroutine() >= before {
 		t.Fatalf("async workers leaked: %d goroutines, was %d", runtime.NumGoroutine(), before)
+	}
+	// Worker exit decrements the live count (no stale workers reported
+	// post-close) and is visible in the exit counter.
+	st := sys.Stats()[0]
+	if st.AsyncWorkers != 0 {
+		t.Fatalf("Stats().AsyncWorkers = %d after Close, want 0", st.AsyncWorkers)
+	}
+	if st.WorkerExits == 0 {
+		t.Fatal("Stats().WorkerExits = 0 after Close, want the joined workers counted")
 	}
 	// Async submissions are rejected; synchronous calls still work.
 	if err := c.AsyncCall(svc.EP(), &args); !errors.Is(err, ErrClosed) {

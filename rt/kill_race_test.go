@@ -1,0 +1,354 @@
+package rt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitState polls until the service leaves svcActive (the kill has been
+// published) so tests can order their steps against a draining Kill.
+func waitState(t *testing.T, svc *Service) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for svc.state.Load() == svcActive {
+		if time.Now().After(deadline) {
+			t.Fatal("kill never published its state change")
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// TestKillSoftNoCallExecutesAfterReturn races batches of synchronous
+// callers against a soft kill. A handler can only be running while its
+// call is counted in flight, and soft Kill stores svcDead only after
+// the in-flight count drains — so under the increment-then-check
+// admission no handler may ever observe the dead state. The old
+// check-then-increment admission had a TOCTOU window where a caller
+// validated the state, Kill drained and returned (storing svcDead),
+// and the caller then executed on the dead service.
+func TestKillSoftNoCallExecutesAfterReturn(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 50
+	}
+	var svcP atomic.Pointer[Service]
+	var onDead atomic.Int64
+	handler := func(ctx *Ctx, args *Args) {
+		if svc := svcP.Load(); svc != nil && svc.state.Load() == svcDead {
+			onDead.Add(1)
+		}
+	}
+	for iter := 0; iter < iters; iter++ {
+		sys := NewSystemShards(1)
+		svc, err := sys.Bind(ServiceConfig{Name: "victim", Handler: handler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcP.Store(svc)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := sys.NewClientOnShard(0)
+				var args Args
+				<-start
+				// The call races the kill: success, ErrKilled, and
+				// ErrBadEntryPoint are all legal outcomes — executing
+				// on the dead service is not.
+				err := c.Call(svc.EP(), &args)
+				if err != nil && !errors.Is(err, ErrKilled) && !errors.Is(err, ErrBadEntryPoint) {
+					t.Error(err)
+				}
+			}()
+		}
+		close(start)
+		if err := sys.Kill(svc.EP(), false); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if n := onDead.Load(); n != 0 {
+			t.Fatalf("iter %d: %d calls executed on the dead service after soft Kill returned", iter, n)
+		}
+	}
+}
+
+// TestKillSoftDrainsQueuedAsync is the queued-async-survives-kill
+// scenario: requests accepted into a shard's async queue before the
+// kill must all execute before Kill returns — previously the drain only
+// counted executing calls, so Kill could return while queued requests
+// later ran on the dead service. The unbuffered done channel parks the
+// worker between requests, deterministically opening that window on the
+// old code.
+func TestKillSoftDrainsQueuedAsync(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	sys.shards[0].maxWorkers = 1 // single worker: requests queue behind it
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var executed, afterKill atomic.Int64
+	var killReturned atomic.Bool
+	svc, err := sys.Bind(ServiceConfig{Name: "drain", Handler: func(ctx *Ctx, args *Args) {
+		started <- struct{}{}
+		<-gate
+		if killReturned.Load() {
+			afterKill.Add(1)
+		}
+		executed.Add(1)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	done := make(chan struct{}) // unbuffered: worker parks between requests
+	const n = 5
+	for i := 0; i < n; i++ {
+		var args Args
+		if err := c.AsyncCallNotify(svc.EP(), &args, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started // first request is executing; the rest sit in the queue
+
+	killDone := make(chan struct{})
+	go func() {
+		if err := sys.Kill(svc.EP(), false); err != nil {
+			t.Error(err)
+		}
+		killReturned.Store(true)
+		close(killDone)
+	}()
+	waitState(t, svc)
+
+	// New calls are refused the moment the kill is published...
+	var args Args
+	if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrKilled) {
+		t.Fatalf("call during drain: %v", err)
+	}
+	if err := c.AsyncCall(svc.EP(), &args); !errors.Is(err, ErrKilled) {
+		t.Fatalf("async call during drain: %v", err)
+	}
+
+	// ...while the accepted requests drain; collect their completions
+	// slowly so the worker parks with the queue non-empty.
+	go func() {
+		for i := 0; i < n; i++ {
+			time.Sleep(time.Millisecond)
+			<-done
+		}
+	}()
+	close(gate)
+	<-killDone
+	if got := executed.Load(); got != n {
+		t.Fatalf("executed %d of %d accepted async requests", got, n)
+	}
+	if got := afterKill.Load(); got != 0 {
+		t.Fatalf("%d queued requests executed after soft Kill returned", got)
+	}
+	if svc.AsyncCalls() != n {
+		t.Fatalf("AsyncCalls = %d", svc.AsyncCalls())
+	}
+}
+
+// TestKillHardDiscardsQueuedAsync: a hard kill marks the service dead
+// at once; queued requests are dropped (with their completion
+// notifications still delivered) and counted as backouts.
+func TestKillHardDiscardsQueuedAsync(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	sys.shards[0].maxWorkers = 1
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var executed atomic.Int64
+	svc, err := sys.Bind(ServiceConfig{Name: "hard", Handler: func(ctx *Ctx, args *Args) {
+		started <- struct{}{}
+		<-gate
+		executed.Add(1)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	done := make(chan struct{}, 8)
+	const n = 4
+	for i := 0; i < n; i++ {
+		var args Args
+		if err := c.AsyncCallNotify(svc.EP(), &args, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started // one executing, n-1 queued
+	if err := sys.Kill(svc.EP(), true); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if got := executed.Load(); got != 1 {
+		t.Fatalf("executed = %d, want only the already-running request", got)
+	}
+	if got := svc.KilledBackouts(); got != n-1 {
+		t.Fatalf("KilledBackouts = %d, want %d discarded queued requests", got, n-1)
+	}
+}
+
+// TestAsyncBackpressure: with the queue full and the worker pool
+// saturated, submission fails with ErrBackpressure after a bounded
+// wait instead of blocking — and Close still drains cleanly afterwards.
+func TestAsyncBackpressure(t *testing.T) {
+	sys := NewSystemShards(1)
+	sh := &sys.shards[0]
+	sh.maxWorkers = 1
+	sh.asyncQ = make(chan asyncReq, 1)
+	sh.submitWait = time.Millisecond
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 4)
+	svc, err := sys.Bind(ServiceConfig{Name: "slow", Handler: func(ctx *Ctx, args *Args) {
+		started <- struct{}{}
+		<-gate
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	var args Args
+	if err := c.AsyncCall(svc.EP(), &args); err != nil { // worker takes it
+		t.Fatal(err)
+	}
+	<-started
+	if err := c.AsyncCall(svc.EP(), &args); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	if err := c.AsyncCall(svc.EP(), &args); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("overload submission: %v", err)
+	}
+	if waited := time.Since(begin); waited > time.Second {
+		t.Fatalf("backpressure rejection took %v, want a bounded wait", waited)
+	}
+	st := sys.Stats()[0]
+	if st.BackpressureRejects != 1 {
+		t.Fatalf("BackpressureRejects = %d", st.BackpressureRejects)
+	}
+	if st.AsyncQueueDepth != 1 || st.AsyncQueueCap != 1 {
+		t.Fatalf("queue stats = %+v", st)
+	}
+	// The rejected request was never admitted: only the two accepted
+	// ones count, and the soft-kill drain must not wait for a third.
+	if svc.AsyncCalls() != 2 {
+		t.Fatalf("AsyncCalls = %d", svc.AsyncCalls())
+	}
+	close(gate)
+	sys.Close() // must not deadlock on the formerly-full queue
+	if got := sys.Stats()[0].AsyncWorkers; got != 0 {
+		t.Fatalf("AsyncWorkers = %d after Close", got)
+	}
+}
+
+// TestCloseTimeoutWithStuckHandler: CloseTimeout gives up on a handler
+// that never returns and reports ErrDrainTimeout instead of hanging.
+func TestCloseTimeoutWithStuckHandler(t *testing.T) {
+	sys := NewSystemShards(1)
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	svc, err := sys.Bind(ServiceConfig{Name: "stuck", Handler: func(ctx *Ctx, args *Args) {
+		started <- struct{}{}
+		<-gate
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	var args Args
+	if err := c.AsyncCall(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := sys.CloseTimeout(5 * time.Millisecond); !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("CloseTimeout = %v, want ErrDrainTimeout", err)
+	}
+	close(gate) // let the worker finish and exit in the background
+	deadline := time.Now().Add(time.Second)
+	for sys.Stats()[0].AsyncWorkers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never exited after the stuck handler unblocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentCallsAsyncAndClose races synchronous and asynchronous
+// traffic against Close: no submission may deadlock or panic, async
+// fails with ErrClosed (or bounded ErrBackpressure) once the drain
+// begins, and synchronous calls keep working throughout.
+func TestConcurrentCallsAsyncAndClose(t *testing.T) {
+	sys := NewSystemShards(2)
+	svc, err := sys.Bind(ServiceConfig{Name: "s", Handler: func(ctx *Ctx, args *Args) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := sys.NewClientOnShard(g % 2)
+			var args Args
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.Call(svc.EP(), &args); err != nil {
+					t.Errorf("sync call: %v", err)
+					return
+				}
+				if err := c.AsyncCall(svc.EP(), &args); err != nil &&
+					!errors.Is(err, ErrClosed) && !errors.Is(err, ErrBackpressure) {
+					t.Errorf("async call: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	sys.Close()
+	close(stop)
+	wg.Wait()
+	for _, st := range sys.Stats() {
+		if st.AsyncWorkers != 0 {
+			t.Fatalf("shard %d: %d workers alive after Close", st.Shard, st.AsyncWorkers)
+		}
+		if st.AsyncQueueDepth != 0 {
+			t.Fatalf("shard %d: %d requests stranded in queue after Close", st.Shard, st.AsyncQueueDepth)
+		}
+	}
+	var args Args
+	if err := sys.NewClient().AsyncCall(svc.EP(), &args); !errors.Is(err, ErrClosed) {
+		t.Fatalf("async after close: %v", err)
+	}
+}
+
+// TestPerSystemClientRoundRobin: shard placement is round-robin within
+// one System, unskewed by clients created on other Systems (the bind
+// counter used to be a package-level global).
+func TestPerSystemClientRoundRobin(t *testing.T) {
+	a := NewSystemShards(4)
+	b := NewSystemShards(4)
+	for i := 0; i < 4; i++ {
+		_ = b.NewClient() // must not perturb a's placement
+		if got, want := a.NewClient().Shard(), (i+1)%4; got != want {
+			t.Fatalf("client %d placed on shard %d, want %d", i, got, want)
+		}
+	}
+}

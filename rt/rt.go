@@ -20,6 +20,43 @@
 // its own shard, the facility touches only shard-local state and scales
 // with GOMAXPROCS, while the locked/central baselines in this package
 // saturate — the same shape as the paper's Figure 3.
+//
+// # Lifecycle and overload semantics
+//
+// The control paths honor the same discipline as the call path — the
+// facility itself must never serialize callers:
+//
+//   - Soft kill (Kill with hard=false) is a quiescence protocol: the
+//     service stops admitting new calls immediately, and Kill returns
+//     only after every admitted call — including asynchronous requests
+//     already accepted into a shard queue — has finished. Admission is
+//     increment-then-check: a caller first counts itself in flight,
+//     then re-validates the service state and backs out if a kill
+//     intervened, so no call ever begins executing after Kill has
+//     returned. Backed-out calls fail with ErrKilled and are counted
+//     in Service.KilledBackouts.
+//   - Hard kill (hard=true) marks the entry dead at once. Asynchronous
+//     requests still queued are discarded, not executed.
+//   - Exchange replaces the handler atomically: calls in progress
+//     finish on the old handler; new calls get the new one.
+//   - Asynchronous submission is lock-free and bounded: each shard has
+//     a fixed-capacity queue and a capped worker pool. When the queue
+//     is full and the pool saturated, AsyncCall waits a bounded time
+//     for space and then fails with ErrBackpressure — overload is
+//     surfaced to the overloading submitter (and in ShardStats), never
+//     spread to other submitters as head-of-line blocking.
+//   - Close rejects new asynchronous submissions, lets workers drain
+//     requests already accepted, and joins every worker before
+//     returning, so Stats reports zero AsyncWorkers afterwards.
+//     CloseTimeout bounds the drain and reports ErrDrainTimeout if
+//     workers were still busy. Synchronous calls use no goroutines and
+//     keep working after Close.
+//
+// Calling Kill (soft) or Close from inside a handler of the service
+// being drained deadlocks, exactly as joining yourself always does.
+// Completion channels passed to AsyncCallNotify should be buffered:
+// workers block sending the notification, and an abandoned unbuffered
+// channel would stall the drain.
 package rt
 
 import (
@@ -27,6 +64,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // NumArgWords is the register-argument count, as in the paper: 8 words
@@ -89,6 +127,12 @@ var (
 	ErrServerFault = fmt.Errorf("rt: server fault")
 	// ErrClosed: asynchronous submission after System.Close.
 	ErrClosed = fmt.Errorf("rt: system closed")
+	// ErrBackpressure: asynchronous submission with the shard queue
+	// full and the worker pool saturated; the request was not accepted.
+	ErrBackpressure = fmt.Errorf("rt: async queue full (backpressure)")
+	// ErrDrainTimeout: CloseTimeout expired with async work still in
+	// flight; workers finish in the background.
+	ErrDrainTimeout = fmt.Errorf("rt: close timed out draining async work")
 )
 
 // serviceState values.
@@ -129,6 +173,12 @@ type Service struct {
 	initHandler  Handler
 	scratchBytes int
 
+	// quiesce, non-nil while a soft kill is draining, receives a
+	// (coalesced) notification each time an admitted call completes or
+	// backs out. Only the drain loop blocks on it; completers post
+	// non-blocking, so the call path stays lock-free.
+	quiesce atomic.Pointer[chan struct{}]
+
 	// Per-shard counters, padded: no call ever writes a cache line
 	// another shard's calls write.
 	perShard []shardCounters
@@ -139,8 +189,9 @@ type shardCounters struct {
 	async    atomic.Int64
 	inFlight atomic.Int64
 	authFail atomic.Int64
+	backouts atomic.Int64
 	inited   atomic.Bool
-	_        [23]byte // pad to a cache line with the fields above
+	_        [15]byte // pad to a cache line with the fields above
 }
 
 // EP returns the entry point ID.
@@ -176,13 +227,44 @@ func (s *Service) AuthFailures() int64 {
 	return n
 }
 
-// inFlightTotal sums outstanding calls (used by soft kill).
+// KilledBackouts sums the calls that were admitted but backed out
+// because a kill intervened between admission and execution.
+func (s *Service) KilledBackouts() int64 {
+	var n int64
+	for i := range s.perShard {
+		n += s.perShard[i].backouts.Load()
+	}
+	return n
+}
+
+// inFlightTotal sums admitted-but-not-finished calls: executing
+// synchronous calls plus asynchronous requests accepted into a shard
+// queue (used by the soft-kill drain).
 func (s *Service) inFlightTotal() int64 {
 	var n int64
 	for i := range s.perShard {
 		n += s.perShard[i].inFlight.Load()
 	}
 	return n
+}
+
+// notifyQuiesce wakes a draining Kill, if one is waiting. Non-blocking:
+// the channel is buffered and wakeups coalesce; the drain loop re-reads
+// the counters after every wakeup or poll interval.
+func (s *Service) notifyQuiesce() {
+	if ch := s.quiesce.Load(); ch != nil {
+		select {
+		case *ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// backOut undoes an admission that lost the race with a kill.
+func (s *Service) backOut(counters *shardCounters) {
+	counters.backouts.Add(1)
+	counters.inFlight.Add(-1)
+	s.notifyQuiesce()
 }
 
 // System is the PPC facility instance.
@@ -202,16 +284,39 @@ type System struct {
 }
 
 // Close shuts the system down: asynchronous submissions are rejected,
-// the per-shard async workers drain their queues and exit. Synchronous
-// calls still work (they use no goroutines); Close exists so embedding
-// programs do not leak workers.
+// the per-shard async workers drain the requests already accepted, and
+// Close joins every worker before returning — afterwards Stats reports
+// zero AsyncWorkers. Synchronous calls still work (they use no
+// goroutines); Close exists so embedding programs do not leak workers.
+// Close blocks for as long as in-flight handlers run; use CloseTimeout
+// to bound the wait.
 func (s *System) Close() {
+	_ = s.CloseTimeout(0)
+}
+
+// CloseTimeout is Close with a bounded drain: it waits at most d for
+// the async workers to finish and exit (d <= 0 waits indefinitely).
+// If the deadline expires it returns ErrDrainTimeout; the workers keep
+// draining in the background and exit when their handlers return.
+// Idempotent; later calls return nil without waiting again.
+func (s *System) CloseTimeout(d time.Duration) error {
 	if s.closed.Swap(true) {
-		return
+		return nil
 	}
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	drained := true
 	for i := range s.shards {
-		s.shards[i].close()
+		if !s.shards[i].close(s, deadline) {
+			drained = false
+		}
 	}
+	if !drained {
+		return ErrDrainTimeout
+	}
+	return nil
 }
 
 // firstDynamicEP matches the simulator's reserved IDs.
@@ -320,9 +425,21 @@ func (s *System) Exchange(ep EntryPointID, h Handler) error {
 	return nil
 }
 
+// killPollInterval bounds how long the soft-kill drain sleeps between
+// re-checks when a completion notification is missed (completers that
+// loaded the service state just before the kill do not notify).
+const killPollInterval = 100 * time.Microsecond
+
 // Kill deallocates an entry point. Soft kill (hard=false) stops new
-// calls immediately and waits for calls in progress to drain; hard
-// kill marks the entry dead at once (§4.5.2).
+// calls immediately and waits for every admitted call to drain —
+// executing synchronous calls and asynchronous requests already
+// accepted into shard queues alike; once Kill returns, no call of the
+// service will ever execute. Hard kill marks the entry dead at once
+// (§4.5.2); asynchronous requests still queued are discarded.
+//
+// The drain is notification-based, not a busy-spin: completing calls
+// wake the drain through the service's quiesce channel, with a bounded
+// poll as the backstop for notifications that race the kill itself.
 func (s *System) Kill(ep EntryPointID, hard bool) error {
 	svc := s.Service(ep)
 	if svc == nil || svc.state.Load() == svcDead {
@@ -333,11 +450,19 @@ func (s *System) Kill(ep EntryPointID, hard bool) error {
 		s.services[ep].Store(nil)
 		return nil
 	}
+	ch := make(chan struct{}, 1)
+	svc.quiesce.Store(&ch)
 	svc.state.Store(svcSoftKilled)
 	for svc.inFlightTotal() != 0 {
-		runtime.Gosched()
+		timer := time.NewTimer(killPollInterval)
+		select {
+		case <-ch:
+		case <-timer.C:
+		}
+		timer.Stop()
 	}
 	svc.state.Store(svcDead)
+	svc.quiesce.Store(nil)
 	s.services[ep].Store(nil)
 	return nil
 }
@@ -364,12 +489,25 @@ func (s *System) Lookup(name string) (EntryPointID, error) {
 	return ep, nil
 }
 
-// ShardStats reports one shard's pool state.
+// ShardStats reports one shard's pool and async lifecycle state.
 type ShardStats struct {
-	Shard        int
-	CDsCreated   int64
-	PooledCDs    int
+	Shard      int
+	CDsCreated int64
+	PooledCDs  int
+	// AsyncWorkers is the number of live async worker goroutines;
+	// zero after Close has drained the shard.
 	AsyncWorkers int64
+	// WorkerExits counts workers that have terminated (all of them,
+	// after Close).
+	WorkerExits int64
+	// AsyncQueueDepth is the number of accepted asynchronous requests
+	// not yet picked up by a worker; AsyncQueueCap is the queue bound.
+	AsyncQueueDepth int
+	AsyncQueueCap   int
+	// BackpressureRejects counts asynchronous submissions rejected
+	// with ErrBackpressure — nonzero means the shard has been
+	// overloaded past its queue and worker bounds.
+	BackpressureRejects int64
 }
 
 // Stats returns per-shard pool statistics (diagnostics; walks the
@@ -379,10 +517,14 @@ func (s *System) Stats() []ShardStats {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		out[i] = ShardStats{
-			Shard:        i,
-			CDsCreated:   sh.cdsCreated.Load(),
-			PooledCDs:    sh.poolSize(),
-			AsyncWorkers: sh.workers.Load(),
+			Shard:               i,
+			CDsCreated:          sh.cdsCreated.Load(),
+			PooledCDs:           sh.poolSize(),
+			AsyncWorkers:        sh.workers.Load(),
+			WorkerExits:         sh.workerExits.Load(),
+			AsyncQueueDepth:     len(sh.asyncQ),
+			AsyncQueueCap:       cap(sh.asyncQ),
+			BackpressureRejects: sh.backpressure.Load(),
 		}
 	}
 	return out

@@ -85,11 +85,15 @@ func TestShardedBeatsChannelServer(t *testing.T) {
 		return nil
 	}, nil, g, window)
 
-	// Margin kept modest so the check holds under -race, which slows
-	// the atomic-heavy sharded path far more than the channel server;
-	// without the race detector the observed gap is ~20x.
+	t.Logf("sharded=%d channel=%d (%.1fx) at GOMAXPROCS=%d", sharded, channel, float64(sharded)/float64(channel), g)
+	// Race instrumentation slows the atomic-heavy sharded path far more
+	// than the channel server and invalidates the ordering; the race
+	// suite is a correctness gate, so the comparison is report-only
+	// there. Without the race detector the observed gap is ~20x.
+	if raceEnabled {
+		return
+	}
 	if float64(sharded) < float64(channel)*1.3 {
 		t.Fatalf("sharded path (%d calls) should outrun the channel server (%d calls)", sharded, channel)
 	}
-	t.Logf("sharded=%d channel=%d (%.1fx) at GOMAXPROCS=%d", sharded, channel, float64(sharded)/float64(channel), g)
 }

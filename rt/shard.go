@@ -3,10 +3,24 @@ package rt
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // defaultScratchBytes is the default per-call scratch ("stack page").
 const defaultScratchBytes = 4096
+
+// defaultAsyncQueueCap bounds the per-shard async request queue.
+const defaultAsyncQueueCap = 64
+
+// defaultMaxWorkers bounds the per-shard async worker pool.
+const defaultMaxWorkers = 8
+
+// defaultSubmitWait is how long an async submission waits for queue
+// space once the worker pool is saturated before reporting
+// ErrBackpressure. Bounded by design: a full queue must surface as an
+// error to the submitter, never as head-of-line blocking for everyone
+// else.
+const defaultSubmitWait = time.Millisecond
 
 // callDesc is the real-concurrency analogue of the paper's call
 // descriptor: a recycled per-call context carrying a scratch buffer
@@ -40,24 +54,30 @@ type shard struct {
 
 	// asyncQ feeds the shard's dynamically-created async workers
 	// (§4.4: asynchronous requests detach the caller; §2: workers are
-	// created as needed).
-	asyncQ     chan asyncReq
+	// created as needed). The channel is never closed — workers are
+	// told to exit via stop, so submitters never risk a send on a
+	// closed channel and never need a lock around the send.
+	asyncQ chan asyncReq
+	// stop, once closed, tells workers to drain asyncQ and exit.
+	stop       chan struct{}
 	workers    atomic.Int64
 	maxWorkers int64
-	qMu        sync.Mutex // guards close vs submit
-	qClosed    bool
+	submitWait time.Duration
+
+	// submitting counts submissions between their closed-check and the
+	// completion of their enqueue (or rejection). close waits for it to
+	// reach zero so the queue contents are final before the drain.
+	submitting atomic.Int64
+
+	// Lifecycle observability (see ShardStats).
+	backpressure atomic.Int64
+	workerExits  atomic.Int64
+
+	closed atomic.Bool
+	qMu    sync.Mutex // guards worker spawn vs close — never on the submit fast path
+	wg     sync.WaitGroup
 
 	_ [64]byte // pad shards apart
-}
-
-// close stops the shard's async workers after the queue drains.
-func (sh *shard) close() {
-	sh.qMu.Lock()
-	defer sh.qMu.Unlock()
-	if !sh.qClosed {
-		sh.qClosed = true
-		close(sh.asyncQ)
-	}
 }
 
 type asyncReq struct {
@@ -70,8 +90,10 @@ type asyncReq struct {
 
 func (sh *shard) init(id int) {
 	sh.id = id
-	sh.asyncQ = make(chan asyncReq, 64)
-	sh.maxWorkers = 8
+	sh.asyncQ = make(chan asyncReq, defaultAsyncQueueCap)
+	sh.stop = make(chan struct{})
+	sh.maxWorkers = defaultMaxWorkers
+	sh.submitWait = defaultSubmitWait
 }
 
 // popCD takes a descriptor from the shard pool, or allocates one.
@@ -116,40 +138,129 @@ func (sh *shard) poolSize() int {
 }
 
 // submitAsync hands a request to the shard's async workers, spawning a
-// new worker when the queue is full (dynamic pool growth, as the paper
-// grows worker pools on demand). Reports false when the system is
-// closed.
-func (sh *shard) submitAsync(req asyncReq) bool {
-	sh.qMu.Lock()
-	defer sh.qMu.Unlock()
-	if sh.qClosed {
-		return false
-	}
-	if sh.workers.Load() == 0 {
-		sh.spawnWorker(req.sys)
+// new worker when the queue backs up (dynamic pool growth, as the paper
+// grows worker pools on demand). The fast path takes no locks: one
+// atomic closed-check and a non-blocking channel send. When the queue
+// is full and the worker pool is saturated, the submission waits at
+// most submitWait for space and then fails with ErrBackpressure —
+// overload is reported to the one overloading submitter instead of
+// head-of-line-blocking every other submitter (and Close) behind a
+// held lock.
+func (sh *shard) submitAsync(req asyncReq) error {
+	sh.submitting.Add(1)
+	defer sh.submitting.Add(-1)
+	if sh.closed.Load() {
+		return ErrClosed
 	}
 	select {
 	case sh.asyncQ <- req:
-	default:
-		if sh.workers.Load() < sh.maxWorkers {
+		if sh.workers.Load() == 0 {
 			sh.spawnWorker(req.sys)
 		}
-		sh.asyncQ <- req
+		return nil
+	default:
 	}
-	return true
+	// Queue full: grow the worker pool if it has headroom (spawnWorker
+	// refuses at maxWorkers), then wait a bounded time for space.
+	sh.spawnWorker(req.sys)
+	timer := time.NewTimer(sh.submitWait)
+	defer timer.Stop()
+	select {
+	case sh.asyncQ <- req:
+		return nil
+	case <-timer.C:
+		sh.backpressure.Add(1)
+		return ErrBackpressure
+	}
 }
 
+// spawnWorker starts one async worker unless the pool is at its cap or
+// the shard is closing. The lock is control-plane only: spawns happen
+// when the pool is empty or the queue backed up, never on the steady
+// submit path.
 func (sh *shard) spawnWorker(sys *System) {
-	if sh.workers.Add(1) > sh.maxWorkers {
-		sh.workers.Add(-1)
+	sh.qMu.Lock()
+	defer sh.qMu.Unlock()
+	if sh.closed.Load() || sh.workers.Load() >= sh.maxWorkers {
 		return
 	}
-	go func() {
-		for req := range sh.asyncQ {
-			sys.serviceOne(sh, req.svc, &req.args, req.prog, true)
-			if req.done != nil {
-				req.done <- struct{}{}
+	sh.workers.Add(1)
+	sh.wg.Add(1)
+	go sh.workerLoop(sys)
+}
+
+// workerLoop services async requests until stop is closed, then drains
+// whatever remains in the queue and exits, keeping the worker count
+// accurate on the way out.
+func (sh *shard) workerLoop(sys *System) {
+	defer func() {
+		sh.workers.Add(-1)
+		sh.workerExits.Add(1)
+		sh.wg.Done()
+	}()
+	for {
+		select {
+		case req := <-sh.asyncQ:
+			sh.handleAsync(sys, req)
+		case <-sh.stop:
+			for {
+				select {
+				case req := <-sh.asyncQ:
+					sh.handleAsync(sys, req)
+				default:
+					return
+				}
 			}
 		}
+	}
+}
+
+func (sh *shard) handleAsync(sys *System, req asyncReq) {
+	sys.serviceOne(sh, req.svc, &req.args, req.prog, true, true)
+	if req.done != nil {
+		req.done <- struct{}{}
+	}
+}
+
+// close shuts the shard's async side down: reject new submissions, wait
+// for in-progress submissions to land (bounded by submitWait), tell
+// workers to drain and exit, and join them. A zero deadline means wait
+// for the drain indefinitely; otherwise close reports whether the
+// workers exited before the deadline. Queued requests accepted before
+// close are executed, not dropped — the graceful half of the drain.
+func (sh *shard) close(sys *System, deadline time.Time) bool {
+	sh.qMu.Lock()
+	sh.closed.Store(true)
+	sh.qMu.Unlock()
+	for sh.submitting.Load() != 0 {
+		time.Sleep(10 * time.Microsecond)
+	}
+	close(sh.stop)
+	done := make(chan struct{})
+	go func() {
+		sh.wg.Wait()
+		close(done)
 	}()
+	if deadline.IsZero() {
+		<-done
+	} else {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			return false
+		}
+	}
+	// Requests can be queued with no worker alive (the submitter's
+	// spawn lost the race with close); service them here so accepted
+	// work and its in-flight accounting always drain.
+	for {
+		select {
+		case req := <-sh.asyncQ:
+			sh.handleAsync(sys, req)
+		default:
+			return true
+		}
+	}
 }

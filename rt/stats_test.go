@@ -30,7 +30,19 @@ func TestShardStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-done
-	if sys.Stats()[0].AsyncWorkers == 0 {
+	st := sys.Stats()[0]
+	if st.AsyncWorkers == 0 {
 		t.Fatal("async worker not accounted")
+	}
+	if st.AsyncQueueCap != defaultAsyncQueueCap {
+		t.Fatalf("AsyncQueueCap = %d", st.AsyncQueueCap)
+	}
+	if st.BackpressureRejects != 0 || st.WorkerExits != 0 {
+		t.Fatalf("idle lifecycle counters nonzero: %+v", st)
+	}
+	sys.Close()
+	st = sys.Stats()[0]
+	if st.AsyncWorkers != 0 || st.WorkerExits == 0 || st.AsyncQueueDepth != 0 {
+		t.Fatalf("post-close stats: %+v", st)
 	}
 }
