@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race lint ppclint vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race detector over the concurrency-sensitive packages (CI matrix).
+race:
+	$(GO) test -race ./rt ./internal/core ./internal/lrpc ./internal/locks ./internal/workload
+
+vet:
+	$(GO) vet ./...
+
+# ppclint enforces the paper's hot-path invariants; see docs/INVARIANTS.md.
+ppclint:
+	cd tools/ppclint && $(GO) test ./...
+	$(GO) run ./tools/ppclint ./...
+
+lint: vet ppclint
+
+ci: build lint test race

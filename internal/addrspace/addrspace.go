@@ -4,6 +4,8 @@
 // TLB maintenance, and address-space switching with the dual-context TLB
 // semantics of the M88200 (switching between two *user* spaces flushes
 // the user TLB context; entering the kernel does not).
+//
+//ppc:boundary -- simulated MMU/page tables: costs are charged through the machine model, not host code
 package addrspace
 
 import (

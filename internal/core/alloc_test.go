@@ -1,0 +1,55 @@
+package core
+
+import "testing"
+
+// assertWarmCallAllocs warms the kernel's worker and descriptor pools for
+// svc, then asserts that the steady-state call path is allocation-free.
+// Under the race detector the assertion is report-only (instrumentation
+// allocates on its own).
+func assertWarmCallAllocs(t *testing.T, e *testEnv, svc *Service, label string) {
+	t.Helper()
+	c := e.k.NewClientProgram("client", 0)
+	ep := svc.EP()
+	var args Args
+
+	// Warm until the worker pool and CD pool are populated so Frank's
+	// provisioning and descriptor creation run outside the measured loop.
+	for i := 0; i < 16; i++ {
+		args.SetOp(1, 0)
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		args.SetOp(1, 0)
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("%s: warm call allocates %.1f objects/op under -race (report-only)", label, allocs)
+		} else {
+			t.Fatalf("%s: warm call allocates %.1f objects/op, want 0", label, allocs)
+		}
+	}
+}
+
+// TestWarmCallAllocsPooledCD pins the no-allocation invariant for the
+// common case: a call descriptor drawn from the per-entry pool.
+func TestWarmCallAllocsPooledCD(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "null", true, nil)
+	assertWarmCallAllocs(t, e, svc, "pooled-CD")
+}
+
+// TestWarmCallAllocsHeldCD pins the same invariant for the held-CD
+// optimization, where the worker keeps its descriptor across calls.
+func TestWarmCallAllocsHeldCD(t *testing.T) {
+	e := newEnv(t, 1)
+	svc := e.bindNull(t, "null-held", true, func(cfg *ServiceConfig) {
+		cfg.HoldCD = true
+	})
+	assertWarmCallAllocs(t, e, svc, "held-CD")
+}

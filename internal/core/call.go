@@ -48,6 +48,10 @@ func (k callKind) String() string {
 // trap) and accesses no shared data, so its cost is independent of what
 // every other processor is doing — the property Figures 2 and 3 rest
 // on.
+//
+//ppc:hotpath
+//ppc:shard(localEntry)
+//ppc:shard(cdPool)
 func (k *Kernel) call(p *machine.Processor, caller *proc.Process, ep EntryPointID, args *Args, kind callKind) error {
 	pp := k.perProc[p.ID()]
 	fromKernel := p.Mode() == machine.ModeSupervisor
@@ -223,7 +227,11 @@ func (k *Kernel) call(p *machine.Processor, caller *proc.Process, ep EntryPointI
 	var authErr error
 	faulted := false
 	p.PushCat(machine.CatServerTime)
-	ctx := &Ctx{k: k, p: p, worker: w, svc: svc, kind: kind}
+	// The context is held in the worker record and overwritten per call:
+	// a nested call runs on a different worker, so reuse is safe, and the
+	// hot path allocates nothing.
+	ctx := &w.ctx
+	*ctx = Ctx{k: k, p: p, worker: w, svc: svc, kind: kind}
 	if hasCaller {
 		ctx.CallerProgram = caller.ProgramID()
 		ctx.CallerPID = caller.PID()
@@ -284,7 +292,12 @@ func (k *Kernel) call(p *machine.Processor, caller *proc.Process, ep EntryPointI
 		p.Exec(k.segs.cdFree, k.segs.cdFree.Instrs)
 		pool := k.cdPoolFor(p.ID(), svc.trustGroup)
 		p.Access(pool.addr, 4, machine.Store)
-		pool.free = append(pool.free, cd)
+		if n := len(pool.free); n < cap(pool.free) {
+			pool.free = pool.free[:n+1]
+			pool.free[n] = cd
+		} else {
+			pool.grow(cd)
+		}
 	}
 	cd.caller = nil
 	p.Exec(k.segs.workerFree, k.segs.workerFree.Instrs)
@@ -293,7 +306,12 @@ func (k *Kernel) call(p *machine.Processor, caller *proc.Process, ep EntryPointI
 	// progress. Otherwise the worker returns to its pool.
 	if !faulted && svc.state != SvcDead && k.perProc[p.ID()].entry(ep) == le {
 		p.Access(le.addr, 4, machine.Store)
-		le.workers = append(le.workers, w)
+		if n := len(le.workers); n < cap(le.workers) {
+			le.workers = le.workers[:n+1]
+			le.workers[n] = w
+		} else {
+			le.grow(w)
+		}
 	} else {
 		k.releaseWorker(p, w)
 	}
@@ -405,6 +423,8 @@ func (k *Kernel) resumeNext(p *machine.Processor, fromKernel bool) {
 
 // failCall unwinds a call that could not be delivered (unbound or
 // killed entry point), balancing the trap.
+//
+//ppc:coldpath -- undeliverable-call unwind and error construction, not the common case
 func (k *Kernel) failCall(p *machine.Processor, caller *proc.Process, args *Args, fromKernel bool, ep EntryPointID, rc uint32) error {
 	args.SetRC(rc)
 	if !fromKernel {

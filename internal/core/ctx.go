@@ -84,12 +84,16 @@ func (c *Ctx) SetHandler(h Handler) {
 // Call makes a nested synchronous PPC from inside the handler: the
 // worker acts as the client (servers are clients of other servers, e.g.
 // bulk data transfer through the CopyServer, paper §4.2).
+//
+//ppc:hotpath
 func (c *Ctx) Call(ep EntryPointID, args *Args) error {
 	c.k.Stats.NestedCalls++
 	return c.k.call(c.p, c.worker.process, ep, args, callSync)
 }
 
 // AsyncCall makes a nested asynchronous PPC from inside the handler.
+//
+//ppc:hotpath
 func (c *Ctx) AsyncCall(ep EntryPointID, args *Args) error {
 	c.k.Stats.NestedCalls++
 	return c.k.call(c.p, c.worker.process, ep, args, callAsync)

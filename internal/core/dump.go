@@ -9,6 +9,8 @@ import (
 // DumpState renders the kernel's resource state — per-processor worker
 // pools, CD pools, bound services — for debugging and the demo tools.
 // Host-side inspection only: it charges nothing.
+//
+//ppc:shard(cdPool)
 func (k *Kernel) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "kernel: %d processors, %d services bound (%d killed), %d workers created, %d CDs created\n",

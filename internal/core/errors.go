@@ -39,6 +39,9 @@ var (
 	ErrServerFault = &CallError{Code: RCServerFault}
 )
 
+// callErr builds the error for a failed call.
+//
+//ppc:coldpath -- error construction happens only on the failure paths
 func callErr(op string, ep EntryPointID, code uint32) error {
 	return &CallError{Code: code, EP: ep, Op: op}
 }

@@ -82,6 +82,9 @@ func (k *Kernel) frankHandler(ctx *Ctx, args *Args) {
 // initializes it for the target entry point, and forwards the call
 // (here: hands the fresh worker straight back to the call path). The
 // redirect and creation costs are charged to the calling processor.
+//
+//ppc:coldpath -- Frank's worker provisioning: pool growth, not per-call work
+//ppc:shard(localEntry)
 func (k *Kernel) frankProvisionWorker(p *machine.Processor, svc *Service, le *localEntry) *Worker {
 	p.Exec(k.segs.frank, 40)
 	w := k.newWorker(p, svc)
@@ -277,6 +280,7 @@ func (k *Kernel) destroyService(p *machine.Processor, ep EntryPointID, hard bool
 }
 
 // exchangeService swaps handlers for an entry point.
+//ppc:shard(localEntry)
 func (k *Kernel) exchangeService(ep EntryPointID, cfg *ServiceConfig) error {
 	svc := k.Service(ep)
 	if svc == nil || svc.state != SvcActive {
@@ -314,6 +318,9 @@ func (k *Kernel) exchangeService(ep EntryPointID, cfg *ServiceConfig) error {
 // resources may only be touched from the processor that owns them, so
 // remote processors are interrupted to run their own cleanup (paper
 // §4.5.2) — each remote processor's clock is charged for its share.
+//
+//ppc:coldpath -- service teardown control plane, off the call path
+//ppc:shard(localEntry)
 func (k *Kernel) reclaimService(p *machine.Processor, svc *Service) {
 	for node := range k.perProc {
 		le := k.perProc[node].entry(svc.ep)
@@ -352,6 +359,8 @@ func (k *Kernel) reclaimService(p *machine.Processor, svc *Service) {
 // releaseWorker frees one pooled worker's resources on its own
 // processor: held CD stacks are unmapped and their frames returned, the
 // worker's extra stack frames are returned, and the process dies.
+//
+//ppc:coldpath -- worker destruction (fault or teardown), not the common case
 func (k *Kernel) releaseWorker(target *machine.Processor, w *Worker) {
 	ps := machine.Addr(k.layout.PageSize())
 	if w.heldCD != nil {
@@ -376,6 +385,7 @@ func (k *Kernel) releaseWorker(target *machine.Processor, w *Worker) {
 // workers, releasing the excess — pools grow and shrink dynamically as
 // needed (paper §2), and extra stacks created during peak call activity
 // are easily reclaimed.
+//ppc:shard(localEntry)
 func (k *Kernel) TrimWorkerPool(procID int, ep EntryPointID, keep int) int {
 	le := k.perProc[procID].entry(ep)
 	if le == nil {
@@ -400,6 +410,7 @@ func (k *Kernel) TrimWorkerPool(procID int, ep EntryPointID, keep int) int {
 // (paper §2): growth happens inline via Frank; this is the shrink half,
 // run from the local processor (PPC resources may only be touched by
 // their owner). It returns how many workers and CDs were released.
+//ppc:shard(cdPool)
 func (k *Kernel) ReclaimIdleResources(procID int) (workers, cds int) {
 	target := k.m.Proc(procID)
 	pp := k.perProc[procID]
@@ -443,6 +454,7 @@ func (k *Kernel) ReclaimIdleResources(procID int) (workers, cds int) {
 }
 
 // WorkerPoolSize reports the pooled (idle) workers for (procID, ep).
+//ppc:shard(localEntry)
 func (k *Kernel) WorkerPoolSize(procID int, ep EntryPointID) int {
 	le := k.perProc[procID].entry(ep)
 	if le == nil {
@@ -452,6 +464,7 @@ func (k *Kernel) WorkerPoolSize(procID int, ep EntryPointID) int {
 }
 
 // CDPoolSize reports the free call descriptors in (procID, trust group).
+//ppc:shard(cdPool)
 func (k *Kernel) CDPoolSize(procID, group int) int {
 	pool, ok := k.perProc[procID].cdPools[group]
 	if !ok {

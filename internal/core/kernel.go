@@ -84,18 +84,44 @@ func (pp *perProc) setEntry(ep EntryPointID, le *localEntry) {
 const localEntrySize = 16
 
 type localEntry struct {
-	addr    machine.Addr
-	svc     *Service
-	workers []*Worker // LIFO pool
+	addr machine.Addr
+	svc  *Service
+
+	// workers is the per-processor LIFO worker pool; only this
+	// processor's call path may touch it.
+	//
+	//ppc:shard-owned
+	workers []*Worker
+}
+
+// grow is the cold half of the call path's worker-pool push: it runs
+// only when the pool slice must be reallocated, so the per-call push
+// stays allocation-free.
+//
+//ppc:coldpath -- amortized pool growth, not per-call work
+func (le *localEntry) grow(w *Worker) {
+	le.workers = append(le.workers, w)
 }
 
 // cdPoolHeaderSize is the simulated footprint of a CD pool head.
 const cdPoolHeaderSize = 8
 
 type cdPool struct {
-	addr    machine.Addr
-	free    []*CallDescriptor // LIFO: serial stack reuse for cache locality
+	addr machine.Addr
+
+	// free is the per-processor LIFO descriptor pool: serial stack reuse
+	// for cache locality, touched only by the owning processor's calls.
+	//
+	//ppc:shard-owned
+	free    []*CallDescriptor
 	created int
+}
+
+// grow is the cold half of the call path's CD push (see localEntry.grow).
+//
+//ppc:coldpath -- amortized pool growth, not per-call work
+func (pool *cdPool) grow(cd *CallDescriptor) {
+	pool.free = append(pool.free, cd)
 }
 
 // KernelStats aggregates machine-wide PPC counters.
@@ -173,6 +199,9 @@ func (k *Kernel) SetExceptionServer(ep EntryPointID) { k.exceptionEP = ep }
 // the memory layout, virtual memory, process table, scheduler, the
 // per-processor PPC structures, and binds Frank — the kernel-level PPC
 // resource manager — to its well-known entry point.
+//
+//ppc:shard(localEntry)
+//ppc:shard(cdPool)
 func NewKernel(m *machine.Machine) *Kernel {
 	layout := mem.NewLayout(m)
 	vm := addrspace.NewManager(layout)
@@ -362,6 +391,8 @@ func (c *Client) Kernel() *Kernel { return c.k }
 
 // Call performs a synchronous PPC: the caller blocks until the 8 result
 // words are back in args.
+//
+//ppc:hotpath
 func (c *Client) Call(ep EntryPointID, args *Args) error {
 	err := c.k.call(c.p, c.process, ep, args, callSync)
 	c.resumeOwnCode()
@@ -382,6 +413,8 @@ func (c *Client) resumeOwnCode() {
 // processor ready queue rather than linked into the worker's CD, so
 // caller and worker proceed independently; no results are returned
 // (paper §4.4).
+//
+//ppc:hotpath
 func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
 	err := c.k.call(c.p, c.process, ep, args, callAsync)
 	c.resumeOwnCode()
@@ -414,6 +447,8 @@ func (k *Kernel) MapServerData(server *Server, pages int) machine.Addr {
 // newCD allocates a call descriptor (struct plus stack frame) in
 // processor node's local memory. Host-side bookkeeping; simulated cost
 // is charged by the caller (Frank or boot).
+//
+//ppc:coldpath -- Frank manufactures CDs only when a pool runs dry
 func (k *Kernel) newCD(node int) *CallDescriptor {
 	k.Stats.CDsCreated++
 	return &CallDescriptor{
@@ -506,13 +541,21 @@ func (k *Kernel) installLocalEntry(node int, svc *Service) *localEntry {
 }
 
 // cdPoolFor returns processor node's CD pool for the trust group,
-// creating it on first use.
+// creating it on first use. The common case is one map read; creation
+// is delegated so the call path stays allocation-free.
 func (k *Kernel) cdPoolFor(node, group int) *cdPool {
 	pp := k.perProc[node]
-	pool, ok := pp.cdPools[group]
-	if !ok {
-		pool = &cdPool{addr: k.layout.AllocAligned(node, cdPoolHeaderSize)}
-		pp.cdPools[group] = pool
+	if pool, ok := pp.cdPools[group]; ok {
+		return pool
 	}
+	return k.newCDPool(pp, node, group)
+}
+
+// newCDPool creates a trust group's CD pool on first use.
+//
+//ppc:coldpath -- first-use pool creation, once per (processor, trust group)
+func (k *Kernel) newCDPool(pp *perProc, node, group int) *cdPool {
+	pool := &cdPool{addr: k.layout.AllocAligned(node, cdPoolHeaderSize)}
+	pp.cdPools[group] = pool
 	return pool
 }

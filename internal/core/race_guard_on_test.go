@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Zero-allocation assertions are report-only under the race detector:
+// instrumentation inserts allocations of its own.
+const raceEnabled = true

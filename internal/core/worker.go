@@ -70,6 +70,12 @@ type Worker struct {
 	// in the steady-state handler on first call (paper §4.5.3).
 	handler Handler
 
+	// ctx is the worker's call context, overwritten at the start of each
+	// call it services. Holding it here keeps the per-call path
+	// allocation-free; nested calls run on different workers, so one
+	// context per worker is enough.
+	ctx Ctx
+
 	// Calls counts the calls serviced by this worker.
 	Calls int64
 }

@@ -45,8 +45,8 @@ func RunCoherenceComparison(maxProcs int) (CoherenceComparison, error) {
 }
 
 // PPCCoherenceInvariance measures the warm null-PPC cost on both
-// machines; the fast path touches no shared data, so hardware
-// coherence must not change it at all.
+// machines; the common-case call path touches no shared data, so
+// hardware coherence must not change it at all.
 func PPCCoherenceInvariance() (noCoherenceUS, coherentUS float64, err error) {
 	measure := func(params machine.Params) (float64, error) {
 		r, err := runFig2Custom(Fig2Config{KernelTarget: false, Cache: CachePrimed}, params)

@@ -1,0 +1,42 @@
+package lrpc
+
+import (
+	"testing"
+
+	"hurricane/internal/core"
+	"hurricane/internal/machine"
+	"hurricane/internal/proc"
+)
+
+// TestPerProcCallAllocs pins the no-allocation invariant for the lock-free
+// per-processor LRPC fast path (callOnPerProc): once the binding's A-stack
+// pools are warm, a call must not touch the heap. Under the race detector
+// the assertion is report-only (instrumentation allocates on its own).
+func TestPerProcCallAllocs(t *testing.T) {
+	k, f := setup(t, 1)
+	b := f.NewBindingPerProc("fast", 2, func(p *machine.Processor, caller *proc.Process, args *core.Args) {
+		args.SetRC(core.RCOK)
+	})
+	c := k.NewClientProgram("client", 0)
+	var args core.Args
+
+	// Warm the per-processor A-stack pool.
+	for i := 0; i < 16; i++ {
+		if err := f.Call(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := f.Call(c, b, &args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("per-proc LRPC call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("per-proc LRPC call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}

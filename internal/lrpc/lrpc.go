@@ -42,6 +42,10 @@ type astack struct {
 	// coherence costs depend on it.
 	lastUser  int
 	dirtySpan int // bytes dirtied during the last call
+	// inUse marks the stack as allocated to a call in progress. A flag
+	// on the stack itself (rather than a side map) keeps allocation and
+	// release free of map mutation on the per-call path.
+	inUse bool
 }
 
 // Binding connects clients to one server interface, with its own
@@ -53,7 +57,6 @@ type Binding struct {
 
 	lock    *locks.SpinLock
 	stacks  []*astack
-	inUse   map[*astack]bool
 	binding machine.Addr // the binding object (read-mostly, cacheable)
 
 	// perProc/poolAddr, when non-nil, replace the shared list with
@@ -110,7 +113,6 @@ func (f *Facility) NewBinding(name string, node int, nStacks int, h Handler) *Bi
 		handler: h,
 		node:    node,
 		binding: layout.AllocAligned(node, 64),
-		inUse:   make(map[*astack]bool),
 	}
 	b.lock = locks.NewSpinLock("lrpc."+name, layout.AllocAligned(node, 8))
 	for i := 0; i < nStacks; i++ {
@@ -143,7 +145,6 @@ func (f *Facility) NewBindingPerProc(name string, stacksPerProc int, h Handler) 
 		handler:  h,
 		node:     0,
 		binding:  layout.AllocAligned(0, 64),
-		inUse:    make(map[*astack]bool),
 		perProc:  make([][]*astack, n),
 		poolAddr: make([]machine.Addr, n),
 	}
@@ -240,7 +241,7 @@ func (f *Facility) callOn(p *machine.Processor, caller *proc.Process, b *Binding
 	p.Access(b.lock.Addr()+4, 8, machine.SharedLoad) // list head
 	var st *astack
 	for _, cand := range b.stacks {
-		if !b.inUse[cand] {
+		if !cand.inUse {
 			st = cand
 			break
 		}
@@ -248,9 +249,9 @@ func (f *Facility) callOn(p *machine.Processor, caller *proc.Process, b *Binding
 	if st == nil {
 		b.lock.Release(p)
 		p.PopCat()
-		return fmt.Errorf("lrpc: binding %q out of A-stacks", b.name)
+		return errOutOfStacks(b.name, -1)
 	}
-	b.inUse[st] = true
+	st.inUse = true
 	p.Access(b.lock.Addr()+4, 4, machine.SharedStore)
 	b.lock.Release(p)
 
@@ -278,14 +279,19 @@ func (f *Facility) callOn(p *machine.Processor, caller *proc.Process, b *Binding
 	f.flushStack(p, st)
 	b.lock.Acquire(p)
 	p.Access(b.lock.Addr()+4, 4, machine.SharedStore)
-	delete(b.inUse, st)
+	st.inUse = false
 	b.lock.Release(p)
 	p.PopCat()
 	return nil
 }
 
 // callOnPerProc is the exclusive-pools variant: local pool, no lock,
-// no coherence flush, otherwise the identical LRPC sequence.
+// no coherence flush, otherwise the identical LRPC sequence — the fast
+// path this comparator shares with PPC. (The locked callOn above is
+// deliberately NOT annotated //ppc:hotpath: its lock and shared list
+// are the comparator's point.)
+//
+//ppc:hotpath
 func (f *Facility) callOnPerProc(p *machine.Processor, caller *proc.Process, b *Binding, args *core.Args) error {
 	b.Calls++
 	id := p.ID()
@@ -297,16 +303,16 @@ func (f *Facility) callOnPerProc(p *machine.Processor, caller *proc.Process, b *
 	p.Access(b.poolAddr[id], 8, machine.Load)
 	var st *astack
 	for _, cand := range b.perProc[id] {
-		if !b.inUse[cand] {
+		if !cand.inUse {
 			st = cand
 			break
 		}
 	}
 	if st == nil {
 		p.PopCat()
-		return fmt.Errorf("lrpc: binding %q out of A-stacks on processor %d", b.name, id)
+		return errOutOfStacks(b.name, id)
 	}
-	b.inUse[st] = true
+	st.inUse = true
 	p.Access(b.poolAddr[id], 4, machine.Store)
 	p.Access(st.addr, core.NumArgWords*4, machine.Store)
 	p.PopCat()
@@ -322,9 +328,20 @@ func (f *Facility) callOnPerProc(p *machine.Processor, caller *proc.Process, b *
 	p.Access(st.addr, core.NumArgWords*4, machine.Load)
 	// No flush: the stack never leaves this processor.
 	p.Access(b.poolAddr[id], 4, machine.Store)
-	delete(b.inUse, st)
+	st.inUse = false
 	p.PopCat()
 	return nil
+}
+
+// errOutOfStacks builds the pool-exhaustion error (procID < 0 for the
+// shared-list variant).
+//
+//ppc:coldpath -- pool-exhaustion error construction, off the per-call path
+func errOutOfStacks(name string, procID int) error {
+	if procID < 0 {
+		return fmt.Errorf("lrpc: binding %q out of A-stacks", name)
+	}
+	return fmt.Errorf("lrpc: binding %q out of A-stacks on processor %d", name, procID)
 }
 
 // flushStack writes back the A-stack lines this call dirtied, charging

@@ -12,6 +12,8 @@
 //
 // All state is deterministic: there is no wall-clock input and no
 // map-iteration dependence on any charged path.
+//
+//ppc:boundary -- simulated hardware: host-side modeling cost is outside the paper's invariant
 package machine
 
 // Params holds the cost parameters of the simulated machine. The defaults

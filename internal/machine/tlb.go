@@ -65,7 +65,9 @@ func (t *TLB) Touch(ctx TLBContext, page uint32, stamp uint64) (missed bool) {
 // between user address spaces).
 func (t *TLB) FlushContext(ctx TLBContext) {
 	t.Flushes++
-	t.ctx[ctx] = make(map[uint32]uint64, t.entries)
+	// Clear in place: a flush happens on every user-to-user address-space
+	// switch, i.e. on every simulated PPC, so it must not allocate.
+	clear(t.ctx[ctx])
 }
 
 // FlushPage removes a single translation from a context (TLB shootdown

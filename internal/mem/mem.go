@@ -8,6 +8,8 @@
 // This package does host-side bookkeeping only; the *simulated* cost of
 // manipulating allocator state (free-list heads and links) is charged by
 // the kernel code that uses it, via the exported cost-anchor addresses.
+//
+//ppc:boundary -- simulated physical memory: host-side bookkeeping, costs charged by callers
 package mem
 
 import (

@@ -3,6 +3,8 @@
 // local kernel memory, program IDs for server-side authentication
 // (paper §4.1), and the minimal kernel state save/restore whose cost
 // appears as the "kernel save/restore" segment of Figure 2.
+//
+//ppc:boundary -- simulated process state: host-side bookkeeping, costs charged via the machine model
 package proc
 
 import (

@@ -77,6 +77,20 @@ func (s *Scheduler) Enqueue(p *machine.Processor, pr *proc.Process) {
 	q := &s.queues[p.ID()]
 	p.Access(q.header, 8, machine.Store)
 	pr.SetState(proc.StateReady)
+	if n := len(q.items); n < cap(q.items) {
+		q.items = q.items[:n+1]
+		q.items[n] = pr
+	} else {
+		q.grow(pr)
+	}
+}
+
+// grow is the cold half of Enqueue's push: it runs only when the queue
+// slice must be reallocated, keeping the steady-state enqueue
+// allocation-free.
+//
+//ppc:coldpath -- amortized ready-queue growth, not per-enqueue work
+func (q *readyQueue) grow(pr *proc.Process) {
 	q.items = append(q.items, pr)
 }
 

@@ -1,0 +1,95 @@
+package hurricane
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotPathDocsCarryAnnotations guards against annotation drift: any
+// function whose doc comment claims to be a "fast path" or "hot path"
+// must either carry a //ppc:hotpath or //ppc:coldpath directive (so
+// ppclint actually checks the claim) or live in a package whose package
+// comment declares //ppc:boundary (simulated hardware, outside the
+// invariant). Prose claims that the linter cannot see rot silently;
+// this test makes them load-bearing.
+// hasDirective reports whether the comment group contains a line that
+// starts with the given directive. CommentGroup.Text() strips directive
+// comments, so the raw list must be scanned.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHotPathDocsCarryAnnotations(t *testing.T) {
+	fset := token.NewFileSet()
+	boundaryDirs := map[string]bool{}
+	type parsed struct {
+		path string
+		file *ast.File
+	}
+	var files []parsed
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || path == "tools" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		if hasDirective(f.Doc, "//ppc:boundary") {
+			boundaryDirs[filepath.Dir(path)] = true
+		}
+		files = append(files, parsed{path: path, file: f})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pf := range files {
+		if boundaryDirs[filepath.Dir(pf.path)] {
+			continue
+		}
+		for _, decl := range pf.file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Doc != nil {
+				lower := strings.ToLower(fn.Doc.Text())
+				if !strings.Contains(lower, "fast path") && !strings.Contains(lower, "hot path") {
+					continue
+				}
+				if hasDirective(fn.Doc, "//ppc:hotpath") || hasDirective(fn.Doc, "//ppc:coldpath") {
+					continue
+				}
+				pos := fset.Position(fn.Pos())
+				t.Errorf("%s:%d: %s's doc comment claims a fast/hot path but carries no //ppc:hotpath or //ppc:coldpath directive; annotate it so ppclint enforces the claim (see docs/INVARIANTS.md)",
+					pos.Filename, pos.Line, fn.Name.Name)
+			}
+		}
+	}
+	if len(boundaryDirs) == 0 {
+		t.Error("no //ppc:boundary package comments found; expected at least internal/machine")
+	}
+}

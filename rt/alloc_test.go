@@ -1,0 +1,41 @@
+package rt
+
+import "testing"
+
+// TestWarmSyncCallAllocs pins the paper's no-allocation invariant for the
+// warm synchronous call path: once a client's shard has a call descriptor
+// in its free pool, Client.Call must not touch the heap. Under the race
+// detector the assertion is report-only (instrumentation allocates).
+func TestWarmSyncCallAllocs(t *testing.T) {
+	sys := NewSystem()
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "null", Handler: func(ctx *Ctx, args *Args) {
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClient()
+	ep := svc.EP()
+	var args Args
+
+	// Warm the shard's descriptor pool and run any first-call setup.
+	for i := 0; i < 16; i++ {
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm sync call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm sync call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}

@@ -38,6 +38,8 @@ func (c *Ctx) Shard() int { return c.cd.shard.id }
 
 // Call makes a nested synchronous call (the server acting as a client)
 // on the same shard.
+//
+//ppc:hotpath
 func (c *Ctx) Call(ep EntryPointID, args *Args) error {
 	return c.sys.callOn(c.cd.shard, ep, args, c.svc.epProgram(), false, nil)
 }
@@ -78,6 +80,8 @@ func (c *Client) Shard() int { return c.shard.id }
 // Call performs a synchronous PPC-style call: the calling goroutine
 // crosses directly into the server's handler, using only shard-local
 // resources. No locks, no shared mutable data on this path.
+//
+//ppc:hotpath
 func (c *Client) Call(ep EntryPointID, args *Args) error {
 	return c.sys.callOn(c.shard, ep, args, c.program, false, nil)
 }
@@ -85,12 +89,16 @@ func (c *Client) Call(ep EntryPointID, args *Args) error {
 // AsyncCall detaches the caller: the request is handed to the shard's
 // worker pool and the caller continues immediately (§4.4). No results
 // are returned.
+//
+//ppc:hotpath
 func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
 	return c.sys.callOn(c.shard, ep, args, c.program, true, nil)
 }
 
 // AsyncCallNotify is AsyncCall with a completion notification sent on
 // done (the file-prefetch pattern: fire many, collect later).
+//
+//ppc:hotpath
 func (c *Client) AsyncCallNotify(ep EntryPointID, args *Args, done chan<- struct{}) error {
 	return c.sys.callOn(c.shard, ep, args, c.program, true, done)
 }
@@ -117,6 +125,8 @@ func runIsolated(h Handler, ctx *Ctx, args *Args) (fault any) {
 func (s *Service) epProgram() uint32 { return uint32(s.ep) | 1<<31 }
 
 // callOn is the fast path.
+//
+//ppc:hotpath
 func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}) error {
 	if int(ep) >= MaxEntryPoints {
 		return ErrBadEntryPoint
@@ -149,6 +159,13 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 		return nil
 	}
 	return s.serviceOne(sh, svc, args, program, false, false)
+}
+
+// faultError wraps a recovered handler panic for the caller.
+//
+//ppc:coldpath -- fault wrapping happens only when a handler panicked
+func faultError(fault any) error {
+	return fmt.Errorf("%w: %v", ErrServerFault, fault)
 }
 
 // serviceOne runs one request to completion on sh. accounted marks
@@ -203,7 +220,7 @@ func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32,
 		// isolation of the paper's §2: the exception is delivered to
 		// the caller as an error, and the service stays up.
 		if fault := runIsolated(h, ctx, args); fault != nil {
-			err = fmt.Errorf("%w: %v", ErrServerFault, fault)
+			err = faultError(fault)
 		} else if !async {
 			counters.calls.Add(1)
 		}

@@ -166,7 +166,9 @@ type Service struct {
 	ep   EntryPointID
 	name string
 
-	state   atomic.Int32
+	//ppc:atomic
+	state atomic.Int32
+	//ppc:atomic
 	handler atomic.Pointer[Handler]
 
 	authorize    func(uint32) bool
@@ -177,6 +179,8 @@ type Service struct {
 	// (coalesced) notification each time an admitted call completes or
 	// backs out. Only the drain loop blocks on it; completers post
 	// non-blocking, so the call path stays lock-free.
+	//
+	//ppc:atomic
 	quiesce atomic.Pointer[chan struct{}]
 
 	// Per-shard counters, padded: no call ever writes a cache line
@@ -512,20 +516,12 @@ type ShardStats struct {
 
 // Stats returns per-shard pool statistics (diagnostics; walks the
 // pools, not for the hot path).
+//
+//ppc:coldpath -- diagnostics walk, deliberately off the call path
 func (s *System) Stats() []ShardStats {
 	out := make([]ShardStats, len(s.shards))
 	for i := range s.shards {
-		sh := &s.shards[i]
-		out[i] = ShardStats{
-			Shard:               i,
-			CDsCreated:          sh.cdsCreated.Load(),
-			PooledCDs:           sh.poolSize(),
-			AsyncWorkers:        sh.workers.Load(),
-			WorkerExits:         sh.workerExits.Load(),
-			AsyncQueueDepth:     len(sh.asyncQ),
-			AsyncQueueCap:       cap(sh.asyncQ),
-			BackpressureRejects: sh.backpressure.Load(),
-		}
+		out[i] = s.shards[i].stats(i)
 	}
 	return out
 }

@@ -47,6 +47,9 @@ type shard struct {
 	// *correctness* does not depend on the binding discipline, only
 	// performance — and Go's GC makes the ABA problem moot (nodes are
 	// never unsafely reused).
+	//
+	//ppc:shard-owned
+	//ppc:atomic
 	free atomic.Pointer[callDesc]
 
 	// cdsCreated counts descriptor allocations (pool growth).
@@ -57,9 +60,12 @@ type shard struct {
 	// created as needed). The channel is never closed — workers are
 	// told to exit via stop, so submitters never risk a send on a
 	// closed channel and never need a lock around the send.
+	//
+	//ppc:shard-owned
 	asyncQ chan asyncReq
 	// stop, once closed, tells workers to drain asyncQ and exit.
 	stop       chan struct{}
+	//ppc:atomic
 	workers    atomic.Int64
 	maxWorkers int64
 	submitWait time.Duration
@@ -67,12 +73,15 @@ type shard struct {
 	// submitting counts submissions between their closed-check and the
 	// completion of their enqueue (or rejection). close waits for it to
 	// reach zero so the queue contents are final before the drain.
+	//
+	//ppc:atomic
 	submitting atomic.Int64
 
 	// Lifecycle observability (see ShardStats).
 	backpressure atomic.Int64
 	workerExits  atomic.Int64
 
+	//ppc:atomic
 	closed atomic.Bool
 	qMu    sync.Mutex // guards worker spawn vs close — never on the submit fast path
 	wg     sync.WaitGroup
@@ -96,25 +105,42 @@ func (sh *shard) init(id int) {
 	sh.submitWait = defaultSubmitWait
 }
 
-// popCD takes a descriptor from the shard pool, or allocates one.
+// popCD takes a descriptor from the shard pool, or allocates one. The
+// warm path is one CAS; descriptor creation and scratch growth are the
+// cold halves.
 func (sh *shard) popCD(scratchBytes int) *callDesc {
 	for {
 		top := sh.free.Load()
 		if top == nil {
-			sh.cdsCreated.Add(1)
-			cd := &callDesc{shard: sh, scratch: make([]byte, scratchBytes)}
-			return cd
+			return sh.newCD(scratchBytes)
 		}
 		next := top.next.Load()
 		if sh.free.CompareAndSwap(top, next) {
 			top.next.Store(nil)
 			if cap(top.scratch) < scratchBytes {
-				top.scratch = make([]byte, scratchBytes)
+				growScratch(top, scratchBytes)
 			}
 			top.scratch = top.scratch[:scratchBytes]
 			return top
 		}
 	}
+}
+
+// newCD manufactures a call descriptor when the pool is empty — the
+// analogue of Frank provisioning a CD from local memory.
+//
+//ppc:coldpath -- pool growth: runs only while the pool is warming up
+func (sh *shard) newCD(scratchBytes int) *callDesc {
+	sh.cdsCreated.Add(1)
+	return &callDesc{shard: sh, scratch: make([]byte, scratchBytes)}
+}
+
+// growScratch replaces a pooled descriptor's scratch buffer when a
+// service with a larger requirement borrows it.
+//
+//ppc:coldpath -- amortized scratch growth, at most once per descriptor per size
+func growScratch(cd *callDesc, scratchBytes int) {
+	cd.scratch = make([]byte, scratchBytes)
 }
 
 // pushCD returns a descriptor to the pool.
@@ -146,6 +172,8 @@ func (sh *shard) poolSize() int {
 // overload is reported to the one overloading submitter instead of
 // head-of-line-blocking every other submitter (and Close) behind a
 // held lock.
+//
+//ppc:hotpath
 func (sh *shard) submitAsync(req asyncReq) error {
 	sh.submitting.Add(1)
 	defer sh.submitting.Add(-1)
@@ -160,8 +188,15 @@ func (sh *shard) submitAsync(req asyncReq) error {
 		return nil
 	default:
 	}
-	// Queue full: grow the worker pool if it has headroom (spawnWorker
-	// refuses at maxWorkers), then wait a bounded time for space.
+	return sh.submitSlow(req)
+}
+
+// submitSlow is the queue-full half of submitAsync: grow the worker
+// pool if it has headroom (spawnWorker refuses at maxWorkers), then
+// wait a bounded time for space before reporting backpressure.
+//
+//ppc:coldpath -- overload handling: the queue is full, the caller is already paying
+func (sh *shard) submitSlow(req asyncReq) error {
 	sh.spawnWorker(req.sys)
 	timer := time.NewTimer(sh.submitWait)
 	defer timer.Stop()
@@ -178,6 +213,8 @@ func (sh *shard) submitAsync(req asyncReq) error {
 // the shard is closing. The lock is control-plane only: spawns happen
 // when the pool is empty or the queue backed up, never on the steady
 // submit path.
+//
+//ppc:coldpath -- worker-pool growth control plane, guarded against close, off the steady submit path
 func (sh *shard) spawnWorker(sys *System) {
 	sh.qMu.Lock()
 	defer sh.qMu.Unlock()
@@ -219,6 +256,23 @@ func (sh *shard) handleAsync(sys *System, req asyncReq) {
 	sys.serviceOne(sh, req.svc, &req.args, req.prog, true, true)
 	if req.done != nil {
 		req.done <- struct{}{}
+	}
+}
+
+// stats snapshots the shard's pool and async lifecycle state for
+// System.Stats (diagnostics, not the hot path).
+//
+//ppc:coldpath -- diagnostics snapshot, deliberately off the call path
+func (sh *shard) stats(i int) ShardStats {
+	return ShardStats{
+		Shard:               i,
+		CDsCreated:          sh.cdsCreated.Load(),
+		PooledCDs:           sh.poolSize(),
+		AsyncWorkers:        sh.workers.Load(),
+		WorkerExits:         sh.workerExits.Load(),
+		AsyncQueueDepth:     len(sh.asyncQ),
+		AsyncQueueCap:       cap(sh.asyncQ),
+		BackpressureRejects: sh.backpressure.Load(),
 	}
 }
 

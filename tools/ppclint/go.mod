@@ -1,0 +1,3 @@
+module hurricane/tools/ppclint
+
+go 1.22

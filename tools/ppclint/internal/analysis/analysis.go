@@ -1,0 +1,260 @@
+// Package analysis is ppclint's tiny analyzer framework: the shape of
+// golang.org/x/tools/go/analysis (Analyzer, diagnostics, a driver
+// contract) re-implemented on the standard library so the linter can be
+// built offline with no dependencies. Analyzers run over a whole
+// Program (all module-local packages at once) because the invariants
+// they enforce — hot-path reachability, shard confinement — cross
+// package boundaries.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hurricane/tools/ppclint/internal/load"
+)
+
+// Diagnostic is one finding, positioned at the offending node.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Program) []Diagnostic
+}
+
+// Program is the analyzed world: the loaded packages plus the parsed
+// //ppc: annotation index shared by all analyzers.
+type Program struct {
+	Fset        *token.FileSet
+	Packages    []*load.Package
+	Annotations *Annotations
+}
+
+// FuncInfo ties a declared function to its syntax and owning package.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *load.Package
+}
+
+// FieldInfo ties an annotated struct field to its declaration site.
+type FieldInfo struct {
+	Owner *types.Named // the struct's named type
+	Field *types.Var
+	Pkg   *load.Package
+	Pos   token.Pos
+}
+
+// Annotations is the parsed //ppc: directive index.
+//
+// The grammar (one directive per comment line, in a declaration's doc
+// comment; `-- reason` suffixes are free text):
+//
+//	//ppc:hotpath [-- note]           on a func: root of a hot path
+//	//ppc:coldpath -- reason          on a func: walk boundary (reason required)
+//	//ppc:shard(Type) [-- reason]     on a func: may touch Type's shard-owned fields
+//	//ppc:shard-owned                 on a struct field: confined to its owner
+//	//ppc:atomic                      on a struct field: sync/atomic access only
+//	//ppc:boundary -- reason          in a package doc: calls into this package
+//	                                  are not walked (it models the machine)
+type Annotations struct {
+	Hot      map[*types.Func]bool
+	Cold     map[*types.Func]bool
+	ShardOf  map[*types.Func][]string // type names granted by //ppc:shard(T)
+	Owned    map[*types.Var]*FieldInfo
+	Atomic   map[*types.Var]*FieldInfo
+	Boundary map[string]bool // package path -> //ppc:boundary
+	Funcs    map[*types.Func]*FuncInfo
+
+	// Problems are malformed or contradictory directives, reported by
+	// the driver as diagnostics in their own right.
+	Problems []Diagnostic
+}
+
+// directive is one parsed //ppc: line.
+type directive struct {
+	verb   string // "hotpath", "coldpath", "shard", ...
+	arg    string // parenthesized argument, if any
+	reason string // text after "--", if any
+	pos    token.Pos
+}
+
+// parseDirectives extracts //ppc: lines from a comment group.
+func parseDirectives(cg *ast.CommentGroup) []directive {
+	if cg == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, "//ppc:")
+		if !ok {
+			continue
+		}
+		d := directive{pos: c.Pos()}
+		if body, reason, ok := strings.Cut(text, "--"); ok {
+			text, d.reason = strings.TrimSpace(body), strings.TrimSpace(reason)
+		} else {
+			text = strings.TrimSpace(text)
+		}
+		if i := strings.IndexByte(text, '('); i >= 0 && strings.HasSuffix(text, ")") {
+			d.verb = text[:i]
+			d.arg = strings.TrimSpace(text[i+1 : len(text)-1])
+		} else {
+			d.verb = text
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// CollectAnnotations parses every //ppc: directive in the program.
+func CollectAnnotations(pkgs []*load.Package) *Annotations {
+	a := &Annotations{
+		Hot:      make(map[*types.Func]bool),
+		Cold:     make(map[*types.Func]bool),
+		ShardOf:  make(map[*types.Func][]string),
+		Owned:    make(map[*types.Var]*FieldInfo),
+		Atomic:   make(map[*types.Var]*FieldInfo),
+		Boundary: make(map[string]bool),
+		Funcs:    make(map[*types.Func]*FuncInfo),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range parseDirectives(file.Doc) {
+				if d.verb == "boundary" {
+					if d.reason == "" {
+						a.problemf(d.pos, "//ppc:boundary needs a justification: //ppc:boundary -- reason")
+					}
+					a.Boundary[pkg.PkgPath] = true
+				} else {
+					a.problemf(d.pos, "//ppc:%s is not a package-level directive", d.verb)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					a.collectFunc(pkg, n)
+					return false // directives inside bodies are not declarations
+				case *ast.TypeSpec:
+					a.collectType(pkg, n)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func (a *Annotations) collectFunc(pkg *load.Package, decl *ast.FuncDecl) {
+	obj, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	a.Funcs[obj] = &FuncInfo{Decl: decl, Pkg: pkg}
+	for _, d := range parseDirectives(decl.Doc) {
+		switch d.verb {
+		case "hotpath":
+			a.Hot[obj] = true
+		case "coldpath":
+			if d.reason == "" {
+				a.problemf(d.pos, "//ppc:coldpath on %s needs a justification: //ppc:coldpath -- reason", obj.Name())
+			}
+			a.Cold[obj] = true
+		case "shard":
+			if d.arg == "" {
+				a.problemf(d.pos, "//ppc:shard needs an owner type: //ppc:shard(Type)")
+				continue
+			}
+			a.ShardOf[obj] = append(a.ShardOf[obj], d.arg)
+		default:
+			a.problemf(d.pos, "unknown directive //ppc:%s on %s", d.verb, obj.Name())
+		}
+	}
+	if a.Hot[obj] && a.Cold[obj] {
+		a.problemf(decl.Pos(), "%s is marked both //ppc:hotpath and //ppc:coldpath", obj.Name())
+	}
+}
+
+func (a *Annotations) collectType(pkg *load.Package, spec *ast.TypeSpec) {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	named, _ := pkg.Info.Defs[spec.Name].(*types.TypeName)
+	if named == nil {
+		return
+	}
+	owner, _ := named.Type().(*types.Named)
+	if owner == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		dirs := parseDirectives(field.Doc)
+		dirs = append(dirs, parseDirectives(field.Comment)...)
+		if len(dirs) == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			fv, _ := pkg.Info.Defs[name].(*types.Var)
+			if fv == nil {
+				continue
+			}
+			info := &FieldInfo{Owner: owner, Field: fv, Pkg: pkg, Pos: name.Pos()}
+			for _, d := range dirs {
+				switch d.verb {
+				case "shard-owned":
+					a.Owned[fv] = info
+				case "atomic":
+					a.Atomic[fv] = info
+				default:
+					a.problemf(d.pos, "unknown field directive //ppc:%s on %s.%s", d.verb, owner.Obj().Name(), fv.Name())
+				}
+			}
+		}
+		if len(field.Names) == 0 {
+			a.problemf(field.Pos(), "//ppc: field directives are not supported on embedded fields")
+		}
+	}
+}
+
+func (a *Annotations) problemf(pos token.Pos, format string, args ...any) {
+	a.Problems = append(a.Problems, Diagnostic{Pos: pos, Analyzer: "ppcdirective", Message: fmt.Sprintf(format, args...)})
+}
+
+// FuncDisplayName renders a function for diagnostics: Recv.Name or Name.
+func FuncDisplayName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return n.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}
+
+// SortDiagnostics orders diagnostics by position for stable output.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

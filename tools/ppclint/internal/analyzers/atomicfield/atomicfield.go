@@ -1,0 +1,141 @@
+// Package atomicfield enforces consistent atomicity on fields tagged
+// //ppc:atomic: either the field's type is one of the sync/atomic
+// wrapper types (atomic.Int64 and friends — always safe), or every
+// access must pass &field directly to a sync/atomic function. A plain
+// read racing an atomic write is exactly the mixed-access bug class the
+// kill/admission path had before the increment-then-check protocol was
+// introduced; this analyzer makes the fix structural.
+//
+// Construction-time keyed composite literals (Owner{field: v}) are not
+// selector expressions and are therefore permitted: a value that has
+// not been published yet cannot race.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hurricane/tools/ppclint/internal/analysis"
+)
+
+// name is the analyzer name used in diagnostics.
+const name = "atomicfield"
+
+// Analyzer is the atomic-access checker.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "//ppc:atomic fields must be sync/atomic types or accessed only through sync/atomic calls",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) []analysis.Diagnostic {
+	ann := prog.Annotations
+	if len(ann.Atomic) == 0 {
+		return nil
+	}
+	var diags []analysis.Diagnostic
+	for fn, info := range ann.Funcs {
+		if info.Decl.Body == nil {
+			continue
+		}
+		pkgInfo := info.Pkg.Info
+
+		// Selector expressions whose address feeds a sync/atomic call
+		// directly are the sanctioned access form.
+		sanctioned := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkgInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pkgInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			fi := ann.Atomic[fv]
+			if fi == nil || atomicWrapperType(fv.Type()) || sanctioned[sel] {
+				return true
+			}
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      sel.Sel.Pos(),
+				Analyzer: name,
+				Message: fmt.Sprintf("%s: plain access to //ppc:atomic field %s.%s (use sync/atomic, or an atomic.%s-style type)",
+					analysis.FuncDisplayName(fn), fi.Owner.Obj().Name(), fv.Name(),
+					wrapperSuggestion(fv.Type())),
+			})
+			return true
+		})
+	}
+	analysis.SortDiagnostics(prog.Fset, diags)
+	return diags
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// atomicWrapperType reports whether t is one of the sync/atomic wrapper
+// types (atomic.Int64, atomic.Pointer[T], ...).
+func atomicWrapperType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// wrapperSuggestion names the atomic wrapper matching the field's type.
+func wrapperSuggestion(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	}
+	return "Value"
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"hurricane/tools/ppclint/internal/analyzers/atomicfield"
+	"hurricane/tools/ppclint/internal/ppctest"
+)
+
+func TestAtomicField(t *testing.T) {
+	ppctest.Run(t, "testdata/src/atomicfix", atomicfield.Analyzer)
+}

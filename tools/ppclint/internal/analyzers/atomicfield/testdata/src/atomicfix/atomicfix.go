@@ -1,0 +1,41 @@
+// Package atomicfix is the atomicfield analyzer's fixture.
+package atomicfix
+
+import "sync/atomic"
+
+// Counter mixes the two sanctioned shapes and a raw field.
+type Counter struct {
+	//ppc:atomic
+	n int64
+
+	//ppc:atomic
+	flag atomic.Bool
+
+	plain int64
+}
+
+// Inc uses the sanctioned &field-into-sync/atomic form.
+func (c *Counter) Inc() int64 {
+	return atomic.AddInt64(&c.n, 1)
+}
+
+// Load passes the address through parens; still sanctioned.
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64((&c.n))
+}
+
+// Set uses the wrapper type; wrapper-typed fields are always legal.
+func (c *Counter) Set(v bool) {
+	c.flag.Store(v)
+}
+
+// RawRead is the mixed-access bug: a plain read racing atomic writers.
+func (c *Counter) RawRead() int64 {
+	return c.n // want "plain access to //ppc:atomic field Counter.n .use sync/atomic, or an atomic.Int64-style type."
+}
+
+// RawWrite is the same bug on the write side, from a non-method.
+func RawWrite(c *Counter, v int64) {
+	c.n = v      // want "plain access to //ppc:atomic field Counter.n"
+	c.plain = v  // untagged field: not this analyzer's business
+}

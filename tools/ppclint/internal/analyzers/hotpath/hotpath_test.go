@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"hurricane/tools/ppclint/internal/analyzers/hotpath"
+	"hurricane/tools/ppclint/internal/ppctest"
+)
+
+func TestHotpath(t *testing.T) {
+	ppctest.Run(t, "testdata/src/hot", hotpath.Analyzer)
+}

@@ -1,0 +1,91 @@
+// Package hot is the hotpath analyzer's violation fixture: every
+// `want` comment is a seeded violation the analyzer must flag, and
+// every unannotated construct is a legal pattern it must not flag.
+package hot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var ch = make(chan int, 1)
+var table = map[int]int{}
+
+// FastCall is a hot-path root.
+//
+//ppc:hotpath
+func FastCall(n int) int {
+	lockingHelper() // the violation is reported inside the helper, with the chain
+	n += viaChain(n)
+	select { // non-blocking select is the sanctioned notification shape
+	case ch <- n:
+	default:
+	}
+	defer func() { n++ }() // direct defer of a func literal is open-coded: legal
+	s := small{a: n}       // value composite literal: legal
+	return n + s.a
+}
+
+// lockingHelper is reachable from FastCall.
+func lockingHelper() {
+	mu.Lock() // want "acquires sync.Mutex .Lock. .hot path: FastCall -> lockingHelper."
+	mu.Unlock() // want "acquires sync.Mutex"
+}
+
+// viaChain tests two-hop chain reporting.
+func viaChain(n int) int {
+	return deepest(n)
+}
+
+func deepest(n int) int {
+	time.Sleep(time.Nanosecond) // want "time.Sleep on the hot path .hot path: FastCall -> viaChain -> deepest."
+	fmt.Println(n)              // want "calls fmt.Println"
+	return n
+}
+
+// Allocator is a second root exercising the allocation rules.
+//
+//ppc:hotpath
+func Allocator(buf []byte, n int) []byte {
+	b := make([]byte, n) // want "make allocates"
+	buf = append(buf, b...) // want "append may grow"
+	p := &small{a: n} // want "composite literal escapes to the heap"
+	xs := []int{n} // want "slice literal allocates"
+	table[n] = n // want "map write"
+	delete(table, n) // want "map delete"
+	go func() { _ = n }() // want "spawns a goroutine" "closure allocates"
+	ch <- n   // want "blocking channel send"
+	x := <-ch // want "blocking channel receive"
+	_ = string(buf) // want "conversion allocates"
+	_ = table[n] // map read is legal
+	return append0(buf, p.a+xs[0]+x)
+}
+
+// append0 is a capacity-guarded push: the legal hot-path shape.
+func append0(buf []byte, n int) []byte {
+	if len(buf) < cap(buf) {
+		buf = buf[:len(buf)+1]
+		buf[len(buf)-1] = byte(n)
+		return buf
+	}
+	return growBuf(buf, n)
+}
+
+// growBuf is the cold half of the push.
+//
+//ppc:coldpath -- amortized pool growth, not per-call work
+func growBuf(buf []byte, n int) []byte {
+	return append(buf, byte(n)) // legal: behind a //ppc:coldpath boundary
+}
+
+// ColdControlPlane is never walked: fmt and locks are fine here.
+func ColdControlPlane() {
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Println("control plane")
+}
+
+// small is a value type for composite-literal tests.
+type small struct{ a int }

@@ -1,0 +1,92 @@
+// Package shardconfine enforces the paper's locality discipline on
+// data: a struct field tagged //ppc:shard-owned belongs to its shard
+// (its declaring type) and may be touched only by methods of that type,
+// by functions explicitly annotated //ppc:shard(Type), or inside a
+// composite literal constructing the owner (pre-publication
+// initialization). Any other access is the "remote pool touch" the
+// paper forbids — the access pattern that reintroduces cache-coherence
+// (or, on Hector, uncached-remote) traffic on the call path.
+package shardconfine
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"hurricane/tools/ppclint/internal/analysis"
+)
+
+// name is the analyzer name used in diagnostics.
+const name = "shardconfine"
+
+// Analyzer is the shard-confinement checker.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "//ppc:shard-owned fields may be accessed only by their owner type's methods or //ppc:shard(T) functions",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) []analysis.Diagnostic {
+	ann := prog.Annotations
+	if len(ann.Owned) == 0 {
+		return nil
+	}
+	var diags []analysis.Diagnostic
+	for fn, info := range ann.Funcs {
+		if info.Decl.Body == nil {
+			continue
+		}
+		pkgInfo := info.Pkg.Info
+		allowed := allowedOwners(fn, ann)
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := pkgInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			fi := ann.Owned[fv]
+			if fi == nil {
+				return true
+			}
+			if allowed[fi.Owner.Obj().Name()] {
+				return true
+			}
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      sel.Sel.Pos(),
+				Analyzer: name,
+				Message: fmt.Sprintf("%s accesses shard-owned field %s.%s (allowed only from %s methods or //ppc:shard(%s) functions)",
+					analysis.FuncDisplayName(fn), fi.Owner.Obj().Name(), fv.Name(),
+					fi.Owner.Obj().Name(), fi.Owner.Obj().Name()),
+			})
+			return true
+		})
+	}
+	analysis.SortDiagnostics(prog.Fset, diags)
+	return diags
+}
+
+// allowedOwners returns the set of owner type names fn may touch: its
+// own receiver type plus every //ppc:shard(T) grant.
+func allowedOwners(fn *types.Func, ann *analysis.Annotations) map[string]bool {
+	out := make(map[string]bool)
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			out[n.Obj().Name()] = true
+		}
+	}
+	for _, name := range ann.ShardOf[fn] {
+		out[name] = true
+	}
+	return out
+}

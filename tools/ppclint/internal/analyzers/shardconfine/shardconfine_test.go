@@ -1,0 +1,12 @@
+package shardconfine_test
+
+import (
+	"testing"
+
+	"hurricane/tools/ppclint/internal/analyzers/shardconfine"
+	"hurricane/tools/ppclint/internal/ppctest"
+)
+
+func TestShardConfine(t *testing.T) {
+	ppctest.Run(t, "testdata/src/confine", shardconfine.Analyzer)
+}

@@ -1,0 +1,62 @@
+// Package confine is the shardconfine analyzer's fixture.
+package confine
+
+// Shard owns a per-processor free list.
+type Shard struct {
+	id int
+
+	//ppc:shard-owned
+	free []int
+
+	//ppc:shard-owned
+	hits int
+
+	// Slots is exported so the cross-package case is expressible.
+	//
+	//ppc:shard-owned
+	Slots []int
+}
+
+// Pop is an owner method: touching free and hits is legal.
+func (s *Shard) Pop() (int, bool) {
+	if len(s.free) == 0 {
+		return 0, false
+	}
+	v := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.hits++
+	return v, true
+}
+
+// NewShard constructs a shard; keyed composite-literal initialization
+// of owned fields is pre-publication and therefore legal.
+func NewShard(id int, seed []int) *Shard {
+	return &Shard{id: id, free: seed}
+}
+
+// drainInto is explicitly granted access.
+//
+//ppc:shard(Shard)
+func drainInto(s *Shard, out []int) []int {
+	out = append(out, s.free...)
+	s.free = s.free[:0]
+	return out
+}
+
+// Steal is the forbidden remote-pool touch: a free function reaching
+// into another shard's owned state.
+func Steal(victim *Shard) (int, bool) {
+	if len(victim.free) == 0 { // want "accesses shard-owned field Shard.free"
+		return 0, false
+	}
+	v := victim.free[0]          // want "accesses shard-owned field Shard.free"
+	victim.free = victim.free[1:] // want "accesses shard-owned field Shard.free" "accesses shard-owned field Shard.free"
+	return v, true
+}
+
+// Audit reads an owned counter without a grant.
+func Audit(s *Shard) int {
+	return s.hits + s.id // want "accesses shard-owned field Shard.hits"
+}
+
+var _ = drainInto

@@ -1,0 +1,3 @@
+module confine
+
+go 1.22

@@ -1,0 +1,11 @@
+// Package other violates shard confinement from outside the owning
+// package: object identity for the owned field must hold across the
+// package boundary.
+package other
+
+import "confine"
+
+// Peek reaches across the package boundary into a shard's owned state.
+func Peek(s *confine.Shard) int {
+	return len(s.Slots) // want "accesses shard-owned field Shard.Slots"
+}

@@ -1,0 +1,245 @@
+// Package load builds a type-checked view of a Go module using only the
+// standard library: package metadata and export data come from
+// `go list -json -export -deps`, module-local packages are parsed from
+// source (comments included, so //ppc: annotations survive) and
+// type-checked bottom-up sharing one object world, and standard-library
+// dependencies are imported from compiled export data. This is a small,
+// dependency-free stand-in for golang.org/x/tools/go/packages, which
+// this repository cannot vendor (the build environment is offline and
+// the root module stays stdlib-only).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module-local package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Program is the loaded set of module-local packages, in dependency
+// order, sharing one FileSet and one types object world (an identifier
+// in package A referring to a function in package B resolves to the
+// same *types.Func object that B's own declarations define).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns in the module rooted
+// at (or containing) dir. The go tool is invoked with GOWORK=off so the
+// analyzed module is exactly the one owning dir, regardless of any
+// workspace in use.
+func Load(dir string, patterns []string) (*Program, error) {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	byPath := make(map[string]*listedPkg)
+	var order []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		lp := p
+		byPath[lp.ImportPath] = &lp
+		order = append(order, &lp)
+	}
+
+	for _, p := range order {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		fset:    fset,
+		listed:  byPath,
+		checked: make(map[string]*types.Package),
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup)
+
+	// Local (non-standard-library) packages are type-checked from
+	// source, bottom-up. `go list -deps` already emits dependencies
+	// before dependents, but sort defensively anyway.
+	var local []*listedPkg
+	for _, p := range order {
+		if !p.Standard {
+			local = append(local, p)
+		}
+	}
+	local = topoSort(local, byPath)
+
+	prog := &Program{Fset: fset}
+	for _, lp := range local {
+		pkg, err := checkOne(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		imp.checked[lp.ImportPath] = pkg.Types
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// checkOne parses and type-checks one module-local package from source.
+func checkOne(fset *token.FileSet, imp types.ImporterFrom, lp *listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, typeErrs[0])
+	}
+	return &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// moduleImporter resolves imports during source type-checking:
+// already-checked module-local packages by identity, the standard
+// library through gc export data produced by `go list -export`.
+type moduleImporter struct {
+	fset    *token.FileSet
+	listed  map[string]*listedPkg
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	return m.gc.Import(path)
+}
+
+// lookup feeds the gc importer the export-data files go list reported.
+func (m *moduleImporter) lookup(path string) (io.ReadCloser, error) {
+	lp, ok := m.listed[path]
+	if !ok || lp.Export == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(lp.Export)
+}
+
+// topoSort orders local packages so that imports precede importers.
+func topoSort(local []*listedPkg, byPath map[string]*listedPkg) []*listedPkg {
+	sort.SliceStable(local, func(i, j int) bool { return local[i].ImportPath < local[j].ImportPath })
+	seen := make(map[string]bool)
+	var out []*listedPkg
+	var visit func(p *listedPkg)
+	visit = func(p *listedPkg) {
+		if seen[p.ImportPath] {
+			return
+		}
+		seen[p.ImportPath] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok && !dep.Standard {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range local {
+		visit(p)
+	}
+	return out
+}
+
+// ModuleRoot walks up from dir to the nearest go.mod, for callers that
+// want to report module-relative paths.
+func ModuleRoot(dir string) string {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// TrimPath renders p relative to root when possible (diagnostics).
+func TrimPath(root, p string) string {
+	if rel, err := filepath.Rel(root, p); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return p
+}

@@ -1,0 +1,124 @@
+// Package ppctest is ppclint's analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// module, runs analyzers over it, and matches the diagnostics against
+// `// want "regexp"` comments in the fixture sources. A diagnostic with
+// no matching want, or a want with no matching diagnostic, fails the
+// test — so the fixtures are golden proofs that each analyzer flags its
+// seeded violations and nothing else.
+package ppctest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hurricane/tools/ppclint/internal/analysis"
+	"hurricane/tools/ppclint/internal/load"
+)
+
+// wantRe extracts the quoted patterns of a `// want "a" "b"` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture module rooted at dir (it must contain a go.mod)
+// and checks analyzers' diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, err := load.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	aprog := &analysis.Program{
+		Fset:        prog.Fset,
+		Packages:    prog.Packages,
+		Annotations: analysis.CollectAnnotations(prog.Packages),
+	}
+	for _, p := range aprog.Annotations.Problems {
+		pos := prog.Fset.Position(p.Pos)
+		t.Errorf("%s:%d: directive problem: %s", pos.Filename, pos.Line, p.Message)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(aprog)...)
+	}
+
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", absPath(pos.Filename), pos.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: no diagnostic matched want %q", key, re.String())
+		}
+	}
+}
+
+// absPath normalizes a filename so diagnostic positions (absolute, from
+// go list) and want-comment positions (relative to the test's cwd)
+// share one key space.
+func absPath(p string) string {
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		return p
+	}
+	return abs
+}
+
+// collectWants parses every fixture file for want comments, keyed by
+// file:line.
+func collectWants(t *testing.T, dir string) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", absPath(pos.Filename), pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixtures: %v", err)
+	}
+	return wants
+}

@@ -1,0 +1,94 @@
+// Command ppclint is the repository's invariant linter: a multichecker
+// in the style of golang.org/x/tools/go/analysis/multichecker, built
+// entirely on the standard library so the root module stays
+// dependency-free and the tool builds offline. It enforces the source
+// paper's structural claims — the common-case call path touches no
+// shared data, acquires no locks, and allocates nothing — as three
+// analyzers driven by //ppc: annotations:
+//
+//	hotpath      no locks / blocking / logging / allocation reachable
+//	             from a //ppc:hotpath root (up to //ppc:coldpath)
+//	shardconfine //ppc:shard-owned fields stay inside their shard type
+//	atomicfield  //ppc:atomic fields are accessed only atomically
+//
+// Usage (from the module to analyze):
+//
+//	go run ./tools/ppclint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load errors. See
+// docs/INVARIANTS.md for the annotation grammar and suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hurricane/tools/ppclint/internal/analysis"
+	"hurricane/tools/ppclint/internal/analyzers/atomicfield"
+	"hurricane/tools/ppclint/internal/analyzers/hotpath"
+	"hurricane/tools/ppclint/internal/analyzers/shardconfine"
+	"hurricane/tools/ppclint/internal/load"
+)
+
+var all = []*analysis.Analyzer{hotpath.Analyzer, shardconfine.Analyzer, atomicfield.Analyzer}
+
+func main() {
+	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("dir", ".", "directory whose module is analyzed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ppclint [-run hotpath,shardconfine,atomicfield] [-dir .] packages...\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	selected := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ppclint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	prog, err := load.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppclint: %v\n", err)
+		os.Exit(2)
+	}
+	aprog := &analysis.Program{
+		Fset:        prog.Fset,
+		Packages:    prog.Packages,
+		Annotations: analysis.CollectAnnotations(prog.Packages),
+	}
+
+	root := load.ModuleRoot(*dir)
+	diags := append([]analysis.Diagnostic(nil), aprog.Annotations.Problems...)
+	for _, a := range selected {
+		diags = append(diags, a.Run(aprog)...)
+	}
+	analysis.SortDiagnostics(prog.Fset, diags)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: %s: %s\n", load.TrimPath(root, pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ppclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
