@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint ppclint vet ci
+.PHONY: build test race lint ppclint vet ci bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,15 @@ ppclint:
 
 lint: vet ppclint
 
-ci: build lint test race
+# One iteration of every benchmark: catches bit-rot in bench bodies
+# without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Regenerate BENCH_rt.json (real measurements; takes a few minutes at
+# the default 1s benchtime — pass BENCHTIME=100ms for a quick pass).
+BENCHTIME ?=
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_rt.json $(if $(BENCHTIME),-benchtime $(BENCHTIME))
+
+ci: build lint test race bench-smoke

@@ -13,12 +13,11 @@ package hurricane_test
 
 import (
 	"fmt"
-	"runtime"
-	"sync/atomic"
 	"testing"
 
 	"hurricane"
 	"hurricane/internal/experiments"
+	"hurricane/internal/rtbench"
 	"hurricane/rt"
 )
 
@@ -175,108 +174,48 @@ func BenchmarkAblationCoherence(b *testing.B) {
 }
 
 // --- E8: real-concurrency (rt) scaling ------------------------------
+//
+// The rt benchmark bodies live in internal/rtbench so that `go test
+// -bench` and `make bench-json` (cmd/benchjson) measure identical
+// code; these wrappers only give them their `go test` names.
 
 // BenchmarkRTCall measures the sequential PPC-style fast path.
-func BenchmarkRTCall(b *testing.B) {
-	sys := rt.NewSystem()
-	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
-		args[0]++
-	}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c := sys.NewClient()
-	var args rt.Args
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := c.Call(svc.EP(), &args); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkRTCall(b *testing.B) { rtbench.SyncCall(b) }
 
 // BenchmarkRTCallParallel measures the shared-nothing path under full
 // parallelism: one client (shard) per worker goroutine.
-func BenchmarkRTCallParallel(b *testing.B) {
-	sys := rt.NewSystem()
-	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
-		args[0]++
-	}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.RunParallel(func(pb *testing.PB) {
-		c := sys.NewClient()
-		var args rt.Args
-		for pb.Next() {
-			if err := c.Call(svc.EP(), &args); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-}
+func BenchmarkRTCallParallel(b *testing.B) { rtbench.SyncCallParallel(b) }
 
 // BenchmarkRTCentralParallel is the locked baseline under the same
 // load: one mutex and a shared pool on every call.
-func BenchmarkRTCentralParallel(b *testing.B) {
-	cs := rt.NewCentralServer(func(ctx *rt.Ctx, args *rt.Args) {
-		args[0]++
-	}, 0)
-	b.RunParallel(func(pb *testing.PB) {
-		var args rt.Args
-		for pb.Next() {
-			cs.Call(1, &args)
-		}
-	})
-}
+func BenchmarkRTCentralParallel(b *testing.B) { rtbench.CentralParallel(b) }
 
 // BenchmarkRTChannelParallel is the message-passing baseline: two
 // channel handoffs per call through a fixed server pool.
-func BenchmarkRTChannelParallel(b *testing.B) {
-	cs := rt.NewChannelServer(func(ctx *rt.Ctx, args *rt.Args) {
-		args[0]++
-	}, runtime.GOMAXPROCS(0))
-	defer cs.Close()
-	b.RunParallel(func(pb *testing.PB) {
-		reply := make(chan struct{}, 1)
-		var args rt.Args
-		for pb.Next() {
-			cs.Call(1, &args, reply)
-		}
-	})
-}
+func BenchmarkRTChannelParallel(b *testing.B) { rtbench.ChannelParallel(b) }
 
-// BenchmarkRTAsync measures the detached-caller variant.
-func BenchmarkRTAsync(b *testing.B) {
-	sys := rt.NewSystem()
-	var handled atomic.Int64
-	svc, err := sys.Bind(rt.ServiceConfig{Name: "async", Handler: func(ctx *rt.Ctx, args *rt.Args) {
-		handled.Add(1)
-	}})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c := sys.NewClient()
-	done := make(chan struct{}, 1024)
-	drained := make(chan struct{})
-	n := b.N
-	go func() {
-		for i := 0; i < n; i++ {
-			<-done
-		}
-		close(drained)
-	}()
-	b.ResetTimer()
-	for i := 0; i < n; i++ {
-		var args rt.Args
-		if err := c.AsyncCallNotify(svc.EP(), &args, done); err != nil {
-			b.Fatal(err)
-		}
-	}
-	<-drained
-	if handled.Load() != int64(n) {
-		b.Fatalf("handled %d of %d", handled.Load(), n)
-	}
+// BenchmarkRTAsync measures single-shard async submit→complete
+// throughput on the lock-free ring path.
+func BenchmarkRTAsync(b *testing.B) { rtbench.Async(b) }
+
+// BenchmarkRTAsyncBatch is the same load submitted through the batch
+// API: one admission and one wakeup per rtbench.FlushBatchSize
+// requests.
+func BenchmarkRTAsyncBatch(b *testing.B) { rtbench.AsyncBatch(b) }
+
+// BenchmarkRTAsyncChannelBaseline is the pre-ring channel async path
+// under the identical load shape — the "before" of the channel→ring
+// substitution.
+func BenchmarkRTAsyncChannelBaseline(b *testing.B) { rtbench.AsyncChannelBaseline(b) }
+
+// BenchmarkRTAsyncMultiProducer contends every worker goroutine on one
+// shard's ring — the MPSC shape the ring is designed for.
+func BenchmarkRTAsyncMultiProducer(b *testing.B) { rtbench.AsyncMultiProducer(b) }
+
+// BenchmarkRTAsyncChannelMultiProducer is the same contended load on
+// the pre-ring channel path.
+func BenchmarkRTAsyncChannelMultiProducer(b *testing.B) {
+	rtbench.AsyncChannelBaselineMultiProducer(b)
 }
 
 // BenchmarkRTScratchUse measures a handler that actually uses the

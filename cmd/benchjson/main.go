@@ -1,0 +1,126 @@
+// Command benchjson runs the rt latency/throughput benchmarks (the
+// same bodies `go test -bench` runs, via internal/rtbench) plus quick
+// Figure 2/3 simulator points, and emits BENCH_rt.json in the stable
+// hurricane/bench/v1 schema. The artifact records before/after pairs —
+// e.g. the channel async baseline vs the lock-free ring path — so perf
+// PRs check their claims into the repo instead of a commit message.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -o BENCH_rt.json [-benchtime 100ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"hurricane/internal/experiments"
+	"hurricane/internal/report"
+	"hurricane/internal/rtbench"
+)
+
+func main() {
+	testing.Init()
+	out := flag.String("o", "BENCH_rt.json", "output path for the JSON report")
+	benchtime := flag.String("benchtime", "", `per-benchmark time or count, e.g. "100ms" or "2000x" (default: testing's 1s)`)
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fatal(err)
+		}
+	}
+
+	r := report.NewBenchReport()
+
+	rtBench := func(name string, fn func(*testing.B)) {
+		res := testing.Benchmark(fn)
+		if res.N <= 0 {
+			fatal(fmt.Errorf("benchmark %s ran zero iterations", name))
+		}
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		fmt.Fprintf(os.Stderr, "%-26s %12.1f ns/op   %d iterations\n", name, ns, res.N)
+		r.Add(report.BenchEntry{Name: name, Kind: "rt", Iterations: res.N, NsPerOp: ns})
+	}
+	rtBench("rt_call", rtbench.SyncCall)
+	rtBench("rt_call_parallel", rtbench.SyncCallParallel)
+	rtBench("rt_central_parallel", rtbench.CentralParallel)
+	rtBench("rt_channel_parallel", rtbench.ChannelParallel)
+	rtBench("rt_async_channel", rtbench.AsyncChannelBaseline)
+	rtBench("rt_async_ring", rtbench.Async)
+	rtBench("rt_async_batch", rtbench.AsyncBatch)
+	rtBench("rt_async_channel_mp", rtbench.AsyncChannelBaselineMultiProducer)
+	rtBench("rt_async_ring_mp", rtbench.AsyncMultiProducer)
+
+	for _, cfg := range experiments.StandardFigure2Configs() {
+		res, err := experiments.RunFigure2One(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		r.Add(report.BenchEntry{
+			Name:    "fig2_" + slug(cfg.Label()),
+			Kind:    "sim",
+			Metrics: map[string]float64{"sim_us_per_call": res.TotalMicros},
+		})
+	}
+	for _, mode := range []experiments.Fig3Mode{experiments.DifferentFiles, experiments.SingleFile} {
+		res, err := experiments.RunFigure3(8, mode)
+		if err != nil {
+			fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		r.Add(report.BenchEntry{
+			Name:    fmt.Sprintf("fig3_%s_procs%d", slug(mode.String()), last.Procs),
+			Kind:    "sim",
+			Metrics: map[string]float64{"sim_calls_per_sec": last.CallsPerSecond},
+		})
+	}
+
+	// Comparisons record before/after pairs of the channel→ring
+	// substitution (this repo's perf claim); design-shape comparisons
+	// (shards vs central, sync vs channel server) stay raw entries —
+	// their story is scaling with contention, not a single ratio.
+	for _, cmp := range [][3]string{
+		{"async_ring_vs_channel", "rt_async_channel", "rt_async_ring"},
+		{"async_batch_vs_channel", "rt_async_channel", "rt_async_batch"},
+		{"async_ring_vs_channel_mp", "rt_async_channel_mp", "rt_async_ring_mp"},
+	} {
+		if err := r.Compare(cmp[0], cmp[1], cmp[2]); err != nil {
+			fatal(err)
+		}
+	}
+	for _, c := range r.Comparisons {
+		fmt.Fprintf(os.Stderr, "%-26s %.2fx (%s -> %s)\n", c.Name, c.Speedup, c.Before, c.After)
+	}
+
+	data, err := r.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			if n := b.Len(); n > 0 && b.String()[n-1] != '_' {
+				b.WriteByte('_')
+			}
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

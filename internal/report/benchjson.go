@@ -1,0 +1,105 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+)
+
+// BenchSchema identifies the BENCH_rt.json layout. Bump the suffix on
+// any field rename or removal; additions are backward compatible.
+const BenchSchema = "hurricane/bench/v1"
+
+// BenchEntry is one measured benchmark. Simulator entries carry their
+// paper metrics (sim-us/call etc.) in Metrics; rt entries report real
+// wall-clock ns/op.
+type BenchEntry struct {
+	Name       string             `json:"name"`
+	Kind       string             `json:"kind"` // "rt" or "sim"
+	Iterations int                `json:"iterations,omitempty"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	OpsPerSec  float64            `json:"ops_per_sec,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchComparison records a before/after pair from the same run, so a
+// perf PR's claim ("ring is Nx the channel path") is checked into the
+// artifact rather than recomputed by the reader.
+type BenchComparison struct {
+	Name          string  `json:"name"`
+	Before        string  `json:"before"` // entry name of the baseline
+	After         string  `json:"after"`  // entry name of the optimized path
+	BeforeNsPerOp float64 `json:"before_ns_per_op"`
+	AfterNsPerOp  float64 `json:"after_ns_per_op"`
+	Speedup       float64 `json:"speedup"` // before/after, >1 means faster
+}
+
+// BenchReport is the root of BENCH_rt.json. It deliberately carries no
+// timestamp: two runs on the same machine should diff only in the
+// measured numbers.
+type BenchReport struct {
+	Schema      string            `json:"schema"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Entries     []BenchEntry      `json:"entries"`
+	Comparisons []BenchComparison `json:"comparisons,omitempty"`
+}
+
+// NewBenchReport stamps the schema and the runtime environment.
+func NewBenchReport() *BenchReport {
+	return &BenchReport{
+		Schema:     BenchSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Add appends one entry, deriving OpsPerSec from NsPerOp when unset.
+func (r *BenchReport) Add(e BenchEntry) {
+	if e.OpsPerSec == 0 && e.NsPerOp > 0 {
+		e.OpsPerSec = 1e9 / e.NsPerOp
+	}
+	r.Entries = append(r.Entries, e)
+}
+
+func (r *BenchReport) entry(name string) *BenchEntry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Compare records before/after between two already-added entries.
+func (r *BenchReport) Compare(name, before, after string) error {
+	b, a := r.entry(before), r.entry(after)
+	if b == nil || a == nil {
+		return fmt.Errorf("report: comparison %q needs entries %q and %q", name, before, after)
+	}
+	if a.NsPerOp <= 0 {
+		return fmt.Errorf("report: comparison %q: entry %q has no ns/op", name, after)
+	}
+	r.Comparisons = append(r.Comparisons, BenchComparison{
+		Name:          name,
+		Before:        before,
+		After:         after,
+		BeforeNsPerOp: b.NsPerOp,
+		AfterNsPerOp:  a.NsPerOp,
+		Speedup:       b.NsPerOp / a.NsPerOp,
+	})
+	return nil
+}
+
+// JSON renders the report with stable key order and a trailing newline.
+func (r *BenchReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

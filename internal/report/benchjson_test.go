@@ -1,0 +1,59 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBenchReportJSON pins the BENCH_rt.json contract: schema id and
+// environment are stamped, ops/sec is derived, comparisons compute
+// before/after speedup, and the output is valid JSON with no
+// timestamp-like churn fields.
+func TestBenchReportJSON(t *testing.T) {
+	r := NewBenchReport()
+	if r.Schema != BenchSchema {
+		t.Fatalf("Schema = %q, want %q", r.Schema, BenchSchema)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" || r.GOMAXPROCS < 1 {
+		t.Fatalf("environment not stamped: %+v", r)
+	}
+	r.Add(BenchEntry{Name: "rt_async_channel", Kind: "rt", NsPerOp: 600})
+	r.Add(BenchEntry{Name: "rt_async_ring", Kind: "rt", NsPerOp: 200})
+	r.Add(BenchEntry{Name: "fig2_total", Kind: "sim", Metrics: map[string]float64{"sim_us_per_call": 13.4}})
+	if got := r.Entries[1].OpsPerSec; got != 5e6 {
+		t.Fatalf("derived OpsPerSec = %v, want 5e6", got)
+	}
+	if err := r.Compare("async_ring_vs_channel", "rt_async_channel", "rt_async_ring"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Comparisons[0].Speedup; got != 3 {
+		t.Fatalf("Speedup = %v, want 3", got)
+	}
+	if err := r.Compare("missing", "nope", "rt_async_ring"); err == nil {
+		t.Fatal("Compare with a missing entry did not error")
+	}
+
+	out, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(out), "\n") {
+		t.Fatal("JSON output missing trailing newline")
+	}
+	var round BenchReport
+	if err := json.Unmarshal(out, &round); err != nil {
+		t.Fatalf("output does not round-trip: %v", err)
+	}
+	if len(round.Entries) != 3 || len(round.Comparisons) != 1 {
+		t.Fatalf("round-trip lost data: %d entries, %d comparisons", len(round.Entries), len(round.Comparisons))
+	}
+	for _, banned := range []string{"time", "date"} {
+		for _, line := range strings.Split(string(out), "\n") {
+			key := strings.TrimSpace(strings.SplitN(line, ":", 2)[0])
+			if strings.Contains(key, banned) && !strings.Contains(key, "go_version") {
+				t.Fatalf("schema grew a churn field: %s", line)
+			}
+		}
+	}
+}

@@ -39,3 +39,89 @@ func TestWarmSyncCallAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmAsyncCallAllocs extends the invariant to the ring path: a
+// warm asynchronous submit→complete round trip — ring push, doorbell
+// wake, batched dequeue, handler, notification — must not touch the
+// heap. AllocsPerRun counts process-wide mallocs, so this covers the
+// servicing worker too. Report-only under -race.
+func TestWarmAsyncCallAllocs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "anull", Handler: func(ctx *Ctx, args *Args) {
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	ep := svc.EP()
+	var args Args
+	done := make(chan struct{}, 1)
+
+	// Warm: spawn the worker, fill the descriptor pool, settle the
+	// spin-then-park rhythm.
+	for i := 0; i < 32; i++ {
+		if err := c.AsyncCallNotify(ep, &args, done); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.AsyncCallNotify(ep, &args, done); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	})
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm async call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm async call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}
+
+// TestBatchFlushAllocs pins the batch path: staging into a warm Batch
+// and flushing it — one admission, many ring slots — must not touch
+// the heap either. Report-only under -race.
+func TestBatchFlushAllocs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "bnull", Handler: func(ctx *Ctx, args *Args) {
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	const batchN = 8
+	b := c.NewBatch(svc.EP(), batchN)
+	done := make(chan struct{}, batchN)
+	b.SetNotify(done)
+	var args Args
+
+	flushAndDrain := func() {
+		for i := 0; i < batchN; i++ {
+			b.Add(&args)
+		}
+		if n, err := b.Flush(); err != nil || n != batchN {
+			t.Fatalf("Flush = (%d, %v)", n, err)
+		}
+		for i := 0; i < batchN; i++ {
+			<-done
+		}
+	}
+	for i := 0; i < 8; i++ { // warm
+		flushAndDrain()
+	}
+	allocs := testing.AllocsPerRun(100, flushAndDrain)
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm Batch.Flush allocates %.1f objects/run under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm Batch.Flush allocates %.1f objects/run, want 0", allocs)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package rt
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // This file implements the designs the paper argues against, as
 // baselines for the benchmarks: a central locked server (every call
@@ -122,3 +125,106 @@ func (cs *ChannelServer) Call(program uint32, args *Args, reply chan struct{}) {
 
 // Close stops the worker pool.
 func (cs *ChannelServer) Close() { close(cs.done) }
+
+// ChannelAsyncServer is the pre-ring asynchronous baseline, kept so
+// the benchmarks (and BENCH_rt.json) record before/after numbers for
+// the channel→ring substitution: submission is a non-blocking send
+// into a buffered Go channel — each send taking the runtime-internal
+// hchan lock and copying the request through it — serviced by a fixed
+// worker pool that receives one request per scheduler wakeup. This is
+// exactly the shape the shard async path had before the Vyukov ring.
+type ChannelAsyncServer struct {
+	q          chan chanAsyncReq
+	handler    Handler
+	stop       chan struct{}
+	submitWait time.Duration
+	wg         sync.WaitGroup
+}
+
+type chanAsyncReq struct {
+	args    Args
+	program uint32
+	done    chan<- struct{}
+}
+
+// NewChannelAsyncServer starts workers goroutines draining a queueCap
+// channel.
+func NewChannelAsyncServer(h Handler, workers, queueCap int) *ChannelAsyncServer {
+	if h == nil {
+		panic("rt: nil handler")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = defaultAsyncQueueCap
+	}
+	cs := &ChannelAsyncServer{
+		q:          make(chan chanAsyncReq, queueCap),
+		handler:    h,
+		stop:       make(chan struct{}),
+		submitWait: defaultSubmitWait,
+	}
+	for i := 0; i < workers; i++ {
+		cs.wg.Add(1)
+		go cs.worker()
+	}
+	return cs
+}
+
+func (cs *ChannelAsyncServer) worker() {
+	defer cs.wg.Done()
+	scratch := make([]byte, defaultScratchBytes)
+	cd := &callDesc{scratch: scratch}
+	handle := func(req *chanAsyncReq) {
+		ctx := &cd.ctx
+		ctx.cd = cd
+		ctx.CallerProgram = req.program
+		ctx.async = true
+		cs.handler(ctx, &req.args)
+		if req.done != nil {
+			req.done <- struct{}{}
+		}
+	}
+	for {
+		select {
+		case req := <-cs.q:
+			handle(&req)
+		case <-cs.stop:
+			for {
+				select {
+				case req := <-cs.q:
+					handle(&req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// AsyncCall submits one request: a non-blocking channel send, then a
+// bounded timed wait, then ErrBackpressure — the same overload
+// contract as the ring path, paid through channel internals.
+func (cs *ChannelAsyncServer) AsyncCall(program uint32, args *Args, done chan<- struct{}) error {
+	req := chanAsyncReq{args: *args, program: program, done: done}
+	select {
+	case cs.q <- req:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(cs.submitWait)
+	defer timer.Stop()
+	select {
+	case cs.q <- req:
+		return nil
+	case <-timer.C:
+		return ErrBackpressure
+	}
+}
+
+// Close drains accepted requests and joins the workers.
+func (cs *ChannelAsyncServer) Close() {
+	close(cs.stop)
+	cs.wg.Wait()
+}

@@ -1,0 +1,126 @@
+package rt
+
+// Batch submission — the paper's amortized asynchronous calls (§4.4)
+// carried to the ring: one admission check, one submitting window, and
+// one worker wakeup cover an arbitrary number of requests, so the
+// per-request cost of a burst approaches one slot write.
+//
+// Two shapes are offered: Client.AsyncBatch submits a caller-owned
+// slice in one shot; Batch is a reusable staging buffer for callers
+// that accumulate requests incrementally and flush at natural
+// boundaries (end of an event-loop turn, a full page of prefetches).
+
+// Batch is a reusable batch of asynchronous requests to one entry
+// point. Like a Client it is intended for a single goroutine; Add
+// stages requests with no synchronization at all, and Flush publishes
+// the whole batch with a single admission. The staging buffer is
+// retained across flushes, so a warm Batch submits without touching
+// the heap.
+type Batch struct {
+	c    *Client
+	ep   EntryPointID
+	done chan<- struct{}
+	reqs []Args
+}
+
+// NewBatch creates a batch for ep with room for capacity staged
+// requests (a capacity <= 0 defaults to the shard ring size). The
+// buffer grows if Add outruns it; growth is amortized and off the warm
+// path.
+func (c *Client) NewBatch(ep EntryPointID, capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = defaultAsyncQueueCap
+	}
+	return &Batch{c: c, ep: ep, reqs: make([]Args, 0, capacity)}
+}
+
+// SetNotify sets a completion channel: every request in subsequent
+// flushes delivers one notification on done. As with AsyncCallNotify,
+// done should be buffered (at least one batch deep); unready channels
+// cost the servicing worker a bounded wait and may drop notifications
+// (ShardStats.NotifyDrops).
+func (b *Batch) SetNotify(done chan<- struct{}) { b.done = done }
+
+// Len reports the number of staged requests.
+func (b *Batch) Len() int { return len(b.reqs) }
+
+// Add stages one request. The warm path is a bounds check and a copy
+// into the retained buffer.
+//
+//ppc:hotpath
+func (b *Batch) Add(args *Args) {
+	if len(b.reqs) == cap(b.reqs) {
+		b.grow()
+	}
+	b.reqs = b.reqs[:len(b.reqs)+1]
+	b.reqs[len(b.reqs)-1] = *args
+}
+
+// grow doubles the staging buffer.
+//
+//ppc:coldpath -- amortized buffer growth, off the warm Add path
+func (b *Batch) grow() {
+	next := make([]Args, len(b.reqs), 2*cap(b.reqs)+1)
+	copy(next, b.reqs)
+	b.reqs = next
+}
+
+// Flush submits every staged request with one admission and resets the
+// batch for reuse. It returns how many requests were accepted; when
+// the ring stays full past the bounded overload wait, the tail is
+// rejected with ErrBackpressure (accepted < Len() at entry), and a
+// kill or close rejects the whole batch. Accepted requests follow the
+// usual async lifecycle: soft Kill waits for them, hard Kill discards
+// the still-queued ones, Close drains them.
+//
+//ppc:hotpath
+func (b *Batch) Flush() (int, error) {
+	n, err := b.c.sys.asyncBatchOn(b.c.shard, b.ep, b.reqs, b.c.program, b.done)
+	b.reqs = b.reqs[:0]
+	return n, err
+}
+
+// AsyncBatch submits argss as one batch of asynchronous calls to ep:
+// one admission check and one worker wakeup for the whole slice,
+// instead of one of each per request. Semantics per request match
+// AsyncCall; the return value reports how many leading requests were
+// accepted (all of them iff err is nil).
+//
+//ppc:hotpath
+func (c *Client) AsyncBatch(ep EntryPointID, argss []Args) (int, error) {
+	return c.sys.asyncBatchOn(c.shard, ep, argss, c.program, nil)
+}
+
+// asyncBatchOn is the batched analogue of callOn's async half: admit
+// the whole batch with one increment-then-check (so a soft kill either
+// sees the batch in flight and waits, or flips the state first and the
+// batch backs out), hand it to the shard ring, then settle the
+// accounting for any rejected tail.
+//
+//ppc:hotpath
+func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program uint32, done chan<- struct{}) (int, error) {
+	if len(argss) == 0 {
+		return 0, nil
+	}
+	if int(ep) >= MaxEntryPoints {
+		return 0, ErrBadEntryPoint
+	}
+	svc := s.services[ep].Load()
+	if svc == nil {
+		return 0, ErrBadEntryPoint
+	}
+	if svc.state.Load() != svcActive {
+		return 0, ErrKilled
+	}
+	counters := &svc.perShard[sh.id]
+	counters.asyncAdm.Add(int64(len(argss)))
+	if svc.state.Load() != svcActive {
+		svc.backOutN(counters, len(argss))
+		return 0, ErrKilled
+	}
+	n, err := sh.submitBatch(s, svc, argss, program, done)
+	if n < len(argss) {
+		svc.unadmit(counters, len(argss)-n)
+	}
+	return n, err
+}

@@ -143,19 +143,20 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 		// increment-then-check, so a soft kill either sees this request
 		// in flight and waits for it, or flips the state first and the
 		// request backs out here. The in-flight count covers the request
-		// from acceptance until the worker finishes it.
+		// from acceptance until the worker finishes it; the same
+		// increment is the AsyncCalls count, so acceptance costs one
+		// counter RMW total.
 		counters := &svc.perShard[sh.id]
-		counters.inFlight.Add(1)
+		counters.asyncAdm.Add(1)
 		if svc.state.Load() != svcActive {
-			svc.backOut(counters)
+			svc.backOutAsync(counters)
 			return ErrKilled
 		}
-		if err := sh.submitAsync(asyncReq{sys: s, svc: svc, args: *args, prog: program, done: done}); err != nil {
-			counters.inFlight.Add(-1)
+		if err := sh.submitAsync(s, svc, args, program, done); err != nil {
+			counters.asyncAdm.Add(-1)
 			svc.notifyQuiesce()
 			return err
 		}
-		counters.async.Add(1)
 		return nil
 	}
 	return s.serviceOne(sh, svc, args, program, false, false)
@@ -176,7 +177,7 @@ func faultError(fault any) error {
 func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32, async, accounted bool) error {
 	counters := &svc.perShard[sh.id]
 	if !accounted {
-		counters.inFlight.Add(1)
+		counters.admitted.Add(1)
 		if svc.state.Load() != svcActive {
 			svc.backOut(counters)
 			return ErrKilled
@@ -184,15 +185,59 @@ func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32,
 	} else if svc.state.Load() == svcDead {
 		// Hard-killed while queued: discard without executing. (A soft
 		// kill waits for queued requests, so svcSoftKilled still runs.)
-		svc.backOut(counters)
+		svc.backOutAsync(counters)
 		return ErrKilled
 	}
 	defer func() {
-		counters.inFlight.Add(-1)
+		counters.completed.Add(1)
 		svc.notifyQuiesce()
 	}()
 
 	cd := sh.popCD(svc.scratchBytes)
+	err := s.dispatch(cd, svc, counters, args, program, async)
+
+	// The scratch buffer is deliberately NOT zeroed before reuse —
+	// serial sharing of "stacks" is the point (§2); trust domains that
+	// must not share scratch use separate Systems.
+	sh.pushCD(cd)
+	return err
+}
+
+// serviceOneHeld runs one already-admitted async request on a
+// worker-held descriptor. An async worker is the serial owner of its
+// descriptor for its whole lifetime, so a batch drain recycles scratch
+// with zero pool traffic — no CAS on the shared free list per request,
+// the same serial-sharing argument as the paper's stack pages applied
+// one level up.
+//
+//ppc:hotpath
+func (s *System) serviceOneHeld(sh *shard, cd *callDesc, svc *Service, args *Args, program uint32) error {
+	counters := &svc.perShard[sh.id]
+	if svc.state.Load() == svcDead {
+		// Hard-killed while queued: discard without executing. (A soft
+		// kill waits for queued requests, so svcSoftKilled still runs.)
+		svc.backOutAsync(counters)
+		return ErrKilled
+	}
+	if cap(cd.scratch) < svc.scratchBytes {
+		growScratch(cd, svc.scratchBytes)
+	}
+	cd.scratch = cd.scratch[:svc.scratchBytes]
+	// Completion accounting is inlined, not deferred: dispatch contains
+	// handler panics itself (runIsolated), so no unwind can skip these,
+	// and a deferred closure costs measurable time at ring rates.
+	err := s.dispatch(cd, svc, counters, args, program, true)
+	counters.completed.Add(1)
+	svc.notifyQuiesce()
+	return err
+}
+
+// dispatch authorizes and runs the handler for one request on cd — the
+// shared core of the pooled (serviceOne) and worker-held
+// (serviceOneHeld) paths.
+//
+//ppc:hotpath
+func (s *System) dispatch(cd *callDesc, svc *Service, counters *shardCounters, args *Args, program uint32, async bool) error {
 	ctx := &cd.ctx
 	ctx.sys = s
 	ctx.svc = svc
@@ -200,35 +245,29 @@ func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32,
 	ctx.CallerProgram = program
 	ctx.async = async
 
-	var err error
 	if svc.authorize != nil && !svc.authorize(program) {
 		counters.authFail.Add(1)
 		args.SetRC(uint64(^uint32(0))) // conventional failure RC
-		err = ErrPermissionDenied
-	} else {
-		// First call serviced on this shard runs the init handler
-		// instead (one-time shard-local setup, §4.5.3); it is expected
-		// to handle the request too, typically by ending with the
-		// steady-state handler.
-		var h Handler
-		if svc.initHandler != nil && counters.inited.CompareAndSwap(false, true) {
-			h = svc.initHandler
-		} else {
-			h = *svc.handler.Load()
-		}
-		// A panicking handler aborts this call only — the worker
-		// isolation of the paper's §2: the exception is delivered to
-		// the caller as an error, and the service stays up.
-		if fault := runIsolated(h, ctx, args); fault != nil {
-			err = faultError(fault)
-		} else if !async {
-			counters.calls.Add(1)
-		}
+		return ErrPermissionDenied
 	}
-
-	// The scratch buffer is deliberately NOT zeroed before reuse —
-	// serial sharing of "stacks" is the point (§2); trust domains that
-	// must not share scratch use separate Systems.
-	sh.pushCD(cd)
-	return err
+	// First call serviced on this shard runs the init handler instead
+	// (one-time shard-local setup, §4.5.3); it is expected to handle
+	// the request too, typically by ending with the steady-state
+	// handler.
+	var h Handler
+	if svc.initHandler != nil && counters.inited.CompareAndSwap(false, true) {
+		h = svc.initHandler
+	} else {
+		h = *svc.handler.Load()
+	}
+	// A panicking handler aborts this call only — the worker isolation
+	// of the paper's §2: the exception is delivered to the caller as an
+	// error, and the service stays up.
+	if fault := runIsolated(h, ctx, args); fault != nil {
+		return faultError(fault)
+	}
+	if !async {
+		counters.calls.Add(1)
+	}
+	return nil
 }

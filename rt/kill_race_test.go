@@ -206,7 +206,7 @@ func TestAsyncBackpressure(t *testing.T) {
 	sys := NewSystemShards(1)
 	sh := &sys.shards[0]
 	sh.maxWorkers = 1
-	sh.asyncQ = make(chan asyncReq, 1)
+	sh.ring.init(2) // the smallest ring (one-slot rings cannot detect fullness)
 	sh.submitWait = time.Millisecond
 
 	gate := make(chan struct{})
@@ -224,8 +224,10 @@ func TestAsyncBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started
-	if err := c.AsyncCall(svc.EP(), &args); err != nil { // fills the queue
-		t.Fatal(err)
+	for i := 0; i < 2; i++ { // fills the two-slot ring
+		if err := c.AsyncCall(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
 	}
 	begin := time.Now()
 	if err := c.AsyncCall(svc.EP(), &args); !errors.Is(err, ErrBackpressure) {
@@ -238,12 +240,12 @@ func TestAsyncBackpressure(t *testing.T) {
 	if st.BackpressureRejects != 1 {
 		t.Fatalf("BackpressureRejects = %d", st.BackpressureRejects)
 	}
-	if st.AsyncQueueDepth != 1 || st.AsyncQueueCap != 1 {
+	if st.AsyncQueueDepth != 2 || st.AsyncQueueCap != 2 {
 		t.Fatalf("queue stats = %+v", st)
 	}
-	// The rejected request was never admitted: only the two accepted
-	// ones count, and the soft-kill drain must not wait for a third.
-	if svc.AsyncCalls() != 2 {
+	// The rejected request was never admitted: only the three accepted
+	// ones count, and the soft-kill drain must not wait for a fourth.
+	if svc.AsyncCalls() != 3 {
 		t.Fatalf("AsyncCalls = %d", svc.AsyncCalls())
 	}
 	close(gate)
@@ -336,6 +338,88 @@ func TestConcurrentCallsAsyncAndClose(t *testing.T) {
 	var args Args
 	if err := sys.NewClient().AsyncCall(svc.EP(), &args); !errors.Is(err, ErrClosed) {
 		t.Fatalf("async after close: %v", err)
+	}
+}
+
+// TestRingSubmitCloseKillStress races single and batched submissions
+// against a soft Kill and a concurrent Close on the ring path. The
+// invariants: no submission deadlocks or panics, rejections carry only
+// the documented errors, and every request counted accepted executes
+// exactly once — soft Kill and Close both drain accepted work, so
+// accepted == executed when the dust settles.
+func TestRingSubmitCloseKillStress(t *testing.T) {
+	iters := 30
+	if testing.Short() {
+		iters = 5
+	}
+	for iter := 0; iter < iters; iter++ {
+		sys := NewSystemShards(2)
+		var executed atomic.Int64
+		svc, err := sys.Bind(ServiceConfig{Name: "stress", Handler: func(ctx *Ctx, args *Args) {
+			executed.Add(1)
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted atomic.Int64
+		start := make(chan struct{})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				c := sys.NewClientOnShard(g % 2)
+				b := c.NewBatch(svc.EP(), 8)
+				var args Args
+				<-start
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if g%2 == 0 {
+						if err := c.AsyncCall(svc.EP(), &args); err == nil {
+							accepted.Add(1)
+						} else if !errors.Is(err, ErrKilled) && !errors.Is(err, ErrClosed) &&
+							!errors.Is(err, ErrBackpressure) && !errors.Is(err, ErrBadEntryPoint) {
+							t.Errorf("async: %v", err)
+							return
+						}
+					} else {
+						for i := 0; i < 4; i++ {
+							b.Add(&args)
+						}
+						n, err := b.Flush()
+						accepted.Add(int64(n))
+						if err != nil && !errors.Is(err, ErrKilled) && !errors.Is(err, ErrClosed) &&
+							!errors.Is(err, ErrBackpressure) && !errors.Is(err, ErrBadEntryPoint) {
+							t.Errorf("batch: %v", err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		close(start)
+		if iter%2 == 0 {
+			// Soft kill mid-traffic: drains every accepted request.
+			if err := sys.Kill(svc.EP(), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.Close()
+		close(stop)
+		wg.Wait()
+		if got, want := executed.Load(), accepted.Load(); got != want {
+			t.Fatalf("iter %d: executed %d of %d accepted requests", iter, got, want)
+		}
+		for _, st := range sys.Stats() {
+			if st.AsyncWorkers != 0 || st.AsyncQueueDepth != 0 {
+				t.Fatalf("iter %d: shard %d left workers=%d depth=%d", iter, st.Shard, st.AsyncWorkers, st.AsyncQueueDepth)
+			}
+		}
 	}
 }
 

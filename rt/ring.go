@@ -1,0 +1,178 @@
+package rt
+
+import "sync/atomic"
+
+// asyncRing is the shard's bounded lock-free request queue: a
+// Vyukov-style ring of sequence-numbered slots. It replaces the Go
+// channel the async path used to funnel through — a channel send takes
+// the runtime-internal hchan lock and parks/unparks through the
+// scheduler, exactly the hidden serialization the paper's design rules
+// forbid. Here submission is one CAS on the enqueue cursor plus an
+// in-place slot write, and consumption is one CAS on the dequeue
+// cursor plus an in-place slot read; no lock exists to contend on and
+// no element is copied through runtime internals.
+//
+// Protocol (Vyukov bounded MPMC, which covers our many-producers /
+// few-consumers shape): each slot carries a sequence number. A slot is
+// writable when seq == pos (pos the producer's ticket), readable when
+// seq == pos+1 (pos the consumer's ticket); the producer publishes by
+// storing seq = pos+1 and the consumer recycles the slot for the next
+// lap by storing seq = pos+size. Tickets are claimed by CAS on the
+// cursors, so per-producer FIFO follows from each goroutine's tickets
+// being acquired in program order and consumers draining in ticket
+// order. A consumer never skips an unpublished slot — it reports the
+// ring empty instead and retries later — so nothing is lost or
+// reordered past a slow producer.
+//
+// The cursors live on their own cache lines so producers (hitting enq)
+// and consumers (hitting deq) do not false-share.
+type asyncRing struct {
+	mask  uint64
+	slots []ringSlot
+
+	_ [64]byte // keep the cursors off the slots' lines
+	//ppc:atomic
+	enq atomic.Uint64
+	_   [64]byte
+	//ppc:atomic
+	deq atomic.Uint64
+	_   [64]byte
+}
+
+// ringSlot is one sequence-numbered cell. The request is stored in
+// place — submission writes it once and the draining worker reads it
+// once, with the seq store/load pair ordering the two.
+type ringSlot struct {
+	//ppc:atomic
+	seq atomic.Uint64
+	req asyncReq
+}
+
+// init sizes the ring to the smallest power of two >= capacity and
+// stamps each slot with its initial sequence number. The minimum is
+// two slots: with a single slot the producer's published sequence
+// (pos+1) is indistinguishable from the next lap's writable condition
+// for the same slot, so a full one-slot ring would accept a push.
+//
+//ppc:coldpath -- ring construction, once per shard
+func (r *asyncRing) init(capacity int) {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	r.slots = make([]ringSlot, size)
+	r.mask = uint64(size - 1)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	r.enq.Store(0)
+	r.deq.Store(0)
+}
+
+// push publishes one request: claim a ticket with a CAS on the enqueue
+// cursor, write the slot fields in place straight from the caller's
+// argument block (no intermediate request struct is materialized),
+// publish the sequence number. Reports false when the ring is full
+// (the slot a lap ahead has not been consumed yet) — the caller's
+// backpressure half.
+//
+//ppc:hotpath
+func (r *asyncRing) push(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.req.sys = sys
+				slot.req.svc = svc
+				slot.req.args = *args
+				slot.req.prog = prog
+				slot.req.done = done
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			return false // full: slot still holds last lap's request
+		default:
+			pos = r.enq.Load() // lost the ticket race; reload
+		}
+	}
+}
+
+// popBatch drains up to len(dst) published requests in ticket order —
+// the batched dequeue: the consumer scans the published run, claims
+// the whole run with a single CAS on the dequeue cursor, and only then
+// copies the slots out, so the per-request cost of consumption is one
+// slot copy and one sequence store — the cursor is touched once per
+// batch, not once per request. Returns the number drained; 0 means the
+// ring held no published request (it may hold slots claimed by
+// producers that have not published yet — the caller retries or
+// parks).
+//
+//ppc:hotpath
+func (r *asyncRing) popBatch(dst []asyncReq) int {
+	for {
+		pos := r.deq.Load()
+		// Scan the contiguous published run from pos.
+		n := 0
+		for n < len(dst) {
+			seq := r.slots[(pos+uint64(n))&r.mask].seq.Load()
+			if int64(seq)-int64(pos+uint64(n)+1) != 0 {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			seq := r.slots[pos&r.mask].seq.Load()
+			if int64(seq)-int64(pos+1) > 0 {
+				continue // another consumer claimed pos; reload the cursor
+			}
+			return 0 // head unpublished: empty (or a producer mid-publish)
+		}
+		if !r.deq.CompareAndSwap(pos, pos+uint64(n)) {
+			continue // lost the claim race; rescan from the new cursor
+		}
+		// The run [pos, pos+n) is exclusively ours: it was published
+		// before the claim, and producers cannot reuse a slot until its
+		// sequence is recycled below.
+		for i := 0; i < n; i++ {
+			slot := &r.slots[(pos+uint64(i))&r.mask]
+			dst[i] = slot.req
+			slot.req.clearRefs() // drop refs for the GC
+			slot.seq.Store(pos + uint64(i) + r.mask + 1)
+		}
+		return n
+	}
+}
+
+// empty reports whether the ring has no requests, published or in
+// flight. A false return does not guarantee popBatch will find a
+// published slot — a producer may be mid-publish — which is exactly
+// the case the worker's spin loop covers.
+//
+//ppc:hotpath
+func (r *asyncRing) empty() bool {
+	return r.deq.Load() == r.enq.Load()
+}
+
+// length approximates the queue depth for diagnostics.
+//
+//ppc:coldpath -- stats snapshot, off the call path
+func (r *asyncRing) length() int {
+	d := int64(r.enq.Load()) - int64(r.deq.Load())
+	if d < 0 {
+		d = 0
+	}
+	if d > int64(len(r.slots)) {
+		d = int64(len(r.slots))
+	}
+	return int(d)
+}
+
+// capacity reports the ring size.
+//
+//ppc:coldpath -- stats snapshot, off the call path
+func (r *asyncRing) capacity() int { return len(r.slots) }

@@ -1,0 +1,232 @@
+package rt
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// ringTag packs a producer ID and per-producer sequence number into an
+// Args word so consumers can check ordering.
+func ringTag(producer, seq int) uint64 { return uint64(producer)<<32 | uint64(seq) }
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{1, 2}, {2, 2}, {3, 4}, {64, 64}, {65, 128},
+	} {
+		var r asyncRing
+		r.init(tc.ask)
+		if got := r.capacity(); got != tc.want {
+			t.Errorf("init(%d): capacity = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestRingPushPopOrder drives a ring single-threaded through several
+// laps: FIFO order, exact fullness detection, exact emptiness.
+func TestRingPushPopOrder(t *testing.T) {
+	var r asyncRing
+	r.init(4)
+	var buf [8]asyncReq
+	next := 0 // next value expected out
+	pushed := 0
+	for lap := 0; lap < 5; lap++ {
+		for r.push(nil, nil, &Args{ringTag(0, pushed)}, 0, nil) {
+			pushed++
+		}
+		if pushed-next != r.capacity() {
+			t.Fatalf("lap %d: ring accepted %d, want %d", lap, pushed-next, r.capacity())
+		}
+		if r.length() != r.capacity() || r.empty() {
+			t.Fatalf("lap %d: full ring reports length=%d empty=%v", lap, r.length(), r.empty())
+		}
+		// Drain in two batches to exercise partial popBatch.
+		for r.length() > 0 {
+			n := r.popBatch(buf[:3])
+			for i := 0; i < n; i++ {
+				if got := buf[i].args[0]; got != ringTag(0, next) {
+					t.Fatalf("popped %#x, want %#x", got, ringTag(0, next))
+				}
+				next++
+			}
+		}
+		if !r.empty() || r.popBatch(buf[:]) != 0 {
+			t.Fatalf("lap %d: drained ring not empty", lap)
+		}
+	}
+}
+
+// TestRingConcurrentProducersBatchedConsumer is the ring's property
+// test: random concurrent producers against one batch-draining
+// consumer. Checks no-loss, no-duplication, and FIFO per producer —
+// the ordering contract the shard relies on.
+func TestRingConcurrentProducersBatchedConsumer(t *testing.T) {
+	const producers = 8
+	perProducer := 5000
+	if testing.Short() || raceEnabled {
+		perProducer = 800
+	}
+	var r asyncRing
+	r.init(16) // small ring: force wraparound and fullness backoff
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for seq := 0; seq < perProducer; seq++ {
+				args := Args{ringTag(p, seq)}
+				for !r.push(nil, nil, &args, 0, nil) {
+					runtime.Gosched()
+				}
+				if rng.Intn(64) == 0 {
+					runtime.Gosched() // jitter the interleavings
+				}
+			}
+		}(p)
+	}
+
+	seen := make([][]int, producers) // per-producer sequence trace
+	consumed := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var batch [asyncBatchSize]asyncReq
+		for consumed < producers*perProducer {
+			n := r.popBatch(batch[:])
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				w := batch[i].args[0]
+				p, seq := int(w>>32), int(uint32(w))
+				seen[p] = append(seen[p], seq)
+				consumed++
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	for p := 0; p < producers; p++ {
+		if len(seen[p]) != perProducer {
+			t.Fatalf("producer %d: consumed %d of %d (lost or duplicated)", p, len(seen[p]), perProducer)
+		}
+		for i, seq := range seen[p] {
+			if seq != i {
+				t.Fatalf("producer %d: position %d holds seq %d — FIFO-per-producer violated", p, i, seq)
+			}
+		}
+	}
+	if !r.empty() {
+		t.Fatal("ring not empty after full drain")
+	}
+}
+
+// TestRingConcurrentConsumersNoLossNoDup relaxes the ordering check
+// (several consumers interleave) but every pushed request must come
+// out exactly once — the multi-worker drain shape.
+func TestRingConcurrentConsumersNoLossNoDup(t *testing.T) {
+	const producers, consumers = 6, 3
+	perProducer := 4000
+	if testing.Short() || raceEnabled {
+		perProducer = 600
+	}
+	total := producers * perProducer
+	var r asyncRing
+	r.init(32)
+
+	counts := make([]atomic.Int32, total)
+	var consumed atomic.Int64
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			var batch [asyncBatchSize]asyncReq
+			for consumed.Load() < int64(total) {
+				n := r.popBatch(batch[:])
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				for i := 0; i < n; i++ {
+					w := batch[i].args[0]
+					p, seq := int(w>>32), int(uint32(w))
+					counts[p*perProducer+seq].Add(1)
+				}
+				consumed.Add(int64(n))
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for seq := 0; seq < perProducer; seq++ {
+				args := Args{ringTag(p, seq)}
+				for !r.push(nil, nil, &args, 0, nil) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	cwg.Wait()
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("request %d consumed %d times, want exactly once", i, n)
+		}
+	}
+}
+
+// FuzzRingModel checks the ring against a plain slice queue under an
+// arbitrary single-threaded push/pop program: byte 0x00-0x7f pushes
+// the next value, 0x80-0xff pops a batch of (b&7)+1.
+func FuzzRingModel(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x81, 0x03, 0xff})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		var r asyncRing
+		r.init(4)
+		var model []uint64
+		next := uint64(0)
+		var buf [8]asyncReq
+		for _, op := range program {
+			if op < 0x80 {
+				ok := r.push(nil, nil, &Args{next}, 0, nil)
+				if wantOK := len(model) < r.capacity(); ok != wantOK {
+					t.Fatalf("push(%d) = %v with %d queued (cap %d)", next, ok, len(model), r.capacity())
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				k := int(op&7) + 1
+				n := r.popBatch(buf[:k])
+				want := len(model)
+				if want > k {
+					want = k
+				}
+				if n != want {
+					t.Fatalf("popBatch(%d) = %d, want %d (queued %d)", k, n, want, len(model))
+				}
+				for i := 0; i < n; i++ {
+					if buf[i].args[0] != model[i] {
+						t.Fatalf("popped %d, want %d", buf[i].args[0], model[i])
+					}
+				}
+				model = model[n:]
+			}
+		}
+		if r.length() != len(model) || r.empty() != (len(model) == 0) {
+			t.Fatalf("length=%d empty=%v, model holds %d", r.length(), r.empty(), len(model))
+		}
+	})
+}

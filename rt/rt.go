@@ -39,12 +39,22 @@
 //     requests still queued are discarded, not executed.
 //   - Exchange replaces the handler atomically: calls in progress
 //     finish on the old handler; new calls get the new one.
-//   - Asynchronous submission is lock-free and bounded: each shard has
-//     a fixed-capacity queue and a capped worker pool. When the queue
+//   - Asynchronous submission is lock-free and bounded: each shard
+//     owns a fixed-capacity Vyukov-style ring (sequence-numbered
+//     slots) and a capped worker pool. Submission is a ticket CAS
+//     plus an in-place slot write — no channel lock, no scheduler
+//     round trip. Workers drain the ring in batches and park on a
+//     per-shard doorbell only after a bounded spin; submitters ring
+//     the doorbell only when a worker is actually parked, so the
+//     steady-state pipeline never enters the scheduler. When the ring
 //     is full and the pool saturated, AsyncCall waits a bounded time
 //     for space and then fails with ErrBackpressure — overload is
 //     surfaced to the overloading submitter (and in ShardStats), never
 //     spread to other submitters as head-of-line blocking.
+//   - Batched submission (Client.AsyncBatch, or a reusable Batch with
+//     Flush) admits once and publishes many slots: one admission
+//     check, one wakeup, n requests — the paper's amortized
+//     asynchronous calls (§4.4).
 //   - Close rejects new asynchronous submissions, lets workers drain
 //     requests already accepted, and joins every worker before
 //     returning, so Stats reports zero AsyncWorkers afterwards.
@@ -54,9 +64,11 @@
 //
 // Calling Kill (soft) or Close from inside a handler of the service
 // being drained deadlocks, exactly as joining yourself always does.
-// Completion channels passed to AsyncCallNotify should be buffered:
-// workers block sending the notification, and an abandoned unbuffered
-// channel would stall the drain.
+// Completion channels passed to AsyncCallNotify should be buffered: a
+// worker delivers the notification non-blocking, waits a bounded time
+// for an unready receiver, and then drops the notification (counted in
+// ShardStats.NotifyDrops) — an abandoned channel costs a bounded wait,
+// never a wedged worker.
 package rt
 
 import (
@@ -188,14 +200,42 @@ type Service struct {
 	perShard []shardCounters
 }
 
+// shardCounters keeps the submission side and the completion side on
+// separate cache lines: the admitting caller writes admitted/asyncAdm,
+// the servicing async worker writes completed, and neither invalidates
+// the other's line per request. The in-flight count is the difference
+// (admissions − completed), read only by control-plane code (kill
+// drains, stats).
+//
+// Async admissions have their own counter, asyncAdm, doing double duty
+// as the AsyncCalls statistic: one increment per accepted request is
+// both the admission and the count, so the submit fast path pays a
+// single counter RMW. A rejected or backed-out submission decrements
+// it again; at any quiescent point asyncAdm equals the number of
+// requests ever accepted.
 type shardCounters struct {
+	// Submission side: written by the admitting caller.
 	calls    atomic.Int64
-	async    atomic.Int64
-	inFlight atomic.Int64
+	asyncAdm atomic.Int64
+	admitted atomic.Int64 // synchronous admissions
 	authFail atomic.Int64
 	backouts atomic.Int64
 	inited   atomic.Bool
 	_        [15]byte // pad to a cache line with the fields above
+
+	// Completion side: written by whichever goroutine finishes the
+	// call — for async requests, an async worker on another processor.
+	completed atomic.Int64
+	_         [56]byte // keep the completion counter on its own line
+}
+
+// inFlight reads this shard's admitted-but-not-finished count. A
+// racing reader can observe completed ahead of the admission counters
+// and see a transiently negative value; control-plane loops compare
+// the summed total against zero after the counters have stopped
+// moving, where the difference is exact.
+func (c *shardCounters) inFlight() int64 {
+	return c.admitted.Load() + c.asyncAdm.Load() - c.completed.Load()
 }
 
 // EP returns the entry point ID.
@@ -213,11 +253,13 @@ func (s *Service) Calls() int64 {
 	return n
 }
 
-// AsyncCalls sums the per-shard asynchronous call counters.
+// AsyncCalls sums the per-shard asynchronous admission counters: the
+// number of async requests ever accepted (a request being rejected or
+// backed out increments and decrements, netting zero once settled).
 func (s *Service) AsyncCalls() int64 {
 	var n int64
 	for i := range s.perShard {
-		n += s.perShard[i].async.Load()
+		n += s.perShard[i].asyncAdm.Load()
 	}
 	return n
 }
@@ -247,7 +289,7 @@ func (s *Service) KilledBackouts() int64 {
 func (s *Service) inFlightTotal() int64 {
 	var n int64
 	for i := range s.perShard {
-		n += s.perShard[i].inFlight.Load()
+		n += s.perShard[i].inFlight()
 	}
 	return n
 }
@@ -264,10 +306,45 @@ func (s *Service) notifyQuiesce() {
 	}
 }
 
-// backOut undoes an admission that lost the race with a kill.
+// backOut undoes a synchronous admission that lost the race with a
+// kill.
+//
+//ppc:coldpath -- a kill intervened; the call is already failing
 func (s *Service) backOut(counters *shardCounters) {
 	counters.backouts.Add(1)
-	counters.inFlight.Add(-1)
+	counters.admitted.Add(-1)
+	s.notifyQuiesce()
+}
+
+// backOutAsync undoes an asynchronous admission that lost the race
+// with a kill — whether it never reached the queue or was discarded
+// from it by a hard kill.
+//
+//ppc:coldpath -- a kill intervened; the request is already failing
+func (s *Service) backOutAsync(counters *shardCounters) {
+	counters.backouts.Add(1)
+	counters.asyncAdm.Add(-1)
+	s.notifyQuiesce()
+}
+
+// backOutN undoes a batch admission that lost the race with a kill:
+// every request in the batch is counted as a backout, exactly as n
+// single-call back-outs would be.
+//
+//ppc:coldpath -- a kill intervened; the batch is already failing
+func (s *Service) backOutN(counters *shardCounters, n int) {
+	counters.backouts.Add(int64(n))
+	counters.asyncAdm.Add(-int64(n))
+	s.notifyQuiesce()
+}
+
+// unadmit releases the in-flight admissions of requests a shard
+// rejected (backpressure or close). They were never accepted, so they
+// are not kill backouts — mirroring the single-call rejection path.
+//
+//ppc:coldpath -- runs only when the shard rejected part of a batch
+func (s *Service) unadmit(counters *shardCounters, n int) {
+	counters.asyncAdm.Add(-int64(n))
 	s.notifyQuiesce()
 }
 
@@ -457,11 +534,17 @@ func (s *System) Kill(ep EntryPointID, hard bool) error {
 	ch := make(chan struct{}, 1)
 	svc.quiesce.Store(&ch)
 	svc.state.Store(svcSoftKilled)
-	for svc.inFlightTotal() != 0 {
+	if svc.inFlightTotal() != 0 {
+		// One timer serves the whole drain, reset only after it fires —
+		// no per-iteration timer allocation. Between notifications it
+		// keeps running as the poll backstop.
 		timer := time.NewTimer(killPollInterval)
-		select {
-		case <-ch:
-		case <-timer.C:
+		for svc.inFlightTotal() != 0 {
+			select {
+			case <-ch:
+			case <-timer.C:
+				timer.Reset(killPollInterval)
+			}
 		}
 		timer.Stop()
 	}
@@ -512,6 +595,11 @@ type ShardStats struct {
 	// with ErrBackpressure — nonzero means the shard has been
 	// overloaded past its queue and worker bounds.
 	BackpressureRejects int64
+	// NotifyDrops counts completion notifications dropped because
+	// their channel had no receiver within the bounded notify wait —
+	// nonzero usually means an unbuffered (or abandoned) channel was
+	// passed to AsyncCallNotify.
+	NotifyDrops int64
 }
 
 // Stats returns per-shard pool statistics (diagnostics; walks the

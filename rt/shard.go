@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,18 +10,44 @@ import (
 // defaultScratchBytes is the default per-call scratch ("stack page").
 const defaultScratchBytes = 4096
 
-// defaultAsyncQueueCap bounds the per-shard async request queue.
+// defaultAsyncQueueCap bounds the per-shard async request ring.
 const defaultAsyncQueueCap = 64
 
 // defaultMaxWorkers bounds the per-shard async worker pool.
 const defaultMaxWorkers = 8
 
-// defaultSubmitWait is how long an async submission waits for queue
+// defaultSubmitWait is how long an async submission waits for ring
 // space once the worker pool is saturated before reporting
-// ErrBackpressure. Bounded by design: a full queue must surface as an
+// ErrBackpressure. Bounded by design: a full ring must surface as an
 // error to the submitter, never as head-of-line blocking for everyone
 // else.
 const defaultSubmitWait = time.Millisecond
+
+// defaultNotifyWait bounds how long a worker waits to deliver a
+// completion notification on an unready channel before dropping it
+// (counted in ShardStats.NotifyDrops). An abandoned unbuffered done
+// channel must cost one bounded wait, not a wedged worker.
+const defaultNotifyWait = 100 * time.Millisecond
+
+// asyncBatchSize is how many requests a worker claims per ring visit —
+// the paper's amortization lever: one wakeup, one stop-check, one
+// doorbell round for up to this many requests.
+const asyncBatchSize = 16
+
+// workerSpinRounds and workerSpinIters shape the adaptive
+// spin-then-park: an idle worker spins on the ring head for up to
+// workerSpinRounds visits (workerSpinIters head loads each, yielding
+// between later rounds) before parking on the doorbell. The steady
+// pipeline — requests arriving while a worker drains — never parks and
+// never rings, so it never enters the scheduler.
+const (
+	workerSpinRounds = 4
+	workerSpinIters  = 128
+)
+
+// closePollInterval paces close's wait for in-progress submissions on
+// one reused timer.
+const closePollInterval = 10 * time.Microsecond
 
 // callDesc is the real-concurrency analogue of the paper's call
 // descriptor: a recycled per-call context carrying a scratch buffer
@@ -55,24 +82,40 @@ type shard struct {
 	// cdsCreated counts descriptor allocations (pool growth).
 	cdsCreated atomic.Int64
 
-	// asyncQ feeds the shard's dynamically-created async workers
-	// (§4.4: asynchronous requests detach the caller; §2: workers are
-	// created as needed). The channel is never closed — workers are
-	// told to exit via stop, so submitters never risk a send on a
-	// closed channel and never need a lock around the send.
+	// ring feeds the shard's dynamically-created async workers (§4.4:
+	// asynchronous requests detach the caller; §2: workers are created
+	// as needed). Submission is a ticket CAS plus an in-place slot
+	// write — no channel lock, no scheduler round trip.
 	//
 	//ppc:shard-owned
-	asyncQ chan asyncReq
-	// stop, once closed, tells workers to drain asyncQ and exit.
-	stop       chan struct{}
+	ring asyncRing
+
+	// doorbell wakes a parked worker. Submitters ring it only when
+	// parked is nonzero, so the steady-state pipeline never touches it;
+	// the buffer of one coalesces rings (a pending token means a wakeup
+	// is already owed).
+	doorbell chan struct{}
+	// parked counts workers blocked on the doorbell. A worker
+	// increments it, re-checks the ring (the Dekker handshake against
+	// a concurrent publish), and only then blocks. The padding keeps
+	// these worker-side transitions off the line submitters RMW on
+	// every submit (submitting, below).
+	//
+	//ppc:atomic
+	parked atomic.Int64
+	_      [56]byte
+
+	// stop, once closed, tells workers to drain the ring and exit.
+	stop chan struct{}
 	//ppc:atomic
 	workers    atomic.Int64
 	maxWorkers int64
 	submitWait time.Duration
+	notifyWait time.Duration
 
 	// submitting counts submissions between their closed-check and the
 	// completion of their enqueue (or rejection). close waits for it to
-	// reach zero so the queue contents are final before the drain.
+	// reach zero so the ring contents are final before the drain.
 	//
 	//ppc:atomic
 	submitting atomic.Int64
@@ -80,6 +123,7 @@ type shard struct {
 	// Lifecycle observability (see ShardStats).
 	backpressure atomic.Int64
 	workerExits  atomic.Int64
+	notifyDrops  atomic.Int64
 
 	//ppc:atomic
 	closed atomic.Bool
@@ -97,12 +141,25 @@ type asyncReq struct {
 	done chan<- struct{} // optional completion notification
 }
 
+// clearRefs nils just the pointer fields — all the GC cares about —
+// instead of zeroing the whole request (the args block dominates its
+// size, and rewriting it costs a cache line and a half per dequeue).
+//
+//ppc:hotpath
+func (r *asyncReq) clearRefs() {
+	r.sys = nil
+	r.svc = nil
+	r.done = nil
+}
+
 func (sh *shard) init(id int) {
 	sh.id = id
-	sh.asyncQ = make(chan asyncReq, defaultAsyncQueueCap)
+	sh.ring.init(defaultAsyncQueueCap)
+	sh.doorbell = make(chan struct{}, 1)
 	sh.stop = make(chan struct{})
 	sh.maxWorkers = defaultMaxWorkers
 	sh.submitWait = defaultSubmitWait
+	sh.notifyWait = defaultNotifyWait
 }
 
 // popCD takes a descriptor from the shard pool, or allocates one. The
@@ -163,59 +220,152 @@ func (sh *shard) poolSize() int {
 	return n
 }
 
-// submitAsync hands a request to the shard's async workers, spawning a
-// new worker when the queue backs up (dynamic pool growth, as the paper
-// grows worker pools on demand). The fast path takes no locks: one
-// atomic closed-check and a non-blocking channel send. When the queue
-// is full and the worker pool is saturated, the submission waits at
-// most submitWait for space and then fails with ErrBackpressure —
-// overload is reported to the one overloading submitter instead of
-// head-of-line-blocking every other submitter (and Close) behind a
-// held lock.
+// submitAsync hands a request to the shard's async workers: one atomic
+// closed-check, one ring push (ticket CAS + slot write), and a wake
+// that in the steady state is two atomic loads. No locks, no channel
+// internals, no scheduler transit. When the ring is full, the slow
+// half grows the worker pool and waits a bounded time for space before
+// reporting ErrBackpressure — overload is reported to the one
+// overloading submitter instead of head-of-line-blocking every other
+// submitter (and Close) behind a held lock.
 //
 //ppc:hotpath
-func (sh *shard) submitAsync(req asyncReq) error {
+func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}) error {
 	sh.submitting.Add(1)
 	defer sh.submitting.Add(-1)
 	if sh.closed.Load() {
 		return ErrClosed
 	}
-	select {
-	case sh.asyncQ <- req:
-		if sh.workers.Load() == 0 {
-			sh.spawnWorker(req.sys)
-		}
+	if sh.ring.push(sys, svc, args, prog, done) {
+		sh.wake(sys)
 		return nil
-	default:
 	}
-	return sh.submitSlow(req)
+	return sh.submitSlow(sys, svc, args, prog, done)
 }
 
-// submitSlow is the queue-full half of submitAsync: grow the worker
-// pool if it has headroom (spawnWorker refuses at maxWorkers), then
-// wait a bounded time for space before reporting backpressure.
+// submitBatch publishes a whole batch of requests for svc under a
+// single submitting window: one closed-check and one wake amortized
+// over every slot — the §4.4 amortized-async analogue. Admission
+// accounting (in-flight counts, kill backouts) is the caller's
+// responsibility; submitBatch reports how many requests the ring
+// accepted. On a full ring it falls to the bounded slow half for the
+// remainder.
 //
-//ppc:coldpath -- overload handling: the queue is full, the caller is already paying
-func (sh *shard) submitSlow(req asyncReq) error {
-	sh.spawnWorker(req.sys)
-	timer := time.NewTimer(sh.submitWait)
-	defer timer.Stop()
-	select {
-	case sh.asyncQ <- req:
-		return nil
-	case <-timer.C:
-		sh.backpressure.Add(1)
-		return ErrBackpressure
+//ppc:hotpath
+func (sh *shard) submitBatch(sys *System, svc *Service, argss []Args, program uint32, done chan<- struct{}) (int, error) {
+	sh.submitting.Add(1)
+	defer sh.submitting.Add(-1)
+	if sh.closed.Load() {
+		return 0, ErrClosed
 	}
+	n := 0
+	for i := range argss {
+		if !sh.ring.push(sys, svc, &argss[i], program, done) {
+			return sh.submitBatchSlow(sys, svc, argss[i:], program, done, n)
+		}
+		n++
+	}
+	sh.wake(sys)
+	return n, nil
+}
+
+// wake makes freshly-published work visible to a worker: spawn the
+// first worker if the pool is empty, and ring the doorbell only when a
+// worker is actually parked. In the steady state — a live worker
+// draining a non-empty ring — both branches are a single atomic load
+// and the submitter never enters the scheduler.
+//
+//ppc:hotpath
+func (sh *shard) wake(sys *System) {
+	if sh.workers.Load() == 0 {
+		sh.spawnWorker(sys)
+	}
+	if sh.parked.Load() != 0 {
+		select {
+		case sh.doorbell <- struct{}{}:
+		default: // a token is already pending; the wakeup is owed
+		}
+	}
+}
+
+// submitSlow is the ring-full half of submitAsync: grow the worker
+// pool if it has headroom (spawnWorker refuses at maxWorkers), then
+// retry for a bounded time before reporting backpressure. The retry
+// yields rather than sleeps: a timer sleep's real granularity (tens of
+// microseconds) would gate saturated throughput, while Gosched hands
+// the processor straight to the draining worker and retries the moment
+// slots free up.
+//
+//ppc:coldpath -- overload handling: the ring is full, the caller is already paying
+func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}) error {
+	sh.spawnWorker(sys)
+	deadline := time.Now().Add(sh.submitWait)
+	spun := 0
+	for {
+		if sh.ring.push(sys, svc, args, prog, done) {
+			sh.wake(sys)
+			return nil
+		}
+		// Retrying a push against a full ring is read-only (a seq load
+		// finds the slot still occupied, no CAS), so spin a bounded
+		// burst first — a draining worker frees a whole batch of slots
+		// in well under a park/unpark round trip.
+		if spun < workerSpinIters {
+			spun++
+			continue
+		}
+		if time.Now().After(deadline) {
+			sh.backpressure.Add(1)
+			return ErrBackpressure
+		}
+		runtime.Gosched()
+		spun = 0
+	}
+}
+
+// submitBatchSlow finishes a batch that filled the ring: wake the
+// drain side, grow the worker pool, and push the remainder under the
+// same bounded wait as submitSlow. Returns the total accepted count;
+// requests past the deadline are rejected as one backpressure event.
+//
+//ppc:coldpath -- overload handling for the batch tail
+func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program uint32, done chan<- struct{}, accepted int) (int, error) {
+	sh.wake(sys) // the already-published head of the batch is runnable
+	sh.spawnWorker(sys)
+	deadline := time.Now().Add(sh.submitWait)
+	spun := 0
+	for i := range rest {
+		for !sh.ring.push(sys, svc, &rest[i], program, done) {
+			// Same spin-then-yield as submitSlow: the retry is read-only
+			// against a full ring, and a batch drain frees slots faster
+			// than a scheduler round trip.
+			if spun < workerSpinIters {
+				spun++
+				continue
+			}
+			if time.Now().After(deadline) {
+				sh.backpressure.Add(1)
+				return accepted, ErrBackpressure
+			}
+			runtime.Gosched()
+			spun = 0
+		}
+		accepted++
+	}
+	sh.wake(sys)
+	return accepted, nil
 }
 
 // spawnWorker starts one async worker unless the pool is at its cap or
 // the shard is closing. The lock is control-plane only: spawns happen
-// when the pool is empty or the queue backed up, never on the steady
+// when the pool is empty or the ring backed up, never on the steady
 // submit path.
 //
 //ppc:coldpath -- worker-pool growth control plane, guarded against close, off the steady submit path
 func (sh *shard) spawnWorker(sys *System) {
+	if sh.workers.Load() >= sh.maxWorkers {
+		return // saturated overload calls this per submit; skip the lock
+	}
 	sh.qMu.Lock()
 	defer sh.qMu.Unlock()
 	if sh.closed.Load() || sh.workers.Load() >= sh.maxWorkers {
@@ -226,36 +376,124 @@ func (sh *shard) spawnWorker(sys *System) {
 	go sh.workerLoop(sys)
 }
 
-// workerLoop services async requests until stop is closed, then drains
-// whatever remains in the queue and exits, keeping the worker count
-// accurate on the way out.
+// workerLoop services async requests in batches until stop is closed,
+// then drains whatever remains in the ring and exits, keeping the
+// worker count accurate on the way out.
+//
+// An idle worker adapts: first it spins briefly on the ring head (the
+// submission latency of a pipelined producer is far shorter than a
+// park/unpark round trip), then it parks on the doorbell. The park is
+// a Dekker handshake with wake: the worker advertises itself in
+// parked, re-checks the ring, and only then blocks — a submitter
+// either sees the advertisement and rings, or the worker sees the
+// submitter's slot and never parks.
 func (sh *shard) workerLoop(sys *System) {
+	// The worker holds one call descriptor for its whole lifetime:
+	// servicing a request costs no pool CAS, and the scratch buffer
+	// stays hot in the worker's cache across the batch.
+	cd := sh.popCD(defaultScratchBytes)
 	defer func() {
+		sh.pushCD(cd)
 		sh.workers.Add(-1)
 		sh.workerExits.Add(1)
 		sh.wg.Done()
 	}()
+	var batch [asyncBatchSize]asyncReq
+	idle := 0
 	for {
-		select {
-		case req := <-sh.asyncQ:
-			sh.handleAsync(sys, req)
-		case <-sh.stop:
-			for {
-				select {
-				case req := <-sh.asyncQ:
-					sh.handleAsync(sys, req)
-				default:
-					return
-				}
+		if n := sh.ring.popBatch(batch[:]); n > 0 {
+			idle = 0
+			for i := 0; i < n; i++ {
+				sh.handleAsync(sys, cd, &batch[i])
+				batch[i].clearRefs()
 			}
+			continue
+		}
+		select {
+		case <-sh.stop:
+			sh.drainRing(sys, cd, batch[:])
+			return
+		default:
+		}
+		if !sh.ring.empty() {
+			// A producer has claimed a slot but not published it yet;
+			// yield to it instead of spin-starving it.
+			runtime.Gosched()
+			continue
+		}
+		if idle < workerSpinRounds {
+			idle++
+			if idle > 1 {
+				runtime.Gosched()
+			}
+			for i := 0; i < workerSpinIters && sh.ring.empty(); i++ {
+			}
+			continue
+		}
+		// Park: advertise, re-check, block.
+		sh.parked.Add(1)
+		if !sh.ring.empty() {
+			sh.parked.Add(-1)
+			idle = 0
+			continue
+		}
+		select {
+		case <-sh.doorbell:
+		case <-sh.stop:
+		}
+		sh.parked.Add(-1)
+		idle = 0
+	}
+}
+
+// drainRing services everything left in the ring. Callers guarantee no
+// new requests can be published (stop is closed and close has waited
+// for in-progress submissions), so the drain terminates.
+func (sh *shard) drainRing(sys *System, cd *callDesc, batch []asyncReq) {
+	for {
+		n := sh.ring.popBatch(batch)
+		if n == 0 {
+			if sh.ring.empty() {
+				return
+			}
+			runtime.Gosched() // an in-flight publish; let it land
+			continue
+		}
+		for i := 0; i < n; i++ {
+			sh.handleAsync(sys, cd, &batch[i])
+			batch[i].clearRefs()
 		}
 	}
 }
 
-func (sh *shard) handleAsync(sys *System, req asyncReq) {
-	sys.serviceOne(sh, req.svc, &req.args, req.prog, true, true)
+// handleAsync runs one dequeued request and delivers its completion
+// notification. The delivery is non-blocking with a bounded fallback:
+// a ready (or buffered) channel costs one send, an unready one falls
+// to the cold half — an abandoned channel must never wedge the worker
+// (and with it every drain) forever.
+func (sh *shard) handleAsync(sys *System, cd *callDesc, req *asyncReq) {
+	sys.serviceOneHeld(sh, cd, req.svc, &req.args, req.prog)
 	if req.done != nil {
-		req.done <- struct{}{}
+		select {
+		case req.done <- struct{}{}:
+		default:
+			sh.notifySlow(req.done)
+		}
+	}
+}
+
+// notifySlow waits a bounded time for a notification receiver, then
+// drops the notification and counts it in NotifyDrops. Buffered done
+// channels (the documented recommendation) never come here.
+//
+//ppc:coldpath -- the receiver is not ready; the worker is already off the fast path
+func (sh *shard) notifySlow(done chan<- struct{}) {
+	timer := time.NewTimer(sh.notifyWait)
+	defer timer.Stop()
+	select {
+	case done <- struct{}{}:
+	case <-timer.C:
+		sh.notifyDrops.Add(1)
 	}
 }
 
@@ -270,9 +508,10 @@ func (sh *shard) stats(i int) ShardStats {
 		PooledCDs:           sh.poolSize(),
 		AsyncWorkers:        sh.workers.Load(),
 		WorkerExits:         sh.workerExits.Load(),
-		AsyncQueueDepth:     len(sh.asyncQ),
-		AsyncQueueCap:       cap(sh.asyncQ),
+		AsyncQueueDepth:     sh.ring.length(),
+		AsyncQueueCap:       sh.ring.capacity(),
 		BackpressureRejects: sh.backpressure.Load(),
+		NotifyDrops:         sh.notifyDrops.Load(),
 	}
 }
 
@@ -286,8 +525,15 @@ func (sh *shard) close(sys *System, deadline time.Time) bool {
 	sh.qMu.Lock()
 	sh.closed.Store(true)
 	sh.qMu.Unlock()
-	for sh.submitting.Load() != 0 {
-		time.Sleep(10 * time.Microsecond)
+	if sh.submitting.Load() != 0 {
+		// One reused timer paces the wait — no per-iteration timer
+		// allocation, no raw busy-sleep.
+		timer := time.NewTimer(closePollInterval)
+		for sh.submitting.Load() != 0 {
+			<-timer.C
+			timer.Reset(closePollInterval)
+		}
+		timer.Stop()
 	}
 	close(sh.stop)
 	done := make(chan struct{})
@@ -309,12 +555,9 @@ func (sh *shard) close(sys *System, deadline time.Time) bool {
 	// Requests can be queued with no worker alive (the submitter's
 	// spawn lost the race with close); service them here so accepted
 	// work and its in-flight accounting always drain.
-	for {
-		select {
-		case req := <-sh.asyncQ:
-			sh.handleAsync(sys, req)
-		default:
-			return true
-		}
-	}
+	var batch [asyncBatchSize]asyncReq
+	cd := sh.popCD(defaultScratchBytes)
+	sh.drainRing(sys, cd, batch[:])
+	sh.pushCD(cd)
+	return true
 }
