@@ -179,12 +179,22 @@ func BenchmarkAblationCoherence(b *testing.B) {
 // -bench` and `make bench-json` (cmd/benchjson) measure identical
 // code; these wrappers only give them their `go test` names.
 
-// BenchmarkRTCall measures the sequential PPC-style fast path.
+// BenchmarkRTCall measures the sequential PPC-style fast path —
+// Figure 2's "hold CD" configuration, now the Client.Call default.
 func BenchmarkRTCall(b *testing.B) { rtbench.SyncCall(b) }
+
+// BenchmarkRTCallPooled is the same call through the per-call pool
+// discipline (pop + push, one CAS pair per call) — the held/pooled gap
+// is Figure 2's CD-management delta.
+func BenchmarkRTCallPooled(b *testing.B) { rtbench.SyncCallPooled(b) }
 
 // BenchmarkRTCallParallel measures the shared-nothing path under full
 // parallelism: one client (shard) per worker goroutine.
 func BenchmarkRTCallParallel(b *testing.B) { rtbench.SyncCallParallel(b) }
+
+// BenchmarkRTCallParallelPooled is the parallel load on the pooled
+// path, where same-shard workers bounce the free-list head line.
+func BenchmarkRTCallParallelPooled(b *testing.B) { rtbench.SyncCallParallelPooled(b) }
 
 // BenchmarkRTCentralParallel is the locked baseline under the same
 // load: one mutex and a shared pool on every call.

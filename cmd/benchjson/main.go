@@ -45,7 +45,9 @@ func main() {
 		r.Add(report.BenchEntry{Name: name, Kind: "rt", Iterations: res.N, NsPerOp: ns})
 	}
 	rtBench("rt_call", rtbench.SyncCall)
+	rtBench("rt_call_pooled", rtbench.SyncCallPooled)
 	rtBench("rt_call_parallel", rtbench.SyncCallParallel)
+	rtBench("rt_call_parallel_pooled", rtbench.SyncCallParallelPooled)
 	rtBench("rt_central_parallel", rtbench.CentralParallel)
 	rtBench("rt_channel_parallel", rtbench.ChannelParallel)
 	rtBench("rt_async_channel", rtbench.AsyncChannelBaseline)
@@ -78,11 +80,15 @@ func main() {
 		})
 	}
 
-	// Comparisons record before/after pairs of the channel→ring
-	// substitution (this repo's perf claim); design-shape comparisons
-	// (shards vs central, sync vs channel server) stay raw entries —
-	// their story is scaling with contention, not a single ratio.
+	// Comparisons record before/after pairs of this repo's perf claims:
+	// the channel→ring substitution on the async path, and the
+	// pooled→held CD substitution (plus replicated service tables) on
+	// the sync path. Design-shape comparisons (shards vs central, sync
+	// vs channel server) stay raw entries — their story is scaling with
+	// contention, not a single ratio.
 	for _, cmp := range [][3]string{
+		{"sync_held_vs_pooled", "rt_call_pooled", "rt_call"},
+		{"sync_scaling_held_vs_pooled", "rt_call_parallel_pooled", "rt_call_parallel"},
 		{"async_ring_vs_channel", "rt_async_channel", "rt_async_ring"},
 		{"async_batch_vs_channel", "rt_async_channel", "rt_async_batch"},
 		{"async_ring_vs_channel_mp", "rt_async_channel_mp", "rt_async_ring_mp"},

@@ -23,7 +23,11 @@ import (
 // the default ring, so two batches pipeline.
 const FlushBatchSize = 32
 
-// SyncCall measures the sequential PPC-style fast path.
+// SyncCall measures the sequential PPC-style fast path. Since the
+// held-CD change this is Figure 2's "hold CD" configuration: the first
+// Call pins a descriptor to the client and the warm iterations never
+// touch the pool. SyncCallPooled is the per-call pool discipline for
+// comparison.
 //
 //ppc:coldpath -- benchmark harness; the measured path is rt.Client.Call
 func SyncCall(b *testing.B) {
@@ -61,6 +65,57 @@ func SyncCallParallel(b *testing.B) {
 		var args rt.Args
 		for pb.Next() {
 			if err := c.Call(svc.EP(), &args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// SyncCallPooled measures the sequential fast path with the per-call
+// pool discipline: every call pops a descriptor from the shard's
+// Treiber free list and pushes it back — one CAS pair per call that
+// the held configuration (SyncCall) does not pay.
+//
+//ppc:coldpath -- benchmark harness; the measured path is rt.Client.CallPooled
+func SyncCallPooled(b *testing.B) {
+	sys := rt.NewSystem()
+	defer sys.Close()
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.NewClient()
+	var args rt.Args
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.CallPooled(svc.EP(), &args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SyncCallParallelPooled is SyncCallParallel on the pooled path: each
+// worker's calls pop/push its shard's free list, so the scaling gap
+// against SyncCallParallel is the cost of the pool CAS pair (and its
+// cache-line bounce when workers share a shard).
+//
+//ppc:coldpath -- benchmark harness; the measured path is rt.Client.CallPooled
+func SyncCallParallelPooled(b *testing.B) {
+	sys := rt.NewSystem()
+	defer sys.Close()
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		c := sys.NewClient()
+		var args rt.Args
+		for pb.Next() {
+			if err := c.CallPooled(svc.EP(), &args); err != nil {
 				b.Fatal(err)
 			}
 		}

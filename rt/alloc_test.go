@@ -2,10 +2,11 @@ package rt
 
 import "testing"
 
-// TestWarmSyncCallAllocs pins the paper's no-allocation invariant for the
-// warm synchronous call path: once a client's shard has a call descriptor
-// in its free pool, Client.Call must not touch the heap. Under the race
-// detector the assertion is report-only (instrumentation allocates).
+// TestWarmSyncCallAllocs pins the paper's no-allocation invariant for
+// the warm synchronous call path: after the first Call pins a held
+// descriptor to the client, Client.Call must not touch the heap. Under
+// the race detector the assertion is report-only (instrumentation
+// allocates).
 func TestWarmSyncCallAllocs(t *testing.T) {
 	sys := NewSystem()
 	defer sys.Close()
@@ -36,6 +37,90 @@ func TestWarmSyncCallAllocs(t *testing.T) {
 			t.Logf("warm sync call allocates %.1f objects/op under -race (report-only)", allocs)
 		} else {
 			t.Fatalf("warm sync call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}
+
+// TestWarmHeldCallAllocs pins the held-CD warm path explicitly: with a
+// descriptor held (Figure 2's "hold CD"), Call is zero-alloc AND
+// descriptor-stable — a warm loop creates no new CDs and never touches
+// the pool. Report-only alloc assertion under -race; the CDsCreated
+// check holds either way.
+func TestWarmHeldCallAllocs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "hnull", Handler: func(ctx *Ctx, args *Args) {
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	ep := svc.EP()
+	var args Args
+
+	c.Hold()
+	for i := 0; i < 16; i++ { // warm
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := sys.Stats()[0]
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	after := sys.Stats()[0]
+	if after.CDsCreated != before.CDsCreated {
+		t.Fatalf("warm held loop created descriptors: %d -> %d", before.CDsCreated, after.CDsCreated)
+	}
+	if after.PooledCDs != before.PooledCDs || after.HeldCDs != 1 {
+		t.Fatalf("warm held loop touched the pool: before %+v, after %+v", before, after)
+	}
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm held call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm held call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}
+
+// TestWarmPooledCallAllocs keeps the old per-call pool discipline
+// honest: CallPooled pops and repushes a descriptor every call, and
+// once the pool is warm that round trip is still zero-alloc.
+// Report-only under -race.
+func TestWarmPooledCallAllocs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "pnull", Handler: func(ctx *Ctx, args *Args) {
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	ep := svc.EP()
+	var args Args
+
+	for i := 0; i < 16; i++ { // warm the pool
+		if err := c.CallPooled(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.CallPooled(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm pooled call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm pooled call allocates %.1f objects/op, want 0", allocs)
 		}
 	}
 }

@@ -105,14 +105,15 @@ func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program 
 	if int(ep) >= MaxEntryPoints {
 		return 0, ErrBadEntryPoint
 	}
-	svc := s.services[ep].Load()
-	if svc == nil {
+	e := sh.lookup(ep)
+	if e == nil {
 		return 0, ErrBadEntryPoint
 	}
+	svc := e.svc
 	if svc.state.Load() != svcActive {
 		return 0, ErrKilled
 	}
-	counters := &svc.perShard[sh.id]
+	counters := e.counters
 	counters.asyncAdm.Add(int64(len(argss)))
 	if svc.state.Load() != svcActive {
 		svc.backOutN(counters, len(argss))

@@ -45,18 +45,35 @@ func (c *Ctx) Call(ep EntryPointID, args *Args) error {
 }
 
 // Client is a caller bound to one shard. Like a process bound to a
-// processor in the paper, a Client is intended for use by a single
-// goroutine; create one per calling goroutine (they are cheap).
+// processor in the paper, a Client is owned by a single goroutine;
+// create one per calling goroutine (they are cheap). Sharing a Client
+// between goroutines is a data race: the client holds a call
+// descriptor across calls (Figure 2's "hold CD"), and that descriptor
+// has exactly one serial owner.
 type Client struct {
 	sys     *System
 	shard   *shard
 	program uint32
+
+	// held is the client's held call descriptor: acquired from the
+	// shard pool on the first Call (or an explicit Hold) and kept
+	// across calls, so the warm path never touches the pool's shared
+	// free list. Plain fields — the owning goroutine is the only
+	// toucher.
+	held *callDesc
+	// heldEpoch is the System close epoch observed when held was
+	// acquired. Release revalidates it and drops (rather than repools)
+	// a stale descriptor, so a held CD can never repopulate a drained
+	// shard's pool after System.Close.
+	heldEpoch uint64
 }
 
 // NewClient creates a caller identity bound to a shard (round-robin
-// within this System).
+// within this System). The modulo runs in uint64 so the round-robin
+// keeps working after the sequence counter wraps (a negative int index
+// would panic in NewClientOnShard).
 func (s *System) NewClient() *Client {
-	return s.NewClientOnShard(int(s.bindSeq.Add(1)) % len(s.shards))
+	return s.NewClientOnShard(int(s.bindSeq.Add(1) % uint64(len(s.shards))))
 }
 
 // NewClientOnShard creates a caller bound to an explicit shard.
@@ -77,12 +94,68 @@ func (c *Client) Program() uint32 { return c.program }
 // Shard returns the client's shard index.
 func (c *Client) Shard() int { return c.shard.id }
 
+// Hold pins a call descriptor to the client — Figure 2's "hold CD"
+// configuration. The first Call does this implicitly; an explicit Hold
+// just front-loads the acquisition (e.g. before a latency-sensitive
+// loop). Idempotent.
+//
+//ppc:coldpath -- descriptor acquisition; the warm held path never comes here
+func (c *Client) Hold() {
+	if c.held != nil {
+		return
+	}
+	c.heldEpoch = c.sys.closeEpoch.Load()
+	c.held = c.shard.holdCD()
+}
+
+// Release returns the held call descriptor to the shard pool; the next
+// Call re-acquires one. If the System was closed while the descriptor
+// was held (the close epoch advanced), the descriptor is dropped
+// instead of repooled — a held CD never resurrects a drained shard.
+// Release is optional and finalizer-free: an abandoned Client and its
+// descriptor are ordinary garbage; releasing just lets the pool reuse
+// the descriptor immediately. Idempotent.
+//
+//ppc:coldpath -- descriptor release, off the warm call path
+func (c *Client) Release() {
+	cd := c.held
+	if cd == nil {
+		return
+	}
+	c.held = nil
+	c.shard.releaseCD(cd, c.sys.closeEpoch.Load() == c.heldEpoch)
+}
+
+// Close releases the held call descriptor (it is Release under the
+// conventional name; the Client remains usable and would re-acquire on
+// the next Call).
+func (c *Client) Close() { c.Release() }
+
+// Held reports whether the client currently holds a call descriptor.
+func (c *Client) Held() bool { return c.held != nil }
+
 // Call performs a synchronous PPC-style call: the calling goroutine
-// crosses directly into the server's handler, using only shard-local
-// resources. No locks, no shared mutable data on this path.
+// crosses directly into the server's handler, using only resources it
+// already owns. The warm path runs on the client's held call
+// descriptor against the shard's service-table replica — no locks, no
+// shared mutable cache line, no CAS; the only atomic read-modify-writes
+// are the shard-striped admission/completion counters.
 //
 //ppc:hotpath
 func (c *Client) Call(ep EntryPointID, args *Args) error {
+	if c.held == nil {
+		c.Hold()
+	}
+	return c.sys.callHeld(c.shard, c.held, ep, args, c.program)
+}
+
+// CallPooled is Call through the shard's descriptor pool instead of
+// the held descriptor: one pool CAS pair per call — the Figure 2
+// "pooled CD" baseline, and the same path nested Ctx.Call and Upcall
+// use. Semantics are identical to Call.
+//
+//ppc:hotpath
+func (c *Client) CallPooled(ep EntryPointID, args *Args) error {
 	return c.sys.callOn(c.shard, ep, args, c.program, false, nil)
 }
 
@@ -124,17 +197,58 @@ func runIsolated(h Handler, ctx *Ctx, args *Args) (fault any) {
 // epProgram is the identity nested calls present (the server itself).
 func (s *Service) epProgram() uint32 { return uint32(s.ep) | 1<<31 }
 
-// callOn is the fast path.
+// callHeld is the held-CD synchronous fast path: one replica-table
+// lookup, increment-then-check admission on the shard-striped
+// counters, and a dispatch on the caller-held descriptor. The warm
+// iteration performs no CAS and touches no pool — the Track B analogue
+// of Figure 2's "hold CD" rows combined with §4.5.5's replicated
+// service table.
+//
+//ppc:hotpath
+func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, program uint32) error {
+	if int(ep) >= MaxEntryPoints {
+		return ErrBadEntryPoint
+	}
+	e := sh.lookup(ep)
+	if e == nil {
+		return ErrBadEntryPoint
+	}
+	svc := e.svc
+	if svc.state.Load() != svcActive {
+		return ErrKilled
+	}
+	counters := e.counters
+	counters.admitted.Add(1)
+	if svc.state.Load() != svcActive {
+		svc.backOut(counters)
+		return ErrKilled
+	}
+	if cap(cd.scratch) < svc.scratchBytes {
+		growScratch(cd, svc.scratchBytes)
+	}
+	cd.scratch = cd.scratch[:svc.scratchBytes]
+	// Completion accounting is inlined, not deferred: dispatch contains
+	// handler panics itself (runIsolated), so no unwind can skip these,
+	// and a deferred closure costs measurable time at call rates.
+	err := s.dispatch(cd, svc, counters, e.h, args, program, false)
+	counters.completed.Add(1)
+	svc.notifyQuiesce()
+	return err
+}
+
+// callOn is the pooled fast path (nested calls, upcalls, CallPooled,
+// and all asynchronous submission).
 //
 //ppc:hotpath
 func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}) error {
 	if int(ep) >= MaxEntryPoints {
 		return ErrBadEntryPoint
 	}
-	svc := s.services[ep].Load()
-	if svc == nil {
+	e := sh.lookup(ep)
+	if e == nil {
 		return ErrBadEntryPoint
 	}
+	svc := e.svc
 	if svc.state.Load() != svcActive {
 		return ErrKilled
 	}
@@ -146,7 +260,7 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 		// from acceptance until the worker finishes it; the same
 		// increment is the AsyncCalls count, so acceptance costs one
 		// counter RMW total.
-		counters := &svc.perShard[sh.id]
+		counters := e.counters
 		counters.asyncAdm.Add(1)
 		if svc.state.Load() != svcActive {
 			svc.backOutAsync(counters)
@@ -159,7 +273,7 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 		}
 		return nil
 	}
-	return s.serviceOne(sh, svc, args, program, false, false)
+	return s.serviceOne(sh, e, args, program)
 }
 
 // faultError wraps a recovered handler panic for the caller.
@@ -169,23 +283,16 @@ func faultError(fault any) error {
 	return fmt.Errorf("%w: %v", ErrServerFault, fault)
 }
 
-// serviceOne runs one request to completion on sh. accounted marks
-// requests already admitted into the in-flight count (queued async
-// requests, admitted at submission); everything else is admitted here
-// with the same increment-then-check protocol, backing out if a kill
-// slipped in between the caller's state check and the admission.
-func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32, async, accounted bool) error {
-	counters := &svc.perShard[sh.id]
-	if !accounted {
-		counters.admitted.Add(1)
-		if svc.state.Load() != svcActive {
-			svc.backOut(counters)
-			return ErrKilled
-		}
-	} else if svc.state.Load() == svcDead {
-		// Hard-killed while queued: discard without executing. (A soft
-		// kill waits for queued requests, so svcSoftKilled still runs.)
-		svc.backOutAsync(counters)
+// serviceOne runs one synchronous request to completion on a pooled
+// descriptor, admitted here with the increment-then-check protocol:
+// the call counts itself in flight first, then re-validates the
+// service state and backs out if a kill slipped in between the
+// caller's state check and the admission.
+func (s *System) serviceOne(sh *shard, e *epEntry, args *Args, program uint32) error {
+	svc, counters := e.svc, e.counters
+	counters.admitted.Add(1)
+	if svc.state.Load() != svcActive {
+		svc.backOut(counters)
 		return ErrKilled
 	}
 	defer func() {
@@ -194,7 +301,7 @@ func (s *System) serviceOne(sh *shard, svc *Service, args *Args, program uint32,
 	}()
 
 	cd := sh.popCD(svc.scratchBytes)
-	err := s.dispatch(cd, svc, counters, args, program, async)
+	err := s.dispatch(cd, svc, counters, e.h, args, program, false)
 
 	// The scratch buffer is deliberately NOT zeroed before reuse —
 	// serial sharing of "stacks" is the point (§2); trust domains that
@@ -226,18 +333,23 @@ func (s *System) serviceOneHeld(sh *shard, cd *callDesc, svc *Service, args *Arg
 	// Completion accounting is inlined, not deferred: dispatch contains
 	// handler panics itself (runIsolated), so no unwind can skip these,
 	// and a deferred closure costs measurable time at ring rates.
-	err := s.dispatch(cd, svc, counters, args, program, true)
+	// Async requests resolve the handler from the service's
+	// authoritative slot at execution time (Exchange keeps it current),
+	// exactly as queued requests always have.
+	err := s.dispatch(cd, svc, counters, *svc.handler.Load(), args, program, true)
 	counters.completed.Add(1)
 	svc.notifyQuiesce()
 	return err
 }
 
-// dispatch authorizes and runs the handler for one request on cd — the
-// shared core of the pooled (serviceOne) and worker-held
-// (serviceOneHeld) paths.
+// dispatch authorizes and runs one request on cd with steady-state
+// handler h — the shared core of the pooled (serviceOne), caller-held
+// (callHeld), and worker-held (serviceOneHeld) paths. Synchronous
+// callers resolve h from their shard's table replica; async workers
+// from the service's authoritative handler slot.
 //
 //ppc:hotpath
-func (s *System) dispatch(cd *callDesc, svc *Service, counters *shardCounters, args *Args, program uint32, async bool) error {
+func (s *System) dispatch(cd *callDesc, svc *Service, counters *shardCounters, h Handler, args *Args, program uint32, async bool) error {
 	ctx := &cd.ctx
 	ctx.sys = s
 	ctx.svc = svc
@@ -254,11 +366,8 @@ func (s *System) dispatch(cd *callDesc, svc *Service, counters *shardCounters, a
 	// (one-time shard-local setup, §4.5.3); it is expected to handle
 	// the request too, typically by ending with the steady-state
 	// handler.
-	var h Handler
 	if svc.initHandler != nil && counters.inited.CompareAndSwap(false, true) {
 		h = svc.initHandler
-	} else {
-		h = *svc.handler.Load()
 	}
 	// A panicking handler aborts this call only — the worker isolation
 	// of the paper's §2: the exception is delivered to the caller as an

@@ -1,0 +1,214 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestNewClientShardWrap is the uint64→int wrap regression: the
+// round-robin modulo must run in uint64, or the first NewClient after
+// the sequence counter wraps computes a negative shard index and
+// panics in NewClientOnShard.
+func TestNewClientShardWrap(t *testing.T) {
+	sys := NewSystemShards(3)
+	sys.bindSeq.Store(^uint64(0) - 4) // a few Adds from the wrap
+	for i := 0; i < 10; i++ {
+		c := sys.NewClient() // must not panic across the wrap
+		if c.Shard() < 0 || c.Shard() >= sys.NumShards() {
+			t.Fatalf("client %d placed on shard %d of %d", i, c.Shard(), sys.NumShards())
+		}
+	}
+}
+
+// TestHoldReleaseLifecycle pins the held-CD protocol: Hold is
+// idempotent and front-loads what the first Call would do, Release
+// repools the descriptor and is idempotent, and the next Call after a
+// Release re-acquires.
+func TestHoldReleaseLifecycle(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	sh := &sys.shards[0]
+	svc, err := sys.Bind(ServiceConfig{Name: "s", Handler: func(ctx *Ctx, args *Args) { args[0]++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	if c.Held() {
+		t.Fatal("fresh client already holds a descriptor")
+	}
+	c.Hold()
+	c.Hold() // idempotent
+	if !c.Held() || sh.heldCDs.Load() != 1 {
+		t.Fatalf("held = %v, heldCDs = %d", c.Held(), sh.heldCDs.Load())
+	}
+	var args Args
+	for i := 0; i < 3; i++ {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if args[0] != 3 {
+		t.Fatalf("args[0] = %d", args[0])
+	}
+	c.Release()
+	c.Release() // idempotent
+	if c.Held() || sh.heldCDs.Load() != 0 || sh.poolSize() != 1 {
+		t.Fatalf("after Release: held = %v, heldCDs = %d, poolSize = %d",
+			c.Held(), sh.heldCDs.Load(), sh.poolSize())
+	}
+	// The next Call re-acquires (the same pooled descriptor: no growth).
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Held() || sh.cdsCreated.Load() != 1 {
+		t.Fatalf("re-acquire: held = %v, cdsCreated = %d", c.Held(), sh.cdsCreated.Load())
+	}
+}
+
+// TestReleaseAfterCloseDropsCD: a descriptor held across System.Close
+// is epoch-stale; Release drops it instead of pushing it into the
+// drained shard's pool.
+func TestReleaseAfterCloseDropsCD(t *testing.T) {
+	sys := NewSystemShards(1)
+	sh := &sys.shards[0]
+	svc, err := sys.Bind(ServiceConfig{Name: "s", Handler: func(ctx *Ctx, args *Args) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	// Close's drain may pool a descriptor of its own; what matters is
+	// that the stale held CD below adds nothing on top of this.
+	poolAfterClose := sh.poolSize()
+	// Synchronous calls on the held descriptor still work after Close
+	// (they use no goroutines), exactly as the pooled path always has.
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatalf("held sync call after Close: %v", err)
+	}
+	c.Release()
+	if c.Held() || sh.heldCDs.Load() != 0 {
+		t.Fatalf("after stale Release: held = %v, heldCDs = %d", c.Held(), sh.heldCDs.Load())
+	}
+	if got := sh.poolSize(); got != poolAfterClose {
+		t.Fatalf("stale Release repopulated the drained pool: %d CDs, was %d", got, poolAfterClose)
+	}
+	// A client whose hold began after Close is epoch-fresh again: its
+	// Release repools, so a hold/release round trip is net-zero on the
+	// pool (a stale-style drop would leave it one short).
+	c2 := sys.NewClientOnShard(0)
+	c2.Hold()
+	c2.Release()
+	if got := sh.poolSize(); got != poolAfterClose {
+		t.Fatalf("post-Close hold/release: poolSize = %d, want %d", got, poolAfterClose)
+	}
+}
+
+// TestHeldScratchGrowth: a held descriptor serially serves services
+// with different scratch requirements, growing once and never
+// shrinking capacity — the same serial-sharing rule as the pool.
+func TestHeldScratchGrowth(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	big, err := sys.Bind(ServiceConfig{Name: "big", Handler: func(ctx *Ctx, args *Args) {
+		args[0] = uint64(len(ctx.Scratch()))
+	}, ScratchBytes: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := sys.Bind(ServiceConfig{Name: "small", Handler: func(ctx *Ctx, args *Args) {
+		args[0] = uint64(len(ctx.Scratch()))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	var args Args
+	if err := c.Call(big.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != 16384 {
+		t.Fatalf("big scratch = %d", args[0])
+	}
+	if err := c.Call(small.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if args[0] != defaultScratchBytes {
+		t.Fatalf("small scratch = %d", args[0])
+	}
+	if got := cap(c.held.scratch); got < 16384 {
+		t.Fatalf("held scratch capacity shrank to %d", got)
+	}
+}
+
+// TestExchangePublishesToEveryReplica: by the time Exchange returns,
+// every shard's table replica resolves the new handler — a call
+// started after Exchange on any shard runs the new code.
+func TestExchangePublishesToEveryReplica(t *testing.T) {
+	sys := NewSystemShards(4)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "x", Handler: func(ctx *Ctx, args *Args) { args[0] = 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, sys.NumShards())
+	var args Args
+	for i := range clients {
+		clients[i] = sys.NewClientOnShard(i)
+		if err := clients[i].Call(svc.EP(), &args); err != nil || args[0] != 1 {
+			t.Fatalf("shard %d v1: %v, args[0]=%d", i, err, args[0])
+		}
+	}
+	if err := sys.Exchange(svc.EP(), func(ctx *Ctx, args *Args) { args[0] = 2 }); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		if err := c.Call(svc.EP(), &args); err != nil || args[0] != 2 {
+			t.Fatalf("shard %d after Exchange: %v, args[0]=%d (replica not republished)", i, err, args[0])
+		}
+	}
+}
+
+// TestKillRetractsEveryReplica: after Kill returns, every shard's
+// replica entry is gone — held-CD and pooled calls on any shard fail,
+// and rebinding the entry point republishes everywhere.
+func TestKillRetractsEveryReplica(t *testing.T) {
+	sys := NewSystemShards(4)
+	defer sys.Close()
+	for _, hard := range []bool{false, true} {
+		svc, err := sys.Bind(ServiceConfig{Name: "victim", Handler: func(ctx *Ctx, args *Args) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Kill(svc.EP(), hard); err != nil {
+			t.Fatal(err)
+		}
+		var args Args
+		for i := 0; i < sys.NumShards(); i++ {
+			c := sys.NewClientOnShard(i)
+			c.Hold()
+			if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrBadEntryPoint) {
+				t.Fatalf("hard=%v shard %d held call after kill: %v", hard, i, err)
+			}
+			if err := c.CallPooled(svc.EP(), &args); !errors.Is(err, ErrBadEntryPoint) {
+				t.Fatalf("hard=%v shard %d pooled call after kill: %v", hard, i, err)
+			}
+		}
+		reborn, err := sys.Bind(ServiceConfig{Name: "reborn", Handler: func(ctx *Ctx, args *Args) { args[0] = 7 }, EP: svc.EP()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < sys.NumShards(); i++ {
+			c := sys.NewClientOnShard(i)
+			if err := c.Call(reborn.EP(), &args); err != nil || args[0] != 7 {
+				t.Fatalf("hard=%v shard %d rebound call: %v, args[0]=%d", hard, i, err, args[0])
+			}
+		}
+		if err := sys.Kill(reborn.EP(), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -77,6 +77,174 @@ func TestKillSoftNoCallExecutesAfterReturn(t *testing.T) {
 	}
 }
 
+// TestKillSoftHeldCDNoCallExecutesAfterReturn re-races the soft-kill
+// TOCTOU with clients that pinned their call descriptors before the
+// race began. A held CD skips the pool pop, so the only thing standing
+// between a warm caller and a drained service is the
+// increment-then-check admission — which must still guarantee that no
+// handler runs after soft Kill returns. The hard=true leg checks the
+// blunter contract: once hard Kill returns, every new call on a held
+// descriptor is refused.
+func TestKillSoftHeldCDNoCallExecutesAfterReturn(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 50
+	}
+	var svcP atomic.Pointer[Service]
+	var onDead atomic.Int64
+	handler := func(ctx *Ctx, args *Args) {
+		if svc := svcP.Load(); svc != nil && svc.state.Load() == svcDead {
+			onDead.Add(1)
+		}
+	}
+	for iter := 0; iter < iters; iter++ {
+		hard := iter%2 == 1
+		sys := NewSystemShards(1)
+		svc, err := sys.Bind(ServiceConfig{Name: "victim", Handler: handler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcP.Store(svc)
+		clients := make([]*Client, 8)
+		for i := range clients {
+			clients[i] = sys.NewClientOnShard(0)
+			clients[i].Hold() // descriptor pinned before the race starts
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				var args Args
+				<-start
+				err := c.Call(svc.EP(), &args)
+				if err != nil && !errors.Is(err, ErrKilled) && !errors.Is(err, ErrBadEntryPoint) {
+					t.Error(err)
+				}
+			}(c)
+		}
+		close(start)
+		if err := sys.Kill(svc.EP(), hard); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if !hard {
+			if n := onDead.Load(); n != 0 {
+				t.Fatalf("iter %d: %d held-CD calls executed on the dead service after soft Kill returned", iter, n)
+			}
+		}
+		// After Kill returns — hard or soft — no new call may begin,
+		// held descriptor or not.
+		var args Args
+		for _, c := range clients {
+			if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrKilled) && !errors.Is(err, ErrBadEntryPoint) {
+				t.Fatalf("iter %d (hard=%v): held call started after Kill returned: %v", iter, hard, err)
+			}
+		}
+		onDead.Store(0)
+	}
+}
+
+// TestExchangeHeldMidStream hot-swaps the handler under a stream of
+// held-CD callers. Every call must run exactly the old or the new
+// handler (the per-shard replica entry is published as one immutable
+// pointer, so no torn svc/handler pairing), and any call that starts
+// after Exchange returns must run the new one — Exchange republishes
+// every shard's replica before returning.
+func TestExchangeHeldMidStream(t *testing.T) {
+	sys := NewSystemShards(2)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "swap", Handler: func(ctx *Ctx, args *Args) { args[0] = 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exchanged atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := sys.NewClientOnShard(g % 2)
+			c.Hold()
+			var args Args
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sawExchange := exchanged.Load() // sampled before the call starts
+				if err := c.Call(svc.EP(), &args); err != nil {
+					t.Errorf("call during exchange: %v", err)
+					return
+				}
+				switch v := args[0]; {
+				case v != 1 && v != 2:
+					t.Errorf("call ran a torn handler: args[0] = %d", v)
+					return
+				case sawExchange && v != 2:
+					t.Errorf("call started after Exchange returned but ran the old handler")
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := sys.Exchange(svc.EP(), func(ctx *Ctx, args *Args) { args[0] = 2 }); err != nil {
+		t.Fatal(err)
+	}
+	exchanged.Store(true)
+	time.Sleep(2 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestCloseWithOutstandingHeldCDs: clients holding descriptors do not
+// impede Close — the drain joins the async workers and returns even
+// though the held CDs are never coming back to the pool. Held
+// synchronous calls keep working after Close, and the eventual stale
+// Releases account the descriptors away without touching the pool.
+func TestCloseWithOutstandingHeldCDs(t *testing.T) {
+	sys := NewSystemShards(2)
+	svc, err := sys.Bind(ServiceConfig{Name: "s", Handler: func(ctx *Ctx, args *Args) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, 4)
+	var args Args
+	for i := range clients {
+		clients[i] = sys.NewClientOnShard(i % 2)
+		if err := clients[i].Call(svc.EP(), &args); err != nil { // pins a CD
+			t.Fatal(err)
+		}
+		if err := clients[i].AsyncCall(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Close() // must not wait for the held descriptors
+	for _, st := range sys.Stats() {
+		if st.AsyncWorkers != 0 || st.AsyncQueueDepth != 0 {
+			t.Fatalf("shard %d did not drain with held CDs outstanding: %+v", st.Shard, st)
+		}
+		if st.HeldCDs != 2 {
+			t.Fatalf("shard %d HeldCDs = %d across Close, want 2", st.Shard, st.HeldCDs)
+		}
+	}
+	for _, c := range clients {
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatalf("held sync call after Close: %v", err)
+		}
+		c.Release()
+	}
+	for _, st := range sys.Stats() {
+		if st.HeldCDs != 0 {
+			t.Fatalf("shard %d HeldCDs = %d after Releases", st.Shard, st.HeldCDs)
+		}
+	}
+}
+
 // TestKillSoftDrainsQueuedAsync is the queued-async-survives-kill
 // scenario: requests accepted into a shard's async queue before the
 // kill must all execute before Kill returns — previously the drain only

@@ -21,6 +21,24 @@
 // with GOMAXPROCS, while the locked/central baselines in this package
 // saturate — the same shape as the paper's Figure 3.
 //
+// Two Figure 2 optimizations are carried over verbatim:
+//
+//   - Held call descriptors ("hold CD"): a Client keeps one call
+//     descriptor across calls — acquired on the first Call (or an
+//     explicit Hold), returned by Release/Close — so the warm
+//     synchronous path performs no descriptor-pool CAS at all. A
+//     Client is single-goroutine by contract, exactly as a process is
+//     bound to a processor.
+//   - Replicated service tables (§4.5.5): every shard owns a replica
+//     of the entry-point table. Bind, Exchange, and Kill publish to
+//     all replicas under the control-plane mutex; a call reads only
+//     its own shard's copy, so the lookup line is shard-local.
+//
+// Together they make the warm synchronous call touch no shared
+// mutable cache line and perform no atomic read-modify-write beyond
+// the shard-striped admission/completion counters the kill protocol
+// requires.
+//
 // # Lifecycle and overload semantics
 //
 // The control paths honor the same discipline as the call path — the
@@ -352,6 +370,9 @@ func (s *Service) unadmit(counters *shardCounters, n int) {
 type System struct {
 	shards []shard
 
+	// services is the authoritative (control-plane) service table; the
+	// call path reads the per-shard replicas (shard.tab) instead, so
+	// this array is never on a fast path.
 	services [MaxEntryPoints]atomic.Pointer[Service]
 
 	// Control plane (binding, naming): mutex-protected — never on the
@@ -362,6 +383,13 @@ type System struct {
 	bindSeq  atomic.Uint64
 	programs atomic.Uint32
 	closed   atomic.Bool
+	// closeEpoch advances when Close drains the system. Held call
+	// descriptors record the epoch at acquisition and Release validates
+	// it: a descriptor held across Close is dropped, never pushed back
+	// into a drained shard's pool.
+	//
+	//ppc:atomic
+	closeEpoch atomic.Uint64
 }
 
 // Close shuts the system down: asynchronous submissions are rejected,
@@ -384,6 +412,7 @@ func (s *System) CloseTimeout(d time.Duration) error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.closeEpoch.Add(1)
 	var deadline time.Time
 	if d > 0 {
 		deadline = time.Now().Add(d)
@@ -479,8 +508,31 @@ func (s *System) Bind(cfg ServiceConfig) (*Service, error) {
 	h := cfg.Handler
 	svc.handler.Store(&h)
 	svc.state.Store(svcActive)
+	s.publishAll(svc, h)
 	s.services[ep].Store(svc)
 	return svc, nil
+}
+
+// publishAll installs svc into every shard's service-table replica
+// (§4.5.5). Each shard gets its own freshly-allocated entry — the
+// entry a shard's calls dereference is never written again, and never
+// read by another shard. Caller holds s.mu.
+func (s *System) publishAll(svc *Service, h Handler) {
+	for i := range s.shards {
+		s.shards[i].publish(svc.ep, &epEntry{svc: svc, h: h, counters: &svc.perShard[i]})
+	}
+}
+
+// retractAll removes ep from every shard replica and the authoritative
+// table, taking the control-plane mutex so retraction is serialized
+// against Bind/Exchange publication.
+func (s *System) retractAll(ep EntryPointID) {
+	s.mu.Lock()
+	for i := range s.shards {
+		s.shards[i].retract(ep)
+	}
+	s.services[ep].Store(nil)
+	s.mu.Unlock()
 }
 
 // Service returns the service at ep, or nil.
@@ -493,16 +545,23 @@ func (s *System) Service(ep EntryPointID) *Service {
 
 // Exchange atomically replaces the handler behind an entry point —
 // on-line server replacement (§4.5.2): calls in progress finish on the
-// old handler; new calls get the new one.
+// handler they resolved; new calls get the new one. The swap is
+// published to every shard's service-table replica under the
+// control-plane mutex, so by the time Exchange returns every shard
+// resolves the new handler (shards observe the swap in publication
+// order while it is in progress).
 func (s *System) Exchange(ep EntryPointID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("rt: nil handler")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	svc := s.Service(ep)
 	if svc == nil || svc.state.Load() != svcActive {
 		return ErrBadEntryPoint
 	}
-	if h == nil {
-		return fmt.Errorf("rt: nil handler")
-	}
 	svc.handler.Store(&h)
+	s.publishAll(svc, h)
 	return nil
 }
 
@@ -528,7 +587,7 @@ func (s *System) Kill(ep EntryPointID, hard bool) error {
 	}
 	if hard {
 		svc.state.Store(svcDead)
-		s.services[ep].Store(nil)
+		s.retractAll(ep)
 		return nil
 	}
 	ch := make(chan struct{}, 1)
@@ -550,7 +609,7 @@ func (s *System) Kill(ep EntryPointID, hard bool) error {
 	}
 	svc.state.Store(svcDead)
 	svc.quiesce.Store(nil)
-	s.services[ep].Store(nil)
+	s.retractAll(ep)
 	return nil
 }
 
@@ -581,6 +640,10 @@ type ShardStats struct {
 	Shard      int
 	CDsCreated int64
 	PooledCDs  int
+	// HeldCDs is the number of call descriptors currently pinned by
+	// clients in held-CD mode (acquired by Hold or the first Call, not
+	// yet Released); they are outside the free pool while held.
+	HeldCDs int64
 	// AsyncWorkers is the number of live async worker goroutines;
 	// zero after Close has drained the shard.
 	AsyncWorkers int64

@@ -470,12 +470,26 @@ func TestShardPoolGrowsAndPools(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Sequential calls reuse one descriptor.
+	// Sequential calls reuse the client's held descriptor: one created,
+	// none in the pool while held.
 	if sh.cdsCreated.Load() != 1 {
 		t.Fatalf("cdsCreated = %d, want 1", sh.cdsCreated.Load())
 	}
-	if sh.poolSize() != 1 {
-		t.Fatalf("poolSize = %d", sh.poolSize())
+	if !c.Held() || sh.poolSize() != 0 {
+		t.Fatalf("held = %v, poolSize = %d, want the descriptor pinned to the client", c.Held(), sh.poolSize())
+	}
+	// Release repools it; the pooled path then recycles the same one.
+	c.Release()
+	if c.Held() || sh.poolSize() != 1 {
+		t.Fatalf("after Release: held = %v, poolSize = %d", c.Held(), sh.poolSize())
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.CallPooled(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sh.cdsCreated.Load() != 1 || sh.poolSize() != 1 {
+		t.Fatalf("pooled calls after Release: cdsCreated = %d, poolSize = %d, want 1 recycled CD", sh.cdsCreated.Load(), sh.poolSize())
 	}
 }
 

@@ -63,11 +63,34 @@ type callDesc struct {
 	shard *shard
 }
 
+// epEntry is one shard's replica of a bound entry point — the §4.5.5
+// replicated service table carried to Track B. Each shard gets its own
+// immutable (service, handler, counters) triple, allocated afresh at
+// publication time, so the warm lookup dereferences only memory that
+// no other shard's publication ever rewrites: the table slot and the
+// entry it points at are read by exactly one shard. The counters
+// pointer pre-resolves this shard's stripe of the service's admission
+// counters, saving the perShard slice-header indirection per call.
+type epEntry struct {
+	svc      *Service
+	h        Handler
+	counters *shardCounters
+}
+
 // shard is the per-"processor" state: a lock-free free list of call
-// descriptors and the async worker machinery. Padding keeps shards on
-// distinct cache lines.
+// descriptors, a replica of the service table, and the async worker
+// machinery. Padding keeps shards on distinct cache lines.
 type shard struct {
 	id int
+
+	// tab is this shard's replica of the service table (§4.5.5): one
+	// entry-point array per shard, written only by the control plane
+	// (Bind/Exchange/Kill publish to every replica under System.mu) and
+	// read only by calls bound to this shard — the lookup never touches
+	// a line another processor's calls read, exactly as in the paper.
+	//
+	//ppc:shard-owned
+	tab []atomic.Pointer[epEntry]
 
 	// free is a Treiber stack of call descriptors. With callers bound
 	// to their own shards the CAS never contends; it exists so that
@@ -81,6 +104,10 @@ type shard struct {
 
 	// cdsCreated counts descriptor allocations (pool growth).
 	cdsCreated atomic.Int64
+	// heldCDs counts descriptors currently pinned by clients in held-CD
+	// mode (Client.Hold / the first Call); they are outside the free
+	// pool until Release.
+	heldCDs atomic.Int64
 
 	// ring feeds the shard's dynamically-created async workers (§4.4:
 	// asynchronous requests detach the caller; §2: workers are created
@@ -154,12 +181,60 @@ func (r *asyncReq) clearRefs() {
 
 func (sh *shard) init(id int) {
 	sh.id = id
+	sh.tab = make([]atomic.Pointer[epEntry], MaxEntryPoints)
 	sh.ring.init(defaultAsyncQueueCap)
 	sh.doorbell = make(chan struct{}, 1)
 	sh.stop = make(chan struct{})
 	sh.maxWorkers = defaultMaxWorkers
 	sh.submitWait = defaultSubmitWait
 	sh.notifyWait = defaultNotifyWait
+}
+
+// lookup reads this shard's replica of entry point ep — the fast-path
+// service-table access (§4.5.5): one atomic load of a slot only this
+// shard reads.
+//
+//ppc:hotpath
+func (sh *shard) lookup(ep EntryPointID) *epEntry {
+	return sh.tab[ep].Load()
+}
+
+// publish installs e as this shard's replica entry for ep. Called only
+// by the control plane (Bind/Exchange) under System.mu.
+//
+//ppc:coldpath -- control-plane publication, serialized by System.mu
+func (sh *shard) publish(ep EntryPointID, e *epEntry) {
+	sh.tab[ep].Store(e)
+}
+
+// retract clears this shard's replica entry for ep. Called only by the
+// control plane (Kill) under System.mu.
+//
+//ppc:coldpath -- control-plane retraction, serialized by System.mu
+func (sh *shard) retract(ep EntryPointID) {
+	sh.tab[ep].Store(nil)
+}
+
+// holdCD takes a descriptor out of the pool for a client entering
+// held-CD mode; it stays out until releaseCD.
+//
+//ppc:coldpath -- descriptor acquisition; the warm held path never comes here
+func (sh *shard) holdCD() *callDesc {
+	sh.heldCDs.Add(1)
+	return sh.popCD(defaultScratchBytes)
+}
+
+// releaseCD ends a hold. repool returns the descriptor to the free
+// list; a stale-epoch release (the System was closed while the client
+// held it) drops the descriptor instead, so a drained shard's pool is
+// never repopulated from the outside.
+//
+//ppc:coldpath -- descriptor release, off the warm call path
+func (sh *shard) releaseCD(cd *callDesc, repool bool) {
+	sh.heldCDs.Add(-1)
+	if repool {
+		sh.pushCD(cd)
+	}
 }
 
 // popCD takes a descriptor from the shard pool, or allocates one. The
@@ -506,6 +581,7 @@ func (sh *shard) stats(i int) ShardStats {
 		Shard:               i,
 		CDsCreated:          sh.cdsCreated.Load(),
 		PooledCDs:           sh.poolSize(),
+		HeldCDs:             sh.heldCDs.Load(),
 		AsyncWorkers:        sh.workers.Load(),
 		WorkerExits:         sh.workerExits.Load(),
 		AsyncQueueDepth:     sh.ring.length(),

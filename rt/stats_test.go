@@ -19,11 +19,15 @@ func TestShardStats(t *testing.T) {
 	if len(stats) != 2 {
 		t.Fatalf("stats for %d shards", len(stats))
 	}
-	if stats[0].CDsCreated != 1 || stats[0].PooledCDs != 1 {
-		t.Fatalf("shard 0 stats = %+v, want one recycled CD", stats[0])
+	if stats[0].CDsCreated != 1 || stats[0].PooledCDs != 0 || stats[0].HeldCDs != 1 {
+		t.Fatalf("shard 0 stats = %+v, want one CD held by the client", stats[0])
 	}
 	if stats[1].CDsCreated != 0 {
 		t.Fatalf("shard 1 created CDs without traffic: %+v", stats[1])
+	}
+	c0.Release()
+	if st := sys.Stats()[0]; st.PooledCDs != 1 || st.HeldCDs != 0 {
+		t.Fatalf("shard 0 stats after Release = %+v, want the CD repooled", st)
 	}
 	done := make(chan struct{}, 1)
 	if err := c0.AsyncCallNotify(svc.EP(), &args, done); err != nil {
