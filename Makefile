@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint ppclint vet ci bench-smoke bench-json
+.PHONY: build test race lint ppclint vet ci bench-smoke bench-json chaos
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ ppclint:
 
 lint: vet ppclint
 
+# Chaos/soak suite: deterministic fault injection (handler panics and
+# stalls, delayed ring publishes, sustained backpressure) with
+# convergence assertions after each storm. The injection sites compile
+# in only under the faultinject tag.
+chaos:
+	$(GO) test -run Chaos -count=5 -tags faultinject ./rt/...
+	$(GO) test -race -run Chaos -count=2 -tags faultinject ./rt/...
+
 # One iteration of every benchmark: catches bit-rot in bench bodies
 # without measuring anything.
 bench-smoke:
@@ -33,4 +41,4 @@ BENCHTIME ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_rt.json $(if $(BENCHTIME),-benchtime $(BENCHTIME))
 
-ci: build lint test race bench-smoke
+ci: build lint test race chaos bench-smoke

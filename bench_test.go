@@ -183,6 +183,11 @@ func BenchmarkAblationCoherence(b *testing.B) {
 // Figure 2's "hold CD" configuration, now the Client.Call default.
 func BenchmarkRTCall(b *testing.B) { rtbench.SyncCall(b) }
 
+// BenchmarkRTCallDeadline is the warm held-CD call with a per-call
+// deadline armed each iteration — the cost of cancellability on the
+// sync fast path.
+func BenchmarkRTCallDeadline(b *testing.B) { rtbench.SyncCallDeadline(b) }
+
 // BenchmarkRTCallPooled is the same call through the per-call pool
 // discipline (pop + push, one CAS pair per call) — the held/pooled gap
 // is Figure 2's CD-management delta.

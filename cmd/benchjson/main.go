@@ -46,6 +46,7 @@ func main() {
 	}
 	rtBench("rt_call", rtbench.SyncCall)
 	rtBench("rt_call_pooled", rtbench.SyncCallPooled)
+	rtBench("rt_call_deadline", rtbench.SyncCallDeadline)
 	rtBench("rt_call_parallel", rtbench.SyncCallParallel)
 	rtBench("rt_call_parallel_pooled", rtbench.SyncCallParallelPooled)
 	rtBench("rt_central_parallel", rtbench.CentralParallel)
@@ -88,6 +89,7 @@ func main() {
 	// contention, not a single ratio.
 	for _, cmp := range [][3]string{
 		{"sync_held_vs_pooled", "rt_call_pooled", "rt_call"},
+		{"sync_deadline_overhead", "rt_call", "rt_call_deadline"},
 		{"sync_scaling_held_vs_pooled", "rt_call_parallel_pooled", "rt_call_parallel"},
 		{"async_ring_vs_channel", "rt_async_channel", "rt_async_ring"},
 		{"async_batch_vs_channel", "rt_async_channel", "rt_async_batch"},

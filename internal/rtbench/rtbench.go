@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"hurricane/rt"
 )
@@ -44,6 +45,37 @@ func SyncCall(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Call(svc.EP(), &args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SyncCallDeadline is SyncCall with a (generous) per-call deadline
+// armed on every iteration: the warm held-CD path plus the deadline
+// machinery — ticket reuse, timer re-arm, executor handoff. The
+// rt_call → rt_call_deadline ratio is the full cost of making a sync
+// call cancellable, and the acceptance bar keeps it within 10% of the
+// plain call.
+//
+//ppc:coldpath -- benchmark harness; the measured path is rt.Client.CallDeadline
+func SyncCallDeadline(b *testing.B) {
+	sys := rt.NewSystem()
+	defer sys.Close()
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.NewClient()
+	var args rt.Args
+	const deadline = time.Hour // never expires; measures the arming cost
+	if err := c.CallDeadline(svc.EP(), &args, deadline); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.CallDeadline(svc.EP(), &args, deadline); err != nil {
 			b.Fatal(err)
 		}
 	}

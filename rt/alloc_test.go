@@ -1,6 +1,9 @@
 package rt
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestWarmSyncCallAllocs pins the paper's no-allocation invariant for
 // the warm synchronous call path: after the first Call pins a held
@@ -207,6 +210,44 @@ func TestBatchFlushAllocs(t *testing.T) {
 			t.Logf("warm Batch.Flush allocates %.1f objects/run under -race (report-only)", allocs)
 		} else {
 			t.Fatalf("warm Batch.Flush allocates %.1f objects/run, want 0", allocs)
+		}
+	}
+}
+
+// TestWarmCallDeadlineAllocs pins the warm deadline path: with the
+// executor armed and the ticket, channel, and timer reused, a
+// CallDeadline that completes in time must not touch the heap.
+// Report-only under -race (instrumentation allocates).
+func TestWarmCallDeadlineAllocs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "dnull", Handler: func(ctx *Ctx, args *Args) {
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	ep := svc.EP()
+	var args Args
+	const d = 10 * time.Second
+
+	for i := 0; i < 16; i++ {
+		if err := c.CallDeadline(ep, &args, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.CallDeadline(ep, &args, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm CallDeadline allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm CallDeadline allocates %.1f objects/op, want 0", allocs)
 		}
 	}
 }

@@ -1,5 +1,7 @@
 package rt
 
+import "time"
+
 // Batch submission — the paper's amortized asynchronous calls (§4.4)
 // carried to the ring: one admission check, one submitting window, and
 // one worker wakeup cover an arbitrary number of requests, so the
@@ -20,6 +22,7 @@ type Batch struct {
 	c    *Client
 	ep   EntryPointID
 	done chan<- struct{}
+	ttl  time.Duration
 	reqs []Args
 }
 
@@ -40,6 +43,15 @@ func (c *Client) NewBatch(ep EntryPointID, capacity int) *Batch {
 // cost the servicing worker a bounded wait and may drop notifications
 // (ShardStats.NotifyDrops).
 func (b *Batch) SetNotify(done chan<- struct{}) { b.done = done }
+
+// SetDeadline arms a per-request deadline for subsequent flushes: each
+// flushed request must *start executing* within d of its Flush, or it
+// is settled as expired (counted in ShardStats.DeadlineExpirations,
+// recorded as timeout evidence for the service's health gate, and its
+// notification still delivered). A d <= 0 clears the deadline. The
+// deadline bounds queueing delay, not handler runtime — a handler
+// already running is never interrupted.
+func (b *Batch) SetDeadline(d time.Duration) { b.ttl = d }
 
 // Len reports the number of staged requests.
 func (b *Batch) Len() int { return len(b.reqs) }
@@ -75,7 +87,11 @@ func (b *Batch) grow() {
 //
 //ppc:hotpath
 func (b *Batch) Flush() (int, error) {
-	n, err := b.c.sys.asyncBatchOn(b.c.shard, b.ep, b.reqs, b.c.program, b.done)
+	var deadline int64
+	if b.ttl > 0 {
+		deadline = time.Now().Add(b.ttl).UnixNano()
+	}
+	n, err := b.c.sys.asyncBatchOn(b.c.shard, b.ep, b.reqs, b.c.program, b.done, deadline)
 	b.reqs = b.reqs[:0]
 	return n, err
 }
@@ -88,7 +104,7 @@ func (b *Batch) Flush() (int, error) {
 //
 //ppc:hotpath
 func (c *Client) AsyncBatch(ep EntryPointID, argss []Args) (int, error) {
-	return c.sys.asyncBatchOn(c.shard, ep, argss, c.program, nil)
+	return c.sys.asyncBatchOn(c.shard, ep, argss, c.program, nil, 0)
 }
 
 // asyncBatchOn is the batched analogue of callOn's async half: admit
@@ -98,7 +114,7 @@ func (c *Client) AsyncBatch(ep EntryPointID, argss []Args) (int, error) {
 // accounting for any rejected tail.
 //
 //ppc:hotpath
-func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program uint32, done chan<- struct{}) (int, error) {
+func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program uint32, done chan<- struct{}, deadline int64) (int, error) {
 	if len(argss) == 0 {
 		return 0, nil
 	}
@@ -114,12 +130,17 @@ func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program 
 		return 0, ErrKilled
 	}
 	counters := e.counters
+	if svc.health != nil {
+		if err := svc.gateAdmit(counters); err != nil {
+			return 0, err
+		}
+	}
 	counters.asyncAdm.Add(int64(len(argss)))
 	if svc.state.Load() != svcActive {
 		svc.backOutN(counters, len(argss))
 		return 0, ErrKilled
 	}
-	n, err := sh.submitBatch(s, svc, argss, program, done)
+	n, err := sh.submitBatch(s, svc, argss, program, done, deadline)
 	if n < len(argss) {
 		svc.unadmit(counters, len(argss)-n)
 	}

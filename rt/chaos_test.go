@@ -1,0 +1,233 @@
+//go:build faultinject
+
+package rt
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Chaos suite — run with `make chaos` (or CI's chaos job):
+//
+//	go test -run Chaos -count=5 -tags faultinject ./rt/...
+//
+// Each test drives one fault class through the deterministic injection
+// layer, then asserts the same convergence contract: once the fault
+// source stops, the system heals on its own — a fresh client completes
+// chaosProbeCalls calls with zero errors, the worker pool is back
+// within its configured bound, and no goroutine leaked.
+
+const chaosProbeCalls = 1000
+
+// chaosBaseline snapshots the goroutine count before a test builds its
+// System.
+func chaosBaseline() int { return runtime.NumGoroutine() }
+
+// chaosConverge is the shared convergence check. The storm must
+// already be over (hooks cleared or gated off).
+func chaosConverge(t *testing.T, sys *System, svc *Service, base int) {
+	t.Helper()
+	sys.ClearFaults()
+	// Let any open health gate probe its way closed: poll with real
+	// calls until one succeeds.
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	var args Args
+	waitCond(t, 5*time.Second, "first post-storm success", func() bool {
+		return c.Call(svc.EP(), &args) == nil
+	})
+	// A fresh client then completes the full probe run with zero
+	// errors: sync, deadline, and async legs all clean.
+	fresh := sys.NewClientOnShard(0)
+	defer fresh.Release()
+	done := make(chan struct{}, chaosProbeCalls)
+	for i := 0; i < chaosProbeCalls; i++ {
+		var a Args
+		var err error
+		switch i % 3 {
+		case 0:
+			err = fresh.Call(svc.EP(), &a)
+		case 1:
+			err = fresh.CallDeadline(svc.EP(), &a, time.Second)
+		case 2:
+			err = Retry(RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Microsecond}, func() error {
+				return fresh.AsyncCallNotify(svc.EP(), &a, done)
+			})
+		}
+		if err != nil {
+			t.Fatalf("post-storm call %d failed: %v", i, err)
+		}
+	}
+	for i := 0; i < chaosProbeCalls/3; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("async completion %d never arrived", i)
+		}
+	}
+	// Worker pool converged back within its bound.
+	waitCond(t, 5*time.Second, "worker pool convergence", func() bool {
+		for _, st := range sys.Stats() {
+			if st.AsyncWorkers > sys.shards[st.Shard].maxWorkers || st.StuckWorkers != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	sys.Close()
+	// No goroutine leaks: workers, watchdogs, and deadline executors
+	// all exit once the system drains.
+	waitCond(t, 5*time.Second, "goroutine convergence", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+3
+	})
+}
+
+// chaosStorm drives mixed traffic from several goroutines for dur,
+// tolerating every expected storm-time error.
+func chaosStorm(t *testing.T, sys *System, svc *Service, dur time.Duration) {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := sys.NewClientOnShard(0)
+			defer c.Release()
+			b := c.NewBatch(svc.EP(), 8)
+			var args Args
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				switch g % 3 {
+				case 0:
+					err = c.Call(svc.EP(), &args)
+				case 1:
+					err = c.AsyncCall(svc.EP(), &args)
+				default:
+					for i := 0; i < 4; i++ {
+						b.Add(&args)
+					}
+					_, err = b.Flush()
+				}
+				if err != nil && !errors.Is(err, ErrServerFault) &&
+					!errors.Is(err, ErrServiceUnhealthy) && !errors.Is(err, ErrBackpressure) &&
+					!errors.Is(err, ErrDeadline) {
+					t.Errorf("storm goroutine %d: unexpected %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+}
+
+func chaosSystem() *System {
+	return NewSystemOptions(Options{
+		Shards:               1,
+		WorkerStallThreshold: 2 * time.Millisecond,
+		WatchdogInterval:     time.Millisecond,
+	})
+}
+
+func chaosBind(t *testing.T, sys *System) *Service {
+	t.Helper()
+	svc, err := sys.Bind(ServiceConfig{
+		Name:    "chaos",
+		Handler: func(ctx *Ctx, args *Args) { args[0] = 0 },
+		Health:  &HealthConfig{MaxConsecutiveFaults: 4, MaxConsecutiveTimeouts: 4, ProbeAfter: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestChaosHandlerPanicStorm: every dispatch panics while the gate is
+// up. The health gate must trip (containing the damage), workers must
+// survive the panics, and everything must heal when the storm ends.
+func TestChaosHandlerPanicStorm(t *testing.T) {
+	base := chaosBaseline()
+	sys := chaosSystem()
+	svc := chaosBind(t, sys)
+	fn, gate := FaultWhile(FaultPanicEvery(1, "chaos panic"))
+	sys.InjectFault(FaultSiteHandler, fn)
+	chaosStorm(t, sys, svc, 20*time.Millisecond)
+	if svc.HealthTrips() == 0 {
+		t.Fatal("panic storm never tripped the health gate")
+	}
+	gate.Store(false)
+	chaosConverge(t, sys, svc, base)
+}
+
+// TestChaosStalledHandlers: the first wave of dispatches wedges inside
+// the handler site. The watchdog must compensate with bounded
+// replacements so the ring keeps draining, then reclaim them.
+func TestChaosStalledHandlers(t *testing.T) {
+	base := chaosBaseline()
+	sys := chaosSystem()
+	svc := chaosBind(t, sys)
+	sys.shards[0].maxWorkers = 2
+	sys.InjectFault(FaultSiteHandler, FaultStallFirst(4, 15*time.Millisecond))
+	chaosStorm(t, sys, svc, 30*time.Millisecond)
+	st := sys.Stats()[0]
+	if st.ReplacementsSpawned == 0 {
+		t.Fatalf("stall storm never triggered supervision: %+v", st)
+	}
+	if st.ReplacementsSpawned > defaultMaxReplacements {
+		t.Fatalf("replacements unbounded: %+v", st)
+	}
+	chaosConverge(t, sys, svc, base)
+}
+
+// TestChaosDelayedRingPublish: producers stall between claiming a ring
+// ticket and publishing it — the window that leaves the ring non-empty
+// but unconsumable. Consumers must neither lose requests nor livelock,
+// and the watchdog's stall-visible dequeue check must keep parked
+// workers from sleeping through the eventual publish.
+func TestChaosDelayedRingPublish(t *testing.T) {
+	base := chaosBaseline()
+	sys := chaosSystem()
+	svc := chaosBind(t, sys)
+	sys.InjectFault(FaultSiteRingPublish, FaultStallFirst(8, 2*time.Millisecond))
+	chaosStorm(t, sys, svc, 30*time.Millisecond)
+	chaosConverge(t, sys, svc, base)
+}
+
+// TestChaosBackpressure: submissions are rejected as backpressure for
+// the whole storm. Callers see clean ErrBackpressure (retryable), and
+// the system heals instantly when the pressure lifts.
+func TestChaosBackpressure(t *testing.T) {
+	base := chaosBaseline()
+	sys := chaosSystem()
+	svc := chaosBind(t, sys)
+	sys.InjectFault(FaultSiteSubmit, FaultErrFirst(1<<30, ErrBackpressure))
+	rejects := 0
+	c := sys.NewClientOnShard(0)
+	var args Args
+	for i := 0; i < 200; i++ {
+		if err := c.AsyncCall(svc.EP(), &args); errors.Is(err, ErrBackpressure) {
+			rejects++
+		} else if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	c.Release()
+	if rejects != 200 {
+		t.Fatalf("rejects = %d, want all 200", rejects)
+	}
+	if sys.Stats()[0].BackpressureRejects != 200 {
+		t.Fatalf("BackpressureRejects = %d", sys.Stats()[0].BackpressureRejects)
+	}
+	chaosConverge(t, sys, svc, base)
+}

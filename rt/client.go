@@ -1,9 +1,5 @@
 package rt
 
-import (
-	"fmt"
-)
-
 // Ctx is the handler execution context — the worker's view of a call.
 type Ctx struct {
 	sys *System
@@ -41,7 +37,7 @@ func (c *Ctx) Shard() int { return c.cd.shard.id }
 //
 //ppc:hotpath
 func (c *Ctx) Call(ep EntryPointID, args *Args) error {
-	return c.sys.callOn(c.cd.shard, ep, args, c.svc.epProgram(), false, nil)
+	return c.sys.callOn(c.cd.shard, ep, args, c.svc.epProgram(), false, nil, 0)
 }
 
 // Client is a caller bound to one shard. Like a process bound to a
@@ -66,6 +62,10 @@ type Client struct {
 	// a stale descriptor, so a held CD can never repopulate a drained
 	// shard's pool after System.Close.
 	heldEpoch uint64
+	// dl is the client's deadline executor (deadline.go): lazily created
+	// by the first CallDeadline/CallContext, reused across calls,
+	// abandoned (and replaced on demand) when a call is orphaned.
+	dl *dlExec
 }
 
 // NewClient creates a caller identity bound to a shard (round-robin
@@ -118,6 +118,12 @@ func (c *Client) Hold() {
 //
 //ppc:coldpath -- descriptor release, off the warm call path
 func (c *Client) Release() {
+	if c.dl != nil {
+		// Retire the idle deadline executor (the owning goroutine cannot
+		// be mid-call here; a Client is single-goroutine by contract).
+		close(c.dl.req)
+		c.dl = nil
+	}
 	cd := c.held
 	if cd == nil {
 		return
@@ -156,7 +162,7 @@ func (c *Client) Call(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) CallPooled(ep EntryPointID, args *Args) error {
-	return c.sys.callOn(c.shard, ep, args, c.program, false, nil)
+	return c.sys.callOn(c.shard, ep, args, c.program, false, nil, 0)
 }
 
 // AsyncCall detaches the caller: the request is handed to the shard's
@@ -165,7 +171,7 @@ func (c *Client) CallPooled(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
-	return c.sys.callOn(c.shard, ep, args, c.program, true, nil)
+	return c.sys.callOn(c.shard, ep, args, c.program, true, nil, 0)
 }
 
 // AsyncCallNotify is AsyncCall with a completion notification sent on
@@ -173,7 +179,7 @@ func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) AsyncCallNotify(ep EntryPointID, args *Args, done chan<- struct{}) error {
-	return c.sys.callOn(c.shard, ep, args, c.program, true, done)
+	return c.sys.callOn(c.shard, ep, args, c.program, true, done, 0)
 }
 
 // Upcall delivers a software-interrupt-style request (§4.4) from an
@@ -183,13 +189,16 @@ func (s *System) Upcall(shardID int, ep EntryPointID, args *Args) error {
 	if shardID < 0 || shardID >= len(s.shards) {
 		panic("rt: shard out of range")
 	}
-	return s.callOn(&s.shards[shardID], ep, args, 0, false, nil)
+	return s.callOn(&s.shards[shardID], ep, args, 0, false, nil, 0)
 }
 
 // runIsolated invokes a handler, converting a panic into a returned
-// fault value.
-func runIsolated(h Handler, ctx *Ctx, args *Args) (fault any) {
+// fault value. The handler fault-injection site fires inside the
+// containment scope, so an injected panic or stall is indistinguishable
+// from the handler doing it — which is the point.
+func runIsolated(s *System, h Handler, ctx *Ctx, args *Args) (fault any) {
 	defer func() { fault = recover() }()
+	_ = s.fireFault(FaultSiteHandler)
 	h(ctx, args)
 	return nil
 }
@@ -218,6 +227,14 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 		return ErrKilled
 	}
 	counters := e.counters
+	// The health gate sheds before admission: a degraded service costs
+	// the caller one atomic load and no in-flight accounting. Gating is
+	// opt-in per service; the nil check is free for everyone else.
+	if svc.health != nil {
+		if err := svc.gateAdmit(counters); err != nil {
+			return err
+		}
+	}
 	counters.admitted.Add(1)
 	if svc.state.Load() != svcActive {
 		svc.backOut(counters)
@@ -233,6 +250,9 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 	err := s.dispatch(cd, svc, counters, e.h, args, program, false)
 	counters.completed.Add(1)
 	svc.notifyQuiesce()
+	if svc.health != nil {
+		svc.recordOutcome(counters, err)
+	}
 	return err
 }
 
@@ -240,7 +260,7 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 // and all asynchronous submission).
 //
 //ppc:hotpath
-func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}) error {
+func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}, deadline int64) error {
 	if int(ep) >= MaxEntryPoints {
 		return ErrBadEntryPoint
 	}
@@ -251,6 +271,11 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 	svc := e.svc
 	if svc.state.Load() != svcActive {
 		return ErrKilled
+	}
+	if svc.health != nil {
+		if err := svc.gateAdmit(e.counters); err != nil {
+			return err
+		}
 	}
 	if async {
 		// Admit the request before handing it to the shard queue:
@@ -266,7 +291,7 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 			svc.backOutAsync(counters)
 			return ErrKilled
 		}
-		if err := sh.submitAsync(s, svc, args, program, done); err != nil {
+		if err := sh.submitAsync(s, svc, args, program, done, deadline); err != nil {
 			counters.asyncAdm.Add(-1)
 			svc.notifyQuiesce()
 			return err
@@ -280,7 +305,7 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 //
 //ppc:coldpath -- fault wrapping happens only when a handler panicked
 func faultError(fault any) error {
-	return fmt.Errorf("%w: %v", ErrServerFault, fault)
+	return &FaultError{Val: fault}
 }
 
 // serviceOne runs one synchronous request to completion on a pooled
@@ -307,6 +332,9 @@ func (s *System) serviceOne(sh *shard, e *epEntry, args *Args, program uint32) e
 	// serial sharing of "stacks" is the point (§2); trust domains that
 	// must not share scratch use separate Systems.
 	sh.pushCD(cd)
+	if svc.health != nil {
+		svc.recordOutcome(counters, err)
+	}
 	return err
 }
 
@@ -339,6 +367,9 @@ func (s *System) serviceOneHeld(sh *shard, cd *callDesc, svc *Service, args *Arg
 	err := s.dispatch(cd, svc, counters, *svc.handler.Load(), args, program, true)
 	counters.completed.Add(1)
 	svc.notifyQuiesce()
+	if svc.health != nil {
+		svc.recordOutcome(counters, err)
+	}
 	return err
 }
 
@@ -372,7 +403,7 @@ func (s *System) dispatch(cd *callDesc, svc *Service, counters *shardCounters, h
 	// A panicking handler aborts this call only — the worker isolation
 	// of the paper's §2: the exception is delivered to the caller as an
 	// error, and the service stays up.
-	if fault := runIsolated(h, ctx, args); fault != nil {
+	if fault := runIsolated(s, h, ctx, args); fault != nil {
 		return faultError(fault)
 	}
 	if !async {

@@ -1,0 +1,336 @@
+package rt
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Per-call deadlines and the orphaning protocol.
+//
+// A plain Call runs the handler on the caller's own goroutine — the
+// whole point of the PPC design — which means the caller cannot
+// abandon it: Go offers no way to preempt your own stack. CallDeadline
+// therefore routes execution through a per-client *executor*
+// goroutine: a single, lazily-created, reused goroutine that runs
+// handlers on the client's held descriptor while the caller waits on a
+// reusable ticket with a reusable timer. The warm path allocates
+// nothing — the ticket, its channel, the timer, and the executor all
+// persist on the Client.
+//
+// When the timer fires first the call is *orphaned*, and the safety
+// question becomes: who owns the held descriptor, whose scratch buffer
+// the still-running handler may touch at any moment? The protocol:
+//
+//  1. The caller CASes the ticket waiting→orphaned. Winning the CAS
+//     makes the executor the descriptor's sole owner: the caller
+//     quarantines the CD (counted in ShardStats.QuarantinedCDs — it is
+//     no longer "held", and it must NOT be repooled while the handler
+//     runs), forgets both the descriptor and the executor, and returns
+//     ErrDeadline. The client transparently re-arms with a fresh
+//     descriptor and a fresh executor on its next call.
+//  2. Losing the CAS means the executor finished between the timer
+//     firing and the caller reacting; the caller takes the result
+//     normally — no orphan, no quarantine.
+//  3. The executor, after the handler returns, CASes waiting→done. If
+//     IT loses, the call was orphaned while it ran: the executor is
+//     the one goroutine that has *observed handler return*, so it —
+//     and only it — reclaims the quarantined descriptor into the shard
+//     pool (unless the System closed meanwhile; then the descriptor is
+//     dropped, same epoch rule as Release) and exits, since the client
+//     has already replaced it.
+//
+// The in-flight accounting (admitted / completed) brackets the
+// *handler*, not the caller's wait: an orphaned handler still counts
+// in flight until it returns, so a soft Kill drains orphans too, and
+// System.Close's epoch check keeps a late reclaim from repopulating a
+// drained pool.
+//
+// Deadline semantics for asynchronous submissions are simpler — a
+// queued request has no goroutine to orphan. AsyncCallDeadline stamps
+// the request with an absolute expiry; a worker that dequeues it past
+// the expiry settles it (accounting, health evidence, notification)
+// without running the handler. See shard.expireAsync.
+
+// Ticket states (dlTicket.state).
+const (
+	dlWaiting uint32 = iota
+	dlDone
+	dlOrphaned
+)
+
+// dlTicket is the rendezvous between a deadline caller and its
+// executor. Reused across calls; the state CAS is the single
+// synchronization point that decides completion vs orphaning.
+type dlTicket struct {
+	//ppc:atomic
+	state atomic.Uint32
+	done  chan struct{} // buffered(1); executor sends after winning dlDone
+	args  Args          // the handler's working copy of the caller's args
+	err   error         // written by the executor before the dlDone CAS
+}
+
+// dlReq is one unit of work handed to the executor.
+type dlReq struct {
+	sys      *System
+	svc      *Service
+	h        Handler
+	counters *shardCounters
+	cd       *callDesc
+	prog     uint32
+	epoch    uint64 // close epoch at descriptor acquisition
+	t        *dlTicket
+}
+
+// dlExec is the per-client deadline executor: one goroutine, one
+// request channel, one reusable ticket and timer.
+type dlExec struct {
+	sh     *shard
+	req    chan dlReq
+	timer  *time.Timer
+	ticket dlTicket
+}
+
+// armDeadlineExec lazily creates the client's executor (first
+// CallDeadline, or the first after an orphaning).
+//
+//ppc:coldpath -- executor construction, once per client (plus once per orphaning)
+func (c *Client) armDeadlineExec() {
+	e := &dlExec{sh: c.shard, req: make(chan dlReq, 1)}
+	e.timer = time.NewTimer(time.Hour)
+	if !e.timer.Stop() {
+		<-e.timer.C
+	}
+	e.ticket.done = make(chan struct{}, 1)
+	c.dl = e
+	go e.loop()
+}
+
+// loop runs handlers on behalf of deadline callers until the request
+// channel closes (Client.Release) or an orphaning retires this
+// executor.
+func (e *dlExec) loop() {
+	for req := range e.req {
+		t := req.t
+		err := req.sys.dispatch(req.cd, req.svc, req.counters, req.h, &t.args, req.prog, false)
+		// Handler done: settle the in-flight accounting exactly as
+		// callHeld would — this covers orphaned calls too, which is what
+		// lets a soft Kill drain a wedged-then-returned handler.
+		req.counters.completed.Add(1)
+		req.svc.notifyQuiesce()
+		t.err = err
+		if t.state.CompareAndSwap(dlWaiting, dlDone) {
+			// Health evidence only for calls the caller actually saw
+			// complete; the caller records the timeout on the orphaned
+			// branch itself.
+			if req.svc.health != nil {
+				req.svc.recordOutcome(req.counters, err)
+			}
+			t.done <- struct{}{}
+			continue
+		}
+		// Orphaned while running. This goroutine has observed handler
+		// return, so it owns the reclaim: the quarantined descriptor goes
+		// back to the pool iff the System has not closed since the
+		// descriptor was acquired (the Release epoch rule). The client
+		// re-armed long ago; retire quietly.
+		e.sh.reclaimQuarantined(req.cd, req.sys.closeEpoch.Load() == req.epoch)
+		return
+	}
+}
+
+// reclaimQuarantined ends a descriptor's quarantine after its orphaned
+// handler returned. Called only by the executor goroutine that
+// observed the return (see docs/INVARIANTS.md: quarantine release).
+//
+//ppc:coldpath -- orphan cleanup, once per expired call
+func (sh *shard) reclaimQuarantined(cd *callDesc, repool bool) {
+	sh.quarantinedCDs.Add(-1)
+	if repool {
+		sh.pushCD(cd)
+	}
+}
+
+// CallDeadline is Call with an upper bound on how long the caller
+// waits. The handler itself is never interrupted — Go cannot preempt a
+// running function safely — so an expired call is *orphaned*: the
+// caller returns ErrDeadline immediately while the handler runs to
+// completion on the executor goroutine, its descriptor quarantined
+// until it does. Results of an orphaned call are discarded; args are
+// copied in, so the orphan never scribbles on the caller's memory
+// after return.
+//
+// A d <= 0 means no deadline: identical to Call (including running the
+// handler on the caller's goroutine).
+//
+// The warm path — executor armed, deadline met — performs zero heap
+// allocations: the ticket, channel, and timer are all reused.
+func (c *Client) CallDeadline(ep EntryPointID, args *Args, d time.Duration) error {
+	if d <= 0 {
+		return c.Call(ep, args)
+	}
+	return c.callDeadline(ep, args, d, nil, nil)
+}
+
+// CallContext is Call honoring ctx's deadline and cancellation. A ctx
+// with neither is identical to Call. Expiry and cancellation both
+// orphan the in-flight handler exactly as CallDeadline does; the
+// returned error wraps ErrDeadline and ctx.Err().
+func (c *Client) CallContext(ctx context.Context, ep EntryPointID, args *Args) error {
+	var d time.Duration
+	if t, ok := ctx.Deadline(); ok {
+		d = time.Until(t)
+		if d <= 0 {
+			return fmt.Errorf("%w: %w", ErrDeadline, context.DeadlineExceeded)
+		}
+	}
+	cancel := ctx.Done()
+	if d == 0 && cancel == nil {
+		return c.Call(ep, args)
+	}
+	return c.callDeadline(ep, args, d, cancel, ctx)
+}
+
+// callDeadline runs one bounded call through the executor. d == 0
+// means no timer (cancellation only); cancel may be nil.
+func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, cancel <-chan struct{}, ctx context.Context) error {
+	if int(ep) >= MaxEntryPoints {
+		return ErrBadEntryPoint
+	}
+	sh := c.shard
+	e := sh.lookup(ep)
+	if e == nil {
+		return ErrBadEntryPoint
+	}
+	svc := e.svc
+	if svc.state.Load() != svcActive {
+		return ErrKilled
+	}
+	counters := e.counters
+	if svc.health != nil {
+		if err := svc.gateAdmit(counters); err != nil {
+			return err
+		}
+	}
+	if c.held == nil {
+		c.Hold()
+	}
+	if c.dl == nil {
+		c.armDeadlineExec()
+	}
+	// Increment-then-check admission, same protocol as callHeld. From
+	// here to the executor's completed.Add the call is in flight.
+	counters.admitted.Add(1)
+	if svc.state.Load() != svcActive {
+		svc.backOut(counters)
+		return ErrKilled
+	}
+	cd := c.held
+	if cap(cd.scratch) < svc.scratchBytes {
+		growScratch(cd, svc.scratchBytes)
+	}
+	cd.scratch = cd.scratch[:svc.scratchBytes]
+
+	exec := c.dl
+	t := &exec.ticket
+	t.state.Store(dlWaiting)
+	t.args = *args
+	exec.req <- dlReq{
+		sys: c.sys, svc: svc, h: e.h, counters: counters,
+		cd: cd, prog: c.program, epoch: c.heldEpoch, t: t,
+	}
+	var timerC <-chan time.Time
+	if d > 0 {
+		exec.timer.Reset(d)
+		timerC = exec.timer.C
+	}
+	select {
+	case <-t.done:
+		stopDLTimer(exec.timer, d > 0)
+		*args = t.args
+		return t.err
+	case <-timerC:
+		// The timer fired and we drained its channel; no Stop needed.
+		return c.orphan(sh, svc, counters, t, args, nil)
+	case <-cancel:
+		stopDLTimer(exec.timer, d > 0)
+		return c.orphan(sh, svc, counters, t, args, ctx.Err())
+	}
+}
+
+// orphan resolves a deadline (or cancellation) that fired while the
+// handler ran. If the executor beat us to completion anyway, take the
+// result; otherwise quarantine the descriptor and abandon both it and
+// the executor to the protocol described at the top of this file.
+//
+//ppc:coldpath -- a deadline already expired; the call is failing
+func (c *Client) orphan(sh *shard, svc *Service, counters *shardCounters, t *dlTicket, args *Args, cause error) error {
+	if !t.state.CompareAndSwap(dlWaiting, dlOrphaned) {
+		// Lost to the executor: the call completed. The done token is
+		// already (or imminently) in the channel.
+		<-t.done
+		*args = t.args
+		return t.err
+	}
+	// Won: the handler is still running. Quarantine the descriptor —
+	// it leaves "held" accounting but must not reach the pool until the
+	// executor observes handler return.
+	sh.heldCDs.Add(-1)
+	sh.quarantinedCDs.Add(1)
+	sh.deadlineExpired.Add(1)
+	c.held = nil
+	c.dl = nil
+	if svc.health != nil {
+		svc.recordTimeout(counters)
+	}
+	if cause != nil {
+		return fmt.Errorf("%w: %w", ErrDeadline, cause)
+	}
+	return ErrDeadline
+}
+
+// stopDLTimer quiets a (possibly fired) reusable timer so the next
+// Reset starts clean.
+//
+//ppc:hotpath
+func stopDLTimer(t *time.Timer, armed bool) {
+	if !armed {
+		return
+	}
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// AsyncCallDeadline is AsyncCall with a bound on queueing delay: if no
+// worker has *started* the request within d of submission, it is
+// settled as expired — counted in ShardStats.DeadlineExpirations,
+// recorded as timeout evidence for the service's health gate, and
+// never executed. A d <= 0 is identical to AsyncCall. The bound covers
+// time in the ring only; a handler already started runs to completion.
+//
+//ppc:hotpath
+func (c *Client) AsyncCallDeadline(ep EntryPointID, args *Args, d time.Duration) error {
+	var deadline int64
+	if d > 0 {
+		deadline = time.Now().Add(d).UnixNano()
+	}
+	return c.sys.callOn(c.shard, ep, args, c.program, true, nil, deadline)
+}
+
+// AsyncCallNotifyDeadline is AsyncCallDeadline with a completion
+// notification: done receives one token whether the request executed
+// or expired (an expired request is settled, not lost).
+//
+//ppc:hotpath
+func (c *Client) AsyncCallNotifyDeadline(ep EntryPointID, args *Args, done chan<- struct{}, d time.Duration) error {
+	var deadline int64
+	if d > 0 {
+		deadline = time.Now().Add(d).UnixNano()
+	}
+	return c.sys.callOn(c.shard, ep, args, c.program, true, done, deadline)
+}

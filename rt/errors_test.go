@@ -1,0 +1,116 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestErrorTaxonomy pins the errors.Is/As contract for every exported
+// rt error (the table in rt/README.md): sentinels match themselves and
+// wrapped copies, FaultError matches ErrServerFault and is extractable
+// with errors.As, and no sentinel accidentally matches another.
+func TestErrorTaxonomy(t *testing.T) {
+	sentinels := []error{
+		ErrBadEntryPoint,
+		ErrKilled,
+		ErrPermissionDenied,
+		ErrNameTaken,
+		ErrUnknownName,
+		ErrServerFault,
+		ErrClosed,
+		ErrBackpressure,
+		ErrDrainTimeout,
+		ErrDeadline,
+		ErrServiceUnhealthy,
+	}
+	for i, s := range sentinels {
+		if !errors.Is(s, s) {
+			t.Fatalf("errors.Is(%v, itself) = false", s)
+		}
+		if !errors.Is(fmt.Errorf("wrapped: %w", s), s) {
+			t.Fatalf("wrapped %v does not match", s)
+		}
+		for j, other := range sentinels {
+			if i != j && errors.Is(s, other) {
+				t.Fatalf("%v matches %v", s, other)
+			}
+		}
+		if s.Error() == "" || s.Error()[:4] != "rt: " {
+			t.Fatalf("%q does not carry the rt: prefix", s.Error())
+		}
+	}
+}
+
+func TestFaultErrorIsAndAs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "panicky", Handler: func(ctx *Ctx, args *Args) {
+		panic("the payload")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClient()
+	defer c.Release()
+	var args Args
+	callErr := c.Call(svc.EP(), &args)
+	if !errors.Is(callErr, ErrServerFault) {
+		t.Fatalf("fault does not match ErrServerFault: %v", callErr)
+	}
+	var fe *FaultError
+	if !errors.As(callErr, &fe) {
+		t.Fatalf("errors.As(*FaultError) failed on %v", callErr)
+	}
+	if fe.Val != "the payload" {
+		t.Fatalf("FaultError.Val = %v", fe.Val)
+	}
+	// Wrapping preserves both matches.
+	wrapped := fmt.Errorf("caller context: %w", callErr)
+	if !errors.Is(wrapped, ErrServerFault) || !errors.As(wrapped, &fe) {
+		t.Fatal("wrapping broke the fault taxonomy")
+	}
+}
+
+func TestDeadlineErrorWrapsContextCause(t *testing.T) {
+	// The CallContext error path must satisfy errors.Is for BOTH the rt
+	// sentinel and the context cause (see deadline_test.go for the
+	// live-path version; this pins the shape).
+	err := fmt.Errorf("%w: %w", ErrDeadline, errTestCause)
+	if !errors.Is(err, ErrDeadline) || !errors.Is(err, errTestCause) {
+		t.Fatal("composite deadline error does not match both causes")
+	}
+}
+
+var errTestCause = errors.New("cause")
+
+func TestErrorsSurfaceOnRightPaths(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	block := make(chan struct{})
+	defer close(block)
+	svc, err := sys.Bind(ServiceConfig{
+		Name:    "mixedbag",
+		Handler: func(ctx *Ctx, args *Args) { <-block },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	if err := c.Call(999, &Args{}); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("bad EP: %v", err)
+	}
+	if err := c.CallDeadline(svc.EP(), &Args{}, time.Millisecond); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("deadline: %v", err)
+	}
+	if err := sys.Kill(svc.EP(), true); err != nil {
+		t.Fatal(err)
+	}
+	// A killed entry point is retracted from the shard tables, so later
+	// calls see ErrBadEntryPoint (ErrKilled surfaces only on the
+	// admission race itself).
+	if err := c.Call(svc.EP(), &Args{}); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("killed: %v", err)
+	}
+}

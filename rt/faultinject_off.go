@@ -1,0 +1,9 @@
+//go:build !faultinject
+
+package rt
+
+// faultTagEnabled gates the injection sites that sit on paths too hot
+// for even a nil check in production builds (the ring-publish window).
+// Without -tags faultinject the guard is a compile-time false and the
+// sites vanish from the binary.
+const faultTagEnabled = false

@@ -1,0 +1,8 @@
+//go:build faultinject
+
+package rt
+
+// faultTagEnabled: this build carries the hot-path injection sites
+// (ring-publish delay). Enabled by `-tags faultinject`; the chaos CI
+// job and `make chaos` build this way.
+const faultTagEnabled = true

@@ -604,3 +604,103 @@ func TestPerSystemClientRoundRobin(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchFlushKillRaceWithInjectedFaults races Batch.Flush and
+// AsyncCall traffic against soft and hard kills while the handler
+// fault-injection site panics every few dispatches. The accounting
+// invariant must hold through the storm: every accepted request is
+// either dispatched exactly once (the handler site fires, panic or
+// not) or — hard-kill iterations only — discarded from the queue with
+// a KilledBackout. Soft kills additionally guarantee dispatched ==
+// accepted: a soft kill drains injected faults like any other work.
+func TestBatchFlushKillRaceWithInjectedFaults(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 4
+	}
+	for iter := 0; iter < iters; iter++ {
+		hard := iter%2 == 1
+		sys := NewSystemShards(2)
+		var dispatched atomic.Int64
+		sys.InjectFault(FaultSiteHandler, func() error {
+			if dispatched.Add(1)%3 == 0 {
+				panic("injected fault storm")
+			}
+			return nil
+		})
+		svc, err := sys.Bind(ServiceConfig{Name: "storm", Handler: func(ctx *Ctx, args *Args) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted atomic.Int64
+		start := make(chan struct{})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				c := sys.NewClientOnShard(g % 2)
+				b := c.NewBatch(svc.EP(), 8)
+				var args Args
+				<-start
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if g%2 == 0 {
+						if err := c.AsyncCall(svc.EP(), &args); err == nil {
+							accepted.Add(1)
+						} else if !errors.Is(err, ErrKilled) && !errors.Is(err, ErrClosed) &&
+							!errors.Is(err, ErrBackpressure) && !errors.Is(err, ErrBadEntryPoint) {
+							t.Errorf("async: %v", err)
+							return
+						}
+					} else {
+						for i := 0; i < 4; i++ {
+							b.Add(&args)
+						}
+						n, err := b.Flush()
+						accepted.Add(int64(n))
+						if err != nil && !errors.Is(err, ErrKilled) && !errors.Is(err, ErrClosed) &&
+							!errors.Is(err, ErrBackpressure) && !errors.Is(err, ErrBadEntryPoint) {
+							t.Errorf("batch: %v", err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		close(start)
+		time.Sleep(time.Duration(iter%3) * 100 * time.Microsecond)
+		if err := sys.Kill(svc.EP(), hard); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		sys.Close()
+		disp, acc, killed := dispatched.Load(), accepted.Load(), svc.KilledBackouts()
+		if hard {
+			// Hard kill: accepted = dispatched + discarded-from-queue.
+			// KilledBackouts also counts admission-race backouts (never
+			// accepted), so it bounds the discard count from above.
+			if disp > acc {
+				t.Fatalf("iter %d (hard): dispatched %d > accepted %d", iter, disp, acc)
+			}
+			if disp+killed < acc {
+				t.Fatalf("iter %d (hard): dispatched %d + backouts %d < accepted %d",
+					iter, disp, killed, acc)
+			}
+		} else if disp != acc {
+			t.Fatalf("iter %d (soft): dispatched %d of %d accepted", iter, disp, acc)
+		}
+		for _, st := range sys.Stats() {
+			if st.AsyncWorkers != 0 || st.AsyncQueueDepth != 0 {
+				t.Fatalf("iter %d: shard %d left workers=%d depth=%d",
+					iter, st.Shard, st.AsyncWorkers, st.AsyncQueueDepth)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package rt
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Retry — the caller-side convention for the two *transient* rt
+// errors. ErrBackpressure means a ring was momentarily full;
+// ErrServiceUnhealthy means a health gate is open and will probe
+// shortly. Both are expected to clear on their own, so a capped
+// exponential backoff with jitter is the right reaction — and nothing
+// else is: a fault (the handler panicked), a kill, a close, or a bad
+// entry point will not get better by asking again, so Retry returns
+// those immediately.
+//
+// Retry is deliberately a helper *around* the call API rather than a
+// knob inside it: the hot paths stay retry-free, and the policy
+// (attempts, delays, jitter) lives with the caller who knows the
+// workload's latency budget.
+
+// RetryPolicy shapes Retry's backoff. The zero value of any field
+// means its default. Sleep and Rand are test seams; production callers
+// leave them nil.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, first call included (default 4;
+	// minimum 1).
+	MaxAttempts int
+	// BaseDelay is the sleep after the first transient failure
+	// (default 100µs).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay (default 10ms).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2; values
+	// < 1 are treated as 1 — no growth).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away, in [0, 1]:
+	// the actual sleep is delay * (1 - Jitter*r) for r uniform in
+	// [0, 1) (default 0.2; negative disables jitter). Jitter
+	// decorrelates retry storms from many callers hitting the same full
+	// ring.
+	Jitter float64
+
+	// Sleep replaces time.Sleep (tests use a recording fake; nil means
+	// real sleep).
+	Sleep func(time.Duration)
+	// Rand replaces the jitter source, returning uniform values in
+	// [0, 1) (nil means math/rand).
+	Rand func() float64
+}
+
+// Retry policy defaults.
+const (
+	defaultRetryAttempts   = 4
+	defaultRetryBaseDelay  = 100 * time.Microsecond
+	defaultRetryMaxDelay   = 10 * time.Millisecond
+	defaultRetryMultiplier = 2.0
+	defaultRetryJitter     = 0.2
+)
+
+// RetryableError reports whether err is one of the transient rt errors
+// Retry backs off on: ErrBackpressure or ErrServiceUnhealthy. Faults,
+// kills, closes, deadline expirations, and authorization failures are
+// not retryable — repeating them burns capacity on a call that will
+// fail the same way.
+func RetryableError(err error) bool {
+	return errors.Is(err, ErrBackpressure) || errors.Is(err, ErrServiceUnhealthy)
+}
+
+// Retry runs fn, backing off and re-running it while it returns a
+// transient error (RetryableError) and attempts remain. The first
+// non-transient result — success included — is returned as-is; if
+// every attempt was transient, the last transient error is returned.
+//
+//ppc:coldpath -- every iteration beyond the first is already a failure path
+func Retry(p RetryPolicy, fn func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = defaultRetryAttempts
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = defaultRetryBaseDelay
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = defaultRetryMaxDelay
+	}
+	mult := p.Multiplier
+	if mult == 0 {
+		mult = defaultRetryMultiplier
+	}
+	if mult < 1 {
+		mult = 1
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = defaultRetryJitter
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	random := p.Rand
+	if random == nil {
+		random = rand.Float64
+	}
+
+	delay := base
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !RetryableError(err) {
+			return err
+		}
+		if attempt == attempts-1 {
+			return err
+		}
+		d := delay
+		if jitter > 0 {
+			d = time.Duration(float64(d) * (1 - jitter*random()))
+		}
+		if d < 0 {
+			d = 0
+		}
+		sleep(d)
+		delay = time.Duration(float64(delay) * mult)
+		if delay > maxd {
+			delay = maxd
+		}
+	}
+}

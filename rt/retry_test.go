@@ -1,0 +1,180 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeSleeper records every backoff Retry takes instead of sleeping.
+type fakeSleeper struct{ slept []time.Duration }
+
+func (f *fakeSleeper) sleep(d time.Duration) { f.slept = append(f.slept, d) }
+
+func TestRetrySucceedsAfterBackpressure(t *testing.T) {
+	fs := &fakeSleeper{}
+	calls := 0
+	err := Retry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1, // deterministic delays
+		Sleep:       fs.sleep,
+	}, func() error {
+		calls++
+		if calls < 3 {
+			return ErrBackpressure
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(fs.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", fs.slept, want)
+	}
+	for i := range want {
+		if fs.slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, fs.slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryCapsDelayAndAttempts(t *testing.T) {
+	fs := &fakeSleeper{}
+	calls := 0
+	err := Retry(RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1,
+		Sleep:       fs.sleep,
+	}, func() error {
+		calls++
+		return ErrServiceUnhealthy
+	})
+	if !errors.Is(err, ErrServiceUnhealthy) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 6 {
+		t.Fatalf("calls = %d", calls)
+	}
+	// 1, 2, 4, then capped at 4, 4.
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		4 * time.Millisecond, 4 * time.Millisecond,
+	}
+	if fmt.Sprint(fs.slept) != fmt.Sprint(want) {
+		t.Fatalf("slept %v, want %v", fs.slept, want)
+	}
+}
+
+func TestRetryNeverRetriesNonTransient(t *testing.T) {
+	for _, tc := range []error{
+		ErrServerFault,
+		&FaultError{Val: "boom"},
+		ErrKilled,
+		ErrClosed,
+		ErrDeadline,
+		ErrBadEntryPoint,
+		ErrPermissionDenied,
+		errors.New("application error"),
+	} {
+		fs := &fakeSleeper{}
+		calls := 0
+		err := Retry(RetryPolicy{Sleep: fs.sleep}, func() error {
+			calls++
+			return tc
+		})
+		if !errors.Is(err, tc) && err != tc {
+			t.Fatalf("%v: got %v", tc, err)
+		}
+		if calls != 1 {
+			t.Fatalf("%v retried (%d calls)", tc, calls)
+		}
+		if len(fs.slept) != 0 {
+			t.Fatalf("%v slept %v", tc, fs.slept)
+		}
+	}
+}
+
+func TestRetryJitterShrinksDelay(t *testing.T) {
+	fs := &fakeSleeper{}
+	seq := []float64{0.5, 1.0 - 1e-9}
+	ri := 0
+	calls := 0
+	_ = Retry(RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   10 * time.Millisecond,
+		Multiplier:  1,
+		Jitter:      1,
+		Sleep:       fs.sleep,
+		Rand:        func() float64 { r := seq[ri]; ri++; return r },
+	}, func() error {
+		calls++
+		return ErrBackpressure
+	})
+	if len(fs.slept) != 2 {
+		t.Fatalf("slept %v", fs.slept)
+	}
+	if fs.slept[0] != 5*time.Millisecond {
+		t.Fatalf("jittered sleep = %v, want 5ms", fs.slept[0])
+	}
+	if fs.slept[1] >= time.Millisecond {
+		t.Fatalf("full jitter sleep = %v, want ~0", fs.slept[1])
+	}
+}
+
+func TestRetryDefaultsAndIntegration(t *testing.T) {
+	// End to end against a real gated service: the gate trips, Retry
+	// backs off through the probe window, the probe recovers the gate,
+	// and the retried call succeeds.
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	fail := true
+	svc, err := sys.Bind(ServiceConfig{
+		Name: "recovers",
+		Handler: func(ctx *Ctx, args *Args) {
+			if fail {
+				panic("warming up")
+			}
+			args[0] = 1
+		},
+		Health: &HealthConfig{MaxConsecutiveFaults: 2, ProbeAfter: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	var args Args
+	c.Call(svc.EP(), &args)
+	c.Call(svc.EP(), &args) // gate trips
+	fail = false
+	err = Retry(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond}, func() error {
+		return c.Call(svc.EP(), &args)
+	})
+	if err != nil {
+		t.Fatalf("retry through recovery failed: %v", err)
+	}
+	if args[0] != 1 {
+		t.Fatal("result lost")
+	}
+}
+
+func TestRetryableError(t *testing.T) {
+	if !RetryableError(ErrBackpressure) || !RetryableError(ErrServiceUnhealthy) {
+		t.Fatal("transient errors must be retryable")
+	}
+	for _, e := range []error{nil, ErrServerFault, ErrKilled, ErrDeadline, ErrClosed} {
+		if RetryableError(e) {
+			t.Fatalf("%v must not be retryable", e)
+		}
+	}
+}

@@ -77,7 +77,7 @@ func (r *asyncRing) init(capacity int) {
 // backpressure half.
 //
 //ppc:hotpath
-func (r *asyncRing) push(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}) bool {
+func (r *asyncRing) push(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, deadline int64) bool {
 	pos := r.enq.Load()
 	for {
 		slot := &r.slots[pos&r.mask]
@@ -90,6 +90,14 @@ func (r *asyncRing) push(sys *System, svc *Service, args *Args, prog uint32, don
 				slot.req.args = *args
 				slot.req.prog = prog
 				slot.req.done = done
+				slot.req.deadline = deadline
+				if faultTagEnabled && sys != nil {
+					// The stalled-producer window: the ticket is claimed
+					// but the sequence not yet published. Only compiled in
+					// under -tags faultinject; production builds fold the
+					// whole branch away.
+					_ = sys.fireFault(FaultSiteRingPublish)
+				}
 				slot.seq.Store(pos + 1)
 				return true
 			}
@@ -156,6 +164,23 @@ func (r *asyncRing) popBatch(dst []asyncReq) int {
 //ppc:hotpath
 func (r *asyncRing) empty() bool {
 	return r.deq.Load() == r.enq.Load()
+}
+
+// stalled reports whether the dequeue head is a claimed-but-unpublished
+// slot: the ring is non-empty, yet no consumer can make progress until
+// the producer that owns the head finishes its publish. This is the
+// stall-visible dequeue check the shard watchdog uses — a transient
+// true is normal (a producer mid-publish), a persistent one means the
+// producer wedged inside the publish window.
+//
+//ppc:coldpath -- supervision probe, off the call path
+func (r *asyncRing) stalled() bool {
+	pos := r.deq.Load()
+	if pos == r.enq.Load() {
+		return false
+	}
+	seq := r.slots[pos&r.mask].seq.Load()
+	return int64(seq)-int64(pos+1) < 0
 }
 
 // length approximates the queue depth for diagnostics.

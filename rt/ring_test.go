@@ -33,7 +33,7 @@ func TestRingPushPopOrder(t *testing.T) {
 	next := 0 // next value expected out
 	pushed := 0
 	for lap := 0; lap < 5; lap++ {
-		for r.push(nil, nil, &Args{ringTag(0, pushed)}, 0, nil) {
+		for r.push(nil, nil, &Args{ringTag(0, pushed)}, 0, nil, 0) {
 			pushed++
 		}
 		if pushed-next != r.capacity() {
@@ -79,7 +79,7 @@ func TestRingConcurrentProducersBatchedConsumer(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(p)))
 			for seq := 0; seq < perProducer; seq++ {
 				args := Args{ringTag(p, seq)}
-				for !r.push(nil, nil, &args, 0, nil) {
+				for !r.push(nil, nil, &args, 0, nil, 0) {
 					runtime.Gosched()
 				}
 				if rng.Intn(64) == 0 {
@@ -170,7 +170,7 @@ func TestRingConcurrentConsumersNoLossNoDup(t *testing.T) {
 			defer pwg.Done()
 			for seq := 0; seq < perProducer; seq++ {
 				args := Args{ringTag(p, seq)}
-				for !r.push(nil, nil, &args, 0, nil) {
+				for !r.push(nil, nil, &args, 0, nil, 0) {
 					runtime.Gosched()
 				}
 			}
@@ -199,7 +199,7 @@ func FuzzRingModel(f *testing.F) {
 		var buf [8]asyncReq
 		for _, op := range program {
 			if op < 0x80 {
-				ok := r.push(nil, nil, &Args{next}, 0, nil)
+				ok := r.push(nil, nil, &Args{next}, 0, nil, 0)
 				if wantOK := len(model) < r.capacity(); ok != wantOK {
 					t.Fatalf("push(%d) = %v with %d queued (cap %d)", next, ok, len(model), r.capacity())
 				}

@@ -163,7 +163,32 @@ var (
 	// ErrDrainTimeout: CloseTimeout expired with async work still in
 	// flight; workers finish in the background.
 	ErrDrainTimeout = fmt.Errorf("rt: close timed out draining async work")
+	// ErrDeadline: the call's deadline expired (or its context was
+	// canceled) before the handler finished. For a synchronous deadline
+	// call the handler may still be running when this is returned — the
+	// call descriptor it runs on is quarantined until the handler
+	// returns (see CallDeadline).
+	ErrDeadline = fmt.Errorf("rt: call deadline exceeded")
+	// ErrServiceUnhealthy: the service's health gate is open on this
+	// shard (too many consecutive faults or deadline expirations); the
+	// call was fast-failed without admission. The gate half-opens after
+	// HealthConfig.ProbeAfter and recovers on a successful probe.
+	ErrServiceUnhealthy = fmt.Errorf("rt: service unhealthy (health gate open)")
 )
+
+// FaultError is the concrete error a panicking handler produces; it
+// wraps ErrServerFault (errors.Is) and carries the recovered panic
+// value (errors.As).
+type FaultError struct {
+	// Val is the value the handler panicked with.
+	Val any
+}
+
+func (e *FaultError) Error() string { return fmt.Sprintf("rt: server fault: %v", e.Val) }
+
+// Unwrap makes errors.Is(err, ErrServerFault) hold for every handler
+// fault.
+func (e *FaultError) Unwrap() error { return ErrServerFault }
 
 // serviceState values.
 const (
@@ -189,6 +214,10 @@ type ServiceConfig struct {
 	ScratchBytes int
 	// EP requests a specific well-known entry point (0 = allocate).
 	EP EntryPointID
+	// Health, when non-nil, arms the per-shard health gate for this
+	// service (see HealthConfig). Nil leaves health gating off and the
+	// call paths untouched.
+	Health *HealthConfig
 }
 
 // Service is a bound entry point.
@@ -204,6 +233,10 @@ type Service struct {
 	authorize    func(uint32) bool
 	initHandler  Handler
 	scratchBytes int
+	// health, non-nil when the service was bound with a HealthConfig,
+	// is immutable after Bind; the call paths branch on the nil check
+	// alone, so an unconfigured service pays one predictable branch.
+	health *HealthConfig
 
 	// quiesce, non-nil while a soft kill is draining, receives a
 	// (coalesced) notification each time an admitted call completes or
@@ -245,6 +278,30 @@ type shardCounters struct {
 	// call — for async requests, an async worker on another processor.
 	completed atomic.Int64
 	_         [56]byte // keep the completion counter on its own line
+
+	// Health stripe (see health.go). The consecutive-outcome counters
+	// are written by the goroutine that finishes a call — the same
+	// writer as completed — and only while the service has a health
+	// gate configured.
+	//
+	//ppc:atomic
+	consecFaults atomic.Int32
+	//ppc:atomic
+	consecTimeouts atomic.Int32
+	_              [56]byte // keep completer-written health counters off the gate-state line
+
+	// Gate state, written only on trip/probe/recover transitions, so
+	// the per-call admission read (gateAdmit) hits a rarely-dirtied
+	// line.
+	//
+	//ppc:atomic
+	healthState atomic.Int32
+	//ppc:atomic
+	reopenAt       atomic.Int64 // unix nanos after which a half-open probe may run
+	healthTrips    atomic.Int64
+	healthRecovers atomic.Int64
+	shedCalls      atomic.Int64
+	_              [24]byte
 }
 
 // inFlight reads this shard's admitted-but-not-finished count. A
@@ -390,6 +447,11 @@ type System struct {
 	//
 	//ppc:atomic
 	closeEpoch atomic.Uint64
+
+	// fhooks is the always-on fault-injection hook registry
+	// (faultinject.go): one predictable atomic-bool load per guarded
+	// site when no hook is installed.
+	fhooks faultHooks
 }
 
 // Close shuts the system down: asynchronous submissions are rejected,
@@ -432,6 +494,27 @@ func (s *System) CloseTimeout(d time.Duration) error {
 // firstDynamicEP matches the simulator's reserved IDs.
 const firstDynamicEP EntryPointID = 2
 
+// Options configures a System beyond the shard count. The zero value
+// of every field means "use the default"; see the field comments for
+// the defaults.
+type Options struct {
+	// Shards is the shard count (default: GOMAXPROCS).
+	Shards int
+	// WorkerStallThreshold is how long an async worker may sit inside
+	// one request batch before the shard watchdog counts it stuck and
+	// spawns a replacement (default defaultStallThreshold). Negative
+	// disables supervision.
+	WorkerStallThreshold time.Duration
+	// WatchdogInterval is the supervision scan period (default
+	// defaultWatchdogInterval).
+	WatchdogInterval time.Duration
+	// MaxWorkerReplacements bounds how many replacement workers a
+	// shard may run beyond its normal worker cap at once (default
+	// defaultMaxReplacements). Negative disables replacements while
+	// keeping stall detection.
+	MaxWorkerReplacements int
+}
+
 // NewSystem creates a facility with one shard per GOMAXPROCS slot.
 func NewSystem() *System { return NewSystemShards(runtime.GOMAXPROCS(0)) }
 
@@ -440,6 +523,15 @@ func NewSystemShards(n int) *System {
 	if n < 1 {
 		n = 1
 	}
+	return NewSystemOptions(Options{Shards: n})
+}
+
+// NewSystemOptions creates a facility with explicit Options.
+func NewSystemOptions(o Options) *System {
+	n := o.Shards
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
 	s := &System{
 		shards: make([]shard, n),
 		nextEP: firstDynamicEP,
@@ -447,6 +539,7 @@ func NewSystemShards(n int) *System {
 	}
 	for i := range s.shards {
 		s.shards[i].init(i)
+		s.shards[i].configureWatchdog(o)
 	}
 	s.programs.Store(1)
 	return s
@@ -503,6 +596,7 @@ func (s *System) Bind(cfg ServiceConfig) (*Service, error) {
 		authorize:    cfg.Authorize,
 		initHandler:  cfg.InitHandler,
 		scratchBytes: scratch,
+		health:       normalizeHealth(cfg.Health),
 		perShard:     make([]shardCounters, len(s.shards)),
 	}
 	h := cfg.Handler
@@ -663,16 +757,51 @@ type ShardStats struct {
 	// nonzero usually means an unbuffered (or abandoned) channel was
 	// passed to AsyncCallNotify.
 	NotifyDrops int64
+	// StuckWorkers is the number of async workers currently stalled
+	// past the stall threshold (a gauge, maintained by the watchdog).
+	StuckWorkers int64
+	// ReplacementsSpawned / ReplacementsReclaimed count the extra
+	// workers the watchdog started to cover stuck ones, and the
+	// surplus workers retired after the stuck ones returned.
+	ReplacementsSpawned   int64
+	ReplacementsReclaimed int64
+	// QuarantinedCDs is the number of call descriptors orphaned by an
+	// expired deadline whose handler has not returned yet (a gauge; the
+	// servicing goroutine reclaims each on handler return).
+	QuarantinedCDs int64
+	// DeadlineExpirations counts calls that failed with ErrDeadline on
+	// this shard — synchronous orphans and asynchronous requests
+	// discarded at dequeue alike.
+	DeadlineExpirations int64
+	// HealthTrips / HealthRecovers sum, over every service, this
+	// shard's health-gate trips into the degraded state and recoveries
+	// out of it; ShedCalls counts the calls the open gate fast-failed
+	// with ErrServiceUnhealthy.
+	HealthTrips    int64
+	HealthRecovers int64
+	ShedCalls      int64
 }
 
 // Stats returns per-shard pool statistics (diagnostics; walks the
-// pools, not for the hot path).
+// pools and the service table, not for the hot path).
 //
 //ppc:coldpath -- diagnostics walk, deliberately off the call path
 func (s *System) Stats() []ShardStats {
 	out := make([]ShardStats, len(s.shards))
 	for i := range s.shards {
 		out[i] = s.shards[i].stats(i)
+		// Health gating is striped per service; fold every service's
+		// shard-i stripe into the shard view.
+		for ep := range s.services {
+			svc := s.services[ep].Load()
+			if svc == nil || svc.health == nil {
+				continue
+			}
+			c := &svc.perShard[i]
+			out[i].HealthTrips += c.healthTrips.Load()
+			out[i].HealthRecovers += c.healthRecovers.Load()
+			out[i].ShedCalls += c.shedCalls.Load()
+		}
 	}
 	return out
 }

@@ -140,6 +140,30 @@ type shard struct {
 	submitWait time.Duration
 	notifyWait time.Duration
 
+	// Worker supervision (watchdog.go). beats holds one padded
+	// heartbeat line per potential worker; the remaining fields are the
+	// replacement-accounting control plane, touched only on stall
+	// detection and recovery.
+	beats            []workerBeat
+	stallThreshold   time.Duration
+	watchdogInterval time.Duration
+	maxReplacements  int64
+	watchdogOn       bool // guarded by qMu
+	//ppc:atomic
+	extraGrant atomic.Int64
+	//ppc:atomic
+	retire                atomic.Int64
+	stuckWorkers          atomic.Int64
+	replacementsSpawned   atomic.Int64
+	replacementsReclaimed atomic.Int64
+
+	// Deadline / orphaning accounting (deadline.go). quarantinedCDs
+	// counts call descriptors pinned under a still-running orphaned
+	// handler; deadlineExpired counts calls settled by expiry (sync
+	// orphans and async drops alike).
+	quarantinedCDs  atomic.Int64
+	deadlineExpired atomic.Int64
+
 	// submitting counts submissions between their closed-check and the
 	// completion of their enqueue (or rejection). close waits for it to
 	// reach zero so the ring contents are final before the drain.
@@ -166,6 +190,9 @@ type asyncReq struct {
 	args Args
 	prog uint32
 	done chan<- struct{} // optional completion notification
+	// deadline is the absolute unix-nano expiry (0: none). A request
+	// still queued past it is settled as expired instead of executed.
+	deadline int64
 }
 
 // clearRefs nils just the pointer fields — all the GC cares about —
@@ -305,17 +332,21 @@ func (sh *shard) poolSize() int {
 // submitter (and Close) behind a held lock.
 //
 //ppc:hotpath
-func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}) error {
+func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, deadline int64) error {
 	sh.submitting.Add(1)
 	defer sh.submitting.Add(-1)
 	if sh.closed.Load() {
 		return ErrClosed
 	}
-	if sh.ring.push(sys, svc, args, prog, done) {
+	if err := sys.fireFault(FaultSiteSubmit); err != nil {
+		sh.backpressure.Add(1)
+		return ErrBackpressure
+	}
+	if sh.ring.push(sys, svc, args, prog, done, deadline) {
 		sh.wake(sys)
 		return nil
 	}
-	return sh.submitSlow(sys, svc, args, prog, done)
+	return sh.submitSlow(sys, svc, args, prog, done, deadline)
 }
 
 // submitBatch publishes a whole batch of requests for svc under a
@@ -327,16 +358,20 @@ func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32,
 // remainder.
 //
 //ppc:hotpath
-func (sh *shard) submitBatch(sys *System, svc *Service, argss []Args, program uint32, done chan<- struct{}) (int, error) {
+func (sh *shard) submitBatch(sys *System, svc *Service, argss []Args, program uint32, done chan<- struct{}, deadline int64) (int, error) {
 	sh.submitting.Add(1)
 	defer sh.submitting.Add(-1)
 	if sh.closed.Load() {
 		return 0, ErrClosed
 	}
+	if err := sys.fireFault(FaultSiteSubmit); err != nil {
+		sh.backpressure.Add(1)
+		return 0, ErrBackpressure
+	}
 	n := 0
 	for i := range argss {
-		if !sh.ring.push(sys, svc, &argss[i], program, done) {
-			return sh.submitBatchSlow(sys, svc, argss[i:], program, done, n)
+		if !sh.ring.push(sys, svc, &argss[i], program, done, deadline) {
+			return sh.submitBatchSlow(sys, svc, argss[i:], program, done, deadline, n)
 		}
 		n++
 	}
@@ -372,12 +407,12 @@ func (sh *shard) wake(sys *System) {
 // slots free up.
 //
 //ppc:coldpath -- overload handling: the ring is full, the caller is already paying
-func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}) error {
+func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, reqDeadline int64) error {
 	sh.spawnWorker(sys)
 	deadline := time.Now().Add(sh.submitWait)
 	spun := 0
 	for {
-		if sh.ring.push(sys, svc, args, prog, done) {
+		if sh.ring.push(sys, svc, args, prog, done, reqDeadline) {
 			sh.wake(sys)
 			return nil
 		}
@@ -404,13 +439,13 @@ func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, 
 // requests past the deadline are rejected as one backpressure event.
 //
 //ppc:coldpath -- overload handling for the batch tail
-func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program uint32, done chan<- struct{}, accepted int) (int, error) {
+func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program uint32, done chan<- struct{}, reqDeadline int64, accepted int) (int, error) {
 	sh.wake(sys) // the already-published head of the batch is runnable
 	sh.spawnWorker(sys)
 	deadline := time.Now().Add(sh.submitWait)
 	spun := 0
 	for i := range rest {
-		for !sh.ring.push(sys, svc, &rest[i], program, done) {
+		for !sh.ring.push(sys, svc, &rest[i], program, done, reqDeadline) {
 			// Same spin-then-yield as submitSlow: the retry is read-only
 			// against a full ring, and a batch drain frees slots faster
 			// than a scheduler round trip.
@@ -446,6 +481,7 @@ func (sh *shard) spawnWorker(sys *System) {
 	if sh.closed.Load() || sh.workers.Load() >= sh.maxWorkers {
 		return
 	}
+	sh.startWatchdog(sys)
 	sh.workers.Add(1)
 	sh.wg.Add(1)
 	go sh.workerLoop(sys)
@@ -467,7 +503,9 @@ func (sh *shard) workerLoop(sys *System) {
 	// servicing a request costs no pool CAS, and the scratch buffer
 	// stays hot in the worker's cache across the batch.
 	cd := sh.popCD(defaultScratchBytes)
+	beat := sh.claimBeat()
 	defer func() {
+		sh.releaseBeat(beat)
 		sh.pushCD(cd)
 		sh.workers.Add(-1)
 		sh.workerExits.Add(1)
@@ -475,12 +513,29 @@ func (sh *shard) workerLoop(sys *System) {
 	}()
 	var batch [asyncBatchSize]asyncReq
 	idle := 0
+	var seq uint64
 	for {
+		// Retire tokens convert revoked stall compensations back into the
+		// configured worker cap: one token, one exit. Checked once per
+		// loop — a single uncontended load in the steady state.
+		if sh.tryRetire() {
+			return
+		}
 		if n := sh.ring.popBatch(batch[:]); n > 0 {
 			idle = 0
+			// Heartbeat: one plain store on a worker-private line per
+			// batch, not per request — the watchdog's whole warm-path tax.
+			if beat != nil {
+				seq++
+				beat.state.Store(seq<<1 | 1)
+			}
 			for i := 0; i < n; i++ {
 				sh.handleAsync(sys, cd, &batch[i])
 				batch[i].clearRefs()
+			}
+			if beat != nil {
+				beat.state.Store(seq << 1)
+				sh.clearCompensation(beat)
 			}
 			continue
 		}
@@ -547,13 +602,35 @@ func (sh *shard) drainRing(sys *System, cd *callDesc, batch []asyncReq) {
 // to the cold half — an abandoned channel must never wedge the worker
 // (and with it every drain) forever.
 func (sh *shard) handleAsync(sys *System, cd *callDesc, req *asyncReq) {
-	sys.serviceOneHeld(sh, cd, req.svc, &req.args, req.prog)
+	if req.deadline != 0 && time.Now().UnixNano() > req.deadline {
+		sh.expireAsync(req)
+	} else {
+		sys.serviceOneHeld(sh, cd, req.svc, &req.args, req.prog)
+	}
 	if req.done != nil {
 		select {
 		case req.done <- struct{}{}:
 		default:
 			sh.notifySlow(req.done)
 		}
+	}
+}
+
+// expireAsync settles a queued request whose deadline passed before a
+// worker reached it: the handler never runs, the in-flight accounting
+// is balanced (so a draining soft Kill is not wedged by expired work),
+// and the expiry is recorded as health evidence. The completion
+// notification is still delivered by the caller — an expired request
+// is settled, not lost.
+//
+//ppc:coldpath -- the deadline already expired; nothing latency-sensitive remains
+func (sh *shard) expireAsync(req *asyncReq) {
+	sh.deadlineExpired.Add(1)
+	counters := &req.svc.perShard[sh.id]
+	counters.completed.Add(1)
+	req.svc.notifyQuiesce()
+	if req.svc.health != nil {
+		req.svc.recordTimeout(counters)
 	}
 }
 
@@ -578,16 +655,21 @@ func (sh *shard) notifySlow(done chan<- struct{}) {
 //ppc:coldpath -- diagnostics snapshot, deliberately off the call path
 func (sh *shard) stats(i int) ShardStats {
 	return ShardStats{
-		Shard:               i,
-		CDsCreated:          sh.cdsCreated.Load(),
-		PooledCDs:           sh.poolSize(),
-		HeldCDs:             sh.heldCDs.Load(),
-		AsyncWorkers:        sh.workers.Load(),
-		WorkerExits:         sh.workerExits.Load(),
-		AsyncQueueDepth:     sh.ring.length(),
-		AsyncQueueCap:       sh.ring.capacity(),
-		BackpressureRejects: sh.backpressure.Load(),
-		NotifyDrops:         sh.notifyDrops.Load(),
+		Shard:                 i,
+		CDsCreated:            sh.cdsCreated.Load(),
+		PooledCDs:             sh.poolSize(),
+		HeldCDs:               sh.heldCDs.Load(),
+		AsyncWorkers:          sh.workers.Load(),
+		WorkerExits:           sh.workerExits.Load(),
+		AsyncQueueDepth:       sh.ring.length(),
+		AsyncQueueCap:         sh.ring.capacity(),
+		BackpressureRejects:   sh.backpressure.Load(),
+		NotifyDrops:           sh.notifyDrops.Load(),
+		StuckWorkers:          sh.stuckWorkers.Load(),
+		ReplacementsSpawned:   sh.replacementsSpawned.Load(),
+		ReplacementsReclaimed: sh.replacementsReclaimed.Load(),
+		QuarantinedCDs:        sh.quarantinedCDs.Load(),
+		DeadlineExpirations:   sh.deadlineExpired.Load(),
 	}
 }
 

@@ -1,6 +1,9 @@
 package rt
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestShardStats(t *testing.T) {
 	sys := NewSystemShards(2)
@@ -49,4 +52,79 @@ func TestShardStats(t *testing.T) {
 	if st.AsyncWorkers != 0 || st.WorkerExits == 0 || st.AsyncQueueDepth != 0 {
 		t.Fatalf("post-close stats: %+v", st)
 	}
+}
+
+// TestRobustnessStats exercises every counter the fault-tolerance
+// layer added to ShardStats: deadline expirations and quarantines
+// (deadline.go), stuck-worker supervision (watchdog.go), and health
+// gating (health.go).
+func TestRobustnessStats(t *testing.T) {
+	sys := NewSystemOptions(Options{
+		Shards:               1,
+		WorkerStallThreshold: 2 * time.Millisecond,
+		WatchdogInterval:     time.Millisecond,
+	})
+	defer sys.Close()
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	svc, err := sys.Bind(ServiceConfig{
+		Name: "robust",
+		Handler: func(ctx *Ctx, args *Args) {
+			switch args[0] {
+			case 1:
+				entered <- struct{}{}
+				<-block
+			case 2:
+				panic("counted fault")
+			}
+		},
+		Health: &HealthConfig{MaxConsecutiveFaults: 2, ProbeAfter: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.shards[0].maxWorkers = 1
+	c := sys.NewClientOnShard(0)
+
+	// Deadline expiry + quarantine: orphan one synchronous call.
+	var wedge Args
+	wedge[0] = 1
+	if err := c.CallDeadline(svc.EP(), &wedge, time.Millisecond); err == nil {
+		t.Fatal("expected deadline expiry")
+	}
+	<-entered
+	st := sys.Stats()[0]
+	if st.DeadlineExpirations != 1 || st.QuarantinedCDs != 1 {
+		t.Fatalf("after orphan: %+v", st)
+	}
+
+	// Stuck worker + replacement: wedge the only async worker.
+	if err := c.AsyncCall(svc.EP(), &wedge); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	waitCond(t, 2*time.Second, "stall detection", func() bool {
+		st := sys.Stats()[0]
+		return st.StuckWorkers >= 1 && st.ReplacementsSpawned >= 1
+	})
+
+	// Health trip + shed: two faults in a row, then a shed call.
+	var bad, good Args
+	bad[0] = 2
+	c.Call(svc.EP(), &bad)
+	c.Call(svc.EP(), &bad)
+	c.Call(svc.EP(), &good)
+	st = sys.Stats()[0]
+	if st.HealthTrips != 1 || st.ShedCalls == 0 {
+		t.Fatalf("after trip: %+v", st)
+	}
+
+	// Recovery: unblock everything; quarantine reclaimed, pool
+	// converges, gauges return to zero.
+	close(block)
+	waitCond(t, 2*time.Second, "quarantine and supervision recovery", func() bool {
+		st := sys.Stats()[0]
+		return st.QuarantinedCDs == 0 && st.StuckWorkers == 0 &&
+			st.ReplacementsReclaimed >= st.ReplacementsSpawned
+	})
 }

@@ -1,0 +1,272 @@
+package rt
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Per-shard worker supervision. An async worker that wedges inside a
+// handler (a stuck device, an unbounded loop, an injected stall) takes
+// one of the shard's bounded worker slots with it; enough of them and
+// the ring stops draining even though the shard looks alive. The
+// watchdog is the containment: each worker stamps a per-worker
+// heartbeat line around every batch it services, and a per-shard
+// supervisor goroutine scans those lines on a coarse tick. A worker
+// stuck past the stall threshold is *compensated* — a bounded
+// replacement worker is spawned so the ring keeps draining — and when
+// the stuck worker finally returns, the compensation is revoked: a
+// retire token makes exactly one surplus worker exit, converging the
+// pool back to its configured cap.
+//
+// Design rules carried over from the rest of the package:
+//
+//   - The warm path pays one plain store per *batch* (the heartbeat
+//     stamp), on a line only that worker writes and only the watchdog
+//     reads — no shared RMW, no lock.
+//   - The watchdog itself is pure cold path: it runs on its own
+//     goroutine, on a multi-millisecond tick, and takes qMu only to
+//     spawn.
+//   - Replacements are bounded (maxReplacements) and accounted
+//     (ShardStats.ReplacementsSpawned / ReplacementsReclaimed), so a
+//     permanently wedged handler degrades the shard by a constant, not
+//     by an unbounded goroutine leak.
+
+// Supervision defaults (Options overrides them per System).
+const (
+	// defaultStallThreshold is how long a worker may sit inside one
+	// batch before it is counted stuck.
+	defaultStallThreshold = 20 * time.Millisecond
+	// defaultWatchdogInterval is the supervision scan period.
+	defaultWatchdogInterval = 5 * time.Millisecond
+	// defaultMaxReplacements bounds concurrent replacement workers per
+	// shard.
+	defaultMaxReplacements = 4
+)
+
+// workerBeat is one worker's heartbeat line: the worker stamps state
+// (one plain atomic store) when it enters and leaves a batch; the
+// watchdog reads it on its tick. One worker writes the line and the
+// watchdog reads it, so the padding keeps beats from false-sharing
+// with their neighbours.
+//
+// The stamp is a packed progress word, not a timestamp: time.Now() per
+// batch costs ~20 ns at batch size 1, which is real money on a ~110 ns
+// async path. The watchdog supplies the clock instead — it counts its
+// own ticks while a busy worker's progress word stays unchanged.
+type workerBeat struct {
+	// state packs the worker's batch sequence number (bits 63..1) with a
+	// busy bit (bit 0): the worker stores seq<<1|1 entering a batch and
+	// seq<<1 leaving it. 0 means idle/parked.
+	//
+	//ppc:atomic
+	state atomic.Uint64
+	// inUse marks the slot claimed by a live worker.
+	//
+	//ppc:atomic
+	inUse atomic.Bool
+	// compensated marks that the watchdog has spawned a replacement for
+	// this (stuck) worker. The worker clears it on batch exit and turns
+	// the revoked grant into a retire token.
+	//
+	//ppc:atomic
+	compensated atomic.Bool
+	_           [54]byte
+}
+
+// configureWatchdog applies Options' supervision knobs (called from
+// NewSystemOptions, once per shard, before any worker exists).
+//
+//ppc:coldpath -- construction-time configuration
+func (sh *shard) configureWatchdog(o Options) {
+	sh.stallThreshold = defaultStallThreshold
+	if o.WorkerStallThreshold != 0 {
+		sh.stallThreshold = o.WorkerStallThreshold // negative disables
+	}
+	sh.watchdogInterval = defaultWatchdogInterval
+	if o.WatchdogInterval > 0 {
+		sh.watchdogInterval = o.WatchdogInterval
+	}
+	sh.maxReplacements = defaultMaxReplacements
+	if o.MaxWorkerReplacements != 0 {
+		sh.maxReplacements = int64(o.MaxWorkerReplacements)
+		if sh.maxReplacements < 0 {
+			sh.maxReplacements = 0
+		}
+	}
+	sh.beats = make([]workerBeat, sh.maxWorkers+sh.maxReplacements)
+}
+
+// claimBeat takes a free heartbeat slot for a starting worker. A nil
+// return (more workers than slots — possible only if maxWorkers was
+// raised after construction) leaves the worker unsupervised but
+// otherwise fully functional.
+//
+//ppc:coldpath -- worker startup
+func (sh *shard) claimBeat() *workerBeat {
+	for i := range sh.beats {
+		b := &sh.beats[i]
+		if !b.inUse.Load() && b.inUse.CompareAndSwap(false, true) {
+			b.state.Store(0)
+			b.compensated.Store(false)
+			return b
+		}
+	}
+	return nil
+}
+
+// releaseBeat returns a worker's heartbeat slot on exit. A pending
+// compensation is settled here too: if the watchdog replaced this
+// worker and the worker exits before clearing the flag on a batch
+// boundary, the grant is revoked and a surplus worker retired, exactly
+// as clearCompensation would have.
+//
+//ppc:coldpath -- worker exit
+func (sh *shard) releaseBeat(b *workerBeat) {
+	if b == nil {
+		return
+	}
+	sh.clearCompensation(b)
+	b.state.Store(0)
+	b.inUse.Store(false)
+}
+
+// clearCompensation revokes a replacement grant once its stuck worker
+// has returned: the extra headroom is withdrawn and one retire token is
+// minted so exactly one surplus worker exits at its next loop check.
+//
+//ppc:coldpath -- runs only after a stall was detected and compensated
+func (sh *shard) clearCompensation(b *workerBeat) {
+	if b.compensated.Swap(false) {
+		sh.extraGrant.Add(-1)
+		sh.retire.Add(1)
+	}
+}
+
+// tryRetire consumes one retire token, if any are outstanding. The
+// caller (a worker, at the top of its loop) exits when it returns true
+// — the CAS loop guarantees one token retires exactly one worker.
+//
+//ppc:hotpath
+func (sh *shard) tryRetire() bool {
+	for {
+		r := sh.retire.Load()
+		if r <= 0 {
+			return false
+		}
+		if sh.retire.CompareAndSwap(r, r-1) {
+			sh.replacementsReclaimed.Add(1)
+			return true
+		}
+	}
+}
+
+// startWatchdog launches the shard's supervisor if configured and not
+// already running. Caller holds qMu (it is called from spawnWorker's
+// critical section, so supervision starts with the first worker and
+// never races close).
+//
+//ppc:coldpath -- supervision startup, once per shard
+func (sh *shard) startWatchdog(sys *System) {
+	if sh.watchdogOn || sh.stallThreshold <= 0 || sh.closed.Load() {
+		return
+	}
+	sh.watchdogOn = true
+	sh.wg.Add(1)
+	go sh.watchdogLoop(sys)
+}
+
+// watchdogLoop scans the shard's heartbeat slots on a coarse tick until
+// the shard closes. Pure cold path: it shares no line with the warm
+// call paths and its writes are all to supervision state.
+//
+//ppc:coldpath -- supervision scan loop, off every call path
+func (sh *shard) watchdogLoop(sys *System) {
+	defer sh.wg.Done()
+	ticker := time.NewTicker(sh.watchdogInterval)
+	defer ticker.Stop()
+	// Per-slot scan memory, private to this goroutine: the last progress
+	// word seen and how many consecutive ticks it has been busy without
+	// changing. A worker is stuck once that run covers stallThreshold.
+	last := make([]uint64, len(sh.beats))
+	stuckTicks := make([]int, len(sh.beats))
+	stuckAfter := int(sh.stallThreshold / sh.watchdogInterval)
+	if stuckAfter < 1 {
+		stuckAfter = 1
+	}
+	for {
+		select {
+		case <-sh.stop:
+			return
+		case <-ticker.C:
+		}
+		sh.superviseTick(sys, last, stuckTicks, stuckAfter)
+	}
+}
+
+// superviseTick is one supervision scan: count stuck workers,
+// compensate newly-stuck ones with bounded replacements, and ring the
+// doorbell when a parked worker is needed (a retire token to consume,
+// or a non-empty ring with everyone parked — the lost-wakeup and
+// stalled-publish safety net; ring.stalled makes the latter visible).
+//
+//ppc:coldpath -- supervision scan, off every call path
+func (sh *shard) superviseTick(sys *System, last []uint64, stuckTicks []int, stuckAfter int) {
+	stuck := int64(0)
+	for i := range sh.beats {
+		b := &sh.beats[i]
+		if !b.inUse.Load() {
+			last[i], stuckTicks[i] = 0, 0
+			continue
+		}
+		s := b.state.Load()
+		if s&1 == 0 || s != last[i] {
+			// Idle, or it made progress since the previous tick.
+			last[i], stuckTicks[i] = s, 0
+			continue
+		}
+		stuckTicks[i]++
+		if stuckTicks[i] < stuckAfter {
+			continue
+		}
+		stuck++
+		if !b.compensated.Load() && sh.extraGrant.Load() < sh.maxReplacements {
+			// Compensate: grant headroom for one replacement so the ring
+			// keeps draining past the wedged worker.
+			b.compensated.Store(true)
+			sh.extraGrant.Add(1)
+			if sh.spawnReplacement(sys) {
+				sh.replacementsSpawned.Add(1)
+			} else {
+				// Shard closing (or a concurrent stop): revoke the grant
+				// rather than leave phantom headroom behind.
+				b.compensated.Store(false)
+				sh.extraGrant.Add(-1)
+			}
+		}
+	}
+	sh.stuckWorkers.Store(stuck)
+	if (sh.retire.Load() > 0 || sh.ring.stalled() || !sh.ring.empty()) &&
+		sh.parked.Load() != 0 {
+		select {
+		case sh.doorbell <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// spawnReplacement starts one replacement worker, allowed to exceed
+// maxWorkers by the currently granted compensation headroom. Reports
+// whether a worker was actually started.
+//
+//ppc:coldpath -- stall compensation, bounded by maxReplacements
+func (sh *shard) spawnReplacement(sys *System) bool {
+	sh.qMu.Lock()
+	defer sh.qMu.Unlock()
+	if sh.closed.Load() || sh.workers.Load() >= sh.maxWorkers+sh.extraGrant.Load() {
+		return false
+	}
+	sh.workers.Add(1)
+	sh.wg.Add(1)
+	go sh.workerLoop(sys)
+	return true
+}
