@@ -130,19 +130,30 @@ func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program 
 		return 0, ErrKilled
 	}
 	counters := e.counters
+	probe := false
 	if svc.health != nil {
-		if err := svc.gateAdmit(counters); err != nil {
-			return 0, err
+		var gerr error
+		if probe, gerr = svc.gateAdmit(counters); gerr != nil {
+			return 0, gerr
 		}
 	}
 	counters.asyncAdm.Add(int64(len(argss)))
 	if svc.state.Load() != svcActive {
 		svc.backOutN(counters, len(argss))
+		if probe {
+			svc.settleProbe(counters, ErrKilled)
+		}
 		return 0, ErrKilled
 	}
 	n, err := sh.submitBatch(s, svc, argss, program, done, deadline)
 	if n < len(argss) {
 		svc.unadmit(counters, len(argss)-n)
+	}
+	if probe && n == 0 {
+		// The whole batch was rejected before reaching the ring: no
+		// request will ever produce worker-side evidence, so the probe
+		// settles here (accepted requests settle at dequeue instead).
+		svc.settleProbe(counters, err)
 	}
 	return n, err
 }

@@ -229,15 +229,22 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 	counters := e.counters
 	// The health gate sheds before admission: a degraded service costs
 	// the caller one atomic load and no in-flight accounting. Gating is
-	// opt-in per service; the nil check is free for everyone else.
+	// opt-in per service; the nil check is free for everyone else. A
+	// caller that wins the half-open election carries the probe and
+	// must settle the gate on every exit below.
+	probe := false
 	if svc.health != nil {
-		if err := svc.gateAdmit(counters); err != nil {
-			return err
+		var gerr error
+		if probe, gerr = svc.gateAdmit(counters); gerr != nil {
+			return gerr
 		}
 	}
 	counters.admitted.Add(1)
 	if svc.state.Load() != svcActive {
 		svc.backOut(counters)
+		if probe {
+			svc.settleProbe(counters, ErrKilled)
+		}
 		return ErrKilled
 	}
 	if cap(cd.scratch) < svc.scratchBytes {
@@ -252,6 +259,9 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 	svc.notifyQuiesce()
 	if svc.health != nil {
 		svc.recordOutcome(counters, err)
+		if probe {
+			svc.settleProbe(counters, err)
+		}
 	}
 	return err
 }
@@ -272,9 +282,11 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 	if svc.state.Load() != svcActive {
 		return ErrKilled
 	}
+	probe := false
 	if svc.health != nil {
-		if err := svc.gateAdmit(e.counters); err != nil {
-			return err
+		var gerr error
+		if probe, gerr = svc.gateAdmit(e.counters); gerr != nil {
+			return gerr
 		}
 	}
 	if async {
@@ -289,16 +301,29 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 		counters.asyncAdm.Add(1)
 		if svc.state.Load() != svcActive {
 			svc.backOutAsync(counters)
+			if probe {
+				svc.settleProbe(counters, ErrKilled)
+			}
 			return ErrKilled
 		}
 		if err := sh.submitAsync(s, svc, args, program, done, deadline); err != nil {
 			counters.asyncAdm.Add(-1)
 			svc.notifyQuiesce()
+			// A rejected probe submission carries no health evidence and
+			// will never reach a worker; settle the gate here or the
+			// stripe sheds until the probe lease expires.
+			if probe {
+				svc.settleProbe(counters, err)
+			}
 			return err
 		}
+		// An accepted async probe settles the gate on the worker side
+		// (recordOutcome / recordTimeout at dequeue); the exits that
+		// bypass those — a hard-kill discard — fall back to the probe
+		// lease in gateAdmitSlow.
 		return nil
 	}
-	return s.serviceOne(sh, e, args, program)
+	return s.serviceOne(sh, e, args, program, probe)
 }
 
 // faultError wraps a recovered handler panic for the caller.
@@ -312,12 +337,16 @@ func faultError(fault any) error {
 // descriptor, admitted here with the increment-then-check protocol:
 // the call counts itself in flight first, then re-validates the
 // service state and backs out if a kill slipped in between the
-// caller's state check and the admission.
-func (s *System) serviceOne(sh *shard, e *epEntry, args *Args, program uint32) error {
+// caller's state check and the admission. probe marks this call as the
+// health gate's half-open probe; every exit settles the gate.
+func (s *System) serviceOne(sh *shard, e *epEntry, args *Args, program uint32, probe bool) error {
 	svc, counters := e.svc, e.counters
 	counters.admitted.Add(1)
 	if svc.state.Load() != svcActive {
 		svc.backOut(counters)
+		if probe {
+			svc.settleProbe(counters, ErrKilled)
+		}
 		return ErrKilled
 	}
 	defer func() {
@@ -334,6 +363,9 @@ func (s *System) serviceOne(sh *shard, e *epEntry, args *Args, program uint32) e
 	sh.pushCD(cd)
 	if svc.health != nil {
 		svc.recordOutcome(counters, err)
+		if probe {
+			svc.settleProbe(counters, err)
+		}
 	}
 	return err
 }

@@ -80,6 +80,7 @@ type dlReq struct {
 	cd       *callDesc
 	prog     uint32
 	epoch    uint64 // close epoch at descriptor acquisition
+	probe    bool   // this call is the health gate's half-open probe
 	t        *dlTicket
 }
 
@@ -98,10 +99,13 @@ type dlExec struct {
 //ppc:coldpath -- executor construction, once per client (plus once per orphaning)
 func (c *Client) armDeadlineExec() {
 	e := &dlExec{sh: c.shard, req: make(chan dlReq, 1)}
+	// go.mod declares go >= 1.23, so Stop/Reset flush the timer channel
+	// themselves; no manual drain is needed here or after Reset. The
+	// module MUST NOT be downgraded below 1.23: under the old timer
+	// semantics a completion racing the timer could leave a stale token
+	// in the reused channel and spuriously orphan the next call.
 	e.timer = time.NewTimer(time.Hour)
-	if !e.timer.Stop() {
-		<-e.timer.C
-	}
+	e.timer.Stop()
 	e.ticket.done = make(chan struct{}, 1)
 	c.dl = e
 	go e.loop()
@@ -123,9 +127,12 @@ func (e *dlExec) loop() {
 		if t.state.CompareAndSwap(dlWaiting, dlDone) {
 			// Health evidence only for calls the caller actually saw
 			// complete; the caller records the timeout on the orphaned
-			// branch itself.
+			// branch itself (recordTimeout, which also settles a probe).
 			if req.svc.health != nil {
 				req.svc.recordOutcome(req.counters, err)
+				if req.probe {
+					req.svc.settleProbe(req.counters, err)
+				}
 			}
 			t.done <- struct{}{}
 			continue
@@ -208,9 +215,11 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 		return ErrKilled
 	}
 	counters := e.counters
+	probe := false
 	if svc.health != nil {
-		if err := svc.gateAdmit(counters); err != nil {
-			return err
+		var gerr error
+		if probe, gerr = svc.gateAdmit(counters); gerr != nil {
+			return gerr
 		}
 	}
 	if c.held == nil {
@@ -224,6 +233,9 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 	counters.admitted.Add(1)
 	if svc.state.Load() != svcActive {
 		svc.backOut(counters)
+		if probe {
+			svc.settleProbe(counters, ErrKilled)
+		}
 		return ErrKilled
 	}
 	cd := c.held
@@ -238,7 +250,7 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 	t.args = *args
 	exec.req <- dlReq{
 		sys: c.sys, svc: svc, h: e.h, counters: counters,
-		cd: cd, prog: c.program, epoch: c.heldEpoch, t: t,
+		cd: cd, prog: c.program, epoch: c.heldEpoch, probe: probe, t: t,
 	}
 	var timerC <-chan time.Time
 	if d > 0 {
@@ -291,18 +303,17 @@ func (c *Client) orphan(sh *shard, svc *Service, counters *shardCounters, t *dlT
 }
 
 // stopDLTimer quiets a (possibly fired) reusable timer so the next
-// Reset starts clean.
+// Reset starts clean. With the go >= 1.23 timer semantics this module
+// requires, Stop alone suffices: a token from a concurrent fire is
+// flushed by Stop (or by the next Reset), never left behind in the
+// reused channel — under the pre-1.23 semantics the token could be in
+// flight, missed by any non-blocking drain, and delivered to the NEXT
+// call's select, spuriously orphaning a healthy call.
 //
 //ppc:hotpath
 func stopDLTimer(t *time.Timer, armed bool) {
-	if !armed {
-		return
-	}
-	if !t.Stop() {
-		select {
-		case <-t.C:
-		default:
-		}
+	if armed {
+		t.Stop()
 	}
 }
 

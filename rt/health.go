@@ -19,12 +19,39 @@ import "time"
 //	degraded --(ProbeAfter elapsed; one caller wins the CAS)--> half-open
 //	half-open --(probe call succeeds)--> healthy
 //	half-open --(probe call faults/expires)--> degraded (window restarts)
+//	half-open --(probe exits with no health evidence)--> degraded
+//	half-open --(probe lease expires unsettled)--> a new probe is elected
 //
 // While degraded (and while a probe is in flight) every other call is
 // shed before admission: no in-flight increment, no descriptor, no
 // handler — the overloaded endpoint stops eating the shard's capacity.
 // Successful calls reset both consecutive counters, so only unbroken
 // runs of failures trip the gate.
+//
+// Probe liveness. The half-open state must always settle: a gate stuck
+// half-open sheds every call forever. Success and failure evidence
+// settle it through recordSuccess/recordFault/recordTimeout, but a
+// probe can also exit with *no* evidence at all — its async submission
+// rejected with ErrBackpressure/ErrClosed, its admission backed out on
+// a concurrent kill, or its dispatch denied by authorization. Two
+// mechanisms guarantee settlement anyway:
+//
+//  1. gateAdmit tells the winning caller it is the probe, and every
+//     such exit path calls settleProbe, which sends the gate back to
+//     degraded (the probe window restarts).
+//  2. Electing a probe arms a *lease* (reopenAt = now + ProbeAfter).
+//     If the lease expires with the gate still half-open — a probe
+//     path that cannot settle explicitly, e.g. an async probe whose
+//     queued request is discarded by a hard kill on the worker side —
+//     the next caller takes over as a fresh probe instead of shedding.
+//
+// Accuracy note: the consecutive-outcome counters are written by every
+// goroutine that settles one of the service's calls on this shard
+// (clients sharing the shard, async workers, deadline executors and
+// orphaning callers). Racing Store(0)/Add(1) pairs can lose or inflate
+// an evidence run, so MaxConsecutive* thresholds are deliberately a
+// heuristic — trips may fire an event early or late under concurrent
+// mixed outcomes; the atomics keep the counters safe, not exact.
 
 // Health gate states (shardCounters.healthState).
 const (
@@ -80,41 +107,81 @@ func normalizeHealth(cfg *HealthConfig) *HealthConfig {
 // gateAdmit is the admission-side health check, called only when the
 // service has a gate (svc.health != nil). The healthy fast path is a
 // single atomic load of a rarely-written shard-local line; the
-// degraded and half-open branches are the cold overload paths.
+// degraded and half-open branches are the cold overload paths. The
+// probe result tells the caller it carries the stripe's probe and owes
+// the gate a settlement on every exit (see settleProbe).
 //
 //ppc:hotpath
-func (s *Service) gateAdmit(c *shardCounters) error {
+func (s *Service) gateAdmit(c *shardCounters) (probe bool, err error) {
 	if c.healthState.Load() == gateHealthy {
-		return nil
+		return false, nil
 	}
 	return s.gateAdmitSlow(c)
 }
 
 // gateAdmitSlow handles the degraded and half-open states: shed the
-// call, or win the half-open CAS and carry the single probe.
+// call, win the half-open CAS and carry the probe, or take over an
+// expired probe lease.
 //
 //ppc:coldpath -- the gate is open; the call is being shed or probed
-func (s *Service) gateAdmitSlow(c *shardCounters) error {
+func (s *Service) gateAdmitSlow(c *shardCounters) (bool, error) {
 	for {
 		switch c.healthState.Load() {
 		case gateHealthy:
-			return nil
+			return false, nil
 		case gateHalfOpen:
-			// A probe is already in flight; keep shedding until it
-			// settles the state.
-			c.shedCalls.Add(1)
-			return ErrServiceUnhealthy
+			// A probe is in flight; shed until it settles — but not
+			// forever. If the probe's lease (armed at election) has
+			// expired with the gate still half-open, the probe vanished
+			// without settlement; take over as a fresh probe. The lease
+			// CAS elects one successor per expiry.
+			lease := c.reopenAt.Load()
+			if time.Now().UnixNano() < lease {
+				c.shedCalls.Add(1)
+				return false, ErrServiceUnhealthy
+			}
+			if c.reopenAt.CompareAndSwap(lease, time.Now().Add(s.health.ProbeAfter).UnixNano()) {
+				return true, nil // took over the unsettled probe
+			}
+			// Lost the takeover race; re-read the state.
 		case gateDegraded:
 			if time.Now().UnixNano() < c.reopenAt.Load() {
 				c.shedCalls.Add(1)
-				return ErrServiceUnhealthy
+				return false, ErrServiceUnhealthy
 			}
 			if c.healthState.CompareAndSwap(gateDegraded, gateHalfOpen) {
-				return nil // this call is the probe
+				// Arm the probe lease. (Between the state CAS and this
+				// store a concurrent caller can read the stale, already-
+				// expired reopenAt and win a takeover — at most one
+				// transient extra probe, which is harmless: probes carry
+				// ordinary calls and every one settles the gate.)
+				c.reopenAt.Store(time.Now().Add(s.health.ProbeAfter).UnixNano())
+				return true, nil // this call is the probe
 			}
 			// Lost the probe race; re-read the state.
 		}
 	}
+}
+
+// settleProbe resolves a probe call that exited with no health
+// evidence: its submission was rejected (ErrBackpressure, ErrClosed),
+// its admission backed out on a concurrent kill (ErrKilled), or its
+// dispatch was denied by authorization (ErrPermissionDenied). None of
+// those say anything about the service's health, but the probe still
+// owes the gate a settlement — the stripe goes back to degraded and
+// the probe window restarts. Outcomes that are evidence (nil success,
+// handler faults, deadline expiry) were already settled by
+// recordSuccess/recordFault/recordTimeout and are no-ops here.
+//
+//ppc:coldpath -- probe bookkeeping on an already-failing call
+func (s *Service) settleProbe(c *shardCounters, err error) {
+	if err == nil {
+		return // recordSuccess settled the gate
+	}
+	if _, isFault := err.(*FaultError); isFault {
+		return // recordFault settled the gate
+	}
+	s.gateReopen(c)
 }
 
 // recordSuccess resets the consecutive-failure evidence and closes a

@@ -244,6 +244,143 @@ func TestHealthGateTripsOnConsecutiveTimeouts(t *testing.T) {
 	}
 }
 
+// A probe whose async submission is rejected (here: injected
+// backpressure — the most plausible case, since a gate tripped by
+// overload implies a full ring) produces no health evidence; the gate
+// must settle back to degraded instead of shedding forever from an
+// unsettled half-open state, and a later clean probe must recover it.
+func TestHealthGateRejectedProbeSettles(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{
+		Name: "rejectedprobe",
+		Handler: func(ctx *Ctx, args *Args) {
+			if args[0] == 1 {
+				panic("boom")
+			}
+		},
+		Health: &HealthConfig{MaxConsecutiveFaults: 2, ProbeAfter: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	var bad, good Args
+	bad[0] = 1
+	c.Call(svc.EP(), &bad)
+	c.Call(svc.EP(), &bad)
+	if svc.Healthy() {
+		t.Fatal("gate did not trip")
+	}
+	// Every submission now bounces with ErrBackpressure.
+	sys.InjectFault(FaultSiteSubmit, FaultErrFirst(1<<30, ErrBackpressure))
+	time.Sleep(60 * time.Millisecond)
+	// This async call wins the probe election and is rejected before it
+	// reaches the ring: no worker will ever settle it.
+	if err := c.AsyncCall(svc.EP(), &good); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("probe submission: %v, want ErrBackpressure", err)
+	}
+	// The gate settled back to degraded (not stuck half-open): within
+	// the restarted window calls shed, after it a clean probe recovers.
+	if err := c.Call(svc.EP(), &good); !errors.Is(err, ErrServiceUnhealthy) {
+		t.Fatalf("inside restarted window: %v, want shed", err)
+	}
+	sys.ClearFaults()
+	time.Sleep(60 * time.Millisecond)
+	if err := c.Call(svc.EP(), &good); err != nil {
+		t.Fatalf("recovery probe: %v", err)
+	}
+	if !svc.Healthy() {
+		t.Fatal("gate stuck open after rejected probe (half-open never settled)")
+	}
+}
+
+// A probe denied by authorization carries no health evidence either
+// (recordOutcome ignores ErrPermissionDenied); the probe itself must
+// send the gate back to degraded so an authorized probe can recover it.
+func TestHealthGateDeniedProbeSettles(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	var allowed uint32
+	svc, err := sys.Bind(ServiceConfig{
+		Name: "deniedprobe",
+		Handler: func(ctx *Ctx, args *Args) {
+			if args[0] == 1 {
+				panic("boom")
+			}
+		},
+		Authorize: func(p uint32) bool { return p == allowed },
+		Health:    &HealthConfig{MaxConsecutiveFaults: 2, ProbeAfter: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insider := sys.NewClientOnShard(0)
+	outsider := sys.NewClientOnShard(0)
+	defer insider.Release()
+	defer outsider.Release()
+	allowed = insider.Program()
+	var bad, good Args
+	bad[0] = 1
+	insider.Call(svc.EP(), &bad)
+	insider.Call(svc.EP(), &bad)
+	if svc.Healthy() {
+		t.Fatal("gate did not trip")
+	}
+	time.Sleep(60 * time.Millisecond)
+	// The outsider wins the probe election and is denied: no evidence,
+	// but the probe still settles the gate back to degraded.
+	if err := outsider.Call(svc.EP(), &good); !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("denied probe: %v, want ErrPermissionDenied", err)
+	}
+	if err := insider.Call(svc.EP(), &good); !errors.Is(err, ErrServiceUnhealthy) {
+		t.Fatalf("inside restarted window: %v, want shed", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if err := insider.Call(svc.EP(), &good); err != nil {
+		t.Fatalf("recovery probe: %v", err)
+	}
+	if !svc.Healthy() {
+		t.Fatal("gate stuck open after denied probe")
+	}
+}
+
+// The probe-lease backstop: a half-open stripe whose probe vanished
+// through a path with no explicit settlement (e.g. an accepted async
+// probe discarded by a hard kill on the worker side) must elect a new
+// probe once the lease expires, instead of shedding forever.
+func TestHealthGateProbeLeaseTakeover(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{
+		Name:    "stuckopen",
+		Handler: func(ctx *Ctx, args *Args) {},
+		Health:  &HealthConfig{MaxConsecutiveFaults: 2, ProbeAfter: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	cs := &svc.perShard[0]
+	var args Args
+	// Live lease: the stripe sheds.
+	cs.healthState.Store(gateHalfOpen)
+	cs.reopenAt.Store(time.Now().Add(time.Minute).UnixNano())
+	if err := c.Call(svc.EP(), &args); !errors.Is(err, ErrServiceUnhealthy) {
+		t.Fatalf("live lease: %v, want shed", err)
+	}
+	// Expired lease: the caller takes over as the probe and recovers.
+	cs.reopenAt.Store(time.Now().Add(-time.Millisecond).UnixNano())
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatalf("takeover probe: %v", err)
+	}
+	if !svc.Healthy() {
+		t.Fatal("takeover probe success did not close the gate")
+	}
+}
+
 func TestHealthDisabledByDefault(t *testing.T) {
 	sys := NewSystemShards(1)
 	defer sys.Close()

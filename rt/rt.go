@@ -279,10 +279,16 @@ type shardCounters struct {
 	completed atomic.Int64
 	_         [56]byte // keep the completion counter on its own line
 
-	// Health stripe (see health.go). The consecutive-outcome counters
-	// are written by the goroutine that finishes a call — the same
-	// writer as completed — and only while the service has a health
-	// gate configured.
+	// Health stripe (see health.go), written only while the service has
+	// a health gate configured. Unlike completed, the consecutive-
+	// outcome counters have no single writer: every goroutine that
+	// settles one of this service's calls on this shard writes them —
+	// clients sharing the shard (NewClient round-robins), async
+	// workers, deadline executors, and orphaning deadline callers.
+	// Racing Store(0)/Add(1) pairs can lose or inflate an evidence run,
+	// so the trip thresholds are an explicit heuristic (see the package
+	// comment in health.go); the atomics keep the counters safe, not
+	// exact.
 	//
 	//ppc:atomic
 	consecFaults atomic.Int32

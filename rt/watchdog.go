@@ -238,9 +238,18 @@ func (sh *shard) superviseTick(sys *System, last []uint64, stuckTicks []int, stu
 				sh.replacementsSpawned.Add(1)
 			} else {
 				// Shard closing (or a concurrent stop): revoke the grant
-				// rather than leave phantom headroom behind.
-				b.compensated.Store(false)
-				sh.extraGrant.Add(-1)
+				// rather than leave phantom headroom behind. The stuck
+				// worker may have recovered concurrently and revoked it
+				// already via clearCompensation — the Swap guarantees
+				// exactly one side decrements extraGrant (a plain Store
+				// here would double-revoke, eroding replacement headroom
+				// permanently). If the worker won, its minted retire
+				// token has no replacement to retire and one pool worker
+				// exits early; the pool respawns on demand (wake /
+				// submitSlow), so that is a transient, not a leak.
+				if b.compensated.Swap(false) {
+					sh.extraGrant.Add(-1)
+				}
 			}
 		}
 	}
