@@ -188,6 +188,11 @@ func BenchmarkRTCall(b *testing.B) { rtbench.SyncCall(b) }
 // sync fast path.
 func BenchmarkRTCallDeadline(b *testing.B) { rtbench.SyncCallDeadline(b) }
 
+// BenchmarkRTCallDeadlineShort arms a deadline inside the wheel's first
+// revolution, so the watchdog tick cascades the node while the warm
+// path re-arms it — the wheel's contended shape.
+func BenchmarkRTCallDeadlineShort(b *testing.B) { rtbench.SyncCallDeadlineShort(b) }
+
 // BenchmarkRTCallPooled is the same call through the per-call pool
 // discipline (pop + push, one CAS pair per call) — the held/pooled gap
 // is Figure 2's CD-management delta.

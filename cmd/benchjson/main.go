@@ -47,6 +47,7 @@ func main() {
 	rtBench("rt_call", rtbench.SyncCall)
 	rtBench("rt_call_pooled", rtbench.SyncCallPooled)
 	rtBench("rt_call_deadline", rtbench.SyncCallDeadline)
+	rtBench("rt_call_deadline_short", rtbench.SyncCallDeadlineShort)
 	rtBench("rt_call_parallel", rtbench.SyncCallParallel)
 	rtBench("rt_call_parallel_pooled", rtbench.SyncCallParallelPooled)
 	rtBench("rt_central_parallel", rtbench.CentralParallel)

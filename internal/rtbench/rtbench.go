@@ -52,10 +52,12 @@ func SyncCall(b *testing.B) {
 
 // SyncCallDeadline is SyncCall with a (generous) per-call deadline
 // armed on every iteration: the warm held-CD path plus the deadline
-// machinery — ticket reuse, timer re-arm, executor handoff. The
-// rt_call → rt_call_deadline ratio is the full cost of making a sync
-// call cancellable, and the acceptance bar keeps it within 10% of the
-// plain call.
+// machinery — ticket reuse, one expiry store into the shard's timer
+// wheel, and the SPSC work-word handoff to the executor goroutine (no
+// timers, no channels on this path). The rt_call → rt_call_deadline
+// ratio is the full cost of making a sync call cancellable; at
+// GOMAXPROCS=1 it is floored by the two scheduler switches the
+// caller↔executor handoff requires (see EXPERIMENTS.md).
 //
 //ppc:coldpath -- benchmark harness; the measured path is rt.Client.CallDeadline
 func SyncCallDeadline(b *testing.B) {
@@ -70,6 +72,37 @@ func SyncCallDeadline(b *testing.B) {
 	c := sys.NewClient()
 	var args rt.Args
 	const deadline = time.Hour // never expires; measures the arming cost
+	if err := c.CallDeadline(svc.EP(), &args, deadline); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.CallDeadline(svc.EP(), &args, deadline); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SyncCallDeadlineShort is SyncCallDeadline with a deadline inside the
+// wheel's first revolution (a few ms): every arm files near the scan
+// cursor, so the watchdog tick visits and cascades the node while the
+// warm path re-arms it — the wheel's contended shape, vs the far-horizon
+// filing SyncCallDeadline measures. The calls still complete (the
+// handler is instant); the deadline never fires.
+//
+//ppc:coldpath -- benchmark harness; the measured path is rt.Client.CallDeadline
+func SyncCallDeadlineShort(b *testing.B) {
+	sys := rt.NewSystem()
+	defer sys.Close()
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "null", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		args[0]++
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.NewClient()
+	var args rt.Args
+	const deadline = 4 * time.Millisecond // inside one wheel revolution
 	if err := c.CallDeadline(svc.EP(), &args, deadline); err != nil {
 		b.Fatal(err)
 	}

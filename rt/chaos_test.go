@@ -3,6 +3,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -201,6 +202,53 @@ func TestChaosDelayedRingPublish(t *testing.T) {
 	svc := chaosBind(t, sys)
 	sys.InjectFault(FaultSiteRingPublish, FaultStallFirst(8, 2*time.Millisecond))
 	chaosStorm(t, sys, svc, 30*time.Millisecond)
+	chaosConverge(t, sys, svc, base)
+}
+
+// TestChaosDeadlineStorm: tiny deadlines and prompt ctx cancellations
+// race the wheel tick, orphaning, quarantine reclaim, and worker
+// supervision while the handler site stalls. The gate may trip on real
+// timeout evidence but must heal; no goroutine (executor, watchdog,
+// replacement worker) may leak through the storm.
+func TestChaosDeadlineStorm(t *testing.T) {
+	base := chaosBaseline()
+	sys := chaosSystem()
+	svc := chaosBind(t, sys)
+	sys.InjectFault(FaultSiteHandler, FaultStallFirst(32, 3*time.Millisecond))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := sys.NewClientOnShard(0)
+			defer c.Release()
+			var args Args
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if g%2 == 0 {
+					err = c.CallDeadline(svc.EP(), &args, time.Duration(50+i%200)*time.Microsecond)
+				} else {
+					ctx, cancel := context.WithTimeout(context.Background(), 200*time.Microsecond)
+					err = c.CallContext(ctx, svc.EP(), &args)
+					cancel()
+				}
+				if err != nil && !errors.Is(err, ErrDeadline) &&
+					!errors.Is(err, ErrServiceUnhealthy) && !errors.Is(err, ErrServerFault) {
+					t.Errorf("storm goroutine %d: unexpected %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 	chaosConverge(t, sys, svc, base)
 }
 

@@ -120,8 +120,9 @@ func (c *Client) Hold() {
 func (c *Client) Release() {
 	if c.dl != nil {
 		// Retire the idle deadline executor (the owning goroutine cannot
-		// be mid-call here; a Client is single-goroutine by contract).
-		close(c.dl.req)
+		// be mid-call here; a Client is single-goroutine by contract) and
+		// abandon its wheel node so the watchdog can unregister it.
+		c.dl.retire()
 		c.dl = nil
 	}
 	cd := c.held

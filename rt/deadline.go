@@ -3,6 +3,7 @@ package rt
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -15,31 +16,50 @@ import (
 // therefore routes execution through a per-client *executor*
 // goroutine: a single, lazily-created, reused goroutine that runs
 // handlers on the client's held descriptor while the caller waits on a
-// reusable ticket with a reusable timer. The warm path allocates
-// nothing — the ticket, its channel, the timer, and the executor all
-// persist on the Client.
+// reusable ticket. The warm path allocates nothing — the ticket, its
+// wake channel, the executor, and its wheel node all persist on the
+// Client.
 //
-// When the timer fires first the call is *orphaned*, and the safety
+// Timing uses the shard's timer wheel (wheel.go), not per-call timers:
+// arming a deadline is one store of an absolute expiry into the
+// client's wheel node, and the shard watchdog's tick scans due buckets
+// and performs the dlWaiting→dlOrphaned CAS on behalf of expired
+// callers. The caller itself parks only on the ticket.
+//
+// The ticket state word packs a per-executor generation with a phase
+// (gen<<2 | waiting/done/orphaned). The generation is what makes the
+// watchdog's asynchronous CAS safe: a wheel entry from call N that
+// fires while call N+1 is in flight fails its CAS (different gen), and
+// the arm path stores the deadline word *before* the state word while
+// expire re-validates the deadline *after* reading the state, so a
+// stale expiry can never orphan a fresh call.
+//
+// When the deadline fires first the call is *orphaned*, and the safety
 // question becomes: who owns the held descriptor, whose scratch buffer
 // the still-running handler may touch at any moment? The protocol:
 //
-//  1. The caller CASes the ticket waiting→orphaned. Winning the CAS
-//     makes the executor the descriptor's sole owner: the caller
-//     quarantines the CD (counted in ShardStats.QuarantinedCDs — it is
-//     no longer "held", and it must NOT be repooled while the handler
-//     runs), forgets both the descriptor and the executor, and returns
-//     ErrDeadline. The client transparently re-arms with a fresh
-//     descriptor and a fresh executor on its next call.
-//  2. Losing the CAS means the executor finished between the timer
-//     firing and the caller reacting; the caller takes the result
-//     normally — no orphan, no quarantine.
+//  1. The watchdog tick (expiry) or the caller (ctx cancellation) CASes
+//     the ticket waiting→orphaned. The *caller*, on observing the
+//     orphaned phase, quarantines the CD (counted in
+//     ShardStats.QuarantinedCDs — it is no longer "held", and it must
+//     NOT be repooled while the handler runs), abandons the wheel node,
+//     forgets both the descriptor and the executor, acknowledges the
+//     bookkeeping on the ticket (ack), and returns ErrDeadline. The
+//     client transparently re-arms with a fresh descriptor, executor,
+//     and wheel node on its next call.
+//  2. A caller-side CAS loss means the executor finished between the
+//     expiry firing and the caller reacting; the caller takes the
+//     result normally — no orphan, no quarantine.
 //  3. The executor, after the handler returns, CASes waiting→done. If
 //     IT loses, the call was orphaned while it ran: the executor is
 //     the one goroutine that has *observed handler return*, so it —
 //     and only it — reclaims the quarantined descriptor into the shard
 //     pool (unless the System closed meanwhile; then the descriptor is
 //     dropped, same epoch rule as Release) and exits, since the client
-//     has already replaced it.
+//     has already replaced it. It first waits for the caller's ack so
+//     the quarantine gauge moves up before the reclaim moves it down
+//     and a reclaimed descriptor never repools ahead of the caller's
+//     accounting.
 //
 // The in-flight accounting (admitted / completed) brackets the
 // *handler*, not the caller's wait: an orphaned handler still counts
@@ -47,31 +67,118 @@ import (
 // System.Close's epoch check keeps a late reclaim from repopulating a
 // drained pool.
 //
+// Health evidence: only a true expiry (cause == nil) is recorded as
+// timeout evidence — a caller that cancels via ctx is not a sick
+// service. A cancelled call that carried the half-open probe still
+// settles the gate (back to degraded) so the probe lease is never
+// leaked.
+//
 // Deadline semantics for asynchronous submissions are simpler — a
 // queued request has no goroutine to orphan. AsyncCallDeadline stamps
 // the request with an absolute expiry; a worker that dequeues it past
 // the expiry settles it (accounting, health evidence, notification)
-// without running the handler. See shard.expireAsync.
+// without running the handler. The dequeue check shares the wheel's
+// coarse clock, refreshed once per drained batch. See
+// shard.expireAsync.
 
-// Ticket states (dlTicket.state).
+// Ticket state word layout: gen<<dlGenShift | phase.
 const (
-	dlWaiting uint32 = iota
-	dlDone
-	dlOrphaned
+	dlPhaseWaiting uint64 = 1
+	dlPhaseDone    uint64 = 2
+	dlPhaseOrphaned uint64 = 3
+	dlPhaseMask    uint64 = 3
+	dlGenShift            = 2
+)
+
+// dlCancelled is dlWait's out-of-band return: the cancel channel fired
+// while the call was still in the waiting phase. It can never collide
+// with a real state word (phase bits 0 are idle-only).
+const dlCancelled = ^uint64(0)
+
+// Spin shaping for the caller wait and the executor idle loop. At
+// GOMAXPROCS == 1 busy-spinning is pure waste — the counterparty can
+// only run if we yield — so the per-round spin is zero and each round
+// is a Gosched; on multicore the spin phase resolves a short handler
+// without any scheduler transit.
+const (
+	dlSpinIters   = 64
+	dlYieldRounds = 128
+)
+
+// Executor work-word values.
+const (
+	dlWorkNone uint32 = iota
+	dlWorkReq
+	dlWorkExit
 )
 
 // dlTicket is the rendezvous between a deadline caller and its
-// executor. Reused across calls; the state CAS is the single
-// synchronization point that decides completion vs orphaning.
+// executor. Reused across calls; the generation-tagged state CAS is the
+// single synchronization point that decides completion vs orphaning.
 type dlTicket struct {
+	// state is gen<<2|phase; see the file comment for the protocol.
+	//
 	//ppc:atomic
-	state atomic.Uint32
-	done  chan struct{} // buffered(1); executor sends after winning dlDone
-	args  Args          // the handler's working copy of the caller's args
-	err   error         // written by the executor before the dlDone CAS
+	state atomic.Uint64
+	// parked is the caller's Dekker flag: wakers send a done token only
+	// when it is set, so the spin-resolved warm path never touches the
+	// channel.
+	//
+	//ppc:atomic
+	parked atomic.Int32
+	// ack carries the generation whose orphan bookkeeping the caller has
+	// completed; the executor's reclaim waits for it so quarantine
+	// accounting is ordered before the repool.
+	//
+	//ppc:atomic
+	ack  atomic.Uint64
+	done chan struct{} // buffered(1); a token means "re-check state"
+	args Args          // the handler's working copy of the caller's args
+	err  error         // written by the executor before the dlDone CAS
 }
 
-// dlReq is one unit of work handed to the executor.
+// wake delivers a (coalescing, non-blocking) token to a parked caller.
+// Called by whichever party wins the state CAS, after the CAS — the
+// caller re-validates the state on every wakeup, so a stale token from
+// a previous call is harmless (drained at the next arm, or treated as
+// spurious by the park loop).
+//
+//ppc:coldpath -- the caller is parked; the scheduler is already involved
+func (t *dlTicket) wake() {
+	if t.parked.Load() != 0 {
+		select {
+		case t.done <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// expire is the watchdog-side orphaning: CAS this ticket's current
+// waiting generation to orphaned, on behalf of a caller whose deadline
+// d has passed. The deadline re-validation AFTER the state read is what
+// defeats the stale-filing ABA: if the state word belongs to a newer
+// call, that call stored its (different) deadline before its state, so
+// the re-read cannot still see d.
+//
+//ppc:coldpath -- runs on the watchdog tick, only for an expired call
+func (t *dlTicket) expire(n *dlNode, d int64) {
+	s := t.state.Load()
+	if s&dlPhaseMask != dlPhaseWaiting {
+		return
+	}
+	if n.deadline.Load() != d {
+		return
+	}
+	if !t.state.CompareAndSwap(s, s&^dlPhaseMask|dlPhaseOrphaned) {
+		return
+	}
+	t.wake()
+}
+
+// dlReq is one unit of work handed to the executor. It lives inline in
+// dlExec: the caller writes the fields, then publishes them with the
+// work-word store; the executor copies them out after observing the
+// store. Strictly SPSC — the atomic work word orders every handoff.
 type dlReq struct {
 	sys      *System
 	svc      *Service
@@ -81,42 +188,90 @@ type dlReq struct {
 	prog     uint32
 	epoch    uint64 // close epoch at descriptor acquisition
 	probe    bool   // this call is the health gate's half-open probe
-	t        *dlTicket
+	gen      uint64 // the arming generation (tags the state CASes)
 }
 
 // dlExec is the per-client deadline executor: one goroutine, one
-// request channel, one reusable ticket and timer.
+// inline request slot, one reusable ticket, one wheel node. No
+// channels on the warm handoff — the work word plus a parked-gated
+// wake token replace the old request channel, and the wheel replaces
+// the per-call timer.
 type dlExec struct {
-	sh     *shard
-	req    chan dlReq
-	timer  *time.Timer
+	sh   *shard
+	node *dlNode
+	// work is the SPSC handoff word: dlWorkNone empty, dlWorkReq a
+	// published request (fields in req), dlWorkExit retire.
+	//
+	//ppc:atomic
+	work atomic.Uint32
+	// parked is the executor's Dekker flag for its wake channel.
+	//
+	//ppc:atomic
+	parked atomic.Int32
+	wake   chan struct{} // buffered(1) executor wakeup
+	req    dlReq         // caller-written, work-word-published
+	gen    uint64        // caller-private arm counter
+	spin   int32         // busy-spin iterations per round (0 at GOMAXPROCS=1)
 	ticket dlTicket
 }
 
 // armDeadlineExec lazily creates the client's executor (first
-// CallDeadline, or the first after an orphaning).
+// CallDeadline, or the first after an orphaning) and registers its
+// wheel node with the shard, which also ensures the watchdog ticker is
+// running to drive expiries.
 //
 //ppc:coldpath -- executor construction, once per client (plus once per orphaning)
 func (c *Client) armDeadlineExec() {
-	e := &dlExec{sh: c.shard, req: make(chan dlReq, 1)}
-	// go.mod declares go >= 1.23, so Stop/Reset flush the timer channel
-	// themselves; no manual drain is needed here or after Reset. The
-	// module MUST NOT be downgraded below 1.23: under the old timer
-	// semantics a completion racing the timer could leave a stale token
-	// in the reused channel and spuriously orphan the next call.
-	e.timer = time.NewTimer(time.Hour)
-	e.timer.Stop()
+	e := &dlExec{sh: c.shard}
+	e.wake = make(chan struct{}, 1)
 	e.ticket.done = make(chan struct{}, 1)
+	if runtime.GOMAXPROCS(0) > 1 {
+		e.spin = dlSpinIters
+	}
+	e.node = &dlNode{t: &e.ticket}
+	c.shard.wheel.registered.Add(1)
+	c.shard.ensureWatchdog(c.sys)
 	c.dl = e
 	go e.loop()
 }
 
-// loop runs handlers on behalf of deadline callers until the request
-// channel closes (Client.Release) or an orphaning retires this
-// executor.
+// loop runs handlers on behalf of deadline callers until retired
+// (Client.Release's exit sentinel) or orphaned.
 func (e *dlExec) loop() {
-	for req := range e.req {
-		t := req.t
+	spun := 0
+	for {
+		w := e.work.Load()
+		if w == dlWorkNone {
+			for i := int32(0); i < e.spin; i++ {
+				if e.work.Load() != dlWorkNone {
+					break
+				}
+			}
+			if w = e.work.Load(); w == dlWorkNone {
+				if spun < dlYieldRounds {
+					spun++
+					runtime.Gosched()
+					continue
+				}
+				// Park: advertise, re-check, block (Dekker handshake with
+				// the caller's publish). A stale token wakes us spuriously;
+				// the loop just re-checks.
+				e.parked.Store(1)
+				if e.work.Load() == dlWorkNone {
+					<-e.wake
+				}
+				e.parked.Store(0)
+				spun = 0
+				continue
+			}
+		}
+		spun = 0
+		e.work.Store(dlWorkNone)
+		if w == dlWorkExit {
+			return
+		}
+		req := e.req // copy out; the caller may rewrite req after this call resolves
+		t := &e.ticket
 		err := req.sys.dispatch(req.cd, req.svc, req.counters, req.h, &t.args, req.prog, false)
 		// Handler done: settle the in-flight accounting exactly as
 		// callHeld would — this covers orphaned calls too, which is what
@@ -124,27 +279,48 @@ func (e *dlExec) loop() {
 		req.counters.completed.Add(1)
 		req.svc.notifyQuiesce()
 		t.err = err
-		if t.state.CompareAndSwap(dlWaiting, dlDone) {
+		want := req.gen<<dlGenShift | dlPhaseWaiting
+		if t.state.CompareAndSwap(want, req.gen<<dlGenShift|dlPhaseDone) {
 			// Health evidence only for calls the caller actually saw
-			// complete; the caller records the timeout on the orphaned
-			// branch itself (recordTimeout, which also settles a probe).
+			// complete; the caller records timeout evidence on the
+			// orphaned branch itself.
 			if req.svc.health != nil {
 				req.svc.recordOutcome(req.counters, err)
 				if req.probe {
 					req.svc.settleProbe(req.counters, err)
 				}
 			}
-			t.done <- struct{}{}
+			t.wake()
 			continue
 		}
-		// Orphaned while running. This goroutine has observed handler
-		// return, so it owns the reclaim: the quarantined descriptor goes
-		// back to the pool iff the System has not closed since the
-		// descriptor was acquired (the Release epoch rule). The client
-		// re-armed long ago; retire quietly.
+		// Orphaned while running. Wait for the caller to finish the
+		// quarantine bookkeeping (it is awake and on its way — the CAS
+		// winner woke it), so the gauge increments before this reclaim
+		// decrements it and the descriptor never repools early. Then
+		// this goroutine — the one that observed handler return — owns
+		// the reclaim; the client re-armed long ago, so retire quietly.
+		for t.ack.Load() != req.gen {
+			runtime.Gosched()
+		}
 		e.sh.reclaimQuarantined(req.cd, req.sys.closeEpoch.Load() == req.epoch)
 		return
 	}
+}
+
+// retire asks an idle executor to exit (Client.Release; a Client is
+// single-goroutine by contract, so no call is in flight) and hands its
+// wheel node to the wheel for retirement.
+//
+//ppc:coldpath -- executor retirement, off every call path
+func (e *dlExec) retire() {
+	e.work.Store(dlWorkExit)
+	if e.parked.Load() != 0 {
+		select {
+		case e.wake <- struct{}{}:
+		default:
+		}
+	}
+	e.sh.wheel.abandon(e.node, e.sh.clock.read())
 }
 
 // reclaimQuarantined ends a descriptor's quarantine after its orphaned
@@ -162,17 +338,21 @@ func (sh *shard) reclaimQuarantined(cd *callDesc, repool bool) {
 // CallDeadline is Call with an upper bound on how long the caller
 // waits. The handler itself is never interrupted — Go cannot preempt a
 // running function safely — so an expired call is *orphaned*: the
-// caller returns ErrDeadline immediately while the handler runs to
-// completion on the executor goroutine, its descriptor quarantined
-// until it does. Results of an orphaned call are discarded; args are
-// copied in, so the orphan never scribbles on the caller's memory
-// after return.
+// caller returns ErrDeadline while the handler runs to completion on
+// the executor goroutine, its descriptor quarantined until it does.
+// Results of an orphaned call are discarded; args are copied in, so
+// the orphan never scribbles on the caller's memory after return.
+//
+// Expiry is detected by the shard's timer wheel on the watchdog tick:
+// a call is settled as expired at most ~2 ticks after d elapses and
+// never before (Options.DeadlineWheelGranularity sets the tick).
 //
 // A d <= 0 means no deadline: identical to Call (including running the
 // handler on the caller's goroutine).
 //
 // The warm path — executor armed, deadline met — performs zero heap
-// allocations: the ticket, channel, and timer are all reused.
+// allocations and arms no timer: the ticket, executor, and wheel node
+// are all reused, and arming is one store into the wheel node.
 func (c *Client) CallDeadline(ep EntryPointID, args *Args, d time.Duration) error {
 	if d <= 0 {
 		return c.Call(ep, args)
@@ -183,8 +363,15 @@ func (c *Client) CallDeadline(ep EntryPointID, args *Args, d time.Duration) erro
 // CallContext is Call honoring ctx's deadline and cancellation. A ctx
 // with neither is identical to Call. Expiry and cancellation both
 // orphan the in-flight handler exactly as CallDeadline does; the
-// returned error wraps ErrDeadline and ctx.Err().
+// returned error wraps ErrDeadline and ctx.Err(). An already-expired
+// or already-cancelled ctx fails before admission: the handler never
+// runs and no descriptor or executor is touched.
 func (c *Client) CallContext(ctx context.Context, ep EntryPointID, args *Args) error {
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival (cancelled, or deadline already past): reject
+		// before admission, with no side effects.
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
 	var d time.Duration
 	if t, ok := ctx.Deadline(); ok {
 		d = time.Until(t)
@@ -200,7 +387,7 @@ func (c *Client) CallContext(ctx context.Context, ep EntryPointID, args *Args) e
 }
 
 // callDeadline runs one bounded call through the executor. d == 0
-// means no timer (cancellation only); cancel may be nil.
+// means no expiry (cancellation only); cancel may be nil.
 func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, cancel <-chan struct{}, ctx context.Context) error {
 	if int(ep) >= MaxEntryPoints {
 		return ErrBadEntryPoint
@@ -246,75 +433,143 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 
 	exec := c.dl
 	t := &exec.ticket
-	t.state.Store(dlWaiting)
-	t.args = *args
-	exec.req <- dlReq{
-		sys: c.sys, svc: svc, h: e.h, counters: counters,
-		cd: cd, prog: c.program, epoch: c.heldEpoch, probe: probe, t: t,
-	}
-	var timerC <-chan time.Time
-	if d > 0 {
-		exec.timer.Reset(d)
-		timerC = exec.timer.C
-	}
+	// Drain a stale wake token a previous call's late waker may have
+	// left behind; a token only ever means "re-check the state word".
 	select {
 	case <-t.done:
-		stopDLTimer(exec.timer, d > 0)
+	default:
+	}
+	exec.gen++
+	gen := exec.gen
+	t.args = *args
+	t.state.Store(gen<<dlGenShift | dlPhaseWaiting)
+	if d > 0 {
+		// Arm the wheel BEFORE publishing the work so the bound covers
+		// the whole handoff. The expiry rounds up by one granularity
+		// from the coarse clock: staleness ≤ one tick, so the wheel
+		// never fires before d has elapsed, and at most ~2 ticks after.
+		now := sh.clock.read()
+		sh.wheel.arm(exec.node, now+int64(d)+sh.wheel.granularity, now)
+	}
+	exec.req = dlReq{
+		sys: c.sys, svc: svc, h: e.h, counters: counters,
+		cd: cd, prog: c.program, epoch: c.heldEpoch, probe: probe, gen: gen,
+	}
+	exec.work.Store(dlWorkReq)
+	if exec.parked.Load() != 0 {
+		select {
+		case exec.wake <- struct{}{}:
+		default:
+		}
+	}
+	s := c.dlWait(exec, t, gen, cancel)
+	switch {
+	case s == dlCancelled:
+		return c.cancelAttempt(sh, svc, counters, exec, t, gen, args, probe, ctx.Err())
+	case s&dlPhaseMask == dlPhaseDone:
+		if d > 0 {
+			// Disarm; the wheel unlinks the node lazily at its filed tick.
+			exec.node.deadline.Store(0)
+		}
 		*args = t.args
 		return t.err
-	case <-timerC:
-		// The timer fired and we drained its channel; no Stop needed.
-		return c.orphan(sh, svc, counters, t, args, nil)
-	case <-cancel:
-		stopDLTimer(exec.timer, d > 0)
-		return c.orphan(sh, svc, counters, t, args, ctx.Err())
+	default:
+		// Orphaned by the wheel: a true expiry.
+		return c.orphaned(sh, svc, counters, exec, t, gen, probe, nil)
 	}
 }
 
-// orphan resolves a deadline (or cancellation) that fired while the
-// handler ran. If the executor beat us to completion anyway, take the
-// result; otherwise quarantine the descriptor and abandon both it and
-// the executor to the protocol described at the top of this file.
-//
-//ppc:coldpath -- a deadline already expired; the call is failing
-func (c *Client) orphan(sh *shard, svc *Service, counters *shardCounters, t *dlTicket, args *Args, cause error) error {
-	if !t.state.CompareAndSwap(dlWaiting, dlOrphaned) {
-		// Lost to the executor: the call completed. The done token is
-		// already (or imminently) in the channel.
-		<-t.done
-		*args = t.args
-		return t.err
+// dlWait waits for the call's state word to leave gen|waiting:
+// adaptive spin (pure yields at GOMAXPROCS=1, busy-spin rounds on
+// multicore), then a parked wait on the ticket's wake token with the
+// Dekker handshake against the wakers. Returns the observed state, or
+// dlCancelled if the cancel channel fired first.
+func (c *Client) dlWait(e *dlExec, t *dlTicket, gen uint64, cancel <-chan struct{}) uint64 {
+	want := gen<<dlGenShift | dlPhaseWaiting
+	for r := 0; r < dlYieldRounds; r++ {
+		for i := int32(0); i <= e.spin; i++ {
+			if s := t.state.Load(); s != want {
+				return s
+			}
+		}
+		runtime.Gosched()
 	}
-	// Won: the handler is still running. Quarantine the descriptor —
-	// it leaves "held" accounting but must not reach the pool until the
-	// executor observes handler return.
+	for {
+		t.parked.Store(1)
+		if s := t.state.Load(); s != want {
+			t.parked.Store(0)
+			return s
+		}
+		if cancel == nil {
+			<-t.done
+		} else {
+			select {
+			case <-t.done:
+			case <-cancel:
+				t.parked.Store(0)
+				return dlCancelled
+			}
+		}
+		t.parked.Store(0)
+		if s := t.state.Load(); s != want {
+			return s
+		}
+		// Spurious token (a previous call's late waker); re-park.
+	}
+}
+
+// cancelAttempt resolves a ctx cancellation observed while waiting: try
+// to orphan; if the executor (or the wheel) resolved the call first,
+// honor that resolution instead.
+//
+//ppc:coldpath -- the caller is abandoning the call
+func (c *Client) cancelAttempt(sh *shard, svc *Service, counters *shardCounters, e *dlExec, t *dlTicket, gen uint64, args *Args, probe bool, cause error) error {
+	want := gen<<dlGenShift | dlPhaseWaiting
+	if !t.state.CompareAndSwap(want, gen<<dlGenShift|dlPhaseOrphaned) {
+		if s := t.state.Load(); s&dlPhaseMask == dlPhaseDone {
+			// Lost to the executor: the call completed.
+			e.node.deadline.Store(0)
+			*args = t.args
+			return t.err
+		}
+		// Lost to the wheel: expiry and cancellation raced; either
+		// resolution is correct, keep the cancellation cause.
+	}
+	return c.orphaned(sh, svc, counters, e, t, gen, probe, cause)
+}
+
+// orphaned performs the caller's side of an orphaning, whoever won the
+// CAS (the wheel on expiry, the caller on cancellation): quarantine
+// the descriptor, record health evidence (timeout evidence only for a
+// true expiry — a cancellation settles a carried probe without
+// degrading the gate), abandon the wheel node, replace the executor
+// lazily, and acknowledge the bookkeeping so the executor's reclaim
+// may proceed.
+//
+//ppc:coldpath -- a deadline already expired (or the ctx was cancelled); the call is failing
+func (c *Client) orphaned(sh *shard, svc *Service, counters *shardCounters, e *dlExec, t *dlTicket, gen uint64, probe bool, cause error) error {
+	// The descriptor leaves "held" accounting but must not reach the
+	// pool until the executor observes handler return.
 	sh.heldCDs.Add(-1)
 	sh.quarantinedCDs.Add(1)
 	sh.deadlineExpired.Add(1)
+	if svc.health != nil {
+		if cause == nil {
+			svc.recordTimeout(counters)
+		} else if probe {
+			// A cancelled probe is not evidence either way; settle the
+			// gate back to degraded so the probe lease is not leaked.
+			svc.settleProbe(counters, cause)
+		}
+	}
+	sh.wheel.abandon(e.node, sh.clock.read())
 	c.held = nil
 	c.dl = nil
-	if svc.health != nil {
-		svc.recordTimeout(counters)
-	}
+	t.ack.Store(gen)
 	if cause != nil {
 		return fmt.Errorf("%w: %w", ErrDeadline, cause)
 	}
 	return ErrDeadline
-}
-
-// stopDLTimer quiets a (possibly fired) reusable timer so the next
-// Reset starts clean. With the go >= 1.23 timer semantics this module
-// requires, Stop alone suffices: a token from a concurrent fire is
-// flushed by Stop (or by the next Reset), never left behind in the
-// reused channel — under the pre-1.23 semantics the token could be in
-// flight, missed by any non-blocking drain, and delivered to the NEXT
-// call's select, spuriously orphaning a healthy call.
-//
-//ppc:hotpath
-func stopDLTimer(t *time.Timer, armed bool) {
-	if armed {
-		t.Stop()
-	}
 }
 
 // AsyncCallDeadline is AsyncCall with a bound on queueing delay: if no

@@ -519,6 +519,15 @@ type Options struct {
 	// defaultMaxReplacements). Negative disables replacements while
 	// keeping stall detection.
 	MaxWorkerReplacements int
+	// DeadlineWheelGranularity is the tick width of the per-shard
+	// deadline timer wheel (default defaultWheelGranularity, floored
+	// at minWheelGranularity). Arming rounds the expiry up by one
+	// granularity, and expiry detection runs on the tick, so an
+	// expired CallDeadline is settled at most ~2 ticks after its
+	// deadline and never before the deadline has elapsed. Finer ticks
+	// tighten expiry latency at the cost of more frequent watchdog
+	// wakeups while any deadline-capable client exists.
+	DeadlineWheelGranularity time.Duration
 }
 
 // NewSystem creates a facility with one shard per GOMAXPROCS slot.

@@ -157,6 +157,15 @@ type shard struct {
 	replacementsSpawned   atomic.Int64
 	replacementsReclaimed atomic.Int64
 
+	// Deadline machinery (deadline.go / wheel.go). wheel is the shard's
+	// hashed timer wheel, ticked by the watchdog goroutine;
+	// wheelGranularity is its tick width; clock is the shared coarse
+	// clock the wheel tick, the submit slow paths, and the worker batch
+	// drain refresh (and the deadline arm path reads).
+	wheelGranularity time.Duration
+	clock            coarseClock
+	wheel            dlWheel
+
 	// Deadline / orphaning accounting (deadline.go). quarantinedCDs
 	// counts call descriptors pinned under a still-running orphaned
 	// handler; deadlineExpired counts calls settled by expiry (sync
@@ -409,7 +418,12 @@ func (sh *shard) wake(sys *System) {
 //ppc:coldpath -- overload handling: the ring is full, the caller is already paying
 func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, reqDeadline int64) error {
 	sh.spawnWorker(sys)
-	deadline := time.Now().Add(sh.submitWait)
+	// One real clock read per spin *epoch*, not per iteration, and each
+	// read feeds the shard's shared coarse clock (the same word the
+	// wheel tick and the batch drain use). The refresh — not a cached
+	// read — is what keeps close's wait on submitting live: a frozen
+	// clock could never observe the submit deadline passing.
+	deadline := sh.clock.refresh() + int64(sh.submitWait)
 	spun := 0
 	for {
 		if sh.ring.push(sys, svc, args, prog, done, reqDeadline) {
@@ -424,7 +438,7 @@ func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, 
 			spun++
 			continue
 		}
-		if time.Now().After(deadline) {
+		if sh.clock.refresh() > deadline {
 			sh.backpressure.Add(1)
 			return ErrBackpressure
 		}
@@ -442,7 +456,9 @@ func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, 
 func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program uint32, done chan<- struct{}, reqDeadline int64, accepted int) (int, error) {
 	sh.wake(sys) // the already-published head of the batch is runnable
 	sh.spawnWorker(sys)
-	deadline := time.Now().Add(sh.submitWait)
+	// Same coarse-clock discipline as submitSlow: one refresh per spin
+	// epoch, shared into the wheel's clock word.
+	deadline := sh.clock.refresh() + int64(sh.submitWait)
 	spun := 0
 	for i := range rest {
 		for !sh.ring.push(sys, svc, &rest[i], program, done, reqDeadline) {
@@ -453,7 +469,7 @@ func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program
 				spun++
 				continue
 			}
-			if time.Now().After(deadline) {
+			if sh.clock.refresh() > deadline {
 				sh.backpressure.Add(1)
 				return accepted, ErrBackpressure
 			}
@@ -529,8 +545,9 @@ func (sh *shard) workerLoop(sys *System) {
 				seq++
 				beat.state.Store(seq<<1 | 1)
 			}
+			now := sh.batchClock(batch[:n])
 			for i := 0; i < n; i++ {
-				sh.handleAsync(sys, cd, &batch[i])
+				sh.handleAsync(sys, cd, &batch[i], now)
 				batch[i].clearRefs()
 			}
 			if beat != nil {
@@ -589,20 +606,40 @@ func (sh *shard) drainRing(sys *System, cd *callDesc, batch []asyncReq) {
 			runtime.Gosched() // an in-flight publish; let it land
 			continue
 		}
+		now := sh.batchClock(batch[:n])
 		for i := 0; i < n; i++ {
-			sh.handleAsync(sys, cd, &batch[i])
+			sh.handleAsync(sys, cd, &batch[i], now)
 			batch[i].clearRefs()
 		}
 	}
 }
 
+// batchClock supplies the expiry clock for one drained batch: zero (no
+// clock read at all) when no request in the batch carries a deadline,
+// otherwise one real clock read — refreshed into the shard's shared
+// coarse clock, the same word the wheel tick maintains — amortized
+// over the whole batch instead of a time.Now() per request. Refreshing
+// (rather than reading the possibly-stale cache) is required for
+// correctness: the clock may have no other driver, and a queued
+// deadline must be judged against real time.
+func (sh *shard) batchClock(batch []asyncReq) int64 {
+	for i := range batch {
+		if batch[i].deadline != 0 {
+			return sh.clock.refresh()
+		}
+	}
+	return 0
+}
+
 // handleAsync runs one dequeued request and delivers its completion
-// notification. The delivery is non-blocking with a bounded fallback:
-// a ready (or buffered) channel costs one send, an unready one falls
-// to the cold half — an abandoned channel must never wedge the worker
-// (and with it every drain) forever.
-func (sh *shard) handleAsync(sys *System, cd *callDesc, req *asyncReq) {
-	if req.deadline != 0 && time.Now().UnixNano() > req.deadline {
+// notification. now is the batch's hoisted coarse clock (batchClock);
+// it is nonzero whenever any request in the batch is deadline-stamped.
+// The delivery is non-blocking with a bounded fallback: a ready (or
+// buffered) channel costs one send, an unready one falls to the cold
+// half — an abandoned channel must never wedge the worker (and with it
+// every drain) forever.
+func (sh *shard) handleAsync(sys *System, cd *callDesc, req *asyncReq, now int64) {
+	if req.deadline != 0 && now > req.deadline {
 		sh.expireAsync(req)
 	} else {
 		sys.serviceOneHeld(sh, cd, req.svc, &req.args, req.prog)

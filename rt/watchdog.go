@@ -18,13 +18,23 @@ import (
 // retire token makes exactly one surplus worker exit, converging the
 // pool back to its configured cap.
 //
+// The same goroutine also drives the shard's deadline timer wheel
+// (wheel.go): every tick refreshes the shard's coarse clock and scans
+// the wheel buckets that have come due, orphaning expired deadline
+// callers. While any wheel node is registered the tick period tightens
+// to the wheel granularity (so expiry latency is bounded by it) and the
+// loop keeps ticking even after shard close until the last node
+// retires — supervision and the ticker have separate lifecycles:
+// supervision runs only when a stall threshold is configured and the
+// shard is open; the ticker runs whenever either client needs it.
+//
 // Design rules carried over from the rest of the package:
 //
 //   - The warm path pays one plain store per *batch* (the heartbeat
 //     stamp), on a line only that worker writes and only the watchdog
 //     reads — no shared RMW, no lock.
 //   - The watchdog itself is pure cold path: it runs on its own
-//     goroutine, on a multi-millisecond tick, and takes qMu only to
+//     goroutine, on a millisecond-scale tick, and takes qMu only to
 //     spawn.
 //   - Replacements are bounded (maxReplacements) and accounted
 //     (ShardStats.ReplacementsSpawned / ReplacementsReclaimed), so a
@@ -94,6 +104,15 @@ func (sh *shard) configureWatchdog(o Options) {
 		}
 	}
 	sh.beats = make([]workerBeat, sh.maxWorkers+sh.maxReplacements)
+	sh.wheelGranularity = defaultWheelGranularity
+	if o.DeadlineWheelGranularity > 0 {
+		sh.wheelGranularity = o.DeadlineWheelGranularity
+		if sh.wheelGranularity < minWheelGranularity {
+			sh.wheelGranularity = minWheelGranularity
+		}
+	}
+	sh.wheel.configure(sh.wheelGranularity, &sh.clock)
+	sh.clock.refresh()
 }
 
 // claimBeat takes a free heartbeat slot for a starting worker. A nil
@@ -163,7 +182,9 @@ func (sh *shard) tryRetire() bool {
 // startWatchdog launches the shard's supervisor if configured and not
 // already running. Caller holds qMu (it is called from spawnWorker's
 // critical section, so supervision starts with the first worker and
-// never races close).
+// never races close). Supervision requires a positive stall threshold
+// and an open shard; the deadline wheel starts the same loop through
+// startTicker without either requirement.
 //
 //ppc:coldpath -- supervision startup, once per shard
 func (sh *shard) startWatchdog(sys *System) {
@@ -171,36 +192,111 @@ func (sh *shard) startWatchdog(sys *System) {
 		return
 	}
 	sh.watchdogOn = true
-	sh.wg.Add(1)
 	go sh.watchdogLoop(sys)
 }
 
-// watchdogLoop scans the shard's heartbeat slots on a coarse tick until
-// the shard closes. Pure cold path: it shares no line with the warm
-// call paths and its writes are all to supervision state.
+// startTicker launches the watchdog loop unconditionally — the wheel
+// needs ticks to fire deadlines even when supervision is disabled or
+// the shard has closed (synchronous calls, deadlines included, keep
+// working after Close). Caller holds qMu.
 //
-//ppc:coldpath -- supervision scan loop, off every call path
+//ppc:coldpath -- ticker startup, once per shard (plus after a post-close restart)
+func (sh *shard) startTicker(sys *System) {
+	if sh.watchdogOn {
+		return
+	}
+	sh.watchdogOn = true
+	go sh.watchdogLoop(sys)
+}
+
+// ensureWatchdog makes sure the tick loop is running (deadline arming
+// path) and freshens the coarse clock so the first arm's expiry
+// rounding starts from a current reading.
+//
+//ppc:coldpath -- executor construction path, once per client executor
+func (sh *shard) ensureWatchdog(sys *System) {
+	sh.qMu.Lock()
+	defer sh.qMu.Unlock()
+	sh.clock.refresh()
+	sh.startTicker(sys)
+}
+
+// watchdogLoop refreshes the coarse clock, ticks the deadline wheel,
+// and scans the shard's heartbeat slots. The tick period is the
+// supervision interval while the wheel is empty and tightens to the
+// wheel granularity while any deadline node is registered. Not joined
+// by close: after stop the loop sheds supervision and keeps ticking
+// the wheel until the last node retires, so armed deadlines still fire
+// during (and after) a drain. Pure cold path: it shares no line with
+// the warm call paths.
+//
+//ppc:coldpath -- supervision and wheel scan loop, off every call path
 func (sh *shard) watchdogLoop(sys *System) {
-	defer sh.wg.Done()
-	ticker := time.NewTicker(sh.watchdogInterval)
+	period := sh.tickPeriod()
+	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	// Per-slot scan memory, private to this goroutine: the last progress
-	// word seen and how many consecutive ticks it has been busy without
-	// changing. A worker is stuck once that run covers stallThreshold.
+	// word seen and how many consecutive supervision rounds it has been
+	// busy without changing. A worker is stuck once that run covers
+	// stallThreshold; supervision rounds run on the watchdogInterval
+	// cadence regardless of how tight the wheel tick is.
 	last := make([]uint64, len(sh.beats))
 	stuckTicks := make([]int, len(sh.beats))
 	stuckAfter := int(sh.stallThreshold / sh.watchdogInterval)
 	if stuckAfter < 1 {
 		stuckAfter = 1
 	}
+	stopCh := sh.stop
+	stopping := false
+	var lastSupervise int64
 	for {
 		select {
-		case <-sh.stop:
-			return
+		case <-stopCh:
+			stopping = true
+			stopCh = nil
 		case <-ticker.C:
 		}
-		sh.superviseTick(sys, last, stuckTicks, stuckAfter)
+		now := sh.clock.refresh()
+		if sh.wheel.registered.Load() > 0 {
+			sh.wheel.tick(sh, now)
+		}
+		if want := sh.tickPeriod(); want != period {
+			period = want
+			ticker.Reset(period)
+		}
+		if stopping {
+			// Drain mode: no supervision, tick the wheel until every node
+			// has retired. The exit handshake runs under qMu against
+			// ensureWatchdog: either this loop sees the new registration
+			// and stays, or it clears watchdogOn first and the arming
+			// client starts a fresh loop.
+			sh.qMu.Lock()
+			if sh.wheel.registered.Load() == 0 {
+				sh.watchdogOn = false
+				sh.qMu.Unlock()
+				return
+			}
+			sh.qMu.Unlock()
+			continue
+		}
+		if sh.stallThreshold > 0 && now-lastSupervise >= int64(sh.watchdogInterval) {
+			lastSupervise = now
+			sh.superviseTick(sys, last, stuckTicks, stuckAfter)
+		}
 	}
+}
+
+// tickPeriod picks the loop's tick: the wheel granularity while any
+// deadline node is registered (expiry latency is bounded by the tick),
+// the supervision interval otherwise (no reason to wake faster).
+//
+//ppc:coldpath -- watchdog-goroutine bookkeeping
+func (sh *shard) tickPeriod() time.Duration {
+	period := sh.watchdogInterval
+	if g := sh.wheelGranularity; sh.wheel.registered.Load() > 0 && g < period {
+		period = g
+	}
+	return period
 }
 
 // superviseTick is one supervision scan: count stuck workers,

@@ -1,0 +1,356 @@
+package rt
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// The per-shard deadline timer wheel.
+//
+// The pre-wheel deadline path paid for a time.Timer Reset/Stop pair and
+// a three-way select per call — two channel transits and ~124 ns of
+// runtime timer heap traffic to bound a 28 ns call. The wheel replaces
+// all of it with the paper's discipline: the warm path does only
+// shard-local stores, and coordination (expiry detection, orphaning,
+// node retirement) moves wholesale to the shard's watchdog tick.
+//
+// Arming a deadline is one store of an absolute-expiry word into the
+// client's wheel node plus, at most, one lock-free bucket push. The
+// watchdog goroutine ticks the wheel at the configured granularity
+// (Options.DeadlineWheelGranularity), scans the buckets that have come
+// due, and performs the dlWaiting→dlOrphaned CAS on behalf of expired
+// callers. The caller itself never touches a timer.
+//
+// Topology: a hashed wheel of wheelBuckets Treiber stacks, bucket index
+// = (expiry / granularity) mod wheelBuckets. One revolution covers
+// wheelBuckets×granularity; deadlines beyond the horizon are clamped to
+// the last bucket and *cascade* — each visit refiles a not-yet-due node
+// into the bucket its deadline now maps to.
+//
+// Ownership protocol (the part the race detector cares about):
+//
+//   - A node is *filed* (linked == true) when it sits in some bucket.
+//     Exactly one party transitions linked false→true (a CAS) and then
+//     owns the push; the scanner owns detached nodes after bucket.Swap.
+//   - The scanner unlinks a disarmed node (linked.Store(false)) and then
+//     RE-CHECKS deadline and dead: a re-arm or abandon that raced the
+//     unlink is resolved by re-claiming the insert CAS. A node is never
+//     lost while armed.
+//   - Retirement (abandon) is cooperative: the owner marks dead and, if
+//     the node is currently unlinked, refiles it; the wheel is the sole
+//     party that decrements registered, and a retired node keeps
+//     linked == true forever so a racing abandon can never refile it —
+//     registered is decremented exactly once per node.
+//
+// Timing contract: arming rounds the expiry UP by one granularity from
+// the shard's coarse clock, and the coarse clock is refreshed by every
+// wheel tick, so a deadline is settled at most ~2 ticks late and — as
+// long as the tick period stays ≤ granularity, which the watchdog
+// enforces while any node is registered — never before d has elapsed.
+
+const (
+	// wheelBuckets is the wheel size (power of two). One revolution at
+	// the default granularity covers 64 ms; longer deadlines cascade.
+	wheelBuckets = 64
+	// defaultWheelGranularity is the default tick width: expiry
+	// detection latency and arming rounding are both one tick.
+	defaultWheelGranularity = time.Millisecond
+	// minWheelGranularity floors Options.DeadlineWheelGranularity: a
+	// finer tick than this just burns the watchdog goroutine.
+	minWheelGranularity = 50 * time.Microsecond
+)
+
+// coarseClock is a shard-local cached unix-nano word: one goroutine
+// refreshes it with a real time.Now() read (the watchdog tick, the
+// submit slow path's spin epochs, the worker batch drain) and every
+// other path loads it for free. Padded so the refresh never dirties a
+// neighbour's line.
+type coarseClock struct {
+	//ppc:atomic
+	ns atomic.Int64
+	_  [56]byte
+}
+
+// read returns the cached clock. Staleness is bounded by the refresh
+// cadence of whoever is driving the clock (≤ one watchdog tick while
+// any deadline node is registered).
+//
+//ppc:hotpath
+func (c *coarseClock) read() int64 { return c.ns.Load() }
+
+// refresh reads the real clock and publishes it.
+//
+//ppc:coldpath -- one real clock read per tick / spin epoch / drained batch
+func (c *coarseClock) refresh() int64 {
+	n := time.Now().UnixNano()
+	c.ns.Store(n)
+	return n
+}
+
+// dlNode is a client executor's entry in the wheel: allocated once per
+// executor (cold, at armDeadlineExec) and reused across every call that
+// executor services. The caller writes deadline; the wheel moves the
+// node between buckets; linked/dead arbitrate who may do what.
+type dlNode struct {
+	// next is the bucket list linkage. Plain: it is written only by the
+	// node's current owner — the inserter before the head CAS publishes
+	// it, the scanner after bucket.Swap detaches it — and the atomic
+	// head operations order those ownership transfers.
+	next *dlNode
+	t    *dlTicket
+
+	// deadline is the armed absolute expiry (unix nanos); 0 = disarmed.
+	//
+	//ppc:atomic
+	deadline atomic.Int64
+	// linked is true while the node is filed in some bucket (or retired;
+	// see the ownership protocol above).
+	//
+	//ppc:atomic
+	linked atomic.Bool
+	// dead marks the node abandoned by its owner (orphaning or Release);
+	// the wheel retires it on its next visit.
+	//
+	//ppc:atomic
+	dead atomic.Bool
+	// filedTick is the wheel tick of the bucket currently holding the
+	// node — the arm path compares it against a new expiry to detect a
+	// node filed too late (see dlWheel.urgentAt).
+	//
+	//ppc:atomic
+	filedTick atomic.Int64
+}
+
+// dlWheel is one shard's hashed timer wheel. All mutation of bucket
+// lists happens through atomic head operations; the scan cursor
+// (lastTick) is private to the watchdog goroutine.
+type dlWheel struct {
+	// granularity is the tick width in nanos; immutable after configure.
+	granularity int64
+	// clock is the shard's coarse clock (set at configure). The arm path
+	// re-reads it after filing to detect a stale-clock filing that landed
+	// behind the scan cursor; see arm.
+	clock *coarseClock
+	// registered counts live (created, not yet retired) nodes. The
+	// watchdog ticks the wheel — and keeps running after shard close —
+	// only while this is nonzero.
+	//
+	//ppc:atomic
+	registered atomic.Int64
+	// urgentAt is the earliest expiry known to be filed in a bucket that
+	// is due *after* it (a re-arm of a still-linked node to a sooner
+	// deadline). The next tick full-sweeps and refiles everything, then
+	// resets it. math.MaxInt64 = none.
+	//
+	//ppc:atomic
+	urgentAt atomic.Int64
+	// lastTick is the scan cursor, private to the watchdog goroutine.
+	lastTick int64
+
+	buckets [wheelBuckets]atomic.Pointer[dlNode]
+}
+
+// configure sets the tick width (construction time, before any node
+// exists).
+//
+//ppc:coldpath -- construction-time configuration
+func (w *dlWheel) configure(gran time.Duration, clock *coarseClock) {
+	w.granularity = int64(gran)
+	w.clock = clock
+	w.urgentAt.Store(math.MaxInt64)
+}
+
+// arm publishes a deadline for n: one store of the absolute expiry,
+// plus — only if the node is not already filed — one bucket push. The
+// store-then-(re)file order is load-bearing: the wheel validates the
+// deadline word after reading the ticket state, so a stale filing can
+// never orphan the wrong call (see dlTicket.expire).
+//
+//ppc:hotpath
+func (w *dlWheel) arm(n *dlNode, expiry, now int64) {
+	n.deadline.Store(expiry)
+	if n.linked.Load() {
+		// Already filed (a previous call's bucket, not yet scanned). If
+		// that bucket comes due after the new expiry, flag the wheel to
+		// full-sweep; otherwise the scheduled visit refiles correctly.
+		if n.filedTick.Load() > expiry/w.granularity {
+			w.flagUrgent(expiry)
+		}
+		return
+	}
+	if n.linked.CompareAndSwap(false, true) {
+		tick := w.tickFor(expiry, now)
+		w.file(n, tick)
+		// Stale-clock filing check: `now` is the cached coarse clock, and
+		// between reading it and the push above this goroutine may have
+		// been descheduled across watchdog ticks — the scan cursor could
+		// already be at or past `tick`, leaving the node unvisited for a
+		// whole revolution. The clock is refreshed (seq-cst) before every
+		// scan, so a re-read here that is still behind tick proves the
+		// cursor is too; otherwise flag the wheel to full-sweep.
+		if w.clock.read()/w.granularity >= tick {
+			w.flagUrgent(expiry)
+		}
+		return
+	}
+	// Lost the insert to the scanner's unlink re-check, which refiled
+	// the node per the deadline it re-read. That read may have raced a
+	// coarser clock; the urgent flag makes the next tick self-correct.
+	if n.filedTick.Load() > expiry/w.granularity {
+		w.flagUrgent(expiry)
+	}
+}
+
+// tickFor maps an expiry to the wheel tick it should be filed under:
+// never a tick that has already been scanned, never past the horizon
+// (clamped entries cascade on each revolution).
+//
+//ppc:hotpath
+func (w *dlWheel) tickFor(expiry, now int64) int64 {
+	t := expiry / w.granularity
+	nt := now / w.granularity
+	if t <= nt {
+		t = nt + 1
+	}
+	if t > nt+wheelBuckets {
+		t = nt + wheelBuckets
+	}
+	return t
+}
+
+// file pushes a node (whose linked flag the caller just won) onto the
+// bucket for tick. Lock-free Treiber push; n.next is safely plain
+// because the inserter owns the node until the head CAS publishes it.
+//
+//ppc:hotpath
+func (w *dlWheel) file(n *dlNode, tick int64) {
+	n.filedTick.Store(tick)
+	b := &w.buckets[tick&(wheelBuckets-1)]
+	for {
+		head := b.Load()
+		n.next = head
+		if b.CompareAndSwap(head, n) {
+			return
+		}
+	}
+}
+
+// flagUrgent records that some node's armed expiry may be filed later
+// than it is due; the next tick full-sweeps. CAS-min keeps the earliest
+// such expiry.
+//
+//ppc:hotpath
+func (w *dlWheel) flagUrgent(expiry int64) {
+	for {
+		cur := w.urgentAt.Load()
+		if cur <= expiry || w.urgentAt.CompareAndSwap(cur, expiry) {
+			return
+		}
+	}
+}
+
+// tick is the watchdog's wheel scan: every bucket that has come due
+// since the previous tick is detached and its nodes visited. Runs on
+// the watchdog goroutine only.
+//
+//ppc:coldpath -- periodic scan on the watchdog goroutine, off every call path
+func (w *dlWheel) tick(sh *shard, now int64) {
+	nowTick := now / w.granularity
+	if now >= w.urgentAt.Load() {
+		// A sooner re-arm may be filed late; clear the flag first (a
+		// concurrent flag during the sweep re-triggers next tick), then
+		// sweep everything — refiling puts every node where it belongs.
+		w.urgentAt.Store(math.MaxInt64)
+		for i := range w.buckets {
+			w.scanBucket(sh, i, now)
+		}
+		w.lastTick = nowTick
+		return
+	}
+	from := w.lastTick + 1
+	if w.lastTick == 0 || nowTick-from >= wheelBuckets {
+		from = nowTick - wheelBuckets + 1
+	}
+	for t := from; t <= nowTick; t++ {
+		w.scanBucket(sh, int(t&(wheelBuckets-1)), now)
+	}
+	w.lastTick = nowTick
+}
+
+// scanBucket detaches one bucket's list and visits every node on it.
+//
+//ppc:coldpath -- wheel scan internals
+func (w *dlWheel) scanBucket(sh *shard, idx int, now int64) {
+	n := w.buckets[idx].Swap(nil)
+	for n != nil {
+		next := n.next // read before visit: a refile overwrites next
+		w.visit(sh, n, now)
+		n = next
+	}
+}
+
+// visit resolves one detached node: retire it if abandoned, cascade it
+// if armed for later, orphan its caller if expired, and unlink it if
+// disarmed — re-checking for a racing re-arm or abandon after the
+// unlink so no armed node is ever dropped from the wheel.
+//
+//ppc:coldpath -- wheel scan internals
+func (w *dlWheel) visit(sh *shard, n *dlNode, now int64) {
+	if n.dead.Load() {
+		// Retired. linked stays true forever: a racing abandon's insert
+		// CAS must fail, so registered is decremented exactly once.
+		w.registered.Add(-1)
+		return
+	}
+	d := n.deadline.Load()
+	if d != 0 && d > now {
+		// Armed for later: cascade into the bucket the deadline maps to
+		// now. The node stays linked; we own the push.
+		w.file(n, w.tickFor(d, now))
+		return
+	}
+	if d != 0 {
+		// Expired: perform the orphaning CAS on the parked caller's
+		// behalf, then clear the deadline word — CAS, not store, so a
+		// concurrent re-arm's fresh expiry survives.
+		n.t.expire(n, d)
+		n.deadline.CompareAndSwap(d, 0)
+	}
+	n.linked.Store(false)
+	// Unlink re-checks: an abandon or a re-arm may have raced the scan
+	// while we held the node detached.
+	if n.dead.Load() {
+		if n.linked.CompareAndSwap(false, true) {
+			// Claimed against a racing abandon: retire here (linked stays
+			// true, as in the entry branch).
+			w.registered.Add(-1)
+		}
+		// Else the abandon won the insert and refiled; the next visit
+		// retires it.
+		return
+	}
+	if d2 := n.deadline.Load(); d2 != 0 && n.linked.CompareAndSwap(false, true) {
+		w.file(n, w.tickFor(d2, now))
+	}
+}
+
+// abandon marks a node dead and guarantees the wheel will visit it to
+// retire it: if the node is currently unlinked, the owner refiles it as
+// a tombstone for the next tick. Called by the node's owner exactly
+// once (orphaning, or Client.Release).
+//
+//ppc:coldpath -- node retirement, once per orphaning or Release
+func (w *dlWheel) abandon(n *dlNode, now int64) {
+	n.dead.Store(true)
+	if n.linked.CompareAndSwap(false, true) {
+		tick := w.tickFor(now, now)
+		w.file(n, tick)
+		// Same stale-clock check as arm: a tombstone filed behind the
+		// cursor would delay its retirement (and a post-close watchdog
+		// exit) by a whole revolution.
+		if w.clock.read()/w.granularity >= tick {
+			w.flagUrgent(now)
+		}
+	}
+}

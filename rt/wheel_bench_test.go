@@ -1,0 +1,103 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Wheel-granularity tradeoff sweep (EXPERIMENTS.md): the tick width
+// buys expiry-settle latency with watchdog wakeups. The warm armed-call
+// cost should be flat across granularities — arming is one store plus,
+// rarely, a bucket push, regardless of tick — while the observed
+// lateness of an expired call tracks ~1–2 ticks.
+
+var wheelGranularities = []time.Duration{
+	250 * time.Microsecond,
+	time.Millisecond, // default
+	4 * time.Millisecond,
+}
+
+// BenchmarkWheelGranularityWarm: the never-expiring armed path per
+// granularity. The 5 ms deadline files within (or near) one revolution
+// at every swept tick, so the scan visits and cascades the node while
+// the caller re-arms it.
+func BenchmarkWheelGranularityWarm(b *testing.B) {
+	for _, g := range wheelGranularities {
+		b.Run(g.String(), func(b *testing.B) {
+			sys := NewSystemOptions(Options{Shards: 1, DeadlineWheelGranularity: g})
+			defer sys.Close()
+			svc, err := sys.Bind(ServiceConfig{Name: "null", Handler: func(ctx *Ctx, args *Args) {
+				args[0]++
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := sys.NewClientOnShard(0)
+			defer c.Release()
+			var args Args
+			const d = 5 * time.Millisecond
+			if err := c.CallDeadline(svc.EP(), &args, d); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.CallDeadline(svc.EP(), &args, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWheelGranularityExpiry: how late past d an expired call is
+// actually released, per granularity, reported as late-ns/op. The
+// handler outsleeps the deadline so every call orphans (and then
+// self-drains: the sleep is short).
+func BenchmarkWheelGranularityExpiry(b *testing.B) {
+	for _, g := range wheelGranularities {
+		b.Run(g.String(), func(b *testing.B) {
+			sys := NewSystemOptions(Options{Shards: 1, DeadlineWheelGranularity: g})
+			defer sys.Close()
+			// The sleep must outlast the worst-case settle at the coarsest
+			// swept tick (d + ~2×4ms) or the call completes instead.
+			svc, err := sys.Bind(ServiceConfig{Name: "slow", Handler: func(ctx *Ctx, args *Args) {
+				time.Sleep(20 * time.Millisecond)
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := sys.NewClientOnShard(0)
+			defer c.Release()
+			var args Args
+			const d = time.Millisecond
+			var late time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if err := c.CallDeadline(svc.EP(), &args, d); !errors.Is(err, ErrDeadline) {
+					b.Fatalf("err = %v, want ErrDeadline", err)
+				}
+				late += time.Since(start) - d
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(late.Nanoseconds())/float64(b.N), "late-ns/op")
+			// Let the orphans drain before Close tears the system down.
+			waitCondB(b, 5*time.Second, func() bool {
+				return sys.Stats()[0].QuarantinedCDs == 0
+			})
+		})
+	}
+}
+
+// waitCondB is waitCond for benchmarks.
+func waitCondB(b *testing.B, d time.Duration, cond func() bool) {
+	b.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			b.Fatal("condition never held")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
