@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint ppclint vet ci bench-smoke bench-json chaos
+.PHONY: build test race lint ppclint lint-selftest vet ci bench-smoke bench-json chaos
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# ppclint enforces the paper's hot-path invariants; see docs/INVARIANTS.md.
-ppclint:
+# ppclint's own unit and golden-fixture tests (the linter lints itself
+# before it lints the tree).
+lint-selftest:
 	cd tools/ppclint && $(GO) test ./...
+
+# ppclint enforces the paper's hot-path invariants; see docs/INVARIANTS.md.
+ppclint: lint-selftest
 	$(GO) run ./tools/ppclint ./...
 
 lint: vet ppclint

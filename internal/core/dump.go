@@ -11,6 +11,7 @@ import (
 // Host-side inspection only: it charges nothing.
 //
 //ppc:shard(cdPool)
+//ppc:shard(perProc)
 func (k *Kernel) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "kernel: %d processors, %d services bound (%d killed), %d workers created, %d CDs created\n",

@@ -280,6 +280,7 @@ func (k *Kernel) destroyService(p *machine.Processor, ep EntryPointID, hard bool
 }
 
 // exchangeService swaps handlers for an entry point.
+//
 //ppc:shard(localEntry)
 func (k *Kernel) exchangeService(ep EntryPointID, cfg *ServiceConfig) error {
 	svc := k.Service(ep)
@@ -385,6 +386,7 @@ func (k *Kernel) releaseWorker(target *machine.Processor, w *Worker) {
 // workers, releasing the excess — pools grow and shrink dynamically as
 // needed (paper §2), and extra stacks created during peak call activity
 // are easily reclaimed.
+//
 //ppc:shard(localEntry)
 func (k *Kernel) TrimWorkerPool(procID int, ep EntryPointID, keep int) int {
 	le := k.perProc[procID].entry(ep)
@@ -410,7 +412,9 @@ func (k *Kernel) TrimWorkerPool(procID int, ep EntryPointID, keep int) int {
 // (paper §2): growth happens inline via Frank; this is the shrink half,
 // run from the local processor (PPC resources may only be touched by
 // their owner). It returns how many workers and CDs were released.
+//
 //ppc:shard(cdPool)
+//ppc:shard(perProc)
 func (k *Kernel) ReclaimIdleResources(procID int) (workers, cds int) {
 	target := k.m.Proc(procID)
 	pp := k.perProc[procID]
@@ -454,6 +458,7 @@ func (k *Kernel) ReclaimIdleResources(procID int) (workers, cds int) {
 }
 
 // WorkerPoolSize reports the pooled (idle) workers for (procID, ep).
+//
 //ppc:shard(localEntry)
 func (k *Kernel) WorkerPoolSize(procID int, ep EntryPointID) int {
 	le := k.perProc[procID].entry(ep)
@@ -464,7 +469,9 @@ func (k *Kernel) WorkerPoolSize(procID int, ep EntryPointID) int {
 }
 
 // CDPoolSize reports the free call descriptors in (procID, trust group).
+//
 //ppc:shard(cdPool)
+//ppc:shard(perProc)
 func (k *Kernel) CDPoolSize(procID, group int) int {
 	pool, ok := k.perProc[procID].cdPools[group]
 	if !ok {

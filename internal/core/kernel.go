@@ -33,8 +33,10 @@ const initialCDsPerProc = 2
 // coherence traffic.
 type perProc struct {
 	svcTable machine.Addr // simulated 1024-entry replica (4 B/entry)
-	entries  [MaxEntryPoints]*localEntry
-	cdPools  map[int]*cdPool
+	//ppc:shard-owned
+	entries [MaxEntryPoints]*localEntry
+	//ppc:shard-owned
+	cdPools map[int]*cdPool
 
 	// Extended entry points (IDs >= MaxEntryPoints) live in a hashed
 	// overflow table (paper §4.5.5's future-work structure); lookups
@@ -202,6 +204,7 @@ func (k *Kernel) SetExceptionServer(ep EntryPointID) { k.exceptionEP = ep }
 //
 //ppc:shard(localEntry)
 //ppc:shard(cdPool)
+//ppc:shard(perProc)
 func NewKernel(m *machine.Machine) *Kernel {
 	layout := mem.NewLayout(m)
 	vm := addrspace.NewManager(layout)
@@ -543,6 +546,8 @@ func (k *Kernel) installLocalEntry(node int, svc *Service) *localEntry {
 // cdPoolFor returns processor node's CD pool for the trust group,
 // creating it on first use. The common case is one map read; creation
 // is delegated so the call path stays allocation-free.
+//
+//ppc:shard(perProc)
 func (k *Kernel) cdPoolFor(node, group int) *cdPool {
 	pp := k.perProc[node]
 	if pool, ok := pp.cdPools[group]; ok {
@@ -554,6 +559,7 @@ func (k *Kernel) cdPoolFor(node, group int) *cdPool {
 // newCDPool creates a trust group's CD pool on first use.
 //
 //ppc:coldpath -- first-use pool creation, once per (processor, trust group)
+//ppc:shard(perProc)
 func (k *Kernel) newCDPool(pp *perProc, node, group int) *cdPool {
 	pool := &cdPool{addr: k.layout.AllocAligned(node, cdPoolHeaderSize)}
 	pp.cdPools[group] = pool

@@ -60,7 +60,11 @@ type Binding struct {
 	binding machine.Addr // the binding object (read-mostly, cacheable)
 
 	// perProc/poolAddr, when non-nil, replace the shared list with
-	// per-processor exclusive pools (NewBindingPerProc).
+	// per-processor exclusive pools (NewBindingPerProc): pool i is
+	// touched only by calls running on processor i, the simulated
+	// analogue of rt's shard-confined descriptor pools.
+	//
+	//ppc:shard-owned
 	perProc  [][]*astack
 	poolAddr []machine.Addr
 
@@ -131,6 +135,8 @@ func (f *Facility) NewBinding(name string, node int, nStacks int, h Handler) *Bi
 // stacks, binding objects, the call sequence) is standard LRPC. The
 // difference between this and NewBinding measures exactly what
 // "resources exclusively accessed by a single processor" is worth.
+//
+//ppc:shard(Binding)
 func (f *Facility) NewBindingPerProc(name string, stacksPerProc int, h Handler) *Binding {
 	if h == nil {
 		panic("lrpc: nil handler")
@@ -226,6 +232,8 @@ func (f *Facility) call(c *core.Client, b *Binding, args *core.Args, p *machine.
 }
 
 // callOn is the kernel part, already in supervisor context on p.
+//
+//ppc:shard(Binding)
 func (f *Facility) callOn(p *machine.Processor, caller *proc.Process, b *Binding, args *core.Args) error {
 	if b.perProc != nil {
 		return f.callOnPerProc(p, caller, b, args)
@@ -292,6 +300,7 @@ func (f *Facility) callOn(p *machine.Processor, caller *proc.Process, b *Binding
 // are the comparator's point.)
 //
 //ppc:hotpath
+//ppc:shard(Binding)
 func (f *Facility) callOnPerProc(p *machine.Processor, caller *proc.Process, b *Binding, args *core.Args) error {
 	b.Calls++
 	id := p.ID()

@@ -32,15 +32,18 @@ func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	return false
 }
 
-func TestHotPathDocsCarryAnnotations(t *testing.T) {
-	fset := token.NewFileSet()
-	boundaryDirs := map[string]bool{}
-	type parsed struct {
-		path string
-		file *ast.File
-	}
-	var files []parsed
+type parsedFile struct {
+	path string
+	file *ast.File
+}
 
+// parseTree parses every non-test .go file in the repo (skipping
+// tools/ and testdata/) and returns the files plus the set of
+// directories whose package comment declares //ppc:boundary.
+func parseTree(t *testing.T, fset *token.FileSet) ([]parsedFile, map[string]bool) {
+	t.Helper()
+	boundaryDirs := map[string]bool{}
+	var files []parsedFile
 	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -62,12 +65,18 @@ func TestHotPathDocsCarryAnnotations(t *testing.T) {
 		if hasDirective(f.Doc, "//ppc:boundary") {
 			boundaryDirs[filepath.Dir(path)] = true
 		}
-		files = append(files, parsed{path: path, file: f})
+		files = append(files, parsedFile{path: path, file: f})
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	return files, boundaryDirs
+}
+
+func TestHotPathDocsCarryAnnotations(t *testing.T) {
+	fset := token.NewFileSet()
+	files, boundaryDirs := parseTree(t, fset)
 
 	for _, pf := range files {
 		if boundaryDirs[filepath.Dir(pf.path)] {
@@ -91,5 +100,176 @@ func TestHotPathDocsCarryAnnotations(t *testing.T) {
 	}
 	if len(boundaryDirs) == 0 {
 		t.Error("no //ppc:boundary package comments found; expected at least internal/machine")
+	}
+}
+
+// fieldDoc returns the comment group attached to a struct field —
+// preferring the doc block above it, falling back to the line comment.
+func fieldDoc(f *ast.Field) *ast.CommentGroup {
+	if f.Doc != nil {
+		return f.Doc
+	}
+	return f.Comment
+}
+
+// TestPaddedStructsCarryAnnotations guards the layout directives
+// against drift: a struct that pays for cache-line isolation with a
+// blank [N]byte pad field is making a layout claim, and must carry
+// //ppc:padded so ppclint's layout analyzer verifies the claim from
+// real field offsets instead of trusting hand-counted pads.
+func TestPaddedStructsCarryAnnotations(t *testing.T) {
+	fset := token.NewFileSet()
+	files, boundaryDirs := parseTree(t, fset)
+
+	isBytePad := func(f *ast.Field) bool {
+		if len(f.Names) != 1 || f.Names[0].Name != "_" {
+			return false
+		}
+		arr, ok := f.Type.(*ast.ArrayType)
+		if !ok || arr.Len == nil {
+			return false
+		}
+		id, ok := arr.Elt.(*ast.Ident)
+		return ok && id.Name == "byte"
+	}
+
+	for _, pf := range files {
+		if boundaryDirs[filepath.Dir(pf.path)] {
+			continue
+		}
+		for _, decl := range pf.file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				padded := false
+				for _, f := range st.Fields.List {
+					if isBytePad(f) {
+						padded = true
+						break
+					}
+				}
+				if !padded {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if hasDirective(doc, "//ppc:padded") {
+					continue
+				}
+				pos := fset.Position(ts.Pos())
+				t.Errorf("%s:%d: struct %s declares blank [N]byte padding but carries no //ppc:padded directive; annotate it so ppclint verifies the layout (see docs/INVARIANTS.md)",
+					pos.Filename, pos.Line, ts.Name.Name)
+			}
+		}
+	}
+}
+
+// TestPublishWordsCarryAnnotations guards the ordering directives: a
+// field whose doc comment calls it a "publish word" or a "release
+// edge" is claiming release/acquire pairing, and must carry
+// //ppc:publishes naming the payload so ppclint's ordering analyzer
+// checks every store and load of it.
+func TestPublishWordsCarryAnnotations(t *testing.T) {
+	fset := token.NewFileSet()
+	files, boundaryDirs := parseTree(t, fset)
+
+	for _, pf := range files {
+		if boundaryDirs[filepath.Dir(pf.path)] {
+			continue
+		}
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				doc := fieldDoc(f)
+				if doc == nil {
+					continue
+				}
+				lower := strings.ToLower(doc.Text())
+				if !strings.Contains(lower, "publish word") && !strings.Contains(lower, "release edge") {
+					continue
+				}
+				if hasDirective(doc, "//ppc:publishes") {
+					continue
+				}
+				pos := fset.Position(f.Pos())
+				name := "_"
+				if len(f.Names) > 0 {
+					name = f.Names[0].Name
+				}
+				t.Errorf("%s:%d: field %s's doc comment calls it a publish word but carries no //ppc:publishes directive; declare the payload so ppclint checks the release/acquire pairing (see docs/INVARIANTS.md)",
+					pos.Filename, pos.Line, name)
+			}
+			return true
+		})
+	}
+}
+
+// TestABALoopsCarryAnnotations guards the CAS-protocol directives: a
+// function whose doc comment discusses ABA and whose body contains a
+// CAS retry loop must carry //ppc:aba naming what defeats reuse, so
+// the protection claim is visible to ppclint's casloop analyzer
+// instead of living only in prose.
+func TestABALoopsCarryAnnotations(t *testing.T) {
+	fset := token.NewFileSet()
+	files, boundaryDirs := parseTree(t, fset)
+
+	hasCASLoop := func(fn *ast.FuncDecl) bool {
+		found := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || found {
+				return !found
+			}
+			ast.Inspect(loop.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+						strings.HasPrefix(sel.Sel.Name, "CompareAndSwap") {
+						found = true
+					}
+				}
+				return !found
+			})
+			return !found
+		})
+		return found
+	}
+
+	for _, pf := range files {
+		if boundaryDirs[filepath.Dir(pf.path)] {
+			continue
+		}
+		for _, decl := range pf.file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			if !strings.Contains(strings.ToLower(fn.Doc.Text()), "aba") {
+				continue
+			}
+			if !hasCASLoop(fn) {
+				continue
+			}
+			if hasDirective(fn.Doc, "//ppc:aba") {
+				continue
+			}
+			pos := fset.Position(fn.Pos())
+			t.Errorf("%s:%d: %s's doc comment discusses ABA and its body retries a CAS, but it carries no //ppc:aba directive; name the protecting mechanism so ppclint checks it (see docs/INVARIANTS.md)",
+				pos.Filename, pos.Line, fn.Name.Name)
+		}
 	}
 }

@@ -83,11 +83,11 @@ import (
 
 // Ticket state word layout: gen<<dlGenShift | phase.
 const (
-	dlPhaseWaiting uint64 = 1
-	dlPhaseDone    uint64 = 2
+	dlPhaseWaiting  uint64 = 1
+	dlPhaseDone     uint64 = 2
 	dlPhaseOrphaned uint64 = 3
-	dlPhaseMask    uint64 = 3
-	dlGenShift            = 2
+	dlPhaseMask     uint64 = 3
+	dlGenShift             = 2
 )
 
 // dlCancelled is dlWait's out-of-band return: the cancel channel fired
@@ -117,8 +117,14 @@ const (
 // single synchronization point that decides completion vs orphaning.
 type dlTicket struct {
 	// state is gen<<2|phase; see the file comment for the protocol.
+	// The gen|Done CAS is the release edge for the handler's results:
+	// the executor writes t.args (via dispatch) and t.err, then CASes,
+	// and the caller reads both only after loading a Done state. The
+	// orphan-side CASes (expire, cancelAttempt) and the arming store
+	// carry no payload and are //ppc:nopublish at the site.
 	//
 	//ppc:atomic
+	//ppc:publishes(args, err)
 	state atomic.Uint64
 	// parked is the caller's Dekker flag: wakers send a done token only
 	// when it is set, so the spin-resolved warm path never touches the
@@ -169,6 +175,7 @@ func (t *dlTicket) expire(n *dlNode, d int64) {
 	if n.deadline.Load() != d {
 		return
 	}
+	//ppc:nopublish -- orphan transition: carries no payload, the caller discards results
 	if !t.state.CompareAndSwap(s, s&^dlPhaseMask|dlPhaseOrphaned) {
 		return
 	}
@@ -200,9 +207,12 @@ type dlExec struct {
 	sh   *shard
 	node *dlNode
 	// work is the SPSC handoff word: dlWorkNone empty, dlWorkReq a
-	// published request (fields in req), dlWorkExit retire.
+	// published request (fields in req), dlWorkExit retire. The
+	// dlWorkReq store releases req; the consume-side reset and the
+	// retire sentinel carry no payload (//ppc:nopublish at the site).
 	//
 	//ppc:atomic
+	//ppc:publishes(req)
 	work atomic.Uint32
 	// parked is the executor's Dekker flag for its wake channel.
 	//
@@ -266,6 +276,7 @@ func (e *dlExec) loop() {
 			}
 		}
 		spun = 0
+		//ppc:nopublish -- consume-side reset: empties the slot, publishes nothing
 		e.work.Store(dlWorkNone)
 		if w == dlWorkExit {
 			return
@@ -313,6 +324,7 @@ func (e *dlExec) loop() {
 //
 //ppc:coldpath -- executor retirement, off every call path
 func (e *dlExec) retire() {
+	//ppc:nopublish -- exit sentinel: no request fields accompany it
 	e.work.Store(dlWorkExit)
 	if e.parked.Load() != 0 {
 		select {
@@ -442,6 +454,7 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 	exec.gen++
 	gen := exec.gen
 	t.args = *args
+	//ppc:nopublish -- arming store: opens the waiting phase, the Done CAS publishes the results
 	t.state.Store(gen<<dlGenShift | dlPhaseWaiting)
 	if d > 0 {
 		// Arm the wheel BEFORE publishing the work so the bound covers
@@ -525,6 +538,7 @@ func (c *Client) dlWait(e *dlExec, t *dlTicket, gen uint64, cancel <-chan struct
 //ppc:coldpath -- the caller is abandoning the call
 func (c *Client) cancelAttempt(sh *shard, svc *Service, counters *shardCounters, e *dlExec, t *dlTicket, gen uint64, args *Args, probe bool, cause error) error {
 	want := gen<<dlGenShift | dlPhaseWaiting
+	//ppc:nopublish -- orphan transition: the caller is abandoning the call, no payload
 	if !t.state.CompareAndSwap(want, gen<<dlGenShift|dlPhaseOrphaned) {
 		if s := t.state.Load(); s&dlPhaseMask == dlPhaseDone {
 			// Lost to the executor: the call completed.

@@ -1,0 +1,182 @@
+package rt
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// These tests pin the cache-line layout facts that the //ppc:padded /
+// //ppc:hotline annotations assert and ppclint's layout analyzer
+// verifies from go/types offsets. They repeat the check with the
+// compiler's own unsafe.Offsetof/Sizeof so that a field insertion that
+// silently re-shapes a hot struct fails plain `go test`, even in an
+// environment that never runs the lint.
+//
+// If one of these fails after an intentional layout change, fix the
+// struct's padding so the isolation invariant holds again (and run
+// `go run ./tools/ppclint ./rt/...` — it diagnoses which line is
+// shared); do not just update the numbers here.
+
+const lineBytes = 64
+
+// TestRingLayout pins the async ring: each cursor owns its own cache
+// line and the struct tiles whole lines so embedding it 64-aligned
+// (shard.ring) preserves the isolation.
+func TestRingLayout(t *testing.T) {
+	var r asyncRing
+	if s := unsafe.Sizeof(r); s%lineBytes != 0 {
+		t.Errorf("asyncRing size %d is not a multiple of %d", s, lineBytes)
+	}
+	enq, deq := unsafe.Offsetof(r.enq), unsafe.Offsetof(r.deq)
+	if enq%lineBytes != 0 {
+		t.Errorf("enq at offset %d is not line-aligned", enq)
+	}
+	if deq%lineBytes != 0 {
+		t.Errorf("deq at offset %d is not line-aligned", deq)
+	}
+	if enq/lineBytes == deq/lineBytes {
+		t.Errorf("enq (offset %d) and deq (offset %d) share a cache line", enq, deq)
+	}
+
+	// The slot's publish word leads the slot: the producer's seq store
+	// and the consumer's seq load hit the same line as the request they
+	// order, which is the point — one line per handoff.
+	var sl ringSlot
+	if off := unsafe.Offsetof(sl.seq); off != 0 {
+		t.Errorf("ringSlot.seq at offset %d, want 0", off)
+	}
+	if unsafe.Offsetof(sl.req) <= unsafe.Offsetof(sl.seq) {
+		t.Error("ringSlot.req does not follow seq")
+	}
+}
+
+// TestCountersLayout pins the shardCounters striping: submission,
+// completion, health evidence, and gate state each own a line, and the
+// struct tiles 64 bytes because Service.perShard is a []shardCounters.
+//
+// The completion offset is the regression this file exists for: before
+// the layout analyzer, `completed` sat at offset 56 — on the line every
+// admitting caller writes — so each async completion invalidated the
+// submitters' counter line.
+func TestCountersLayout(t *testing.T) {
+	var c shardCounters
+	if s := unsafe.Sizeof(c); s%lineBytes != 0 {
+		t.Errorf("shardCounters size %d is not a multiple of %d", s, lineBytes)
+	}
+	lineOf := func(off uintptr) uintptr { return off / lineBytes }
+	submit := lineOf(unsafe.Offsetof(c.calls))
+	for name, off := range map[string]uintptr{
+		"asyncAdm": unsafe.Offsetof(c.asyncAdm),
+		"admitted": unsafe.Offsetof(c.admitted),
+		"authFail": unsafe.Offsetof(c.authFail),
+		"backouts": unsafe.Offsetof(c.backouts),
+		"inited":   unsafe.Offsetof(c.inited),
+	} {
+		if lineOf(off) != submit {
+			t.Errorf("%s (offset %d) left the submission line", name, off)
+		}
+	}
+	completed := lineOf(unsafe.Offsetof(c.completed))
+	evidence := lineOf(unsafe.Offsetof(c.consecFaults))
+	gate := lineOf(unsafe.Offsetof(c.healthState))
+	if completed == submit {
+		t.Errorf("completed (offset %d) shares the submission line", unsafe.Offsetof(c.completed))
+	}
+	if evidence == completed || evidence == submit {
+		t.Errorf("consecFaults (offset %d) shares a line with another stripe", unsafe.Offsetof(c.consecFaults))
+	}
+	if lineOf(unsafe.Offsetof(c.consecTimeouts)) != evidence {
+		t.Error("consecTimeouts left the evidence line")
+	}
+	if gate == evidence || gate == completed || gate == submit {
+		t.Errorf("healthState (offset %d) shares a line with another stripe", unsafe.Offsetof(c.healthState))
+	}
+	for name, off := range map[string]uintptr{
+		"reopenAt":       unsafe.Offsetof(c.reopenAt),
+		"healthTrips":    unsafe.Offsetof(c.healthTrips),
+		"healthRecovers": unsafe.Offsetof(c.healthRecovers),
+		"shedCalls":      unsafe.Offsetof(c.shedCalls),
+	} {
+		if lineOf(off) != gate {
+			t.Errorf("%s (offset %d) left the gate line", name, off)
+		}
+	}
+}
+
+// TestWheelLayout pins the deadline machinery's shared-clock line and
+// the wheel node's shape.
+func TestWheelLayout(t *testing.T) {
+	var cl coarseClock
+	if s := unsafe.Sizeof(cl); s != lineBytes {
+		t.Errorf("coarseClock size %d, want exactly one line", s)
+	}
+	if off := unsafe.Offsetof(cl.ns); off != 0 {
+		t.Errorf("coarseClock.ns at offset %d, want 0", off)
+	}
+
+	// dlNode is deliberately unpadded (one node per executor, reached
+	// via pointers), but the wheel's bucket-walk reads next/deadline
+	// together; pin the field order so an insertion that splits them
+	// across lines is a conscious decision.
+	var n dlNode
+	if off := unsafe.Offsetof(n.next); off != 0 {
+		t.Errorf("dlNode.next at offset %d, want 0", off)
+	}
+	if unsafe.Sizeof(n) > lineBytes {
+		t.Errorf("dlNode size %d no longer fits one cache line", unsafe.Sizeof(n))
+	}
+}
+
+// TestBeatLayout pins the heartbeat tiling: shard.beats is a
+// []workerBeat, so each beat must occupy exactly one line or
+// neighbouring workers false-share their heartbeat stores.
+func TestBeatLayout(t *testing.T) {
+	var b workerBeat
+	if s := unsafe.Sizeof(b); s != lineBytes {
+		t.Errorf("workerBeat size %d, want exactly one line", s)
+	}
+}
+
+// TestShardLayout pins the shard's hot-field isolation: the pool head,
+// the wake pair, and the submit gate each own a line; the embedded
+// padded structs (ring, clock) start line-aligned so their internal
+// isolation is not sheared; and the whole shard tiles 64 bytes because
+// System.shards is a []shard.
+func TestShardLayout(t *testing.T) {
+	var s shard
+	if sz := unsafe.Sizeof(s); sz%lineBytes != 0 {
+		t.Errorf("shard size %d is not a multiple of %d", sz, lineBytes)
+	}
+	lineOf := func(off uintptr) uintptr { return off / lineBytes }
+	free := unsafe.Offsetof(s.free)
+	if free%lineBytes != 0 {
+		t.Errorf("free at offset %d is not line-aligned", free)
+	}
+	if lineOf(unsafe.Offsetof(s.tab)) == lineOf(free) {
+		t.Error("free shares its line with the service-table header again")
+	}
+	if off := unsafe.Offsetof(s.ring); off%lineBytes != 0 {
+		t.Errorf("ring at offset %d shears its internal cursor isolation", off)
+	}
+	if off := unsafe.Offsetof(s.clock); off%lineBytes != 0 {
+		t.Errorf("clock at offset %d shears its internal padding", off)
+	}
+	wake := lineOf(unsafe.Offsetof(s.doorbell))
+	if lineOf(unsafe.Offsetof(s.parked)) != wake {
+		t.Error("doorbell and parked no longer share the wake line")
+	}
+	submitting := lineOf(unsafe.Offsetof(s.submitting))
+	for name, off := range map[string]uintptr{
+		"free":  free,
+		"ring":  unsafe.Offsetof(s.ring),
+		"stop":  unsafe.Offsetof(s.stop),
+		"clock": unsafe.Offsetof(s.clock),
+	} {
+		if lineOf(off) == submitting || lineOf(off) == wake {
+			t.Errorf("%s (offset %d) shares a line with a hot field", name, off)
+		}
+	}
+	if submitting == wake {
+		t.Error("submitting shares the wake line")
+	}
+}

@@ -25,25 +25,38 @@ import "sync/atomic"
 // reordered past a slow producer.
 //
 // The cursors live on their own cache lines so producers (hitting enq)
-// and consumers (hitting deq) do not false-share.
+// and consumers (hitting deq) do not false-share. The layout is
+// machine-checked: //ppc:padded makes ppclint verify, from go/types
+// offsets, that each //ppc:hotline cursor owns its 64-byte line and
+// that the struct tiles cache lines exactly when embedded 64-aligned.
+//
+//ppc:padded
 type asyncRing struct {
 	mask  uint64
 	slots []ringSlot
+	_     [32]byte // fill line 0: cursors start on their own lines
 
-	_ [64]byte // keep the cursors off the slots' lines
 	//ppc:atomic
+	//ppc:hotline
 	enq atomic.Uint64
-	_   [64]byte
+	_   [56]byte
 	//ppc:atomic
+	//ppc:hotline
 	deq atomic.Uint64
-	_   [64]byte
+	_   [56]byte
 }
 
 // ringSlot is one sequence-numbered cell. The request is stored in
 // place — submission writes it once and the draining worker reads it
 // once, with the seq store/load pair ordering the two.
 type ringSlot struct {
+	// seq is the slot's publish word: a store of pos+1 releases the
+	// request the producer just wrote in place, and the recycle store
+	// (pos+size) releases the cleared slot back to the producers.
+	// ppclint's ordering analyzer checks both edges.
+	//
 	//ppc:atomic
+	//ppc:publishes(req)
 	seq atomic.Uint64
 	req asyncReq
 }
@@ -63,6 +76,7 @@ func (r *asyncRing) init(capacity int) {
 	r.slots = make([]ringSlot, size)
 	r.mask = uint64(size - 1)
 	for i := range r.slots {
+		//ppc:nopublish -- construction: no consumer exists yet and the slot carries no request
 		r.slots[i].seq.Store(uint64(i))
 	}
 	r.enq.Store(0)

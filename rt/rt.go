@@ -264,18 +264,36 @@ type Service struct {
 // single counter RMW. A rejected or backed-out submission decrements
 // it again; at any quiescent point asyncAdm equals the number of
 // requests ever accepted.
+//
+// The striping is machine-checked: //ppc:padded tells ppclint's layout
+// analyzer to verify from real field offsets that each //ppc:hotline
+// group owns its cache line(s) — a field insertion that silently
+// pushes the completion counter back onto the submission line (which
+// is exactly how this struct was laid out before the check existed)
+// now fails the lint and the layout regression test.
+//
+//ppc:padded
 type shardCounters struct {
 	// Submission side: written by the admitting caller.
-	calls    atomic.Int64
+	//
+	//ppc:hotline(submit)
+	calls atomic.Int64
+	//ppc:hotline(submit)
 	asyncAdm atomic.Int64
+	//ppc:hotline(submit)
 	admitted atomic.Int64 // synchronous admissions
+	//ppc:hotline(submit)
 	authFail atomic.Int64
+	//ppc:hotline(submit)
 	backouts atomic.Int64
-	inited   atomic.Bool
-	_        [15]byte // pad to a cache line with the fields above
+	//ppc:hotline(submit)
+	inited atomic.Bool
+	_      [20]byte // pad the submission line; completion starts at 64
 
 	// Completion side: written by whichever goroutine finishes the
 	// call — for async requests, an async worker on another processor.
+	//
+	//ppc:hotline
 	completed atomic.Int64
 	_         [56]byte // keep the completion counter on its own line
 
@@ -291,8 +309,10 @@ type shardCounters struct {
 	// exact.
 	//
 	//ppc:atomic
+	//ppc:hotline(evidence)
 	consecFaults atomic.Int32
 	//ppc:atomic
+	//ppc:hotline(evidence)
 	consecTimeouts atomic.Int32
 	_              [56]byte // keep completer-written health counters off the gate-state line
 
@@ -301,13 +321,18 @@ type shardCounters struct {
 	// line.
 	//
 	//ppc:atomic
+	//ppc:hotline(gate)
 	healthState atomic.Int32
 	//ppc:atomic
-	reopenAt       atomic.Int64 // unix nanos after which a half-open probe may run
-	healthTrips    atomic.Int64
+	//ppc:hotline(gate)
+	reopenAt atomic.Int64 // unix nanos after which a half-open probe may run
+	//ppc:hotline(gate)
+	healthTrips atomic.Int64
+	//ppc:hotline(gate)
 	healthRecovers atomic.Int64
-	shedCalls      atomic.Int64
-	_              [24]byte
+	//ppc:hotline(gate)
+	shedCalls atomic.Int64
+	_         [24]byte // tile to 4 lines: perShard is a []shardCounters
 }
 
 // inFlight reads this shard's admitted-but-not-finished count. A

@@ -79,7 +79,12 @@ type epEntry struct {
 
 // shard is the per-"processor" state: a lock-free free list of call
 // descriptors, a replica of the service table, and the async worker
-// machinery. Padding keeps shards on distinct cache lines.
+// machinery. Padding keeps shards on distinct cache lines, and —
+// since System.shards is a []shard — the //ppc:padded annotation has
+// ppclint verify the internal line assignments AND that the struct
+// size tiles 64 bytes, so neighbouring shards never shear.
+//
+//ppc:padded
 type shard struct {
 	id int
 
@@ -92,27 +97,34 @@ type shard struct {
 	//ppc:shard-owned
 	tab []atomic.Pointer[epEntry]
 
-	// free is a Treiber stack of call descriptors. With callers bound
-	// to their own shards the CAS never contends; it exists so that
-	// *correctness* does not depend on the binding discipline, only
-	// performance — and Go's GC makes the ABA problem moot (nodes are
-	// never unsafely reused).
-	//
-	//ppc:shard-owned
-	//ppc:atomic
-	free atomic.Pointer[callDesc]
-
 	// cdsCreated counts descriptor allocations (pool growth).
 	cdsCreated atomic.Int64
 	// heldCDs counts descriptors currently pinned by clients in held-CD
 	// mode (Client.Hold / the first Call); they are outside the free
 	// pool until Release.
 	heldCDs atomic.Int64
+	_       [16]byte // fill line 0: the pool head starts on its own line
+
+	// free is a Treiber stack of call descriptors. With callers bound
+	// to their own shards the CAS never contends; it exists so that
+	// *correctness* does not depend on the binding discipline, only
+	// performance — and Go's GC makes the ABA problem moot (nodes are
+	// never unsafely reused). Isolated on its own line: async workers
+	// pop/push descriptors from other cores, and before this padding
+	// their CAS invalidated the line holding the service-table header
+	// that every submit reads.
+	//
+	//ppc:shard-owned
+	//ppc:atomic
+	//ppc:hotline
+	free atomic.Pointer[callDesc]
+	_    [56]byte
 
 	// ring feeds the shard's dynamically-created async workers (§4.4:
 	// asynchronous requests detach the caller; §2: workers are created
 	// as needed). Submission is a ticket CAS plus an in-place slot
-	// write — no channel lock, no scheduler round trip.
+	// write — no channel lock, no scheduler round trip. 64-aligned so
+	// the ring's internal cursor isolation is not sheared.
 	//
 	//ppc:shard-owned
 	ring asyncRing
@@ -121,16 +133,42 @@ type shard struct {
 	// parked is nonzero, so the steady-state pipeline never touches it;
 	// the buffer of one coalesces rings (a pending token means a wakeup
 	// is already owed).
+	//
+	//ppc:hotline(wake)
 	doorbell chan struct{}
 	// parked counts workers blocked on the doorbell. A worker
 	// increments it, re-checks the ring (the Dekker handshake against
-	// a concurrent publish), and only then blocks. The padding keeps
-	// these worker-side transitions off the line submitters RMW on
-	// every submit (submitting, below).
+	// a concurrent publish), and only then blocks. The wake pair shares
+	// one line by design (same transition touches both); the padding
+	// keeps these worker-side transitions off the line submitters RMW
+	// on every submit (submitting, below).
 	//
 	//ppc:atomic
+	//ppc:hotline(wake)
 	parked atomic.Int64
-	_      [56]byte
+	_      [48]byte
+
+	// submitting counts submissions between their closed-check and the
+	// completion of their enqueue (or rejection). close waits for it to
+	// reach zero so the ring contents are final before the drain. Every
+	// submitter RMWs it, so it owns its line.
+	//
+	//ppc:atomic
+	//ppc:hotline
+	submitting atomic.Int64
+	_          [56]byte
+
+	// clock is the shared coarse clock the wheel tick, the submit slow
+	// paths, and the worker batch drain refresh (and the deadline arm
+	// path reads). Padded internally; placed on the line boundary the
+	// submitting pad establishes, so that padding holds.
+	clock coarseClock
+
+	// wheel is the shard's hashed timer wheel, ticked by the watchdog
+	// goroutine. Everything below it is control-plane state with no
+	// line requirements; the whole struct tiles to 1280 bytes — twenty
+	// cache lines exactly, no tail pad — so System.shards never shears.
+	wheel dlWheel
 
 	// stop, once closed, tells workers to drain the ring and exit.
 	stop chan struct{}
@@ -157,14 +195,9 @@ type shard struct {
 	replacementsSpawned   atomic.Int64
 	replacementsReclaimed atomic.Int64
 
-	// Deadline machinery (deadline.go / wheel.go). wheel is the shard's
-	// hashed timer wheel, ticked by the watchdog goroutine;
-	// wheelGranularity is its tick width; clock is the shared coarse
-	// clock the wheel tick, the submit slow paths, and the worker batch
-	// drain refresh (and the deadline arm path reads).
+	// wheelGranularity is the shard's timer-wheel tick width
+	// (deadline.go / wheel.go).
 	wheelGranularity time.Duration
-	clock            coarseClock
-	wheel            dlWheel
 
 	// Deadline / orphaning accounting (deadline.go). quarantinedCDs
 	// counts call descriptors pinned under a still-running orphaned
@@ -172,13 +205,6 @@ type shard struct {
 	// orphans and async drops alike).
 	quarantinedCDs  atomic.Int64
 	deadlineExpired atomic.Int64
-
-	// submitting counts submissions between their closed-check and the
-	// completion of their enqueue (or rejection). close waits for it to
-	// reach zero so the ring contents are final before the drain.
-	//
-	//ppc:atomic
-	submitting atomic.Int64
 
 	// Lifecycle observability (see ShardStats).
 	backpressure atomic.Int64
@@ -189,8 +215,6 @@ type shard struct {
 	closed atomic.Bool
 	qMu    sync.Mutex // guards worker spawn vs close — never on the submit fast path
 	wg     sync.WaitGroup
-
-	_ [64]byte // pad shards apart
 }
 
 type asyncReq struct {
@@ -275,7 +299,11 @@ func (sh *shard) releaseCD(cd *callDesc, repool bool) {
 
 // popCD takes a descriptor from the shard pool, or allocates one. The
 // warm path is one CAS; descriptor creation and scratch growth are the
-// cold halves.
+// cold halves. The pop reads top.next through the head witness — the
+// classic Treiber ABA shape — which is safe here only because Go's GC
+// cannot recycle top's address while this goroutine holds the pointer.
+//
+//ppc:aba(gc) -- garbage collection rules out address reuse while top is reachable
 func (sh *shard) popCD(scratchBytes int) *callDesc {
 	for {
 		top := sh.free.Load()

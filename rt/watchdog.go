@@ -63,24 +63,34 @@ const (
 // batch costs ~20 ns at batch size 1, which is real money on a ~110 ns
 // async path. The watchdog supplies the clock instead — it counts its
 // own ticks while a busy worker's progress word stays unchanged.
+//
+// One worker owns the whole line (the fields share the beat group by
+// design — a single writer), and shard.beats is a []workerBeat, so the
+// layout analyzer also checks the 64-byte tiling that keeps neighbour
+// beats from false-sharing.
+//
+//ppc:padded
 type workerBeat struct {
 	// state packs the worker's batch sequence number (bits 63..1) with a
 	// busy bit (bit 0): the worker stores seq<<1|1 entering a batch and
 	// seq<<1 leaving it. 0 means idle/parked.
 	//
 	//ppc:atomic
+	//ppc:hotline(beat)
 	state atomic.Uint64
 	// inUse marks the slot claimed by a live worker.
 	//
 	//ppc:atomic
+	//ppc:hotline(beat)
 	inUse atomic.Bool
 	// compensated marks that the watchdog has spawned a replacement for
 	// this (stuck) worker. The worker clears it on batch exit and turns
 	// the revoked grant into a retire token.
 	//
 	//ppc:atomic
+	//ppc:hotline(beat)
 	compensated atomic.Bool
-	_           [54]byte
+	_           [48]byte // tile to one line (shard.beats is a []workerBeat)
 }
 
 // configureWatchdog applies Options' supervision knobs (called from

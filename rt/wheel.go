@@ -65,9 +65,13 @@ const (
 // refreshes it with a real time.Now() read (the watchdog tick, the
 // submit slow path's spin epochs, the worker batch drain) and every
 // other path loads it for free. Padded so the refresh never dirties a
-// neighbour's line.
+// neighbour's line (machine-checked; see //ppc:padded in
+// docs/INVARIANTS.md).
+//
+//ppc:padded
 type coarseClock struct {
 	//ppc:atomic
+	//ppc:hotline
 	ns atomic.Int64
 	_  [56]byte
 }

@@ -54,6 +54,36 @@ type FieldInfo struct {
 	Pos   token.Pos
 }
 
+// PublishInfo is one //ppc:publishes(f1,f2) directive: the annotated
+// atomic field plus its resolved sibling payload fields.
+type PublishInfo struct {
+	FieldInfo
+	Payload []*types.Var // sibling fields published by stores to Field
+}
+
+// HotlineInfo is one //ppc:hotline[(group)] directive. Fields sharing a
+// group may share cache lines with each other but with nothing else;
+// an ungrouped hotline field is its own singleton group.
+type HotlineInfo struct {
+	FieldInfo
+	Group string
+}
+
+// PaddedInfo is one //ppc:padded directive on a struct type.
+type PaddedInfo struct {
+	Owner *types.Named
+	Pkg   *load.Package
+	Pos   token.Pos
+}
+
+// ABAInfo is one //ppc:aba(tag) directive on a function: tag names the
+// generation field that defeats ABA, or is the literal "gc" when Go's
+// garbage collector rules out address reuse.
+type ABAInfo struct {
+	Tag string
+	Pos token.Pos
+}
+
 // Annotations is the parsed //ppc: directive index.
 //
 // The grammar (one directive per comment line, in a declaration's doc
@@ -62,18 +92,38 @@ type FieldInfo struct {
 //	//ppc:hotpath [-- note]           on a func: root of a hot path
 //	//ppc:coldpath -- reason          on a func: walk boundary (reason required)
 //	//ppc:shard(Type) [-- reason]     on a func: may touch Type's shard-owned fields
+//	//ppc:aba(tag) [-- reason]        on a func: its CAS retry loop is ABA-sensitive,
+//	                                  protected by generation field `tag` (or "gc")
 //	//ppc:shard-owned                 on a struct field: confined to its owner
 //	//ppc:atomic                      on a struct field: sync/atomic access only
+//	//ppc:publishes(f1,f2)            on a struct field: stores to it publish the
+//	                                  named sibling payload fields (release/acquire)
+//	//ppc:hotline[(group)]            on a struct field: must occupy an isolated
+//	                                  64-byte line (shared only within its group)
+//	//ppc:padded                      on a struct type: layout is checked against
+//	                                  real offsets/sizes by the layout analyzer
 //	//ppc:boundary -- reason          in a package doc: calls into this package
 //	                                  are not walked (it models the machine)
+//	//ppc:nopublish -- reason         inline, on/above a store statement: this
+//	                                  store of a //ppc:publishes field publishes
+//	                                  no payload (sentinel, recycle, construction)
 type Annotations struct {
-	Hot      map[*types.Func]bool
-	Cold     map[*types.Func]bool
-	ShardOf  map[*types.Func][]string // type names granted by //ppc:shard(T)
-	Owned    map[*types.Var]*FieldInfo
-	Atomic   map[*types.Var]*FieldInfo
-	Boundary map[string]bool // package path -> //ppc:boundary
-	Funcs    map[*types.Func]*FuncInfo
+	Hot       map[*types.Func]bool
+	Cold      map[*types.Func]bool
+	ShardOf   map[*types.Func][]string // type names granted by //ppc:shard(T)
+	ABA       map[*types.Func]*ABAInfo
+	Owned     map[*types.Var]*FieldInfo
+	Atomic    map[*types.Var]*FieldInfo
+	Publishes map[*types.Var]*PublishInfo
+	Hotline   map[*types.Var]*HotlineInfo
+	Padded    map[*types.Named]*PaddedInfo
+	Boundary  map[string]bool // package path -> //ppc:boundary
+	Funcs     map[*types.Func]*FuncInfo
+
+	// NoPublish records //ppc:nopublish suppression comments by file
+	// and line; a store on (or directly below) a recorded line is
+	// exempt from the ordering analyzer's publish check.
+	NoPublish map[string]map[int]bool
 
 	// Problems are malformed or contradictory directives, reported by
 	// the driver as diagnostics in their own right.
@@ -99,6 +149,12 @@ func parseDirectives(cg *ast.CommentGroup) []directive {
 		if !ok {
 			continue
 		}
+		// A directive may carry a trailing //-comment on the same line
+		// (fixtures use this for want annotations); it is not part of
+		// the directive or its reason.
+		if i := strings.Index(text, "//"); i >= 0 {
+			text = text[:i]
+		}
 		d := directive{pos: c.Pos()}
 		if body, reason, ok := strings.Cut(text, "--"); ok {
 			text, d.reason = strings.TrimSpace(body), strings.TrimSpace(reason)
@@ -116,16 +172,23 @@ func parseDirectives(cg *ast.CommentGroup) []directive {
 	return out
 }
 
-// CollectAnnotations parses every //ppc: directive in the program.
-func CollectAnnotations(pkgs []*load.Package) *Annotations {
+// CollectAnnotations parses every //ppc: directive in the program. The
+// FileSet is needed to place inline //ppc:nopublish suppressions, which
+// attach to source lines rather than declarations.
+func CollectAnnotations(fset *token.FileSet, pkgs []*load.Package) *Annotations {
 	a := &Annotations{
-		Hot:      make(map[*types.Func]bool),
-		Cold:     make(map[*types.Func]bool),
-		ShardOf:  make(map[*types.Func][]string),
-		Owned:    make(map[*types.Var]*FieldInfo),
-		Atomic:   make(map[*types.Var]*FieldInfo),
-		Boundary: make(map[string]bool),
-		Funcs:    make(map[*types.Func]*FuncInfo),
+		Hot:       make(map[*types.Func]bool),
+		Cold:      make(map[*types.Func]bool),
+		ShardOf:   make(map[*types.Func][]string),
+		ABA:       make(map[*types.Func]*ABAInfo),
+		Owned:     make(map[*types.Var]*FieldInfo),
+		Atomic:    make(map[*types.Var]*FieldInfo),
+		Publishes: make(map[*types.Var]*PublishInfo),
+		Hotline:   make(map[*types.Var]*HotlineInfo),
+		Padded:    make(map[*types.Named]*PaddedInfo),
+		Boundary:  make(map[string]bool),
+		Funcs:     make(map[*types.Func]*FuncInfo),
+		NoPublish: make(map[string]map[int]bool),
 	}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
@@ -139,17 +202,54 @@ func CollectAnnotations(pkgs []*load.Package) *Annotations {
 					a.problemf(d.pos, "//ppc:%s is not a package-level directive", d.verb)
 				}
 			}
+			// Inline suppressions live in arbitrary comment groups, not
+			// declaration docs; index them by file:line.
+			for _, cg := range file.Comments {
+				for _, d := range parseDirectives(cg) {
+					if d.verb != "nopublish" {
+						continue
+					}
+					if d.reason == "" {
+						a.problemf(d.pos, "//ppc:nopublish needs a justification: //ppc:nopublish -- reason")
+					}
+					p := fset.Position(d.pos)
+					if a.NoPublish[p.Filename] == nil {
+						a.NoPublish[p.Filename] = make(map[int]bool)
+					}
+					a.NoPublish[p.Filename][p.Line] = true
+				}
+			}
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.FuncDecl:
 					a.collectFunc(pkg, n)
 					return false // directives inside bodies are not declarations
-				case *ast.TypeSpec:
-					a.collectType(pkg, n)
+				case *ast.GenDecl:
+					if n.Tok != token.TYPE {
+						return true
+					}
+					for _, spec := range n.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						doc := ts.Doc
+						if doc == nil {
+							doc = n.Doc // single-spec decls attach the doc to the GenDecl
+						}
+						a.collectType(pkg, ts, doc)
+					}
 					return false
 				}
 				return true
 			})
+		}
+	}
+	// Post-pass: a //ppc:hotline field outside a //ppc:padded struct is
+	// unreachable by the layout analyzer — that is drift, not a check.
+	for fv, h := range a.Hotline {
+		if a.Padded[h.Owner] == nil {
+			a.problemf(h.Pos, "//ppc:hotline on %s.%s requires //ppc:padded on the struct", h.Owner.Obj().Name(), fv.Name())
 		}
 	}
 	return a
@@ -176,6 +276,12 @@ func (a *Annotations) collectFunc(pkg *load.Package, decl *ast.FuncDecl) {
 				continue
 			}
 			a.ShardOf[obj] = append(a.ShardOf[obj], d.arg)
+		case "aba":
+			if d.arg == "" {
+				a.problemf(d.pos, "//ppc:aba needs the protecting generation field: //ppc:aba(tag) — use //ppc:aba(gc) when GC rules out reuse")
+				continue
+			}
+			a.ABA[obj] = &ABAInfo{Tag: d.arg, Pos: d.pos}
 		default:
 			a.problemf(d.pos, "unknown directive //ppc:%s on %s", d.verb, obj.Name())
 		}
@@ -185,9 +291,12 @@ func (a *Annotations) collectFunc(pkg *load.Package, decl *ast.FuncDecl) {
 	}
 }
 
-func (a *Annotations) collectType(pkg *load.Package, spec *ast.TypeSpec) {
+func (a *Annotations) collectType(pkg *load.Package, spec *ast.TypeSpec, doc *ast.CommentGroup) {
 	st, ok := spec.Type.(*ast.StructType)
 	if !ok {
+		for _, d := range parseDirectives(doc) {
+			a.problemf(d.pos, "//ppc:%s applies to struct types; %s is not a struct", d.verb, spec.Name.Name)
+		}
 		return
 	}
 	named, _ := pkg.Info.Defs[spec.Name].(*types.TypeName)
@@ -197,6 +306,14 @@ func (a *Annotations) collectType(pkg *load.Package, spec *ast.TypeSpec) {
 	owner, _ := named.Type().(*types.Named)
 	if owner == nil {
 		return
+	}
+	for _, d := range parseDirectives(doc) {
+		switch d.verb {
+		case "padded":
+			a.Padded[owner] = &PaddedInfo{Owner: owner, Pkg: pkg, Pos: spec.Name.Pos()}
+		default:
+			a.problemf(d.pos, "unknown type directive //ppc:%s on %s", d.verb, owner.Obj().Name())
+		}
 	}
 	for _, field := range st.Fields.List {
 		dirs := parseDirectives(field.Doc)
@@ -216,6 +333,35 @@ func (a *Annotations) collectType(pkg *load.Package, spec *ast.TypeSpec) {
 					a.Owned[fv] = info
 				case "atomic":
 					a.Atomic[fv] = info
+				case "publishes":
+					pi := &PublishInfo{FieldInfo: *info}
+					for _, pname := range strings.Split(d.arg, ",") {
+						pname = strings.TrimSpace(pname)
+						if pname == "" {
+							continue
+						}
+						if pname == fv.Name() {
+							a.problemf(d.pos, "//ppc:publishes on %s.%s names itself as payload", owner.Obj().Name(), fv.Name())
+							continue
+						}
+						sib := structFieldNamed(owner, pname)
+						if sib == nil {
+							a.problemf(d.pos, "//ppc:publishes on %s.%s: no sibling field %q", owner.Obj().Name(), fv.Name(), pname)
+							continue
+						}
+						pi.Payload = append(pi.Payload, sib)
+					}
+					if len(pi.Payload) == 0 {
+						a.problemf(d.pos, "//ppc:publishes on %s.%s needs payload fields: //ppc:publishes(f1,f2)", owner.Obj().Name(), fv.Name())
+						continue
+					}
+					a.Publishes[fv] = pi
+				case "hotline":
+					group := d.arg
+					if group == "" {
+						group = fv.Name() // singleton group: isolated line
+					}
+					a.Hotline[fv] = &HotlineInfo{FieldInfo: *info, Group: group}
 				default:
 					a.problemf(d.pos, "unknown field directive //ppc:%s on %s.%s", d.verb, owner.Obj().Name(), fv.Name())
 				}
@@ -225,6 +371,20 @@ func (a *Annotations) collectType(pkg *load.Package, spec *ast.TypeSpec) {
 			a.problemf(field.Pos(), "//ppc: field directives are not supported on embedded fields")
 		}
 	}
+}
+
+// structFieldNamed resolves a field of owner's underlying struct by name.
+func structFieldNamed(owner *types.Named, name string) *types.Var {
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
 }
 
 func (a *Annotations) problemf(pos token.Pos, format string, args ...any) {

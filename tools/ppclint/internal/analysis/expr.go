@@ -1,0 +1,250 @@
+// Shared syntax helpers for the ordering and casloop analyzers:
+// recognizing sync/atomic operations on struct fields, canonicalizing
+// base expressions so two accesses to the same instance compare equal,
+// and an enclosing-block dominance approximation for "this write
+// happens before that store on every path".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OpKind classifies an atomic operation.
+type OpKind int
+
+const (
+	OpLoad  OpKind = iota // Load
+	OpStore               // Store
+	OpRMW                 // Add, And, Or, Swap — read-modify-write
+	OpCAS                 // CompareAndSwap
+)
+
+// AtomicOp is one recognized sync/atomic operation on a struct field,
+// either wrapper-method form (base.F.Store(v)) or function form
+// (atomic.StoreUint64(&base.F, v)).
+type AtomicOp struct {
+	Call  *ast.CallExpr
+	Field *types.Var // the struct field operated on
+	Base  ast.Expr   // the struct expression F is selected from
+	Kind  OpKind
+	Old   ast.Expr // CAS witness argument, nil unless Kind == OpCAS
+}
+
+func opKindOf(name string) (OpKind, bool) {
+	switch {
+	case strings.HasPrefix(name, "CompareAndSwap"):
+		return OpCAS, true
+	case strings.HasPrefix(name, "Load"):
+		return OpLoad, true
+	case strings.HasPrefix(name, "Store"):
+		return OpStore, true
+	case strings.HasPrefix(name, "Add"), strings.HasPrefix(name, "Swap"),
+		strings.HasPrefix(name, "And"), strings.HasPrefix(name, "Or"):
+		return OpRMW, true
+	}
+	return 0, false
+}
+
+// AsAtomicOp recognizes call as an atomic operation on a struct field
+// and returns its description, or nil.
+func AsAtomicOp(info *types.Info, call *ast.CallExpr) *AtomicOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	kind, ok := opKindOf(sel.Sel.Name)
+	if !ok {
+		return nil
+	}
+
+	// Wrapper-method form: base.F.Store(v), with F an atomic.* field.
+	if fieldSel, ok := sel.X.(*ast.SelectorExpr); ok {
+		if s := info.Selections[fieldSel]; s != nil && s.Kind() == types.FieldVal {
+			fv, _ := s.Obj().(*types.Var)
+			if fv != nil && isAtomicWrapper(fv.Type()) {
+				op := &AtomicOp{Call: call, Field: fv, Base: fieldSel.X, Kind: kind}
+				if kind == OpCAS && len(call.Args) > 0 {
+					op.Old = call.Args[0]
+				}
+				return op
+			}
+		}
+	}
+
+	// Function form: atomic.StoreUint64(&base.F, v).
+	if pkgIdent, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[pkgIdent].(*types.PkgName); ok && pn.Imported().Path() == "sync/atomic" {
+			if len(call.Args) == 0 {
+				return nil
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return nil
+			}
+			fieldSel, ok := addr.X.(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			s := info.Selections[fieldSel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return nil
+			}
+			fv, _ := s.Obj().(*types.Var)
+			if fv == nil {
+				return nil
+			}
+			op := &AtomicOp{Call: call, Field: fv, Base: fieldSel.X, Kind: kind}
+			if kind == OpCAS && len(call.Args) > 1 {
+				op.Old = call.Args[1]
+			}
+			return op
+		}
+	}
+	return nil
+}
+
+// isAtomicWrapper reports whether t is a named type from sync/atomic
+// (atomic.Uint64, atomic.Pointer[T], ...).
+func isAtomicWrapper(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// ExprKey canonicalizes a base expression so two syntactic accesses to
+// the same instance compare equal: identifiers key on their resolved
+// object, selectors and indexes compose structurally. Returns "" for
+// expressions with no stable key (calls, literals).
+func ExprKey(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return fmt.Sprintf("o%p", obj)
+		}
+	case *ast.SelectorExpr:
+		if k := ExprKey(info, e.X); k != "" {
+			return k + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return ExprKey(info, e.X)
+	case *ast.StarExpr:
+		if k := ExprKey(info, e.X); k != "" {
+			return "*" + k
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if k := ExprKey(info, e.X); k != "" {
+				return "&" + k
+			}
+		}
+	case *ast.IndexExpr:
+		if k := ExprKey(info, e.X); k != "" {
+			return k + "[" + types.ExprString(e.Index) + "]"
+		}
+	}
+	return ""
+}
+
+// Parents maps every node in root to its syntactic parent.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// stmtLoc is one step of a statement chain: the statement list a
+// statement belongs to (a block, or a case/comm clause body) and its
+// index there.
+type stmtLoc struct {
+	container ast.Node
+	idx       int
+}
+
+// stmtIndex locates stmt within its container's statement list.
+func stmtIndex(container ast.Node, stmt ast.Stmt) int {
+	var list []ast.Stmt
+	switch c := container.(type) {
+	case *ast.BlockStmt:
+		list = c.List
+	case *ast.CaseClause:
+		list = c.Body
+	case *ast.CommClause:
+		list = c.Body
+	default:
+		return -1
+	}
+	for i, s := range list {
+		if s == stmt {
+			return i
+		}
+	}
+	return -1
+}
+
+// chainOf walks from n up to the function body, recording, for every
+// enclosing statement that sits directly in a statement list, its
+// container and index. The result is ordered outermost-first.
+func chainOf(parents map[ast.Node]ast.Node, n ast.Node) []stmtLoc {
+	var chain []stmtLoc
+	for cur := n; cur != nil; cur = parents[cur] {
+		stmt, ok := cur.(ast.Stmt)
+		if !ok {
+			continue
+		}
+		p := parents[stmt]
+		if idx := stmtIndex(p, stmt); idx >= 0 {
+			chain = append(chain, stmtLoc{container: p, idx: idx})
+		}
+	}
+	// reverse to outermost-first
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// Dominates approximates "w executes before s on every path reaching
+// s" within one function body: w's *innermost* statement list must be
+// one that encloses s (so s cannot run without control having passed
+// through that list), with w's statement at an earlier index. A write
+// nested inside a branch or loop body that s sits outside of shares an
+// ancestor list but not its innermost one, and does not dominate.
+// When w's statement is itself on s's chain (e.g. w in an if-init whose
+// body contains s), source order decides.
+func Dominates(parents map[ast.Node]ast.Node, w, s ast.Node) bool {
+	cw, cs := chainOf(parents, w), chainOf(parents, s)
+	if len(cw) == 0 || len(cs) == 0 {
+		return false
+	}
+	wl := cw[len(cw)-1] // w's innermost (container, index)
+	for _, loc := range cs {
+		if loc.container != wl.container {
+			continue
+		}
+		if wl.idx != loc.idx {
+			return wl.idx < loc.idx
+		}
+		// w and s share the statement at this level; w sits directly
+		// in it while s may be nested deeper.
+		return w.Pos() < s.Pos()
+	}
+	return false
+}

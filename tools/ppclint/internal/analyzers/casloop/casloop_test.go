@@ -1,0 +1,12 @@
+package casloop_test
+
+import (
+	"testing"
+
+	"hurricane/tools/ppclint/internal/analyzers/casloop"
+	"hurricane/tools/ppclint/internal/ppctest"
+)
+
+func TestCASLoop(t *testing.T) {
+	ppctest.Run(t, "testdata/src/casfix", casloop.Analyzer)
+}

@@ -1,0 +1,3 @@
+module casfix
+
+go 1.22

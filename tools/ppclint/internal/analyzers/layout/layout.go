@@ -1,0 +1,306 @@
+// Package layout checks //ppc:padded structs against their real field
+// offsets and sizes (go/types.Sizes for the gc compiler on the host
+// architecture), replacing hand-counted `_ [56]byte` pads with a
+// machine check. Three properties are enforced:
+//
+//  1. Every //ppc:hotline field occupies 64-byte cache lines that no
+//     other named field touches, except fields sharing the same
+//     //ppc:hotline(group) — a group documents *intentional* sharing
+//     (fields written together by one owner).
+//  2. A //ppc:padded struct (or any struct that transitively embeds
+//     one) used as a slice or array element must have a size that is a
+//     multiple of 64, or consecutive elements shear each other's lines.
+//  3. A field whose type is (or transitively embeds) a //ppc:padded
+//     struct must itself sit at a 64-byte-aligned offset, or the inner
+//     padding no longer lines up with real cache lines.
+//
+// Line arithmetic assumes 64-byte-aligned allocation bases; the Go
+// heap aligns large objects to size classes, so the pads give the
+// strongest isolation the runtime can offer rather than a hard
+// guarantee.
+package layout
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"runtime"
+	"sort"
+
+	"hurricane/tools/ppclint/internal/analysis"
+)
+
+const lineSize = 64
+
+// Analyzer is the layout checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "layout",
+	Doc:  "//ppc:padded structs: //ppc:hotline fields occupy isolated 64-byte lines, verified against real offsets",
+	Run:  run,
+}
+
+func sizesFor() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+// span is the byte extent [lo, hi] of a field within its struct.
+type span struct{ lo, hi int64 }
+
+func (s span) lines() (int64, int64) { return s.lo / lineSize, s.hi / lineSize }
+
+func (s span) overlapsLine(o span) bool {
+	alo, ahi := s.lines()
+	blo, bhi := o.lines()
+	return alo <= bhi && blo <= ahi
+}
+
+type fieldLayout struct {
+	v    *types.Var
+	span span
+	hot  *analysis.HotlineInfo // nil if not //ppc:hotline
+	pad  bool                  // blank (`_`) field
+}
+
+func run(prog *analysis.Program) []analysis.Diagnostic {
+	sizes := sizesFor()
+	ann := prog.Annotations
+	var diags []analysis.Diagnostic
+
+	// The hot-layout closure: padded structs plus every struct that
+	// (transitively, through direct fields and arrays) contains one.
+	hot := hotLayoutClosure(prog, sizes)
+
+	// Sorted iteration for stable output.
+	padded := make([]*analysis.PaddedInfo, 0, len(ann.Padded))
+	for _, pi := range ann.Padded {
+		padded = append(padded, pi)
+	}
+	sort.Slice(padded, func(i, j int) bool { return padded[i].Pos < padded[j].Pos })
+
+	for _, pi := range padded {
+		st, ok := pi.Owner.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		name := pi.Owner.Obj().Name()
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		offsets := sizes.Offsetsof(fields)
+		var fl []fieldLayout
+		hasHot := false
+		for i, f := range fields {
+			sz := sizes.Sizeof(f.Type())
+			if sz == 0 {
+				continue
+			}
+			l := fieldLayout{v: f, span: span{offsets[i], offsets[i] + sz - 1}, pad: f.Name() == "_"}
+			if h := ann.Hotline[f]; h != nil {
+				l.hot, hasHot = h, true
+			}
+			fl = append(fl, l)
+		}
+		if !hasHot {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      pi.Pos,
+				Analyzer: "layout",
+				Message:  fmt.Sprintf("struct %s is //ppc:padded but declares no //ppc:hotline field to isolate", name),
+			})
+			continue
+		}
+		for i := 0; i < len(fl); i++ {
+			for j := i + 1; j < len(fl); j++ {
+				a, b := fl[i], fl[j]
+				if a.hot == nil && b.hot == nil {
+					continue
+				}
+				if a.pad || b.pad {
+					continue
+				}
+				if a.hot != nil && b.hot != nil && a.hot.Group == b.hot.Group {
+					continue
+				}
+				if !a.span.overlapsLine(b.span) {
+					continue
+				}
+				// Report at the hotline field (the declared intent).
+				h, o := a, b
+				if h.hot == nil {
+					h, o = b, a
+				}
+				line, _ := o.span.lines()
+				if hl, _ := h.span.lines(); hl > line {
+					line = hl
+				}
+				diags = append(diags, analysis.Diagnostic{
+					Pos:      h.hot.Pos,
+					Analyzer: "layout",
+					Message: fmt.Sprintf("//ppc:hotline field %s.%s (bytes %d-%d) shares cache line %d with %s (bytes %d-%d)",
+						name, h.v.Name(), h.span.lo, h.span.hi, line, o.v.Name(), o.span.lo, o.span.hi),
+				})
+			}
+		}
+	}
+
+	// Rule 3: hot-layout fields must be 64-byte aligned inside any
+	// struct that contains them.
+	structs := namedStructs(prog)
+	for _, ns := range structs {
+		st := ns.named.Underlying().(*types.Struct)
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		offsets := sizes.Offsetsof(fields)
+		for i, f := range fields {
+			inner := hotLayoutElem(f.Type(), hot)
+			if inner == nil {
+				continue
+			}
+			if offsets[i]%lineSize != 0 {
+				diags = append(diags, analysis.Diagnostic{
+					Pos:      f.Pos(),
+					Analyzer: "layout",
+					Message: fmt.Sprintf("field %s.%s places //ppc:padded %s at offset %d (not a multiple of %d); its internal line isolation is sheared",
+						ns.named.Obj().Name(), f.Name(), inner.Obj().Name(), offsets[i], lineSize),
+				})
+			}
+		}
+	}
+
+	// Rule 2: slice/array elements of hot-layout structs need
+	// 64-multiple sizes. One diagnostic per offending element type, at
+	// its declaration.
+	flagged := make(map[*types.Named]token.Pos)
+	for _, pkg := range prog.Packages {
+		for expr, tv := range pkg.Info.Types {
+			var elem types.Type
+			switch t := tv.Type.Underlying().(type) {
+			case *types.Slice:
+				elem = t.Elem()
+			case *types.Array:
+				elem = t.Elem()
+			default:
+				continue
+			}
+			n, ok := elem.(*types.Named)
+			if !ok || !hot[n] {
+				continue
+			}
+			if sizes.Sizeof(n)%lineSize == 0 {
+				continue
+			}
+			if prev, ok := flagged[n]; !ok || expr.Pos() < prev {
+				flagged[n] = expr.Pos()
+			}
+		}
+	}
+	type flaggedElem struct {
+		n   *types.Named
+		pos token.Pos
+	}
+	var felems []flaggedElem
+	for n, pos := range flagged {
+		felems = append(felems, flaggedElem{n, pos})
+	}
+	sort.Slice(felems, func(i, j int) bool { return felems[i].pos < felems[j].pos })
+	for _, fe := range felems {
+		diags = append(diags, analysis.Diagnostic{
+			Pos:      fe.pos,
+			Analyzer: "layout",
+			Message: fmt.Sprintf("%s (size %d, //ppc:padded layout) is a slice/array element but its size is not a multiple of %d; consecutive elements shear cache lines",
+				fe.n.Obj().Name(), sizes.Sizeof(fe.n), lineSize),
+		})
+	}
+	return diags
+}
+
+// hotLayoutElem unwraps arrays and reports the hot-layout named struct
+// a field type directly contains, if any.
+func hotLayoutElem(t types.Type, hot map[*types.Named]bool) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Named:
+			if hot[u] {
+				return u
+			}
+			return nil
+		case *types.Array:
+			t = u.Elem()
+		default:
+			return nil
+		}
+	}
+}
+
+type namedStruct struct {
+	named *types.Named
+	spec  *ast.TypeSpec
+}
+
+// namedStructs collects every named struct type declared in the
+// analyzed packages, in declaration order.
+func namedStructs(prog *analysis.Program) []namedStruct {
+	var out []namedStruct
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					return true
+				}
+				tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					return true
+				}
+				if named, ok := tn.Type().(*types.Named); ok {
+					out = append(out, namedStruct{named: named, spec: ts})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.Pos() < out[j].spec.Pos() })
+	return out
+}
+
+// hotLayoutClosure computes the set of named structs that are
+// //ppc:padded or transitively contain a //ppc:padded struct by value.
+func hotLayoutClosure(prog *analysis.Program, sizes types.Sizes) map[*types.Named]bool {
+	hot := make(map[*types.Named]bool)
+	for n := range prog.Annotations.Padded {
+		hot[n] = true
+	}
+	structs := namedStructs(prog)
+	for changed := true; changed; {
+		changed = false
+		for _, ns := range structs {
+			if hot[ns.named] {
+				continue
+			}
+			st := ns.named.Underlying().(*types.Struct)
+			for i := 0; i < st.NumFields(); i++ {
+				if hotLayoutElem(st.Field(i).Type(), hot) != nil {
+					hot[ns.named] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return hot
+}

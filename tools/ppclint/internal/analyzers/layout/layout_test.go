@@ -1,0 +1,12 @@
+package layout_test
+
+import (
+	"testing"
+
+	"hurricane/tools/ppclint/internal/analyzers/layout"
+	"hurricane/tools/ppclint/internal/ppctest"
+)
+
+func TestLayout(t *testing.T) {
+	ppctest.Run(t, "testdata/src/layoutfix", layout.Analyzer)
+}

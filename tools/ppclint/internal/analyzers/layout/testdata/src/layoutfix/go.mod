@@ -1,0 +1,3 @@
+module layoutfix
+
+go 1.22

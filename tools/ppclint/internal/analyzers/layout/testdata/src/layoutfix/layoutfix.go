@@ -1,0 +1,105 @@
+// Package layoutfix seeds cache-line layout violations for the layout
+// analyzer's golden test. Field sizes are arch-independent (uint64,
+// explicit byte pads) so the expected offsets hold on any 64-bit
+// target.
+package layoutfix
+
+import "sync/atomic"
+
+// okCounters is laid out correctly: the hot counter owns line 1.
+//
+//ppc:padded
+type okCounters struct {
+	meta uint64
+	_    [56]byte
+	hits atomic.Uint64 //ppc:hotline
+	_    [56]byte
+}
+
+var okStripes []okCounters // size 128 — a legal slice element
+
+// shared seeds violation 1: the hot counter shares line 0 with a
+// plain field.
+//
+//ppc:padded
+type shared struct {
+	owner uint64
+	hits  atomic.Uint64 //ppc:hotline // want "shares cache line 0 with owner"
+	_     [48]byte
+}
+
+// twoHot seeds violation 2: two hot counters in different (implicit
+// singleton) groups land on the same line.
+//
+//ppc:padded
+type twoHot struct {
+	a atomic.Uint64 //ppc:hotline // want "shares cache line 0 with b"
+	b atomic.Uint64 //ppc:hotline
+	_ [48]byte
+}
+
+// grouped is legal: the two fields declare intentional sharing by
+// naming the same group.
+//
+//ppc:padded
+type grouped struct {
+	x atomic.Uint64 //ppc:hotline(pair)
+	y atomic.Uint64 //ppc:hotline(pair)
+	_ [48]byte
+}
+
+// inert seeds violation 3: padded with nothing to isolate.
+//
+//ppc:padded
+type inert struct { // want "//ppc:padded but declares no //ppc:hotline"
+	n uint64
+	_ [56]byte
+}
+
+// stripe seeds violation 4: size 56 is not a multiple of 64, so
+// consecutive slice elements shear each other's lines.
+//
+//ppc:padded
+type stripe struct {
+	n atomic.Uint64 //ppc:hotline
+	_ [48]byte
+}
+
+var stripes []stripe // want "size 56.*not a multiple of 64"
+
+// padded128 is internally clean; the violations below are about where
+// it is placed.
+//
+//ppc:padded
+type padded128 struct {
+	hits atomic.Uint64 //ppc:hotline
+	_    [56]byte
+	cold uint64
+	_    [56]byte
+}
+
+// holder seeds violation 5: embedding a padded struct at offset 8
+// shears its internal line isolation.
+type holder struct {
+	tag   uint64
+	inner padded128 // want "offset 8 \(not a multiple of 64\)"
+}
+
+// alignedHolder is the legal form: the padded struct starts on a line
+// boundary.
+type alignedHolder struct {
+	tag   uint64
+	_     [56]byte
+	inner padded128
+}
+
+var (
+	_ = okStripes
+	_ = stripes
+	_ = shared{}
+	_ = twoHot{}
+	_ = grouped{}
+	_ = inert{}
+	_ = holder{}
+	_ = alignedHolder{}
+)

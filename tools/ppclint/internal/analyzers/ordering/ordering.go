@@ -1,0 +1,245 @@
+// Package ordering verifies the release/acquire pairing that
+// //ppc:publishes(f1,f2) declares on an atomic field: the store side
+// must write every named payload field before the publishing store, on
+// a path that dominates it, and the load side must load the publish
+// word before reading the payload.
+//
+// Checked semantics, precisely:
+//
+//   - Publish side: for every Store/Swap/Add/CompareAndSwap of an
+//     annotated field F through base expression B, each payload field
+//     p must have a write to B.p (assignment, address-taken argument,
+//     or method call on B.p — which covers in-place mutators) that
+//     dominates the store: it precedes the store in a statement list
+//     enclosing it, so the store cannot execute without having passed
+//     the write. Stores that genuinely carry no payload — sentinel and
+//     recycle values, construction-time initialization — are suppressed
+//     with an inline `//ppc:nopublish -- reason` on or directly above
+//     the store statement.
+//
+//   - Acquire side: in any function that loads F (Load or
+//     CompareAndSwap), every *read* of a payload field must appear
+//     after the first load of F in source order. Functions that read
+//     payload without ever loading F are skipped — they are upstream
+//     owners or received the value via a call, which this
+//     intraprocedural analysis cannot order (the publish-side check
+//     and the protocol docs carry that weight).
+//
+// Base expressions are compared structurally with identifiers resolved
+// to their objects, so `slot := &r.slots[i]; slot.req = v;
+// slot.seq.Store(x)` pairs up, while writes to a *different* instance
+// of the same type do not satisfy the check.
+package ordering
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hurricane/tools/ppclint/internal/analysis"
+)
+
+// Analyzer is the publish/acquire pairing checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ordering",
+	Doc:  "//ppc:publishes(f1,f2) fields: payload writes dominate the publishing store; loads precede payload reads",
+	Run:  run,
+}
+
+func run(prog *analysis.Program) []analysis.Diagnostic {
+	ann := prog.Annotations
+	if len(ann.Publishes) == 0 {
+		return nil
+	}
+	// payload field -> publishing atomic fields
+	publishers := make(map[*types.Var][]*analysis.PublishInfo)
+	for _, pi := range ann.Publishes {
+		for _, p := range pi.Payload {
+			publishers[p] = append(publishers[p], pi)
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	funcs := make([]*types.Func, 0, len(ann.Funcs))
+	for fn := range ann.Funcs {
+		funcs = append(funcs, fn)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Pos() < funcs[j].Pos() })
+
+	for _, fn := range funcs {
+		fi := ann.Funcs[fn]
+		if fi.Decl.Body == nil || ann.Boundary[fi.Pkg.PkgPath] {
+			continue
+		}
+		diags = append(diags, checkFunc(prog, publishers, fi)...)
+	}
+	return diags
+}
+
+// access is one syntactic touch of a payload field.
+type access struct {
+	field   *types.Var
+	baseKey string
+	node    ast.Node
+}
+
+func checkFunc(prog *analysis.Program, publishers map[*types.Var][]*analysis.PublishInfo, fi *analysis.FuncInfo) []analysis.Diagnostic {
+	ann := prog.Annotations
+	info := fi.Pkg.Info
+	body := fi.Decl.Body
+	var diags []analysis.Diagnostic
+
+	// Atomic ops on published fields, and payload-field accesses.
+	var stores, loads []*analysis.AtomicOp
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op := analysis.AsAtomicOp(info, call)
+		if op == nil || ann.Publishes[op.Field] == nil {
+			return true
+		}
+		switch op.Kind {
+		case analysis.OpStore, analysis.OpRMW:
+			stores = append(stores, op)
+		case analysis.OpCAS:
+			stores = append(stores, op)
+			loads = append(loads, op) // a CAS also observes the word
+		case analysis.OpLoad:
+			loads = append(loads, op)
+		}
+		return true
+	})
+	if len(stores) == 0 && len(loads) == 0 {
+		// Fast path: does the function read payload of a field it also
+		// loads? Without loads or stores there is nothing to check.
+		return nil
+	}
+
+	parents := analysis.Parents(body)
+	writes, reads := collectAccesses(info, body, publishers)
+
+	// Publish side.
+	for _, s := range stores {
+		pi := ann.Publishes[s.Field]
+		if suppressed(prog.Fset, ann, s.Call.Pos()) {
+			continue
+		}
+		baseKey := analysis.ExprKey(info, s.Base)
+		if baseKey == "" {
+			continue // no stable identity to pair writes against
+		}
+		for _, p := range pi.Payload {
+			ok := false
+			for _, w := range writes {
+				if w.field == p && w.baseKey == baseKey && analysis.Dominates(parents, w.node, s.Call) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				diags = append(diags, analysis.Diagnostic{
+					Pos:      s.Call.Pos(),
+					Analyzer: "ordering",
+					Message: fmt.Sprintf("store to %s.%s publishes %s, but no dominating write to %s precedes it (use //ppc:nopublish -- reason if this store carries no payload)",
+						pi.Owner.Obj().Name(), s.Field.Name(), p.Name(), p.Name()),
+				})
+			}
+		}
+	}
+
+	// Acquire side: first load position per published field.
+	firstLoad := make(map[*types.Var]token.Pos)
+	for _, l := range loads {
+		if cur, ok := firstLoad[l.Field]; !ok || l.Call.Pos() < cur {
+			firstLoad[l.Field] = l.Call.Pos()
+		}
+	}
+	for _, r := range reads {
+		for _, pi := range publishers[r.field] {
+			pos, ok := firstLoad[pi.Field]
+			if !ok {
+				continue // this function never loads the publish word
+			}
+			if r.node.Pos() < pos {
+				diags = append(diags, analysis.Diagnostic{
+					Pos:      r.node.Pos(),
+					Analyzer: "ordering",
+					Message: fmt.Sprintf("payload field %s read before the first load of its publish word %s.%s (acquire ordering)",
+						r.field.Name(), pi.Owner.Obj().Name(), pi.Field.Name()),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// suppressed reports whether a //ppc:nopublish comment sits on the
+// store's line or the line directly above it.
+func suppressed(fset *token.FileSet, ann *analysis.Annotations, pos token.Pos) bool {
+	p := fset.Position(pos)
+	lines := ann.NoPublish[p.Filename]
+	return lines[p.Line] || lines[p.Line-1]
+}
+
+// collectAccesses walks the body once, splitting payload-field touches
+// into writes (assignment targets, address-taken arguments, method
+// receivers) and reads (everything else).
+func collectAccesses(info *types.Info, body *ast.BlockStmt, publishers map[*types.Var][]*analysis.PublishInfo) (writes, reads []access) {
+	writeCtx := make(map[ast.Node]bool) // selector roots in write position
+
+	markSubtree := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				writeCtx[sel] = true
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markSubtree(lhs)
+			}
+		case *ast.IncDecStmt:
+			markSubtree(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markSubtree(n.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				// method call: the receiver may be mutated in place
+				markSubtree(sel.X)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		fv, _ := s.Obj().(*types.Var)
+		if fv == nil || publishers[fv] == nil {
+			return true
+		}
+		a := access{field: fv, baseKey: analysis.ExprKey(info, sel.X), node: sel}
+		if writeCtx[sel] {
+			writes = append(writes, a)
+		} else {
+			reads = append(reads, a)
+		}
+		return true
+	})
+	return writes, reads
+}

@@ -1,0 +1,12 @@
+package ordering_test
+
+import (
+	"testing"
+
+	"hurricane/tools/ppclint/internal/analyzers/ordering"
+	"hurricane/tools/ppclint/internal/ppctest"
+)
+
+func TestOrdering(t *testing.T) {
+	ppctest.Run(t, "testdata/src/orderfix", ordering.Analyzer)
+}

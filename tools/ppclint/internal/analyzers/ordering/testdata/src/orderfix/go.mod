@@ -1,0 +1,3 @@
+module orderfix
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package orderfix seeds publish/acquire-ordering violations for the
+// ordering analyzer's golden test.
+package orderfix
+
+import "sync/atomic"
+
+type slot struct {
+	seq atomic.Uint64 //ppc:publishes(val)
+	val int
+}
+
+// goodPublish is the legal release shape: payload write, then store.
+func goodPublish(s *slot, v int) {
+	s.val = v
+	s.seq.Store(1)
+}
+
+// missingWrite seeds violation 1: the store publishes nothing.
+func missingWrite(s *slot) {
+	s.seq.Store(1) // want "no dominating write to val"
+}
+
+// writeAfterStore seeds violation 2: the payload lands after the
+// publish — a consumer can observe the sequence word and read junk.
+func writeAfterStore(s *slot, v int) {
+	s.seq.Store(1) // want "no dominating write to val"
+	s.val = v
+}
+
+// branchWrite seeds violation 3: the write happens on one branch only,
+// so it does not dominate the store.
+func branchWrite(s *slot, v int, ok bool) {
+	if ok {
+		s.val = v
+	}
+	s.seq.Store(1) // want "no dominating write to val"
+}
+
+// crossInstance seeds violation 4: writing another instance's payload
+// does not publish ours.
+func crossInstance(s, other *slot, v int) {
+	other.val = v
+	s.seq.Store(1) // want "no dominating write to val"
+}
+
+// casPublish is legal: a CAS is a publishing store, and the payload
+// write at function entry dominates it.
+func casPublish(s *slot, v int) {
+	s.val = v
+	for {
+		old := s.seq.Load()
+		if s.seq.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}
+
+// initSlot is legal via suppression: a construction-time store
+// publishes no payload.
+func initSlot(s *slot, i uint64) {
+	s.seq.Store(i) //ppc:nopublish -- fixture: construction-time sequence init
+}
+
+// goodConsume is the legal acquire shape: load the word, then read.
+func goodConsume(s *slot) int {
+	if s.seq.Load() == 0 {
+		return -1
+	}
+	return s.val
+}
+
+// earlyRead seeds violation 5: the payload is read before the word is
+// loaded.
+func earlyRead(s *slot) int {
+	v := s.val // want "read before the first load of its publish word"
+	if s.seq.Load() == 0 {
+		return -1
+	}
+	return v
+}
+
+// ownerRead is skipped by design: it never loads seq, so it is the
+// owning side, not the acquiring side.
+func ownerRead(s *slot) int {
+	return s.val
+}
+
+type ticket struct {
+	word atomic.Uint32 //ppc:publishes(a,b)
+	a    int
+	b    int
+}
+
+// armTicket is legal: both payload fields written before the store.
+func armTicket(t *ticket, x, y int) {
+	t.a = x
+	t.b = y
+	t.word.Store(1)
+}
+
+// halfArm seeds violation 6: only one of the two declared payload
+// fields is written.
+func halfArm(t *ticket, x int) {
+	t.a = x
+	t.word.Store(1) // want "no dominating write to b"
+}
+
+var (
+	_ = goodPublish
+	_ = missingWrite
+	_ = writeAfterStore
+	_ = branchWrite
+	_ = crossInstance
+	_ = casPublish
+	_ = initSlot
+	_ = goodConsume
+	_ = earlyRead
+	_ = ownerRead
+	_ = armTicket
+	_ = halfArm
+)

@@ -92,6 +92,11 @@ func Load(dir string, patterns []string) (*Program, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
 		}
+		for _, de := range p.DepsErrors {
+			if de != nil {
+				return nil, fmt.Errorf("package %s (dependency): %s", p.ImportPath, de.Err)
+			}
+		}
 	}
 
 	fset := token.NewFileSet()

@@ -1,0 +1,52 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadErrorNamesPackage pins the load-failure contract: when a
+// pattern fails to load, the error names the failing package rather
+// than exiting opaquely (the driver prepends the pattern list).
+func TestLoadErrorNamesPackage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module brokenfix\n\ngo 1.22\n")
+	write("a.go", "package a\n\nimport \"no/such/dep\"\n\nvar _ = dep.X\n")
+
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a missing import")
+	}
+	if !strings.Contains(err.Error(), "no/such/dep") {
+		t.Fatalf("load error does not name the failing package: %v", err)
+	}
+}
+
+// TestLoadOK pins the happy path for the same tiny module shape.
+func TestLoadOK(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module okfix\n\ngo 1.22\n")
+	write("a.go", "package a\n\nimport \"sync/atomic\"\n\nvar N atomic.Uint64\n")
+
+	prog, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Packages) != 1 || prog.Packages[0].PkgPath != "okfix" {
+		t.Fatalf("unexpected packages: %+v", prog.Packages)
+	}
+}

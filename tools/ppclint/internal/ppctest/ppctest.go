@@ -36,7 +36,7 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	aprog := &analysis.Program{
 		Fset:        prog.Fset,
 		Packages:    prog.Packages,
-		Annotations: analysis.CollectAnnotations(prog.Packages),
+		Annotations: analysis.CollectAnnotations(prog.Fset, prog.Packages),
 	}
 	for _, p := range aprog.Annotations.Problems {
 		pos := prog.Fset.Position(p.Pos)
