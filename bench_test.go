@@ -238,6 +238,41 @@ func BenchmarkRTAsyncChannelMultiProducer(b *testing.B) {
 	rtbench.AsyncChannelBaselineMultiProducer(b)
 }
 
+// BenchmarkRTPayloadZeroCopy is the zero-copy large-payload grid:
+// lease an arena segment, produce the bytes in place, attach the
+// scatter-gather descriptor, call — no memcpy at any size.
+func BenchmarkRTPayloadZeroCopy(b *testing.B) {
+	for _, n := range rtbench.PayloadSizes {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) { rtbench.PayloadZeroCopy(n)(b) })
+	}
+}
+
+// BenchmarkRTPayloadCopy is the copy baseline on the same grid: the
+// caller's bytes live outside the arena and every call memcpys them in
+// (AttachBytes, offload lane disabled).
+func BenchmarkRTPayloadCopy(b *testing.B) {
+	for _, n := range rtbench.PayloadSizes {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) { rtbench.PayloadCopy(n)(b) })
+	}
+}
+
+// BenchmarkRTPayloadOffload streams staged large transfers through the
+// async ring: the producer returns after the descriptor publish and
+// the memcpy lands on the offload worker.
+func BenchmarkRTPayloadOffload(b *testing.B) {
+	for _, n := range []int{64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) { rtbench.PayloadOffload(n)(b) })
+	}
+}
+
+// BenchmarkRTPayloadCopyAsync is the offload bench's inline baseline:
+// the identical pipelined load with the producer doing every memcpy.
+func BenchmarkRTPayloadCopyAsync(b *testing.B) {
+	for _, n := range []int{64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%d", n), func(b *testing.B) { rtbench.PayloadCopyAsync(n)(b) })
+	}
+}
+
 // BenchmarkRTScratchUse measures a handler that actually uses the
 // recycled scratch buffer (the serial stack-page sharing).
 func BenchmarkRTScratchUse(b *testing.B) {

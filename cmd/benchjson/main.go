@@ -57,6 +57,14 @@ func main() {
 	rtBench("rt_async_batch", rtbench.AsyncBatch)
 	rtBench("rt_async_channel_mp", rtbench.AsyncChannelBaselineMultiProducer)
 	rtBench("rt_async_ring_mp", rtbench.AsyncMultiProducer)
+	for _, n := range rtbench.PayloadSizes {
+		rtBench("rt_payload_zc_"+sizeLabel(n), rtbench.PayloadZeroCopy(n))
+		rtBench("rt_payload_copy_"+sizeLabel(n), rtbench.PayloadCopy(n))
+	}
+	for _, n := range []int{64 << 10, 1 << 20} { // staged lane: at/above threshold
+		rtBench("rt_payload_offload_"+sizeLabel(n), rtbench.PayloadOffload(n))
+		rtBench("rt_payload_copy_async_"+sizeLabel(n), rtbench.PayloadCopyAsync(n))
+	}
 
 	for _, cfg := range experiments.StandardFigure2Configs() {
 		res, err := experiments.RunFigure2One(cfg)
@@ -95,6 +103,12 @@ func main() {
 		{"async_ring_vs_channel", "rt_async_channel", "rt_async_ring"},
 		{"async_batch_vs_channel", "rt_async_channel", "rt_async_batch"},
 		{"async_ring_vs_channel_mp", "rt_async_channel_mp", "rt_async_ring_mp"},
+		{"payload_zero_copy_vs_copy_64b", "rt_payload_copy_64b", "rt_payload_zc_64b"},
+		{"payload_zero_copy_vs_copy_4k", "rt_payload_copy_4k", "rt_payload_zc_4k"},
+		{"payload_zero_copy_vs_copy_64k", "rt_payload_copy_64k", "rt_payload_zc_64k"},
+		{"payload_zero_copy_vs_copy_1m", "rt_payload_copy_1m", "rt_payload_zc_1m"},
+		{"payload_offload_vs_inline_64k", "rt_payload_copy_async_64k", "rt_payload_offload_64k"},
+		{"payload_offload_vs_inline_1m", "rt_payload_copy_async_1m", "rt_payload_offload_1m"},
 	} {
 		if err := r.Compare(cmp[0], cmp[1], cmp[2]); err != nil {
 			fatal(err)
@@ -112,6 +126,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// sizeLabel renders a payload size the way benchmark names spell it:
+// 64b, 4k, 64k, 1m.
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dm", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dk", n>>10)
+	default:
+		return fmt.Sprintf("%db", n)
+	}
 }
 
 func slug(s string) string {

@@ -214,6 +214,99 @@ func TestBatchFlushAllocs(t *testing.T) {
 	}
 }
 
+// TestWarmPayloadCallAllocs pins the zero-copy payload path's
+// no-allocation invariant: a warm Call carrying an arena payload —
+// AllocPayload, fill, AttachPayload, handler views in place, settle
+// releases the lease — must not touch the heap. Report-only under
+// -race.
+func TestWarmPayloadCallAllocs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	var seen int
+	svc, err := sys.Bind(ServiceConfig{Name: "zcp", Handler: func(ctx *Ctx, args *Args) {
+		seen += len(ctx.Payload(0))
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	ep := svc.EP()
+	var args Args
+
+	oneCall := func() {
+		ref, buf, err := c.AllocPayload(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = 1
+		args.AttachPayload(ref)
+		if err := c.Call(ep, &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ { // warm: grow the arena's first slab
+		oneCall()
+	}
+	allocs := testing.AllocsPerRun(200, oneCall)
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm payload call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm payload call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("handler never observed the payload")
+	}
+}
+
+// TestWarmPayloadAsyncAllocs extends the payload invariant to the ring
+// path: an asynchronous submit whose args carry a payload descriptor —
+// ring slot copy, worker dequeue, in-place view, worker-side lease
+// settle — must not touch the heap either. Report-only under -race.
+func TestWarmPayloadAsyncAllocs(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "azcp", Handler: func(ctx *Ctx, args *Args) {
+		_ = ctx.Payload(0)
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	ep := svc.EP()
+	var args Args
+	done := make(chan struct{}, 1)
+
+	oneCall := func() {
+		ref, buf, err := c.AllocPayload(512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = 1
+		args.AttachPayload(ref)
+		if err := c.AsyncCallNotify(ep, &args, done); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+	for i := 0; i < 32; i++ { // warm: worker, pool, arena slab
+		oneCall()
+	}
+	allocs := testing.AllocsPerRun(200, oneCall)
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm async payload call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm async payload call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}
+
 // TestWarmCallDeadlineAllocs pins the warm deadline path: with the
 // executor armed and the ticket, channel, and timer reused, a
 // CallDeadline that completes in time must not touch the heap.

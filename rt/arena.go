@@ -1,0 +1,404 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Per-shard scratch arenas — the memory behind the zero-copy payload
+// path (payload.go). An arena is a set of large, cache-line-aligned
+// slabs tiling a stable offset space; a payload segment is leased from
+// the current slab with a few shard-local atomics, read in place by
+// the handler, and released when the call settles. Reclamation is by
+// lease count + epoch, not by GC: a slab whose leases have all been
+// released is recycled under a bumped generation, and any descriptor
+// minted under the old generation fails validation from then on.
+//
+// The discipline mirrors the rest of the package:
+//
+//   - The warm alloc is an increment-then-check lease (the same shape
+//     as call admission) plus one bump-pointer fetch-add — no lock, no
+//     heap allocation, no line shared with another shard.
+//   - Slab growth and recycling are strictly cold: a mutex-guarded
+//     refill runs at most once per slabful of traffic (capacity-
+//     guarded exactly like growScratch), and the slab table is
+//     republished copy-on-grow so lookups stay lock-free.
+//   - Offsets are stable for the lifetime of the arena: slab i always
+//     covers [i*arenaSlabBytes, (i+1)*arenaSlabBytes). The cross-
+//     process segment (ROADMAP item 1) keeps this property by mmap'ing
+//     the same offset space.
+//
+// Lease lifetime: a lease taken by alloc is released exactly once —
+// by ReleasePayload for a payload never submitted, by the settling
+// path of the call it was attached to otherwise. The settle-side
+// release runs after the handler returns even when the caller has long
+// since gone (deadline orphans): the lease outlives quarantine, see
+// docs/INVARIANTS.md.
+
+const (
+	// arenaLineBytes / lineShift: the cache-line quantum. Segment
+	// offsets are line-aligned so PayloadRef's off field counts lines,
+	// and so no two segments share a line (a handler reading one
+	// payload never false-shares with the producer of another).
+	arenaLineBytes = 64
+	lineShift      = 6
+
+	// arenaSlabShift / arenaSlabBytes: one slab is 2 MiB — large enough
+	// that steady traffic recycles slabs instead of growing, small
+	// enough that an idle shard's arena costs nothing (slabs are lazy).
+	arenaSlabShift = 21
+	arenaSlabBytes = 1 << arenaSlabShift
+
+	// arenaMaxSlabs bounds the offset space at what PayloadRef's off
+	// field can address (2^26 lines = 4 GiB).
+	arenaMaxSlabs = (payloadOffMask + 1) << lineShift / arenaSlabBytes
+)
+
+// Slab lifecycle states.
+const (
+	// slabActive: the shard's current allocation target.
+	slabActive uint32 = iota
+	// slabSealed: retired from allocation (a refill replaced it);
+	// waiting for its outstanding leases to drain.
+	slabSealed
+	// slabRecycling: the last lease drained and one releaser won the
+	// recycle; generation bump and cursor reset are in progress.
+	slabRecycling
+	// slabFree: fully reset; a future refill may activate it.
+	slabFree
+)
+
+// arenaSlab is one leased slab. Slabs are reached through pointers
+// (the arena's copy-on-grow table), so tail tiling matters less than
+// internal striping: the allocating caller RMWs bump on every lease
+// while releasers — async workers, deadline executors, offload workers
+// on other cores — RMW leases, so each owns a line, and the metadata
+// the validation path only reads (buf, base, gen, state) stays off
+// both.
+//
+//ppc:padded
+type arenaSlab struct {
+	// buf is the slab's backing store, aligned to arenaLineBytes (the
+	// raw allocation is over-sized and trimmed, see newSlab). base is
+	// the slab's first byte's global arena offset. Both immutable after
+	// construction.
+	buf  []byte
+	base int64
+	// gen is the slab's reclamation epoch: bumped once per recycle, so
+	// descriptors minted before the recycle fail validation after it.
+	// The 16-bit field a PayloadRef carries wraps after 65536 recycles
+	// of one slab; a stale ref surviving exactly a multiple of 2^16
+	// recycles would falsely validate — accepted, like a seqlock tag,
+	// because refs are transient call-lifetime tokens, not storage.
+	//
+	//ppc:atomic
+	gen atomic.Uint32
+	// state is the lifecycle word (slabActive..slabFree); transitions
+	// are sealed by refill, recycled by the last releaser's CAS.
+	//
+	//ppc:atomic
+	state atomic.Uint32
+	_     [24]byte // keep the hot cursors below off the metadata line
+
+	// bump is the allocation cursor: one fetch-add per lease, written
+	// only by allocators bound to this shard.
+	//
+	//ppc:atomic
+	//ppc:hotline
+	bump atomic.Int64
+	_    [56]byte
+
+	// leases counts outstanding segment leases. Releasers run on
+	// whatever goroutine settles the call (async workers, deadline
+	// executors, the offload worker), so this line is written from
+	// other cores and must not share with the allocator's bump line.
+	//
+	//ppc:atomic
+	//ppc:hotline
+	leases atomic.Int64
+	_      [56]byte
+}
+
+// shardArena is one shard's arena: the current slab, the lock-free
+// slab table, and the cold-path refill state. Reached via a pointer
+// from the shard, so only internal striping matters: the cur pointer
+// is loaded on every alloc and replaced only on refill; everything
+// below it is cold.
+//
+//ppc:padded
+type shardArena struct {
+	// cur is the active slab — the one word the warm alloc loads.
+	//
+	//ppc:atomic
+	//ppc:hotline
+	cur atomic.Pointer[arenaSlab]
+	_   [56]byte
+
+	// tab is the copy-on-grow slab table: an immutable snapshot,
+	// republished under mu whenever a slab is added. Lookups (view,
+	// release) index it lock-free; slab i covers offsets
+	// [i<<arenaSlabShift, (i+1)<<arenaSlabShift).
+	//
+	//ppc:atomic
+	tab atomic.Pointer[[]*arenaSlab]
+
+	// lane resolves staged (offload-pending) segments on the view path.
+	lane *offloadLane
+
+	// grows counts slab allocations (ShardStats.ArenaGrows) — growth,
+	// unlike recycling, should plateau once traffic reaches steady
+	// state.
+	grows atomic.Int64
+
+	// mu guards refill: slab activation, recycle harvesting, and table
+	// growth. Never on the warm alloc path — at most once per slabful.
+	mu sync.Mutex
+	_  [32]byte // tile to whole lines: shardArena embeds 64-aligned in shard
+}
+
+// newSlab allocates one slab with its data region aligned to
+// arenaLineBytes: the raw buffer is over-allocated by one line and
+// trimmed at the first aligned byte.
+//
+//ppc:coldpath -- slab construction, once per arena grow
+func newSlab(base int64) *arenaSlab {
+	raw := make([]byte, arenaSlabBytes+arenaLineBytes)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(&raw[0])) & (arenaLineBytes - 1)); rem != 0 {
+		off = arenaLineBytes - rem
+	}
+	return &arenaSlab{
+		buf:  raw[off : off+arenaSlabBytes : off+arenaSlabBytes],
+		base: base,
+	}
+}
+
+// alloc leases n bytes: load the current slab, take a lease with the
+// increment-then-check protocol (the same idiom as call admission —
+// count yourself in, re-validate, back out if a seal intervened), and
+// claim a line-aligned region with one fetch-add. The warm path is
+// three shard-local atomics and no branch that is not statically
+// predictable; every miss (no slab yet, sealed under us, slab full)
+// falls to the mutex-guarded refill.
+//
+//ppc:hotpath
+func (a *shardArena) alloc(n int) (PayloadRef, []byte, error) {
+	if n <= 0 || n > MaxPayloadBytes {
+		return 0, nil, ErrPayloadTooLarge
+	}
+	need := int64(n+arenaLineBytes-1) &^ (arenaLineBytes - 1)
+	for {
+		s := a.cur.Load()
+		if s == nil {
+			var err error
+			if s, err = a.refill(nil); err != nil {
+				return 0, nil, err
+			}
+		}
+		// Lease first, then validate: once the lease is visible no
+		// recycler can reset the slab under the region we are about to
+		// claim (tryRecycle requires leases == 0 after seal).
+		s.leases.Add(1)
+		if s.state.Load() != slabActive {
+			// Sealed between our load of cur and the lease; back out.
+			// refill has already replaced cur, so the retry makes
+			// progress.
+			a.releaseSlab(s)
+			continue
+		}
+		off := s.bump.Add(need) - need
+		if off+need <= arenaSlabBytes {
+			return packPayloadRef(s.gen.Load(), s.base+off, n),
+				s.buf[off : off+int64(n) : off+need], nil
+		}
+		// Full: drop the lease (the overshot cursor is fine — the slab
+		// is about to be sealed and the cursor resets on recycle) and
+		// refill.
+		a.releaseSlab(s)
+		if _, err := a.refill(s); err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+// refill replaces the current slab: activate a recycled free slab if
+// one exists, grow the table otherwise, and seal the outgoing slab so
+// its leases can drain it into the free pool. old is the slab the
+// caller found exhausted (nil on first use); if another refill already
+// replaced it the existing current slab is returned and nothing
+// changes.
+//
+//ppc:coldpath -- runs at most once per slabful of payload traffic
+func (a *shardArena) refill(old *arenaSlab) (*arenaSlab, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cur := a.cur.Load(); cur != old {
+		return cur, nil
+	}
+	var next *arenaSlab
+	if tab := a.tab.Load(); tab != nil {
+		for _, s := range *tab {
+			if s.state.Load() == slabFree {
+				next = s
+				break
+			}
+		}
+	}
+	if next == nil {
+		var err error
+		if next, err = a.growLocked(); err != nil {
+			return nil, err
+		}
+	}
+	next.state.Store(slabActive)
+	// Publish the replacement before sealing the old slab: an allocator
+	// that backs out of the sealed slab must find the new one on retry.
+	a.cur.Store(next)
+	if old != nil {
+		old.state.Store(slabSealed)
+		if old.leases.Load() == 0 {
+			tryRecycle(old)
+		}
+	}
+	return next, nil
+}
+
+// growLocked appends a fresh slab to the table (copy-on-grow: the old
+// snapshot stays valid for concurrent lookups). Caller holds mu.
+//
+//ppc:coldpath -- arena growth; steady-state traffic recycles instead
+func (a *shardArena) growLocked() (*arenaSlab, error) {
+	var cur []*arenaSlab
+	if tab := a.tab.Load(); tab != nil {
+		cur = *tab
+	}
+	if len(cur) >= arenaMaxSlabs {
+		return nil, ErrArenaFull
+	}
+	s := newSlab(int64(len(cur)) << arenaSlabShift)
+	next := make([]*arenaSlab, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	a.tab.Store(&next)
+	a.grows.Add(1)
+	return s, nil
+}
+
+// slabAt resolves a global arena offset to its slab (nil if the offset
+// is outside the grown space — a corrupt or foreign descriptor).
+//
+//ppc:hotpath
+func (a *shardArena) slabAt(byteOff int64) *arenaSlab {
+	tab := a.tab.Load()
+	if tab == nil {
+		return nil
+	}
+	idx := byteOff >> arenaSlabShift
+	if idx < 0 || idx >= int64(len(*tab)) {
+		return nil
+	}
+	return (*tab)[idx]
+}
+
+// view materializes a descriptor as a slice into the arena — the
+// handler-side zero-copy read. Validation fails closed: a descriptor
+// whose generation no longer matches its slab (released and recycled,
+// or scribbled into nonsense) yields nil rather than a window into
+// another call's bytes. A segment still staged on the copy-offload
+// lane waits here for the staging copy to land before the bytes are
+// exposed.
+//
+//ppc:hotpath
+func (a *shardArena) view(ref PayloadRef) []byte {
+	n := ref.Len()
+	if n == 0 {
+		return nil
+	}
+	off := ref.byteOff()
+	s := a.slabAt(off)
+	// The slab's counter is 32-bit but a ref carries only 16 bits of it:
+	// compare masked, or every descriptor minted after the 65536th
+	// recycle of a slab fails validation (the wrap is the accepted
+	// seqlock-style ambiguity, not a permanent poisoning).
+	if s == nil || s.gen.Load()&payloadGenMask != ref.gen() {
+		return nil
+	}
+	lo := off - s.base
+	if lo+int64(n) > arenaSlabBytes {
+		return nil
+	}
+	if ref.staged() && a.lane != nil {
+		a.lane.waitStaged(ref, a)
+	}
+	return s.buf[lo : lo+int64(n) : lo+int64(n)]
+}
+
+// release returns one lease. Stale descriptors (generation mismatch —
+// the slab was already recycled) are ignored; a matching release that
+// drains a sealed slab's last lease recycles it.
+//
+//ppc:coldpath -- lease settlement: runs only for calls that carried payloads
+func (a *shardArena) release(ref PayloadRef) {
+	if ref == 0 {
+		return
+	}
+	s := a.slabAt(ref.byteOff())
+	if s == nil || s.gen.Load()&payloadGenMask != ref.gen() {
+		return
+	}
+	a.releaseSlab(s)
+}
+
+// addLease takes an extra lease on the slab backing ref — the copy-
+// offload lane's second lease, valid only while the caller already
+// holds one (an existing lease is what keeps the slab from recycling
+// under this increment).
+//
+//ppc:coldpath -- offload staging setup, large transfers only
+func (a *shardArena) addLease(ref PayloadRef) {
+	if s := a.slabAt(ref.byteOff()); s != nil {
+		s.leases.Add(1)
+	}
+}
+
+// releaseSlab drops one lease; the releaser that drains a sealed slab
+// recycles it.
+func (a *shardArena) releaseSlab(s *arenaSlab) {
+	if s.leases.Add(-1) == 0 && s.state.Load() == slabSealed {
+		tryRecycle(s)
+	}
+}
+
+// tryRecycle resets a drained, sealed slab for reuse. The CAS elects
+// one recycler (a racing releaser and refill both call this); the
+// generation bump and cursor reset complete before the slab is marked
+// free, so a refill can never activate a slab whose old-generation
+// descriptors would still validate.
+//
+//ppc:coldpath -- slab recycling, once per drained slabful
+func tryRecycle(s *arenaSlab) {
+	if !s.state.CompareAndSwap(slabSealed, slabRecycling) {
+		return
+	}
+	s.gen.Add(1)
+	s.bump.Store(0)
+	s.state.Store(slabFree)
+}
+
+// leasesActive sums outstanding leases across the arena's slabs
+// (ShardStats.LeasesActive). Zero at quiescence; a persistent nonzero
+// means a leaked lease — exactly what the chaos storm asserts against.
+//
+//ppc:coldpath -- diagnostics walk
+func (a *shardArena) leasesActive() int64 {
+	tab := a.tab.Load()
+	if tab == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range *tab {
+		n += s.leases.Load()
+	}
+	return n
+}

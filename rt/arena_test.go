@@ -1,0 +1,589 @@
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPayloadRefPacking pins the descriptor bit layout: gen, offset,
+// and length round-trip through the packed word, offsets are carried
+// in line units, and the staged bit is independent of all three.
+func TestPayloadRefPacking(t *testing.T) {
+	cases := []struct {
+		gen uint32
+		off int64
+		n   int
+	}{
+		{0, 0, 1},
+		{1, 64, 100},
+		{65535, (int64(payloadOffMask)) << lineShift, MaxPayloadBytes},
+		{7, 3 << arenaSlabShift, arenaLineBytes},
+	}
+	for _, c := range cases {
+		r := packPayloadRef(c.gen, c.off, c.n)
+		if r.gen() != c.gen || r.byteOff() != c.off || r.Len() != c.n {
+			t.Fatalf("pack(%d,%d,%d) round-trips as (%d,%d,%d)",
+				c.gen, c.off, c.n, r.gen(), r.byteOff(), r.Len())
+		}
+		if r.staged() {
+			t.Fatalf("pack(%d,%d,%d) spuriously staged", c.gen, c.off, c.n)
+		}
+		s := r | PayloadRef(payloadStagedBit)
+		if !s.staged() || s.gen() != c.gen || s.byteOff() != c.off || s.Len() != c.n {
+			t.Fatalf("staged bit disturbs the packed fields: %#x", uint64(s))
+		}
+	}
+}
+
+// TestArenaAllocBounds pins the segment size validation: zero,
+// negative, and over-slab requests fail with ErrPayloadTooLarge before
+// the arena is touched.
+func TestArenaAllocBounds(t *testing.T) {
+	var a shardArena
+	for _, n := range []int{0, -1, MaxPayloadBytes + 1} {
+		if _, _, err := a.alloc(n); !errors.Is(err, ErrPayloadTooLarge) {
+			t.Fatalf("alloc(%d) = %v, want ErrPayloadTooLarge", n, err)
+		}
+	}
+	if a.tab.Load() != nil {
+		t.Fatal("rejected allocs grew the arena")
+	}
+}
+
+// TestArenaAllocAlignmentAndIsolation checks the line discipline: every
+// segment starts 64-aligned in the slab's offset space and no two live
+// segments overlap (distinct lines), so payload readers never
+// false-share.
+func TestArenaAllocAlignmentAndIsolation(t *testing.T) {
+	var a shardArena
+	type seg struct {
+		lo, hi int64
+	}
+	var segs []seg
+	for i, n := range []int{1, 63, 64, 65, 4096, 100} {
+		ref, buf, err := a.alloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != n {
+			t.Fatalf("alloc %d returned %d bytes", n, len(buf))
+		}
+		off := ref.byteOff()
+		if off%arenaLineBytes != 0 {
+			t.Fatalf("segment %d at unaligned offset %d", i, off)
+		}
+		rounded := (int64(n) + arenaLineBytes - 1) &^ (arenaLineBytes - 1)
+		for _, s := range segs {
+			if off < s.hi && off+rounded > s.lo {
+				t.Fatalf("segment [%d,%d) overlaps [%d,%d)", off, off+rounded, s.lo, s.hi)
+			}
+		}
+		segs = append(segs, seg{off, off + rounded})
+	}
+	if got := a.leasesActive(); got != int64(len(segs)) {
+		t.Fatalf("leasesActive = %d, want %d", got, len(segs))
+	}
+}
+
+// TestArenaViewRoundTrip checks the fundamental zero-copy property: the
+// view returned for a descriptor aliases the exact bytes alloc handed
+// the producer — same backing memory, not a copy.
+func TestArenaViewRoundTrip(t *testing.T) {
+	var a shardArena
+	ref, buf, err := a.alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	v := a.view(ref)
+	if v == nil || &v[0] != &buf[0] || len(v) != len(buf) {
+		t.Fatal("view does not alias the allocated segment")
+	}
+	buf[0] = 0xAB
+	if v[0] != 0xAB {
+		t.Fatal("view is a copy, not an alias")
+	}
+}
+
+// TestArenaViewFailsClosed pins the validation: the zero ref, a
+// generation-stale ref, and an out-of-space ref all yield nil — a bad
+// descriptor can never become a window into another call's bytes.
+func TestArenaViewFailsClosed(t *testing.T) {
+	var a shardArena
+	if a.view(0) != nil {
+		t.Fatal("zero ref produced a view")
+	}
+	ref, _, err := a.alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An offset beyond the grown space.
+	far := packPayloadRef(0, int64(arenaSlabBytes)*4, 16)
+	if a.view(far) != nil {
+		t.Fatal("out-of-space ref produced a view")
+	}
+	// A wrong-generation ref into a live slab.
+	stale := packPayloadRef(ref.gen()+1, ref.byteOff(), 16)
+	if a.view(stale) != nil {
+		t.Fatal("generation-stale ref produced a view")
+	}
+	a.release(ref)
+}
+
+// TestArenaRecycleInvalidatesRefs drives one slab to exhaustion and
+// back: sealing and recycling bumps the generation, after which every
+// descriptor minted under the old generation fails validation, and the
+// recycled slab serves fresh allocations from a reset cursor.
+func TestArenaRecycleInvalidatesRefs(t *testing.T) {
+	var a shardArena
+	first, _, err := a.alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust slab 0 so refill seals it; hold only `first` so the seal
+	// leaves it draining, then release to trigger the recycle.
+	seg := MaxPayloadBytes
+	var refs []PayloadRef
+	for {
+		ref, _, err := a.alloc(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+		if ref.byteOff() >= arenaSlabBytes { // first segment of slab 1
+			break
+		}
+	}
+	for _, r := range refs[:len(refs)-1] {
+		a.release(r)
+	}
+	if a.view(first) == nil {
+		t.Fatal("live ref invalidated while its lease is held")
+	}
+	a.release(first) // last lease on sealed slab 0 → recycle
+	if v := a.view(first); v != nil {
+		t.Fatal("stale ref still views a recycled slab")
+	}
+	if got := a.grows.Load(); got != 2 {
+		t.Fatalf("grows = %d, want 2", got)
+	}
+	// The free slab is reused, not regrown, and its cursor was reset.
+	a.release(refs[len(refs)-1]) // drain slab 1 (still active: no recycle)
+	var last PayloadRef
+	for {
+		ref, _, err := a.alloc(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.byteOff() < arenaSlabBytes { // back in recycled slab 0
+			if ref.gen() == first.gen() {
+				t.Fatal("recycled slab did not bump its generation")
+			}
+			last = ref
+			break
+		}
+		a.release(ref)
+	}
+	a.release(last)
+	if got := a.grows.Load(); got != 2 {
+		t.Fatalf("recycle grew the arena: grows = %d, want 2", got)
+	}
+}
+
+// TestArenaStaleReleaseIgnored pins double-release safety across a
+// recycle: releasing a descriptor whose slab has already recycled is a
+// no-op (generation mismatch), so it can never push leases negative
+// and recycle a slab out from under a live lease.
+func TestArenaStaleReleaseIgnored(t *testing.T) {
+	var a shardArena
+	ref, _, err := a.alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.cur.Load()
+	a.release(ref)
+	// Manually seal+recycle (refill would do this on exhaustion).
+	s.state.Store(slabSealed)
+	tryRecycle(s)
+	if s.state.Load() != slabFree {
+		t.Fatal("drained sealed slab did not recycle")
+	}
+	a.release(ref) // stale: gen mismatch
+	if got := s.leases.Load(); got != 0 {
+		t.Fatalf("stale release moved the lease count: %d", got)
+	}
+}
+
+// TestArenaGenWrap pins validation across the 16-bit generation wrap:
+// a PayloadRef carries only the low 16 bits of its slab's 32-bit
+// recycle counter, so the view/release comparison must be masked. The
+// original bug: after a slab's 65536th recycle, every FRESH descriptor
+// failed validation (full counter != truncated field) and the payload
+// path was permanently poisoned — first seen as empty handler views in
+// the 1 MB benchmark, where a slab recycles every fourth alloc.
+func TestArenaGenWrap(t *testing.T) {
+	var a shardArena
+	ref, _, err := a.alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.release(ref)
+	// Age the slab past the 16-bit boundary, as 65536 recycles would.
+	s := a.cur.Load()
+	s.gen.Add(1 << 16)
+	ref, buf, err := a.alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 42
+	v := a.view(ref)
+	if len(v) != 64 || v[0] != 42 {
+		t.Fatalf("fresh descriptor fails validation after gen wrap: view = %v", v)
+	}
+	a.release(ref)
+	if got := s.leases.Load(); got != 0 {
+		t.Fatalf("release after gen wrap did not settle the lease: %d", got)
+	}
+}
+
+// TestArenaConcurrentAllocRelease hammers the lease protocol from many
+// goroutines with segment sizes that force continual seal/recycle
+// traffic, then asserts full convergence: no leaked lease, no negative
+// count, and every view observed its own bytes.
+func TestArenaConcurrentAllocRelease(t *testing.T) {
+	var a shardArena
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			want := make([]byte, 8192)
+			for i := range want {
+				want[i] = id
+			}
+			for i := 0; i < iters; i++ {
+				ref, buf, err := a.alloc(len(want))
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				copy(buf, want)
+				v := a.view(ref)
+				if v == nil || !bytes.Equal(v, want) {
+					t.Error("view lost or corrupted its bytes")
+					a.release(ref)
+					return
+				}
+				a.release(ref)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+	if got := a.leasesActive(); got != 0 {
+		t.Fatalf("leaked leases after convergence: %d", got)
+	}
+}
+
+// TestClientPayloadAPI exercises the public surface end to end on one
+// shard: AllocPayload → AttachPayload → Call → handler views the bytes
+// in place → settle releases the lease.
+func TestClientPayloadAPI(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	got := make([]byte, 0, 256)
+	svc, err := sys.Bind(ServiceConfig{Name: "pay", Handler: func(ctx *Ctx, args *Args) {
+		if n := ctx.NumPayloads(); n != 2 {
+			t.Errorf("NumPayloads = %d, want 2", n)
+		}
+		got = append(got[:0], ctx.Payload(0)...)
+		got = append(got, ctx.Payload(1)...)
+		if ctx.Payload(2) != nil || ctx.Payload(-1) != nil {
+			t.Error("out-of-range payload index produced a view")
+		}
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+
+	var args Args
+	args.SetOp(1, 0)
+	r1, b1, err := c.AllocPayload(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(b1, "hello")
+	args.AttachPayload(r1)
+	if err := c.AttachBytes(&args, []byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if args.NumPayloads() != 2 || args.PayloadRefAt(0) != r1 {
+		t.Fatalf("attach bookkeeping wrong: n=%d", args.NumPayloads())
+	}
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("handler saw %q", got)
+	}
+	if args.NumPayloads() != 0 {
+		t.Fatal("settle left the caller's descriptor count set")
+	}
+	if st := sys.Stats()[0]; st.LeasesActive != 0 {
+		t.Fatalf("LeasesActive = %d after settle, want 0", st.LeasesActive)
+	}
+}
+
+// TestPayloadErrorPathsRelease pins the lease-settlement contract on
+// failing calls: a call that never reaches its handler (bad entry
+// point, killed service, dead-on-arrival context) still consumes the
+// attached leases.
+func TestPayloadErrorPathsRelease(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "victim", Handler: func(ctx *Ctx, args *Args) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+
+	attach := func() *Args {
+		var args Args
+		if err := c.AttachBytes(&args, []byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+		return &args
+	}
+	if err := c.Call(9999, attach()); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("bad EP: %v", err)
+	}
+	if err := c.AsyncCall(9999, attach()); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("async bad EP: %v", err)
+	}
+	if _, err := c.AsyncBatch(9999, []Args{*attach(), *attach()}); !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("batch bad EP: %v", err)
+	}
+	ep := svc.EP()
+	if err := sys.Kill(ep, false); err != nil {
+		t.Fatal(err)
+	}
+	// A drained kill retracts the entry point, so the call fails either
+	// as killed (mid-drain) or as a bad entry point (after retraction);
+	// both are pre-dispatch error settles.
+	if err := c.Call(ep, attach()); !errors.Is(err, ErrKilled) && !errors.Is(err, ErrBadEntryPoint) {
+		t.Fatalf("killed: %v", err)
+	}
+	if st := sys.Stats()[0]; st.LeasesActive != 0 {
+		t.Fatalf("error paths leaked %d leases", st.LeasesActive)
+	}
+}
+
+// TestPayloadAsyncAndBatchRelease runs payloads through the ring and
+// the batch path and asserts every lease settles — including requests
+// whose args block is reused by the caller immediately after submit
+// (the ring's slot copy owns the descriptors from acceptance).
+func TestPayloadAsyncAndBatchRelease(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	var mu sync.Mutex
+	total := 0
+	svc, err := sys.Bind(ServiceConfig{Name: "apay", Handler: func(ctx *Ctx, args *Args) {
+		mu.Lock()
+		total += len(ctx.Payload(0))
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	done := make(chan struct{}, 64)
+
+	var args Args
+	const rounds = 32
+	for i := 0; i < rounds; i++ {
+		if err := c.AttachBytes(&args, []byte("async-payload")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AsyncCallNotify(svc.EP(), &args, done); err != nil {
+			t.Fatal(err)
+		}
+		if args.NumPayloads() != 0 {
+			t.Fatal("accepted submit left the caller's descriptor count set")
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		<-done
+	}
+
+	b := c.NewBatch(svc.EP(), 8)
+	b.SetNotify(done)
+	for i := 0; i < 8; i++ {
+		if err := c.AttachBytes(&args, []byte("batch-payload")); err != nil {
+			t.Fatal(err)
+		}
+		b.Add(&args)
+		if args.NumPayloads() != 0 {
+			t.Fatal("Add left the caller's descriptor count set")
+		}
+	}
+	if n, err := b.Flush(); err != nil || n != 8 {
+		t.Fatalf("Flush = (%d, %v)", n, err)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+
+	mu.Lock()
+	want := rounds*len("async-payload") + 8*len("batch-payload")
+	if total != want {
+		t.Fatalf("handlers saw %d payload bytes, want %d", total, want)
+	}
+	mu.Unlock()
+	if st := sys.Stats()[0]; st.LeasesActive != 0 {
+		t.Fatalf("async/batch paths leaked %d leases", st.LeasesActive)
+	}
+}
+
+// TestPayloadOffload stages a large AttachBytes through the offload
+// lane and checks the rendezvous: the handler's view waits for the
+// staged copy and sees the full bytes, the lane's byte counter moves,
+// and both leases (call + copy job) settle.
+func TestPayloadOffload(t *testing.T) {
+	sys := NewSystemOptions(Options{Shards: 1, OffloadThreshold: 1024})
+	defer sys.Close()
+	data := make([]byte, 128<<10)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	var ok bool
+	var mu sync.Mutex
+	svc, err := sys.Bind(ServiceConfig{Name: "off", Handler: func(ctx *Ctx, args *Args) {
+		v := ctx.Payload(0)
+		mu.Lock()
+		ok = bytes.Equal(v, data)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+
+	var args Args
+	if err := c.AttachBytes(&args, data); err != nil {
+		t.Fatal(err)
+	}
+	if !args.PayloadRefAt(0).staged() {
+		t.Skip("offload lane fell back inline (saturated); nothing to rendezvous")
+	}
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !ok {
+		t.Fatal("handler view diverged from the staged bytes")
+	}
+	st := sys.Stats()[0]
+	if st.OffloadedBytes == 0 {
+		t.Fatal("offload lane copied nothing")
+	}
+	if st.LeasesActive != 0 {
+		t.Fatalf("offload path leaked %d leases", st.LeasesActive)
+	}
+	if st.OffloadQueueDepth != 0 {
+		t.Fatalf("offload queue depth %d after settle", st.OffloadQueueDepth)
+	}
+}
+
+// TestPayloadOffloadDisabled pins the negative-threshold knob: the lane
+// never stages, every AttachBytes copies inline, and correctness is
+// unchanged.
+func TestPayloadOffloadDisabled(t *testing.T) {
+	sys := NewSystemOptions(Options{Shards: 1, OffloadThreshold: -1})
+	defer sys.Close()
+	data := make([]byte, 256<<10)
+	var n int
+	var mu sync.Mutex
+	svc, err := sys.Bind(ServiceConfig{Name: "inline", Handler: func(ctx *Ctx, args *Args) {
+		mu.Lock()
+		n = len(ctx.Payload(0))
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	var args Args
+	if err := c.AttachBytes(&args, data); err != nil {
+		t.Fatal(err)
+	}
+	if args.PayloadRefAt(0).staged() {
+		t.Fatal("disabled lane still staged a copy")
+	}
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if n != len(data) {
+		t.Fatalf("handler saw %d bytes, want %d", n, len(data))
+	}
+	if st := sys.Stats()[0]; st.OffloadedBytes != 0 {
+		t.Fatal("disabled lane reported offloaded bytes")
+	}
+}
+
+// TestPayloadDeadlineOrphanLease pins the lease-outlives-quarantine
+// invariant: a CallDeadline whose handler sleeps past the deadline
+// orphans the call, and the payload view stays valid for the orphaned
+// handler until it returns — the lease settles with the executor, not
+// the caller.
+func TestPayloadDeadlineOrphanLease(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	block := make(chan struct{})
+	checked := make(chan bool, 1)
+	svc, err := sys.Bind(ServiceConfig{Name: "orphan", Handler: func(ctx *Ctx, args *Args) {
+		<-block // outlive the caller's deadline
+		v := ctx.Payload(0)
+		checked <- v != nil && string(v) == "survives"
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+	var args Args
+	if err := c.AttachBytes(&args, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	err = c.CallDeadline(svc.EP(), &args, 10*minWheelGranularity)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("CallDeadline = %v, want ErrDeadline", err)
+	}
+	// Caller is gone; the handler still holds the view through the
+	// quarantined descriptor.
+	if st := sys.Stats()[0]; st.LeasesActive == 0 {
+		t.Fatal("lease released before the orphaned handler returned")
+	}
+	close(block)
+	if !<-checked {
+		t.Fatal("orphaned handler's payload view was invalidated")
+	}
+	waitCond(t, time.Second, "lease settle after orphan return", func() bool {
+		return sys.Stats()[0].LeasesActive == 0
+	})
+}

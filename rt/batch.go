@@ -66,6 +66,11 @@ func (b *Batch) Add(args *Args) {
 	}
 	b.reqs = b.reqs[:len(b.reqs)+1]
 	b.reqs[len(b.reqs)-1] = *args
+	// The staged copy owns any attached payload leases from here (Flush
+	// settles a rejected tail; workers settle accepted requests); strip
+	// the caller's descriptor count so the same block can stage the next
+	// request without double-releasing.
+	transferPayloads(args)
 }
 
 // grow doubles the staging buffer.
@@ -118,15 +123,21 @@ func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program 
 	if len(argss) == 0 {
 		return 0, nil
 	}
+	// Rejected requests settle their attached payload leases, same
+	// contract as the single-call paths: a whole-batch rejection
+	// releases every entry, a partial acceptance releases the tail.
 	if int(ep) >= MaxEntryPoints {
+		sh.releaseBatchPayloads(argss)
 		return 0, ErrBadEntryPoint
 	}
 	e := sh.lookup(ep)
 	if e == nil {
+		sh.releaseBatchPayloads(argss)
 		return 0, ErrBadEntryPoint
 	}
 	svc := e.svc
 	if svc.state.Load() != svcActive {
+		sh.releaseBatchPayloads(argss)
 		return 0, ErrKilled
 	}
 	counters := e.counters
@@ -134,6 +145,7 @@ func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program 
 	if svc.health != nil {
 		var gerr error
 		if probe, gerr = svc.gateAdmit(counters); gerr != nil {
+			sh.releaseBatchPayloads(argss)
 			return 0, gerr
 		}
 	}
@@ -143,11 +155,19 @@ func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program 
 		if probe {
 			svc.settleProbe(counters, ErrKilled)
 		}
+		sh.releaseBatchPayloads(argss)
 		return 0, ErrKilled
 	}
 	n, err := sh.submitBatch(s, svc, argss, program, done, deadline)
 	if n < len(argss) {
 		svc.unadmit(counters, len(argss)-n)
+		sh.releaseBatchPayloads(argss[n:])
+	}
+	// The ring's copies own the accepted entries' leases; strip the
+	// caller-side descriptor counts so a reused slice cannot release
+	// them again.
+	for i := 0; i < n; i++ {
+		transferPayloads(&argss[i])
 	}
 	if probe && n == 0 {
 		// The whole batch was rejected before reaching the ring: no

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -249,6 +250,156 @@ func TestChaosDeadlineStorm(t *testing.T) {
 	time.Sleep(30 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+	chaosConverge(t, sys, svc, base)
+}
+
+// TestChaosArenaStorm: the zero-copy payload path under every fault
+// class at once. Four goroutines drive payload-carrying traffic —
+// sync, offloaded AttachBytes, tiny-deadline orphans against a
+// stalling handler, and batches against a service that gets
+// hard-killed mid-storm — while FaultSiteArena starves every fifth
+// allocation and FaultSiteHandler panics every third dispatch. The
+// contract under test is lease settlement: whatever combination of
+// panic containment, deadline quarantine, kill discard, offload
+// staging, and admission backout a payload's call dies through, its
+// arena lease must be returned. After the storm, LeasesActive and
+// OffloadQueueDepth must converge to exactly zero before the usual
+// convergence probe runs.
+func TestChaosArenaStorm(t *testing.T) {
+	base := chaosBaseline()
+	sys := NewSystemOptions(Options{
+		Shards:               1,
+		WorkerStallThreshold: 2 * time.Millisecond,
+		WatchdogInterval:     time.Millisecond,
+		OffloadThreshold:     2048,
+	})
+	svc, err := sys.Bind(ServiceConfig{
+		Name: "chaosArena",
+		Handler: func(ctx *Ctx, args *Args) {
+			_ = ctx.Payload(0)
+			if args[0] == 1 {
+				// The stall leg: wedge long enough for a tiny
+				// deadline to orphan this call with its lease live.
+				time.Sleep(2 * time.Millisecond)
+			}
+			args[0] = 0
+		},
+		Health: &HealthConfig{MaxConsecutiveFaults: 4, MaxConsecutiveTimeouts: 4, ProbeAfter: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := sys.Bind(ServiceConfig{
+		Name:    "victim",
+		Handler: func(ctx *Ctx, args *Args) { _ = ctx.Payload(0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fn, gate := FaultWhile(FaultPanicEvery(3, "arena chaos panic"))
+	sys.InjectFault(FaultSiteHandler, fn)
+	var allocN atomic.Int64
+	sys.InjectFault(FaultSiteArena, func() error {
+		if allocN.Add(1)%5 == 0 {
+			return ErrArenaFull
+		}
+		return nil
+	})
+
+	stormOK := func(err error) bool {
+		return err == nil || errors.Is(err, ErrServerFault) ||
+			errors.Is(err, ErrServiceUnhealthy) || errors.Is(err, ErrBackpressure) ||
+			errors.Is(err, ErrDeadline) || errors.Is(err, ErrArenaFull) ||
+			errors.Is(err, ErrKilled) || errors.Is(err, ErrBadEntryPoint)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	big := make([]byte, 8<<10)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := sys.NewClientOnShard(0)
+			defer c.Release()
+			b := c.NewBatch(victim.EP(), 4)
+			var args Args
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				switch g {
+				case 0: // warm zero-copy sync calls
+					ref, buf, aerr := c.AllocPayload(1024)
+					if aerr == nil {
+						buf[0] = byte(i)
+						args[0] = 0
+						args.AttachPayload(ref)
+						err = c.Call(svc.EP(), &args)
+					} else {
+						err = aerr
+					}
+				case 1: // staged offload copies through the async ring
+					args[0] = 0
+					if err = c.AttachBytes(&args, big); err == nil {
+						err = c.AsyncCall(svc.EP(), &args)
+					}
+				case 2: // deadline orphans with leases in flight
+					ref, _, aerr := c.AllocPayload(512)
+					if aerr == nil {
+						args[0] = 1
+						args.AttachPayload(ref)
+						err = c.CallDeadline(svc.EP(), &args, time.Duration(100+i%200)*time.Microsecond)
+					} else {
+						err = aerr
+					}
+				default: // payload batches against the kill victim
+					staged := 0
+					for k := 0; k < 4; k++ {
+						ref, _, aerr := c.AllocPayload(256)
+						if aerr != nil {
+							continue
+						}
+						args[0] = 0
+						args.AttachPayload(ref)
+						b.Add(&args)
+						staged++
+					}
+					if staged > 0 {
+						_, err = b.Flush()
+					}
+				}
+				if !stormOK(err) {
+					t.Errorf("storm goroutine %d: unexpected %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	// Hard-kill the victim with payload batches in flight: held ring
+	// entries for a dead service are discarded, and every discarded
+	// entry must still settle its leases.
+	sys.Kill(victim.EP(), true)
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	gate.Store(false)
+	sys.ClearFaults()
+
+	// The headline assertion: every lease taken during the storm —
+	// through panics, orphans, kills, backouts, and staged copies —
+	// has been returned, and the offload lane is empty.
+	waitCond(t, 5*time.Second, "lease convergence", func() bool {
+		st := sys.Stats()[0]
+		return st.LeasesActive == 0 && st.OffloadQueueDepth == 0
+	})
+	if st := sys.Stats()[0]; st.OffloadedBytes == 0 {
+		t.Fatalf("storm never exercised the offload lane: %+v", st)
+	}
 	chaosConverge(t, sys, svc, base)
 }
 

@@ -11,6 +11,13 @@ type Ctx struct {
 	CallerProgram uint32
 
 	async bool
+
+	// pay is the call's captured payload descriptor set (payload.go):
+	// snapshotted from the argument words at dispatch, before the
+	// handler runs, so Payload views and the settlement release work
+	// from an immutable copy the handler cannot scribble over. Plain
+	// field — the servicing goroutine is the only toucher.
+	pay payloadSet
 }
 
 // System returns the owning system.
@@ -216,15 +223,21 @@ func (s *Service) epProgram() uint32 { return uint32(s.ep) | 1<<31 }
 //
 //ppc:hotpath
 func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, program uint32) error {
+	// Every pre-dispatch error return settles attached payload leases
+	// (releaseArgsPayloads): the attach transferred them to this call,
+	// and a call that fails before dispatch still consumes them.
 	if int(ep) >= MaxEntryPoints {
+		sh.releaseArgsPayloads(args)
 		return ErrBadEntryPoint
 	}
 	e := sh.lookup(ep)
 	if e == nil {
+		sh.releaseArgsPayloads(args)
 		return ErrBadEntryPoint
 	}
 	svc := e.svc
 	if svc.state.Load() != svcActive {
+		sh.releaseArgsPayloads(args)
 		return ErrKilled
 	}
 	counters := e.counters
@@ -237,6 +250,7 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 	if svc.health != nil {
 		var gerr error
 		if probe, gerr = svc.gateAdmit(counters); gerr != nil {
+			sh.releaseArgsPayloads(args)
 			return gerr
 		}
 	}
@@ -246,6 +260,7 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 		if probe {
 			svc.settleProbe(counters, ErrKilled)
 		}
+		sh.releaseArgsPayloads(args)
 		return ErrKilled
 	}
 	if cap(cd.scratch) < svc.scratchBytes {
@@ -272,21 +287,27 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 //
 //ppc:hotpath
 func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}, deadline int64) error {
+	// Pre-dispatch error returns settle attached payload leases, same
+	// contract as callHeld.
 	if int(ep) >= MaxEntryPoints {
+		sh.releaseArgsPayloads(args)
 		return ErrBadEntryPoint
 	}
 	e := sh.lookup(ep)
 	if e == nil {
+		sh.releaseArgsPayloads(args)
 		return ErrBadEntryPoint
 	}
 	svc := e.svc
 	if svc.state.Load() != svcActive {
+		sh.releaseArgsPayloads(args)
 		return ErrKilled
 	}
 	probe := false
 	if svc.health != nil {
 		var gerr error
 		if probe, gerr = svc.gateAdmit(e.counters); gerr != nil {
+			sh.releaseArgsPayloads(args)
 			return gerr
 		}
 	}
@@ -305,6 +326,7 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 			if probe {
 				svc.settleProbe(counters, ErrKilled)
 			}
+			sh.releaseArgsPayloads(args)
 			return ErrKilled
 		}
 		if err := sh.submitAsync(s, svc, args, program, done, deadline); err != nil {
@@ -316,12 +338,18 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 			if probe {
 				svc.settleProbe(counters, err)
 			}
+			sh.releaseArgsPayloads(args)
 			return err
 		}
 		// An accepted async probe settles the gate on the worker side
 		// (recordOutcome / recordTimeout at dequeue); the exits that
 		// bypass those — a hard-kill discard — fall back to the probe
 		// lease in gateAdmitSlow.
+		//
+		// The ring slot's copy of args now owns the attached leases (the
+		// worker settles them at dequeue); strip the caller's descriptor
+		// count so this block cannot release them a second time.
+		transferPayloads(args)
 		return nil
 	}
 	return s.serviceOne(sh, e, args, program, probe)
@@ -348,6 +376,7 @@ func (s *System) serviceOne(sh *shard, e *epEntry, args *Args, program uint32, p
 		if probe {
 			svc.settleProbe(counters, ErrKilled)
 		}
+		sh.releaseArgsPayloads(args)
 		return ErrKilled
 	}
 	defer func() {
@@ -384,7 +413,10 @@ func (s *System) serviceOneHeld(sh *shard, cd *callDesc, svc *Service, args *Arg
 	if svc.state.Load() == svcDead {
 		// Hard-killed while queued: discard without executing. (A soft
 		// kill waits for queued requests, so svcSoftKilled still runs.)
+		// The discarded request's payload leases settle here — the ring
+		// copy owned them from acceptance.
 		svc.backOutAsync(counters)
+		sh.releaseArgsPayloads(args)
 		return ErrKilled
 	}
 	if cap(cd.scratch) < svc.scratchBytes {
@@ -420,10 +452,21 @@ func (s *System) dispatch(cd *callDesc, svc *Service, counters *shardCounters, h
 	ctx.cd = cd
 	ctx.CallerProgram = program
 	ctx.async = async
+	// Capture attached payload descriptors before the handler can touch
+	// the argument words; every exit below settles the captured leases.
+	// The no-payload warm path pays one masked load here and one
+	// predictable branch per exit.
+	npay := capturePayloads(args, &ctx.pay)
 
 	if svc.authorize != nil && !svc.authorize(program) {
 		counters.authFail.Add(1)
-		args.SetRC(uint64(^uint32(0))) // conventional failure RC
+		// Conventional failure RC, masked off the payload-count bits the
+		// flags half reserves (payload.go) — a denied block must not read
+		// as carrying segments when the caller reuses it.
+		args.SetRC(uint64(^uint32(0)) &^ payloadCountMask)
+		if npay != 0 {
+			cd.shard.releasePayloads(args, &ctx.pay)
+		}
 		return ErrPermissionDenied
 	}
 	// First call serviced on this shard runs the init handler instead
@@ -437,7 +480,13 @@ func (s *System) dispatch(cd *callDesc, svc *Service, counters *shardCounters, h
 	// of the paper's §2: the exception is delivered to the caller as an
 	// error, and the service stays up.
 	if fault := runIsolated(s, h, ctx, args); fault != nil {
+		if npay != 0 {
+			cd.shard.releasePayloads(args, &ctx.pay)
+		}
 		return faultError(fault)
+	}
+	if npay != 0 {
+		cd.shard.releasePayloads(args, &ctx.pay)
 	}
 	if !async {
 		counters.calls.Add(1)

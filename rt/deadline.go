@@ -381,13 +381,17 @@ func (c *Client) CallDeadline(ep EntryPointID, args *Args, d time.Duration) erro
 func (c *Client) CallContext(ctx context.Context, ep EntryPointID, args *Args) error {
 	if err := ctx.Err(); err != nil {
 		// Dead on arrival (cancelled, or deadline already past): reject
-		// before admission, with no side effects.
+		// before admission, with no side effects beyond settling any
+		// attached payload leases — the attach transferred them to this
+		// call, failed or not.
+		c.shard.releaseArgsPayloads(args)
 		return fmt.Errorf("%w: %w", ErrDeadline, err)
 	}
 	var d time.Duration
 	if t, ok := ctx.Deadline(); ok {
 		d = time.Until(t)
 		if d <= 0 {
+			c.shard.releaseArgsPayloads(args)
 			return fmt.Errorf("%w: %w", ErrDeadline, context.DeadlineExceeded)
 		}
 	}
@@ -401,16 +405,21 @@ func (c *Client) CallContext(ctx context.Context, ep EntryPointID, args *Args) e
 // callDeadline runs one bounded call through the executor. d == 0
 // means no expiry (cancellation only); cancel may be nil.
 func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, cancel <-chan struct{}, ctx context.Context) error {
+	// Pre-publish error returns settle attached payload leases, same
+	// contract as callHeld.
 	if int(ep) >= MaxEntryPoints {
+		c.shard.releaseArgsPayloads(args)
 		return ErrBadEntryPoint
 	}
 	sh := c.shard
 	e := sh.lookup(ep)
 	if e == nil {
+		sh.releaseArgsPayloads(args)
 		return ErrBadEntryPoint
 	}
 	svc := e.svc
 	if svc.state.Load() != svcActive {
+		sh.releaseArgsPayloads(args)
 		return ErrKilled
 	}
 	counters := e.counters
@@ -418,6 +427,7 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 	if svc.health != nil {
 		var gerr error
 		if probe, gerr = svc.gateAdmit(counters); gerr != nil {
+			sh.releaseArgsPayloads(args)
 			return gerr
 		}
 	}
@@ -435,6 +445,7 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 		if probe {
 			svc.settleProbe(counters, ErrKilled)
 		}
+		sh.releaseArgsPayloads(args)
 		return ErrKilled
 	}
 	cd := c.held
@@ -454,6 +465,12 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 	exec.gen++
 	gen := exec.gen
 	t.args = *args
+	// The ticket's copy owns the attached leases from here: the
+	// executor's dispatch settles them after the handler returns — for
+	// an orphaned call too, which is exactly the lease-outlives-
+	// quarantine invariant (docs/INVARIANTS.md). Strip the caller-side
+	// count so the orphan path cannot release a second time.
+	transferPayloads(args)
 	//ppc:nopublish -- arming store: opens the waiting phase, the Done CAS publishes the results
 	t.state.Store(gen<<dlGenShift | dlPhaseWaiting)
 	if d > 0 {

@@ -24,6 +24,8 @@ func TestErrorTaxonomy(t *testing.T) {
 		ErrDrainTimeout,
 		ErrDeadline,
 		ErrServiceUnhealthy,
+		ErrPayloadTooLarge,
+		ErrArenaFull,
 	}
 	for i, s := range sentinels {
 		if !errors.Is(s, s) {
@@ -112,5 +114,13 @@ func TestErrorsSurfaceOnRightPaths(t *testing.T) {
 	// admission race itself).
 	if err := c.Call(svc.EP(), &Args{}); !errors.Is(err, ErrBadEntryPoint) {
 		t.Fatalf("killed: %v", err)
+	}
+	// Payload sizing errors surface at allocation, before any lease is
+	// taken: a request above the slab capacity is ErrPayloadTooLarge.
+	if _, _, err := c.AllocPayload(arenaSlabBytes + 1); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized payload: %v", err)
+	}
+	if st := sys.Stats()[0]; st.LeasesActive != 0 {
+		t.Fatalf("failed allocation took a lease: %+v", st)
 	}
 }

@@ -34,6 +34,12 @@ import (
 //	                       producer's ticket CAS and its sequence
 //	                       publish: the window a stalled producer
 //	                       leaves the ring non-empty but unpublished.
+//	FaultSiteArena       — (faultinject builds only) fired at payload
+//	                       allocation/attach (AllocPayload,
+//	                       AttachBytes); a non-nil error fails the
+//	                       allocation before the arena is touched, so
+//	                       chaos tests can starve the payload path
+//	                       deterministically.
 
 // FaultSite names an injection point.
 type FaultSite uint8
@@ -48,6 +54,11 @@ const (
 	// FaultSiteRingPublish fires between the ring ticket CAS and the
 	// sequence publish. Only honored in -tags faultinject builds.
 	FaultSiteRingPublish
+	// FaultSiteArena fires at payload allocation (Client.AllocPayload,
+	// Client.AttachBytes) before the arena is touched; a non-nil error
+	// fails the allocation with that error. Only honored in
+	// -tags faultinject builds.
+	FaultSiteArena
 	faultSiteCount
 )
 
@@ -55,7 +66,8 @@ const (
 // FaultSiteHandler the return value is ignored (panic or sleep to
 // inject); at FaultSiteSubmit a non-nil error rejects the submission
 // with ErrBackpressure; at FaultSiteRingPublish the return value is
-// ignored (sleep to delay the publish).
+// ignored (sleep to delay the publish); at FaultSiteArena a non-nil
+// error fails the payload allocation with that error.
 type FaultFn func() error
 
 // faultHooks is the per-System registry. active is the one word the

@@ -179,4 +179,69 @@ func TestShardLayout(t *testing.T) {
 	if submitting == wake {
 		t.Error("submitting shares the wake line")
 	}
+	if off := unsafe.Offsetof(s.arena); off%lineBytes != 0 {
+		t.Errorf("arena at offset %d shears its internal cur-line isolation", off)
+	}
+}
+
+// TestArenaLayout pins the payload arena's striping. A slab's bump
+// cursor (written by the shard-bound allocator on every lease) and its
+// lease counter (written by whatever goroutine settles each call —
+// async workers, deadline executors, the offload worker) must each own
+// a line, with the read-mostly metadata off both; the whole slab tiles
+// 64 bytes. The arena header's cur pointer — the one word the warm
+// alloc loads — owns its line, and shardArena tiles whole lines so its
+// by-value embedding in shard cannot shear it.
+func TestArenaLayout(t *testing.T) {
+	var s arenaSlab
+	if sz := unsafe.Sizeof(s); sz%lineBytes != 0 {
+		t.Errorf("arenaSlab size %d is not a multiple of %d", sz, lineBytes)
+	}
+	lineOf := func(off uintptr) uintptr { return off / lineBytes }
+	bump := unsafe.Offsetof(s.bump)
+	leases := unsafe.Offsetof(s.leases)
+	if bump%lineBytes != 0 {
+		t.Errorf("bump at offset %d is not line-aligned", bump)
+	}
+	if leases%lineBytes != 0 {
+		t.Errorf("leases at offset %d is not line-aligned", leases)
+	}
+	if lineOf(bump) == lineOf(leases) {
+		t.Error("bump and leases share a line: allocator and releasers false-share")
+	}
+	for name, off := range map[string]uintptr{
+		"buf":   unsafe.Offsetof(s.buf),
+		"gen":   unsafe.Offsetof(s.gen),
+		"state": unsafe.Offsetof(s.state),
+	} {
+		if lineOf(off) == lineOf(bump) || lineOf(off) == lineOf(leases) {
+			t.Errorf("%s (offset %d) shares a line with a hot cursor", name, off)
+		}
+	}
+
+	var a shardArena
+	if sz := unsafe.Sizeof(a); sz%lineBytes != 0 {
+		t.Errorf("shardArena size %d is not a multiple of %d", sz, lineBytes)
+	}
+	if off := unsafe.Offsetof(a.cur); off != 0 {
+		t.Errorf("cur at offset %d, want 0 (the warm alloc's only load)", off)
+	}
+	if lineOf(unsafe.Offsetof(a.tab)) == lineOf(unsafe.Offsetof(a.cur)) {
+		t.Error("tab shares cur's line: refill republish invalidates the warm alloc line")
+	}
+}
+
+// TestOffloadLayout pins the staging slot tiling: offloadLane.slots is
+// an array, so each job must occupy exactly one line or neighbouring
+// producers and copiers false-share their handoffs — the same rule as
+// ringSlot and workerBeat.
+func TestOffloadLayout(t *testing.T) {
+	var j offloadJob
+	if sz := unsafe.Sizeof(j); sz != lineBytes {
+		t.Errorf("offloadJob size %d, want exactly one line", sz)
+	}
+	var l offloadLane
+	if off := unsafe.Offsetof(l.slots); off%8 != 0 {
+		t.Errorf("slots at offset %d is not word-aligned", off)
+	}
 }

@@ -101,6 +101,9 @@ func (r *asyncRing) push(sys *System, svc *Service, args *Args, prog uint32, don
 			if r.enq.CompareAndSwap(pos, pos+1) {
 				slot.req.sys = sys
 				slot.req.svc = svc
+				// Payload descriptors (payload.go) ride inside the args
+				// words, so this one copy also transfers any attached
+				// arena leases to the request — zero wire-format change.
 				slot.req.args = *args
 				slot.req.prog = prog
 				slot.req.done = done

@@ -553,6 +553,13 @@ type Options struct {
 	// tighten expiry latency at the cost of more frequent watchdog
 	// wakeups while any deadline-capable client exists.
 	DeadlineWheelGranularity time.Duration
+	// OffloadThreshold is the AttachBytes transfer size (bytes) at
+	// which the copy is staged on the shard's offload lane instead of
+	// performed inline on the caller (default defaultOffloadThreshold,
+	// ~64 KB). Negative disables the lane: every AttachBytes copies
+	// inline. Payload descriptors and arena-backed zero-copy segments
+	// (AllocPayload) are unaffected either way.
+	OffloadThreshold int
 }
 
 // NewSystem creates a facility with one shard per GOMAXPROCS slot.
@@ -580,6 +587,7 @@ func NewSystemOptions(o Options) *System {
 	for i := range s.shards {
 		s.shards[i].init(i)
 		s.shards[i].configureWatchdog(o)
+		s.shards[i].configureArena(o)
 	}
 	s.programs.Store(1)
 	return s
@@ -820,6 +828,21 @@ type ShardStats struct {
 	HealthTrips    int64
 	HealthRecovers int64
 	ShedCalls      int64
+	// LeasesActive is the number of payload leases currently held on
+	// the shard's arena (a gauge; zero once every call touching a
+	// payload has settled — including quarantined orphans, whose lease
+	// is dropped by whoever reclaims the CD).
+	LeasesActive int64
+	// OffloadedBytes counts payload bytes copied through the shard's
+	// offload lane (staged AttachBytes transfers), by whichever copier
+	// landed them — the worker or a stealing viewer.
+	OffloadedBytes int64
+	// OffloadQueueDepth is the number of staged copies whose bytes have
+	// not landed yet (a gauge).
+	OffloadQueueDepth int
+	// ArenaGrows counts arena slab allocations beyond the first — the
+	// strictly-cold growth path, like CDsCreated for the CD pool.
+	ArenaGrows int64
 }
 
 // Stats returns per-shard pool statistics (diagnostics; walks the

@@ -165,9 +165,11 @@ type shard struct {
 	clock coarseClock
 
 	// wheel is the shard's hashed timer wheel, ticked by the watchdog
-	// goroutine. Everything below it is control-plane state with no
-	// line requirements; the whole struct tiles to 1280 bytes — twenty
-	// cache lines exactly, no tail pad — so System.shards never shears.
+	// goroutine. Everything below it down to the arena is control-plane
+	// state with no line requirements; the control-plane run plus the
+	// tail pad keep the whole struct tiling whole cache lines (and the
+	// embedded arena line-aligned) so System.shards never shears —
+	// pinned in layout_test.go.
 	wheel dlWheel
 
 	// stop, once closed, tells workers to drain the ring and exit.
@@ -215,6 +217,17 @@ type shard struct {
 	closed atomic.Bool
 	qMu    sync.Mutex // guards worker spawn vs close — never on the submit fast path
 	wg     sync.WaitGroup
+
+	// arena is the shard's payload arena (arena.go) and offload its
+	// copy-staging lane (offload.go). Warm payload traffic only *loads*
+	// arena fields (the RMW-hot cursors live in the slabs, padded
+	// there); the lane is reached only on large transfers. The arena
+	// sits at the struct's tail on the line boundary the control-plane
+	// fields above fill out to (pinned in layout_test.go), so its
+	// internal cur-line isolation is not sheared.
+	arena   shardArena
+	offload *offloadLane
+	_       [56]byte // tail pad: shard tiles whole lines (System.shards is a []shard)
 }
 
 type asyncReq struct {
@@ -248,6 +261,19 @@ func (sh *shard) init(id int) {
 	sh.maxWorkers = defaultMaxWorkers
 	sh.submitWait = defaultSubmitWait
 	sh.notifyWait = defaultNotifyWait
+	sh.offload = &offloadLane{}
+	sh.offload.init(defaultOffloadThreshold)
+	sh.arena.lane = sh.offload
+}
+
+// configureArena applies Options' payload knobs (called from
+// NewSystemOptions, once per shard, before any traffic).
+//
+//ppc:coldpath -- construction-time configuration
+func (sh *shard) configureArena(o Options) {
+	if o.OffloadThreshold != 0 {
+		sh.offload.threshold = o.OffloadThreshold // negative disables
+	}
 }
 
 // lookup reads this shard's replica of entry point ep — the fast-path
@@ -691,6 +717,7 @@ func (sh *shard) handleAsync(sys *System, cd *callDesc, req *asyncReq, now int64
 //ppc:coldpath -- the deadline already expired; nothing latency-sensitive remains
 func (sh *shard) expireAsync(req *asyncReq) {
 	sh.deadlineExpired.Add(1)
+	sh.releaseArgsPayloads(&req.args)
 	counters := &req.svc.perShard[sh.id]
 	counters.completed.Add(1)
 	req.svc.notifyQuiesce()
@@ -735,6 +762,10 @@ func (sh *shard) stats(i int) ShardStats {
 		ReplacementsReclaimed: sh.replacementsReclaimed.Load(),
 		QuarantinedCDs:        sh.quarantinedCDs.Load(),
 		DeadlineExpirations:   sh.deadlineExpired.Load(),
+		LeasesActive:          sh.arena.leasesActive(),
+		OffloadedBytes:        sh.offload.bytes.Load(),
+		OffloadQueueDepth:     sh.offload.queueDepth(),
+		ArenaGrows:            sh.arena.grows.Load(),
 	}
 }
 
@@ -782,5 +813,9 @@ func (sh *shard) close(sys *System, deadline time.Time) bool {
 	cd := sh.popCD(defaultScratchBytes)
 	sh.drainRing(sys, cd, batch[:])
 	sh.pushCD(cd)
+	// Offload jobs are published inside the submitting window waited out
+	// above, so every staged copy is visible by now; complete any the
+	// worker (if one ever ran) did not get to before exiting.
+	sh.offload.drain(&sh.arena)
 	return true
 }

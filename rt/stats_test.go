@@ -54,6 +54,83 @@ func TestShardStats(t *testing.T) {
 	}
 }
 
+// TestPayloadStats exercises the arena/offload counters: LeasesActive
+// tracks outstanding payload leases as a gauge, ArenaGrows counts slab
+// allocations (strictly cold: a warm loop within one slab never grows),
+// and the offload pair (OffloadedBytes, OffloadQueueDepth) reflects the
+// staging lane's traffic and convergence.
+func TestPayloadStats(t *testing.T) {
+	sys := NewSystemOptions(Options{Shards: 1, OffloadThreshold: 1024})
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "pstat", Handler: func(ctx *Ctx, args *Args) {
+		_ = ctx.Payload(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	defer c.Release()
+
+	if st := sys.Stats()[0]; st.LeasesActive != 0 || st.ArenaGrows != 0 {
+		t.Fatalf("idle arena stats: %+v", st)
+	}
+	ref, _, err := c.AllocPayload(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()[0]
+	if st.LeasesActive != 1 {
+		t.Fatalf("LeasesActive = %d with one payload leased", st.LeasesActive)
+	}
+	if st.ArenaGrows != 1 {
+		t.Fatalf("ArenaGrows = %d after first slab, want 1", st.ArenaGrows)
+	}
+	c.ReleasePayload(ref)
+	if st := sys.Stats()[0]; st.LeasesActive != 0 {
+		t.Fatalf("LeasesActive = %d after release", st.LeasesActive)
+	}
+
+	// A warm loop inside one slab must never grow the arena — growth is
+	// strictly cold, capacity-guarded like growScratch.
+	var args Args
+	for i := 0; i < 200; i++ {
+		ref, _, err := c.AllocPayload(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args.AttachPayload(ref)
+		if err := c.Call(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = sys.Stats()[0]
+	if st.ArenaGrows != 1 {
+		t.Fatalf("warm in-slab loop grew the arena: ArenaGrows = %d", st.ArenaGrows)
+	}
+	if st.LeasesActive != 0 {
+		t.Fatalf("warm loop leaked leases: %d", st.LeasesActive)
+	}
+
+	// Offload traffic moves the byte counter; the queue drains to zero.
+	big := make([]byte, 64<<10)
+	if err := c.AttachBytes(&args, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, 2*time.Second, "offload queue drain", func() bool {
+		return sys.Stats()[0].OffloadQueueDepth == 0
+	})
+	st = sys.Stats()[0]
+	if st.OffloadedBytes == 0 {
+		t.Fatal("staged transfer not counted in OffloadedBytes")
+	}
+	if st.LeasesActive != 0 {
+		t.Fatalf("offload leaked leases: %d", st.LeasesActive)
+	}
+}
+
 // TestRobustnessStats exercises every counter the fault-tolerance
 // layer added to ShardStats: deadline expirations and quarantines
 // (deadline.go), stuck-worker supervision (watchdog.go), and health

@@ -113,7 +113,9 @@ func (sh *shard) configureWatchdog(o Options) {
 			sh.maxReplacements = 0
 		}
 	}
-	sh.beats = make([]workerBeat, sh.maxWorkers+sh.maxReplacements)
+	// +1: the offload worker (offload.go) shares the beat table so a
+	// wedged staging copy is supervised like a wedged handler.
+	sh.beats = make([]workerBeat, sh.maxWorkers+sh.maxReplacements+1)
 	sh.wheelGranularity = defaultWheelGranularity
 	if o.DeadlineWheelGranularity > 0 {
 		sh.wheelGranularity = o.DeadlineWheelGranularity
