@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint ppclint lint-selftest vet ci bench-smoke bench-json chaos
+.PHONY: build test race lint ppclint lint-selftest vet ci bench-smoke bench-json bench-openloop chaos
 
 build:
 	$(GO) build ./...
@@ -44,5 +44,13 @@ bench-smoke:
 BENCHTIME ?=
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_rt.json $(if $(BENCHTIME),-benchtime $(BENCHTIME))
+
+# The open-loop tail-latency sweep alone (no microbenchmarks):
+# calibrates capacity, then drives Poisson load at 0.2/0.7/1.4x and
+# prints per-lane p50/p99/p999. Pass OPENLOOP_DUR=300ms for a quick
+# pass; the default 2s window per point takes ~25s total.
+OPENLOOP_DUR ?= 2s
+bench-openloop:
+	$(GO) test -run TestOpenLoopSweepReport -v -count=1 ./internal/rtbench -openloop-dur $(OPENLOOP_DUR)
 
 ci: build lint test race chaos bench-smoke

@@ -238,6 +238,16 @@ func BenchmarkRTAsyncChannelMultiProducer(b *testing.B) {
 	rtbench.AsyncChannelBaselineMultiProducer(b)
 }
 
+// BenchmarkRTAsyncLanes prices the whole priority-lane feature on the
+// warm path: the Async load shape through a three-lane shard's
+// critical ring and weighted dequeue.
+func BenchmarkRTAsyncLanes(b *testing.B) { rtbench.AsyncLanes(b) }
+
+// BenchmarkRTAsyncLanesTenant adds per-tenant token-bucket admission
+// on top — the delta against BenchmarkRTAsyncLanes is the bucket
+// lookup plus one fetch-add per submit.
+func BenchmarkRTAsyncLanesTenant(b *testing.B) { rtbench.AsyncLanesTenant(b) }
+
 // BenchmarkRTPayloadZeroCopy is the zero-copy large-payload grid:
 // lease an arena segment, produce the bytes in place, attach the
 // scatter-gather descriptor, call — no memcpy at any size.

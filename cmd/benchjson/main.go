@@ -26,6 +26,7 @@ func main() {
 	testing.Init()
 	out := flag.String("o", "BENCH_rt.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "", `per-benchmark time or count, e.g. "100ms" or "2000x" (default: testing's 1s)`)
+	openloopDur := flag.Duration("openloop-dur", 0, "open-loop measurement window per load point (default: the harness's 2s; CI uses a short one)")
 	flag.Parse()
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -57,6 +58,8 @@ func main() {
 	rtBench("rt_async_batch", rtbench.AsyncBatch)
 	rtBench("rt_async_channel_mp", rtbench.AsyncChannelBaselineMultiProducer)
 	rtBench("rt_async_ring_mp", rtbench.AsyncMultiProducer)
+	rtBench("rt_async_ring_lanes", rtbench.AsyncLanes)
+	rtBench("rt_async_ring_lanes_tenant", rtbench.AsyncLanesTenant)
 	for _, n := range rtbench.PayloadSizes {
 		rtBench("rt_payload_zc_"+sizeLabel(n), rtbench.PayloadZeroCopy(n))
 		rtBench("rt_payload_copy_"+sizeLabel(n), rtbench.PayloadCopy(n))
@@ -90,6 +93,41 @@ func main() {
 		})
 	}
 
+	// Open-loop macrobenchmark: Poisson arrivals at fractions of the
+	// calibrated capacity, per-lane tail percentiles (see
+	// internal/rtbench/openloop.go). NsPerOp carries each lane's p99 so
+	// the comparisons below read as tail-degradation ratios.
+	olres, err := rtbench.OpenLoopSweep(rtbench.OpenLoopConfig{Duration: *openloopDur})
+	if err != nil {
+		fatal(err)
+	}
+	r.Add(report.BenchEntry{
+		Name:    "rt_openloop_capacity",
+		Kind:    "openloop",
+		Metrics: map[string]float64{"capacity_rps": olres.CapacityPerSec},
+	})
+	fmt.Fprintf(os.Stderr, "%-26s %12.0f req/s calibrated\n", "rt_openloop_capacity", olres.CapacityPerSec)
+	for _, pt := range olres.Points {
+		for li, lane := range pt.Lanes {
+			name := fmt.Sprintf("rt_openloop_%s_%s", pt.Label, rtbench.LaneNames[li])
+			r.Add(report.BenchEntry{
+				Name:       name,
+				Kind:       "openloop",
+				Iterations: int(lane.Completed),
+				NsPerOp:    float64(lane.P99.Nanoseconds()),
+				Metrics: map[string]float64{
+					"load_frac":   pt.LoadFrac,
+					"offered_rps": lane.OfferedPerSec,
+					"p50_ns":      float64(lane.P50.Nanoseconds()),
+					"p999_ns":     float64(lane.P999.Nanoseconds()),
+					"submitted":   float64(lane.Submitted),
+					"shed":        float64(lane.Shed),
+				},
+			})
+			fmt.Fprintf(os.Stderr, "%-26s %12.1f ns/op (p99)  shed %d\n", name, float64(lane.P99.Nanoseconds()), lane.Shed)
+		}
+	}
+
 	// Comparisons record before/after pairs of this repo's perf claims:
 	// the channel→ring substitution on the async path, and the
 	// pooled→held CD substitution (plus replicated service tables) on
@@ -109,6 +147,17 @@ func main() {
 		{"payload_zero_copy_vs_copy_1m", "rt_payload_copy_1m", "rt_payload_zc_1m"},
 		{"payload_offload_vs_inline_64k", "rt_payload_copy_async_64k", "rt_payload_offload_64k"},
 		{"payload_offload_vs_inline_1m", "rt_payload_copy_async_1m", "rt_payload_offload_1m"},
+		{"async_lanes_vs_single", "rt_async_ring_lanes", "rt_async_ring"},
+		{"async_tenant_overhead", "rt_async_ring_lanes", "rt_async_ring_lanes_tenant"},
+		// Open-loop tail ratios, read as before/after = how many times
+		// WORSE the before side's p99 is. crit_sat_vs_low is the QoS
+		// claim itself (critical stays flat under 1.4x-capacity
+		// overload: want ~1-2x); be_sat_vs_low shows the same overload
+		// collapsing the scavenger class (want >=10x); lane_gap_sat is
+		// the spread between the two lanes at saturation.
+		{"openloop_crit_sat_vs_low", "rt_openloop_sat_critical", "rt_openloop_low_critical"},
+		{"openloop_be_sat_vs_low", "rt_openloop_sat_besteffort", "rt_openloop_low_besteffort"},
+		{"openloop_lane_gap_sat", "rt_openloop_sat_besteffort", "rt_openloop_sat_critical"},
 	} {
 		if err := r.Compare(cmp[0], cmp[1], cmp[2]); err != nil {
 			fatal(err)

@@ -1,0 +1,59 @@
+package rtbench
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"hurricane/rt"
+)
+
+// openloopDur sizes the measurement window per load point. The default
+// keeps `go test ./...` quick while still exercising every phase of
+// the harness (calibration, all three load points, drain); `make
+// bench-openloop` passes the full window for reportable numbers.
+var openloopDur = flag.Duration("openloop-dur", 300*time.Millisecond, "open-loop measurement window per load point")
+
+// TestOpenLoopSweepReport runs the open-loop sweep end to end and
+// prints the per-lane table. It asserts harness invariants — capacity
+// calibrated, every lane completed samples at every point, percentiles
+// monotone — not latency values, which are scheduler-shaped on shared
+// runners.
+func TestOpenLoopSweepReport(t *testing.T) {
+	res, err := OpenLoopSweep(OpenLoopConfig{Duration: *openloopDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityPerSec <= 0 {
+		t.Fatalf("calibrated capacity = %v", res.CapacityPerSec)
+	}
+	t.Logf("capacity: %.0f req/s", res.CapacityPerSec)
+	if len(res.Points) != len(OpenLoopPoints) {
+		t.Fatalf("%d load points, want %d", len(res.Points), len(OpenLoopPoints))
+	}
+	for _, pt := range res.Points {
+		for li := 0; li < rt.NumLaneClasses; li++ {
+			lane := pt.Lanes[li]
+			t.Logf("%-4s %-10s offered %7.0f/s sub %6d shed %6d  p50 %-12v p99 %-12v p999 %v",
+				pt.Label, LaneNames[li], lane.OfferedPerSec, lane.Submitted, lane.Shed, lane.P50, lane.P99, lane.P999)
+			if lane.Completed == 0 {
+				t.Errorf("%s/%s completed zero requests", pt.Label, LaneNames[li])
+			}
+			if lane.P50 > lane.P99 || lane.P99 > lane.P999 {
+				t.Errorf("%s/%s percentiles not monotone: %v %v %v",
+					pt.Label, LaneNames[li], lane.P50, lane.P99, lane.P999)
+			}
+			if lane.Completed != lane.Submitted {
+				t.Errorf("%s/%s submitted %d but completed %d — accepted work lost",
+					pt.Label, LaneNames[li], lane.Submitted, lane.Completed)
+			}
+		}
+	}
+	// Criticality-ordered shedding: whatever the load, the critical
+	// lane must never shed before best-effort does.
+	for _, pt := range res.Points {
+		if pt.Lanes[0].Shed > 0 && pt.Lanes[2].Shed == 0 {
+			t.Errorf("%s: critical shed %d while best-effort shed none", pt.Label, pt.Lanes[0].Shed)
+		}
+	}
+}

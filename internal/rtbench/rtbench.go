@@ -250,6 +250,78 @@ func Async(b *testing.B) {
 	b.StopTimer()
 }
 
+// AsyncLanes is Async on a three-lane shard: the same closed-loop
+// submit/drain cycle, but every request routes through the critical
+// lane's ring and the weighted dequeue. Compared against rt_async_ring
+// it prices the whole lane feature — routing, per-lane depth
+// accounting, credit scan — on the warm path.
+func AsyncLanes(b *testing.B) {
+	sys := rt.NewSystemOptions(rt.Options{Shards: 1, Lanes: rt.NumLaneClasses})
+	defer sys.Close()
+	var handled atomic.Int64
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "asynclanes", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		handled.Add(1)
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.NewClientWith(rt.ClientOptions{Shard: 0, Lane: rt.LaneCritical})
+	var args rt.Args
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := c.AsyncCall(svc.EP(), &args)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, rt.ErrBackpressure) {
+				b.Fatal(err)
+			}
+		}
+	}
+	for handled.Load() != int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+}
+
+// AsyncLanesTenant adds per-tenant admission on top of AsyncLanes: the
+// client carries a tenant ID with an effectively unlimited budget, so
+// the delta against rt_async_ring_lanes is exactly the token-bucket
+// warm path (one bucket lookup plus one fetch-add per submit).
+func AsyncLanesTenant(b *testing.B) {
+	sys := rt.NewSystemOptions(rt.Options{Shards: 1, Lanes: rt.NumLaneClasses})
+	defer sys.Close()
+	if err := sys.ConfigureTenant(1, rt.TenantConfig{Rate: 1e9, Burst: 1 << 30}); err != nil {
+		b.Fatal(err)
+	}
+	var handled atomic.Int64
+	svc, err := sys.Bind(rt.ServiceConfig{Name: "asynctenant", Handler: func(ctx *rt.Ctx, args *rt.Args) {
+		handled.Add(1)
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := sys.NewClientWith(rt.ClientOptions{Shard: 0, Lane: rt.LaneCritical, Tenant: 1})
+	var args rt.Args
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := c.AsyncCall(svc.EP(), &args)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, rt.ErrBackpressure) {
+				b.Fatal(err)
+			}
+		}
+	}
+	for handled.Load() != int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+}
+
 // AsyncBatch measures the amortized submission path: stage
 // FlushBatchSize requests, publish them with one admission and one
 // wakeup, repeat until b.N requests have been accepted and executed.

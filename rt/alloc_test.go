@@ -344,3 +344,47 @@ func TestWarmCallDeadlineAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmLaneTenantAsyncAllocs extends the invariant to the QoS path:
+// a warm async round trip through a lane-configured shard, with a
+// tenant bucket charged on every admission, must still be zero-alloc —
+// the lane adds one ring choice and the tenant one fetch-add, neither
+// of which may touch the heap. Report-only under -race.
+func TestWarmLaneTenantAsyncAllocs(t *testing.T) {
+	sys := NewSystemOptions(Options{Shards: 1, Lanes: 3})
+	defer sys.Close()
+	svc, err := sys.Bind(ServiceConfig{Name: "qnull", Handler: func(ctx *Ctx, args *Args) {
+		args.SetRC(0)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous budget: the warm loop must never hit the slow path.
+	if err := sys.ConfigureTenant(1, TenantConfig{Rate: 1e9, Burst: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientWith(ClientOptions{Shard: 0, Lane: LaneCritical, Tenant: 1})
+	ep := svc.EP()
+	var args Args
+	done := make(chan struct{}, 1)
+
+	for i := 0; i < 32; i++ { // warm
+		if err := c.AsyncCallNotify(ep, &args, done); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.AsyncCallNotify(ep, &args, done); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	})
+	if allocs != 0 {
+		if raceEnabled {
+			t.Logf("warm lane+tenant async call allocates %.1f objects/op under -race (report-only)", allocs)
+		} else {
+			t.Fatalf("warm lane+tenant async call allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}

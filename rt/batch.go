@@ -92,11 +92,22 @@ func (b *Batch) grow() {
 //
 //ppc:hotpath
 func (b *Batch) Flush() (int, error) {
+	c := b.c
+	if c.tenant != 0 && len(b.reqs) > 0 {
+		// The whole batch is charged against the tenant bucket at once:
+		// a half-admitted batch would make the accepted count lie about
+		// which requests were throttled. A shed batch is reset like a
+		// killed one.
+		if err := c.admitTenantBatch(b.reqs); err != nil {
+			b.reqs = b.reqs[:0]
+			return 0, err
+		}
+	}
 	var deadline int64
 	if b.ttl > 0 {
 		deadline = time.Now().Add(b.ttl).UnixNano()
 	}
-	n, err := b.c.sys.asyncBatchOn(b.c.shard, b.ep, b.reqs, b.c.program, b.done, deadline)
+	n, err := c.sys.asyncBatchOn(c.shard, b.ep, b.reqs, c.program, b.done, deadline, c.lane)
 	b.reqs = b.reqs[:0]
 	return n, err
 }
@@ -109,7 +120,30 @@ func (b *Batch) Flush() (int, error) {
 //
 //ppc:hotpath
 func (c *Client) AsyncBatch(ep EntryPointID, argss []Args) (int, error) {
-	return c.sys.asyncBatchOn(c.shard, ep, argss, c.program, nil, 0)
+	if c.tenant != 0 && len(argss) > 0 {
+		if err := c.admitTenantBatch(argss); err != nil {
+			return 0, err
+		}
+	}
+	return c.sys.asyncBatchOn(c.shard, ep, argss, c.program, nil, 0, c.lane)
+}
+
+// admitTenantBatch charges len(argss) tokens against the client's
+// tenant bucket, all or nothing. On a shed the whole batch's payload
+// leases settle here — the batch never reaches admission.
+//
+//ppc:hotpath
+func (c *Client) admitTenantBatch(argss []Args) error {
+	b := c.shard.tenantBucketFor(c.tenant)
+	if b == nil || b.takeN(int64(len(argss))) {
+		return nil
+	}
+	if b.takeSlowN(int64(len(argss)), &c.shard.clock) {
+		return nil
+	}
+	c.shard.tenantThrottled.Add(int64(len(argss)))
+	c.shard.releaseBatchPayloads(argss)
+	return ErrShed
 }
 
 // asyncBatchOn is the batched analogue of callOn's async half: admit
@@ -119,7 +153,7 @@ func (c *Client) AsyncBatch(ep EntryPointID, argss []Args) (int, error) {
 // accounting for any rejected tail.
 //
 //ppc:hotpath
-func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program uint32, done chan<- struct{}, deadline int64) (int, error) {
+func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program uint32, done chan<- struct{}, deadline int64, lane Lane) (int, error) {
 	if len(argss) == 0 {
 		return 0, nil
 	}
@@ -158,7 +192,7 @@ func (s *System) asyncBatchOn(sh *shard, ep EntryPointID, argss []Args, program 
 		sh.releaseBatchPayloads(argss)
 		return 0, ErrKilled
 	}
-	n, err := sh.submitBatch(s, svc, argss, program, done, deadline)
+	n, err := sh.submitBatch(s, svc, argss, program, done, deadline, lane)
 	if n < len(argss) {
 		svc.unadmit(counters, len(argss)-n)
 		sh.releaseBatchPayloads(argss[n:])

@@ -44,7 +44,7 @@ func (c *Ctx) Shard() int { return c.cd.shard.id }
 //
 //ppc:hotpath
 func (c *Ctx) Call(ep EntryPointID, args *Args) error {
-	return c.sys.callOn(c.cd.shard, ep, args, c.svc.epProgram(), false, nil, 0)
+	return c.sys.callOn(c.cd.shard, ep, args, c.svc.epProgram(), false, nil, 0, LaneDefault)
 }
 
 // Client is a caller bound to one shard. Like a process bound to a
@@ -57,6 +57,14 @@ type Client struct {
 	sys     *System
 	shard   *shard
 	program uint32
+
+	// lane is the client's criticality class for asynchronous requests
+	// (LaneDefault defers to the service's); tenant is its admission
+	// identity (0: no tenant, the budget check compiles to one
+	// predictable branch). Both immutable after construction
+	// (NewClientWith).
+	lane   Lane
+	tenant TenantID
 
 	// held is the client's held call descriptor: acquired from the
 	// shard pool on the first Call (or an explicit Hold) and kept
@@ -93,6 +101,80 @@ func (s *System) NewClientOnShard(shardID int) *Client {
 		shard:   &s.shards[shardID],
 		program: s.programs.Add(1),
 	}
+}
+
+// ClientOptions configures NewClientWith. The zero value matches
+// NewClient: round-robin shard, default lane, no tenant.
+type ClientOptions struct {
+	// Shard binds the client to an explicit shard; negative means
+	// round-robin within the System.
+	Shard int
+	// Lane is the client's criticality class for asynchronous requests
+	// (lane.go). LaneDefault defers to the service's configured lane.
+	// Ignored unless the System was built with Options.Lanes >= 2.
+	Lane Lane
+	// Tenant is the client's admission identity (tenant.go): nonzero
+	// subjects every call to the tenant's per-shard token bucket once
+	// ConfigureTenant has published one. Zero skips admission.
+	Tenant TenantID
+}
+
+// NewClientWith creates a caller with an explicit lane and tenant.
+func (s *System) NewClientWith(o ClientOptions) *Client {
+	shardID := o.Shard
+	if shardID < 0 {
+		shardID = int(s.bindSeq.Add(1) % uint64(len(s.shards)))
+	}
+	if shardID >= len(s.shards) {
+		panic("rt: shard out of range")
+	}
+	lane := o.Lane
+	if lane > LaneBestEffort {
+		lane = LaneBestEffort
+	}
+	return &Client{
+		sys:     s,
+		shard:   &s.shards[shardID],
+		program: s.programs.Add(1),
+		lane:    lane,
+		tenant:  o.Tenant,
+	}
+}
+
+// Lane returns the client's criticality class.
+func (c *Client) Lane() Lane { return c.lane }
+
+// Tenant returns the client's tenant ID (0: none).
+func (c *Client) Tenant() TenantID { return c.tenant }
+
+// admitTenant is the tenant QoS gate, called with c.tenant != 0: one
+// table load to find the shard's bucket replica and one fetch-add to
+// take a token. An unconfigured tenant admits freely (like a service
+// without a health gate); an empty bucket falls to the catch-up slow
+// path and then sheds with ErrShed, settling any attached payload
+// leases — the same pre-admission contract as every other early
+// rejection.
+//
+//ppc:hotpath
+func (c *Client) admitTenant(args *Args) error {
+	b := c.shard.tenantBucketFor(c.tenant)
+	if b == nil || b.take() {
+		return nil
+	}
+	return c.shard.throttle(b, args)
+}
+
+// throttle settles a failed tenant admission: catch-up refill and one
+// retry (takeSlow), then the shed.
+//
+//ppc:coldpath -- the tenant is over budget; the call is already failing
+func (sh *shard) throttle(b *tenantBucket, args *Args) error {
+	if b.takeSlow(&sh.clock) {
+		return nil
+	}
+	sh.tenantThrottled.Add(1)
+	sh.releaseArgsPayloads(args)
+	return ErrShed
 }
 
 // Program returns the client's program ID.
@@ -157,6 +239,14 @@ func (c *Client) Held() bool { return c.held != nil }
 //
 //ppc:hotpath
 func (c *Client) Call(ep EntryPointID, args *Args) error {
+	// Tenant admission runs before everything else: an over-budget
+	// caller is shed having touched only its own shard's bucket line.
+	// The tenant-free warm path pays one predictable branch.
+	if c.tenant != 0 {
+		if err := c.admitTenant(args); err != nil {
+			return err
+		}
+	}
 	if c.held == nil {
 		c.Hold()
 	}
@@ -170,7 +260,12 @@ func (c *Client) Call(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) CallPooled(ep EntryPointID, args *Args) error {
-	return c.sys.callOn(c.shard, ep, args, c.program, false, nil, 0)
+	if c.tenant != 0 {
+		if err := c.admitTenant(args); err != nil {
+			return err
+		}
+	}
+	return c.sys.callOn(c.shard, ep, args, c.program, false, nil, 0, c.lane)
 }
 
 // AsyncCall detaches the caller: the request is handed to the shard's
@@ -179,7 +274,12 @@ func (c *Client) CallPooled(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
-	return c.sys.callOn(c.shard, ep, args, c.program, true, nil, 0)
+	if c.tenant != 0 {
+		if err := c.admitTenant(args); err != nil {
+			return err
+		}
+	}
+	return c.sys.callOn(c.shard, ep, args, c.program, true, nil, 0, c.lane)
 }
 
 // AsyncCallNotify is AsyncCall with a completion notification sent on
@@ -187,7 +287,12 @@ func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) AsyncCallNotify(ep EntryPointID, args *Args, done chan<- struct{}) error {
-	return c.sys.callOn(c.shard, ep, args, c.program, true, done, 0)
+	if c.tenant != 0 {
+		if err := c.admitTenant(args); err != nil {
+			return err
+		}
+	}
+	return c.sys.callOn(c.shard, ep, args, c.program, true, done, 0, c.lane)
 }
 
 // Upcall delivers a software-interrupt-style request (§4.4) from an
@@ -197,7 +302,7 @@ func (s *System) Upcall(shardID int, ep EntryPointID, args *Args) error {
 	if shardID < 0 || shardID >= len(s.shards) {
 		panic("rt: shard out of range")
 	}
-	return s.callOn(&s.shards[shardID], ep, args, 0, false, nil, 0)
+	return s.callOn(&s.shards[shardID], ep, args, 0, false, nil, 0, LaneDefault)
 }
 
 // runIsolated invokes a handler, converting a panic into a returned
@@ -286,7 +391,7 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 // and all asynchronous submission).
 //
 //ppc:hotpath
-func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}, deadline int64) error {
+func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, async bool, done chan<- struct{}, deadline int64, lane Lane) error {
 	// Pre-dispatch error returns settle attached payload leases, same
 	// contract as callHeld.
 	if int(ep) >= MaxEntryPoints {
@@ -329,7 +434,7 @@ func (s *System) callOn(sh *shard, ep EntryPointID, args *Args, program uint32, 
 			sh.releaseArgsPayloads(args)
 			return ErrKilled
 		}
-		if err := sh.submitAsync(s, svc, args, program, done, deadline); err != nil {
+		if err := sh.submitAsync(s, svc, args, program, done, deadline, lane); err != nil {
 			counters.asyncAdm.Add(-1)
 			svc.notifyQuiesce()
 			// A rejected probe submission carries no health evidence and

@@ -405,6 +405,13 @@ func (c *Client) CallContext(ctx context.Context, ep EntryPointID, args *Args) e
 // callDeadline runs one bounded call through the executor. d == 0
 // means no expiry (cancellation only); cancel may be nil.
 func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, cancel <-chan struct{}, ctx context.Context) error {
+	// Tenant admission first, same as Call: an over-budget caller is
+	// shed before any executor or wheel state is touched.
+	if c.tenant != 0 {
+		if err := c.admitTenant(args); err != nil {
+			return err
+		}
+	}
 	// Pre-publish error returns settle attached payload leases, same
 	// contract as callHeld.
 	if int(ep) >= MaxEntryPoints {
@@ -612,11 +619,16 @@ func (c *Client) orphaned(sh *shard, svc *Service, counters *shardCounters, e *d
 //
 //ppc:hotpath
 func (c *Client) AsyncCallDeadline(ep EntryPointID, args *Args, d time.Duration) error {
+	if c.tenant != 0 {
+		if err := c.admitTenant(args); err != nil {
+			return err
+		}
+	}
 	var deadline int64
 	if d > 0 {
 		deadline = time.Now().Add(d).UnixNano()
 	}
-	return c.sys.callOn(c.shard, ep, args, c.program, true, nil, deadline)
+	return c.sys.callOn(c.shard, ep, args, c.program, true, nil, deadline, c.lane)
 }
 
 // AsyncCallNotifyDeadline is AsyncCallDeadline with a completion
@@ -625,9 +637,14 @@ func (c *Client) AsyncCallDeadline(ep EntryPointID, args *Args, d time.Duration)
 //
 //ppc:hotpath
 func (c *Client) AsyncCallNotifyDeadline(ep EntryPointID, args *Args, done chan<- struct{}, d time.Duration) error {
+	if c.tenant != 0 {
+		if err := c.admitTenant(args); err != nil {
+			return err
+		}
+	}
 	var deadline int64
 	if d > 0 {
 		deadline = time.Now().Add(d).UnixNano()
 	}
-	return c.sys.callOn(c.shard, ep, args, c.program, true, done, deadline)
+	return c.sys.callOn(c.shard, ep, args, c.program, true, done, deadline, c.lane)
 }

@@ -26,6 +26,7 @@ func TestErrorTaxonomy(t *testing.T) {
 		ErrServiceUnhealthy,
 		ErrPayloadTooLarge,
 		ErrArenaFull,
+		ErrShed,
 	}
 	for i, s := range sentinels {
 		if !errors.Is(s, s) {

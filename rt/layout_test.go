@@ -184,6 +184,61 @@ func TestShardLayout(t *testing.T) {
 	}
 }
 
+// TestLaneLayout pins the lane tiling: shard.lanes is a []laneRing, so
+// each lane must tile whole lines (or neighbouring lanes shear the
+// embedded rings' cursor isolation), the embedded ring must start the
+// struct so its internal padding survives the array stride, and the
+// shed counter — written by overloading submitters — must not share a
+// line with the next lane's ring header.
+func TestLaneLayout(t *testing.T) {
+	var lr laneRing
+	if sz := unsafe.Sizeof(lr); sz%lineBytes != 0 {
+		t.Errorf("laneRing size %d is not a multiple of %d", sz, lineBytes)
+	}
+	if off := unsafe.Offsetof(lr.ring); off != 0 {
+		t.Errorf("laneRing.ring at offset %d, want 0 (array stride must preserve ring alignment)", off)
+	}
+	shed := unsafe.Offsetof(lr.shed)
+	if shed%lineBytes != 0 {
+		t.Errorf("shed at offset %d is not line-aligned", shed)
+	}
+	if shed/lineBytes == unsafe.Offsetof(lr.ring)/lineBytes {
+		t.Error("shed shares the ring header's line")
+	}
+}
+
+// TestTenantBucketLayout pins the token bucket's striping: the token
+// word (every admitted call's fetch-add) and the refill cursor (the
+// watchdog tick's CAS) each own a line, the immutable rate config sits
+// on neither, and the struct tiles whole lines so an embedding change
+// cannot silently shear the token line.
+func TestTenantBucketLayout(t *testing.T) {
+	var b tenantBucket
+	if sz := unsafe.Sizeof(b); sz%lineBytes != 0 {
+		t.Errorf("tenantBucket size %d is not a multiple of %d", sz, lineBytes)
+	}
+	lineOf := func(off uintptr) uintptr { return off / lineBytes }
+	tokens := unsafe.Offsetof(b.tokens)
+	refill := unsafe.Offsetof(b.lastRefill)
+	if tokens%lineBytes != 0 {
+		t.Errorf("tokens at offset %d is not line-aligned", tokens)
+	}
+	if refill%lineBytes != 0 {
+		t.Errorf("lastRefill at offset %d is not line-aligned", refill)
+	}
+	if lineOf(tokens) == lineOf(refill) {
+		t.Error("tokens and lastRefill share a line: admitters and the refiller false-share")
+	}
+	for name, off := range map[string]uintptr{
+		"interval": unsafe.Offsetof(b.interval),
+		"burst":    unsafe.Offsetof(b.burst),
+	} {
+		if lineOf(off) == lineOf(tokens) || lineOf(off) == lineOf(refill) {
+			t.Errorf("%s (offset %d) shares a line with a hot word", name, off)
+		}
+	}
+}
+
 // TestArenaLayout pins the payload arena's striping. A slab's bump
 // cursor (written by the shard-bound allocator on every lease) and its
 // lease counter (written by whatever goroutine settles each call —

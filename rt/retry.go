@@ -6,10 +6,12 @@ import (
 	"time"
 )
 
-// Retry — the caller-side convention for the two *transient* rt
+// Retry — the caller-side convention for the three *transient* rt
 // errors. ErrBackpressure means a ring was momentarily full;
 // ErrServiceUnhealthy means a health gate is open and will probe
-// shortly. Both are expected to clear on their own, so a capped
+// shortly; ErrShed means a best-effort lane overflowed or a tenant
+// token bucket ran dry — rings drain and buckets refill, so it clears
+// like the others. All are expected to clear on their own, so a capped
 // exponential backoff with jitter is the right reaction — and nothing
 // else is: a fault (the handler panicked), a kill, a close, or a bad
 // entry point will not get better by asking again, so Retry returns
@@ -60,12 +62,13 @@ const (
 )
 
 // RetryableError reports whether err is one of the transient rt errors
-// Retry backs off on: ErrBackpressure or ErrServiceUnhealthy. Faults,
-// kills, closes, deadline expirations, and authorization failures are
-// not retryable — repeating them burns capacity on a call that will
-// fail the same way.
+// Retry backs off on: ErrBackpressure, ErrServiceUnhealthy, or ErrShed.
+// Faults, kills, closes, deadline expirations, and authorization
+// failures are not retryable — repeating them burns capacity on a call
+// that will fail the same way.
 func RetryableError(err error) bool {
-	return errors.Is(err, ErrBackpressure) || errors.Is(err, ErrServiceUnhealthy)
+	return errors.Is(err, ErrBackpressure) || errors.Is(err, ErrServiceUnhealthy) ||
+		errors.Is(err, ErrShed)
 }
 
 // Retry runs fn, backing off and re-running it while it returns a

@@ -174,6 +174,13 @@ var (
 	// call was fast-failed without admission. The gate half-opens after
 	// HealthConfig.ProbeAfter and recovers on a successful probe.
 	ErrServiceUnhealthy = fmt.Errorf("rt: service unhealthy (health gate open)")
+	// ErrShed: the request was load-shed before admission — a
+	// best-effort submission found its lane ring full (criticality-
+	// ordered shedding drops the cheapest class first, without the
+	// bounded backpressure wait), or the client's tenant is over its
+	// token-bucket budget. Transient, like ErrBackpressure: capacity
+	// frees and buckets refill, so Retry backs off on it.
+	ErrShed = fmt.Errorf("rt: request shed (lane overload or tenant budget)")
 )
 
 // FaultError is the concrete error a panicking handler produces; it
@@ -218,6 +225,12 @@ type ServiceConfig struct {
 	// service (see HealthConfig). Nil leaves health gating off and the
 	// call paths untouched.
 	Health *HealthConfig
+	// Lane is the default criticality class for asynchronous requests
+	// to this service (lane.go). LaneDefault (the zero value) means
+	// LaneNormal. A client with its own lane (ClientOptions.Lane)
+	// overrides the service default per request. Ignored unless the
+	// System was built with Options.Lanes >= 2.
+	Lane Lane
 }
 
 // Service is a bound entry point.
@@ -233,6 +246,9 @@ type Service struct {
 	authorize    func(uint32) bool
 	initHandler  Handler
 	scratchBytes int
+	// lane is the service's default criticality class (immutable after
+	// Bind; LaneDefault resolves to LaneNormal at submit).
+	lane Lane
 	// health, non-nil when the service was bound with a HealthConfig,
 	// is immutable after Bind; the call paths branch on the nil check
 	// alone, so an unconfigured service pays one predictable branch.
@@ -560,6 +576,40 @@ type Options struct {
 	// inline. Payload descriptors and arena-backed zero-copy segments
 	// (AllocPayload) are unaffected either way.
 	OffloadThreshold int
+	// Lanes is the number of async priority lanes per shard (lane.go).
+	// 0 or 1 keeps the single ring — the lane-free fast path, bit-for-
+	// bit the previous behavior. 2 or 3 splits the shard's async queue
+	// into per-criticality Vyukov rings with weighted batched dequeue
+	// and criticality-ordered shedding; values above NumLaneClasses
+	// clamp to it.
+	Lanes int
+	// LaneWeights overrides the per-lane drain quanta, indexed by
+	// priority (0 critical, 1 normal, 2 best-effort): a worker grants
+	// up to LaneWeights[i] requests to lane i before falling to the
+	// next class. Zero or negative entries keep that lane's default
+	// (defaultLaneWeights: 16/4/1). Ignored unless Lanes >= 2.
+	LaneWeights [NumLaneClasses]int
+	// AsyncQueueCap sizes each async ring — the single ring, or each
+	// lane's ring when Lanes >= 2 (default defaultAsyncQueueCap,
+	// rounded up to a power of two).
+	AsyncQueueCap int
+	// MaxWorkers bounds each shard's async worker pool (default
+	// defaultMaxWorkers). On a box with fewer processors than workers,
+	// extra CPU-bound workers add no service capacity but do hold
+	// claimed batches while descheduled — latency-sensitive setups may
+	// want exactly one worker per shard.
+	MaxWorkers int
+	// CooperativeYield makes each worker yield the processor once per
+	// serviced batch. On a single-P runtime with producers that sleep
+	// between arrivals, a CPU-bound worker otherwise runs whole
+	// scheduler quanta (~10ms) while submitters — critical-lane ones
+	// included — sit runnable but unable to publish; the per-batch
+	// yield bounds cross-lane submit latency by one batch service
+	// time (EXPERIMENTS.md E17). Deliberately opt-in: under CPU-bound
+	// producers that never sleep, the same yield hands each of them a
+	// full scheduler quantum and starves the worker instead
+	// (TestChaosLaneStorm pins that regime).
+	CooperativeYield bool
 }
 
 // NewSystem creates a facility with one shard per GOMAXPROCS slot.
@@ -586,6 +636,11 @@ func NewSystemOptions(o Options) *System {
 	}
 	for i := range s.shards {
 		s.shards[i].init(i)
+		if o.MaxWorkers > 0 {
+			s.shards[i].maxWorkers = int64(o.MaxWorkers)
+		}
+		s.shards[i].yieldPerBatch = o.CooperativeYield
+		s.shards[i].configureLanes(o)
 		s.shards[i].configureWatchdog(o)
 		s.shards[i].configureArena(o)
 	}
@@ -604,6 +659,9 @@ func (s *System) Bind(cfg ServiceConfig) (*Service, error) {
 	}
 	if cfg.ScratchBytes < 0 {
 		return nil, fmt.Errorf("rt: service %q negative scratch", cfg.Name)
+	}
+	if cfg.Lane > LaneBestEffort {
+		return nil, fmt.Errorf("rt: service %q invalid lane %d", cfg.Name, cfg.Lane)
 	}
 	scratch := cfg.ScratchBytes
 	if scratch == 0 {
@@ -644,6 +702,7 @@ func (s *System) Bind(cfg ServiceConfig) (*Service, error) {
 		authorize:    cfg.Authorize,
 		initHandler:  cfg.InitHandler,
 		scratchBytes: scratch,
+		lane:         cfg.Lane,
 		health:       normalizeHealth(cfg.Health),
 		perShard:     make([]shardCounters, len(s.shards)),
 	}
@@ -800,6 +859,18 @@ type ShardStats struct {
 	// with ErrBackpressure — nonzero means the shard has been
 	// overloaded past its queue and worker bounds.
 	BackpressureRejects int64
+	// LaneDepth is the per-lane queue depth by priority index
+	// (0 critical, 1 normal, 2 best-effort); all zero on a single-lane
+	// shard (whose depth is AsyncQueueDepth).
+	LaneDepth [NumLaneClasses]int
+	// ShedByLane counts submissions rejected at each lane's full ring
+	// — immediate ErrShed for best-effort, bounded-wait
+	// ErrBackpressure for the classes above it. Criticality-ordered
+	// shedding shows up here as the best-effort entry growing first.
+	ShedByLane [NumLaneClasses]int64
+	// TenantThrottled counts submissions shed with ErrShed because the
+	// client's tenant was over its token-bucket budget on this shard.
+	TenantThrottled int64
 	// NotifyDrops counts completion notifications dropped because
 	// their channel had no receiver within the bounded notify wait —
 	// nonzero usually means an unbuffered (or abandoned) channel was

@@ -218,6 +218,28 @@ type shard struct {
 	qMu    sync.Mutex // guards worker spawn vs close — never on the submit fast path
 	wg     sync.WaitGroup
 
+	// Priority lanes (lane.go): lanes is non-nil iff Options.Lanes >= 2
+	// — every lane check on the hot paths is that one nil comparison.
+	// The slice header and the weight vector are read-only after
+	// construction. Tenant admission (tenant.go): tenants is the
+	// per-shard bucket table (atomic pointers, published by
+	// ConfigureTenant under System.mu), tenantList the watchdog's flat
+	// refill list, tenantThrottled the budget-shed count. All
+	// read-mostly or cold-RMW; the block is sized to two whole lines so
+	// the arena below keeps its 64-alignment.
+	lanes   []laneRing
+	tenants []atomic.Pointer[tenantBucket]
+	//ppc:atomic
+	tenantList atomic.Pointer[[]*tenantBucket]
+	//ppc:atomic
+	tenantThrottled atomic.Int64
+	laneWeights [NumLaneClasses]int32
+	// yieldPerBatch: Options.CooperativeYield — the worker cedes the P
+	// once per serviced batch so sleeping submitters can publish.
+	// Read-only after construction, like the rest of this block.
+	yieldPerBatch bool
+	_             [51]byte // fill the lane/tenant block to 128 bytes
+
 	// arena is the shard's payload arena (arena.go) and offload its
 	// copy-staging lane (offload.go). Warm payload traffic only *loads*
 	// arena fields (the RMW-hot cursors live in the slabs, padded
@@ -255,7 +277,7 @@ func (r *asyncReq) clearRefs() {
 func (sh *shard) init(id int) {
 	sh.id = id
 	sh.tab = make([]atomic.Pointer[epEntry], MaxEntryPoints)
-	sh.ring.init(defaultAsyncQueueCap)
+	sh.ring.init(defaultAsyncQueueCap) // configureLanes may re-init with Options' capacity
 	sh.doorbell = make(chan struct{}, 1)
 	sh.stop = make(chan struct{})
 	sh.maxWorkers = defaultMaxWorkers
@@ -395,7 +417,7 @@ func (sh *shard) poolSize() int {
 // submitter (and Close) behind a held lock.
 //
 //ppc:hotpath
-func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, deadline int64) error {
+func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, deadline int64, lane Lane) error {
 	sh.submitting.Add(1)
 	defer sh.submitting.Add(-1)
 	if sh.closed.Load() {
@@ -405,11 +427,30 @@ func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32,
 		sh.backpressure.Add(1)
 		return ErrBackpressure
 	}
-	if sh.ring.push(sys, svc, args, prog, done, deadline) {
+	if sh.lanes == nil {
+		// Single-lane fast path: identical to the lane-free system.
+		if sh.ring.push(sys, svc, args, prog, done, deadline) {
+			sh.wake(sys)
+			return nil
+		}
+		return sh.submitSlow(&sh.ring, nil, sys, svc, args, prog, done, deadline)
+	}
+	lr := sh.laneFor(lane, svc)
+	if lr.ring.push(sys, svc, args, prog, done, deadline) {
 		sh.wake(sys)
 		return nil
 	}
-	return sh.submitSlow(sys, svc, args, prog, done, deadline)
+	if lr == &sh.lanes[len(sh.lanes)-1] {
+		// Criticality-ordered shedding: the lowest class is shed the
+		// moment its ring fills — no bounded wait spent on the traffic
+		// that is first to go. Classes above it keep the single-lane
+		// contract (bounded wait, then ErrBackpressure) and their rings
+		// drain first, so best-effort sheds before normal, normal
+		// before critical.
+		lr.shed.Add(1)
+		return ErrShed
+	}
+	return sh.submitSlow(&lr.ring, &lr.shed, sys, svc, args, prog, done, deadline)
 }
 
 // submitBatch publishes a whole batch of requests for svc under a
@@ -421,7 +462,7 @@ func (sh *shard) submitAsync(sys *System, svc *Service, args *Args, prog uint32,
 // remainder.
 //
 //ppc:hotpath
-func (sh *shard) submitBatch(sys *System, svc *Service, argss []Args, program uint32, done chan<- struct{}, deadline int64) (int, error) {
+func (sh *shard) submitBatch(sys *System, svc *Service, argss []Args, program uint32, done chan<- struct{}, deadline int64, lane Lane) (int, error) {
 	sh.submitting.Add(1)
 	defer sh.submitting.Add(-1)
 	if sh.closed.Load() {
@@ -431,10 +472,34 @@ func (sh *shard) submitBatch(sys *System, svc *Service, argss []Args, program ui
 		sh.backpressure.Add(1)
 		return 0, ErrBackpressure
 	}
+	r, shed := &sh.ring, (*atomic.Int64)(nil)
+	if sh.lanes != nil {
+		lr := sh.laneFor(lane, svc)
+		r = &lr.ring
+		if lr == &sh.lanes[len(sh.lanes)-1] {
+			shed = &lr.shed
+			// Best-effort batches shed their tail immediately on a full
+			// ring, same criticality-ordered contract as submitAsync.
+			n := 0
+			for i := range argss {
+				if !r.push(sys, svc, &argss[i], program, done, deadline) {
+					shed.Add(int64(len(argss) - n))
+					if n > 0 {
+						sh.wake(sys)
+					}
+					return n, ErrShed
+				}
+				n++
+			}
+			sh.wake(sys)
+			return n, nil
+		}
+		shed = &lr.shed
+	}
 	n := 0
 	for i := range argss {
-		if !sh.ring.push(sys, svc, &argss[i], program, done, deadline) {
-			return sh.submitBatchSlow(sys, svc, argss[i:], program, done, deadline, n)
+		if !r.push(sys, svc, &argss[i], program, done, deadline) {
+			return sh.submitBatchSlow(r, shed, sys, svc, argss[i:], program, done, deadline, n)
 		}
 		n++
 	}
@@ -470,7 +535,7 @@ func (sh *shard) wake(sys *System) {
 // slots free up.
 //
 //ppc:coldpath -- overload handling: the ring is full, the caller is already paying
-func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, reqDeadline int64) error {
+func (sh *shard) submitSlow(r *asyncRing, shed *atomic.Int64, sys *System, svc *Service, args *Args, prog uint32, done chan<- struct{}, reqDeadline int64) error {
 	sh.spawnWorker(sys)
 	// One real clock read per spin *epoch*, not per iteration, and each
 	// read feeds the shard's shared coarse clock (the same word the
@@ -480,7 +545,7 @@ func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, 
 	deadline := sh.clock.refresh() + int64(sh.submitWait)
 	spun := 0
 	for {
-		if sh.ring.push(sys, svc, args, prog, done, reqDeadline) {
+		if r.push(sys, svc, args, prog, done, reqDeadline) {
 			sh.wake(sys)
 			return nil
 		}
@@ -494,6 +559,9 @@ func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, 
 		}
 		if sh.clock.refresh() > deadline {
 			sh.backpressure.Add(1)
+			if shed != nil {
+				shed.Add(1)
+			}
 			return ErrBackpressure
 		}
 		runtime.Gosched()
@@ -507,7 +575,7 @@ func (sh *shard) submitSlow(sys *System, svc *Service, args *Args, prog uint32, 
 // requests past the deadline are rejected as one backpressure event.
 //
 //ppc:coldpath -- overload handling for the batch tail
-func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program uint32, done chan<- struct{}, reqDeadline int64, accepted int) (int, error) {
+func (sh *shard) submitBatchSlow(r *asyncRing, shed *atomic.Int64, sys *System, svc *Service, rest []Args, program uint32, done chan<- struct{}, reqDeadline int64, accepted int) (int, error) {
 	sh.wake(sys) // the already-published head of the batch is runnable
 	sh.spawnWorker(sys)
 	// Same coarse-clock discipline as submitSlow: one refresh per spin
@@ -515,7 +583,7 @@ func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program
 	deadline := sh.clock.refresh() + int64(sh.submitWait)
 	spun := 0
 	for i := range rest {
-		for !sh.ring.push(sys, svc, &rest[i], program, done, reqDeadline) {
+		for !r.push(sys, svc, &rest[i], program, done, reqDeadline) {
 			// Same spin-then-yield as submitSlow: the retry is read-only
 			// against a full ring, and a batch drain frees slots faster
 			// than a scheduler round trip.
@@ -525,6 +593,9 @@ func (sh *shard) submitBatchSlow(sys *System, svc *Service, rest []Args, program
 			}
 			if sh.clock.refresh() > deadline {
 				sh.backpressure.Add(1)
+				if shed != nil {
+					shed.Add(int64(len(rest) - i))
+				}
 				return accepted, ErrBackpressure
 			}
 			runtime.Gosched()
@@ -582,6 +653,13 @@ func (sh *shard) workerLoop(sys *System) {
 		sh.wg.Done()
 	}()
 	var batch [asyncBatchSize]asyncReq
+	// credit is the worker's private copy of the lane quantum vector
+	// (claimWeighted decrements and resets it); unused on a single-lane
+	// shard.
+	var credit [NumLaneClasses]int32
+	if sh.lanes != nil {
+		sh.resetCredits(&credit)
+	}
 	idle := 0
 	var seq uint64
 	for {
@@ -591,7 +669,13 @@ func (sh *shard) workerLoop(sys *System) {
 		if sh.tryRetire() {
 			return
 		}
-		if n := sh.ring.popBatch(batch[:]); n > 0 {
+		var n int
+		if sh.lanes == nil {
+			n = sh.ring.popBatch(batch[:])
+		} else {
+			n = sh.claimWeighted(&credit, batch[:])
+		}
+		if n > 0 {
 			idle = 0
 			// Heartbeat: one plain store on a worker-private line per
 			// batch, not per request — the watchdog's whole warm-path tax.
@@ -608,15 +692,25 @@ func (sh *shard) workerLoop(sys *System) {
 				beat.state.Store(seq << 1)
 				sh.clearCompensation(beat)
 			}
+			if sh.yieldPerBatch {
+				// Opt-in (Options.CooperativeYield): cede the P once per
+				// serviced batch. On a single-P runtime a CPU-bound
+				// worker otherwise runs whole scheduler quanta (~10ms)
+				// while sleeping submitters — the critical lane's
+				// included — wake runnable but cannot publish; one
+				// Gosched amortized over a batch bounds cross-lane
+				// submit latency by a batch service time instead.
+				runtime.Gosched()
+			}
 			continue
 		}
 		select {
 		case <-sh.stop:
-			sh.drainRing(sys, cd, batch[:])
+			sh.drainAll(sys, cd, batch[:])
 			return
 		default:
 		}
-		if !sh.ring.empty() {
+		if !sh.queuesEmpty() {
 			// A producer has claimed a slot but not published it yet;
 			// yield to it instead of spin-starving it.
 			runtime.Gosched()
@@ -627,13 +721,16 @@ func (sh *shard) workerLoop(sys *System) {
 			if idle > 1 {
 				runtime.Gosched()
 			}
-			for i := 0; i < workerSpinIters && sh.ring.empty(); i++ {
+			for i := 0; i < workerSpinIters && sh.queuesEmpty(); i++ {
 			}
 			continue
 		}
-		// Park: advertise, re-check, block.
+		// Park: advertise, re-check, block. The re-check covers EVERY
+		// lane ring — that is what makes the shared doorbell correct
+		// per lane: a critical submitter either sees parked != 0 and
+		// rings, or this worker sees its slot and never blocks.
 		sh.parked.Add(1)
-		if !sh.ring.empty() {
+		if !sh.queuesEmpty() {
 			sh.parked.Add(-1)
 			idle = 0
 			continue
@@ -647,14 +744,14 @@ func (sh *shard) workerLoop(sys *System) {
 	}
 }
 
-// drainRing services everything left in the ring. Callers guarantee no
+// drainRing services everything left in one ring. Callers guarantee no
 // new requests can be published (stop is closed and close has waited
 // for in-progress submissions), so the drain terminates.
-func (sh *shard) drainRing(sys *System, cd *callDesc, batch []asyncReq) {
+func (sh *shard) drainRing(r *asyncRing, sys *System, cd *callDesc, batch []asyncReq) {
 	for {
-		n := sh.ring.popBatch(batch)
+		n := r.popBatch(batch)
 		if n == 0 {
-			if sh.ring.empty() {
+			if r.empty() {
 				return
 			}
 			runtime.Gosched() // an in-flight publish; let it land
@@ -665,6 +762,19 @@ func (sh *shard) drainRing(sys *System, cd *callDesc, batch []asyncReq) {
 			sh.handleAsync(sys, cd, &batch[i], now)
 			batch[i].clearRefs()
 		}
+	}
+}
+
+// drainAll drains every async ring — the single ring, or each lane in
+// priority order (the order is cosmetic during a drain: everything
+// accepted is serviced either way).
+func (sh *shard) drainAll(sys *System, cd *callDesc, batch []asyncReq) {
+	if sh.lanes == nil {
+		sh.drainRing(&sh.ring, sys, cd, batch)
+		return
+	}
+	for i := range sh.lanes {
+		sh.drainRing(&sh.lanes[i].ring, sys, cd, batch)
 	}
 }
 
@@ -746,7 +856,7 @@ func (sh *shard) notifySlow(done chan<- struct{}) {
 //
 //ppc:coldpath -- diagnostics snapshot, deliberately off the call path
 func (sh *shard) stats(i int) ShardStats {
-	return ShardStats{
+	st := ShardStats{
 		Shard:                 i,
 		CDsCreated:            sh.cdsCreated.Load(),
 		PooledCDs:             sh.poolSize(),
@@ -766,7 +876,18 @@ func (sh *shard) stats(i int) ShardStats {
 		OffloadedBytes:        sh.offload.bytes.Load(),
 		OffloadQueueDepth:     sh.offload.queueDepth(),
 		ArenaGrows:            sh.arena.grows.Load(),
+		TenantThrottled:       sh.tenantThrottled.Load(),
 	}
+	if sh.lanes != nil {
+		st.AsyncQueueDepth, st.AsyncQueueCap = 0, 0
+		for l := range sh.lanes {
+			st.LaneDepth[l] = sh.lanes[l].ring.length()
+			st.ShedByLane[l] = sh.lanes[l].shed.Load()
+			st.AsyncQueueDepth += st.LaneDepth[l]
+			st.AsyncQueueCap += sh.lanes[l].ring.capacity()
+		}
+	}
+	return st
 }
 
 // close shuts the shard's async side down: reject new submissions, wait
@@ -811,7 +932,7 @@ func (sh *shard) close(sys *System, deadline time.Time) bool {
 	// work and its in-flight accounting always drain.
 	var batch [asyncBatchSize]asyncReq
 	cd := sh.popCD(defaultScratchBytes)
-	sh.drainRing(sys, cd, batch[:])
+	sh.drainAll(sys, cd, batch[:])
 	sh.pushCD(cd)
 	// Offload jobs are published inside the submitting window waited out
 	// above, so every staged copy is visible by now; complete any the

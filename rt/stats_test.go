@@ -131,6 +131,86 @@ func TestPayloadStats(t *testing.T) {
 	}
 }
 
+// TestQoSStats exercises the lane/tenant counters added to ShardStats:
+// LaneDepth and ShedByLane stay zero on a single-lane shard and move
+// only on the lane that shed; TenantThrottled counts budget sheds.
+func TestQoSStats(t *testing.T) {
+	// Single-lane shard: the QoS fields exist but stay zero.
+	sys := NewSystemShards(1)
+	svc, err := sys.Bind(ServiceConfig{Name: "q0", Handler: func(ctx *Ctx, args *Args) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.NewClientOnShard(0)
+	var args Args
+	if err := c.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()[0]
+	if st.LaneDepth != ([NumLaneClasses]int{}) || st.ShedByLane != ([NumLaneClasses]int64{}) || st.TenantThrottled != 0 {
+		t.Fatalf("single-lane QoS stats moved: %+v", st)
+	}
+	sys.Close()
+
+	// Lane shard under overload: the best-effort shed and the tenant
+	// throttle land in their own counters, nothing else moves.
+	sys = NewSystemOptions(Options{
+		Shards:               1,
+		Lanes:                3,
+		AsyncQueueCap:        4,
+		WorkerStallThreshold: -1,
+	})
+	defer sys.Close()
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	svc, err = sys.Bind(ServiceConfig{Name: "q1", Handler: func(ctx *Ctx, args *Args) {
+		if args[0] == 1 {
+			entered <- struct{}{}
+			<-block
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ConfigureTenant(1, TenantConfig{Rate: 0.001, Burst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sys.shards[0].maxWorkers = 1
+	be := sys.NewClientWith(ClientOptions{Shard: 0, Lane: LaneBestEffort})
+	ten := sys.NewClientWith(ClientOptions{Shard: 0, Tenant: 1})
+	var wedge Args
+	wedge[0] = 1
+	if err := be.AsyncCall(svc.EP(), &wedge); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	for i := 0; i < 4; i++ {
+		if err := be.AsyncCall(svc.EP(), &args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := be.AsyncCall(svc.EP(), &args); err == nil {
+		t.Fatal("expected best-effort shed")
+	}
+	if err := ten.Call(svc.EP(), &args); err != nil { // burst of 1
+		t.Fatal(err)
+	}
+	if err := ten.Call(svc.EP(), &args); err == nil {
+		t.Fatal("expected tenant throttle")
+	}
+	st = sys.Stats()[0]
+	if st.LaneDepth[2] != 4 || st.ShedByLane[2] != 1 || st.ShedByLane[0] != 0 || st.ShedByLane[1] != 0 {
+		t.Fatalf("lane counters: %+v", st)
+	}
+	if st.TenantThrottled != 1 {
+		t.Fatalf("TenantThrottled = %d, want 1", st.TenantThrottled)
+	}
+	close(block)
+	waitCond(t, 2*time.Second, "lane drain", func() bool {
+		return sys.Stats()[0].AsyncQueueDepth == 0
+	})
+}
+
 // TestRobustnessStats exercises every counter the fault-tolerance
 // layer added to ShardStats: deadline expirations and quarantines
 // (deadline.go), stuck-worker supervision (watchdog.go), and health

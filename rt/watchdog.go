@@ -269,6 +269,9 @@ func (sh *shard) watchdogLoop(sys *System) {
 		case <-ticker.C:
 		}
 		now := sh.clock.refresh()
+		// Tenant token buckets are credited from the same coarse clock,
+		// once per tick — the warm admission path never reads a clock.
+		sh.refillTenants(now)
 		if sh.wheel.registered.Load() > 0 {
 			sh.wheel.tick(sh, now)
 		}
@@ -362,7 +365,7 @@ func (sh *shard) superviseTick(sys *System, last []uint64, stuckTicks []int, stu
 		}
 	}
 	sh.stuckWorkers.Store(stuck)
-	if (sh.retire.Load() > 0 || sh.ring.stalled() || !sh.ring.empty()) &&
+	if (sh.retire.Load() > 0 || sh.queuesStalled() || !sh.queuesEmpty()) &&
 		sh.parked.Load() != 0 {
 		select {
 		case sh.doorbell <- struct{}{}:
