@@ -27,9 +27,11 @@ ppclint: lint-selftest
 lint: vet ppclint
 
 # Chaos/soak suite: deterministic fault injection (handler panics and
-# stalls, delayed ring publishes, sustained backpressure) with
-# convergence assertions after each storm. The injection sites compile
-# in only under the faultinject tag.
+# stalls, delayed ring publishes, sustained backpressure, the arena
+# storm, and the domain-death storm — clients abandoned mid-call and
+# mid-hold under injected scavenge stalls) with convergence assertions
+# after each storm. The injection sites compile in only under the
+# faultinject tag.
 chaos:
 	$(GO) test -run Chaos -count=5 -tags faultinject ./rt/...
 	$(GO) test -race -run Chaos -count=2 -tags faultinject ./rt/...

@@ -34,7 +34,13 @@ func (c *Client) NewBatch(ep EntryPointID, capacity int) *Batch {
 	if capacity <= 0 {
 		capacity = defaultAsyncQueueCap
 	}
-	return &Batch{c: c, ep: ep, reqs: make([]Args, 0, capacity)}
+	b := &Batch{c: c, ep: ep, reqs: make([]Args, 0, capacity)}
+	// File the batch on the ownership record (owner.go) so the
+	// scavenger can settle staged payload leases if the client dies
+	// before Flush. A scavenged client cannot file (the gate is
+	// terminal); its batch stays empty because Add declines too.
+	_ = c.rec.trackBatch(b)
+	return b
 }
 
 // SetNotify sets a completion channel: every request in subsequent
@@ -56,11 +62,30 @@ func (b *Batch) SetDeadline(d time.Duration) { b.ttl = d }
 // Len reports the number of staged requests.
 func (b *Batch) Len() int { return len(b.reqs) }
 
-// Add stages one request. The warm path is a bounds check and a copy
-// into the retained buffer.
+// Add stages one request. The warm path is the record-gate CAS pair
+// (uncontended, on the client's own record line), a bounds check, and
+// a copy into the retained buffer. A request added to a scavenged
+// client's batch is dropped and its payload leases settled — the
+// staging buffer belongs to the scavenger once the client is dead.
 //
 //ppc:hotpath
 func (b *Batch) Add(args *Args) {
+	rec := b.c.rec
+	// The record gate brackets every touch of the staging buffer: the
+	// scavenger drains b.reqs under the terminal gate, so an ungated
+	// Add could stage a request behind (or race) that drain.
+	if rec.enter() != nil {
+		b.c.shard.releaseArgsPayloads(args)
+		return
+	}
+	if n := payloadCount(args[OpFlagsWord]); n != 0 {
+		// The staged copy owns the attached leases from here; untrack
+		// them from the record so the scavenger settles them through the
+		// batch drain, not twice.
+		for i := 0; i < n; i++ {
+			rec.untrackLease(PayloadRef(args[payloadWord(i)]))
+		}
+	}
 	if len(b.reqs) == cap(b.reqs) {
 		b.grow()
 	}
@@ -71,6 +96,7 @@ func (b *Batch) Add(args *Args) {
 	// the caller's descriptor count so the same block can stage the next
 	// request without double-releasing.
 	transferPayloads(args)
+	rec.leave()
 }
 
 // grow doubles the staging buffer.
@@ -93,6 +119,13 @@ func (b *Batch) grow() {
 //ppc:hotpath
 func (b *Batch) Flush() (int, error) {
 	c := b.c
+	rec := c.rec
+	// The flush holds the record gate end to end: the staging buffer
+	// must not be drained by the scavenger mid-submission. A scavenged
+	// client's Flush fails terminally.
+	if err := rec.enter(); err != nil {
+		return 0, err
+	}
 	if c.tenant != 0 && len(b.reqs) > 0 {
 		// The whole batch is charged against the tenant bucket at once:
 		// a half-admitted batch would make the accepted count lie about
@@ -100,7 +133,21 @@ func (b *Batch) Flush() (int, error) {
 		// killed one.
 		if err := c.admitTenantBatch(b.reqs); err != nil {
 			b.reqs = b.reqs[:0]
+			rec.leave()
 			return 0, err
+		}
+		if rec.state.Load() != crLive {
+			// Abandoned between staging and admission (Abandon is the one
+			// cross-goroutine entry point on a Client): refund the tenant
+			// tokens just charged, settle the staged leases, and fail —
+			// the scavenger cannot drain while the owner holds the gate.
+			if tb := c.shard.tenantBucketFor(c.tenant); tb != nil {
+				tb.credit(int64(len(b.reqs)))
+			}
+			c.shard.releaseBatchPayloads(b.reqs)
+			b.reqs = b.reqs[:0]
+			rec.leave()
+			return 0, ErrClientAbandoned
 		}
 	}
 	var deadline int64
@@ -109,6 +156,7 @@ func (b *Batch) Flush() (int, error) {
 	}
 	n, err := c.sys.asyncBatchOn(c.shard, b.ep, b.reqs, c.program, b.done, deadline, c.lane)
 	b.reqs = b.reqs[:0]
+	rec.leave()
 	return n, err
 }
 
@@ -120,6 +168,9 @@ func (b *Batch) Flush() (int, error) {
 //
 //ppc:hotpath
 func (c *Client) AsyncBatch(ep EntryPointID, argss []Args) (int, error) {
+	if err := c.noteBatchPayloads(argss); err != nil {
+		return 0, err
+	}
 	if c.tenant != 0 && len(argss) > 0 {
 		if err := c.admitTenantBatch(argss); err != nil {
 			return 0, err

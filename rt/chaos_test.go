@@ -403,6 +403,196 @@ func TestChaosArenaStorm(t *testing.T) {
 	chaosConverge(t, sys, svc, base)
 }
 
+// TestChaosDomainDeath: the domain-death storm. Four goroutines drive
+// held sync calls with payload leases, deadline calls (some orphaned),
+// payload batches, and plain calls while clients are killed three ways
+// at once: FaultAbandonEvery murders the initial population from
+// inside the handler site (cross-goroutine abandon mid-call),
+// a victim pointer lets the handler abandon its own caller mid-call
+// (the deterministic tombstone), and one leg self-abandons between
+// calls (the entry-CAS loss). FaultSiteScavenge defers every third
+// scavenge pass, stretching the quarantine window so owner operations
+// race the reclaim walk. A goroutine that loses its client observes
+// ErrClientAbandoned and constructs a fresh identity — domain death is
+// a recoverable event, not a crash.
+//
+// Convergence is the tentpole's acceptance contract: every created
+// client ends up abandoned and scavenged (dead count zero, abandoned
+// == created), zero arena leases remain, the CD pool is back at
+// capacity (heldCDs and quarantine zero; a lost tombstone write would
+// strand a descriptor and fail this), and no goroutine leaks through
+// chaosConverge's close.
+func TestChaosDomainDeath(t *testing.T) {
+	leakCheck(t)
+	base := chaosBaseline()
+	sys := chaosSystem()
+	defer sys.Close() // idempotent; covers early-failure exits before chaosConverge
+	var victim atomic.Pointer[Client]
+	svc, err := sys.Bind(ServiceConfig{
+		Name: "chaosDeath",
+		Handler: func(ctx *Ctx, args *Args) {
+			_ = ctx.Payload(0)
+			switch args[0] {
+			case 1:
+				// Wedge long enough for a tiny deadline to orphan this
+				// call with its descriptor busy and its lease live.
+				time.Sleep(500 * time.Microsecond)
+			case 2:
+				// Abandon the calling client mid-call: its completion
+				// must settle through the tombstone CAS.
+				if v := victim.Load(); v != nil {
+					v.Abandon()
+				}
+			}
+			args[0] = 0
+		},
+		Health: &HealthConfig{MaxConsecutiveFaults: 4, MaxConsecutiveTimeouts: 4, ProbeAfter: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	initial := make([]*Client, 4)
+	for i := range initial {
+		initial[i] = sys.NewClientOnShard(0)
+	}
+	var created atomic.Int64
+	created.Store(int64(len(initial)))
+	fn, gate := FaultWhile(FaultAbandonEvery(50, initial))
+	sys.InjectFault(FaultSiteHandler, fn)
+	var scavN atomic.Int64
+	sys.InjectFault(FaultSiteScavenge, func() error {
+		if scavN.Add(1)%3 == 0 {
+			return ErrBackpressure // any non-nil defers the pass one tick
+		}
+		return nil
+	})
+
+	stormOK := func(err error) bool {
+		return err == nil || errors.Is(err, ErrClientAbandoned) ||
+			errors.Is(err, ErrDeadline) || errors.Is(err, ErrServiceUnhealthy) ||
+			errors.Is(err, ErrBackpressure) || errors.Is(err, ErrArenaFull)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := initial[g]
+			// The final identity dies too: the convergence check below
+			// wants every created client through the scavenger.
+			defer func() { c.Abandon() }()
+			b := c.NewBatch(svc.EP(), 4)
+			var args Args
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				switch g {
+				case 0: // held sync calls carrying arena leases
+					if i%41 == 40 {
+						// Die holding a tracked (unattached) lease: the
+						// scavenger, not a call, must return it.
+						_, _, _ = c.AllocPayload(64)
+						c.Abandon()
+						continue
+					}
+					ref, buf, aerr := c.AllocPayload(512)
+					if aerr == nil {
+						buf[0] = byte(i)
+						args = Args{}
+						args.AttachPayload(ref)
+						err = c.Call(svc.EP(), &args)
+					} else {
+						err = aerr
+					}
+				case 1: // deadline calls; every few iterations an orphan
+					args = Args{}
+					if i%7 == 0 {
+						args[0] = 1
+					}
+					err = c.CallDeadline(svc.EP(), &args, time.Duration(150+i%300)*time.Microsecond)
+				case 2: // payload batches through the staged path
+					staged := 0
+					for k := 0; k < 3; k++ {
+						ref, _, aerr := c.AllocPayload(128)
+						if aerr != nil {
+							continue
+						}
+						args = Args{}
+						args.AttachPayload(ref)
+						b.Add(&args)
+						staged++
+					}
+					if staged > 0 {
+						if i%37 == 36 {
+							// Die with the batch staged and unflushed: the
+							// scavenger drains the staging buffer's leases.
+							c.Abandon()
+							continue
+						}
+						_, err = b.Flush()
+					}
+				default: // plain calls; periodic suicide-by-handler
+					args = Args{}
+					if i%25 == 0 {
+						victim.Store(c)
+						args[0] = 2
+					}
+					err = c.Call(svc.EP(), &args)
+					if i%101 == 100 {
+						c.Abandon() // between-calls death: the entry life-check decline mode
+					}
+				}
+				if err != nil && errors.Is(err, ErrClientAbandoned) {
+					// Domain death observed: recycle the identity, exactly
+					// what a real caller does after losing its client.
+					c = sys.NewClientOnShard(0)
+					created.Add(1)
+					b = c.NewBatch(svc.EP(), 4)
+					continue
+				}
+				if !stormOK(err) {
+					t.Errorf("storm goroutine %d: unexpected %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	gate.Store(false)
+	sys.ClearFaults()
+
+	// The tentpole's convergence contract. HeldCDs == 0 and
+	// QuarantinedCDs == 0 together are the pool-at-capacity check: every
+	// descriptor a dead client ever held is back on the free list (a
+	// lost tombstone or scavenge write would strand one and hold
+	// HeldCDs above zero forever).
+	sh := &sys.shards[0]
+	waitCond(t, 10*time.Second, "domain-death convergence", func() bool {
+		st := sys.Stats()[0]
+		return sh.reg.dead.Load() == 0 && st.LeasesActive == 0 &&
+			st.HeldCDs == 0 && st.QuarantinedCDs == 0
+	})
+	st := sys.Stats()[0]
+	if got, want := st.AbandonedClients, created.Load(); got != want {
+		t.Fatalf("AbandonedClients = %d, created %d — a death was lost or double-counted", got, want)
+	}
+	if st.TombstonedCompletions == 0 {
+		t.Fatal("storm never exercised the tombstone completion path")
+	}
+	if st.ScavengedCDs == 0 || st.ScavengedLeases == 0 {
+		t.Fatalf("scavenger idle through the storm: %+v", st)
+	}
+	chaosConverge(t, sys, svc, base)
+}
+
 // TestChaosBackpressure: submissions are rejected as backpressure for
 // the whole storm. Callers see clean ErrBackpressure (retryable), and
 // the system heals instantly when the pressure lifts.

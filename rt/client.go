@@ -81,6 +81,20 @@ type Client struct {
 	// by the first CallDeadline/CallContext, reused across calls,
 	// abandoned (and replaced on demand) when a call is orphaned.
 	dl *dlExec
+
+	// rec is the client's ownership record on the shard registry
+	// (owner.go) — the scavenger's view of everything this client owns.
+	// Set at construction, immutable after.
+	rec *clientRec
+	// owHeld / owBusy are the precomputed ownership words for the
+	// current hold generation (owner.go): the warm Call entry CAS and
+	// exit store use them without repacking. Plain fields — rewritten
+	// only by Hold on the owning goroutine.
+	owHeld, owBusy uint64
+	// released marks a client whose held descriptor was explicitly
+	// returned to the pool; a second Release in that state is a loud
+	// failure (the descriptor may already be serving another client).
+	released bool
 }
 
 // NewClient creates a caller identity bound to a shard (round-robin
@@ -96,11 +110,13 @@ func (s *System) NewClientOnShard(shardID int) *Client {
 	if shardID < 0 || shardID >= len(s.shards) {
 		panic("rt: shard out of range")
 	}
-	return &Client{
+	c := &Client{
 		sys:     s,
 		shard:   &s.shards[shardID],
 		program: s.programs.Add(1),
 	}
+	c.rec = c.shard.reg.register(c, 0)
+	return c
 }
 
 // ClientOptions configures NewClientWith. The zero value matches
@@ -117,6 +133,14 @@ type ClientOptions struct {
 	// subjects every call to the tenant's per-shard token bucket once
 	// ConfigureTenant has published one. Zero skips admission.
 	Tenant TenantID
+	// LivenessEpochs opts the client into missed-heartbeat death
+	// detection (owner.go): a client that makes no call for more than
+	// LivenessEpochs consecutive scavenger epochs (one epoch per
+	// watchdog tick) is declared dead and reclaimed, exactly as if
+	// Abandon had been called. Zero (the default) disables the check —
+	// explicit Abandon and the leaked-client cleanup backstop still
+	// apply.
+	LivenessEpochs int
 }
 
 // NewClientWith creates a caller with an explicit lane and tenant.
@@ -132,13 +156,15 @@ func (s *System) NewClientWith(o ClientOptions) *Client {
 	if lane > LaneBestEffort {
 		lane = LaneBestEffort
 	}
-	return &Client{
+	c := &Client{
 		sys:     s,
 		shard:   &s.shards[shardID],
 		program: s.programs.Add(1),
 		lane:    lane,
 		tenant:  o.Tenant,
 	}
+	c.rec = c.shard.reg.register(c, o.LivenessEpochs)
+	return c
 }
 
 // Lane returns the client's criticality class.
@@ -186,24 +212,54 @@ func (c *Client) Shard() int { return c.shard.id }
 // Hold pins a call descriptor to the client — Figure 2's "hold CD"
 // configuration. The first Call does this implicitly; an explicit Hold
 // just front-loads the acquisition (e.g. before a latency-sensitive
-// loop). Idempotent.
+// loop). Idempotent. An abandoned client cannot re-acquire: Hold
+// declines quietly and the next Call fails with ErrClientAbandoned.
 //
 //ppc:coldpath -- descriptor acquisition; the warm held path never comes here
 func (c *Client) Hold() {
 	if c.held != nil {
 		return
 	}
+	rec := c.rec
+	// The record gate brackets the mirror publication: once the
+	// scavenger holds the gate terminally, no new descriptor can slip
+	// past its walk (it would be stranded forever).
+	if rec.enter() != nil {
+		return
+	}
+	if rec.state.Load() != crLive {
+		rec.leave()
+		return
+	}
 	c.heldEpoch = c.sys.closeEpoch.Load()
-	c.held = c.shard.holdCD()
+	cd := c.shard.holdCD()
+	// Stamp the ownership word with a fresh generation and precompute
+	// the held/busy words the warm call path transitions between.
+	gen := ownerGen(cd.owner.Load()) + 1
+	c.owHeld = packOwner(gen, c.program, owHeld)
+	c.owBusy = packOwner(gen, c.program, owBusy)
+	cd.owner.Store(c.owHeld)
+	c.released = false
+	rec.heldEpoch.Store(c.heldEpoch)
+	rec.cd.Store(cd)
+	rec.leave()
+	c.held = cd
 }
 
 // Release returns the held call descriptor to the shard pool; the next
 // Call re-acquires one. If the System was closed while the descriptor
 // was held (the close epoch advanced), the descriptor is dropped
 // instead of repooled — a held CD never resurrects a drained shard.
-// Release is optional and finalizer-free: an abandoned Client and its
-// descriptor are ordinary garbage; releasing just lets the pool reuse
-// the descriptor immediately. Idempotent.
+// Release is optional and finalizer-free: an unreleased Client and its
+// descriptor are reclaimed by the scavenger once the client is
+// abandoned or collected; releasing just lets the pool reuse the
+// descriptor immediately.
+//
+// Release is epoch-checked, not idempotent: a second Release (or
+// Close) of the same hold panics, because the first one already
+// repooled the descriptor — a silent second repool could hand the same
+// descriptor to two clients. Release on a never-held or abandoned
+// client remains a quiet no-op.
 //
 //ppc:coldpath -- descriptor release, off the warm call path
 func (c *Client) Release() {
@@ -213,12 +269,24 @@ func (c *Client) Release() {
 		// abandon its wheel node so the watchdog can unregister it.
 		c.dl.retire()
 		c.dl = nil
+		c.rec.dl.Store(nil)
 	}
 	cd := c.held
 	if cd == nil {
+		if c.released && c.rec.state.Load() == crLive {
+			panic("rt: double Release of a held client (descriptor already repooled)")
+		}
 		return
 	}
 	c.held = nil
+	c.released = true
+	c.rec.cd.Store(nil)
+	// Ownership handoff: losing the CAS means the scavenger reclaimed
+	// the descriptor after this client was abandoned — its accounting
+	// already settled, so walk away quietly.
+	if !cd.owner.CompareAndSwap(c.owHeld, packOwner(ownerGen(c.owHeld)+1, c.program, owFree)) {
+		return
+	}
 	c.shard.releaseCD(cd, c.sys.closeEpoch.Load() == c.heldEpoch)
 }
 
@@ -239,9 +307,16 @@ func (c *Client) Held() bool { return c.held != nil }
 //
 //ppc:hotpath
 func (c *Client) Call(ep EntryPointID, args *Args) error {
-	// Tenant admission runs before everything else: an over-budget
-	// caller is shed having touched only its own shard's bucket line.
-	// The tenant-free warm path pays one predictable branch.
+	// Payload ownership transfers to the call before anything can shed
+	// it (a shed releases the leases; they must be untracked from the
+	// ownership record first or the scavenger would release them again).
+	// The payload-free warm path pays one masked load.
+	if err := c.notePayloads(args); err != nil {
+		return err
+	}
+	// Tenant admission next: an over-budget caller is shed having
+	// touched only its own shard's bucket line. The tenant-free warm
+	// path pays one predictable branch.
 	if c.tenant != 0 {
 		if err := c.admitTenant(args); err != nil {
 			return err
@@ -249,8 +324,33 @@ func (c *Client) Call(ep EntryPointID, args *Args) error {
 	}
 	if c.held == nil {
 		c.Hold()
+		if c.held == nil {
+			// Hold declined: the client was abandoned.
+			c.shard.releaseArgsPayloads(args)
+			return ErrClientAbandoned
+		}
 	}
-	return c.sys.callHeld(c.shard, c.held, ep, args, c.program)
+	// Ownership entry: one load of the record's life state — a
+	// read-mostly line, written once at death. The plain warm path
+	// never transitions the ownership word; a scavenger that condemns
+	// the descriptor mid-call bumps its generation and compensates the
+	// pool with a fresh one, so the word stays owHeld for the whole
+	// hold and this path pays no RMW (owner.go).
+	if c.rec.state.Load() != crLive {
+		return c.ownerLost(args)
+	}
+	if c.rec.epochs != 0 {
+		c.beatTick()
+	}
+	cd := c.held
+	err := c.sys.callHeld(c.shard, cd, ep, args, c.program, c)
+	// Ownership exit: re-check life. A client abandoned mid-call
+	// settles its descriptor through the tombstone CAS — won only if
+	// the scavenger has not already condemned the word.
+	if c.rec.state.Load() != crLive {
+		c.tombstoneExit(cd)
+	}
+	return err
 }
 
 // CallPooled is Call through the shard's descriptor pool instead of
@@ -260,6 +360,9 @@ func (c *Client) Call(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) CallPooled(ep EntryPointID, args *Args) error {
+	if err := c.notePayloads(args); err != nil {
+		return err
+	}
 	if c.tenant != 0 {
 		if err := c.admitTenant(args); err != nil {
 			return err
@@ -274,6 +377,9 @@ func (c *Client) CallPooled(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
+	if err := c.notePayloads(args); err != nil {
+		return err
+	}
 	if c.tenant != 0 {
 		if err := c.admitTenant(args); err != nil {
 			return err
@@ -287,6 +393,9 @@ func (c *Client) AsyncCall(ep EntryPointID, args *Args) error {
 //
 //ppc:hotpath
 func (c *Client) AsyncCallNotify(ep EntryPointID, args *Args, done chan<- struct{}) error {
+	if err := c.notePayloads(args); err != nil {
+		return err
+	}
 	if c.tenant != 0 {
 		if err := c.admitTenant(args); err != nil {
 			return err
@@ -327,7 +436,7 @@ func (s *Service) epProgram() uint32 { return uint32(s.ep) | 1<<31 }
 // service table.
 //
 //ppc:hotpath
-func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, program uint32) error {
+func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, program uint32, c *Client) error {
 	// Every pre-dispatch error return settles attached payload leases
 	// (releaseArgsPayloads): the attach transferred them to this call,
 	// and a call that fails before dispatch still consumes them.
@@ -358,11 +467,17 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 			sh.releaseArgsPayloads(args)
 			return gerr
 		}
+		if probe {
+			// Publish the carried probe on the ownership record so the
+			// scavenger can settle the gate if this client dies with it.
+			c.rec.setProbe(svc, counters)
+		}
 	}
 	counters.admitted.Add(1)
 	if svc.state.Load() != svcActive {
 		svc.backOut(counters)
 		if probe {
+			c.rec.clearProbe()
 			svc.settleProbe(counters, ErrKilled)
 		}
 		sh.releaseArgsPayloads(args)
@@ -381,6 +496,7 @@ func (s *System) callHeld(sh *shard, cd *callDesc, ep EntryPointID, args *Args, 
 	if svc.health != nil {
 		svc.recordOutcome(counters, err)
 		if probe {
+			c.rec.clearProbe()
 			svc.settleProbe(counters, err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestCloseStopsAsyncWorkers(t *testing.T) {
+	leakCheck(t)
 	sys := NewSystemShards(1)
 	done := make(chan struct{}, 8)
 	svc, err := sys.Bind(ServiceConfig{Name: "a", Handler: func(ctx *Ctx, args *Args) {}})

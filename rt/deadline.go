@@ -238,10 +238,16 @@ func (c *Client) armDeadlineExec() {
 	if runtime.GOMAXPROCS(0) > 1 {
 		e.spin = dlSpinIters
 	}
-	e.node = &dlNode{t: &e.ticket}
+	// The node carries the client's current ownership word (owner.go):
+	// gen-tagged, offset-stable, the wheel-node leg of the domain-death
+	// layout.
+	e.node = &dlNode{t: &e.ticket, owner: c.owHeld}
 	c.shard.wheel.registered.Add(1)
 	c.shard.ensureWatchdog(c.sys)
 	c.dl = e
+	// Mirror the executor on the ownership record so the scavenger can
+	// retire it (and unfile its wheel node) if the client dies idle.
+	c.rec.dl.Store(e)
 	go e.loop()
 }
 
@@ -405,7 +411,12 @@ func (c *Client) CallContext(ctx context.Context, ep EntryPointID, args *Args) e
 // callDeadline runs one bounded call through the executor. d == 0
 // means no expiry (cancellation only); cancel may be nil.
 func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, cancel <-chan struct{}, ctx context.Context) error {
-	// Tenant admission first, same as Call: an over-budget caller is
+	// Payload ownership transfers to the call before anything can shed
+	// it, same ordering as Call (owner.go).
+	if err := c.notePayloads(args); err != nil {
+		return err
+	}
+	// Tenant admission next, same as Call: an over-budget caller is
 	// shed before any executor or wheel state is touched.
 	if c.tenant != 0 {
 		if err := c.admitTenant(args); err != nil {
@@ -437,12 +448,44 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 			sh.releaseArgsPayloads(args)
 			return gerr
 		}
+		if probe {
+			// Publish the carried probe on the ownership record, same as
+			// callHeld: the scavenger settles the gate if the client dies
+			// with it.
+			c.rec.setProbe(svc, counters)
+		}
 	}
 	if c.held == nil {
 		c.Hold()
+		if c.held == nil {
+			// Hold declined: the client was abandoned.
+			if probe {
+				c.rec.clearProbe()
+				svc.settleProbe(counters, ErrClientAbandoned)
+			}
+			sh.releaseArgsPayloads(args)
+			return ErrClientAbandoned
+		}
 	}
 	if c.dl == nil {
 		c.armDeadlineExec()
+	}
+	// Ownership entry: one life-state load (the same decline the plain
+	// path performs), then flip the word held→busy — the deadline path
+	// is the one that transitions it, because the descriptor must stay
+	// pinned against scavenging while the executor may touch it (the
+	// orphan path hands the still-busy descriptor to the executor's
+	// quarantine instead of storing it back).
+	if c.rec.state.Load() != crLive ||
+		!c.held.owner.CompareAndSwap(c.owHeld, c.owBusy) {
+		if probe {
+			c.rec.clearProbe()
+			svc.settleProbe(counters, ErrClientAbandoned)
+		}
+		return c.ownerLost(args)
+	}
+	if c.rec.epochs != 0 {
+		c.beatTick()
 	}
 	// Increment-then-check admission, same protocol as callHeld. From
 	// here to the executor's completed.Add the call is in flight.
@@ -450,9 +493,11 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 	if svc.state.Load() != svcActive {
 		svc.backOut(counters)
 		if probe {
+			c.rec.clearProbe()
 			svc.settleProbe(counters, ErrKilled)
 		}
 		sh.releaseArgsPayloads(args)
+		c.ownerExit(c.held)
 		return ErrKilled
 	}
 	cd := c.held
@@ -509,6 +554,13 @@ func (c *Client) callDeadline(ep EntryPointID, args *Args, d time.Duration, canc
 			exec.node.deadline.Store(0)
 		}
 		*args = t.args
+		// Probe evidence was settled by the executor; drop the record's
+		// carried-probe mirror before the ownership exit so the
+		// scavenger can never reopen a settled gate.
+		if probe {
+			c.rec.clearProbe()
+		}
+		c.ownerExit(cd)
 		return t.err
 	default:
 		// Orphaned by the wheel: a true expiry.
@@ -568,6 +620,10 @@ func (c *Client) cancelAttempt(sh *shard, svc *Service, counters *shardCounters,
 			// Lost to the executor: the call completed.
 			e.node.deadline.Store(0)
 			*args = t.args
+			if probe {
+				c.rec.clearProbe()
+			}
+			c.ownerExit(c.held)
 			return t.err
 		}
 		// Lost to the wheel: expiry and cancellation raced; either
@@ -600,9 +656,18 @@ func (c *Client) orphaned(sh *shard, svc *Service, counters *shardCounters, e *d
 			svc.settleProbe(counters, cause)
 		}
 	}
+	if probe {
+		c.rec.clearProbe()
+	}
 	sh.wheel.abandon(e.node, sh.clock.read())
 	c.held = nil
 	c.dl = nil
+	// The ownership mirrors forget the quarantined descriptor and the
+	// retiring executor: the executor's reclaim protocol owns both from
+	// here (the descriptor's word stays owBusy through quarantine — the
+	// scavenger never touches it).
+	c.rec.cd.Store(nil)
+	c.rec.dl.Store(nil)
 	t.ack.Store(gen)
 	if cause != nil {
 		return fmt.Errorf("%w: %w", ErrDeadline, cause)
@@ -619,6 +684,9 @@ func (c *Client) orphaned(sh *shard, svc *Service, counters *shardCounters, e *d
 //
 //ppc:hotpath
 func (c *Client) AsyncCallDeadline(ep EntryPointID, args *Args, d time.Duration) error {
+	if err := c.notePayloads(args); err != nil {
+		return err
+	}
 	if c.tenant != 0 {
 		if err := c.admitTenant(args); err != nil {
 			return err
@@ -637,6 +705,9 @@ func (c *Client) AsyncCallDeadline(ep EntryPointID, args *Args, d time.Duration)
 //
 //ppc:hotpath
 func (c *Client) AsyncCallNotifyDeadline(ep EntryPointID, args *Args, done chan<- struct{}, d time.Duration) error {
+	if err := c.notePayloads(args); err != nil {
+		return err
+	}
 	if c.tenant != 0 {
 		if err := c.admitTenant(args); err != nil {
 			return err

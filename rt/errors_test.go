@@ -27,6 +27,7 @@ func TestErrorTaxonomy(t *testing.T) {
 		ErrPayloadTooLarge,
 		ErrArenaFull,
 		ErrShed,
+		ErrClientAbandoned,
 	}
 	for i, s := range sentinels {
 		if !errors.Is(s, s) {
@@ -43,6 +44,14 @@ func TestErrorTaxonomy(t *testing.T) {
 		if s.Error() == "" || s.Error()[:4] != "rt: " {
 			t.Fatalf("%q does not carry the rt: prefix", s.Error())
 		}
+	}
+	// ErrClientAbandoned is terminal for its client, never transient:
+	// the retry helper must refuse to spin on it.
+	if RetryableError(ErrClientAbandoned) {
+		t.Fatal("ErrClientAbandoned is retryable; abandoning is terminal")
+	}
+	if RetryableError(fmt.Errorf("wrapped: %w", ErrClientAbandoned)) {
+		t.Fatal("wrapped ErrClientAbandoned is retryable")
 	}
 }
 

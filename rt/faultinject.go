@@ -40,6 +40,12 @@ import (
 //	                       allocation before the arena is touched, so
 //	                       chaos tests can starve the payload path
 //	                       deterministically.
+//	FaultSiteScavenge    — (faultinject builds only) fired at the top of
+//	                       each dead client's scavenge pass (owner.go); a
+//	                       non-nil error (or a sleep) defers that
+//	                       client's reclamation to the next watchdog
+//	                       tick, so chaos tests can stretch the
+//	                       quarantine window deterministically.
 
 // FaultSite names an injection point.
 type FaultSite uint8
@@ -59,6 +65,10 @@ const (
 	// fails the allocation with that error. Only honored in
 	// -tags faultinject builds.
 	FaultSiteArena
+	// FaultSiteScavenge fires at the top of each dead client's scavenge
+	// pass; a non-nil error defers that client's reclamation to the
+	// next watchdog tick. Only honored in -tags faultinject builds.
+	FaultSiteScavenge
 	faultSiteCount
 )
 
@@ -171,6 +181,28 @@ func FaultErrFirst(n int64, err error) FaultFn {
 	return func() error {
 		if count.Add(1) <= n {
 			return err
+		}
+		return nil
+	}
+}
+
+// FaultAbandonEvery returns a deterministic hook that abandons one
+// client drawn round-robin from clients on every n-th invocation (n <=
+// 1 abandons on every call). Install it at a warm site
+// (FaultSiteHandler, FaultSiteArena) to kill clients mid-call /
+// mid-payload-lease, the abandon-mid-operation combinator the
+// domain-death storm drives; each client is abandoned at most once
+// (Abandon is idempotent), so the hook goes quiet after one full
+// round.
+func FaultAbandonEvery(n int64, clients []*Client) FaultFn {
+	var count atomic.Int64
+	var next atomic.Int64
+	return func() error {
+		if len(clients) == 0 {
+			return nil
+		}
+		if c := count.Add(1); n <= 1 || c%n == 0 {
+			clients[int(next.Add(1)-1)%len(clients)].Abandon()
 		}
 		return nil
 	}

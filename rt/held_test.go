@@ -3,6 +3,7 @@ package rt
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 // TestNewClientShardWrap is the uint64→int wrap regression: the
@@ -22,8 +23,9 @@ func TestNewClientShardWrap(t *testing.T) {
 
 // TestHoldReleaseLifecycle pins the held-CD protocol: Hold is
 // idempotent and front-loads what the first Call would do, Release
-// repools the descriptor and is idempotent, and the next Call after a
-// Release re-acquires.
+// repools the descriptor, and the next Call after a Release
+// re-acquires. (Double-Release is a loud failure now —
+// TestDoubleReleasePanics pins that separately.)
 func TestHoldReleaseLifecycle(t *testing.T) {
 	sys := NewSystemShards(1)
 	defer sys.Close()
@@ -51,7 +53,6 @@ func TestHoldReleaseLifecycle(t *testing.T) {
 		t.Fatalf("args[0] = %d", args[0])
 	}
 	c.Release()
-	c.Release() // idempotent
 	if c.Held() || sh.heldCDs.Load() != 0 || sh.poolSize() != 1 {
 		t.Fatalf("after Release: held = %v, heldCDs = %d, poolSize = %d",
 			c.Held(), sh.heldCDs.Load(), sh.poolSize())
@@ -62,6 +63,64 @@ func TestHoldReleaseLifecycle(t *testing.T) {
 	}
 	if !c.Held() || sh.cdsCreated.Load() != 1 {
 		t.Fatalf("re-acquire: held = %v, cdsCreated = %d", c.Held(), sh.cdsCreated.Load())
+	}
+}
+
+// TestDoubleReleasePanics is the double-repool regression: a second
+// Release (or Close) of the same hold must fail loudly — the first one
+// already handed the descriptor back, and a silent second repool could
+// give the same descriptor to two clients. Release on a never-held
+// client stays quiet, and Hold re-arms the check: release after a
+// fresh hold is legal again.
+func TestDoubleReleasePanics(t *testing.T) {
+	sys := NewSystemShards(1)
+	defer sys.Close()
+	c := sys.NewClientOnShard(0)
+	c.Release() // never held: quiet no-op
+	c.Release() // still quiet — nothing was ever repooled
+	c.Hold()
+	c.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second Release of a held client did not panic")
+			}
+		}()
+		c.Release()
+	}()
+	// Hold re-arms: a fresh hold/release cycle is legal.
+	c.Hold()
+	c.Release()
+	// Close is Release under another name; a second Close after the
+	// cycle above must be as loud.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Close of a held client did not panic")
+			}
+		}()
+		c.Close()
+	}()
+}
+
+// TestReleaseAfterAbandonQuiet: an abandoned client's Release must NOT
+// panic and must not double-repool — the scavenger owns (or already
+// settled) the descriptor; the owner's late Release walks away quietly.
+func TestReleaseAfterAbandonQuiet(t *testing.T) {
+	sys := NewSystemOptions(Options{Shards: 1, WatchdogInterval: time.Millisecond})
+	defer sys.Close()
+	sh := &sys.shards[0]
+	c := sys.NewClientOnShard(0)
+	c.Hold()
+	c.Abandon()
+	waitCond(t, 2*time.Second, "scavenger reclaim", func() bool { return sh.heldCDs.Load() == 0 })
+	c.Release() // scavenger already reclaimed: quiet
+	c.Release() // and quiet again — abandoned clients never get the loud path
+	if got := sh.heldCDs.Load(); got != 0 {
+		t.Fatalf("heldCDs = %d after abandoned release", got)
+	}
+	if got := sh.poolSize(); got != 1 {
+		t.Fatalf("poolSize = %d, want 1 (exactly one repool)", got)
 	}
 }
 

@@ -271,16 +271,38 @@ func (c *Client) AllocPayload(n int) (PayloadRef, []byte, error) {
 			return 0, nil, err
 		}
 	}
-	return c.shard.arena.alloc(n)
+	// The lease is tracked on the ownership record until a submission
+	// consumes it, so the scavenger can settle it if the client dies
+	// first; an abandoned client cannot lease at all.
+	rec := c.rec
+	if err := rec.enter(); err != nil {
+		return 0, nil, err
+	}
+	ref, buf, err := c.shard.arena.alloc(n)
+	if err == nil {
+		rec.trackLease(ref)
+	}
+	rec.leave()
+	return ref, buf, err
 }
 
 // ReleasePayload returns an unattached payload lease to the arena —
 // the abort path for a payload allocated but never submitted.
 // Payloads that were attached and submitted are released by the call
-// itself; releasing those again is a use-after-free caller bug.
+// itself; releasing those again is a use-after-free caller bug. On an
+// abandoned client this is a quiet no-op: the scavenger already
+// settled (or will settle) the tracked lease.
 //
 //ppc:coldpath -- abort path for an abandoned payload
-func (c *Client) ReleasePayload(ref PayloadRef) { c.shard.arena.release(ref) }
+func (c *Client) ReleasePayload(ref PayloadRef) {
+	rec := c.rec
+	if rec.enter() != nil {
+		return
+	}
+	rec.untrackLease(ref)
+	c.shard.arena.release(ref)
+	rec.leave()
+}
 
 // AllocPayload leases arena memory from inside a handler — for nested
 // calls that attach payloads of their own. Same contract as
@@ -310,20 +332,34 @@ func (c *Client) AttachBytes(args *Args, data []byte) error {
 			return err
 		}
 	}
+	// Track the fresh lease on the ownership record like AllocPayload
+	// does: it stays tracked until the submission carrying args consumes
+	// it (notePayloads), so a client that dies between attach and submit
+	// cannot strand the segment.
+	rec := c.rec
+	if err := rec.enter(); err != nil {
+		return err
+	}
 	if sh.offload.threshold > 0 && len(data) >= sh.offload.threshold {
 		ref, err := sh.offloadCopy(c.sys, data)
 		if err != nil {
+			rec.leave()
 			return err
 		}
+		rec.trackLease(ref)
 		args.AttachPayload(ref)
+		rec.leave()
 		return nil
 	}
 	ref, buf, err := sh.arena.alloc(len(data))
 	if err != nil {
+		rec.leave()
 		return err
 	}
 	copy(buf, data)
+	rec.trackLease(ref)
 	args.AttachPayload(ref)
+	rec.leave()
 	return nil
 }
 

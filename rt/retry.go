@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"time"
@@ -63,9 +64,10 @@ const (
 
 // RetryableError reports whether err is one of the transient rt errors
 // Retry backs off on: ErrBackpressure, ErrServiceUnhealthy, or ErrShed.
-// Faults, kills, closes, deadline expirations, and authorization
-// failures are not retryable — repeating them burns capacity on a call
-// that will fail the same way.
+// Faults, kills, closes, deadline expirations, authorization failures,
+// and abandoned clients (ErrClientAbandoned is terminal for its client
+// — construct a fresh one) are not retryable — repeating them burns
+// capacity on a call that will fail the same way.
 func RetryableError(err error) bool {
 	return errors.Is(err, ErrBackpressure) || errors.Is(err, ErrServiceUnhealthy) ||
 		errors.Is(err, ErrShed)
@@ -140,3 +142,80 @@ func Retry(p RetryPolicy, fn func() error) error {
 		}
 	}
 }
+
+// RetryCtx is Retry honoring ctx: a cancellation (or deadline) aborts
+// the backoff *sleep* immediately — a caller with a latency budget is
+// not held hostage to a 10ms backoff that outlives its context — and
+// stops before the next attempt. fn itself is never interrupted
+// (rt calls are not preemptible; bound them with CallDeadline /
+// CallContext inside fn). On abort the return is ctx.Err() wrapping
+// the last transient error, so both errors.Is(err, context.Canceled)
+// and errors.Is(err, ErrBackpressure)-style checks see their half. A
+// ctx that is already done fails before the first attempt.
+//
+// When p.Sleep is set (fake-clock tests), it is used for the backoff
+// wait and checked against ctx only between attempts — the seam keeps
+// the timing deterministic; production callers leave it nil and get a
+// timer-based wait that unblocks on cancellation mid-sleep.
+//
+//ppc:coldpath -- every iteration beyond the first is already a failure path
+func RetryCtx(ctx context.Context, p RetryPolicy, fn func() error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if p.Sleep == nil {
+		inner := p
+		inner.Sleep = func(d time.Duration) {
+			if d <= 0 {
+				return
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		}
+		p = inner
+	}
+	var lastErr error
+	err := Retry(p, func() error {
+		// The pre-attempt check is what ends the loop after an aborted
+		// sleep: the sentinel is not retryable, so Retry returns it
+		// without running fn or sleeping again.
+		if ctx.Err() != nil {
+			return errRetryCtxAborted
+		}
+		lastErr = fn()
+		return lastErr
+	})
+	if errors.Is(err, errRetryCtxAborted) {
+		if lastErr != nil {
+			return &retryCtxError{cause: ctx.Err(), last: lastErr}
+		}
+		return ctx.Err()
+	}
+	// A terminal (or nil) result from fn stands on its own, cancelled
+	// context or not: the attempt completed before cancellation
+	// mattered.
+	return err
+}
+
+// errRetryCtxAborted is RetryCtx's internal stop sentinel — returned by
+// the wrapped attempt when the context is done, never surfaced to
+// callers (RetryCtx converts it to a retryCtxError / ctx.Err()).
+var errRetryCtxAborted = errors.New("rt: retry aborted by context")
+
+// retryCtxError is RetryCtx's aborted-backoff result: the context's
+// error with the last transient call error attached; errors.Is sees
+// both.
+type retryCtxError struct {
+	cause error // ctx.Err()
+	last  error // the last transient rt error
+}
+
+func (e *retryCtxError) Error() string {
+	return e.cause.Error() + " (last attempt: " + e.last.Error() + ")"
+}
+
+func (e *retryCtxError) Unwrap() []error { return []error{e.cause, e.last} }

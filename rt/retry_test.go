@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -165,6 +166,100 @@ func TestRetryDefaultsAndIntegration(t *testing.T) {
 	}
 	if args[0] != 1 {
 		t.Fatal("result lost")
+	}
+}
+
+// TestRetryCtxAbortsBetweenAttempts drives RetryCtx on the fake clock:
+// the context is cancelled during the second backoff, so exactly two
+// attempts run, the loop stops without a third, and the returned error
+// carries both the cancellation and the last transient failure.
+func TestRetryCtxAbortsBetweenAttempts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fs := &fakeSleeper{}
+	calls := 0
+	err := RetryCtx(ctx, RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1,
+		Sleep: func(d time.Duration) {
+			fs.sleep(d)
+			if len(fs.slept) == 2 {
+				cancel()
+			}
+		},
+	}, func() error {
+		calls++
+		return ErrBackpressure
+	})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (no attempt after cancellation)", calls)
+	}
+	// Deterministic backoff on the fake clock: 1ms then 2ms, nothing
+	// after the cancelled wait.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if fmt.Sprint(fs.slept) != fmt.Sprint(want) {
+		t.Fatalf("slept %v, want %v", fs.slept, want)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled visible", err)
+	}
+	if !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("err = %v, want the last transient error visible", err)
+	}
+}
+
+// TestRetryCtxDoneBeforeFirstAttempt: an already-cancelled context
+// never runs fn.
+func TestRetryCtxDoneBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := RetryCtx(ctx, RetryPolicy{}, func() error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("fn ran %d times under a dead context", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRetryCtxSuccessIgnoresLateCancel: a result that lands before
+// cancellation matters is returned as-is — success is never converted
+// into a context error.
+func TestRetryCtxSuccessIgnoresLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := RetryCtx(ctx, RetryPolicy{}, func() error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	// Terminal errors pass through untouched too.
+	if err := RetryCtx(ctx, RetryPolicy{}, func() error { return ErrClientAbandoned }); !errors.Is(err, ErrClientAbandoned) {
+		t.Fatalf("terminal error rewritten: %v", err)
+	}
+}
+
+// TestRetryCtxRealTimerUnblocks: with no Sleep seam the backoff wait is
+// a timer select that a cancellation unblocks mid-sleep — RetryCtx
+// must return promptly, not after the full delay.
+func TestRetryCtxRealTimerUnblocks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := RetryCtx(ctx, RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   10 * time.Second, // would dominate the test if not aborted
+		Jitter:      -1,
+	}, func() error { return ErrBackpressure })
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation did not unblock the backoff sleep (%v)", elapsed)
 	}
 }
 

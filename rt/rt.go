@@ -181,6 +181,12 @@ var (
 	// token-bucket budget. Transient, like ErrBackpressure: capacity
 	// frees and buckets refill, so Retry backs off on it.
 	ErrShed = fmt.Errorf("rt: request shed (lane overload or tenant budget)")
+	// ErrClientAbandoned: operation on a client that was declared dead
+	// (Client.Abandon, the leaked-client cleanup backstop, or a missed
+	// liveness epoch) and whose resources the scavenger has reclaimed
+	// or is reclaiming. Terminal for that client — not retryable;
+	// construct a fresh client instead.
+	ErrClientAbandoned = fmt.Errorf("rt: client abandoned")
 )
 
 // FaultError is the concrete error a panicking handler produces; it
@@ -643,6 +649,7 @@ func NewSystemOptions(o Options) *System {
 		s.shards[i].configureLanes(o)
 		s.shards[i].configureWatchdog(o)
 		s.shards[i].configureArena(o)
+		s.shards[i].reg = newClientRegistry(s, &s.shards[i])
 	}
 	s.programs.Store(1)
 	return s
@@ -914,6 +921,21 @@ type ShardStats struct {
 	// ArenaGrows counts arena slab allocations beyond the first — the
 	// strictly-cold growth path, like CDsCreated for the CD pool.
 	ArenaGrows int64
+	// AbandonedClients counts clients declared dead on this shard —
+	// by Client.Abandon, the leaked-client cleanup backstop, or a
+	// missed liveness epoch — and handed to the scavenger.
+	AbandonedClients int64
+	// ScavengedCDs counts held call descriptors the scavenger
+	// reclaimed from dead clients (ownership CAS won from owHeld).
+	ScavengedCDs int64
+	// ScavengedLeases counts payload leases (tracked allocations and
+	// batch-staged transfers) the scavenger released for dead clients.
+	ScavengedLeases int64
+	// TombstonedCompletions counts call completions that found their
+	// client dead at exit: the finishing goroutine tombstoned the CD
+	// (or lost the race to the scavenger's reclaim CAS) instead of
+	// handing it back to a reclaimed owner.
+	TombstonedCompletions int64
 }
 
 // Stats returns per-shard pool statistics (diagnostics; walks the

@@ -61,6 +61,14 @@ type callDesc struct {
 	// initialized tracks which services' init handlers have run
 	// through this descriptor's shard (see Ctx.SetHandler).
 	shard *shard
+	// owner is the packed gen-tagged ownership word (owner.go):
+	// gen<<32 | clientID<<3 | state. Meaningful only while a client
+	// holds the descriptor; pooled-path calls never touch it. The
+	// word's layout is offset-stable and pointer-free — the pre-work
+	// for ROADMAP item 1's mmap'd descriptors.
+	//
+	//ppc:atomic
+	owner atomic.Uint64
 }
 
 // epEntry is one shard's replica of a bound entry point — the §4.5.5
@@ -249,7 +257,12 @@ type shard struct {
 	// internal cur-line isolation is not sheared.
 	arena   shardArena
 	offload *offloadLane
-	_       [56]byte // tail pad: shard tiles whole lines (System.shards is a []shard)
+	// reg is the shard's client-ownership registry (owner.go): death
+	// declarations, the scavenger walk list, and the domain-death
+	// counters all live behind this one cold pointer, so the shard's
+	// own layout is untouched by the ownership protocol.
+	reg *clientRegistry
+	_   [48]byte // tail pad: shard tiles whole lines (System.shards is a []shard)
 }
 
 type asyncReq struct {
@@ -877,6 +890,12 @@ func (sh *shard) stats(i int) ShardStats {
 		OffloadQueueDepth:     sh.offload.queueDepth(),
 		ArenaGrows:            sh.arena.grows.Load(),
 		TenantThrottled:       sh.tenantThrottled.Load(),
+	}
+	if reg := sh.reg; reg != nil {
+		st.AbandonedClients = reg.abandoned.Load()
+		st.ScavengedCDs = reg.scavCDs.Load()
+		st.ScavengedLeases = reg.scavLeases.Load()
+		st.TombstonedCompletions = reg.tombstoned.Load()
 	}
 	if sh.lanes != nil {
 		st.AsyncQueueDepth, st.AsyncQueueCap = 0, 0

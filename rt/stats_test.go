@@ -211,6 +211,70 @@ func TestQoSStats(t *testing.T) {
 	})
 }
 
+// TestDomainDeathStats exercises the four counters the domain-death
+// protocol added to ShardStats: AbandonedClients counts death
+// declarations (every mode), ScavengedCDs and ScavengedLeases count the
+// scavenger's reclamations, and TombstonedCompletions counts in-flight
+// calls that settled through the tombstone CAS.
+func TestDomainDeathStats(t *testing.T) {
+	leakCheck(t)
+	sys := NewSystemOptions(Options{Shards: 1, WatchdogInterval: time.Millisecond})
+	defer sys.Close()
+	var inFlight *Client
+	svc, err := sys.Bind(ServiceConfig{Name: "dd", Handler: func(ctx *Ctx, args *Args) {
+		if args[0] == 1 {
+			inFlight.Abandon() // dies mid-call: the completion tombstones
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Stats()[0]; st.AbandonedClients != 0 || st.ScavengedCDs != 0 ||
+		st.ScavengedLeases != 0 || st.TombstonedCompletions != 0 {
+		t.Fatalf("idle death counters nonzero: %+v", st)
+	}
+
+	// Mode 1: abandoned mid-call — the completion settles through the
+	// tombstone; no CD is left for the scavenger.
+	inFlight = sys.NewClientOnShard(0)
+	var args Args
+	args[0] = 1
+	if err := inFlight.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mode 2: abandoned at rest with a held CD and two payload leases —
+	// the scavenger reclaims all three.
+	idle := sys.NewClientOnShard(0)
+	args[0] = 0
+	if err := idle.Call(svc.EP(), &args); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := idle.AllocPayload(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idle.Abandon()
+	// ScavengedCDs is >= 1, not == 1: mode 1's completion usually wins
+	// its tombstone CAS, but the scavenger is allowed to beat it to the
+	// descriptor — either way exactly one party reclaims.
+	waitCond(t, 2*time.Second, "scavenger convergence", func() bool {
+		st := sys.Stats()[0]
+		return st.ScavengedCDs >= 1 && st.ScavengedLeases == 2
+	})
+	st := sys.Stats()[0]
+	if st.AbandonedClients != 2 {
+		t.Fatalf("AbandonedClients = %d, want 2", st.AbandonedClients)
+	}
+	if st.TombstonedCompletions != 1 {
+		t.Fatalf("TombstonedCompletions = %d, want 1", st.TombstonedCompletions)
+	}
+	if st.LeasesActive != 0 {
+		t.Fatalf("LeasesActive = %d after scavenge", st.LeasesActive)
+	}
+}
+
 // TestRobustnessStats exercises every counter the fault-tolerance
 // layer added to ShardStats: deadline expirations and quarantines
 // (deadline.go), stuck-worker supervision (watchdog.go), and health

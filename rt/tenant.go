@@ -168,6 +168,25 @@ func (b *tenantBucket) takeSlow(clock *coarseClock) bool {
 	return false
 }
 
+// credit returns n tokens to the bucket (a charged submission backed
+// out before admission — e.g. a batch flush that found its client dead
+// after the tenant charge), clamping to burst the same way refill
+// does.
+//
+//ppc:coldpath -- abort-path refund, off the warm admission path
+func (b *tenantBucket) credit(n int64) {
+	for {
+		cur := b.tokens.Load()
+		next := cur + n
+		if next > b.burst {
+			next = b.burst
+		}
+		if next == cur || b.tokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
 // takeSlowN is takeSlow for batch admission.
 //
 //ppc:coldpath -- the tenant is over budget; the batch is already failing

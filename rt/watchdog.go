@@ -275,18 +275,25 @@ func (sh *shard) watchdogLoop(sys *System) {
 		if sh.wheel.registered.Load() > 0 {
 			sh.wheel.tick(sh, now)
 		}
+		// The domain-death scavenger rides the same tick (owner.go):
+		// liveness epochs advance and dead clients' holdings are
+		// reclaimed. Two atomic loads when nothing is dead and no
+		// liveness-enrolled client is registered.
+		sh.scavengeTick(sys)
 		if want := sh.tickPeriod(); want != period {
 			period = want
 			ticker.Reset(period)
 		}
 		if stopping {
 			// Drain mode: no supervision, tick the wheel until every node
-			// has retired. The exit handshake runs under qMu against
+			// has retired and the scavenger has no dead client left to
+			// reclaim. The exit handshake runs under qMu against
 			// ensureWatchdog: either this loop sees the new registration
-			// and stays, or it clears watchdogOn first and the arming
-			// client starts a fresh loop.
+			// (or death declaration) and stays, or it clears watchdogOn
+			// first and the arming client starts a fresh loop.
 			sh.qMu.Lock()
-			if sh.wheel.registered.Load() == 0 {
+			if sh.wheel.registered.Load() == 0 &&
+				(sh.reg == nil || sh.reg.dead.Load() == 0) {
 				sh.watchdogOn = false
 				sh.qMu.Unlock()
 				return

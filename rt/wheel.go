@@ -124,6 +124,15 @@ type dlNode struct {
 	//
 	//ppc:atomic
 	filedTick atomic.Int64
+
+	// owner is the packed gen-tagged ownership word (owner.go) stamped
+	// at executor arm time: the same offset-stable gen|id|state layout
+	// the call descriptors carry, so a wheel node names its owning
+	// client in an mmap-portable form (ROADMAP item 1). Plain — written
+	// once by the owner at arm, read only by diagnostics; reclamation
+	// of the node itself is arbitrated by the executor retire protocol,
+	// not this word.
+	owner uint64
 }
 
 // dlWheel is one shard's hashed timer wheel. All mutation of bucket
